@@ -1,0 +1,94 @@
+//! RStore-style multi-version store: **no deduplication**.
+//!
+//! Table I lists RStore as an unstructured multi-version key-value store
+//! with no dedup: every version materializes its full content. This is
+//! the lower bound every dedup strategy is measured against.
+
+use crate::{encode_pair, Snapshot, VersionedStore};
+
+/// Full-copy multi-version store.
+#[derive(Default)]
+pub struct CopyStore {
+    versions: Vec<Vec<u8>>,
+}
+
+impl CopyStore {
+    /// New empty store.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl VersionedStore for CopyStore {
+    fn name(&self) -> &'static str {
+        "copy (RStore-like, no dedup)"
+    }
+
+    fn commit(&mut self, snapshot: &Snapshot) -> u64 {
+        let mut blob = Vec::new();
+        for (k, v) in snapshot {
+            blob.extend_from_slice(&encode_pair(k, v));
+        }
+        self.versions.push(blob);
+        (self.versions.len() - 1) as u64
+    }
+
+    fn storage_bytes(&self) -> u64 {
+        self.versions.iter().map(|v| v.len() as u64).sum()
+    }
+
+    fn get_version(&self, version: u64) -> Option<Snapshot> {
+        let blob = self.versions.get(version as usize)?;
+        decode_snapshot(blob)
+    }
+
+    fn version_count(&self) -> u64 {
+        self.versions.len() as u64
+    }
+}
+
+/// Decode the concatenated pair encoding back into a snapshot.
+pub(crate) fn decode_snapshot(blob: &[u8]) -> Option<Snapshot> {
+    let mut out = Vec::new();
+    let mut pos = 0usize;
+    while pos < blob.len() {
+        let klen = u32::from_le_bytes(blob.get(pos..pos + 4)?.try_into().ok()?) as usize;
+        pos += 4;
+        let k = blob.get(pos..pos + klen)?;
+        pos += klen;
+        let vlen = u32::from_le_bytes(blob.get(pos..pos + 4)?.try_into().ok()?) as usize;
+        pos += 4;
+        let v = blob.get(pos..pos + vlen)?;
+        pos += vlen;
+        out.push((
+            bytes::Bytes::copy_from_slice(k),
+            bytes::Bytes::copy_from_slice(v),
+        ));
+    }
+    Some(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testutil;
+
+    #[test]
+    fn conformance() {
+        testutil::conformance(&mut CopyStore::new());
+    }
+
+    #[test]
+    fn storage_grows_linearly_with_versions() {
+        let mut s = CopyStore::new();
+        let snap = testutil::snapshot(1000, None);
+        s.commit(&snap);
+        let one = s.storage_bytes();
+        for i in 0..9 {
+            s.commit(&testutil::snapshot(1000, Some(i)));
+        }
+        // Ten near-identical versions cost ~10× one version: no dedup.
+        let ten = s.storage_bytes();
+        assert!(ten > one * 9, "copy store must not dedup: {one} -> {ten}");
+    }
+}

@@ -1,0 +1,175 @@
+//! Element-wise diff and merge baselines.
+//!
+//! "In conventional approaches, the two phases are performed
+//! element-wise" (§II-B). These functions operate on fully-materialized
+//! snapshots, so their cost is `O(N)` regardless of how small the actual
+//! difference is — the comparison point for POS-Tree's `O(D log N)` diff
+//! (Fig. 5) and sub-tree merge (Fig. 3).
+
+use bytes::Bytes;
+
+use crate::Snapshot;
+
+/// One element-level difference.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ElementDiff {
+    /// Key only in the right snapshot.
+    Added(Bytes, Bytes),
+    /// Key only in the left snapshot.
+    Removed(Bytes, Bytes),
+    /// Key in both with different values: `(key, from, to)`.
+    Modified(Bytes, Bytes, Bytes),
+}
+
+/// Element-wise diff of two key-sorted snapshots. `O(|a| + |b|)` always.
+pub fn elementwise_diff(a: &Snapshot, b: &Snapshot) -> Vec<ElementDiff> {
+    let mut out = Vec::new();
+    let (mut i, mut j) = (0usize, 0usize);
+    while i < a.len() || j < b.len() {
+        match (a.get(i), b.get(j)) {
+            (Some((ka, va)), Some((kb, vb))) => match ka.cmp(kb) {
+                std::cmp::Ordering::Equal => {
+                    if va != vb {
+                        out.push(ElementDiff::Modified(ka.clone(), va.clone(), vb.clone()));
+                    }
+                    i += 1;
+                    j += 1;
+                }
+                std::cmp::Ordering::Less => {
+                    out.push(ElementDiff::Removed(ka.clone(), va.clone()));
+                    i += 1;
+                }
+                std::cmp::Ordering::Greater => {
+                    out.push(ElementDiff::Added(kb.clone(), vb.clone()));
+                    j += 1;
+                }
+            },
+            (Some((ka, va)), None) => {
+                out.push(ElementDiff::Removed(ka.clone(), va.clone()));
+                i += 1;
+            }
+            (None, Some((kb, vb))) => {
+                out.push(ElementDiff::Added(kb.clone(), vb.clone()));
+                j += 1;
+            }
+            (None, None) => unreachable!(),
+        }
+    }
+    out
+}
+
+/// Element-wise three-way merge of key-sorted snapshots. Walks all three
+/// inputs entirely. Returns `Err(conflicting_keys)` when both sides change
+/// a key differently.
+pub fn elementwise_merge(
+    base: &Snapshot,
+    ours: &Snapshot,
+    theirs: &Snapshot,
+) -> Result<Snapshot, Vec<Bytes>> {
+    use std::collections::BTreeMap;
+    // Materialize maps (the element-wise approach's inherent O(N) cost).
+    let base_m: BTreeMap<&Bytes, &Bytes> = base.iter().map(|(k, v)| (k, v)).collect();
+    let ours_m: BTreeMap<&Bytes, &Bytes> = ours.iter().map(|(k, v)| (k, v)).collect();
+    let theirs_m: BTreeMap<&Bytes, &Bytes> = theirs.iter().map(|(k, v)| (k, v)).collect();
+
+    let mut all_keys: Vec<&Bytes> = base_m
+        .keys()
+        .chain(ours_m.keys())
+        .chain(theirs_m.keys())
+        .copied()
+        .collect();
+    all_keys.sort();
+    all_keys.dedup();
+
+    let mut out = Vec::new();
+    let mut conflicts = Vec::new();
+    for k in all_keys {
+        let b = base_m.get(k).copied();
+        let o = ours_m.get(k).copied();
+        let t = theirs_m.get(k).copied();
+        let winner = if o == t {
+            o
+        } else if o == b {
+            t
+        } else if t == b {
+            o
+        } else {
+            conflicts.push((*k).clone());
+            continue;
+        };
+        if let Some(v) = winner {
+            out.push(((*k).clone(), v.clone()));
+        }
+    }
+    if conflicts.is_empty() {
+        Ok(out)
+    } else {
+        Err(conflicts)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testutil::snapshot;
+
+    #[test]
+    fn diff_finds_the_edit() {
+        let a = snapshot(100, None);
+        let b = snapshot(100, Some(50));
+        let d = elementwise_diff(&a, &b);
+        assert_eq!(d.len(), 1);
+        assert!(matches!(&d[0], ElementDiff::Modified(k, _, _)
+            if k.as_ref() == format!("key-{:08}", 50).as_bytes()));
+    }
+
+    #[test]
+    fn diff_detects_adds_and_removes() {
+        let a = snapshot(10, None);
+        let b = snapshot(12, None);
+        let d = elementwise_diff(&a, &b);
+        assert_eq!(d.len(), 2);
+        assert!(d.iter().all(|e| matches!(e, ElementDiff::Added(..))));
+        let d = elementwise_diff(&b, &a);
+        assert!(d.iter().all(|e| matches!(e, ElementDiff::Removed(..))));
+    }
+
+    #[test]
+    fn identical_snapshots_diff_empty() {
+        let a = snapshot(100, None);
+        assert!(elementwise_diff(&a, &a).is_empty());
+    }
+
+    #[test]
+    fn merge_disjoint_edits() {
+        let base = snapshot(100, None);
+        let ours = snapshot(100, Some(10));
+        let theirs = snapshot(100, Some(90));
+        let merged = elementwise_merge(&base, &ours, &theirs).unwrap();
+        assert_eq!(merged.len(), 100);
+        assert_eq!(merged[10].1.as_ref(), b"EDITED-value-10");
+        assert_eq!(merged[90].1.as_ref(), b"EDITED-value-90");
+    }
+
+    #[test]
+    fn merge_conflict_detected() {
+        let base = snapshot(10, None);
+        let mut ours = base.clone();
+        ours[3].1 = bytes::Bytes::from_static(b"ours");
+        let mut theirs = base.clone();
+        theirs[3].1 = bytes::Bytes::from_static(b"theirs");
+        let conflicts = elementwise_merge(&base, &ours, &theirs).unwrap_err();
+        assert_eq!(conflicts.len(), 1);
+        assert_eq!(conflicts[0], base[3].0);
+    }
+
+    #[test]
+    fn merge_handles_deletes() {
+        let base = snapshot(10, None);
+        let mut ours = base.clone();
+        ours.remove(2); // we delete key 2
+        let theirs = base.clone();
+        let merged = elementwise_merge(&base, &ours, &theirs).unwrap();
+        assert_eq!(merged.len(), 9);
+    }
+}

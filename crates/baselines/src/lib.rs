@@ -1,0 +1,112 @@
+//! Baseline versioning systems from the paper's Table I.
+//!
+//! The paper positions ForkBase against contemporaries by *deduplication
+//! granularity* and versioning model:
+//!
+//! | System | Data model | Deduplication |
+//! |---|---|---|
+//! | ForkBase | structured/unstructured, immutable | **page level** |
+//! | DataHub / Decibel | structured (table), mutable | table oriented |
+//! | OrpheusDB | structured (table), mutable | table oriented |
+//! | MusaeusDB | structured (table), mutable | table oriented |
+//! | RStore | unstructured, mutable key-value | none |
+//! | (Git) | files, immutable | whole-object |
+//!
+//! This crate implements the storage strategies of those comparators so
+//! the Table I experiment can measure them on identical workloads. Each
+//! implements [`VersionedStore`]: commit full table snapshots, report
+//! storage cost, reproduce any version (so correctness is testable, not
+//! assumed).
+//!
+//! Also here: the element-wise diff and merge baselines against which
+//! POS-Tree's `O(D log N)` diff (Fig. 5) and sub-tree merge (Fig. 3) are
+//! compared.
+
+pub mod copystore;
+pub mod deltastore;
+pub mod elementwise;
+pub mod gitstore;
+pub mod tuplestore;
+
+use bytes::Bytes;
+
+pub use copystore::CopyStore;
+pub use deltastore::DeltaStore;
+pub use elementwise::{elementwise_diff, elementwise_merge, ElementDiff};
+pub use gitstore::GitStore;
+pub use tuplestore::TupleStore;
+
+/// A logical table snapshot: rows sorted by key, unique keys.
+pub type Snapshot = Vec<(Bytes, Bytes)>;
+
+/// The interface every comparator implements: commit snapshots, account
+/// storage, reproduce versions.
+pub trait VersionedStore {
+    /// Short system name for experiment output.
+    fn name(&self) -> &'static str;
+
+    /// Commit a snapshot (rows sorted by key); returns the version id.
+    fn commit(&mut self, snapshot: &Snapshot) -> u64;
+
+    /// Physical bytes consumed so far.
+    fn storage_bytes(&self) -> u64;
+
+    /// Reconstruct the snapshot of a committed version.
+    fn get_version(&self, version: u64) -> Option<Snapshot>;
+
+    /// Number of versions committed.
+    fn version_count(&self) -> u64;
+}
+
+/// Serialized size of a snapshot (keys + values + framing); the logical
+/// data volume against which dedup is judged.
+pub fn snapshot_bytes(snapshot: &Snapshot) -> u64 {
+    snapshot
+        .iter()
+        .map(|(k, v)| (k.len() + v.len() + 8) as u64)
+        .sum()
+}
+
+/// Serialize one row for content addressing / storage accounting.
+pub(crate) fn encode_pair(k: &Bytes, v: &Bytes) -> Vec<u8> {
+    let mut out = Vec::with_capacity(k.len() + v.len() + 8);
+    out.extend_from_slice(&(k.len() as u32).to_le_bytes());
+    out.extend_from_slice(k);
+    out.extend_from_slice(&(v.len() as u32).to_le_bytes());
+    out.extend_from_slice(v);
+    out
+}
+
+#[cfg(test)]
+pub(crate) mod testutil {
+    use super::Snapshot;
+    use bytes::Bytes;
+
+    /// A deterministic snapshot of `n` rows; `edit` mutates one row.
+    pub fn snapshot(n: u32, edit: Option<u32>) -> Snapshot {
+        (0..n)
+            .map(|i| {
+                let v = if Some(i) == edit {
+                    format!("EDITED-value-{i}")
+                } else {
+                    format!("value-{i}-{}", i * 31)
+                };
+                (Bytes::from(format!("key-{i:08}")), Bytes::from(v))
+            })
+            .collect()
+    }
+
+    /// Shared conformance suite run by every implementation's tests.
+    pub fn conformance(store: &mut dyn super::VersionedStore) {
+        let s1 = snapshot(500, None);
+        let s2 = snapshot(500, Some(250));
+        let v1 = store.commit(&s1);
+        let v2 = store.commit(&s2);
+        assert_ne!(v1, v2);
+        assert_eq!(store.version_count(), 2);
+        assert_eq!(store.get_version(v1).as_ref(), Some(&s1));
+        assert_eq!(store.get_version(v2).as_ref(), Some(&s2));
+        assert_eq!(store.get_version(999), None);
+        assert!(store.storage_bytes() > 0);
+    }
+}

@@ -1,0 +1,119 @@
+//! OrpheusDB-style versioned table: **tuple-oriented deduplication**.
+//!
+//! OrpheusDB ("bolt-on versioning for relational databases") stores each
+//! distinct tuple once in a shared data table and represents a version as
+//! an *rlist* — the array of tuple ids belonging to it. Tuples dedup
+//! across versions, but every version pays the full id-array cost even
+//! when it differs from its parent by one row.
+
+use std::collections::HashMap;
+
+use forkbase_crypto::{sha256, Hash};
+
+use crate::{encode_pair, Snapshot, VersionedStore};
+
+/// Tuple id within the shared tuple table.
+type TupleId = u64;
+
+/// Tuple-dedup store with per-version id arrays.
+#[derive(Default)]
+pub struct TupleStore {
+    /// Distinct tuples, appended once each.
+    tuples: Vec<Vec<u8>>,
+    /// Content hash → tuple id (the dedup dictionary).
+    index: HashMap<Hash, TupleId>,
+    /// Version → rlist (tuple ids in key order).
+    rlists: Vec<Vec<TupleId>>,
+}
+
+impl TupleStore {
+    /// New empty store.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn intern(&mut self, row: Vec<u8>) -> TupleId {
+        let hash = sha256(&row);
+        if let Some(&id) = self.index.get(&hash) {
+            return id;
+        }
+        let id = self.tuples.len() as TupleId;
+        self.tuples.push(row);
+        self.index.insert(hash, id);
+        id
+    }
+
+    /// Number of distinct tuples stored (for tests).
+    pub fn distinct_tuples(&self) -> usize {
+        self.tuples.len()
+    }
+}
+
+impl VersionedStore for TupleStore {
+    fn name(&self) -> &'static str {
+        "tuple+rlist (OrpheusDB-like)"
+    }
+
+    fn commit(&mut self, snapshot: &Snapshot) -> u64 {
+        let rlist: Vec<TupleId> = snapshot
+            .iter()
+            .map(|(k, v)| self.intern(encode_pair(k, v)))
+            .collect();
+        self.rlists.push(rlist);
+        (self.rlists.len() - 1) as u64
+    }
+
+    fn storage_bytes(&self) -> u64 {
+        let tuple_bytes: u64 = self.tuples.iter().map(|t| t.len() as u64).sum();
+        let rlist_bytes: u64 = self
+            .rlists
+            .iter()
+            .map(|r| (r.len() * std::mem::size_of::<TupleId>()) as u64)
+            .sum();
+        tuple_bytes + rlist_bytes
+    }
+
+    fn get_version(&self, version: u64) -> Option<Snapshot> {
+        let rlist = self.rlists.get(version as usize)?;
+        let mut out = Vec::with_capacity(rlist.len());
+        for &id in rlist {
+            let row = self.tuples.get(id as usize)?;
+            out.extend(crate::copystore::decode_snapshot(row)?);
+        }
+        Some(out)
+    }
+
+    fn version_count(&self) -> u64 {
+        self.rlists.len() as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testutil;
+
+    #[test]
+    fn conformance() {
+        testutil::conformance(&mut TupleStore::new());
+    }
+
+    #[test]
+    fn tuples_dedup_but_rlists_accumulate() {
+        let mut s = TupleStore::new();
+        let n = 1000u32;
+        s.commit(&testutil::snapshot(n, None));
+        let one = s.storage_bytes();
+        for i in 0..9 {
+            s.commit(&testutil::snapshot(n, Some(i)));
+        }
+        let ten = s.storage_bytes();
+        // Tuples shared: far better than full copies…
+        assert!(ten < one * 3, "tuple dedup failed: {one} -> {ten}");
+        // …but every version still pays 8 bytes per row of rlist.
+        let rlist_floor = 10 * n as u64 * 8;
+        assert!(ten - one >= rlist_floor - one.min(rlist_floor));
+        // 1000 base tuples + 9 edited variants.
+        assert_eq!(s.distinct_tuples(), 1009);
+    }
+}

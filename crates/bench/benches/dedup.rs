@@ -1,0 +1,62 @@
+//! Criterion benchmarks for Fig. 4: deduplicated ingest.
+//!
+//! Measures the cost of loading content into the chunked store — first
+//! copy (cold) vs near-duplicate (warm, dedup hits) — for both blob and
+//! row-map representations, plus the baseline commit costs.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use forkbase_baselines::{GitStore, VersionedStore};
+use forkbase_bench::{adapter::ForkBaseStore, workload};
+use forkbase_postree::{PosBlob, TreeConfig};
+use forkbase_store::MemStore;
+
+fn bench_blob_ingest(c: &mut Criterion) {
+    let cfg = TreeConfig::default_config();
+    let content = workload::random_bytes(1 << 20, 0xDE);
+    let mut near = content.clone();
+    near[1 << 19] ^= 0xff;
+
+    let mut group = c.benchmark_group("fig4_blob_ingest_1MiB");
+    group.sample_size(10);
+    group.throughput(Throughput::Bytes(content.len() as u64));
+    group.bench_function("cold", |b| {
+        b.iter(|| {
+            let store = MemStore::new();
+            PosBlob::new(&store, cfg).write(&content).unwrap()
+        });
+    });
+    group.bench_function("near_duplicate", |b| {
+        let store = MemStore::new();
+        PosBlob::new(&store, cfg).write(&content).unwrap();
+        b.iter(|| PosBlob::new(&store, cfg).write(&near).unwrap());
+    });
+    group.finish();
+}
+
+fn bench_versioned_commit(c: &mut Criterion) {
+    let base = workload::snapshot(20_000, 0xDF);
+    let (edited, _) = workload::edit_snapshot(&base, 20, 0xE0);
+
+    let mut group = c.benchmark_group("fig4_commit_20k_rows");
+    group.sample_size(10);
+    group.bench_function("forkbase_near_duplicate", |b| {
+        b.iter(|| {
+            let mut s = ForkBaseStore::new();
+            s.commit(&base);
+            s.commit(&edited);
+            s.storage_bytes()
+        });
+    });
+    group.bench_function("git_near_duplicate", |b| {
+        b.iter(|| {
+            let mut s = GitStore::new();
+            s.commit(&base);
+            s.commit(&edited);
+            s.storage_bytes()
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_blob_ingest, bench_versioned_commit);
+criterion_main!(benches);

@@ -1,0 +1,81 @@
+//! Criterion benchmarks for Fig. 5 (diff) and Fig. 3 (merge):
+//! POS-Tree vs element-wise baselines at fixed N, sweeping D.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use forkbase_baselines::{elementwise_diff, elementwise_merge};
+use forkbase_bench::workload;
+use forkbase_postree::diff::diff_maps;
+use forkbase_postree::merge::{merge_maps, MergePolicy};
+use forkbase_postree::{MapEdit, PosMap, TreeConfig};
+use forkbase_store::MemStore;
+
+const N: usize = 100_000;
+
+fn bench_diff(c: &mut Criterion) {
+    let cfg = TreeConfig::default_config();
+    let store = MemStore::new();
+    let base_data = workload::snapshot(N, 0xD1);
+    let base = PosMap::build_from_sorted(&store, cfg.node, base_data.iter().cloned()).unwrap();
+
+    let mut group = c.benchmark_group("fig5_diff");
+    group.sample_size(20);
+    for d in [1usize, 100] {
+        let (_, keys) = workload::edit_snapshot(&base_data, d, 0xD2 ^ d as u64);
+        let edited = base
+            .apply(
+                keys.iter()
+                    .map(|k| MapEdit::put(k.clone(), bytes::Bytes::from_static(b"x"))),
+            )
+            .unwrap();
+        group.bench_with_input(BenchmarkId::new("postree", d), &d, |b, _| {
+            b.iter(|| diff_maps(&store, base.tree(), edited.tree()).unwrap());
+        });
+        // Element-wise includes the mandatory full materialization.
+        group.bench_with_input(BenchmarkId::new("elementwise", d), &d, |b, _| {
+            b.iter(|| {
+                let a = base.to_vec().unwrap();
+                let bb = edited.to_vec().unwrap();
+                elementwise_diff(&a, &bb)
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_merge(c: &mut Criterion) {
+    let cfg = TreeConfig::default_config();
+    let store = MemStore::new();
+    let base_data = workload::snapshot(N, 0xD3);
+    let base = PosMap::build_from_sorted(&store, cfg.node, base_data.iter().cloned()).unwrap();
+    let ours = base
+        .apply((0..50).map(|i| {
+            MapEdit::put(base_data[i].0.clone(), bytes::Bytes::from_static(b"ours"))
+        }))
+        .unwrap();
+    let theirs = base
+        .apply((0..50).map(|i| {
+            MapEdit::put(
+                base_data[N - 1 - i].0.clone(),
+                bytes::Bytes::from_static(b"theirs"),
+            )
+        }))
+        .unwrap();
+
+    let mut group = c.benchmark_group("fig3_merge");
+    group.sample_size(20);
+    group.bench_function("postree_disjoint50", |b| {
+        b.iter(|| merge_maps(&base, &ours, &theirs, MergePolicy::Fail).unwrap());
+    });
+    group.bench_function("elementwise_disjoint50", |b| {
+        b.iter(|| {
+            let bs = base.to_vec().unwrap();
+            let os = ours.to_vec().unwrap();
+            let ts = theirs.to_vec().unwrap();
+            elementwise_merge(&bs, &os, &ts).unwrap()
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_diff, bench_merge);
+criterion_main!(benches);

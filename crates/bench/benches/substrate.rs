@@ -1,0 +1,101 @@
+//! Criterion microbenchmarks for the substrate layers: SHA-256, the
+//! rolling hash, the content-defined chunker, and the chunk stores.
+//!
+//! These bound every higher-level number: a 4 KiB page costs one SHA-256
+//! compression pass per load (verification) and per store (addressing).
+
+use bytes::Bytes;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use forkbase_bench::workload;
+use forkbase_chunk::{ByteChunker, ChunkerConfig, RollingHash};
+use forkbase_crypto::sha256;
+use forkbase_store::{ChunkStore, FileStore, MemStore};
+
+fn bench_sha256(c: &mut Criterion) {
+    let mut group = c.benchmark_group("crypto/sha256");
+    for size in [4096usize, 1 << 20] {
+        let data = workload::random_bytes(size, 0x51);
+        group.throughput(Throughput::Bytes(size as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(size), &data, |b, d| {
+            b.iter(|| sha256(d));
+        });
+    }
+    group.finish();
+}
+
+fn bench_rolling_hash(c: &mut Criterion) {
+    let data = workload::random_bytes(1 << 20, 0x52);
+    let mut group = c.benchmark_group("chunk/rolling_hash");
+    group.throughput(Throughput::Bytes(data.len() as u64));
+    group.bench_function("1MiB", |b| {
+        b.iter(|| {
+            let mut rh = RollingHash::new(48);
+            let mut acc = 0u64;
+            for &byte in &data {
+                acc ^= rh.push(byte);
+            }
+            acc
+        });
+    });
+    group.finish();
+}
+
+fn bench_chunker(c: &mut Criterion) {
+    let data = workload::random_bytes(1 << 20, 0x53);
+    let mut group = c.benchmark_group("chunk/byte_chunker");
+    group.throughput(Throughput::Bytes(data.len() as u64));
+    group.bench_function("1MiB_default", |b| {
+        b.iter(|| {
+            let mut ck = ByteChunker::new(ChunkerConfig::data_default());
+            let mut cuts = 0usize;
+            for &byte in &data {
+                if ck.push(byte) {
+                    cuts += 1;
+                }
+            }
+            cuts
+        });
+    });
+    group.finish();
+}
+
+fn bench_stores(c: &mut Criterion) {
+    let chunks: Vec<Bytes> = (0..256)
+        .map(|i| Bytes::from(workload::random_bytes(4096, 0x54 + i as u64)))
+        .collect();
+
+    let mut group = c.benchmark_group("store/put_get_4KiB");
+    group.throughput(Throughput::Bytes(4096 * chunks.len() as u64));
+    group.bench_function("memstore", |b| {
+        b.iter(|| {
+            let store = MemStore::new();
+            let hashes: Vec<_> = chunks.iter().map(|c| store.put(c.clone()).unwrap()).collect();
+            for h in &hashes {
+                store.get(h).unwrap().unwrap();
+            }
+        });
+    });
+    group.sample_size(10);
+    group.bench_function("filestore", |b| {
+        let dir = std::env::temp_dir().join(format!("fkb-bench-{}", std::process::id()));
+        b.iter(|| {
+            let _ = std::fs::remove_dir_all(&dir);
+            let store = FileStore::open(&dir).unwrap();
+            let hashes: Vec<_> = chunks.iter().map(|c| store.put(c.clone()).unwrap()).collect();
+            for h in &hashes {
+                store.get(h).unwrap().unwrap();
+            }
+        });
+        let _ = std::fs::remove_dir_all(&dir);
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_sha256,
+    bench_rolling_hash,
+    bench_chunker,
+    bench_stores
+);
+criterion_main!(benches);

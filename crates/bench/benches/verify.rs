@@ -1,0 +1,55 @@
+//! Criterion benchmarks for Fig. 6: tamper-evidence validation cost.
+//!
+//! Verification re-hashes every fetched chunk, so its cost is the price
+//! of distrusting the store. Measured per value size and per history
+//! depth.
+
+use bytes::Bytes;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use forkbase::{ForkBase, PutOptions};
+use forkbase_bench::workload;
+use forkbase_postree::{MapEdit, TreeConfig};
+use forkbase_store::MemStore;
+
+fn bench_verify_value(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig6_verify_head");
+    group.sample_size(10);
+    for n in [1_000usize, 10_000, 100_000] {
+        let db = ForkBase::with_config(MemStore::new(), TreeConfig::default_config());
+        let map = db.new_map(workload::snapshot(n, 0xE6)).unwrap();
+        let commit = db.put("k", map, &PutOptions::default()).unwrap();
+        group.bench_with_input(BenchmarkId::from_parameter(n), &commit.uid, |b, uid| {
+            b.iter(|| db.verify_version(uid).unwrap());
+        });
+    }
+    group.finish();
+}
+
+fn bench_verify_chain(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig6_verify_chain");
+    group.sample_size(10);
+    for depth in [10usize, 50] {
+        let db = ForkBase::with_config(MemStore::new(), TreeConfig::default_config());
+        let pairs = workload::snapshot(2_000, 0xE7);
+        let map = db.new_map(pairs.clone()).unwrap();
+        db.put("ledger", map, &PutOptions::default()).unwrap();
+        for v in 1..depth {
+            db.put_map_edits(
+                "ledger",
+                vec![MapEdit::put(
+                    pairs[v % pairs.len()].0.clone(),
+                    Bytes::from(format!("u{v}")),
+                )],
+                &PutOptions::default(),
+            )
+            .unwrap();
+        }
+        group.bench_with_input(BenchmarkId::from_parameter(depth), &depth, |b, _| {
+            b.iter(|| db.verify_branch("ledger", "master").unwrap());
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_verify_value, bench_verify_chain);
+criterion_main!(benches);

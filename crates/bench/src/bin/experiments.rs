@@ -1,0 +1,72 @@
+//! Regenerate every figure and table of the paper.
+//!
+//! ```text
+//! experiments [all|fig2|fig3|fig4|fig5|fig6|table1|siri|ablation]… [--quick] [--csv-dir DIR]
+//! ```
+//!
+//! `--quick` shrinks workloads for smoke runs; `--csv-dir` additionally
+//! writes machine-readable CSVs for plotting.
+
+use forkbase_bench::experiments::{
+    ablation, fig2_structure, fig3_merge, fig4_dedup, fig5_diff, fig6_tamper, siri,
+    table1_systems, Ctx,
+};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut quick = false;
+    let mut csv_dir = None;
+    let mut which: Vec<String> = Vec::new();
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--quick" => quick = true,
+            "--csv-dir" => {
+                csv_dir = it.next().map(std::path::PathBuf::from);
+                if csv_dir.is_none() {
+                    eprintln!("--csv-dir needs a directory");
+                    std::process::exit(2);
+                }
+            }
+            other => which.push(other.to_string()),
+        }
+    }
+    if which.is_empty() {
+        which.push("all".to_string());
+    }
+    let ctx = Ctx { quick, csv_dir };
+
+    let run_all = which.iter().any(|w| w == "all");
+    let wants = |name: &str| run_all || which.iter().any(|w| w == name);
+
+    println!(
+        "ForkBase experiment suite (mode: {})",
+        if quick { "quick" } else { "full" }
+    );
+
+    if wants("fig2") {
+        fig2_structure::run(&ctx);
+    }
+    if wants("fig3") {
+        fig3_merge::run(&ctx);
+    }
+    if wants("fig4") {
+        fig4_dedup::run(&ctx);
+    }
+    if wants("fig5") {
+        fig5_diff::run(&ctx);
+    }
+    if wants("fig6") {
+        fig6_tamper::run(&ctx);
+    }
+    if wants("table1") {
+        table1_systems::run(&ctx);
+    }
+    if wants("siri") {
+        siri::run(&ctx);
+    }
+    if wants("ablation") {
+        ablation::run(&ctx);
+    }
+    println!("\ndone.");
+}

@@ -1,0 +1,111 @@
+//! Fig. 2 / §II-A: POS-Tree structure.
+//!
+//! The paper claims the POS-Tree is "a probabilistically balanced search
+//! tree" whose nodes are pattern-split pages. This experiment builds trees
+//! across four orders of magnitude and reports height, node counts, page
+//! sizes and fanout — the numbers behind the Fig. 2 sketch.
+
+use forkbase_postree::{Node, PosMap, TreeConfig};
+use forkbase_store::{ChunkStore, MemStore};
+
+use crate::report::{fmt_bytes, Table};
+use crate::workload;
+
+use super::Ctx;
+
+/// Per-tree structural statistics.
+struct TreeStats {
+    height: u8,
+    nodes: u64,
+    leaves: u64,
+    avg_leaf_entries: f64,
+    avg_page_bytes: f64,
+    max_page_bytes: u64,
+}
+
+fn measure(store: &MemStore, root: forkbase_crypto::Hash) -> TreeStats {
+    let mut nodes = 0u64;
+    let mut leaves = 0u64;
+    let mut leaf_entries = 0u64;
+    let mut total_bytes = 0u64;
+    let mut max_bytes = 0u64;
+    let mut height = 0u8;
+    let mut stack = vec![root];
+    let mut seen = std::collections::HashSet::new();
+    while let Some(h) = stack.pop() {
+        if !seen.insert(h) {
+            continue;
+        }
+        let bytes = store.get(&h).unwrap().unwrap();
+        total_bytes += bytes.len() as u64;
+        max_bytes = max_bytes.max(bytes.len() as u64);
+        nodes += 1;
+        let node = Node::decode(&bytes).unwrap();
+        height = height.max(node.level());
+        match node {
+            Node::Leaf(entries) => {
+                leaves += 1;
+                leaf_entries += entries.len() as u64;
+            }
+            Node::Index { children, .. } => stack.extend(children.iter().map(|c| c.hash)),
+        }
+    }
+    TreeStats {
+        height,
+        nodes,
+        leaves,
+        avg_leaf_entries: leaf_entries as f64 / leaves.max(1) as f64,
+        avg_page_bytes: total_bytes as f64 / nodes.max(1) as f64,
+        max_page_bytes: max_bytes,
+    }
+}
+
+/// Run the experiment.
+pub fn run(ctx: &Ctx) {
+    let cfg = TreeConfig::default_config();
+    let sizes: Vec<usize> = if ctx.quick {
+        vec![1_000, 10_000, 50_000]
+    } else {
+        vec![1_000, 10_000, 100_000, 1_000_000]
+    };
+
+    let mut table = Table::new(
+        "Fig. 2 — POS-Tree structure (probabilistic balance)",
+        &[
+            "entries",
+            "height",
+            "nodes",
+            "leaves",
+            "avg entries/leaf",
+            "avg page",
+            "max page",
+            "log_f(N)",
+        ],
+    );
+
+    for &n in &sizes {
+        let store = MemStore::new();
+        let data = workload::snapshot(n, 0xF162);
+        let map = PosMap::build_from_sorted(&store, cfg.node, data).unwrap();
+        let stats = measure(&store, map.root());
+        // Expected height if perfectly balanced with observed fanout.
+        let fanout = (stats.nodes as f64 - 1.0).max(1.0) / (stats.nodes - stats.leaves).max(1) as f64;
+        let expected_height = (n as f64).ln() / fanout.max(2.0).ln();
+        table.row(&[
+            n.to_string(),
+            stats.height.to_string(),
+            stats.nodes.to_string(),
+            stats.leaves.to_string(),
+            format!("{:.1}", stats.avg_leaf_entries),
+            fmt_bytes(stats.avg_page_bytes as u64),
+            fmt_bytes(stats.max_page_bytes),
+            format!("{expected_height:.1}"),
+        ]);
+    }
+    table.emit(ctx.csv_dir.as_deref(), "fig2_structure");
+    println!(
+        "shape check: height grows logarithmically; avg page ≈ {} target; \
+         no page exceeds the 64 KiB bound.",
+        fmt_bytes(1 << cfg.node.pattern_bits)
+    );
+}

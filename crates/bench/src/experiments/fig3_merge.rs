@@ -1,0 +1,92 @@
+//! Fig. 3 / §II-B: three-way merge reuses disjointly-modified sub-trees.
+//!
+//! Two branches edit disjoint regions of a large map; the merge must be
+//! built almost entirely from existing pages ("Calculated" vs "Reused" in
+//! the figure). We count pages created by the merge and compare wall time
+//! against the element-wise merge baseline, sweeping the edit width.
+
+use forkbase_baselines::elementwise_merge;
+use forkbase_postree::merge::{merge_maps, MergePolicy};
+use forkbase_postree::{MapEdit, PosMap, TreeConfig};
+use forkbase_store::{ChunkStore, MemStore};
+
+use crate::report::{fmt_duration, timed, Table};
+use crate::workload;
+
+use super::{collect_pages, Ctx};
+
+/// Run the experiment.
+pub fn run(ctx: &Ctx) {
+    let cfg = TreeConfig::default_config();
+    let n = ctx.scale(200_000, 20_000);
+    let edit_widths = [10usize, 100, 1000];
+
+    let mut table = Table::new(
+        format!("Fig. 3 — three-way merge sub-tree reuse (N = {n})"),
+        &[
+            "edits/side",
+            "merge time",
+            "pages created",
+            "pages reused",
+            "reuse %",
+            "element-wise time",
+            "speedup",
+        ],
+    );
+
+    for &w in &edit_widths {
+        let store = MemStore::new();
+        let base_data = workload::snapshot(n, 0xF3);
+        let base = PosMap::build_from_sorted(&store, cfg.node, base_data.iter().cloned()).unwrap();
+
+        // A edits the first w keys, B the last w keys (the figure's
+        // disjoint sub-tree scenario).
+        let ours = base
+            .apply((0..w).map(|i| {
+                MapEdit::put(base_data[i].0.clone(), bytes::Bytes::from(format!("ours-{i}")))
+            }))
+            .unwrap();
+        let theirs = base
+            .apply((0..w).map(|i| {
+                let idx = n - 1 - i;
+                MapEdit::put(
+                    base_data[idx].0.clone(),
+                    bytes::Bytes::from(format!("theirs-{i}")),
+                )
+            }))
+            .unwrap();
+
+        let chunks_before = store.chunk_count();
+        let (outcome, merge_time) =
+            timed(|| merge_maps(&base, &ours, &theirs, MergePolicy::Fail).unwrap());
+        let created = (store.chunk_count() - chunks_before) as u64;
+        let merged_pages = collect_pages(&store, &outcome.merged.root());
+        let reused = merged_pages.len() as u64 - created.min(merged_pages.len() as u64);
+        let reuse_pct = 100.0 * reused as f64 / merged_pages.len().max(1) as f64;
+
+        // Element-wise baseline: materialize all three sides, merge maps
+        // entry by entry.
+        let (ours_snap, theirs_snap, base_snap) = (
+            ours.to_vec().unwrap(),
+            theirs.to_vec().unwrap(),
+            base.to_vec().unwrap(),
+        );
+        let (_elem, elem_time) =
+            timed(|| elementwise_merge(&base_snap, &ours_snap, &theirs_snap).unwrap());
+
+        table.row(&[
+            w.to_string(),
+            fmt_duration(merge_time),
+            created.to_string(),
+            reused.to_string(),
+            format!("{reuse_pct:.1}%"),
+            fmt_duration(elem_time),
+            format!("{:.1}x", elem_time.as_secs_f64() / merge_time.as_secs_f64()),
+        ]);
+    }
+    table.emit(ctx.csv_dir.as_deref(), "fig3_merge");
+    println!(
+        "shape check: reuse stays >90% and the POS-Tree merge beats the\n\
+         element-wise baseline by a growing factor as edits shrink relative to N."
+    );
+}

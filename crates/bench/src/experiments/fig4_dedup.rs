@@ -1,0 +1,121 @@
+//! Fig. 4 / §III-A: fine-grained data deduplication.
+//!
+//! The demo loads a 338.54 KB CSV as Dataset-1, then a second CSV that
+//! differs by a single word as Dataset-2; the UI reports "+338.54 KB"
+//! then "+0.04 KB". We replay the exact scenario at three granularities —
+//! row-map storage with default (4 KiB) and fine (512 B) pages, and raw
+//! blob storage — and also archive a 100-version chain to show growth
+//! over deep histories.
+
+use forkbase::{ForkBase, PutOptions};
+use forkbase_chunk::ChunkerConfig;
+use forkbase_postree::TreeConfig;
+use forkbase_store::{ChunkStore, MemStore};
+use forkbase_table::TableStore;
+
+use crate::report::{fmt_bytes, Table};
+use crate::workload;
+
+use super::Ctx;
+
+/// Fine-page configuration (~512 B pages) for the granularity ablation.
+fn fine_config() -> TreeConfig {
+    TreeConfig {
+        node: ChunkerConfig {
+            window: 48,
+            pattern_bits: 9,
+            min_size: 64,
+            max_size: 16 * 1024,
+        },
+        data: ChunkerConfig {
+            window: 48,
+            pattern_bits: 9,
+            min_size: 64,
+            max_size: 16 * 1024,
+        },
+    }
+}
+
+/// One scenario: load two near-identical CSVs, report the storage deltas.
+fn scenario(name: &str, cfg: TreeConfig, csv1: &str, csv2: &str, as_blob: bool, table: &mut Table) {
+    let db = ForkBase::with_config(MemStore::new(), cfg);
+    let (first, second) = if as_blob {
+        let v1 = db.new_blob(csv1.as_bytes()).unwrap();
+        db.put("dataset-1", v1, &PutOptions::default()).unwrap();
+        let first = db.store().stored_bytes();
+        let v2 = db.new_blob(csv2.as_bytes()).unwrap();
+        db.put("dataset-2", v2, &PutOptions::default()).unwrap();
+        (first, db.store().stored_bytes() - first)
+    } else {
+        let tables = TableStore::new(&db);
+        tables
+            .load_csv("dataset-1", csv1, 0, &PutOptions::default())
+            .unwrap();
+        let first = db.store().stored_bytes();
+        tables
+            .load_csv("dataset-2", csv2, 0, &PutOptions::default())
+            .unwrap();
+        (first, db.store().stored_bytes() - first)
+    };
+    table.row(&[
+        name.to_string(),
+        fmt_bytes(csv1.len() as u64),
+        fmt_bytes(first),
+        fmt_bytes(second),
+        format!("{:.3}%", 100.0 * second as f64 / first as f64),
+    ]);
+}
+
+/// Run the experiment.
+pub fn run(ctx: &Ctx) {
+    // The paper's exact dataset size.
+    let target = (338.54 * 1024.0) as usize;
+    let rows = workload::rows_for_csv_size(target, 0xF4);
+    let csv1 = workload::product_csv(rows, 0xF4, None);
+    let csv2 = workload::product_csv(rows, 0xF4, Some(rows / 2));
+
+    let mut table = Table::new(
+        "Fig. 4 — loading two CSVs that differ by one word (paper: +338.54 KB, then +0.04 KB)",
+        &["storage granularity", "CSV size", "first load", "second load", "second/first"],
+    );
+    scenario("rows, 4 KiB pages", TreeConfig::default_config(), &csv1, &csv2, false, &mut table);
+    scenario("rows, 512 B pages", fine_config(), &csv1, &csv2, false, &mut table);
+    scenario("blob, 4 KiB chunks", TreeConfig::default_config(), &csv1, &csv2, true, &mut table);
+    scenario("blob, 512 B chunks", fine_config(), &csv1, &csv2, true, &mut table);
+    table.emit(ctx.csv_dir.as_deref(), "fig4_dedup");
+    println!(
+        "shape check: the second load costs a tiny fraction of the first.\n\
+         The paper's +0.04 KB corresponds to the finest granularity; the\n\
+         ratio tracks page size, which is the tunable trade-off of §II-A."
+    );
+
+    // Deep-history archive: V versions, each editing one row.
+    let versions = ctx.scale(100, 20);
+    let mut table = Table::new(
+        format!("Fig. 4b — archiving {versions} versions (1-row edit each)"),
+        &["versions", "logical bytes", "stored bytes", "dedup ratio"],
+    );
+    let db = ForkBase::with_config(MemStore::new(), TreeConfig::default_config());
+    let tables = TableStore::new(&db);
+    tables
+        .load_csv("archive", &csv1, 0, &PutOptions::default())
+        .unwrap();
+    let mut logical = csv1.len() as u64;
+    for v in 1..versions {
+        let edited = workload::product_csv(rows, 0xF4, Some(v % rows));
+        logical += edited.len() as u64;
+        tables
+            .load_csv("archive", &edited, 0, &PutOptions::default())
+            .unwrap();
+        if v == versions / 4 || v == versions / 2 || v + 1 == versions {
+            let stored = db.store().stored_bytes();
+            table.row(&[
+                (v + 1).to_string(),
+                fmt_bytes(logical),
+                fmt_bytes(stored),
+                format!("{:.1}x", logical as f64 / stored as f64),
+            ]);
+        }
+    }
+    table.emit(ctx.csv_dir.as_deref(), "fig4_archive");
+}

@@ -1,0 +1,52 @@
+//! One module per paper exhibit. See `DESIGN.md` §5 for the experiment
+//! index and `EXPERIMENTS.md` for paper-vs-measured results.
+
+pub mod ablation;
+pub mod fig2_structure;
+pub mod fig3_merge;
+pub mod fig4_dedup;
+pub mod fig5_diff;
+pub mod fig6_tamper;
+pub mod siri;
+pub mod table1_systems;
+
+use std::path::PathBuf;
+
+/// Shared experiment context.
+pub struct Ctx {
+    /// Reduce workload sizes for smoke runs.
+    pub quick: bool,
+    /// Where to drop machine-readable CSVs (`None` = print only).
+    pub csv_dir: Option<PathBuf>,
+}
+
+impl Ctx {
+    /// Pick `full` or `quick` depending on the mode.
+    pub fn scale(&self, full: usize, quick: usize) -> usize {
+        if self.quick {
+            quick
+        } else {
+            full
+        }
+    }
+}
+
+/// Collect every page (node/chunk hash) reachable from a map tree —
+/// the `P(I)` of SIRI Definition 1.
+pub fn collect_pages<S: forkbase_store::ChunkStore>(
+    store: &S,
+    root: &forkbase_crypto::Hash,
+) -> std::collections::HashSet<forkbase_crypto::Hash> {
+    let mut pages = std::collections::HashSet::new();
+    let mut stack = vec![*root];
+    while let Some(h) = stack.pop() {
+        if !pages.insert(h) {
+            continue;
+        }
+        let node = forkbase_postree::Node::load(store, &h).expect("tree readable");
+        if let forkbase_postree::Node::Index { children, .. } = node {
+            stack.extend(children.iter().map(|c| c.hash));
+        }
+    }
+    pages
+}

@@ -1,0 +1,96 @@
+//! Table I: comparison with related data versioning systems.
+//!
+//! The paper's table is qualitative; we make it quantitative by running
+//! every system's storage strategy over the same archival workload — a
+//! table evolving through V versions with a fraction of rows edited per
+//! version — and reporting total physical storage. The qualitative
+//! feature matrix is printed alongside for completeness.
+
+use forkbase_baselines::{
+    snapshot_bytes, CopyStore, DeltaStore, GitStore, TupleStore, VersionedStore,
+};
+
+use crate::adapter::ForkBaseStore;
+use crate::report::{fmt_bytes, Table};
+use crate::workload;
+
+use super::Ctx;
+
+/// Run the experiment.
+pub fn run(ctx: &Ctx) {
+    // Qualitative matrix straight from the paper.
+    let mut matrix = Table::new(
+        "Table I — qualitative comparison (from the paper)",
+        &["system", "data model", "dedup", "tamper evidence", "branching"],
+    );
+    for row in [
+        ["ForkBase", "structured/unstructured, immutable", "page level", "Merkle DAG root hash", "Git-like"],
+        ["DataHub & Decibel", "structured (table), mutable", "table oriented", "none", "ad-hoc"],
+        ["OrpheusDB", "structured (table), mutable", "table oriented", "none", "ad-hoc"],
+        ["MusaeusDB", "structured (table), mutable", "table oriented", "none", "none"],
+        ["RStore", "unstructured, mutable KV", "none", "none", "ad-hoc"],
+    ] {
+        matrix.row(&row.map(String::from));
+    }
+    matrix.emit(ctx.csv_dir.as_deref(), "table1_matrix");
+
+    // Quantitative storage comparison.
+    let n = ctx.scale(20_000, 4_000);
+    let versions = ctx.scale(20, 8);
+    let edit_fractions = [0.0001f64, 0.001, 0.01, 0.10];
+
+    let mut table = Table::new(
+        format!("Table I (quantitative) — storage after {versions} versions of an {n}-row table"),
+        &[
+            "edits/version",
+            "logical",
+            "ForkBase",
+            "git(object)",
+            "tuple+rlist",
+            "tuple+delta",
+            "copy",
+            "FB vs copy",
+        ],
+    );
+
+    for &frac in &edit_fractions {
+        let edits = ((n as f64 * frac).round() as usize).max(1);
+        let chain = workload::version_chain(n, versions, edits, 0x7AB1 ^ edits as u64);
+        let logical: u64 = chain.iter().map(snapshot_bytes).sum();
+
+        let mut forkbase = ForkBaseStore::new();
+        let mut git = GitStore::new();
+        let mut rlist = TupleStore::new();
+        let mut delta = DeltaStore::new();
+        let mut copy = CopyStore::new();
+        for snap in &chain {
+            forkbase.commit(snap);
+            git.commit(snap);
+            rlist.commit(snap);
+            delta.commit(snap);
+            copy.commit(snap);
+        }
+
+        table.row(&[
+            format!("{edits} ({:.2}%)", frac * 100.0),
+            fmt_bytes(logical),
+            fmt_bytes(forkbase.storage_bytes()),
+            fmt_bytes(git.storage_bytes()),
+            fmt_bytes(rlist.storage_bytes()),
+            fmt_bytes(delta.storage_bytes()),
+            fmt_bytes(copy.storage_bytes()),
+            format!(
+                "{:.1}x smaller",
+                copy.storage_bytes() as f64 / forkbase.storage_bytes() as f64
+            ),
+        ]);
+    }
+    table.emit(ctx.csv_dir.as_deref(), "table1_storage");
+    println!(
+        "shape check: copy ≈ git ≈ logical (no cross-version sharing for\n\
+         scattered edits); tuple stores shed value redundancy but pay per-\n\
+         version id lists; ForkBase tracks the tuple+delta floor while ALSO\n\
+         giving O(log N) random-version access and tamper evidence —\n\
+         the structural advantages the qualitative matrix records."
+    );
+}

@@ -1,0 +1,12 @@
+//! Benchmark and experiment harness for the ForkBase reproduction.
+//!
+//! Every figure and table of the paper's demonstration maps to a module
+//! under [`experiments`]; the `experiments` binary regenerates them all.
+//! Deterministic workload generation lives in [`workload`]; the ForkBase
+//! adapter implementing the baselines' [`forkbase_baselines::VersionedStore`]
+//! interface lives in [`adapter`].
+
+pub mod adapter;
+pub mod experiments;
+pub mod report;
+pub mod workload;

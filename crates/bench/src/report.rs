@@ -1,0 +1,147 @@
+//! Plain-text table rendering for experiment output.
+//!
+//! The `experiments` binary prints the same rows/series the paper's
+//! exhibits report; these helpers keep the formatting consistent and
+//! also emit machine-readable CSV next to the human tables.
+
+use std::fmt::Write as _;
+
+/// A simple aligned-column table.
+pub struct Table {
+    title: String,
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Start a table with a title and column headers.
+    pub fn new(title: impl Into<String>, headers: &[&str]) -> Self {
+        Table {
+            title: title.into(),
+            headers: headers.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Append a row (must match the header arity).
+    pub fn row(&mut self, cells: &[String]) {
+        assert_eq!(cells.len(), self.headers.len(), "row arity mismatch");
+        self.rows.push(cells.to_vec());
+    }
+
+    /// Render as an aligned text table.
+    pub fn render(&self) -> String {
+        let mut widths: Vec<usize> = self.headers.iter().map(|h| h.len()).collect();
+        for row in &self.rows {
+            for (i, c) in row.iter().enumerate() {
+                widths[i] = widths[i].max(c.len());
+            }
+        }
+        let mut out = String::new();
+        let _ = writeln!(out, "\n== {} ==", self.title);
+        let mut line = String::new();
+        for (i, h) in self.headers.iter().enumerate() {
+            let _ = write!(line, "{:<w$}  ", h, w = widths[i]);
+        }
+        let _ = writeln!(out, "{}", line.trim_end());
+        let _ = writeln!(out, "{}", "-".repeat(line.trim_end().len()));
+        for row in &self.rows {
+            let mut line = String::new();
+            for (i, c) in row.iter().enumerate() {
+                let _ = write!(line, "{:<w$}  ", c, w = widths[i]);
+            }
+            let _ = writeln!(out, "{}", line.trim_end());
+        }
+        out
+    }
+
+    /// Render as CSV (for plotting).
+    pub fn to_csv(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "{}", self.headers.join(","));
+        for row in &self.rows {
+            let _ = writeln!(out, "{}", row.join(","));
+        }
+        out
+    }
+
+    /// Print the table and, if `csv_dir` is set, write `<name>.csv` there.
+    pub fn emit(&self, csv_dir: Option<&std::path::Path>, name: &str) {
+        println!("{}", self.render());
+        if let Some(dir) = csv_dir {
+            let _ = std::fs::create_dir_all(dir);
+            let _ = std::fs::write(dir.join(format!("{name}.csv")), self.to_csv());
+        }
+    }
+}
+
+/// Format bytes with KB/MB units, matching the paper's "338.54 KB" style.
+pub fn fmt_bytes(bytes: u64) -> String {
+    let b = bytes as f64;
+    if b >= 1024.0 * 1024.0 {
+        format!("{:.2} MB", b / (1024.0 * 1024.0))
+    } else if b >= 1024.0 {
+        format!("{:.2} KB", b / 1024.0)
+    } else {
+        format!("{bytes} B")
+    }
+}
+
+/// Format a duration in adaptive units.
+pub fn fmt_duration(d: std::time::Duration) -> String {
+    let us = d.as_secs_f64() * 1e6;
+    if us >= 1e6 {
+        format!("{:.2} s", us / 1e6)
+    } else if us >= 1e3 {
+        format!("{:.2} ms", us / 1e3)
+    } else {
+        format!("{us:.1} µs")
+    }
+}
+
+/// Time a closure, returning `(result, duration)`.
+pub fn timed<R>(f: impl FnOnce() -> R) -> (R, std::time::Duration) {
+    let start = std::time::Instant::now();
+    let r = f();
+    (r, start.elapsed())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_rendering() {
+        let mut t = Table::new("Demo", &["col_a", "b"]);
+        t.row(&["1".into(), "long value".into()]);
+        t.row(&["22".into(), "x".into()]);
+        let text = t.render();
+        assert!(text.contains("== Demo =="));
+        assert!(text.contains("col_a"));
+        assert!(text.contains("long value"));
+        let csv = t.to_csv();
+        assert_eq!(csv.lines().count(), 3);
+        assert_eq!(csv.lines().next().unwrap(), "col_a,b");
+    }
+
+    #[test]
+    #[should_panic(expected = "row arity")]
+    fn arity_checked() {
+        let mut t = Table::new("x", &["a", "b"]);
+        t.row(&["only one".into()]);
+    }
+
+    #[test]
+    fn byte_formatting() {
+        assert_eq!(fmt_bytes(512), "512 B");
+        assert_eq!(fmt_bytes(346_664), "338.54 KB");
+        assert_eq!(fmt_bytes(2 * 1024 * 1024), "2.00 MB");
+    }
+
+    #[test]
+    fn duration_formatting() {
+        assert!(fmt_duration(std::time::Duration::from_micros(50)).contains("µs"));
+        assert!(fmt_duration(std::time::Duration::from_millis(5)).contains("ms"));
+        assert!(fmt_duration(std::time::Duration::from_secs(2)).contains("s"));
+    }
+}

@@ -1,0 +1,180 @@
+//! Deterministic workload generators.
+//!
+//! Everything is seeded, so experiment output is reproducible run-to-run
+//! and machine-to-machine (modulo timing). The CSV generator mirrors the
+//! demo's product datasets and can hit a target byte size — the paper's
+//! Fig. 4 dataset is 338.54 KB, and `csv_of_size` gets within a row of
+//! any requested size.
+
+use bytes::Bytes;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A deterministic RNG for a named experiment stage.
+pub fn rng(seed: u64) -> StdRng {
+    StdRng::seed_from_u64(seed)
+}
+
+/// Pseudo-random bytes (for blob workloads).
+pub fn random_bytes(len: usize, seed: u64) -> Vec<u8> {
+    let mut r = rng(seed);
+    let mut out = vec![0u8; len];
+    r.fill(&mut out[..]);
+    out
+}
+
+/// The demo-style product CSV: `id,name,category,price,stock,notes`.
+///
+/// `mutate` replaces one word in one row — the Fig. 4 "single-word
+/// difference" scenario.
+pub fn product_csv(rows: usize, seed: u64, mutate: Option<usize>) -> String {
+    let mut r = rng(seed);
+    let mut out = String::with_capacity(rows * 64 + 64);
+    out.push_str("id,name,category,price,stock,notes\n");
+    for i in 0..rows {
+        let name = if Some(i) == mutate {
+            format!("product-{i}-RENAMED")
+        } else {
+            format!("product-{i}")
+        };
+        let category = format!("cat-{}", r.gen_range(0..24));
+        let price = format!("{}.{:02}", r.gen_range(1..500), r.gen_range(0..100u32));
+        let stock = r.gen_range(0..1000);
+        let notes = format!("batch{} vendor{}", r.gen_range(0..50), r.gen_range(0..9));
+        out.push_str(&format!("{i:08},{name},{category},{price},{stock},{notes}\n"));
+    }
+    out
+}
+
+/// Rows needed for `product_csv` to reach ≈ `target_bytes`.
+///
+/// Row width drifts with the row index (ids and names get longer), so a
+/// single linear estimate can miss; refine by regenerating a few times.
+pub fn rows_for_csv_size(target_bytes: usize, seed: u64) -> usize {
+    let mut rows = 256usize.max(target_bytes / 64);
+    for _ in 0..6 {
+        let size = product_csv(rows, seed, None).len();
+        if size.abs_diff(target_bytes) * 200 < target_bytes {
+            break; // within 0.5%
+        }
+        let per_row = (size as f64 - 36.0) / rows as f64;
+        rows = (((target_bytes as f64 - 36.0) / per_row).round() as usize).max(1);
+    }
+    rows
+}
+
+/// Sorted key/value snapshot of `n` entries (map workloads).
+pub fn snapshot(n: usize, seed: u64) -> Vec<(Bytes, Bytes)> {
+    let mut r = rng(seed);
+    (0..n)
+        .map(|i| {
+            (
+                Bytes::from(format!("key-{i:010}")),
+                Bytes::from(format!(
+                    "value-{i}-{:016x}{:016x}",
+                    r.gen::<u64>(),
+                    r.gen::<u64>()
+                )),
+            )
+        })
+        .collect()
+}
+
+/// Apply `d` scattered edits to a snapshot (returns the edited copy and
+/// the touched keys). Edits are value rewrites at evenly spread rows.
+pub fn edit_snapshot(
+    base: &[(Bytes, Bytes)],
+    d: usize,
+    seed: u64,
+) -> (Vec<(Bytes, Bytes)>, Vec<Bytes>) {
+    let mut out = base.to_vec();
+    let mut keys = Vec::with_capacity(d);
+    let mut r = rng(seed);
+    let n = base.len().max(1);
+    for j in 0..d {
+        let idx = if d >= n {
+            j % n
+        } else {
+            (j * n / d + r.gen_range(0..(n / d).max(1))) % n
+        };
+        out[idx].1 = Bytes::from(format!("edited-{j}-{:016x}", r.gen::<u64>()));
+        keys.push(out[idx].0.clone());
+    }
+    (out, keys)
+}
+
+/// A chain of `versions` snapshots where each changes `edits_per_version`
+/// rows of its predecessor — the Table I archival workload.
+pub fn version_chain(
+    n: usize,
+    versions: usize,
+    edits_per_version: usize,
+    seed: u64,
+) -> Vec<Vec<(Bytes, Bytes)>> {
+    let mut out = Vec::with_capacity(versions);
+    let mut current = snapshot(n, seed);
+    out.push(current.clone());
+    for v in 1..versions {
+        let (next, _) = edit_snapshot(&current, edits_per_version, seed ^ (v as u64) << 32);
+        current = next;
+        out.push(current.clone());
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generators_are_deterministic() {
+        assert_eq!(product_csv(100, 7, None), product_csv(100, 7, None));
+        assert_eq!(snapshot(100, 7), snapshot(100, 7));
+        assert_eq!(random_bytes(1000, 7), random_bytes(1000, 7));
+        assert_ne!(snapshot(100, 7), snapshot(100, 8));
+    }
+
+    #[test]
+    fn csv_size_targeting() {
+        // The paper's 338.54 KB dataset.
+        let target = (338.54 * 1024.0) as usize;
+        let rows = rows_for_csv_size(target, 42);
+        let csv = product_csv(rows, 42, None);
+        let err = (csv.len() as f64 - target as f64).abs() / target as f64;
+        assert!(err < 0.02, "size {} vs target {target} ({err:.3})", csv.len());
+    }
+
+    #[test]
+    fn mutate_changes_exactly_one_word() {
+        let a = product_csv(1000, 3, None);
+        let b = product_csv(1000, 3, Some(500));
+        let diff_lines: Vec<_> = a.lines().zip(b.lines()).filter(|(x, y)| x != y).collect();
+        assert_eq!(diff_lines.len(), 1);
+        assert!(diff_lines[0].1.contains("RENAMED"));
+    }
+
+    #[test]
+    fn edit_snapshot_touches_d_rows() {
+        let base = snapshot(1000, 1);
+        let (edited, keys) = edit_snapshot(&base, 10, 2);
+        assert_eq!(keys.len(), 10);
+        let changed = base
+            .iter()
+            .zip(edited.iter())
+            .filter(|(a, b)| a != b)
+            .count();
+        assert!((9..=10).contains(&changed), "changed = {changed}");
+        // Keys unchanged, same order.
+        assert!(base.iter().zip(edited.iter()).all(|(a, b)| a.0 == b.0));
+    }
+
+    #[test]
+    fn version_chain_shape() {
+        let chain = version_chain(200, 5, 3, 9);
+        assert_eq!(chain.len(), 5);
+        for w in chain.windows(2) {
+            let changed = w[0].iter().zip(w[1].iter()).filter(|(a, b)| a != b).count();
+            assert!((1..=3).contains(&changed));
+        }
+    }
+}

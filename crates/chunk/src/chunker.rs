@@ -1,0 +1,429 @@
+//! Pattern-oriented chunkers built on the rolling hash.
+//!
+//! Both chunkers share the same pattern rule: a boundary candidate arises at
+//! the first byte position (≥ `min_size` into the current chunk) where the
+//! rolling hash has `pattern_bits` zero low bits. The state machine resets at
+//! every emitted boundary so boundaries are a greedy deterministic function
+//! of the stream (see crate docs).
+
+use crate::rolling::RollingHash;
+
+/// Parameters controlling pattern detection and chunk size bounds.
+///
+/// The expected chunk size on random data is `2^pattern_bits` bytes past the
+/// minimum, i.e. roughly `min_size + 2^pattern_bits`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ChunkerConfig {
+    /// Rolling-hash window `k` in bytes.
+    pub window: usize,
+    /// `q`: a pattern fires when the low `q` bits of Φ are zero.
+    pub pattern_bits: u32,
+    /// Chunks never end before this many bytes (pattern detection disabled).
+    pub min_size: usize,
+    /// Chunks are force-cut at this size even without a pattern.
+    pub max_size: usize,
+}
+
+impl ChunkerConfig {
+    /// Default parameters for data (blob) chunks: ~4 KiB average.
+    pub fn data_default() -> Self {
+        ChunkerConfig {
+            window: 48,
+            pattern_bits: 12,
+            min_size: 512,
+            max_size: 64 * 1024,
+        }
+    }
+
+    /// Default parameters for POS-Tree nodes: ~4 KiB average pages.
+    pub fn node_default() -> Self {
+        ChunkerConfig {
+            window: 48,
+            pattern_bits: 12,
+            min_size: 256,
+            max_size: 64 * 1024,
+        }
+    }
+
+    /// Small chunks for tests: ~64 B average, so trees get deep quickly.
+    pub fn test_small() -> Self {
+        ChunkerConfig {
+            window: 16,
+            pattern_bits: 6,
+            min_size: 16,
+            max_size: 1024,
+        }
+    }
+
+    /// Validate invariants; panics on nonsensical configurations.
+    pub fn validate(&self) {
+        assert!(self.window >= 1, "window must be >= 1");
+        assert!(self.pattern_bits >= 1 && self.pattern_bits < 63);
+        assert!(self.min_size >= 1, "min_size must be >= 1");
+        assert!(
+            self.max_size >= self.min_size,
+            "max_size {} < min_size {}",
+            self.max_size,
+            self.min_size
+        );
+    }
+
+    #[inline(always)]
+    fn mask(&self) -> u64 {
+        (1u64 << self.pattern_bits) - 1
+    }
+}
+
+impl Default for ChunkerConfig {
+    fn default() -> Self {
+        Self::node_default()
+    }
+}
+
+/// Byte-granularity chunker: boundaries may fall after any byte.
+///
+/// Used to slice `Blob` content into data chunks (Fig. 2 "Data Chunk").
+#[derive(Clone)]
+pub struct ByteChunker {
+    cfg: ChunkerConfig,
+    rh: RollingHash,
+    in_chunk: usize,
+}
+
+impl ByteChunker {
+    /// Create a chunker with the given configuration.
+    pub fn new(cfg: ChunkerConfig) -> Self {
+        cfg.validate();
+        ByteChunker {
+            rh: RollingHash::new(cfg.window),
+            cfg,
+            in_chunk: 0,
+        }
+    }
+
+    /// The configuration in effect.
+    pub fn config(&self) -> &ChunkerConfig {
+        &self.cfg
+    }
+
+    /// Bytes accumulated in the current (unfinished) chunk.
+    pub fn pending(&self) -> usize {
+        self.in_chunk
+    }
+
+    /// Push one byte; returns `true` if a chunk boundary falls *after* it,
+    /// in which case the internal state has been reset for the next chunk.
+    #[inline]
+    pub fn push(&mut self, b: u8) -> bool {
+        let v = self.rh.push(b);
+        self.in_chunk += 1;
+        let cut = self.in_chunk >= self.cfg.max_size
+            || (self.in_chunk >= self.cfg.min_size && v & self.cfg.mask() == 0);
+        if cut {
+            self.reset();
+        }
+        cut
+    }
+
+    /// Forget all state (start of a fresh chunk).
+    pub fn reset(&mut self) {
+        self.rh.reset();
+        self.in_chunk = 0;
+    }
+}
+
+/// Entry-granularity chunker: boundaries only at entry ends.
+///
+/// Feed whole entries with [`EntryChunker::push_entry`]. If the pattern
+/// fires anywhere inside an entry, the boundary is extended to that entry's
+/// end (paper §II-A). Oversized single entries simply become oversized
+/// nodes — entries are never split.
+#[derive(Clone)]
+pub struct EntryChunker {
+    cfg: ChunkerConfig,
+    rh: RollingHash,
+    in_chunk: usize,
+}
+
+impl EntryChunker {
+    /// Create a chunker with the given configuration.
+    pub fn new(cfg: ChunkerConfig) -> Self {
+        cfg.validate();
+        EntryChunker {
+            rh: RollingHash::new(cfg.window),
+            cfg,
+            in_chunk: 0,
+        }
+    }
+
+    /// The configuration in effect.
+    pub fn config(&self) -> &ChunkerConfig {
+        &self.cfg
+    }
+
+    /// Bytes accumulated in the current (unfinished) node.
+    pub fn pending(&self) -> usize {
+        self.in_chunk
+    }
+
+    /// Push one entry (its canonical serialized bytes); returns `true` if a
+    /// node boundary falls after this entry, in which case the state has
+    /// been reset for the next node.
+    pub fn push_entry(&mut self, entry: &[u8]) -> bool {
+        let mut pattern = false;
+        for &b in entry {
+            let v = self.rh.push(b);
+            self.in_chunk += 1;
+            if self.in_chunk >= self.cfg.min_size && v & self.cfg.mask() == 0 {
+                pattern = true;
+                // Keep rolling to the end of the entry: state must reflect
+                // the full stream in case this entry does NOT end the node
+                // (it does here, but the loop is also the eviction path).
+            }
+        }
+        let cut = pattern || self.in_chunk >= self.cfg.max_size;
+        if cut {
+            self.reset();
+        }
+        cut
+    }
+
+    /// Forget all state (start of a fresh node).
+    pub fn reset(&mut self) {
+        self.rh.reset();
+        self.in_chunk = 0;
+    }
+}
+
+/// Convenience: compute the boundary offsets of `data` under `cfg` using the
+/// byte chunker. The returned offsets are exclusive chunk ends; the final
+/// partial chunk (if any) ends at `data.len()`.
+pub fn chunk_boundaries(data: &[u8], cfg: ChunkerConfig) -> Vec<usize> {
+    let mut ck = ByteChunker::new(cfg);
+    let mut ends = Vec::new();
+    for (i, &b) in data.iter().enumerate() {
+        if ck.push(b) {
+            ends.push(i + 1);
+        }
+    }
+    if ends.last().copied() != Some(data.len()) && !data.is_empty() {
+        ends.push(data.len());
+    }
+    ends
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pseudo_random(len: usize, seed: u64) -> Vec<u8> {
+        let mut s = seed | 1;
+        (0..len)
+            .map(|_| {
+                s ^= s << 13;
+                s ^= s >> 7;
+                s ^= s << 17;
+                (s & 0xff) as u8
+            })
+            .collect()
+    }
+
+    #[test]
+    fn boundaries_cover_input() {
+        let data = pseudo_random(100_000, 7);
+        let ends = chunk_boundaries(&data, ChunkerConfig::test_small());
+        assert_eq!(*ends.last().unwrap(), data.len());
+        let mut prev = 0;
+        for &e in &ends {
+            assert!(e > prev);
+            prev = e;
+        }
+    }
+
+    #[test]
+    fn chunk_sizes_respect_bounds() {
+        let cfg = ChunkerConfig {
+            window: 16,
+            pattern_bits: 6,
+            min_size: 32,
+            max_size: 256,
+        };
+        let data = pseudo_random(200_000, 99);
+        let ends = chunk_boundaries(&data, cfg);
+        let mut prev = 0;
+        for (i, &e) in ends.iter().enumerate() {
+            let len = e - prev;
+            assert!(len <= cfg.max_size, "chunk {i} too large: {len}");
+            if e != data.len() {
+                assert!(len >= cfg.min_size, "chunk {i} too small: {len}");
+            }
+            prev = e;
+        }
+    }
+
+    #[test]
+    fn average_size_tracks_pattern_bits() {
+        let cfg = ChunkerConfig {
+            window: 32,
+            pattern_bits: 8, // expected ~min+256
+            min_size: 64,
+            max_size: 8192,
+        };
+        let data = pseudo_random(1_000_000, 3);
+        let ends = chunk_boundaries(&data, cfg);
+        let avg = data.len() as f64 / ends.len() as f64;
+        let expected = cfg.min_size as f64 + 256.0;
+        assert!(
+            avg > expected * 0.6 && avg < expected * 1.6,
+            "avg = {avg:.1}, expected ≈ {expected}"
+        );
+    }
+
+    #[test]
+    fn chunking_is_deterministic() {
+        let data = pseudo_random(50_000, 1234);
+        let a = chunk_boundaries(&data, ChunkerConfig::test_small());
+        let b = chunk_boundaries(&data, ChunkerConfig::test_small());
+        assert_eq!(a, b);
+    }
+
+    /// Core CDC property: a local edit only perturbs nearby boundaries; the
+    /// boundary sequences resynchronize afterwards.
+    #[test]
+    fn boundaries_resynchronize_after_edit() {
+        let cfg = ChunkerConfig::test_small();
+        let original = pseudo_random(50_000, 42);
+        let mut edited = original.clone();
+        // Flip a burst of bytes in the middle.
+        for b in &mut edited[25_000..25_016] {
+            *b ^= 0xff;
+        }
+        let ends_a = chunk_boundaries(&original, cfg);
+        let ends_b = chunk_boundaries(&edited, cfg);
+        // Both streams have the same length, so shared suffix boundaries are
+        // directly comparable.
+        let shared_suffix = ends_a
+            .iter()
+            .rev()
+            .zip(ends_b.iter().rev())
+            .take_while(|(a, b)| a == b)
+            .count();
+        assert!(
+            shared_suffix * 8 > ends_a.len() * 3, // > ~37% of chunks shared at tail
+            "only {shared_suffix} of {} suffix boundaries shared",
+            ends_a.len()
+        );
+        // And the prefix before the edit is untouched.
+        let prefix_a: Vec<_> = ends_a.iter().take_while(|&&e| e <= 24_000).collect();
+        let prefix_b: Vec<_> = ends_b.iter().take_while(|&&e| e <= 24_000).collect();
+        assert_eq!(prefix_a, prefix_b);
+    }
+
+    /// Reset-on-cut determinism: chunking a stream that ends exactly at a
+    /// boundary then continuing equals chunking the concatenation.
+    #[test]
+    fn reset_on_cut_composition() {
+        let cfg = ChunkerConfig::test_small();
+        let data = pseudo_random(20_000, 5);
+        let ends = chunk_boundaries(&data, cfg);
+        // Pick an interior boundary and chunk the two halves independently.
+        let mid = ends[ends.len() / 2];
+        let first = chunk_boundaries(&data[..mid], cfg);
+        let second = chunk_boundaries(&data[mid..], cfg);
+        let recombined: Vec<usize> = first
+            .iter()
+            .copied()
+            .chain(second.iter().map(|e| e + mid))
+            .collect();
+        assert_eq!(recombined, ends);
+    }
+
+    #[test]
+    fn entry_chunker_never_splits_entries() {
+        let cfg = ChunkerConfig {
+            window: 16,
+            pattern_bits: 5,
+            min_size: 16,
+            max_size: 512,
+        };
+        let mut ck = EntryChunker::new(cfg);
+        let data = pseudo_random(40_000, 77);
+        // 100-byte entries; every boundary must land on a multiple of 100.
+        let mut consumed = 0usize;
+        let mut node_bytes = 0usize;
+        for entry in data.chunks(100) {
+            let cut = ck.push_entry(entry);
+            consumed += entry.len();
+            node_bytes += entry.len();
+            if cut {
+                assert_eq!(consumed % 100, 0);
+                assert!(node_bytes <= cfg.max_size + 100, "node too large");
+                node_bytes = 0;
+            }
+        }
+    }
+
+    #[test]
+    fn entry_chunker_oversized_entry_is_kept_whole() {
+        let cfg = ChunkerConfig {
+            window: 16,
+            pattern_bits: 6,
+            min_size: 16,
+            max_size: 64,
+        };
+        let mut ck = EntryChunker::new(cfg);
+        let huge = vec![0x5au8; 1000]; // single entry far beyond max_size
+        let cut = ck.push_entry(&huge);
+        assert!(cut, "oversized entry must terminate its node");
+        assert_eq!(ck.pending(), 0);
+    }
+
+    #[test]
+    fn entry_chunker_deterministic_across_entry_partitions() {
+        // The SAME byte stream partitioned into entries differently can cut
+        // differently (boundaries align to entry ends) — but an identical
+        // entry sequence must always cut identically.
+        let cfg = ChunkerConfig::test_small();
+        let data = pseudo_random(10_000, 9);
+        let run = |entries: &[&[u8]]| -> Vec<usize> {
+            let mut ck = EntryChunker::new(cfg);
+            let mut cuts = Vec::new();
+            for (i, e) in entries.iter().enumerate() {
+                if ck.push_entry(e) {
+                    cuts.push(i);
+                }
+            }
+            cuts
+        };
+        let entries: Vec<&[u8]> = data.chunks(37).collect();
+        assert_eq!(run(&entries), run(&entries));
+    }
+
+    #[test]
+    #[should_panic(expected = "max_size")]
+    fn config_validation_rejects_bad_bounds() {
+        ChunkerConfig {
+            window: 8,
+            pattern_bits: 4,
+            min_size: 100,
+            max_size: 10,
+        }
+        .validate();
+    }
+
+    #[test]
+    fn byte_chunker_pending_tracks_progress() {
+        let mut ck = ByteChunker::new(ChunkerConfig {
+            window: 4,
+            pattern_bits: 20, // effectively never fires
+            min_size: 1,
+            max_size: 10,
+        });
+        for i in 0..9 {
+            assert!(!ck.push(i as u8));
+            assert_eq!(ck.pending(), i + 1);
+        }
+        assert!(ck.push(9), "max_size must force a cut");
+        assert_eq!(ck.pending(), 0);
+    }
+}

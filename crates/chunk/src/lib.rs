@@ -1,0 +1,39 @@
+//! Content-defined chunking for ForkBase.
+//!
+//! The POS-Tree (paper §II-A) defines node boundaries by *patterns* detected
+//! in the byte stream of serialized entries, exactly like content-based
+//! slicing in file-deduplication systems (LBFS). Given a `k`-byte window
+//! `(b₁ … b_k)` and a pseudo-random function `Φ`, a pattern occurs iff
+//!
+//! ```text
+//! Φ(b₁, …, b_k) mod 2^q == 0
+//! ```
+//!
+//! `Φ` is the *cyclic polynomial* rolling hash (a.k.a. buzhash):
+//!
+//! ```text
+//! Φ(b₁ … b_k) = δ(Φ(b₀ … b_{k-1})) ⊕ δᵏ(Γ(b₀)) ⊕ Γ(b_k)
+//! ```
+//!
+//! where `δ` is a 1-bit left barrel rotate and `Γ` maps bytes to random
+//! integers. Each step drops the oldest byte and admits the newest, in O(1).
+//!
+//! Two chunking modes are provided:
+//!
+//! * [`ByteChunker`] — boundaries may fall after any byte. Used for `Blob`
+//!   leaf chunks.
+//! * [`EntryChunker`] — boundaries only ever fall at *entry* ends: "if a
+//!   pattern occurs in the middle of an entry, the page boundary is extended
+//!   to cover the whole entry" (§II-A). Used for map/list/index nodes so no
+//!   entry is split across pages.
+//!
+//! **Determinism rule.** The chunker state fully resets at every emitted
+//! boundary, so the boundary sequence is a pure greedy function of the input
+//! stream. This is what lets incremental POS-Tree updates re-chunk from the
+//! first affected boundary and converge back onto the old boundary sequence.
+
+pub mod chunker;
+pub mod rolling;
+
+pub use chunker::{chunk_boundaries, ByteChunker, ChunkerConfig, EntryChunker};
+pub use rolling::{gamma, RollingHash};

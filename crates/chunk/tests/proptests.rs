@@ -1,0 +1,143 @@
+//! Property tests for the rolling hash and chunkers — the determinism
+//! properties the whole POS-Tree correctness argument rests on.
+
+use forkbase_chunk::{chunk_boundaries, ByteChunker, ChunkerConfig, EntryChunker, RollingHash};
+use proptest::prelude::*;
+
+fn small_cfg() -> ChunkerConfig {
+    ChunkerConfig {
+        window: 16,
+        pattern_bits: 6,
+        min_size: 16,
+        max_size: 512,
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 48, ..ProptestConfig::default() })]
+
+    /// Rolling hash value equals the direct hash of the window contents at
+    /// every position, for any input and window size.
+    #[test]
+    fn rolling_matches_direct(
+        data in proptest::collection::vec(proptest::num::u8::ANY, 1..500),
+        window in 1usize..64,
+    ) {
+        let mut rh = RollingHash::new(window);
+        for (i, &b) in data.iter().enumerate() {
+            let v = rh.push(b);
+            let start = i.saturating_sub(window - 1);
+            prop_assert_eq!(v, RollingHash::direct(&data[start..=i]));
+        }
+    }
+
+    /// Boundaries are a pure function of the input.
+    #[test]
+    fn chunking_deterministic(data in proptest::collection::vec(proptest::num::u8::ANY, 0..20_000)) {
+        prop_assert_eq!(
+            chunk_boundaries(&data, small_cfg()),
+            chunk_boundaries(&data, small_cfg())
+        );
+    }
+
+    /// Size bounds always hold: no chunk exceeds max_size; every chunk but
+    /// the last is at least min_size.
+    #[test]
+    fn chunk_size_bounds(data in proptest::collection::vec(proptest::num::u8::ANY, 0..20_000)) {
+        let cfg = small_cfg();
+        let ends = chunk_boundaries(&data, cfg);
+        let mut prev = 0usize;
+        for (i, &e) in ends.iter().enumerate() {
+            let len = e - prev;
+            prop_assert!(len <= cfg.max_size);
+            if i + 1 != ends.len() {
+                prop_assert!(len >= cfg.min_size);
+            }
+            prev = e;
+        }
+        if !data.is_empty() {
+            prop_assert_eq!(*ends.last().unwrap(), data.len());
+        }
+    }
+
+    /// Reset-on-cut composition: splitting the stream at any existing
+    /// boundary and chunking the halves separately reproduces the whole.
+    #[test]
+    fn composition_at_boundaries(
+        data in proptest::collection::vec(proptest::num::u8::ANY, 100..10_000),
+        pick in proptest::num::usize::ANY,
+    ) {
+        let cfg = small_cfg();
+        let ends = chunk_boundaries(&data, cfg);
+        prop_assume!(ends.len() >= 2);
+        let cut = ends[pick % (ends.len() - 1)];
+        let left = chunk_boundaries(&data[..cut], cfg);
+        let right = chunk_boundaries(&data[cut..], cfg);
+        let recombined: Vec<usize> = left
+            .iter()
+            .copied()
+            .chain(right.iter().map(|e| e + cut))
+            .collect();
+        prop_assert_eq!(recombined, ends);
+    }
+
+    /// Local-edit resynchronization: a point mutation leaves boundaries
+    /// before the edit untouched and the tail boundaries re-align.
+    #[test]
+    fn boundaries_resync_after_point_edit(
+        data in proptest::collection::vec(proptest::num::u8::ANY, 2_000..20_000),
+        pos_pick in proptest::num::usize::ANY,
+        flip in 1u8..=255,
+    ) {
+        let cfg = small_cfg();
+        let pos = pos_pick % data.len();
+        let mut edited = data.clone();
+        edited[pos] ^= flip;
+        let a = chunk_boundaries(&data, cfg);
+        let b = chunk_boundaries(&edited, cfg);
+        // Boundaries strictly before the edit position are identical.
+        let before_a: Vec<_> = a.iter().take_while(|&&e| e <= pos).collect();
+        let before_b: Vec<_> = b.iter().take_while(|&&e| e <= pos).collect();
+        prop_assert_eq!(before_a, before_b);
+        // And the last boundary (stream end) always matches.
+        prop_assert_eq!(a.last(), b.last());
+    }
+
+    /// Entry chunker: cuts always land on entry boundaries and identical
+    /// entry streams cut identically.
+    #[test]
+    fn entry_chunker_alignment(
+        entries in proptest::collection::vec(
+            proptest::collection::vec(proptest::num::u8::ANY, 1..60),
+            1..200,
+        ),
+    ) {
+        let cfg = small_cfg();
+        let run = |entries: &[Vec<u8>]| -> Vec<usize> {
+            let mut ck = EntryChunker::new(cfg);
+            entries
+                .iter()
+                .enumerate()
+                .filter_map(|(i, e)| ck.push_entry(e).then_some(i))
+                .collect()
+        };
+        prop_assert_eq!(run(&entries), run(&entries));
+    }
+
+    /// ByteChunker's streaming interface agrees with chunk_boundaries.
+    #[test]
+    fn streaming_equals_batch(data in proptest::collection::vec(proptest::num::u8::ANY, 0..5_000)) {
+        let cfg = small_cfg();
+        let mut ck = ByteChunker::new(cfg);
+        let mut ends = Vec::new();
+        for (i, &b) in data.iter().enumerate() {
+            if ck.push(b) {
+                ends.push(i + 1);
+            }
+        }
+        if ends.last().copied() != Some(data.len()) && !data.is_empty() {
+            ends.push(data.len());
+        }
+        prop_assert_eq!(ends, chunk_boundaries(&data, cfg));
+    }
+}

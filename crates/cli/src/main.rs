@@ -1,0 +1,80 @@
+//! The `forkbase` command-line tool.
+//!
+//! ```text
+//! forkbase --data DIR <verb> [args…]     run one verb against a durable store
+//! forkbase --data DIR serve [PORT]       start the REST server
+//! ```
+//!
+//! Run with no arguments for the verb list. The data directory defaults to
+//! `.forkbase` (or `$FORKBASE_DATA`).
+
+use std::process::ExitCode;
+
+use forkbase_cli::{run_command, RestServer, Session};
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut data_dir = std::env::var("FORKBASE_DATA").unwrap_or_else(|_| ".forkbase".into());
+    let mut rest: Vec<&str> = Vec::new();
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        if a == "--data" {
+            match it.next() {
+                Some(d) => data_dir = d.clone(),
+                None => {
+                    eprintln!("--data needs a directory");
+                    return ExitCode::FAILURE;
+                }
+            }
+        } else {
+            rest.push(a.as_str());
+        }
+    }
+
+    let session = match Session::open(&data_dir) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("failed to open database at {data_dir}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    if rest.first().copied() == Some("serve") {
+        let port: u16 = rest.get(1).and_then(|p| p.parse().ok()).unwrap_or(8642);
+        let server = match RestServer::start(session.db_arc(), port) {
+            Ok(s) => s,
+            Err(e) => {
+                eprintln!("failed to bind port {port}: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        println!("forkbase REST server listening on http://{}", server.addr());
+        println!("data directory: {data_dir}");
+        println!("press Ctrl-C to stop");
+        // Persist refs periodically so a Ctrl-C loses at most 5 s of head
+        // movement (chunks themselves are always durable).
+        loop {
+            std::thread::sleep(std::time::Duration::from_secs(5));
+            if let Err(e) = session.save() {
+                eprintln!("warning: failed to persist refs: {e}");
+            }
+        }
+    }
+
+    match run_command(session.db(), &rest) {
+        Ok(output) => {
+            if !output.is_empty() {
+                println!("{output}");
+            }
+            if let Err(e) = session.save() {
+                eprintln!("warning: failed to persist refs: {e}");
+                return ExitCode::FAILURE;
+            }
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,381 @@
+//! Minimal RESTful interface (paper Fig. 1, "RESTful" semantic view).
+//!
+//! A deliberately small HTTP/1.1 server on `std::net::TcpListener` — one
+//! thread per connection, no external dependencies. Routes:
+//!
+//! ```text
+//! GET  /keys                          → key list (one per line)
+//! GET  /get/<key>?branch=B            → value summary + version
+//! PUT  /put/<key>?branch=B            → body = string value; returns uid
+//! GET  /head/<key>?branch=B           → version uid
+//! GET  /branches/<key>                → branch\tuid lines
+//! POST /branch/<key>/<new>?from=B     → create branch
+//! GET  /diff/<key>?from=A&to=B        → diff rendering
+//! GET  /history/<key>?branch=B        → history lines
+//! GET  /stat                          → store statistics
+//! GET  /verify/<key>?branch=B         → verification result
+//! ```
+//!
+//! Responses are `text/plain; charset=utf-8`; errors map to 4xx/5xx.
+
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+use forkbase::{DbError, ForkBase, PutOptions, VersionSpec};
+use forkbase_store::ChunkStore;
+use forkbase_types::Value;
+
+/// Handle to a running REST server.
+pub struct RestServer {
+    addr: SocketAddr,
+    shutdown: Arc<AtomicBool>,
+    handle: Option<std::thread::JoinHandle<()>>,
+}
+
+impl RestServer {
+    /// Start serving `db` on `127.0.0.1:port` (`port` 0 = auto-assign).
+    pub fn start<S: ChunkStore + 'static>(
+        db: Arc<ForkBase<S>>,
+        port: u16,
+    ) -> std::io::Result<RestServer> {
+        let listener = TcpListener::bind(("127.0.0.1", port))?;
+        let addr = listener.local_addr()?;
+        listener.set_nonblocking(true)?;
+        let shutdown = Arc::new(AtomicBool::new(false));
+        let shutdown_flag = Arc::clone(&shutdown);
+        let handle = std::thread::spawn(move || {
+            while !shutdown_flag.load(Ordering::Relaxed) {
+                match listener.accept() {
+                    Ok((stream, _)) => {
+                        let db = Arc::clone(&db);
+                        std::thread::spawn(move || {
+                            let _ = handle_connection(stream, &db);
+                        });
+                    }
+                    Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                        std::thread::sleep(std::time::Duration::from_millis(5));
+                    }
+                    Err(_) => break,
+                }
+            }
+        });
+        Ok(RestServer {
+            addr,
+            shutdown,
+            handle: Some(handle),
+        })
+    }
+
+    /// The bound address.
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Stop accepting connections and join the accept loop.
+    pub fn stop(mut self) {
+        self.shutdown.store(true, Ordering::Relaxed);
+        if let Some(h) = self.handle.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+impl Drop for RestServer {
+    fn drop(&mut self) {
+        self.shutdown.store(true, Ordering::Relaxed);
+        if let Some(h) = self.handle.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+fn handle_connection<S: ChunkStore>(
+    mut stream: TcpStream,
+    db: &ForkBase<S>,
+) -> std::io::Result<()> {
+    stream.set_read_timeout(Some(std::time::Duration::from_secs(5)))?;
+    let mut reader = BufReader::new(stream.try_clone()?);
+
+    let mut request_line = String::new();
+    reader.read_line(&mut request_line)?;
+    let mut parts = request_line.split_whitespace();
+    let (Some(method), Some(target)) = (parts.next(), parts.next()) else {
+        return respond(&mut stream, 400, "malformed request line");
+    };
+
+    // Headers: we only need Content-Length.
+    let mut content_length = 0usize;
+    loop {
+        let mut line = String::new();
+        reader.read_line(&mut line)?;
+        let line = line.trim_end();
+        if line.is_empty() {
+            break;
+        }
+        if let Some(v) = line
+            .to_ascii_lowercase()
+            .strip_prefix("content-length:")
+            .map(|v| v.trim().to_string())
+        {
+            content_length = v.parse().unwrap_or(0);
+        }
+    }
+    let mut body = vec![0u8; content_length.min(16 * 1024 * 1024)];
+    if content_length > 0 {
+        reader.read_exact(&mut body)?;
+    }
+
+    let (path, query) = match target.split_once('?') {
+        Some((p, q)) => (p, q),
+        None => (target, ""),
+    };
+    let q = |name: &str| -> Option<String> {
+        query.split('&').find_map(|pair| {
+            let (k, v) = pair.split_once('=')?;
+            (k == name).then(|| url_decode(v))
+        })
+    };
+    let branch = q("branch").unwrap_or_else(|| "master".to_string());
+
+    let segments: Vec<&str> = path.split('/').filter(|s| !s.is_empty()).collect();
+    let result: Result<String, DbError> = match (method, segments.as_slice()) {
+        ("GET", ["keys"]) => Ok(db.list_keys().join("\n")),
+        ("GET", ["stat"]) => Ok(db.stat().to_string()),
+        ("GET", ["get", key]) => db.get(&url_decode(key), &branch).map(|g| {
+            format!("{}\nversion: {}", g.value.summary(), g.uid)
+        }),
+        ("PUT", ["put", key]) => {
+            let text = String::from_utf8_lossy(&body).into_owned();
+            let opts = PutOptions::on_branch(branch.clone()).author("rest");
+            db.put(&url_decode(key), Value::Str(text), &opts)
+                .map(|c| c.uid.to_string())
+        }
+        ("GET", ["head", key]) => db.head(&url_decode(key), &branch).map(|u| u.to_string()),
+        ("GET", ["branches", key]) => db.list_branches(&url_decode(key)).map(|bs| {
+            bs.into_iter()
+                .map(|b| format!("{}\t{}", b.name, b.head))
+                .collect::<Vec<_>>()
+                .join("\n")
+        }),
+        ("POST", ["branch", key, new]) => {
+            let from = q("from").unwrap_or_else(|| "master".to_string());
+            db.branch(&url_decode(key), &from, &url_decode(new))
+                .map(|()| format!("created {new}"))
+        }
+        ("GET", ["diff", key]) => {
+            let from = q("from").unwrap_or_else(|| "master".to_string());
+            let to = q("to").unwrap_or_else(|| "master".to_string());
+            db.diff(
+                &url_decode(key),
+                &VersionSpec::Branch(from),
+                &VersionSpec::Branch(to),
+            )
+            .map(|d| format!("{d:?}"))
+        }
+        ("GET", ["history", key]) => db
+            .history(&url_decode(key), &VersionSpec::Branch(branch.clone()))
+            .map(|h| {
+                h.into_iter()
+                    .map(|e| format!("{}\t{}\t{}", e.uid, e.author, e.message))
+                    .collect::<Vec<_>>()
+                    .join("\n")
+            }),
+        ("GET", ["verify", key]) => db
+            .verify_branch(&url_decode(key), &branch)
+            .map(|n| format!("OK {n}")),
+        _ => Err(DbError::InvalidInput(format!(
+            "no route for {method} {path}"
+        ))),
+    };
+
+    match result {
+        Ok(text) => respond(&mut stream, 200, &text),
+        Err(e @ DbError::NoSuchKey(_))
+        | Err(e @ DbError::NoSuchBranch { .. })
+        | Err(e @ DbError::NoSuchVersion(_)) => respond(&mut stream, 404, &e.to_string()),
+        Err(e @ DbError::InvalidInput(_)) => respond(&mut stream, 400, &e.to_string()),
+        Err(e @ DbError::PermissionDenied(_)) => respond(&mut stream, 403, &e.to_string()),
+        Err(e) => respond(&mut stream, 500, &e.to_string()),
+    }
+}
+
+fn respond(stream: &mut TcpStream, status: u16, body: &str) -> std::io::Result<()> {
+    let reason = match status {
+        200 => "OK",
+        400 => "Bad Request",
+        403 => "Forbidden",
+        404 => "Not Found",
+        _ => "Internal Server Error",
+    };
+    let response = format!(
+        "HTTP/1.1 {status} {reason}\r\ncontent-type: text/plain; charset=utf-8\r\n\
+         content-length: {}\r\nconnection: close\r\n\r\n{body}",
+        body.len()
+    );
+    stream.write_all(response.as_bytes())
+}
+
+fn url_decode(s: &str) -> String {
+    let bytes = s.as_bytes();
+    let mut out = Vec::with_capacity(bytes.len());
+    let mut i = 0;
+    while i < bytes.len() {
+        match bytes[i] {
+            b'%' if i + 2 < bytes.len() => {
+                let hex = std::str::from_utf8(&bytes[i + 1..i + 3]).unwrap_or("");
+                match u8::from_str_radix(hex, 16) {
+                    Ok(b) => {
+                        out.push(b);
+                        i += 3;
+                    }
+                    Err(_) => {
+                        out.push(bytes[i]);
+                        i += 1;
+                    }
+                }
+            }
+            b'+' => {
+                out.push(b' ');
+                i += 1;
+            }
+            b => {
+                out.push(b);
+                i += 1;
+            }
+        }
+    }
+    String::from_utf8_lossy(&out).into_owned()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use forkbase_postree::TreeConfig;
+    use forkbase_store::MemStore;
+
+    fn start() -> (RestServer, Arc<ForkBase<MemStore>>) {
+        let db = Arc::new(ForkBase::with_config(
+            MemStore::new(),
+            TreeConfig::test_config(),
+        ));
+        let server = RestServer::start(Arc::clone(&db), 0).unwrap();
+        (server, db)
+    }
+
+    fn request(addr: SocketAddr, method: &str, path: &str, body: &str) -> (u16, String) {
+        let mut stream = TcpStream::connect(addr).unwrap();
+        let req = format!(
+            "{method} {path} HTTP/1.1\r\nhost: test\r\ncontent-length: {}\r\n\r\n{body}",
+            body.len()
+        );
+        stream.write_all(req.as_bytes()).unwrap();
+        let mut response = String::new();
+        stream.read_to_string(&mut response).unwrap();
+        let status: u16 = response
+            .split_whitespace()
+            .nth(1)
+            .and_then(|s| s.parse().ok())
+            .unwrap_or(0);
+        let body = response
+            .split_once("\r\n\r\n")
+            .map(|(_, b)| b.to_string())
+            .unwrap_or_default();
+        (status, body)
+    }
+
+    #[test]
+    fn put_get_roundtrip_over_http() {
+        let (server, _db) = start();
+        let (status, uid) = request(server.addr(), "PUT", "/put/greeting", "hello rest");
+        assert_eq!(status, 200);
+        assert!(uid.len() >= 52, "uid is base32: {uid}");
+
+        let (status, body) = request(server.addr(), "GET", "/get/greeting", "");
+        assert_eq!(status, 200);
+        assert!(body.contains("hello rest"));
+        assert!(body.contains(&uid));
+        server.stop();
+    }
+
+    #[test]
+    fn branch_and_diff_over_http() {
+        let (server, _db) = start();
+        request(server.addr(), "PUT", "/put/doc", "original");
+        let (status, _) = request(server.addr(), "POST", "/branch/doc/dev?from=master", "");
+        assert_eq!(status, 200);
+        request(server.addr(), "PUT", "/put/doc?branch=dev", "changed");
+
+        let (status, body) = request(server.addr(), "GET", "/diff/doc?from=master&to=dev", "");
+        assert_eq!(status, 200);
+        assert!(body.contains("original") && body.contains("changed"));
+
+        let (status, body) = request(server.addr(), "GET", "/branches/doc", "");
+        assert_eq!(status, 200);
+        assert!(body.contains("dev") && body.contains("master"));
+        server.stop();
+    }
+
+    #[test]
+    fn history_verify_stat_keys() {
+        let (server, _db) = start();
+        request(server.addr(), "PUT", "/put/k", "v1");
+        request(server.addr(), "PUT", "/put/k", "v2");
+
+        let (_, hist) = request(server.addr(), "GET", "/history/k", "");
+        assert_eq!(hist.lines().count(), 2);
+
+        let (status, v) = request(server.addr(), "GET", "/verify/k", "");
+        assert_eq!(status, 200);
+        assert!(v.starts_with("OK"));
+
+        let (_, keys) = request(server.addr(), "GET", "/keys", "");
+        assert_eq!(keys.trim(), "k");
+
+        let (_, stat) = request(server.addr(), "GET", "/stat", "");
+        assert!(stat.contains("chunks:"));
+        server.stop();
+    }
+
+    #[test]
+    fn errors_map_to_http_statuses() {
+        let (server, _db) = start();
+        let (status, _) = request(server.addr(), "GET", "/get/nope", "");
+        assert_eq!(status, 404);
+        let (status, _) = request(server.addr(), "GET", "/no/such/route", "");
+        assert_eq!(status, 400);
+        let (status, _) = request(server.addr(), "GET", "/head/ghost", "");
+        assert_eq!(status, 404);
+        server.stop();
+    }
+
+    #[test]
+    fn url_decoding() {
+        let (server, db) = start();
+        request(server.addr(), "PUT", "/put/hello%20world", "spaced");
+        assert!(db.list_keys().contains(&"hello world".to_string()));
+        server.stop();
+    }
+
+    #[test]
+    fn concurrent_http_clients() {
+        let (server, db) = start();
+        let addr = server.addr();
+        let mut handles = Vec::new();
+        for t in 0..6 {
+            handles.push(std::thread::spawn(move || {
+                for i in 0..10 {
+                    let (status, _) =
+                        request(addr, "PUT", &format!("/put/key-{t}-{i}"), "payload");
+                    assert_eq!(status, 200);
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(db.list_keys().len(), 60);
+        server.stop();
+    }
+}

@@ -1,0 +1,126 @@
+//! True end-to-end smoke tests: drive the compiled `forkbase` binary as a
+//! subprocess against a durable on-disk store, exactly as a user would.
+
+use std::path::PathBuf;
+use std::process::Command;
+
+fn temp_data(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("fkb-bin-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn run(data: &std::path::Path, args: &[&str]) -> (bool, String, String) {
+    let out = Command::new(env!("CARGO_BIN_EXE_forkbase"))
+        .arg("--data")
+        .arg(data)
+        .args(args)
+        .output()
+        .expect("binary runs");
+    (
+        out.status.success(),
+        String::from_utf8_lossy(&out.stdout).into_owned(),
+        String::from_utf8_lossy(&out.stderr).into_owned(),
+    )
+}
+
+#[test]
+fn full_workflow_across_process_restarts() {
+    let data = temp_data("workflow");
+
+    // Each command is a separate PROCESS: state must round-trip disk.
+    let (ok, out, err) = run(&data, &["put", "greeting", "hello from process 1"]);
+    assert!(ok, "put failed: {err}");
+    assert!(out.contains("master -> "));
+
+    let (ok, out, _) = run(&data, &["get", "greeting"]);
+    assert!(ok);
+    assert!(out.contains("hello from process 1"));
+
+    let (ok, _, _) = run(&data, &["branch", "greeting", "dev"]);
+    assert!(ok);
+    let (ok, _, _) = run(
+        &data,
+        &["put", "greeting", "dev version", "--branch", "dev"],
+    );
+    assert!(ok);
+
+    let (ok, out, _) = run(&data, &["diff", "greeting", "dev"]);
+    assert!(ok);
+    assert!(out.contains("dev version"));
+
+    let (ok, out, _) = run(&data, &["history", "greeting", "--branch", "dev"]);
+    assert!(ok);
+    assert_eq!(out.trim().lines().count(), 2, "history: {out}");
+
+    let (ok, out, _) = run(&data, &["verify", "greeting", "--branch", "dev"]);
+    assert!(ok);
+    assert!(out.contains("OK: verified 2"));
+
+    let (ok, out, _) = run(&data, &["stat"]);
+    assert!(ok);
+    assert!(out.contains("keys:          1"));
+
+    std::fs::remove_dir_all(&data).unwrap();
+}
+
+#[test]
+fn csv_file_loading_via_at_syntax() {
+    let data = temp_data("csvfile");
+    let csv_path = std::env::temp_dir().join(format!("fkb-bin-csv-{}.csv", std::process::id()));
+    std::fs::write(&csv_path, "id,name\n1,alpha\n2,beta\n").unwrap();
+
+    let (ok, out, err) = run(
+        &data,
+        &["load-csv", "ds", &format!("@{}", csv_path.display())],
+    );
+    assert!(ok, "load-csv failed: {err}");
+    assert!(out.contains("loaded -> "));
+
+    let (ok, out, _) = run(&data, &["export-csv", "ds"]);
+    assert!(ok);
+    assert!(out.contains("1,alpha"));
+    assert!(out.contains("2,beta"));
+
+    let (ok, out, _) = run(&data, &["prove", "ds", "2"]);
+    assert!(ok, "prove failed");
+    assert!(out.contains("present"));
+
+    std::fs::remove_file(&csv_path).unwrap();
+    std::fs::remove_dir_all(&data).unwrap();
+}
+
+#[test]
+fn bundle_transfer_between_data_dirs() {
+    let src = temp_data("bundle-src");
+    let dst = temp_data("bundle-dst");
+    let bundle = std::env::temp_dir().join(format!("fkb-bin-bundle-{}", std::process::id()));
+
+    run(&src, &["put", "doc", "shared document"]);
+    let (ok, _, err) = run(&src, &["bundle-export", "doc", bundle.to_str().unwrap()]);
+    assert!(ok, "export failed: {err}");
+
+    let (ok, out, err) = run(&dst, &["bundle-import", bundle.to_str().unwrap()]);
+    assert!(ok, "import failed: {err}");
+    assert!(out.contains("doc@master"));
+
+    let (ok, out, _) = run(&dst, &["get", "doc"]);
+    assert!(ok);
+    assert!(out.contains("shared document"));
+
+    std::fs::remove_file(&bundle).unwrap();
+    std::fs::remove_dir_all(&src).unwrap();
+    std::fs::remove_dir_all(&dst).unwrap();
+}
+
+#[test]
+fn bad_usage_exits_nonzero() {
+    let data = temp_data("badusage");
+    let (ok, _, err) = run(&data, &["frobnicate"]);
+    assert!(!ok);
+    assert!(err.contains("usage"));
+    let (ok, _, err) = run(&data, &["get", "missing-key"]);
+    assert!(!ok);
+    assert!(err.contains("no such key"));
+    std::fs::remove_dir_all(&data).unwrap();
+}

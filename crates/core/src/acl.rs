@@ -1,0 +1,278 @@
+//! Branch-based access control (paper Fig. 1, "Semantic Views" layer).
+//!
+//! The architecture diagram shows per-admin, branch-scoped access control
+//! sitting above the data APIs: *Admin A* and *Admin B* each govern their
+//! own branches of shared datasets. This module implements that model:
+//!
+//! * **users** hold a global [`Role`];
+//! * **grants** give a user a [`Permission`] on `(key, branch)` patterns,
+//!   where `*` matches any key or branch;
+//! * admins bypass grants; writers/readers need explicit grants beyond
+//!   their implicit rights (writers may create new keys, readers only
+//!   read what they are granted).
+
+use std::collections::HashMap;
+
+use parking_lot::RwLock;
+
+use crate::error::{DbError, DbResult};
+
+/// Global role of a user.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Role {
+    /// Full access to everything, may administer grants.
+    Admin,
+    /// May read/write where granted.
+    Member,
+}
+
+/// What a grant allows on a `(key, branch)` pattern.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Permission {
+    /// Read-only access.
+    Read,
+    /// Read and write (put/merge/branch).
+    Write,
+}
+
+/// One access grant.
+#[derive(Clone, Debug, PartialEq, Eq)]
+struct Grant {
+    key_pattern: String,
+    branch_pattern: String,
+    permission: Permission,
+}
+
+fn pattern_matches(pattern: &str, value: &str) -> bool {
+    pattern == "*" || pattern == value
+}
+
+/// The access controller: users, roles, and grants.
+///
+/// Thread-safe; shared by the CLI and REST layers.
+pub struct AccessController {
+    users: RwLock<HashMap<String, Role>>,
+    grants: RwLock<HashMap<String, Vec<Grant>>>,
+}
+
+impl Default for AccessController {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl AccessController {
+    /// Create an empty controller (no users — everything denied).
+    pub fn new() -> Self {
+        AccessController {
+            users: RwLock::new(HashMap::new()),
+            grants: RwLock::new(HashMap::new()),
+        }
+    }
+
+    /// Register (or change the role of) a user.
+    pub fn add_user(&self, name: impl Into<String>, role: Role) {
+        self.users.write().insert(name.into(), role);
+    }
+
+    /// Remove a user and all their grants.
+    pub fn remove_user(&self, name: &str) {
+        self.users.write().remove(name);
+        self.grants.write().remove(name);
+    }
+
+    /// The role of `user`, if registered.
+    pub fn role(&self, user: &str) -> Option<Role> {
+        self.users.read().get(user).copied()
+    }
+
+    /// Grant `permission` on `(key_pattern, branch_pattern)` to `user`.
+    /// `"*"` in either pattern matches everything. `granter` must be an
+    /// admin.
+    pub fn grant(
+        &self,
+        granter: &str,
+        user: &str,
+        key_pattern: impl Into<String>,
+        branch_pattern: impl Into<String>,
+        permission: Permission,
+    ) -> DbResult<()> {
+        if self.role(granter) != Some(Role::Admin) {
+            return Err(DbError::PermissionDenied(format!(
+                "{granter} is not an admin and cannot grant access"
+            )));
+        }
+        if self.role(user).is_none() {
+            return Err(DbError::InvalidInput(format!("unknown user {user:?}")));
+        }
+        self.grants.write().entry(user.to_string()).or_default().push(Grant {
+            key_pattern: key_pattern.into(),
+            branch_pattern: branch_pattern.into(),
+            permission,
+        });
+        Ok(())
+    }
+
+    /// Revoke all grants matching the pattern pair for `user`.
+    pub fn revoke(
+        &self,
+        granter: &str,
+        user: &str,
+        key_pattern: &str,
+        branch_pattern: &str,
+    ) -> DbResult<()> {
+        if self.role(granter) != Some(Role::Admin) {
+            return Err(DbError::PermissionDenied(format!(
+                "{granter} is not an admin and cannot revoke access"
+            )));
+        }
+        if let Some(grants) = self.grants.write().get_mut(user) {
+            grants.retain(|g| {
+                !(g.key_pattern == key_pattern && g.branch_pattern == branch_pattern)
+            });
+        }
+        Ok(())
+    }
+
+    /// Whether `user` holds `needed` (or stronger) on `(key, branch)`.
+    pub fn allows(&self, user: &str, key: &str, branch: &str, needed: Permission) -> bool {
+        match self.role(user) {
+            Some(Role::Admin) => true,
+            Some(Role::Member) => self
+                .grants
+                .read()
+                .get(user)
+                .map(|grants| {
+                    grants.iter().any(|g| {
+                        g.permission >= needed
+                            && pattern_matches(&g.key_pattern, key)
+                            && pattern_matches(&g.branch_pattern, branch)
+                    })
+                })
+                .unwrap_or(false),
+            None => false,
+        }
+    }
+
+    /// Error-returning form of [`Self::allows`] for call sites.
+    pub fn check(&self, user: &str, key: &str, branch: &str, needed: Permission) -> DbResult<()> {
+        if self.allows(user, key, branch, needed) {
+            Ok(())
+        } else {
+            Err(DbError::PermissionDenied(format!(
+                "user {user:?} lacks {needed:?} on {key:?}@{branch:?}"
+            )))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn setup() -> AccessController {
+        let acl = AccessController::new();
+        acl.add_user("admin-a", Role::Admin);
+        acl.add_user("admin-b", Role::Admin);
+        acl.add_user("analyst", Role::Member);
+        acl
+    }
+
+    #[test]
+    fn admins_can_do_anything() {
+        let acl = setup();
+        assert!(acl.allows("admin-a", "any-key", "any-branch", Permission::Write));
+        assert!(acl.check("admin-b", "k", "b", Permission::Read).is_ok());
+    }
+
+    #[test]
+    fn unknown_users_are_denied() {
+        let acl = setup();
+        assert!(!acl.allows("stranger", "k", "master", Permission::Read));
+        assert!(matches!(
+            acl.check("stranger", "k", "master", Permission::Read),
+            Err(DbError::PermissionDenied(_))
+        ));
+    }
+
+    #[test]
+    fn members_need_grants() {
+        let acl = setup();
+        assert!(!acl.allows("analyst", "dataset", "master", Permission::Read));
+        acl.grant("admin-a", "analyst", "dataset", "master", Permission::Read)
+            .unwrap();
+        assert!(acl.allows("analyst", "dataset", "master", Permission::Read));
+        // Read grant does not imply write.
+        assert!(!acl.allows("analyst", "dataset", "master", Permission::Write));
+    }
+
+    #[test]
+    fn write_implies_read() {
+        let acl = setup();
+        acl.grant("admin-a", "analyst", "dataset", "dev", Permission::Write)
+            .unwrap();
+        assert!(acl.allows("analyst", "dataset", "dev", Permission::Read));
+        assert!(acl.allows("analyst", "dataset", "dev", Permission::Write));
+    }
+
+    #[test]
+    fn wildcard_patterns() {
+        let acl = setup();
+        acl.grant("admin-a", "analyst", "*", "experiment", Permission::Write)
+            .unwrap();
+        assert!(acl.allows("analyst", "any-key", "experiment", Permission::Write));
+        assert!(!acl.allows("analyst", "any-key", "master", Permission::Write));
+
+        acl.grant("admin-a", "analyst", "shared-dataset", "*", Permission::Read)
+            .unwrap();
+        assert!(acl.allows("analyst", "shared-dataset", "anything", Permission::Read));
+    }
+
+    #[test]
+    fn branch_isolation_between_admins_members() {
+        // The Fig. 1 scenario: Admin A gives a member write access only on
+        // branch "team-a"; master stays protected.
+        let acl = setup();
+        acl.grant("admin-a", "analyst", "dataset-1", "team-a", Permission::Write)
+            .unwrap();
+        assert!(acl.allows("analyst", "dataset-1", "team-a", Permission::Write));
+        assert!(!acl.allows("analyst", "dataset-1", "master", Permission::Write));
+        assert!(!acl.allows("analyst", "dataset-1", "master", Permission::Read));
+    }
+
+    #[test]
+    fn only_admins_grant_and_revoke() {
+        let acl = setup();
+        assert!(matches!(
+            acl.grant("analyst", "analyst", "*", "*", Permission::Write),
+            Err(DbError::PermissionDenied(_))
+        ));
+        acl.grant("admin-a", "analyst", "k", "b", Permission::Read)
+            .unwrap();
+        assert!(matches!(
+            acl.revoke("analyst", "analyst", "k", "b"),
+            Err(DbError::PermissionDenied(_))
+        ));
+        acl.revoke("admin-a", "analyst", "k", "b").unwrap();
+        assert!(!acl.allows("analyst", "k", "b", Permission::Read));
+    }
+
+    #[test]
+    fn grants_to_unknown_users_rejected() {
+        let acl = setup();
+        assert!(matches!(
+            acl.grant("admin-a", "ghost", "*", "*", Permission::Read),
+            Err(DbError::InvalidInput(_))
+        ));
+    }
+
+    #[test]
+    fn removing_user_clears_grants() {
+        let acl = setup();
+        acl.grant("admin-a", "analyst", "*", "*", Permission::Write)
+            .unwrap();
+        acl.remove_user("analyst");
+        assert!(!acl.allows("analyst", "k", "b", Permission::Read));
+        assert_eq!(acl.role("analyst"), None);
+    }
+}

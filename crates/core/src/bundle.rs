@@ -1,0 +1,341 @@
+//! Portable branch bundles — `git bundle` for data.
+//!
+//! A bundle is a self-contained byte stream holding every chunk reachable
+//! from selected branch heads plus the head refs themselves. Because all
+//! chunks are content-addressed, import is *verifying by construction*:
+//! each chunk is re-hashed on the way in, refs must resolve to FNodes of
+//! the right key, and a final `verify_branch` pass seals the deal. A
+//! tampered bundle cannot be imported.
+//!
+//! Format:
+//!
+//! ```text
+//! magic "FKBBNDL1"
+//! u32 ref_count     { u32 key_len, key, u32 branch_len, branch, 32B uid }*
+//! u32 chunk_count   { 32B hash, u32 len, payload }*
+//! ```
+
+use std::collections::HashSet;
+use std::io::{Read, Write};
+
+use bytes::Bytes;
+use forkbase_crypto::{sha256, Hash};
+use forkbase_store::ChunkStore;
+
+use crate::db::ForkBase;
+use crate::error::{DbError, DbResult};
+use crate::fnode::FNode;
+use crate::gc;
+
+const MAGIC: &[u8; 8] = b"FKBBNDL1";
+
+/// One exported branch head.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct BundleRef {
+    /// Object key.
+    pub key: String,
+    /// Branch name.
+    pub branch: String,
+    /// Head uid.
+    pub uid: Hash,
+}
+
+fn io_err(e: std::io::Error) -> DbError {
+    DbError::Store(forkbase_store::StoreError::Io(e))
+}
+
+/// Export `branches` of `key` (or every branch if `branches` is empty)
+/// into `out`. Returns the number of chunks written.
+pub fn export_bundle<S: ChunkStore>(
+    db: &ForkBase<S>,
+    key: &str,
+    branches: &[&str],
+    out: &mut dyn Write,
+) -> DbResult<u64> {
+    // Resolve the heads to ship.
+    let all = db.list_branches(key)?;
+    let selected: Vec<BundleRef> = all
+        .into_iter()
+        .filter(|b| branches.is_empty() || branches.contains(&b.name.as_str()))
+        .map(|b| BundleRef {
+            key: key.to_string(),
+            branch: b.name,
+            uid: b.head,
+        })
+        .collect();
+    if selected.is_empty() {
+        return Err(DbError::InvalidInput(format!(
+            "no matching branches on {key:?}"
+        )));
+    }
+
+    // Mark reachable chunks from the selected heads only.
+    let mut live: HashSet<Hash> = HashSet::new();
+    let mut order: Vec<Hash> = Vec::new();
+    let mut frontier: Vec<Hash> = selected.iter().map(|r| r.uid).collect();
+    while let Some(uid) = frontier.pop() {
+        if !live.insert(uid) {
+            continue;
+        }
+        order.push(uid);
+        let fnode = FNode::load(db.store(), &uid)?;
+        frontier.extend(fnode.bases.iter().copied());
+        let before = live.len();
+        gc::mark_value_into(db, &fnode.value, &mut live, &mut order)?;
+        debug_assert!(live.len() >= before);
+    }
+
+    out.write_all(MAGIC).map_err(io_err)?;
+    out.write_all(&(selected.len() as u32).to_le_bytes())
+        .map_err(io_err)?;
+    for r in &selected {
+        out.write_all(&(r.key.len() as u32).to_le_bytes()).map_err(io_err)?;
+        out.write_all(r.key.as_bytes()).map_err(io_err)?;
+        out.write_all(&(r.branch.len() as u32).to_le_bytes())
+            .map_err(io_err)?;
+        out.write_all(r.branch.as_bytes()).map_err(io_err)?;
+        out.write_all(r.uid.as_bytes()).map_err(io_err)?;
+    }
+    out.write_all(&(order.len() as u32).to_le_bytes()).map_err(io_err)?;
+    for hash in &order {
+        let bytes = db
+            .store()
+            .get(hash)?
+            .ok_or(DbError::NoSuchVersion(*hash))?;
+        out.write_all(hash.as_bytes()).map_err(io_err)?;
+        out.write_all(&(bytes.len() as u32).to_le_bytes()).map_err(io_err)?;
+        out.write_all(&bytes).map_err(io_err)?;
+    }
+    Ok(order.len() as u64)
+}
+
+/// Import a bundle into `db`, creating/updating the contained branches.
+/// Every chunk is hash-verified; every imported branch is fully verified
+/// before its ref is installed. Returns the installed refs.
+pub fn import_bundle<S: ChunkStore>(
+    db: &ForkBase<S>,
+    input: &mut dyn Read,
+) -> DbResult<Vec<BundleRef>> {
+    let mut magic = [0u8; 8];
+    input.read_exact(&mut magic).map_err(io_err)?;
+    if &magic != MAGIC {
+        return Err(DbError::InvalidInput("not a ForkBase bundle".into()));
+    }
+    let read_u32 = |input: &mut dyn Read| -> DbResult<u32> {
+        let mut b = [0u8; 4];
+        input.read_exact(&mut b).map_err(io_err)?;
+        Ok(u32::from_le_bytes(b))
+    };
+    let read_hash = |input: &mut dyn Read| -> DbResult<Hash> {
+        let mut b = [0u8; 32];
+        input.read_exact(&mut b).map_err(io_err)?;
+        Ok(Hash::from_bytes(b))
+    };
+    let read_string = |input: &mut dyn Read| -> DbResult<String> {
+        let len = read_u32(input)? as usize;
+        if len > 1 << 20 {
+            return Err(DbError::InvalidInput("implausible string length".into()));
+        }
+        let mut b = vec![0u8; len];
+        input.read_exact(&mut b).map_err(io_err)?;
+        String::from_utf8(b).map_err(|_| DbError::InvalidInput("non-UTF-8 name".into()))
+    };
+
+    let ref_count = read_u32(input)? as usize;
+    if ref_count == 0 || ref_count > 1 << 16 {
+        return Err(DbError::InvalidInput("implausible ref count".into()));
+    }
+    let mut refs = Vec::with_capacity(ref_count);
+    for _ in 0..ref_count {
+        let key = read_string(input)?;
+        let branch = read_string(input)?;
+        let uid = read_hash(input)?;
+        refs.push(BundleRef { key, branch, uid });
+    }
+
+    let chunk_count = read_u32(input)? as usize;
+    for _ in 0..chunk_count {
+        let hash = read_hash(input)?;
+        let len = read_u32(input)? as usize;
+        if len > 1 << 28 {
+            return Err(DbError::InvalidInput("implausible chunk length".into()));
+        }
+        let mut payload = vec![0u8; len];
+        input.read_exact(&mut payload).map_err(io_err)?;
+        // Hash verification on the way in: tampered bundles die here.
+        let actual = sha256(&payload);
+        if actual != hash {
+            return Err(DbError::TamperDetected(format!(
+                "bundle chunk claims {hash:?} but hashes to {actual:?}"
+            )));
+        }
+        db.store().put_with_hash(hash, Bytes::from(payload))?;
+    }
+
+    // Install refs only after their full histories verify.
+    for r in &refs {
+        let fnode = FNode::load(db.store(), &r.uid)?;
+        if fnode.key != r.key {
+            return Err(DbError::TamperDetected(format!(
+                "bundle ref {}@{} points at key {:?}",
+                r.key, r.branch, fnode.key
+            )));
+        }
+        // Ensure every version in the history is present and valid before
+        // exposing the branch.
+        let mut frontier = vec![r.uid];
+        let mut seen = HashSet::new();
+        while let Some(uid) = frontier.pop() {
+            if !seen.insert(uid) {
+                continue;
+            }
+            let f = FNode::load(db.store(), &uid)?;
+            db.verify_value(&f.value)?;
+            frontier.extend(f.bases);
+        }
+        // Create the key/branch (overwriting an existing branch head would
+        // discard local work; require it to be absent or identical).
+        match db.head(&r.key, &r.branch) {
+            Ok(existing) if existing == r.uid => {}
+            Ok(_) => {
+                return Err(DbError::BranchExists {
+                    key: r.key.clone(),
+                    branch: r.branch.clone(),
+                })
+            }
+            Err(_) => {
+                db.install_ref(&r.key, &r.branch, r.uid)?;
+            }
+        }
+    }
+    Ok(refs)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::db::{PutOptions, VersionSpec};
+    use forkbase_postree::TreeConfig;
+    use forkbase_store::MemStore;
+    use forkbase_types::Value;
+
+    fn db() -> ForkBase<MemStore> {
+        ForkBase::with_config(MemStore::new(), TreeConfig::test_config())
+    }
+
+    fn seeded() -> ForkBase<MemStore> {
+        let d = db();
+        let pairs: Vec<(Bytes, Bytes)> = (0..300)
+            .map(|i| (Bytes::from(format!("k{i:04}")), Bytes::from(format!("v{i}"))))
+            .collect();
+        let map = d.new_map(pairs).unwrap();
+        d.put("data", map, &PutOptions::default().message("load")).unwrap();
+        d.branch("data", "master", "dev").unwrap();
+        d.put(
+            "data",
+            Value::string("dev note"),
+            &PutOptions::on_branch("dev").message("note"),
+        )
+        .unwrap();
+        d
+    }
+
+    #[test]
+    fn roundtrip_all_branches() {
+        let src = seeded();
+        let mut bundle = Vec::new();
+        let chunks = export_bundle(&src, "data", &[], &mut bundle).unwrap();
+        assert!(chunks > 5);
+
+        let dst = db();
+        let refs = import_bundle(&dst, &mut bundle.as_slice()).unwrap();
+        assert_eq!(refs.len(), 2);
+        assert_eq!(
+            dst.head("data", "master").unwrap(),
+            src.head("data", "master").unwrap()
+        );
+        assert_eq!(
+            dst.get("data", "dev").unwrap().value.as_str(),
+            Some("dev note")
+        );
+        // Imported history fully verifies and walks.
+        dst.verify_branch("data", "master").unwrap();
+        assert_eq!(
+            dst.history("data", &VersionSpec::branch("dev")).unwrap().len(),
+            2
+        );
+    }
+
+    #[test]
+    fn single_branch_export_excludes_others() {
+        let src = seeded();
+        let mut bundle = Vec::new();
+        export_bundle(&src, "data", &["master"], &mut bundle).unwrap();
+        let dst = db();
+        let refs = import_bundle(&dst, &mut bundle.as_slice()).unwrap();
+        assert_eq!(refs.len(), 1);
+        assert!(dst.head("data", "master").is_ok());
+        assert!(dst.head("data", "dev").is_err());
+    }
+
+    #[test]
+    fn tampered_bundle_rejected() {
+        let src = seeded();
+        let mut bundle = Vec::new();
+        export_bundle(&src, "data", &[], &mut bundle).unwrap();
+        // Flip one payload byte somewhere after the refs section.
+        let mid = bundle.len() / 2;
+        bundle[mid] ^= 0x01;
+        let dst = db();
+        let result = import_bundle(&dst, &mut bundle.as_slice());
+        assert!(result.is_err(), "tampered bundle must not import");
+        // And no branch must have been installed.
+        assert!(dst.list_keys().is_empty());
+    }
+
+    #[test]
+    fn truncated_bundle_rejected() {
+        let src = seeded();
+        let mut bundle = Vec::new();
+        export_bundle(&src, "data", &[], &mut bundle).unwrap();
+        bundle.truncate(bundle.len() - 10);
+        let dst = db();
+        assert!(import_bundle(&dst, &mut bundle.as_slice()).is_err());
+    }
+
+    #[test]
+    fn import_refuses_to_clobber_diverged_branch() {
+        let src = seeded();
+        let mut bundle = Vec::new();
+        export_bundle(&src, "data", &["master"], &mut bundle).unwrap();
+
+        // Destination has its own diverged "data"@master.
+        let dst = db();
+        dst.put("data", Value::string("local work"), &PutOptions::default())
+            .unwrap();
+        assert!(matches!(
+            import_bundle(&dst, &mut bundle.as_slice()),
+            Err(DbError::BranchExists { .. })
+        ));
+    }
+
+    #[test]
+    fn reimport_is_idempotent() {
+        let src = seeded();
+        let mut bundle = Vec::new();
+        export_bundle(&src, "data", &[], &mut bundle).unwrap();
+        let dst = db();
+        import_bundle(&dst, &mut bundle.as_slice()).unwrap();
+        let chunks = forkbase_store::ChunkStore::chunk_count(dst.store());
+        // Second import: all dedup hits, same refs, no error.
+        import_bundle(&dst, &mut bundle.as_slice()).unwrap();
+        assert_eq!(forkbase_store::ChunkStore::chunk_count(dst.store()), chunks);
+    }
+
+    #[test]
+    fn garbage_input_rejected() {
+        let dst = db();
+        assert!(import_bundle(&dst, &mut &b"not a bundle at all"[..]).is_err());
+        assert!(import_bundle(&dst, &mut &b""[..]).is_err());
+    }
+}

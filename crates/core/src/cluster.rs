@@ -1,0 +1,337 @@
+//! Multi-servelet cluster simulation.
+//!
+//! The ForkBase of the paper is "a distributed storage system": a master
+//! dispatches requests to *servelets*, each owning a partition of the key
+//! space. This module reproduces that architecture in-process so the
+//! routing and partitioning code paths are real, without requiring a
+//! cluster: every servelet is a worker thread owning a private
+//! [`ForkBase`]`<`[`MemStore`]`>`, requests travel over crossbeam channels
+//! (the "network"), and keys are placed by consistent hashing.
+//!
+//! The simulation preserves the behaviours that matter to the paper's
+//! claims: per-servelet deduplication, branch isolation, and the fact that
+//! all versions of a key live on the same servelet (so diff/merge never
+//! cross nodes — the same placement rule the real system uses).
+
+use crossbeam::channel::{bounded, unbounded, Sender};
+use forkbase_crypto::sha256;
+use forkbase_postree::TreeConfig;
+use forkbase_store::MemStore;
+
+use crate::db::{CommitResult, ForkBase, GetResult, PutOptions};
+use crate::error::DbResult;
+use forkbase_types::Value;
+
+/// A job shipped to a servelet thread.
+type Job = Box<dyn FnOnce(&ForkBase<MemStore>) + Send>;
+
+struct Servelet {
+    tx: Sender<Job>,
+    handle: Option<std::thread::JoinHandle<()>>,
+}
+
+/// An in-process ForkBase cluster.
+pub struct Cluster {
+    /// `(point, servelet index)` sorted by point — the consistent-hash ring.
+    ring: Vec<(u64, usize)>,
+    servelets: Vec<Servelet>,
+}
+
+/// Virtual nodes per servelet on the hash ring; more points = smoother
+/// key balance.
+const VNODES: usize = 32;
+
+impl Cluster {
+    /// Spin up `n` servelets (n ≥ 1) with the given tree configuration.
+    pub fn new(n: usize, cfg: TreeConfig) -> Self {
+        assert!(n >= 1, "a cluster needs at least one servelet");
+        let mut servelets = Vec::with_capacity(n);
+        for _ in 0..n {
+            let (tx, rx) = unbounded::<Job>();
+            let handle = std::thread::spawn(move || {
+                let db = ForkBase::with_config(MemStore::new(), cfg);
+                while let Ok(job) = rx.recv() {
+                    job(&db);
+                }
+            });
+            servelets.push(Servelet {
+                tx,
+                handle: Some(handle),
+            });
+        }
+        let mut ring = Vec::with_capacity(n * VNODES);
+        for (idx, _) in servelets.iter().enumerate() {
+            for v in 0..VNODES {
+                let point = ring_point(&format!("servelet-{idx}-vnode-{v}"));
+                ring.push((point, idx));
+            }
+        }
+        ring.sort_unstable();
+        Cluster { ring, servelets }
+    }
+
+    /// Number of servelets.
+    pub fn len(&self) -> usize {
+        self.servelets.len()
+    }
+
+    /// Whether the cluster is empty (never true — kept for API symmetry).
+    pub fn is_empty(&self) -> bool {
+        self.servelets.is_empty()
+    }
+
+    /// The servelet that owns `key` (consistent hashing).
+    pub fn route(&self, key: &str) -> usize {
+        let point = ring_point(key);
+        let idx = self.ring.partition_point(|(p, _)| *p < point);
+        let (_, servelet) = self.ring[idx % self.ring.len()];
+        servelet
+    }
+
+    /// Run `f` against the database of servelet `node` and wait for the
+    /// result (simulated RPC).
+    pub fn on_node<R: Send + 'static>(
+        &self,
+        node: usize,
+        f: impl FnOnce(&ForkBase<MemStore>) -> R + Send + 'static,
+    ) -> R {
+        let (tx, rx) = bounded(1);
+        self.servelets[node]
+            .tx
+            .send(Box::new(move |db| {
+                let _ = tx.send(f(db));
+            }))
+            .expect("servelet thread alive");
+        rx.recv().expect("servelet responds")
+    }
+
+    /// Run `f` against the servelet owning `key`.
+    pub fn with_key<R: Send + 'static>(
+        &self,
+        key: &str,
+        f: impl FnOnce(&ForkBase<MemStore>) -> R + Send + 'static,
+    ) -> R {
+        self.on_node(self.route(key), f)
+    }
+
+    /// `Put` routed to the owning servelet.
+    pub fn put(&self, key: &str, value: Value, opts: PutOptions) -> DbResult<CommitResult> {
+        let key = key.to_string();
+        self.with_key(&key.clone(), move |db| db.put(&key, value, &opts))
+    }
+
+    /// `Put` a string value (cross-node safe: the value is built on the
+    /// owning servelet).
+    pub fn put_string(
+        &self,
+        key: &str,
+        content: String,
+        opts: PutOptions,
+    ) -> DbResult<CommitResult> {
+        self.put(key, Value::Str(content), opts)
+    }
+
+    /// `Put` a blob built from raw content on the owning servelet.
+    pub fn put_blob(&self, key: &str, content: Vec<u8>, opts: PutOptions) -> DbResult<CommitResult> {
+        let key_owned = key.to_string();
+        self.with_key(key, move |db| {
+            let value = db.new_blob(&content)?;
+            db.put(&key_owned, value, &opts)
+        })
+    }
+
+    /// `Get` routed to the owning servelet.
+    pub fn get(&self, key: &str, branch: &str) -> DbResult<GetResult> {
+        let key_owned = key.to_string();
+        let branch = branch.to_string();
+        self.with_key(key, move |db| db.get(&key_owned, &branch))
+    }
+
+    /// All keys across every servelet, sorted.
+    pub fn list_keys(&self) -> Vec<String> {
+        let mut keys = Vec::new();
+        for node in 0..self.len() {
+            keys.extend(self.on_node(node, |db| db.list_keys()));
+        }
+        keys.sort();
+        keys
+    }
+
+    /// Aggregate chunk statistics across servelets.
+    pub fn total_stored_bytes(&self) -> u64 {
+        (0..self.len())
+            .map(|n| self.on_node(n, |db| forkbase_store::ChunkStore::stored_bytes(db.store())))
+            .sum()
+    }
+
+    /// Distribution of keys per servelet (for balance checks).
+    pub fn key_distribution(&self) -> Vec<usize> {
+        (0..self.len())
+            .map(|n| self.on_node(n, |db| db.list_keys().len()))
+            .collect()
+    }
+}
+
+impl Drop for Cluster {
+    fn drop(&mut self) {
+        for s in &mut self.servelets {
+            // Closing the channel stops the worker loop.
+            let (dead_tx, _) = unbounded::<Job>();
+            let tx = std::mem::replace(&mut s.tx, dead_tx);
+            drop(tx);
+            if let Some(h) = s.handle.take() {
+                let _ = h.join();
+            }
+        }
+    }
+}
+
+fn ring_point(s: &str) -> u64 {
+    let h = sha256(s.as_bytes());
+    u64::from_le_bytes(h.as_bytes()[..8].try_into().expect("8 bytes"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::db::VersionSpec;
+
+    fn cluster(n: usize) -> Cluster {
+        Cluster::new(n, TreeConfig::test_config())
+    }
+
+    #[test]
+    fn routing_is_deterministic_and_total() {
+        let c = cluster(4);
+        for i in 0..100 {
+            let key = format!("key-{i}");
+            let a = c.route(&key);
+            let b = c.route(&key);
+            assert_eq!(a, b);
+            assert!(a < 4);
+        }
+    }
+
+    #[test]
+    fn keys_spread_across_servelets() {
+        let c = cluster(4);
+        for i in 0..200 {
+            c.put_string(
+                &format!("key-{i}"),
+                format!("value {i}"),
+                PutOptions::default(),
+            )
+            .unwrap();
+        }
+        let dist = c.key_distribution();
+        assert_eq!(dist.iter().sum::<usize>(), 200);
+        for (node, count) in dist.iter().enumerate() {
+            assert!(
+                *count > 10,
+                "servelet {node} owns only {count} of 200 keys — ring imbalance"
+            );
+        }
+    }
+
+    #[test]
+    fn put_get_roundtrip_through_cluster() {
+        let c = cluster(3);
+        c.put_string("doc", "distributed hello".into(), PutOptions::default())
+            .unwrap();
+        let got = c.get("doc", "master").unwrap();
+        assert_eq!(got.value.as_str(), Some("distributed hello"));
+    }
+
+    #[test]
+    fn versions_of_a_key_stay_on_one_servelet() {
+        let c = cluster(4);
+        for rev in 0..5 {
+            c.put_string("evolving", format!("rev {rev}"), PutOptions::default())
+                .unwrap();
+        }
+        // History must be fully resolvable on the owning node.
+        let history = c.with_key("evolving", |db| {
+            db.history("evolving", &VersionSpec::branch("master"))
+        });
+        assert_eq!(history.unwrap().len(), 5);
+        // And absent everywhere else.
+        let owner = c.route("evolving");
+        for node in 0..c.len() {
+            let present = c.on_node(node, |db| db.list_keys().contains(&"evolving".to_string()));
+            assert_eq!(present, node == owner);
+        }
+    }
+
+    #[test]
+    fn branch_and_merge_on_owning_servelet() {
+        let c = cluster(2);
+        c.with_key("data", |db| {
+            let pairs = (0..200)
+                .map(|i| {
+                    (
+                        bytes::Bytes::from(format!("k{i:04}")),
+                        bytes::Bytes::from(format!("v{i}")),
+                    )
+                })
+                .collect();
+            let map = db.new_map(pairs)?;
+            db.put("data", map, &PutOptions::default())?;
+            db.branch("data", "master", "dev")?;
+            let head = db.get("data", "dev")?;
+            let updated = db.map_apply(
+                &head.value,
+                vec![forkbase_postree::MapEdit::put(
+                    bytes::Bytes::from_static(b"k0001"),
+                    bytes::Bytes::from_static(b"changed"),
+                )],
+            )?;
+            db.put("data", updated, &PutOptions::on_branch("dev"))?;
+            db.merge(
+                "data",
+                "master",
+                "dev",
+                forkbase_postree::MergePolicy::Fail,
+                &PutOptions::default(),
+            )
+        })
+        .unwrap();
+        let merged = c.get("data", "master").unwrap();
+        let v = c.with_key("data", move |db| db.map_get(&merged.value, b"k0001"));
+        assert_eq!(v.unwrap(), Some(bytes::Bytes::from_static(b"changed")));
+    }
+
+    #[test]
+    fn concurrent_clients() {
+        let c = std::sync::Arc::new(cluster(4));
+        let mut handles = Vec::new();
+        for t in 0..8 {
+            let c = std::sync::Arc::clone(&c);
+            handles.push(std::thread::spawn(move || {
+                for i in 0..25 {
+                    c.put_string(
+                        &format!("client{t}-key{i}"),
+                        format!("payload {t}/{i}"),
+                        PutOptions::default(),
+                    )
+                    .unwrap();
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(c.list_keys().len(), 8 * 25);
+    }
+
+    #[test]
+    fn stored_bytes_aggregate() {
+        let c = cluster(2);
+        assert_eq!(c.total_stored_bytes(), 0);
+        // Varied content: constant bytes would self-dedup to almost nothing.
+        let content: Vec<u8> = (0..10_000u32)
+            .map(|i| (i.wrapping_mul(2654435761) >> 13) as u8)
+            .collect();
+        c.put_blob("blob", content, PutOptions::default()).unwrap();
+        assert!(c.total_stored_bytes() >= 10_000);
+    }
+}

@@ -1,0 +1,167 @@
+//! Unified error type for the ForkBase database layer.
+
+use forkbase_crypto::Hash;
+use forkbase_postree::node::NodeError;
+use forkbase_postree::verify::VerifyError;
+use forkbase_store::StoreError;
+use forkbase_types::ValueDecodeError;
+
+/// Result alias for database operations.
+pub type DbResult<T> = Result<T, DbError>;
+
+/// Errors raised by ForkBase operations.
+#[derive(Debug)]
+pub enum DbError {
+    /// Chunk store failure.
+    Store(StoreError),
+    /// POS-Tree failure.
+    Node(NodeError),
+    /// Value codec failure.
+    Value(ValueDecodeError),
+    /// The requested key does not exist.
+    NoSuchKey(String),
+    /// The requested branch does not exist for this key.
+    NoSuchBranch {
+        /// The key queried.
+        key: String,
+        /// The missing branch.
+        branch: String,
+    },
+    /// The requested version does not exist.
+    NoSuchVersion(Hash),
+    /// A branch with this name already exists.
+    BranchExists {
+        /// The key.
+        key: String,
+        /// The already-present branch.
+        branch: String,
+    },
+    /// Merge found conflicting edits and the policy was `Fail`.
+    MergeConflicts(Vec<forkbase_postree::merge::MergeConflict>),
+    /// The two versions have no common ancestor (distinct histories).
+    NoCommonAncestor(Hash, Hash),
+    /// Merge/diff requires compatible value types.
+    TypeMismatch {
+        /// What the operation expected.
+        expected: &'static str,
+        /// What it found.
+        found: &'static str,
+    },
+    /// Tamper evidence: content failed validation against its uid.
+    TamperDetected(String),
+    /// The caller lacks permission for the operation.
+    PermissionDenied(String),
+    /// Malformed input (bad key/branch names, etc.).
+    InvalidInput(String),
+}
+
+impl std::fmt::Display for DbError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DbError::Store(e) => write!(f, "store error: {e}"),
+            DbError::Node(e) => write!(f, "tree error: {e}"),
+            DbError::Value(e) => write!(f, "value error: {e}"),
+            DbError::NoSuchKey(k) => write!(f, "no such key: {k:?}"),
+            DbError::NoSuchBranch { key, branch } => {
+                write!(f, "key {key:?} has no branch {branch:?}")
+            }
+            DbError::NoSuchVersion(h) => write!(f, "no such version: {h}"),
+            DbError::BranchExists { key, branch } => {
+                write!(f, "branch {branch:?} already exists for key {key:?}")
+            }
+            DbError::MergeConflicts(c) => write!(f, "merge found {} conflict(s)", c.len()),
+            DbError::NoCommonAncestor(a, b) => {
+                write!(f, "versions {a} and {b} share no common ancestor")
+            }
+            DbError::TypeMismatch { expected, found } => {
+                write!(f, "type mismatch: expected {expected}, found {found}")
+            }
+            DbError::TamperDetected(m) => write!(f, "TAMPER DETECTED: {m}"),
+            DbError::PermissionDenied(m) => write!(f, "permission denied: {m}"),
+            DbError::InvalidInput(m) => write!(f, "invalid input: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for DbError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            DbError::Store(e) => Some(e),
+            DbError::Node(e) => Some(e),
+            DbError::Value(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<StoreError> for DbError {
+    fn from(e: StoreError) -> Self {
+        DbError::Store(e)
+    }
+}
+
+impl From<NodeError> for DbError {
+    fn from(e: NodeError) -> Self {
+        DbError::Node(e)
+    }
+}
+
+impl From<ValueDecodeError> for DbError {
+    fn from(e: ValueDecodeError) -> Self {
+        DbError::Value(e)
+    }
+}
+
+impl From<VerifyError> for DbError {
+    fn from(e: VerifyError) -> Self {
+        DbError::TamperDetected(e.to_string())
+    }
+}
+
+impl From<forkbase_postree::merge::MergeError> for DbError {
+    fn from(e: forkbase_postree::merge::MergeError) -> Self {
+        match e {
+            forkbase_postree::merge::MergeError::Node(n) => DbError::Node(n),
+            forkbase_postree::merge::MergeError::Conflicts(c) => DbError::MergeConflicts(c),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use forkbase_crypto::sha256;
+
+    #[test]
+    fn display_covers_variants() {
+        let cases: Vec<DbError> = vec![
+            DbError::NoSuchKey("k".into()),
+            DbError::NoSuchBranch {
+                key: "k".into(),
+                branch: "b".into(),
+            },
+            DbError::NoSuchVersion(sha256(b"v")),
+            DbError::BranchExists {
+                key: "k".into(),
+                branch: "b".into(),
+            },
+            DbError::NoCommonAncestor(sha256(b"a"), sha256(b"b")),
+            DbError::TypeMismatch {
+                expected: "map",
+                found: "blob",
+            },
+            DbError::TamperDetected("bad hash".into()),
+            DbError::PermissionDenied("nope".into()),
+            DbError::InvalidInput("bad".into()),
+        ];
+        for e in cases {
+            assert!(!e.to_string().is_empty());
+        }
+    }
+
+    #[test]
+    fn tamper_message_is_loud() {
+        let e = DbError::TamperDetected("uid mismatch".into());
+        assert!(e.to_string().contains("TAMPER"));
+    }
+}

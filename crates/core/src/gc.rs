@@ -1,0 +1,226 @@
+//! Mark-and-sweep garbage collection over the chunk store.
+//!
+//! ForkBase data is immutable, so "deletion" happens only by moving branch
+//! heads. Chunks not reachable from any branch head (dropped branches,
+//! abandoned experiments) can be reclaimed offline. The mark phase walks:
+//!
+//! ```text
+//! branch heads → FNodes → (bases…, value trees → nodes → data chunks)
+//! ```
+//!
+//! and the sweep drops everything unvisited. GC preserves all *history*
+//! reachable from live heads — this is archival storage, not a cache.
+
+use std::collections::HashSet;
+
+use forkbase_crypto::Hash;
+use forkbase_postree::node::Node;
+use forkbase_store::{ChunkStore, MemStore};
+use forkbase_types::Value;
+
+use crate::db::ForkBase;
+use crate::error::DbResult;
+use crate::fnode::FNode;
+
+/// The set of chunks reachable from all branch heads.
+pub fn mark<S: ChunkStore>(db: &ForkBase<S>) -> DbResult<HashSet<Hash>> {
+    let mut live: HashSet<Hash> = HashSet::new();
+    let mut frontier: Vec<Hash> = Vec::new();
+    for key in db.list_keys() {
+        for b in db.list_branches(&key)? {
+            frontier.push(b.head);
+        }
+    }
+    while let Some(uid) = frontier.pop() {
+        if !live.insert(uid) {
+            continue;
+        }
+        // A frontier hash is always an FNode (bases and heads are FNodes).
+        let fnode = FNode::load(db.store(), &uid)?;
+        frontier.extend(fnode.bases.iter().copied());
+        mark_value(db, &fnode.value, &mut live)?;
+    }
+    Ok(live)
+}
+
+fn mark_value<S: ChunkStore>(
+    db: &ForkBase<S>,
+    value: &Value,
+    live: &mut HashSet<Hash>,
+) -> DbResult<()> {
+    let mut order = Vec::new();
+    mark_value_into(db, value, live, &mut order)
+}
+
+/// Order-preserving variant used by bundle export: appends every newly
+/// discovered chunk hash to `order` in discovery order.
+pub(crate) fn mark_value_into<S: ChunkStore>(
+    db: &ForkBase<S>,
+    value: &Value,
+    live: &mut HashSet<Hash>,
+    order: &mut Vec<Hash>,
+) -> DbResult<()> {
+    match value {
+        Value::Map(t) | Value::Set(t) | Value::List(t) => mark_tree(db, &t.root, live, order),
+        Value::Blob(r) => mark_blob(db, &r.root, r.depth, live, order),
+        _ => Ok(()),
+    }
+}
+
+fn mark_tree<S: ChunkStore>(
+    db: &ForkBase<S>,
+    root: &Hash,
+    live: &mut HashSet<Hash>,
+    order: &mut Vec<Hash>,
+) -> DbResult<()> {
+    if !live.insert(*root) {
+        return Ok(());
+    }
+    order.push(*root);
+    let node = Node::load(db.store(), root)?;
+    if let Node::Index { children, .. } = node {
+        for c in children {
+            mark_tree(db, &c.hash, live, order)?;
+        }
+    }
+    Ok(())
+}
+
+fn mark_blob<S: ChunkStore>(
+    db: &ForkBase<S>,
+    root: &Hash,
+    depth: u8,
+    live: &mut HashSet<Hash>,
+    order: &mut Vec<Hash>,
+) -> DbResult<()> {
+    if !live.insert(*root) {
+        return Ok(());
+    }
+    order.push(*root);
+    if depth == 0 {
+        return Ok(()); // raw chunk
+    }
+    let node = Node::load(db.store(), root)?;
+    if let Node::Index { children, .. } = node {
+        for c in children {
+            mark_blob(db, &c.hash, depth - 1, live, order)?;
+        }
+    }
+    Ok(())
+}
+
+/// Run a full mark-and-sweep on a [`MemStore`]-backed database. Returns
+/// `(chunks_reclaimed, bytes_reclaimed)`.
+pub fn collect(db: &ForkBase<MemStore>) -> DbResult<(u64, u64)> {
+    let live = mark(db)?;
+    Ok(db.store().sweep(|h| live.contains(h)))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::db::{PutOptions, VersionSpec};
+    use bytes::Bytes;
+    use forkbase_postree::TreeConfig;
+
+    fn db() -> ForkBase<MemStore> {
+        ForkBase::with_config(MemStore::new(), TreeConfig::test_config())
+    }
+
+    #[test]
+    fn nothing_reclaimed_when_everything_is_live() {
+        let db = db();
+        let pairs: Vec<(Bytes, Bytes)> = (0..500)
+            .map(|i| (Bytes::from(format!("k{i:05}")), Bytes::from(format!("v{i}"))))
+            .collect();
+        let map = db.new_map(pairs).unwrap();
+        db.put("data", map, &PutOptions::default()).unwrap();
+        let (chunks, bytes) = collect(&db).unwrap();
+        assert_eq!((chunks, bytes), (0, 0));
+        // Data still readable.
+        let got = db.get("data", "master").unwrap();
+        assert!(db.verify_value(&got.value).is_ok());
+    }
+
+    #[test]
+    fn dropped_branch_is_reclaimed_but_history_stays() {
+        let db = db();
+        let pairs: Vec<(Bytes, Bytes)> = (0..500)
+            .map(|i| (Bytes::from(format!("k{i:05}")), Bytes::from(format!("v{i}"))))
+            .collect();
+        let map = db.new_map(pairs).unwrap();
+        db.put("data", map, &PutOptions::default()).unwrap();
+
+        // Branch off and write a large divergent value, then delete the
+        // branch.
+        db.branch("data", "master", "scratch").unwrap();
+        let big: Vec<(Bytes, Bytes)> = (0..500)
+            .map(|i| (Bytes::from(format!("x{i:05}")), Bytes::from(vec![7u8; 100])))
+            .collect();
+        let scratch_map = db.new_map(big).unwrap();
+        db.put("data", scratch_map, &PutOptions::on_branch("scratch"))
+            .unwrap();
+        let before = db.store().chunk_count();
+        db.delete_branch("data", "scratch").unwrap();
+
+        let (chunks, _) = collect(&db).unwrap();
+        assert!(chunks > 0, "scratch branch data must be reclaimed");
+        assert!(db.store().chunk_count() < before);
+
+        // Master and its full history still verify.
+        db.verify_branch("data", "master").unwrap();
+        let history = db
+            .history("data", &VersionSpec::branch("master"))
+            .unwrap();
+        assert_eq!(history.len(), 1);
+    }
+
+    #[test]
+    fn history_of_live_branch_is_never_collected() {
+        let db = db();
+        for i in 0..5 {
+            db.put(
+                "doc",
+                forkbase_types::Value::string(format!("revision {i}")),
+                &PutOptions::default(),
+            )
+            .unwrap();
+        }
+        let (chunks, _) = collect(&db).unwrap();
+        assert_eq!(chunks, 0, "all five revisions are reachable via bases");
+        let history = db.history("doc", &VersionSpec::branch("master")).unwrap();
+        assert_eq!(history.len(), 5);
+        for h in history {
+            assert!(db.verify_version(&h.uid).is_ok());
+        }
+    }
+
+    #[test]
+    fn shared_chunks_survive_partial_deletion() {
+        let db = db();
+        // Two keys share most of their map content.
+        let mk = |extra: &str| -> Vec<(Bytes, Bytes)> {
+            let mut v: Vec<(Bytes, Bytes)> = (0..300)
+                .map(|i| (Bytes::from(format!("k{i:05}")), Bytes::from(format!("v{i}"))))
+                .collect();
+            v.push((Bytes::from(extra.to_string()), Bytes::from_static(b"1")));
+            v
+        };
+        let m1 = db.new_map(mk("only-a")).unwrap();
+        let m2 = db.new_map(mk("only-b")).unwrap();
+        db.put("a", m1, &PutOptions::default()).unwrap();
+        db.put("b", m2, &PutOptions::default()).unwrap();
+
+        // Delete key "b" entirely (drop its only branch).
+        db.delete_branch("b", "master").unwrap();
+        collect(&db).unwrap();
+
+        // Key "a" must still fully verify: shared chunks were retained.
+        db.verify_branch("a", "master").unwrap();
+        let got = db.get("a", "master").unwrap();
+        assert_eq!(
+            db.map_get(&got.value, b"only-a").unwrap(),
+            Some(Bytes::from_static(b"1"))
+        );
+    }
+}

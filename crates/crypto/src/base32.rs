@@ -1,0 +1,147 @@
+//! RFC 4648 §6 Base32 codec.
+//!
+//! The paper (§III-C) states that ForkBase version identifiers are "encoded
+//! using the RFC 4648 Base32 alphabet". We implement the standard alphabet
+//! `A–Z2–7` with `=` padding on encode and tolerant (padding-optional,
+//! case-insensitive) decode.
+
+const ALPHABET: &[u8; 32] = b"ABCDEFGHIJKLMNOPQRSTUVWXYZ234567";
+const PAD: u8 = b'=';
+
+/// Encode `data` as RFC 4648 Base32 (with padding).
+pub fn base32_encode(data: &[u8]) -> String {
+    let mut out = String::with_capacity(data.len().div_ceil(5) * 8);
+    for group in data.chunks(5) {
+        // Pack up to 5 bytes into a 40-bit buffer, left aligned.
+        let mut buf = [0u8; 5];
+        buf[..group.len()].copy_from_slice(group);
+        let v = u64::from(buf[0]) << 32
+            | u64::from(buf[1]) << 24
+            | u64::from(buf[2]) << 16
+            | u64::from(buf[3]) << 8
+            | u64::from(buf[4]);
+        // Number of significant base32 digits for this group length.
+        let digits = match group.len() {
+            1 => 2,
+            2 => 4,
+            3 => 5,
+            4 => 7,
+            _ => 8,
+        };
+        for i in 0..8 {
+            if i < digits {
+                let idx = ((v >> (35 - 5 * i)) & 0x1f) as usize;
+                out.push(ALPHABET[idx] as char);
+            } else {
+                out.push(PAD as char);
+            }
+        }
+    }
+    // A 32-byte hash encodes to 52 digits + 4 pad chars; strip padding for
+    // the canonical ForkBase uid rendering when the length is unambiguous.
+    out
+}
+
+/// Decode an RFC 4648 Base32 string. Accepts lowercase input and missing
+/// padding. Returns `None` on invalid characters or impossible lengths.
+pub fn base32_decode(s: &str) -> Option<Vec<u8>> {
+    let trimmed = s.trim_end_matches('=');
+    let mut out = Vec::with_capacity(trimmed.len() * 5 / 8 + 1);
+
+    let mut buf: u64 = 0;
+    let mut bits: u32 = 0;
+    for ch in trimmed.bytes() {
+        let v = decode_char(ch)?;
+        buf = (buf << 5) | u64::from(v);
+        bits += 5;
+        if bits >= 8 {
+            bits -= 8;
+            out.push((buf >> bits) as u8);
+        }
+    }
+    // Leftover bits must be zero padding (RFC 4648 canonical form).
+    if bits > 0 && (buf & ((1 << bits) - 1)) != 0 {
+        return None;
+    }
+    // Valid unpadded lengths mod 8 are 0,2,4,5,7.
+    if matches!(trimmed.len() % 8, 1 | 3 | 6) {
+        return None;
+    }
+    Some(out)
+}
+
+fn decode_char(c: u8) -> Option<u8> {
+    match c {
+        b'A'..=b'Z' => Some(c - b'A'),
+        b'a'..=b'z' => Some(c - b'a'),
+        b'2'..=b'7' => Some(c - b'2' + 26),
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// RFC 4648 §10 test vectors.
+    #[test]
+    fn rfc4648_vectors() {
+        let cases: &[(&[u8], &str)] = &[
+            (b"", ""),
+            (b"f", "MY======"),
+            (b"fo", "MZXQ===="),
+            (b"foo", "MZXW6==="),
+            (b"foob", "MZXW6YQ="),
+            (b"fooba", "MZXW6YTB"),
+            (b"foobar", "MZXW6YTBOI======"),
+        ];
+        for (plain, encoded) in cases {
+            assert_eq!(&base32_encode(plain), encoded, "encode {plain:?}");
+            assert_eq!(
+                base32_decode(encoded).as_deref(),
+                Some(*plain),
+                "decode {encoded}"
+            );
+        }
+    }
+
+    #[test]
+    fn decode_without_padding() {
+        assert_eq!(base32_decode("MZXW6YQ").as_deref(), Some(&b"foob"[..]));
+        assert_eq!(base32_decode("mzxw6ytb").as_deref(), Some(&b"fooba"[..]));
+    }
+
+    #[test]
+    fn decode_rejects_invalid() {
+        assert_eq!(base32_decode("1"), None, "digit 1 not in alphabet");
+        assert_eq!(base32_decode("M0======"), None, "digit 0 not in alphabet");
+        assert_eq!(base32_decode("M"), None, "impossible length");
+        assert_eq!(base32_decode("MZXW6YT!"), None, "punctuation");
+    }
+
+    #[test]
+    fn decode_rejects_nonzero_trailing_bits() {
+        // "MZ" decodes 10 bits; the low 2 bits must be zero. 'Z' = 25 =
+        // 0b11001, so the trailing bits are 0b01 -> invalid.
+        assert_eq!(base32_decode("MZ"), None);
+        assert_eq!(base32_decode("MY"), Some(vec![b'f']));
+    }
+
+    #[test]
+    fn roundtrip_binary() {
+        let data: Vec<u8> = (0..=255u8).collect();
+        for len in [0, 1, 2, 3, 4, 5, 31, 32, 33, 255] {
+            let slice = &data[..len.min(data.len())];
+            let enc = base32_encode(slice);
+            assert_eq!(base32_decode(&enc).as_deref(), Some(slice), "len {len}");
+        }
+    }
+
+    #[test]
+    fn hash_sized_roundtrip() {
+        let digest = [0xa5u8; 32];
+        let enc = base32_encode(&digest);
+        assert_eq!(enc.len(), 56); // 52 digits + 4 pads
+        assert_eq!(base32_decode(&enc).unwrap(), digest);
+    }
+}

@@ -1,0 +1,69 @@
+//! Minimal lowercase hex codec.
+
+/// Encode `data` as lowercase hex.
+pub fn hex_encode(data: &[u8]) -> String {
+    const ALPHABET: &[u8; 16] = b"0123456789abcdef";
+    let mut out = String::with_capacity(data.len() * 2);
+    for &b in data {
+        out.push(ALPHABET[(b >> 4) as usize] as char);
+        out.push(ALPHABET[(b & 0x0f) as usize] as char);
+    }
+    out
+}
+
+/// Decode a hex string (case-insensitive). Returns `None` on odd length or
+/// invalid digits.
+pub fn hex_decode(s: &str) -> Option<Vec<u8>> {
+    let bytes = s.as_bytes();
+    if !bytes.len().is_multiple_of(2) {
+        return None;
+    }
+    let mut out = Vec::with_capacity(bytes.len() / 2);
+    for pair in bytes.chunks_exact(2) {
+        let hi = hex_val(pair[0])?;
+        let lo = hex_val(pair[1])?;
+        out.push((hi << 4) | lo);
+    }
+    Some(out)
+}
+
+fn hex_val(c: u8) -> Option<u8> {
+    match c {
+        b'0'..=b'9' => Some(c - b'0'),
+        b'a'..=b'f' => Some(c - b'a' + 10),
+        b'A'..=b'F' => Some(c - b'A' + 10),
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn encode_known() {
+        assert_eq!(hex_encode(&[]), "");
+        assert_eq!(hex_encode(&[0x00, 0xff, 0x10]), "00ff10");
+        assert_eq!(hex_encode(b"Az"), "417a");
+    }
+
+    #[test]
+    fn decode_known() {
+        assert_eq!(hex_decode("00ff10"), Some(vec![0x00, 0xff, 0x10]));
+        assert_eq!(hex_decode("00FF10"), Some(vec![0x00, 0xff, 0x10]));
+        assert_eq!(hex_decode(""), Some(vec![]));
+    }
+
+    #[test]
+    fn decode_rejects_bad_input() {
+        assert_eq!(hex_decode("0"), None, "odd length");
+        assert_eq!(hex_decode("0g"), None, "invalid digit");
+        assert_eq!(hex_decode("  "), None, "whitespace");
+    }
+
+    #[test]
+    fn roundtrip_all_bytes() {
+        let data: Vec<u8> = (0..=255u8).collect();
+        assert_eq!(hex_decode(&hex_encode(&data)), Some(data));
+    }
+}

@@ -1,0 +1,608 @@
+//! Leaf-entry cursor with node-level navigation.
+//!
+//! [`LeafCursor`] walks a POS-Tree's leaf entries in key order while also
+//! exposing the *node* structure: callers can skip a whole leaf node in
+//! O(height) without decoding it, ask whether the current leaf is the tree's
+//! final node, and test alignment at ancestor levels. These powers drive
+//! both the incremental update (`map::apply`) and the sub-tree-pruning diff.
+
+use bytes::Bytes;
+use forkbase_crypto::Hash;
+use forkbase_store::ChunkStore;
+
+use crate::node::{IndexEntry, LeafEntry, Node, NodeError, NodeResult};
+use crate::TreeRef;
+
+/// One step of the root→leaf path.
+struct PathNode {
+    /// Children of this index node.
+    children: Vec<IndexEntry>,
+    /// Index of the child currently descended into.
+    idx: usize,
+    /// Content hash of this index node.
+    hash: Hash,
+    /// Height of this index node above the leaves (≥ 1).
+    level: u8,
+}
+
+/// A forward cursor over a tree's leaf entries.
+pub struct LeafCursor<'s, S> {
+    store: &'s S,
+    /// Root → parent-of-leaf chain. Empty when the root is itself a leaf.
+    path: Vec<PathNode>,
+    /// Reference (split_key, hash, count) of the current leaf node;
+    /// `None` when the cursor is exhausted.
+    leaf_ref: Option<IndexEntry>,
+    /// Lazily decoded entries of the current leaf.
+    leaf: Option<Vec<LeafEntry>>,
+    /// Position within the current leaf.
+    entry_idx: usize,
+    /// Number of leaf entries strictly before the current leaf node.
+    position_base: u64,
+    /// Total nodes decoded, for complexity accounting (Fig. 5 experiment).
+    nodes_loaded: u64,
+}
+
+impl<'s, S: ChunkStore> LeafCursor<'s, S> {
+    /// Open a cursor at the first entry of the tree.
+    pub fn new(store: &'s S, tree: TreeRef) -> NodeResult<Self> {
+        let mut cursor = LeafCursor {
+            store,
+            path: Vec::new(),
+            leaf_ref: None,
+            leaf: None,
+            entry_idx: 0,
+            position_base: 0,
+            nodes_loaded: 0,
+        };
+        cursor.descend_root(tree, DescendTo::First)?;
+        Ok(cursor)
+    }
+
+    /// Open a cursor positioned at the first entry with key ≥ `key`.
+    pub fn seek(store: &'s S, tree: TreeRef, key: &[u8]) -> NodeResult<Self> {
+        let mut cursor = LeafCursor {
+            store,
+            path: Vec::new(),
+            leaf_ref: None,
+            leaf: None,
+            entry_idx: 0,
+            position_base: 0,
+            nodes_loaded: 0,
+        };
+        cursor.descend_root(tree, DescendTo::Key(key))?;
+        // Position within the leaf.
+        if cursor.leaf_ref.is_some() {
+            let (idx, len) = {
+                let entries = cursor.load_leaf()?;
+                (entries.partition_point(|e| e.key.as_ref() < key), entries.len())
+            };
+            cursor.entry_idx = idx;
+            if idx == len {
+                // Key is greater than everything in this leaf; it can only
+                // happen when key > max key of tree (split-key descent
+                // otherwise lands in a leaf containing a ≥ key entry).
+                cursor.advance_leaf()?;
+            }
+        }
+        Ok(cursor)
+    }
+
+    fn descend_root(&mut self, tree: TreeRef, target: DescendTo<'_>) -> NodeResult<()> {
+        let root = self.load_node(&tree.root)?;
+        match root {
+            Node::Leaf(entries) => {
+                let split_key = entries.last().map(|e| e.key.clone()).unwrap_or_default();
+                self.leaf_ref = Some(IndexEntry::new(split_key, tree.root, entries.len() as u64));
+                self.leaf = Some(entries);
+                self.entry_idx = 0;
+            }
+            Node::Index { children, level } => {
+                self.path.push(PathNode {
+                    children,
+                    idx: 0,
+                    hash: tree.root,
+                    level,
+                });
+                self.descend(target)?;
+            }
+        }
+        Ok(())
+    }
+
+    /// Descend from the current deepest path node down to a leaf ref.
+    fn descend(&mut self, target: DescendTo<'_>) -> NodeResult<()> {
+        loop {
+            let top = self.path.last_mut().expect("descend with non-empty path");
+            let idx = match target {
+                DescendTo::First => 0,
+                DescendTo::Key(key) => {
+                    let i = top
+                        .children
+                        .partition_point(|c| c.split_key.as_ref() < key);
+                    i.min(top.children.len() - 1)
+                }
+            };
+            top.idx = idx;
+            if let DescendTo::Key(_) = target {
+                // position_base accounting only for the siblings we skipped.
+                for c in &top.children[..idx] {
+                    self.position_base += c.count;
+                }
+            }
+            let child_ref = top.children[idx].clone();
+            if top.level == 1 {
+                // Children of a level-1 index node are leaves. Do NOT load
+                // the leaf here: the ref (split key, hash, count) from the
+                // parent suffices for skipping and hash comparison, and
+                // `load_leaf` decodes lazily only when entries are read.
+                self.leaf_ref = Some(child_ref);
+                self.leaf = None;
+                self.entry_idx = 0;
+                return Ok(());
+            }
+            let child = self.load_node(&child_ref.hash)?;
+            match child {
+                Node::Index { children, level } => {
+                    debug_assert_eq!(level + 1, self.path.last().expect("parent").level);
+                    self.path.push(PathNode {
+                        children,
+                        idx: 0,
+                        hash: child_ref.hash,
+                        level,
+                    });
+                }
+                Node::Leaf(_) => {
+                    return Err(NodeError::Malformed(
+                        "leaf node below an index node of level > 1".into(),
+                    ))
+                }
+            }
+        }
+    }
+
+    fn load_node(&mut self, hash: &Hash) -> NodeResult<Node> {
+        self.nodes_loaded += 1;
+        Node::load(self.store, hash)
+    }
+
+    /// Count of nodes decoded so far by this cursor.
+    pub fn nodes_loaded(&self) -> u64 {
+        self.nodes_loaded
+    }
+
+    /// Reference of the current leaf node, or `None` at end of tree.
+    pub fn leaf_ref(&self) -> Option<&IndexEntry> {
+        self.leaf_ref.as_ref()
+    }
+
+    /// Whether the cursor sits at the first entry of its leaf node.
+    pub fn at_leaf_start(&self) -> bool {
+        self.entry_idx == 0
+    }
+
+    /// Whether the current leaf is the last leaf node of the tree.
+    pub fn leaf_is_last(&self) -> bool {
+        self.leaf_ref.is_some() && self.path.iter().all(|p| p.idx + 1 == p.children.len())
+    }
+
+    /// Number of leaf entries strictly before the cursor position.
+    pub fn position(&self) -> u64 {
+        self.position_base + self.entry_idx as u64
+    }
+
+    /// Whether the cursor has run off the end of the tree.
+    pub fn at_end(&self) -> bool {
+        self.leaf_ref.is_none()
+    }
+
+    fn load_leaf(&mut self) -> NodeResult<&Vec<LeafEntry>> {
+        if self.leaf.is_none() {
+            let hash = self
+                .leaf_ref
+                .as_ref()
+                .expect("load_leaf at end of tree")
+                .hash;
+            let node = self.load_node(&hash)?;
+            match node {
+                Node::Leaf(entries) => self.leaf = Some(entries),
+                Node::Index { .. } => {
+                    return Err(NodeError::Malformed(
+                        "index node where a leaf was expected".into(),
+                    ))
+                }
+            }
+        }
+        Ok(self.leaf.as_ref().expect("just loaded"))
+    }
+
+    /// Advance past any fully-consumed leaf so the cursor either points at
+    /// a real entry (at its node's start if the previous node was drained)
+    /// or reaches the end. Uses `leaf_ref.count`, so it never decodes the
+    /// node being left behind.
+    pub fn normalize(&mut self) -> NodeResult<()> {
+        while let Some(r) = &self.leaf_ref {
+            if (self.entry_idx as u64) < r.count {
+                break;
+            }
+            self.advance_leaf()?;
+        }
+        Ok(())
+    }
+
+    /// Borrow the next entry without consuming it.
+    pub fn peek(&mut self) -> NodeResult<Option<&LeafEntry>> {
+        loop {
+            if self.leaf_ref.is_none() {
+                return Ok(None);
+            }
+            let idx = self.entry_idx;
+            let len = self.load_leaf()?.len();
+            if idx < len {
+                // Double lookup to satisfy the borrow checker cheaply.
+                return Ok(self.leaf.as_ref().expect("loaded").get(idx));
+            }
+            self.advance_leaf()?;
+        }
+    }
+
+    /// Consume and return the next entry.
+    pub fn next_entry(&mut self) -> NodeResult<Option<LeafEntry>> {
+        loop {
+            if self.leaf_ref.is_none() {
+                return Ok(None);
+            }
+            let idx = self.entry_idx;
+            let entries = self.load_leaf()?;
+            if idx < entries.len() {
+                let e = entries[idx].clone();
+                self.entry_idx += 1;
+                return Ok(Some(e));
+            }
+            self.advance_leaf()?;
+        }
+    }
+
+    /// Move to the next leaf node **without decoding the current one**.
+    /// The cursor must be at a leaf (not at end).
+    pub fn skip_leaf(&mut self) -> NodeResult<()> {
+        let skipped = self
+            .leaf_ref
+            .as_ref()
+            .expect("skip_leaf at end of tree")
+            .count;
+        self.position_base += skipped;
+        // Consume any partial progress accounting: skip_leaf is only legal
+        // from the node start (callers splice whole nodes).
+        debug_assert!(self.at_leaf_start(), "skip_leaf mid-node");
+        self.advance_leaf_inner()
+    }
+
+    /// Advance past the (fully consumed) current leaf.
+    fn advance_leaf(&mut self) -> NodeResult<()> {
+        let consumed = self
+            .leaf_ref
+            .as_ref()
+            .expect("advance_leaf at end")
+            .count;
+        self.position_base += consumed;
+        self.advance_leaf_inner()
+    }
+
+    fn advance_leaf_inner(&mut self) -> NodeResult<()> {
+        self.leaf = None;
+        self.leaf_ref = None;
+        self.entry_idx = 0;
+        // Climb until an ancestor has a next sibling.
+        loop {
+            let Some(top) = self.path.last_mut() else {
+                return Ok(()); // root was a leaf, or tree exhausted
+            };
+            if top.idx + 1 < top.children.len() {
+                top.idx += 1;
+                break;
+            }
+            self.path.pop();
+        }
+        self.redescend_first()
+    }
+
+    /// Walk down from the current path top to the leftmost leaf ref,
+    /// loading only interior index nodes (leaves stay lazy).
+    fn redescend_first(&mut self) -> NodeResult<()> {
+        loop {
+            let top = self.path.last().expect("non-empty during descend");
+            let child_ref = top.children[top.idx].clone();
+            if top.level == 1 {
+                self.leaf_ref = Some(child_ref);
+                self.leaf = None;
+                self.entry_idx = 0;
+                return Ok(());
+            }
+            let child = self.load_node(&child_ref.hash)?;
+            match child {
+                Node::Index { children, level } => {
+                    self.path.push(PathNode {
+                        children,
+                        idx: 0,
+                        hash: child_ref.hash,
+                        level,
+                    });
+                }
+                Node::Leaf(_) => {
+                    return Err(NodeError::Malformed(
+                        "leaf node below an index node of level > 1".into(),
+                    ))
+                }
+            }
+        }
+    }
+
+    /// Hash of the ancestor node `levels_up` levels above the leaf
+    /// (0 = the leaf itself). `None` if no such ancestor exists.
+    pub fn ancestor_hash(&self, levels_up: usize) -> Option<Hash> {
+        if levels_up == 0 {
+            return self.leaf_ref.as_ref().map(|r| r.hash);
+        }
+        if levels_up > self.path.len() {
+            return None;
+        }
+        Some(self.path[self.path.len() - levels_up].hash)
+    }
+
+    /// Whether the cursor sits at the very first entry of the subtree
+    /// rooted `levels_up` levels above the leaf.
+    pub fn at_start_of_ancestor(&self, levels_up: usize) -> bool {
+        if !self.at_leaf_start() || self.leaf_ref.is_none() {
+            return false;
+        }
+        if levels_up > self.path.len() {
+            return false;
+        }
+        let from = self.path.len() - levels_up;
+        self.path[from..].iter().all(|p| p.idx == 0)
+    }
+
+    /// Number of leaf entries under the ancestor `levels_up` above the leaf.
+    pub fn ancestor_count(&self, levels_up: usize) -> Option<u64> {
+        if levels_up == 0 {
+            return self.leaf_ref.as_ref().map(|r| r.count);
+        }
+        if levels_up > self.path.len() {
+            return None;
+        }
+        let node = &self.path[self.path.len() - levels_up];
+        Some(node.children.iter().map(|c| c.count).sum())
+    }
+
+    /// Skip the entire subtree rooted `levels_up` levels above the current
+    /// leaf. Requires [`Self::at_start_of_ancestor`]`(levels_up)`.
+    pub fn skip_subtree(&mut self, levels_up: usize) -> NodeResult<()> {
+        if levels_up == 0 {
+            return self.skip_leaf();
+        }
+        debug_assert!(self.at_start_of_ancestor(levels_up));
+        let count = self.ancestor_count(levels_up).expect("ancestor exists");
+        self.position_base += count;
+        // Drop the path below (and including) the ancestor, then advance.
+        let keep = self.path.len() - levels_up;
+        self.path.truncate(keep + 1); // keep ancestor itself at top
+        self.path.pop(); // remove ancestor: we're skipping it wholesale
+                         // Now climb/advance like advance_leaf_inner but from the ancestor's
+                         // parent.
+        self.leaf = None;
+        self.leaf_ref = None;
+        self.entry_idx = 0;
+        loop {
+            let Some(top) = self.path.last_mut() else {
+                return Ok(()); // skipped the root's subtree: end of tree
+            };
+            if top.idx + 1 < top.children.len() {
+                top.idx += 1;
+                break;
+            }
+            self.path.pop();
+        }
+        self.redescend_first()
+    }
+
+    /// Collect every remaining entry (test helper; O(N)).
+    pub fn drain(&mut self) -> NodeResult<Vec<LeafEntry>> {
+        let mut out = Vec::new();
+        while let Some(e) = self.next_entry()? {
+            out.push(e);
+        }
+        Ok(out)
+    }
+}
+
+enum DescendTo<'a> {
+    First,
+    Key(&'a [u8]),
+}
+
+/// Convenience: the split key of a leaf entry list (used by tests).
+pub fn max_key(entries: &[LeafEntry]) -> Bytes {
+    entries.last().map(|e| e.key.clone()).unwrap_or_default()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::TreeBuilder;
+    use forkbase_chunk::ChunkerConfig;
+    use forkbase_store::MemStore;
+
+    fn entry(i: u32) -> LeafEntry {
+        LeafEntry::new(
+            Bytes::from(format!("key-{i:08}")),
+            Bytes::from(format!("value-{i}")),
+        )
+    }
+
+    fn build(store: &MemStore, n: u32) -> TreeRef {
+        let mut b = TreeBuilder::new(store, ChunkerConfig::test_small());
+        for i in 0..n {
+            b.push(entry(i)).unwrap();
+        }
+        let t = b.finish().unwrap();
+        TreeRef::new(t.hash, t.count)
+    }
+
+    #[test]
+    fn iterates_all_entries_in_order() {
+        let store = MemStore::new();
+        let tree = build(&store, 3000);
+        let mut cursor = LeafCursor::new(&store, tree).unwrap();
+        let all = cursor.drain().unwrap();
+        assert_eq!(all.len(), 3000);
+        for (i, e) in all.iter().enumerate() {
+            assert_eq!(e, &entry(i as u32));
+        }
+        assert!(cursor.at_end());
+        assert_eq!(cursor.position(), 3000);
+    }
+
+    #[test]
+    fn empty_tree_cursor() {
+        let store = MemStore::new();
+        let tree = build(&store, 0);
+        let mut cursor = LeafCursor::new(&store, tree).unwrap();
+        // An empty root leaf still reports a leaf_ref with count 0 until a
+        // read walks off the end.
+        assert!(cursor.leaf_ref().is_some());
+        assert!(cursor.leaf_is_last());
+        assert_eq!(cursor.peek().unwrap(), None);
+        assert_eq!(cursor.next_entry().unwrap(), None);
+        assert!(cursor.at_end());
+    }
+
+    #[test]
+    fn seek_positions_at_lower_bound() {
+        let store = MemStore::new();
+        let tree = build(&store, 1000);
+        // Exact hit.
+        let mut c = LeafCursor::seek(&store, tree, format!("key-{:08}", 500).as_bytes()).unwrap();
+        assert_eq!(c.peek().unwrap().unwrap(), &entry(500));
+        assert_eq!(c.position(), 500);
+        // Between keys: "key-00000500x" sorts after 500, before 501.
+        let mut c = LeafCursor::seek(&store, tree, b"key-00000500x").unwrap();
+        assert_eq!(c.peek().unwrap().unwrap(), &entry(501));
+        // Before everything.
+        let mut c = LeafCursor::seek(&store, tree, b"a").unwrap();
+        assert_eq!(c.peek().unwrap().unwrap(), &entry(0));
+        // After everything.
+        let mut c = LeafCursor::seek(&store, tree, b"z").unwrap();
+        assert_eq!(c.peek().unwrap(), None);
+    }
+
+    #[test]
+    fn skip_leaf_matches_entrywise_advance() {
+        let store = MemStore::new();
+        let tree = build(&store, 2000);
+        let mut by_skip = LeafCursor::new(&store, tree).unwrap();
+        let mut by_entry = LeafCursor::new(&store, tree).unwrap();
+        // Skip the first two leaf nodes on one cursor; advance the same
+        // number of entries on the other.
+        let n1 = by_skip.leaf_ref().unwrap().count;
+        by_skip.skip_leaf().unwrap();
+        let n2 = by_skip.leaf_ref().unwrap().count;
+        by_skip.skip_leaf().unwrap();
+        for _ in 0..(n1 + n2) {
+            by_entry.next_entry().unwrap().unwrap();
+        }
+        assert_eq!(by_skip.position(), by_entry.position());
+        assert_eq!(
+            by_skip.peek().unwrap().cloned(),
+            by_entry.peek().unwrap().cloned()
+        );
+    }
+
+    #[test]
+    fn leaf_is_last_detection() {
+        let store = MemStore::new();
+        let tree = build(&store, 2000);
+        let mut c = LeafCursor::new(&store, tree).unwrap();
+        assert!(!c.leaf_is_last(), "first leaf of a big tree is not last");
+        // Walk to the end.
+        let mut last_flag_seen = false;
+        while c.leaf_ref().is_some() {
+            if c.leaf_is_last() {
+                last_flag_seen = true;
+                // Everything after this point stays within the final leaf.
+                let count = c.leaf_ref().unwrap().count;
+                for _ in 0..count {
+                    assert!(c.next_entry().unwrap().is_some());
+                }
+                assert!(c.next_entry().unwrap().is_none());
+                break;
+            }
+            c.skip_leaf().unwrap();
+        }
+        assert!(last_flag_seen);
+    }
+
+    #[test]
+    fn ancestor_alignment_and_skip() {
+        let store = MemStore::new();
+        let tree = build(&store, 5000);
+        let mut c = LeafCursor::new(&store, tree).unwrap();
+        // At the very start, the cursor is aligned with every ancestor.
+        assert!(c.at_start_of_ancestor(0));
+        let height = {
+            let root = Node::load(&store, &tree.root).unwrap();
+            root.level() as usize
+        };
+        assert!(height >= 2);
+        assert!(c.at_start_of_ancestor(height), "aligned with root");
+        assert_eq!(c.ancestor_count(height), Some(5000));
+        assert_eq!(c.ancestor_hash(height), Some(tree.root));
+
+        // Skip the first level-1 subtree and check position advanced by its
+        // count while a fresh cursor agrees on the entry.
+        let sub_count = c.ancestor_count(1).unwrap();
+        c.skip_subtree(1).unwrap();
+        assert_eq!(c.position(), sub_count);
+        let mut fresh = LeafCursor::new(&store, tree).unwrap();
+        for _ in 0..sub_count {
+            fresh.next_entry().unwrap().unwrap();
+        }
+        assert_eq!(
+            c.peek().unwrap().cloned(),
+            fresh.peek().unwrap().cloned()
+        );
+    }
+
+    #[test]
+    fn skip_root_subtree_exhausts() {
+        let store = MemStore::new();
+        let tree = build(&store, 5000);
+        let mut c = LeafCursor::new(&store, tree).unwrap();
+        let height = Node::load(&store, &tree.root).unwrap().level() as usize;
+        c.skip_subtree(height).unwrap();
+        assert!(c.at_end());
+        assert_eq!(c.position(), 5000);
+    }
+
+    #[test]
+    fn mid_leaf_is_not_aligned() {
+        let store = MemStore::new();
+        let tree = build(&store, 2000);
+        let mut c = LeafCursor::new(&store, tree).unwrap();
+        c.next_entry().unwrap().unwrap();
+        assert!(!c.at_leaf_start());
+        assert!(!c.at_start_of_ancestor(0));
+        assert!(!c.at_start_of_ancestor(1));
+    }
+
+    #[test]
+    fn node_loads_are_counted() {
+        let store = MemStore::new();
+        let tree = build(&store, 2000);
+        let mut c = LeafCursor::new(&store, tree).unwrap();
+        let initial = c.nodes_loaded();
+        assert!(initial >= 2, "root + first leaf at least");
+        c.drain().unwrap();
+        assert!(c.nodes_loaded() > initial);
+    }
+}

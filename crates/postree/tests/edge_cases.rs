@@ -1,0 +1,256 @@
+//! Adversarial and boundary-condition tests for the POS-Tree.
+//!
+//! These inputs are chosen to stress the places where content-defined
+//! structures usually crack: entries larger than the page bound, binary
+//! keys at the extremes of the ordering, long shared prefixes (small
+//! rolling-hash entropy), degenerate sizes, and edit patterns that land
+//! exactly on node boundaries.
+
+use bytes::Bytes;
+use forkbase_chunk::ChunkerConfig;
+use forkbase_postree::diff::diff_maps;
+use forkbase_postree::verify::verify_map;
+use forkbase_postree::{MapEdit, PosMap};
+use forkbase_store::MemStore;
+
+fn cfg() -> ChunkerConfig {
+    ChunkerConfig::test_small()
+}
+
+#[test]
+fn values_larger_than_max_page() {
+    // A single entry bigger than max_size must become an oversized node,
+    // not split or corrupt anything.
+    let store = MemStore::new();
+    let huge = Bytes::from(vec![0x42u8; 10_000]); // max_size is 1024
+    let m = PosMap::build_from_sorted(
+        &store,
+        cfg(),
+        [
+            (Bytes::from_static(b"a"), Bytes::from_static(b"small")),
+            (Bytes::from_static(b"b"), huge.clone()),
+            (Bytes::from_static(b"c"), Bytes::from_static(b"small2")),
+        ],
+    )
+    .unwrap();
+    assert_eq!(m.get(b"b").unwrap(), Some(huge.clone()));
+    verify_map(&store, m.tree(), cfg(), true).unwrap();
+
+    // Updating next to the giant entry keeps it intact.
+    let m2 = m.insert(Bytes::from_static(b"bb"), Bytes::from_static(b"mid")).unwrap();
+    assert_eq!(m2.get(b"b").unwrap(), Some(huge));
+    verify_map(&store, m2.tree(), cfg(), true).unwrap();
+}
+
+#[test]
+fn binary_keys_at_extremes() {
+    let store = MemStore::new();
+    let keys: Vec<Bytes> = vec![
+        Bytes::from_static(&[0x00]),
+        Bytes::from_static(&[0x00, 0x00]),
+        Bytes::from_static(&[0x00, 0xff]),
+        Bytes::from_static(&[0x7f]),
+        Bytes::from_static(&[0xff]),
+        Bytes::from_static(&[0xff, 0x00]),
+        Bytes::from_static(&[0xff, 0xff, 0xff, 0xff]),
+    ];
+    let m = PosMap::build_from_sorted(
+        &store,
+        cfg(),
+        keys.iter().map(|k| (k.clone(), Bytes::from_static(b"v"))),
+    )
+    .unwrap();
+    for k in &keys {
+        assert!(m.contains(k).unwrap(), "key {k:?}");
+    }
+    assert!(!m.contains(&[0x01]).unwrap());
+    verify_map(&store, m.tree(), cfg(), true).unwrap();
+}
+
+#[test]
+fn long_shared_prefixes_still_chunk() {
+    // 2000 keys sharing a 200-byte prefix: low-entropy input for the
+    // rolling hash. The tree must still split into multiple pages and
+    // stay balanced-ish.
+    let store = MemStore::new();
+    let prefix = "p".repeat(200);
+    let m = PosMap::build_from_sorted(
+        &store,
+        cfg(),
+        (0..2000).map(|i| {
+            (
+                Bytes::from(format!("{prefix}{i:06}")),
+                Bytes::from_static(b"x"),
+            )
+        }),
+    )
+    .unwrap();
+    assert!(
+        forkbase_store::ChunkStore::chunk_count(&store) > 10,
+        "low-entropy input collapsed into too few pages"
+    );
+    assert_eq!(m.len(), 2000);
+    verify_map(&store, m.tree(), cfg(), true).unwrap();
+}
+
+#[test]
+fn empty_values_everywhere() {
+    let store = MemStore::new();
+    let m = PosMap::build_from_sorted(
+        &store,
+        cfg(),
+        (0..500).map(|i| (Bytes::from(format!("k{i:04}")), Bytes::new())),
+    )
+    .unwrap();
+    assert_eq!(m.get(b"k0250").unwrap(), Some(Bytes::new()));
+    // Distinguish empty value from absence.
+    assert_eq!(m.get(b"nope").unwrap(), None);
+    verify_map(&store, m.tree(), cfg(), true).unwrap();
+}
+
+#[test]
+fn insert_delete_cycle_returns_to_identical_root() {
+    // History independence through a full round trip.
+    let store = MemStore::new();
+    let base = PosMap::build_from_sorted(
+        &store,
+        cfg(),
+        (0..1000).map(|i| (Bytes::from(format!("k{i:05}")), Bytes::from(format!("v{i}")))),
+    )
+    .unwrap();
+    let mut m = base.clone();
+    // Insert 100 extras, delete them again, in interleaved batches.
+    for round in 0..4 {
+        let inserts: Vec<MapEdit> = (0..25)
+            .map(|j| {
+                MapEdit::put(
+                    Bytes::from(format!("extra-{round}-{j}")),
+                    Bytes::from_static(b"tmp"),
+                )
+            })
+            .collect();
+        m = m.apply(inserts).unwrap();
+    }
+    assert_eq!(m.len(), 1100);
+    for round in 0..4 {
+        let deletes: Vec<MapEdit> = (0..25)
+            .map(|j| MapEdit::delete(Bytes::from(format!("extra-{round}-{j}"))))
+            .collect();
+        m = m.apply(deletes).unwrap();
+    }
+    assert_eq!(m.root(), base.root(), "round trip must restore the exact tree");
+}
+
+#[test]
+fn edits_entirely_before_and_after_existing_range() {
+    let store = MemStore::new();
+    let base = PosMap::build_from_sorted(
+        &store,
+        cfg(),
+        (500..1000).map(|i| (Bytes::from(format!("k{i:05}")), Bytes::from_static(b"v"))),
+    )
+    .unwrap();
+    // All-prepend batch.
+    let prepended = base
+        .apply((0..100).map(|i| MapEdit::put(Bytes::from(format!("k{i:05}")), Bytes::from_static(b"p"))))
+        .unwrap();
+    assert_eq!(prepended.len(), 600);
+    // All-append batch.
+    let appended = prepended
+        .apply((2000..2100).map(|i| MapEdit::put(Bytes::from(format!("k{i:05}")), Bytes::from_static(b"a"))))
+        .unwrap();
+    assert_eq!(appended.len(), 700);
+    // Equal to a clean rebuild of the same record set.
+    let mut all: Vec<(Bytes, Bytes)> = Vec::new();
+    all.extend((0..100).map(|i| (Bytes::from(format!("k{i:05}")), Bytes::from_static(b"p"))));
+    all.extend((500..1000).map(|i| (Bytes::from(format!("k{i:05}")), Bytes::from_static(b"v"))));
+    all.extend((2000..2100).map(|i| (Bytes::from(format!("k{i:05}")), Bytes::from_static(b"a"))));
+    let rebuilt = PosMap::build_from_sorted(&store, cfg(), all).unwrap();
+    assert_eq!(appended.root(), rebuilt.root());
+}
+
+#[test]
+fn diff_between_disjoint_key_spaces() {
+    let store = MemStore::new();
+    let a = PosMap::build_from_sorted(
+        &store,
+        cfg(),
+        (0..300).map(|i| (Bytes::from(format!("a{i:04}")), Bytes::from_static(b"1"))),
+    )
+    .unwrap();
+    let b = PosMap::build_from_sorted(
+        &store,
+        cfg(),
+        (0..300).map(|i| (Bytes::from(format!("b{i:04}")), Bytes::from_static(b"2"))),
+    )
+    .unwrap();
+    let d = diff_maps(&store, a.tree(), b.tree()).unwrap();
+    assert_eq!(d.counts(), (300, 300, 0));
+}
+
+#[test]
+fn repeated_identical_values_across_keys() {
+    // Identical VALUES under different keys: entries differ (key is part
+    // of the entry) so no correctness risk, but this shape historically
+    // trips dedup accounting.
+    let store = MemStore::new();
+    let payload = Bytes::from(vec![7u8; 300]);
+    let m = PosMap::build_from_sorted(
+        &store,
+        cfg(),
+        (0..500).map(|i| (Bytes::from(format!("k{i:04}")), payload.clone())),
+    )
+    .unwrap();
+    assert_eq!(m.len(), 500);
+    for i in (0..500).step_by(97) {
+        assert_eq!(m.get(format!("k{i:04}").as_bytes()).unwrap(), Some(payload.clone()));
+    }
+    verify_map(&store, m.tree(), cfg(), true).unwrap();
+}
+
+#[test]
+fn many_tiny_trees_share_the_store() {
+    // Thousands of small trees coexisting in one store: no cross-talk.
+    let store = MemStore::new();
+    let mut roots = Vec::new();
+    for t in 0..200 {
+        let m = PosMap::build_from_sorted(
+            &store,
+            cfg(),
+            (0..5).map(|i| {
+                (
+                    Bytes::from(format!("t{t:03}-k{i}")),
+                    Bytes::from(format!("t{t}v{i}")),
+                )
+            }),
+        )
+        .unwrap();
+        roots.push((t, m.tree()));
+    }
+    for (t, tree) in roots {
+        let m = PosMap::open(&store, cfg(), tree);
+        assert_eq!(
+            m.get(format!("t{t:03}-k3").as_bytes()).unwrap(),
+            Some(Bytes::from(format!("t{t}v3")))
+        );
+    }
+}
+
+#[test]
+fn apply_noop_edit_changes_nothing() {
+    // Re-putting the existing value must produce the identical root and
+    // write no new chunks.
+    let store = MemStore::new();
+    let m = PosMap::build_from_sorted(
+        &store,
+        cfg(),
+        (0..500).map(|i| (Bytes::from(format!("k{i:04}")), Bytes::from(format!("v{i}")))),
+    )
+    .unwrap();
+    let chunks = forkbase_store::ChunkStore::chunk_count(&store);
+    let m2 = m
+        .insert(Bytes::from_static(b"k0100"), Bytes::from_static(b"v100"))
+        .unwrap();
+    assert_eq!(m2.root(), m.root());
+    assert_eq!(forkbase_store::ChunkStore::chunk_count(&store), chunks);
+}

@@ -1,0 +1,287 @@
+//! Read-through LRU cache wrapper for slow chunk stores.
+//!
+//! Chunks are immutable, so caching needs no invalidation: a hash either
+//! resolves to one set of bytes forever, or is absent. The cache bounds
+//! *bytes* rather than entry count because chunk sizes vary by two orders
+//! of magnitude (tiny index pages vs 64 KiB blob chunks).
+
+use std::collections::HashMap;
+
+use bytes::Bytes;
+use forkbase_crypto::Hash;
+use parking_lot::Mutex;
+
+use crate::stats::StoreStats;
+use crate::{ChunkStore, StoreResult};
+
+/// Doubly-linked LRU list over a slab of entries.
+struct LruEntry {
+    hash: Hash,
+    bytes: Bytes,
+    prev: Option<usize>,
+    next: Option<usize>,
+}
+
+struct LruState {
+    map: HashMap<Hash, usize>,
+    slab: Vec<LruEntry>,
+    free: Vec<usize>,
+    head: Option<usize>, // most recently used
+    tail: Option<usize>, // least recently used
+    bytes: usize,
+    capacity_bytes: usize,
+    hits: u64,
+    misses: u64,
+}
+
+impl LruState {
+    fn new(capacity_bytes: usize) -> Self {
+        LruState {
+            map: HashMap::new(),
+            slab: Vec::new(),
+            free: Vec::new(),
+            head: None,
+            tail: None,
+            bytes: 0,
+            capacity_bytes,
+            hits: 0,
+            misses: 0,
+        }
+    }
+
+    fn unlink(&mut self, idx: usize) {
+        let (prev, next) = (self.slab[idx].prev, self.slab[idx].next);
+        match prev {
+            Some(p) => self.slab[p].next = next,
+            None => self.head = next,
+        }
+        match next {
+            Some(n) => self.slab[n].prev = prev,
+            None => self.tail = prev,
+        }
+        self.slab[idx].prev = None;
+        self.slab[idx].next = None;
+    }
+
+    fn push_front(&mut self, idx: usize) {
+        self.slab[idx].prev = None;
+        self.slab[idx].next = self.head;
+        if let Some(h) = self.head {
+            self.slab[h].prev = Some(idx);
+        }
+        self.head = Some(idx);
+        if self.tail.is_none() {
+            self.tail = Some(idx);
+        }
+    }
+
+    fn touch(&mut self, idx: usize) {
+        if self.head == Some(idx) {
+            return;
+        }
+        self.unlink(idx);
+        self.push_front(idx);
+    }
+
+    fn get(&mut self, hash: &Hash) -> Option<Bytes> {
+        if let Some(&idx) = self.map.get(hash) {
+            self.hits += 1;
+            let bytes = self.slab[idx].bytes.clone();
+            self.touch(idx);
+            Some(bytes)
+        } else {
+            self.misses += 1;
+            None
+        }
+    }
+
+    fn insert(&mut self, hash: Hash, bytes: Bytes) {
+        if bytes.len() > self.capacity_bytes {
+            return; // never cache something bigger than the whole budget
+        }
+        if let Some(&idx) = self.map.get(&hash) {
+            self.touch(idx);
+            return;
+        }
+        // Evict from the tail until the new entry fits.
+        while self.bytes + bytes.len() > self.capacity_bytes {
+            let Some(tail) = self.tail else { break };
+            self.unlink(tail);
+            let evicted = std::mem::replace(
+                &mut self.slab[tail],
+                LruEntry {
+                    hash: Hash::ZERO,
+                    bytes: Bytes::new(),
+                    prev: None,
+                    next: None,
+                },
+            );
+            self.map.remove(&evicted.hash);
+            self.bytes -= evicted.bytes.len();
+            self.free.push(tail);
+        }
+        let entry = LruEntry {
+            hash,
+            bytes: bytes.clone(),
+            prev: None,
+            next: None,
+        };
+        let idx = match self.free.pop() {
+            Some(i) => {
+                self.slab[i] = entry;
+                i
+            }
+            None => {
+                self.slab.push(entry);
+                self.slab.len() - 1
+            }
+        };
+        self.bytes += bytes.len();
+        self.map.insert(hash, idx);
+        self.push_front(idx);
+    }
+}
+
+/// A read-through, write-through cache in front of another store.
+pub struct CachedStore<S> {
+    inner: S,
+    lru: Mutex<LruState>,
+}
+
+impl<S: ChunkStore> CachedStore<S> {
+    /// Wrap `inner` with a cache bounded to `capacity_bytes` of payload.
+    pub fn new(inner: S, capacity_bytes: usize) -> Self {
+        CachedStore {
+            inner,
+            lru: Mutex::new(LruState::new(capacity_bytes)),
+        }
+    }
+
+    /// The wrapped store.
+    pub fn inner(&self) -> &S {
+        &self.inner
+    }
+
+    /// `(hits, misses)` observed by the cache layer.
+    pub fn cache_stats(&self) -> (u64, u64) {
+        let lru = self.lru.lock();
+        (lru.hits, lru.misses)
+    }
+
+    /// Bytes currently cached.
+    pub fn cached_bytes(&self) -> usize {
+        self.lru.lock().bytes
+    }
+}
+
+impl<S: ChunkStore> ChunkStore for CachedStore<S> {
+    fn put_with_hash(&self, hash: Hash, bytes: Bytes) -> StoreResult<bool> {
+        let newly = self.inner.put_with_hash(hash, bytes.clone())?;
+        self.lru.lock().insert(hash, bytes);
+        Ok(newly)
+    }
+
+    fn get(&self, hash: &Hash) -> StoreResult<Option<Bytes>> {
+        if let Some(bytes) = self.lru.lock().get(hash) {
+            return Ok(Some(bytes));
+        }
+        let fetched = self.inner.get(hash)?;
+        if let Some(ref bytes) = fetched {
+            self.lru.lock().insert(*hash, bytes.clone());
+        }
+        Ok(fetched)
+    }
+
+    fn contains(&self, hash: &Hash) -> StoreResult<bool> {
+        if self.lru.lock().map.contains_key(hash) {
+            return Ok(true);
+        }
+        self.inner.contains(hash)
+    }
+
+    fn stats(&self) -> StoreStats {
+        self.inner.stats()
+    }
+
+    fn chunk_count(&self) -> usize {
+        self.inner.chunk_count()
+    }
+
+    fn stored_bytes(&self) -> u64 {
+        self.inner.stored_bytes()
+    }
+
+    fn sync(&self) -> StoreResult<()> {
+        self.inner.sync()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::MemStore;
+
+    #[test]
+    fn read_through_and_hit() {
+        let cached = CachedStore::new(MemStore::new(), 1024);
+        let h = cached.put(Bytes::from_static(b"cached data")).unwrap();
+        // First get may be served from cache (write-through).
+        assert_eq!(cached.get(&h).unwrap(), Some(Bytes::from_static(b"cached data")));
+        let (hits, _) = cached.cache_stats();
+        assert!(hits >= 1);
+    }
+
+    #[test]
+    fn miss_populates_cache() {
+        let inner = MemStore::new();
+        let h = inner.put(Bytes::from_static(b"pre-existing")).unwrap();
+        let cached = CachedStore::new(inner, 1024);
+        assert_eq!(cached.cache_stats(), (0, 0));
+        cached.get(&h).unwrap().unwrap();
+        assert_eq!(cached.cache_stats().1, 1, "first get is a miss");
+        cached.get(&h).unwrap().unwrap();
+        assert_eq!(cached.cache_stats().0, 1, "second get is a hit");
+    }
+
+    #[test]
+    fn eviction_respects_byte_budget() {
+        let cached = CachedStore::new(MemStore::new(), 100);
+        let mut hashes = Vec::new();
+        for i in 0..10u8 {
+            let data = Bytes::from(vec![i; 30]);
+            hashes.push(cached.put(data).unwrap());
+        }
+        assert!(cached.cached_bytes() <= 100);
+        // Everything is still retrievable via the backing store.
+        for h in &hashes {
+            assert!(cached.get(h).unwrap().is_some());
+        }
+    }
+
+    #[test]
+    fn oversized_entries_bypass_cache() {
+        let cached = CachedStore::new(MemStore::new(), 16);
+        let h = cached.put(Bytes::from(vec![1u8; 64])).unwrap();
+        assert_eq!(cached.cached_bytes(), 0);
+        assert!(cached.get(&h).unwrap().is_some(), "served by inner store");
+    }
+
+    #[test]
+    fn lru_order_is_respected() {
+        let cached = CachedStore::new(MemStore::new(), 64);
+        let a = cached.put(Bytes::from(vec![1u8; 30])).unwrap();
+        let b = cached.put(Bytes::from(vec![2u8; 30])).unwrap();
+        // Touch `a` so `b` becomes LRU.
+        cached.get(&a).unwrap();
+        // Inserting a third 30-byte chunk must evict `b`, not `a`.
+        let _c = cached.put(Bytes::from(vec![3u8; 30])).unwrap();
+        let before = cached.cache_stats();
+        cached.get(&a).unwrap();
+        let after = cached.cache_stats();
+        assert_eq!(after.0, before.0 + 1, "a should still be cached");
+        let before = cached.cache_stats();
+        cached.get(&b).unwrap();
+        let after = cached.cache_stats();
+        assert_eq!(after.1, before.1 + 1, "b should have been evicted");
+    }
+}

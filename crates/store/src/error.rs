@@ -1,0 +1,95 @@
+//! Error type shared by all chunk store implementations.
+
+use std::fmt;
+use std::io;
+
+use forkbase_crypto::Hash;
+
+/// Result alias for store operations.
+pub type StoreResult<T> = Result<T, StoreError>;
+
+/// Errors raised by chunk stores.
+#[derive(Debug)]
+pub enum StoreError {
+    /// Underlying I/O failure (file stores).
+    Io(io::Error),
+    /// A fetched chunk failed its integrity check: the bytes on media do
+    /// not hash to the requested address. Either media corruption or a
+    /// malicious provider (paper §II-D threat model).
+    Corrupt {
+        /// Address that was requested.
+        expected: Hash,
+        /// Hash of the bytes actually returned.
+        actual: Hash,
+    },
+    /// A segment file frame was malformed (bad magic/CRC/length).
+    BadFrame {
+        /// Which segment file.
+        segment: u64,
+        /// Byte offset of the frame.
+        offset: u64,
+        /// Human-readable reason.
+        reason: String,
+    },
+    /// The store directory failed validation on open.
+    BadLayout(String),
+}
+
+impl fmt::Display for StoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StoreError::Io(e) => write!(f, "store I/O error: {e}"),
+            StoreError::Corrupt { expected, actual } => write!(
+                f,
+                "chunk integrity violation: requested {expected:?} but content hashes to {actual:?}"
+            ),
+            StoreError::BadFrame {
+                segment,
+                offset,
+                reason,
+            } => write!(f, "bad frame in segment {segment} at offset {offset}: {reason}"),
+            StoreError::BadLayout(msg) => write!(f, "bad store layout: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for StoreError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            StoreError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<io::Error> for StoreError {
+    fn from(e: io::Error) -> Self {
+        StoreError::Io(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use forkbase_crypto::sha256;
+
+    #[test]
+    fn display_formats() {
+        let e = StoreError::Corrupt {
+            expected: sha256(b"a"),
+            actual: sha256(b"b"),
+        };
+        assert!(e.to_string().contains("integrity violation"));
+
+        let e = StoreError::BadFrame {
+            segment: 3,
+            offset: 128,
+            reason: "crc mismatch".into(),
+        };
+        assert!(e.to_string().contains("segment 3"));
+        assert!(e.to_string().contains("crc mismatch"));
+
+        let e: StoreError = io::Error::other("disk on fire").into();
+        assert!(e.to_string().contains("disk on fire"));
+    }
+}

@@ -1,0 +1,196 @@
+//! Fault-injection store modelling the paper's malicious storage provider.
+//!
+//! §II-D's threat model: "the storage is malicious, but the users keep track
+//! of the latest uid of every branch". [`FaultyStore`] wraps any store and
+//! lets tests make the provider lie in every way a real adversary could:
+//! silently mutate chunk bytes, drop chunks, or substitute different
+//! (self-consistent!) content. Tamper-evidence tests then assert ForkBase
+//! *detects* every manipulation — never returning bad data as good.
+
+use std::collections::HashMap;
+
+use bytes::Bytes;
+use forkbase_crypto::Hash;
+use parking_lot::RwLock;
+
+use crate::stats::StoreStats;
+use crate::{ChunkStore, StoreResult};
+
+/// How a particular chunk should misbehave on `get`.
+#[derive(Clone, Debug)]
+pub enum FaultMode {
+    /// Return the stored bytes with one bit flipped.
+    FlipBit {
+        /// Which byte of the payload to corrupt (clamped to length).
+        byte: usize,
+    },
+    /// Pretend the chunk does not exist.
+    Drop,
+    /// Return entirely different bytes.
+    Substitute(Bytes),
+    /// Return the stored bytes truncated to this length.
+    Truncate(usize),
+}
+
+/// A store wrapper that injects faults on reads of selected chunks.
+///
+/// Note the faults are *read-side*: the underlying store still holds the
+/// honest bytes, matching an adversary who serves bad data over the wire.
+pub struct FaultyStore<S> {
+    inner: S,
+    faults: RwLock<HashMap<Hash, FaultMode>>,
+}
+
+impl<S: ChunkStore> FaultyStore<S> {
+    /// Wrap `inner` with no faults armed.
+    pub fn new(inner: S) -> Self {
+        FaultyStore {
+            inner,
+            faults: RwLock::new(HashMap::new()),
+        }
+    }
+
+    /// The wrapped store.
+    pub fn inner(&self) -> &S {
+        &self.inner
+    }
+
+    /// Arm a fault for the chunk at `hash`.
+    pub fn inject(&self, hash: Hash, mode: FaultMode) {
+        self.faults.write().insert(hash, mode);
+    }
+
+    /// Disarm the fault (if any) for `hash`.
+    pub fn heal(&self, hash: &Hash) {
+        self.faults.write().remove(hash);
+    }
+
+    /// Disarm all faults.
+    pub fn heal_all(&self) {
+        self.faults.write().clear();
+    }
+
+    /// Number of armed faults.
+    pub fn fault_count(&self) -> usize {
+        self.faults.read().len()
+    }
+}
+
+impl<S: ChunkStore> ChunkStore for FaultyStore<S> {
+    fn put_with_hash(&self, hash: Hash, bytes: Bytes) -> StoreResult<bool> {
+        self.inner.put_with_hash(hash, bytes)
+    }
+
+    fn get(&self, hash: &Hash) -> StoreResult<Option<Bytes>> {
+        let mode = self.faults.read().get(hash).cloned();
+        let Some(mode) = mode else {
+            return self.inner.get(hash);
+        };
+        match mode {
+            FaultMode::Drop => Ok(None),
+            FaultMode::Substitute(bytes) => Ok(Some(bytes)),
+            FaultMode::FlipBit { byte } => {
+                let honest = self.inner.get(hash)?;
+                Ok(honest.map(|b| {
+                    let mut v = b.to_vec();
+                    if !v.is_empty() {
+                        let idx = byte.min(v.len() - 1);
+                        v[idx] ^= 0x01;
+                    }
+                    Bytes::from(v)
+                }))
+            }
+            FaultMode::Truncate(len) => {
+                let honest = self.inner.get(hash)?;
+                Ok(honest.map(|b| b.slice(..len.min(b.len()))))
+            }
+        }
+    }
+
+    fn contains(&self, hash: &Hash) -> StoreResult<bool> {
+        if matches!(self.faults.read().get(hash), Some(FaultMode::Drop)) {
+            return Ok(false);
+        }
+        self.inner.contains(hash)
+    }
+
+    fn stats(&self) -> StoreStats {
+        self.inner.stats()
+    }
+
+    fn chunk_count(&self) -> usize {
+        self.inner.chunk_count()
+    }
+
+    fn stored_bytes(&self) -> u64 {
+        self.inner.stored_bytes()
+    }
+
+    fn sync(&self) -> StoreResult<()> {
+        self.inner.sync()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::MemStore;
+    use forkbase_crypto::sha256;
+
+    fn setup() -> (FaultyStore<MemStore>, Hash, Bytes) {
+        let s = FaultyStore::new(MemStore::new());
+        let data = Bytes::from_static(b"honest chunk bytes");
+        let h = s.put(data.clone()).unwrap();
+        (s, h, data)
+    }
+
+    #[test]
+    fn no_fault_passes_through() {
+        let (s, h, data) = setup();
+        assert_eq!(s.get(&h).unwrap(), Some(data));
+    }
+
+    #[test]
+    fn flip_bit_changes_content() {
+        let (s, h, data) = setup();
+        s.inject(h, FaultMode::FlipBit { byte: 0 });
+        let tampered = s.get(&h).unwrap().unwrap();
+        assert_ne!(tampered, data);
+        assert_ne!(sha256(&tampered), h, "tampering must be hash-detectable");
+        assert_eq!(tampered.len(), data.len());
+    }
+
+    #[test]
+    fn drop_hides_chunk() {
+        let (s, h, _) = setup();
+        s.inject(h, FaultMode::Drop);
+        assert_eq!(s.get(&h).unwrap(), None);
+        assert!(!s.contains(&h).unwrap());
+    }
+
+    #[test]
+    fn substitute_returns_other_bytes() {
+        let (s, h, _) = setup();
+        s.inject(h, FaultMode::Substitute(Bytes::from_static(b"evil")));
+        assert_eq!(s.get(&h).unwrap(), Some(Bytes::from_static(b"evil")));
+    }
+
+    #[test]
+    fn truncate_shortens() {
+        let (s, h, data) = setup();
+        s.inject(h, FaultMode::Truncate(4));
+        assert_eq!(s.get(&h).unwrap(), Some(data.slice(..4)));
+    }
+
+    #[test]
+    fn heal_restores_honesty() {
+        let (s, h, data) = setup();
+        s.inject(h, FaultMode::Drop);
+        assert_eq!(s.get(&h).unwrap(), None);
+        s.heal(&h);
+        assert_eq!(s.get(&h).unwrap(), Some(data));
+        s.inject(h, FaultMode::Drop);
+        s.heal_all();
+        assert_eq!(s.fault_count(), 0);
+    }
+}

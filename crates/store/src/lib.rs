@@ -1,0 +1,157 @@
+//! Chunk storage layer (paper Fig. 1, bottom layer).
+//!
+//! All ForkBase data — POS-Tree pages, blob chunks, FNodes — is materialized
+//! as immutable *chunks* in a content-addressed key-value store: the key is
+//! the SHA-256 of the chunk bytes, so "each distinct chunk is stored exactly
+//! once and can be shared across different data objects" (§II-C). This is
+//! what turns POS-Tree page sharing into physical deduplication.
+//!
+//! Implementations:
+//!
+//! * [`MemStore`] — concurrent in-memory store; the default substrate for
+//!   tests and benchmarks.
+//! * [`FileStore`] — durable log-structured store: CRC-framed append-only
+//!   segment files plus an in-memory index, with crash recovery that
+//!   tolerates torn tail writes.
+//! * [`CachedStore`] — read-through LRU cache wrapper for slow backends.
+//! * [`FaultyStore`] — fault-injection wrapper simulating the paper's
+//!   *malicious storage provider* (§II-D): corrupts, drops, or substitutes
+//!   chunks so tamper-evidence tests can prove detection.
+//!
+//! Every store tracks [`StoreStats`] — the counters behind the Fig. 4
+//! deduplication experiment (storage growth per dataset load).
+
+pub mod cache;
+pub mod crc;
+pub mod error;
+pub mod faulty;
+pub mod file;
+pub mod mem;
+pub mod stats;
+
+use bytes::Bytes;
+use forkbase_crypto::{sha256, Hash};
+
+pub use cache::CachedStore;
+pub use error::{StoreError, StoreResult};
+pub use faulty::{FaultMode, FaultyStore};
+pub use file::FileStore;
+pub use mem::MemStore;
+pub use stats::StoreStats;
+
+/// A content-addressed store of immutable chunks.
+///
+/// Implementations must be safe for concurrent use; ForkBase servelets share
+/// one store across request threads.
+pub trait ChunkStore: Send + Sync {
+    /// Store `bytes` under its content hash. Returns the hash. Storing the
+    /// same content twice is a dedup hit and costs no extra space.
+    fn put(&self, bytes: Bytes) -> StoreResult<Hash> {
+        let hash = sha256(&bytes);
+        self.put_with_hash(hash, bytes)?;
+        Ok(hash)
+    }
+
+    /// Store `bytes` under a caller-computed `hash` (callers hash the
+    /// canonical encoding once and reuse it). Returns `true` if the chunk
+    /// was newly stored, `false` if it was already present (dedup hit).
+    ///
+    /// The hash **must** be the SHA-256 of `bytes`; debug builds verify.
+    fn put_with_hash(&self, hash: Hash, bytes: Bytes) -> StoreResult<bool>;
+
+    /// Fetch a chunk by hash. `Ok(None)` means the store has no such chunk.
+    fn get(&self, hash: &Hash) -> StoreResult<Option<Bytes>>;
+
+    /// Whether a chunk with this hash is present.
+    fn contains(&self, hash: &Hash) -> StoreResult<bool> {
+        Ok(self.get(hash)?.is_some())
+    }
+
+    /// Snapshot of the store's counters.
+    fn stats(&self) -> StoreStats;
+
+    /// Number of unique chunks stored.
+    fn chunk_count(&self) -> usize;
+
+    /// Total unique (deduplicated) payload bytes stored. This is the number
+    /// the Fig. 4 demo reports as "storage increased by X KB".
+    fn stored_bytes(&self) -> u64;
+
+    /// Flush any buffered writes to durable media. No-op for volatile
+    /// stores.
+    fn sync(&self) -> StoreResult<()> {
+        Ok(())
+    }
+}
+
+/// Blanket impl so `Arc<dyn ChunkStore>` and `&S` work as stores.
+impl<S: ChunkStore + ?Sized> ChunkStore for &S {
+    fn put_with_hash(&self, hash: Hash, bytes: Bytes) -> StoreResult<bool> {
+        (**self).put_with_hash(hash, bytes)
+    }
+    fn get(&self, hash: &Hash) -> StoreResult<Option<Bytes>> {
+        (**self).get(hash)
+    }
+    fn contains(&self, hash: &Hash) -> StoreResult<bool> {
+        (**self).contains(hash)
+    }
+    fn stats(&self) -> StoreStats {
+        (**self).stats()
+    }
+    fn chunk_count(&self) -> usize {
+        (**self).chunk_count()
+    }
+    fn stored_bytes(&self) -> u64 {
+        (**self).stored_bytes()
+    }
+    fn sync(&self) -> StoreResult<()> {
+        (**self).sync()
+    }
+}
+
+impl<S: ChunkStore + ?Sized> ChunkStore for std::sync::Arc<S> {
+    fn put_with_hash(&self, hash: Hash, bytes: Bytes) -> StoreResult<bool> {
+        (**self).put_with_hash(hash, bytes)
+    }
+    fn get(&self, hash: &Hash) -> StoreResult<Option<Bytes>> {
+        (**self).get(hash)
+    }
+    fn contains(&self, hash: &Hash) -> StoreResult<bool> {
+        (**self).contains(hash)
+    }
+    fn stats(&self) -> StoreStats {
+        (**self).stats()
+    }
+    fn chunk_count(&self) -> usize {
+        (**self).chunk_count()
+    }
+    fn stored_bytes(&self) -> u64 {
+        (**self).stored_bytes()
+    }
+    fn sync(&self) -> StoreResult<()> {
+        (**self).sync()
+    }
+}
+
+#[cfg(test)]
+mod trait_tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn default_put_computes_hash() {
+        let store = MemStore::new();
+        let h = store.put(Bytes::from_static(b"hello")).unwrap();
+        assert_eq!(h, sha256(b"hello"));
+        assert_eq!(store.get(&h).unwrap().unwrap(), Bytes::from_static(b"hello"));
+    }
+
+    #[test]
+    fn arc_and_ref_forwarding() {
+        let store = Arc::new(MemStore::new());
+        let h = store.put(Bytes::from_static(b"x")).unwrap();
+        let as_ref: &dyn ChunkStore = &*store;
+        assert!(as_ref.contains(&h).unwrap());
+        assert_eq!(store.chunk_count(), 1);
+    }
+}

@@ -1,0 +1,241 @@
+//! Concurrent in-memory chunk store.
+//!
+//! The default substrate for unit tests, benchmarks and the in-process
+//! multi-servelet cluster. Chunk keys are already uniformly distributed
+//! SHA-256 digests, so the map uses a pass-through hasher that reads the
+//! first 8 bytes of the digest instead of re-hashing with SipHash.
+
+use std::collections::HashMap;
+use std::hash::{BuildHasherDefault, Hasher};
+
+use bytes::Bytes;
+use forkbase_crypto::Hash;
+use parking_lot::RwLock;
+
+use crate::stats::{StatsCell, StoreStats};
+use crate::{ChunkStore, StoreResult};
+
+/// Hasher that passes through the first 8 bytes of a SHA-256 digest.
+#[derive(Default)]
+pub struct DigestHasher(u64);
+
+impl Hasher for DigestHasher {
+    fn finish(&self) -> u64 {
+        self.0
+    }
+
+    fn write(&mut self, bytes: &[u8]) {
+        // Called once with the 32-byte digest; fold the first 8 bytes.
+        let mut buf = [0u8; 8];
+        let n = bytes.len().min(8);
+        buf[..n].copy_from_slice(&bytes[..n]);
+        self.0 ^= u64::from_le_bytes(buf);
+    }
+}
+
+type DigestMap = HashMap<Hash, Bytes, BuildHasherDefault<DigestHasher>>;
+
+/// Number of independently locked shards. Power of two; picked so that the
+/// bench workloads (≤ 32 threads) rarely contend.
+const SHARDS: usize = 16;
+
+/// In-memory content-addressed store.
+pub struct MemStore {
+    shards: Vec<RwLock<DigestMap>>,
+    stats: StatsCell,
+}
+
+impl MemStore {
+    /// Create an empty store.
+    pub fn new() -> Self {
+        MemStore {
+            shards: (0..SHARDS).map(|_| RwLock::new(DigestMap::default())).collect(),
+            stats: StatsCell::new(),
+        }
+    }
+
+    #[inline]
+    fn shard(&self, hash: &Hash) -> &RwLock<DigestMap> {
+        // Use trailing bytes for shard selection so it is independent of the
+        // map's internal hash (which uses the leading bytes).
+        let idx = hash.as_bytes()[31] as usize % SHARDS;
+        &self.shards[idx]
+    }
+
+    /// Iterate over all `(hash, len)` pairs; used by GC and tests. Takes a
+    /// snapshot per shard, so it is safe under concurrent writes.
+    pub fn for_each_chunk(&self, mut f: impl FnMut(&Hash, usize)) {
+        for shard in &self.shards {
+            let guard = shard.read();
+            for (h, b) in guard.iter() {
+                f(h, b.len());
+            }
+        }
+    }
+
+    /// Remove chunks not in the `live` predicate. Returns (chunks, bytes)
+    /// reclaimed. This is the sweep half of a mark-and-sweep GC; the mark
+    /// phase (reachability from branch heads) lives in `forkbase::gc`.
+    pub fn sweep(&self, live: impl Fn(&Hash) -> bool) -> (u64, u64) {
+        let mut chunks = 0u64;
+        let mut bytes = 0u64;
+        for shard in &self.shards {
+            let mut guard = shard.write();
+            guard.retain(|h, b| {
+                if live(h) {
+                    true
+                } else {
+                    chunks += 1;
+                    bytes += b.len() as u64;
+                    false
+                }
+            });
+        }
+        if chunks > 0 {
+            // Stats track resident data; adjust by replaying negative deltas.
+            self.stats.record_recovered(0u64.wrapping_sub(chunks), 0u64.wrapping_sub(bytes));
+        }
+        (chunks, bytes)
+    }
+}
+
+impl Default for MemStore {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl ChunkStore for MemStore {
+    fn put_with_hash(&self, hash: Hash, bytes: Bytes) -> StoreResult<bool> {
+        debug_assert_eq!(
+            forkbase_crypto::sha256(&bytes),
+            hash,
+            "put_with_hash called with a hash that does not match the content"
+        );
+        let len = bytes.len() as u64;
+        let mut guard = self.shard(&hash).write();
+        let newly = match guard.entry(hash) {
+            std::collections::hash_map::Entry::Occupied(_) => false,
+            std::collections::hash_map::Entry::Vacant(v) => {
+                v.insert(bytes);
+                true
+            }
+        };
+        drop(guard);
+        self.stats.record_put(len, newly);
+        Ok(newly)
+    }
+
+    fn get(&self, hash: &Hash) -> StoreResult<Option<Bytes>> {
+        let guard = self.shard(hash).read();
+        let found = guard.get(hash).cloned();
+        drop(guard);
+        self.stats.record_get(found.is_some());
+        Ok(found)
+    }
+
+    fn contains(&self, hash: &Hash) -> StoreResult<bool> {
+        Ok(self.shard(hash).read().contains_key(hash))
+    }
+
+    fn stats(&self) -> StoreStats {
+        self.stats.snapshot()
+    }
+
+    fn chunk_count(&self) -> usize {
+        self.shards.iter().map(|s| s.read().len()).sum()
+    }
+
+    fn stored_bytes(&self) -> u64 {
+        self.stats.snapshot().stored_bytes
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use forkbase_crypto::sha256;
+    use std::sync::Arc;
+
+    #[test]
+    fn put_get_roundtrip() {
+        let s = MemStore::new();
+        let data = Bytes::from_static(b"chunk content");
+        let h = s.put(data.clone()).unwrap();
+        assert_eq!(s.get(&h).unwrap(), Some(data));
+        assert_eq!(s.get(&sha256(b"missing")).unwrap(), None);
+    }
+
+    #[test]
+    fn duplicate_put_is_dedup_hit() {
+        let s = MemStore::new();
+        let data = Bytes::from_static(b"same bytes");
+        assert!(s.put_with_hash(sha256(&data), data.clone()).unwrap());
+        assert!(!s.put_with_hash(sha256(&data), data.clone()).unwrap());
+        let st = s.stats();
+        assert_eq!(st.unique_chunks, 1);
+        assert_eq!(st.dedup_hits, 1);
+        assert_eq!(st.stored_bytes, data.len() as u64);
+        assert_eq!(st.logical_bytes, 2 * data.len() as u64);
+    }
+
+    #[test]
+    fn chunk_count_spans_shards() {
+        let s = MemStore::new();
+        for i in 0..100u32 {
+            s.put(Bytes::from(i.to_le_bytes().to_vec())).unwrap();
+        }
+        assert_eq!(s.chunk_count(), 100);
+    }
+
+    #[test]
+    fn concurrent_puts_dedup_correctly() {
+        let s = Arc::new(MemStore::new());
+        let mut handles = Vec::new();
+        for t in 0..8 {
+            let s = Arc::clone(&s);
+            handles.push(std::thread::spawn(move || {
+                for i in 0..500u32 {
+                    // All threads write the same 500 chunks.
+                    let data = Bytes::from(format!("shared-{i}-{}", i * 3));
+                    s.put(data).unwrap();
+                    let _ = t;
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(s.chunk_count(), 500);
+        let st = s.stats();
+        assert_eq!(st.puts, 8 * 500);
+        assert_eq!(st.dedup_hits, 7 * 500);
+    }
+
+    #[test]
+    fn sweep_removes_dead_chunks() {
+        let s = MemStore::new();
+        let keep = s.put(Bytes::from_static(b"keep me")).unwrap();
+        let _dead = s.put(Bytes::from_static(b"dead chunk")).unwrap();
+        let (chunks, bytes) = s.sweep(|h| *h == keep);
+        assert_eq!(chunks, 1);
+        assert_eq!(bytes, b"dead chunk".len() as u64);
+        assert_eq!(s.chunk_count(), 1);
+        assert!(s.contains(&keep).unwrap());
+    }
+
+    #[test]
+    fn for_each_chunk_visits_everything() {
+        let s = MemStore::new();
+        s.put(Bytes::from_static(b"a")).unwrap();
+        s.put(Bytes::from_static(b"bb")).unwrap();
+        let mut total = 0usize;
+        let mut count = 0usize;
+        s.for_each_chunk(|_, len| {
+            total += len;
+            count += 1;
+        });
+        assert_eq!(count, 2);
+        assert_eq!(total, 3);
+    }
+}

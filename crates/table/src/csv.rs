@@ -1,0 +1,203 @@
+//! Minimal RFC 4180 CSV codec.
+//!
+//! Supports quoted fields, embedded commas/newlines/quotes, and both LF
+//! and CRLF line endings. Intentionally small: the demo workloads are
+//! machine-generated CSVs, not arbitrary spreadsheets.
+
+/// CSV parse error.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CsvError {
+    /// 1-based line where the problem was found.
+    pub line: usize,
+    /// Description.
+    pub message: String,
+}
+
+impl std::fmt::Display for CsvError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "CSV error at line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for CsvError {}
+
+/// Parse CSV text into records (each a vector of fields).
+///
+/// Empty input yields no records. A trailing newline does not produce an
+/// empty final record.
+pub fn parse_csv(text: &str) -> Result<Vec<Vec<String>>, CsvError> {
+    let mut records = Vec::new();
+    let mut record: Vec<String> = Vec::new();
+    let mut field = String::new();
+    let mut line = 1usize;
+    let mut in_quotes = false;
+    let mut field_started_quoted = false;
+    let mut any_field = false;
+
+    let mut chars = text.chars().peekable();
+    while let Some(c) = chars.next() {
+        if in_quotes {
+            match c {
+                '"' => {
+                    if chars.peek() == Some(&'"') {
+                        chars.next();
+                        field.push('"');
+                    } else {
+                        in_quotes = false;
+                    }
+                }
+                '\n' => {
+                    line += 1;
+                    field.push(c);
+                }
+                _ => field.push(c),
+            }
+            continue;
+        }
+        match c {
+            '"' => {
+                if field.is_empty() && !any_field || field.is_empty() {
+                    in_quotes = true;
+                    field_started_quoted = true;
+                    any_field = true;
+                } else {
+                    return Err(CsvError {
+                        line,
+                        message: "quote inside unquoted field".into(),
+                    });
+                }
+            }
+            ',' => {
+                record.push(std::mem::take(&mut field));
+                field_started_quoted = false;
+                any_field = true;
+            }
+            '\r' => {
+                // Swallow only as part of CRLF.
+                if chars.peek() != Some(&'\n') {
+                    field.push('\r');
+                }
+            }
+            '\n' => {
+                line += 1;
+                if any_field || !field.is_empty() || !record.is_empty() {
+                    record.push(std::mem::take(&mut field));
+                    records.push(std::mem::take(&mut record));
+                }
+                any_field = false;
+                field_started_quoted = false;
+            }
+            _ => {
+                if field_started_quoted && !in_quotes {
+                    return Err(CsvError {
+                        line,
+                        message: "data after closing quote".into(),
+                    });
+                }
+                field.push(c);
+                any_field = true;
+            }
+        }
+    }
+    if in_quotes {
+        return Err(CsvError {
+            line,
+            message: "unterminated quoted field".into(),
+        });
+    }
+    if any_field || !field.is_empty() || !record.is_empty() {
+        record.push(field);
+        records.push(record);
+    }
+    Ok(records)
+}
+
+/// Render records as CSV text (LF line endings, minimal quoting).
+pub fn write_csv(records: &[Vec<String>]) -> String {
+    let mut out = String::new();
+    for record in records {
+        for (i, fieldv) in record.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            if fieldv.contains([',', '"', '\n', '\r']) {
+                out.push('"');
+                out.push_str(&fieldv.replace('"', "\"\""));
+                out.push('"');
+            } else {
+                out.push_str(fieldv);
+            }
+        }
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rec(fields: &[&str]) -> Vec<String> {
+        fields.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn simple_rows() {
+        let parsed = parse_csv("a,b,c\n1,2,3\n").unwrap();
+        assert_eq!(parsed, vec![rec(&["a", "b", "c"]), rec(&["1", "2", "3"])]);
+    }
+
+    #[test]
+    fn no_trailing_newline() {
+        let parsed = parse_csv("a,b\n1,2").unwrap();
+        assert_eq!(parsed.len(), 2);
+        assert_eq!(parsed[1], rec(&["1", "2"]));
+    }
+
+    #[test]
+    fn empty_input_and_empty_fields() {
+        assert_eq!(parse_csv("").unwrap(), Vec::<Vec<String>>::new());
+        assert_eq!(parse_csv("a,,c\n").unwrap(), vec![rec(&["a", "", "c"])]);
+        assert_eq!(parse_csv(",\n").unwrap(), vec![rec(&["", ""])]);
+    }
+
+    #[test]
+    fn quoted_fields() {
+        let parsed = parse_csv("\"hello, world\",b\n").unwrap();
+        assert_eq!(parsed, vec![rec(&["hello, world", "b"])]);
+        let parsed = parse_csv("\"say \"\"hi\"\"\",x\n").unwrap();
+        assert_eq!(parsed, vec![rec(&["say \"hi\"", "x"])]);
+        let parsed = parse_csv("\"multi\nline\",y\n").unwrap();
+        assert_eq!(parsed, vec![rec(&["multi\nline", "y"])]);
+    }
+
+    #[test]
+    fn crlf_line_endings() {
+        let parsed = parse_csv("a,b\r\n1,2\r\n").unwrap();
+        assert_eq!(parsed, vec![rec(&["a", "b"]), rec(&["1", "2"])]);
+    }
+
+    #[test]
+    fn errors() {
+        assert!(parse_csv("\"unterminated\n").is_err());
+        assert!(parse_csv("\"closed\"junk,b\n").is_err());
+    }
+
+    #[test]
+    fn roundtrip() {
+        let records = vec![
+            rec(&["id", "name", "notes"]),
+            rec(&["1", "plain", "simple"]),
+            rec(&["2", "has,comma", "has\"quote"]),
+            rec(&["3", "multi\nline", ""]),
+        ];
+        let text = write_csv(&records);
+        assert_eq!(parse_csv(&text).unwrap(), records);
+    }
+
+    #[test]
+    fn write_quotes_only_when_needed() {
+        let text = write_csv(&[rec(&["plain", "with,comma"])]);
+        assert_eq!(text, "plain,\"with,comma\"\n");
+    }
+}

@@ -1,0 +1,262 @@
+//! Dataset management: CSV load/export, row access, branch operations.
+//!
+//! [`TableStore`] is the "Dataset Management" application of the paper's
+//! architecture diagram — a thin layer translating relational operations
+//! into map-value commits on a [`ForkBase`] database.
+
+use bytes::Bytes;
+use forkbase::{CommitResult, DbError, DbResult, ForkBase, PutOptions, VersionSpec};
+use forkbase_postree::MapEdit;
+use forkbase_store::ChunkStore;
+use forkbase_types::Value;
+
+use crate::csv::{parse_csv, write_csv};
+use crate::diff::DatasetDiff;
+use crate::row::{decode_row, encode_row};
+use crate::schema::Schema;
+use crate::SCHEMA_KEY;
+
+/// Per-column statistics: `(name, distinct count, min/max range)`.
+pub type ColumnStats = Vec<(String, u64, Option<(String, String)>)>;
+
+/// Dataset operations over a ForkBase database.
+pub struct TableStore<'d, S> {
+    db: &'d ForkBase<S>,
+}
+
+impl<'d, S: ChunkStore> TableStore<'d, S> {
+    /// Wrap a database.
+    pub fn new(db: &'d ForkBase<S>) -> Self {
+        TableStore { db }
+    }
+
+    /// The wrapped database.
+    pub fn db(&self) -> &'d ForkBase<S> {
+        self.db
+    }
+
+    /// Load CSV text as a dataset: the first record is the header, the
+    /// remaining records are rows keyed by `key_column`. Commits to
+    /// `opts.branch` and returns the commit.
+    pub fn load_csv(
+        &self,
+        key: &str,
+        csv_text: &str,
+        key_column: usize,
+        opts: &PutOptions,
+    ) -> DbResult<CommitResult> {
+        let records = parse_csv(csv_text)
+            .map_err(|e| DbError::InvalidInput(e.to_string()))?;
+        let Some((header, rows)) = records.split_first() else {
+            return Err(DbError::InvalidInput("CSV has no header".into()));
+        };
+        if key_column >= header.len() {
+            return Err(DbError::InvalidInput(format!(
+                "key column {key_column} out of range (arity {})",
+                header.len()
+            )));
+        }
+        let schema = Schema::new(header.clone(), key_column);
+
+        let mut pairs: Vec<(Bytes, Bytes)> = Vec::with_capacity(rows.len() + 1);
+        pairs.push((
+            Bytes::from_static(SCHEMA_KEY),
+            Bytes::from(schema.encode()),
+        ));
+        for (i, row) in rows.iter().enumerate() {
+            if row.len() != schema.arity() {
+                return Err(DbError::InvalidInput(format!(
+                    "row {} has {} cells, schema has {}",
+                    i + 2,
+                    row.len(),
+                    schema.arity()
+                )));
+            }
+            let row_key = &row[key_column];
+            if row_key.is_empty() || row_key.starts_with('\0') {
+                return Err(DbError::InvalidInput(format!(
+                    "row {} has an empty/reserved primary key",
+                    i + 2
+                )));
+            }
+            pairs.push((Bytes::from(row_key.clone()), encode_row(row)));
+        }
+        let value = self.db.new_map(pairs)?;
+        self.db.put(key, value, opts)
+    }
+
+    /// The schema of a dataset version.
+    pub fn schema(&self, key: &str, spec: &VersionSpec) -> DbResult<Schema> {
+        let uid = self.db.resolve(key, spec)?;
+        let value = self.db.get_version(&uid)?.value;
+        let bytes = self
+            .db
+            .map_get(&value, SCHEMA_KEY)?
+            .ok_or_else(|| DbError::InvalidInput(format!("{key:?} is not a dataset")))?;
+        Schema::decode(&bytes)
+            .ok_or_else(|| DbError::InvalidInput("corrupt schema entry".into()))
+    }
+
+    /// One row by primary key.
+    pub fn row(&self, key: &str, spec: &VersionSpec, row_key: &str) -> DbResult<Option<Vec<String>>> {
+        let uid = self.db.resolve(key, spec)?;
+        let value = self.db.get_version(&uid)?.value;
+        match self.db.map_get(&value, row_key.as_bytes())? {
+            None => Ok(None),
+            Some(bytes) => decode_row(&bytes)
+                .map(Some)
+                .ok_or_else(|| DbError::InvalidInput(format!("corrupt row {row_key:?}"))),
+        }
+    }
+
+    /// All rows, in key order (schema entry excluded).
+    pub fn rows(&self, key: &str, spec: &VersionSpec) -> DbResult<Vec<Vec<String>>> {
+        let uid = self.db.resolve(key, spec)?;
+        let value = self.db.get_version(&uid)?.value;
+        let mut out = Vec::new();
+        for (k, v) in self.db.map_entries(&value)? {
+            if k.as_ref() == SCHEMA_KEY {
+                continue;
+            }
+            out.push(
+                decode_row(&v)
+                    .ok_or_else(|| DbError::InvalidInput("corrupt row".into()))?,
+            );
+        }
+        Ok(out)
+    }
+
+    /// Number of rows (schema entry excluded).
+    pub fn row_count(&self, key: &str, spec: &VersionSpec) -> DbResult<u64> {
+        let uid = self.db.resolve(key, spec)?;
+        let value = self.db.get_version(&uid)?.value;
+        match value {
+            Value::Map(t) => Ok(t.count.saturating_sub(1)),
+            other => Err(DbError::TypeMismatch {
+                expected: "map",
+                found: other.value_type().name(),
+            }),
+        }
+    }
+
+    /// Insert or replace whole rows (cells must match the schema arity).
+    pub fn upsert_rows(
+        &self,
+        key: &str,
+        rows: Vec<Vec<String>>,
+        opts: &PutOptions,
+    ) -> DbResult<CommitResult> {
+        let schema = self.schema(key, &VersionSpec::branch(&opts.branch))?;
+        let mut edits = Vec::with_capacity(rows.len());
+        for row in rows {
+            if row.len() != schema.arity() {
+                return Err(DbError::InvalidInput(format!(
+                    "row arity {} != schema arity {}",
+                    row.len(),
+                    schema.arity()
+                )));
+            }
+            let row_key = row[schema.key_column].clone();
+            if row_key.is_empty() || row_key.starts_with('\0') {
+                return Err(DbError::InvalidInput("empty/reserved primary key".into()));
+            }
+            edits.push(MapEdit::put(Bytes::from(row_key), encode_row(&row)));
+        }
+        self.db.put_map_edits(key, edits, opts)
+    }
+
+    /// Update one cell of one row.
+    pub fn update_cell(
+        &self,
+        key: &str,
+        row_key: &str,
+        column: &str,
+        new_value: &str,
+        opts: &PutOptions,
+    ) -> DbResult<CommitResult> {
+        let schema = self.schema(key, &VersionSpec::branch(&opts.branch))?;
+        let col = schema
+            .column_index(column)
+            .ok_or_else(|| DbError::InvalidInput(format!("no column {column:?}")))?;
+        if col == schema.key_column {
+            return Err(DbError::InvalidInput(
+                "cannot update the primary-key column in place".into(),
+            ));
+        }
+        let mut row = self
+            .row(key, &VersionSpec::branch(&opts.branch), row_key)?
+            .ok_or_else(|| DbError::InvalidInput(format!("no row {row_key:?}")))?;
+        row[col] = new_value.to_string();
+        self.upsert_rows(key, vec![row], opts)
+    }
+
+    /// Delete rows by primary key.
+    pub fn delete_rows(
+        &self,
+        key: &str,
+        row_keys: &[&str],
+        opts: &PutOptions,
+    ) -> DbResult<CommitResult> {
+        let edits = row_keys
+            .iter()
+            .map(|rk| MapEdit::delete(Bytes::from(rk.to_string())))
+            .collect();
+        self.db.put_map_edits(key, edits, opts)
+    }
+
+    /// Export a dataset version as CSV text (header + rows in key order).
+    pub fn export_csv(&self, key: &str, spec: &VersionSpec) -> DbResult<String> {
+        let schema = self.schema(key, spec)?;
+        let mut records = vec![schema.columns.clone()];
+        records.extend(self.rows(key, spec)?);
+        Ok(write_csv(&records))
+    }
+
+    /// Multi-scope differential query between two dataset versions
+    /// (Fig. 5): row-level adds/removes plus cell-level changes.
+    pub fn diff(
+        &self,
+        key: &str,
+        from: &VersionSpec,
+        to: &VersionSpec,
+    ) -> DbResult<DatasetDiff> {
+        let schema = self.schema(key, from)?;
+        let value_diff = self.db.diff(key, from, to)?;
+        DatasetDiff::from_value_diff(&schema, value_diff)
+    }
+
+    /// Per-column statistics of a dataset version: distinct count and
+    /// min/max lexicographic values (the demo UI's `Stat`).
+    pub fn column_stats(
+        &self,
+        key: &str,
+        spec: &VersionSpec,
+    ) -> DbResult<ColumnStats> {
+        let schema = self.schema(key, spec)?;
+        let rows = self.rows(key, spec)?;
+        let mut out = Vec::with_capacity(schema.arity());
+        for (i, name) in schema.columns.iter().enumerate() {
+            let mut distinct = std::collections::HashSet::new();
+            let mut min: Option<&str> = None;
+            let mut max: Option<&str> = None;
+            for row in &rows {
+                let v = row[i].as_str();
+                distinct.insert(v);
+                min = Some(match min {
+                    Some(m) if m <= v => m,
+                    _ => v,
+                });
+                max = Some(match max {
+                    Some(m) if m >= v => m,
+                    _ => v,
+                });
+            }
+            let range = match (min, max) {
+                (Some(a), Some(b)) => Some((a.to_string(), b.to_string())),
+                _ => None,
+            };
+            out.push((name.clone(), distinct.len() as u64, range));
+        }
+        Ok(out)
+    }
+}

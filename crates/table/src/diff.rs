@@ -1,0 +1,205 @@
+//! Multi-scope dataset diff (paper Fig. 5).
+//!
+//! The demo UI highlights differences "at multiple scopes, e.g., from
+//! dataset to data entry": which rows were added or removed, and — for
+//! rows present on both sides — exactly which cells changed.
+
+use forkbase::{DbError, DbResult, ValueDiff};
+use forkbase_postree::DiffEntry;
+
+use crate::row::decode_row;
+use crate::schema::Schema;
+use crate::SCHEMA_KEY;
+
+/// A cell-level change within a modified row.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct CellChange {
+    /// Column name.
+    pub column: String,
+    /// Value on the "from" side.
+    pub from: String,
+    /// Value on the "to" side.
+    pub to: String,
+}
+
+/// A row-level change.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum RowChange {
+    /// Row exists only on the "to" side.
+    Added {
+        /// Primary key.
+        key: String,
+        /// The new row's cells.
+        row: Vec<String>,
+    },
+    /// Row exists only on the "from" side.
+    Removed {
+        /// Primary key.
+        key: String,
+        /// The removed row's cells.
+        row: Vec<String>,
+    },
+    /// Row exists on both sides with different cells.
+    Modified {
+        /// Primary key.
+        key: String,
+        /// The changed cells.
+        cells: Vec<CellChange>,
+    },
+}
+
+impl RowChange {
+    /// The primary key the change concerns.
+    pub fn key(&self) -> &str {
+        match self {
+            RowChange::Added { key, .. }
+            | RowChange::Removed { key, .. }
+            | RowChange::Modified { key, .. } => key,
+        }
+    }
+}
+
+/// The multi-scope diff of two dataset versions.
+#[derive(Clone, Debug, Default)]
+pub struct DatasetDiff {
+    /// Row-level changes in key order.
+    pub rows: Vec<RowChange>,
+    /// Whether the schema itself changed between the versions.
+    pub schema_changed: bool,
+}
+
+impl DatasetDiff {
+    /// Whether the versions are identical.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty() && !self.schema_changed
+    }
+
+    /// `(added, removed, modified)` row counts — the dataset scope.
+    pub fn counts(&self) -> (usize, usize, usize) {
+        let mut a = 0;
+        let mut r = 0;
+        let mut m = 0;
+        for c in &self.rows {
+            match c {
+                RowChange::Added { .. } => a += 1,
+                RowChange::Removed { .. } => r += 1,
+                RowChange::Modified { .. } => m += 1,
+            }
+        }
+        (a, r, m)
+    }
+
+    /// Total changed cells across modified rows — the entry scope.
+    pub fn changed_cells(&self) -> usize {
+        self.rows
+            .iter()
+            .map(|c| match c {
+                RowChange::Modified { cells, .. } => cells.len(),
+                _ => 0,
+            })
+            .sum()
+    }
+
+    /// Translate a map-level [`ValueDiff`] into dataset scopes.
+    pub fn from_value_diff(schema: &Schema, diff: ValueDiff) -> DbResult<DatasetDiff> {
+        let mut out = DatasetDiff::default();
+        let map_diff = match diff {
+            ValueDiff::Identical => return Ok(out),
+            ValueDiff::Map(d) => d,
+            _ => {
+                return Err(DbError::TypeMismatch {
+                    expected: "dataset (map value)",
+                    found: "other",
+                })
+            }
+        };
+        let bad_row = || DbError::InvalidInput("corrupt row encoding in diff".into());
+        for entry in map_diff.entries {
+            match entry {
+                DiffEntry::Added { key, value } => {
+                    if key.as_ref() == SCHEMA_KEY {
+                        out.schema_changed = true;
+                        continue;
+                    }
+                    out.rows.push(RowChange::Added {
+                        key: String::from_utf8_lossy(&key).into_owned(),
+                        row: decode_row(&value).ok_or_else(bad_row)?,
+                    });
+                }
+                DiffEntry::Removed { key, value } => {
+                    if key.as_ref() == SCHEMA_KEY {
+                        out.schema_changed = true;
+                        continue;
+                    }
+                    out.rows.push(RowChange::Removed {
+                        key: String::from_utf8_lossy(&key).into_owned(),
+                        row: decode_row(&value).ok_or_else(bad_row)?,
+                    });
+                }
+                DiffEntry::Modified { key, from, to } => {
+                    if key.as_ref() == SCHEMA_KEY {
+                        out.schema_changed = true;
+                        continue;
+                    }
+                    let from_row = decode_row(&from).ok_or_else(bad_row)?;
+                    let to_row = decode_row(&to).ok_or_else(bad_row)?;
+                    let mut cells = Vec::new();
+                    for i in 0..from_row.len().max(to_row.len()) {
+                        let f = from_row.get(i).cloned().unwrap_or_default();
+                        let t = to_row.get(i).cloned().unwrap_or_default();
+                        if f != t {
+                            cells.push(CellChange {
+                                column: schema
+                                    .columns
+                                    .get(i)
+                                    .cloned()
+                                    .unwrap_or_else(|| format!("col{i}")),
+                                from: f,
+                                to: t,
+                            });
+                        }
+                    }
+                    out.rows.push(RowChange::Modified {
+                        key: String::from_utf8_lossy(&key).into_owned(),
+                        cells,
+                    });
+                }
+            }
+        }
+        Ok(out)
+    }
+
+    /// Render a compact, git-diff-like textual report (the CLI analogue of
+    /// the web UI's highlighting).
+    pub fn render(&self) -> String {
+        use std::fmt::Write;
+        let mut out = String::new();
+        let (a, r, m) = self.counts();
+        let _ = writeln!(
+            out,
+            "dataset scope: +{a} row(s), -{r} row(s), ~{m} row(s){}",
+            if self.schema_changed { ", schema changed" } else { "" }
+        );
+        for c in &self.rows {
+            match c {
+                RowChange::Added { key, row } => {
+                    let _ = writeln!(out, "+ {key}: {}", row.join(","));
+                }
+                RowChange::Removed { key, row } => {
+                    let _ = writeln!(out, "- {key}: {}", row.join(","));
+                }
+                RowChange::Modified { key, cells } => {
+                    let _ = writeln!(out, "~ {key}:");
+                    for cell in cells {
+                        let _ = writeln!(
+                            out,
+                            "    {}: {:?} -> {:?}",
+                            cell.column, cell.from, cell.to
+                        );
+                    }
+                }
+            }
+        }
+        out
+    }
+}

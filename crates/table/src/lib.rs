@@ -1,0 +1,30 @@
+//! Relational dataset layer over ForkBase.
+//!
+//! The demonstration (paper §III) revolves around CSV datasets: loading
+//! them into ForkBase, branching them per collaborator, diffing branches
+//! at multiple scopes (dataset → row → cell, Fig. 5), and watching the
+//! chunk store absorb near-duplicates for almost nothing (Fig. 4).
+//!
+//! A dataset is stored as a `Map` value: one entry per row, keyed by the
+//! primary-key column, with a canonical row encoding as the entry value;
+//! the schema rides along under a reserved key that sorts before every
+//! row. Everything the POS-Tree gives maps — structural invariance,
+//! page-level dedup, `O(D log N)` diff, sub-tree merge — is inherited by
+//! datasets for free, which is precisely the paper's point about
+//! co-designing Git-for-data with the storage engine.
+
+pub mod csv;
+pub mod dataset;
+pub mod diff;
+pub mod row;
+pub mod schema;
+
+pub use csv::{parse_csv, write_csv, CsvError};
+pub use dataset::TableStore;
+pub use diff::{CellChange, DatasetDiff, RowChange};
+pub use row::{decode_row, encode_row};
+pub use schema::Schema;
+
+/// Reserved map key holding the schema; `\0` sorts before all permitted
+/// row keys (row keys must be non-empty and must not start with `\0`).
+pub const SCHEMA_KEY: &[u8] = b"\0schema";

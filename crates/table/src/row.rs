@@ -1,0 +1,85 @@
+//! Canonical row encoding.
+//!
+//! A row is a vector of string cells; its encoding is a length-prefixed
+//! concatenation. The encoding is canonical (one byte string per logical
+//! row), which matters because it feeds the dataset map and therefore the
+//! version uid.
+
+use bytes::Bytes;
+
+/// Encode cells into the canonical row bytes.
+pub fn encode_row(cells: &[String]) -> Bytes {
+    let mut out = Vec::with_capacity(cells.iter().map(|c| c.len() + 4).sum::<usize>() + 4);
+    out.extend_from_slice(&(cells.len() as u32).to_le_bytes());
+    for c in cells {
+        out.extend_from_slice(&(c.len() as u32).to_le_bytes());
+        out.extend_from_slice(c.as_bytes());
+    }
+    Bytes::from(out)
+}
+
+/// Decode the canonical row bytes.
+pub fn decode_row(bytes: &[u8]) -> Option<Vec<String>> {
+    let mut pos = 0usize;
+    let take = |pos: &mut usize, n: usize| -> Option<&[u8]> {
+        let s = bytes.get(*pos..*pos + n)?;
+        *pos += n;
+        Some(s)
+    };
+    let n = u32::from_le_bytes(take(&mut pos, 4)?.try_into().ok()?) as usize;
+    if n > 1 << 20 {
+        return None;
+    }
+    let mut cells = Vec::with_capacity(n);
+    for _ in 0..n {
+        let len = u32::from_le_bytes(take(&mut pos, 4)?.try_into().ok()?) as usize;
+        let cell = String::from_utf8(take(&mut pos, len)?.to_vec()).ok()?;
+        cells.push(cell);
+    }
+    if pos != bytes.len() {
+        return None;
+    }
+    Some(cells)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip() {
+        let cells = vec!["1".to_string(), "hello, world".to_string(), String::new()];
+        let enc = encode_row(&cells);
+        assert_eq!(decode_row(&enc), Some(cells));
+    }
+
+    #[test]
+    fn empty_row() {
+        let enc = encode_row(&[]);
+        assert_eq!(decode_row(&enc), Some(vec![]));
+    }
+
+    #[test]
+    fn unicode_cells() {
+        let cells = vec!["日本語".to_string(), "naïve".to_string()];
+        assert_eq!(decode_row(&encode_row(&cells)), Some(cells));
+    }
+
+    #[test]
+    fn rejects_malformed() {
+        assert_eq!(decode_row(&[]), None);
+        assert_eq!(decode_row(&[1, 0, 0, 0]), None, "missing cell");
+        let mut enc = encode_row(&["a".into()]).to_vec();
+        enc.push(0);
+        assert_eq!(decode_row(&enc), None, "trailing bytes");
+        assert_eq!(decode_row(&[0xff, 0xff, 0xff, 0xff]), None, "huge count");
+    }
+
+    #[test]
+    fn encoding_is_injective_on_cell_boundaries() {
+        // ["ab","c"] must differ from ["a","bc"].
+        let a = encode_row(&["ab".into(), "c".into()]);
+        let b = encode_row(&["a".into(), "bc".into()]);
+        assert_ne!(a, b);
+    }
+}

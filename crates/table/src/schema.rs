@@ -1,0 +1,125 @@
+//! Dataset schema: column names plus the primary-key column.
+
+/// Schema of a dataset.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Schema {
+    /// Column names in order.
+    pub columns: Vec<String>,
+    /// Index of the primary-key column.
+    pub key_column: usize,
+}
+
+impl Schema {
+    /// Create a schema; panics if `key_column` is out of range or columns
+    /// are empty/duplicated.
+    pub fn new(columns: Vec<String>, key_column: usize) -> Self {
+        assert!(!columns.is_empty(), "schema needs at least one column");
+        assert!(key_column < columns.len(), "key column out of range");
+        let mut seen = std::collections::HashSet::new();
+        for c in &columns {
+            assert!(seen.insert(c.clone()), "duplicate column name {c:?}");
+        }
+        Schema {
+            columns,
+            key_column,
+        }
+    }
+
+    /// Number of columns.
+    pub fn arity(&self) -> usize {
+        self.columns.len()
+    }
+
+    /// Name of the primary-key column.
+    pub fn key_column_name(&self) -> &str {
+        &self.columns[self.key_column]
+    }
+
+    /// Index of a column by name.
+    pub fn column_index(&self, name: &str) -> Option<usize> {
+        self.columns.iter().position(|c| c == name)
+    }
+
+    /// Canonical encoding (feeds the dataset's map, hence the uid).
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        out.extend_from_slice(&(self.key_column as u32).to_le_bytes());
+        out.extend_from_slice(&(self.columns.len() as u32).to_le_bytes());
+        for c in &self.columns {
+            out.extend_from_slice(&(c.len() as u32).to_le_bytes());
+            out.extend_from_slice(c.as_bytes());
+        }
+        out
+    }
+
+    /// Decode the canonical encoding.
+    pub fn decode(bytes: &[u8]) -> Option<Schema> {
+        let mut pos = 0usize;
+        let take = |pos: &mut usize, n: usize| -> Option<&[u8]> {
+            let s = bytes.get(*pos..*pos + n)?;
+            *pos += n;
+            Some(s)
+        };
+        let key_column = u32::from_le_bytes(take(&mut pos, 4)?.try_into().ok()?) as usize;
+        let n = u32::from_le_bytes(take(&mut pos, 4)?.try_into().ok()?) as usize;
+        if n == 0 || n > 4096 {
+            return None;
+        }
+        let mut columns = Vec::with_capacity(n);
+        for _ in 0..n {
+            let len = u32::from_le_bytes(take(&mut pos, 4)?.try_into().ok()?) as usize;
+            let name = String::from_utf8(take(&mut pos, len)?.to_vec()).ok()?;
+            columns.push(name);
+        }
+        if pos != bytes.len() || key_column >= columns.len() {
+            return None;
+        }
+        Some(Schema {
+            columns,
+            key_column,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip() {
+        let s = Schema::new(
+            vec!["id".into(), "name".into(), "price".into()],
+            0,
+        );
+        assert_eq!(Schema::decode(&s.encode()), Some(s.clone()));
+        assert_eq!(s.arity(), 3);
+        assert_eq!(s.key_column_name(), "id");
+        assert_eq!(s.column_index("price"), Some(2));
+        assert_eq!(s.column_index("ghost"), None);
+    }
+
+    #[test]
+    fn decode_rejects_malformed() {
+        assert_eq!(Schema::decode(&[]), None);
+        assert_eq!(Schema::decode(&[1, 2, 3]), None);
+        let mut bytes = Schema::new(vec!["a".into()], 0).encode();
+        bytes.push(0);
+        assert_eq!(Schema::decode(&bytes), None, "trailing bytes");
+        // key_column out of range.
+        let mut bytes = Schema::new(vec!["a".into()], 0).encode();
+        bytes[0] = 9;
+        assert_eq!(Schema::decode(&bytes), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate column")]
+    fn duplicate_columns_rejected() {
+        Schema::new(vec!["x".into(), "x".into()], 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "key column out of range")]
+    fn bad_key_column_rejected() {
+        Schema::new(vec!["x".into()], 5);
+    }
+}

@@ -1,0 +1,328 @@
+//! End-to-end dataset tests: the paper's demonstration scenarios
+//! (§III-A dedup, §III-B differential query) as executable assertions.
+
+use forkbase::{ForkBase, PutOptions, VersionSpec};
+use forkbase_postree::{MergePolicy, TreeConfig};
+use forkbase_store::{ChunkStore, MemStore};
+use forkbase_table::{DatasetDiff, RowChange, TableStore};
+
+fn db() -> ForkBase<MemStore> {
+    ForkBase::with_config(MemStore::new(), TreeConfig::test_config())
+}
+
+/// Deterministic CSV generator: `rows` data rows of product-like records.
+fn sample_csv(rows: usize, mutate_row: Option<usize>) -> String {
+    let mut out = String::from("id,name,category,price,stock\n");
+    for i in 0..rows {
+        let name = if Some(i) == mutate_row {
+            format!("product-{i}-MUTATED")
+        } else {
+            format!("product-{i}")
+        };
+        out.push_str(&format!(
+            "{i:06},{name},cat-{},{}.{:02},{}\n",
+            i % 17,
+            (i * 7) % 500,
+            i % 100,
+            (i * 13) % 1000
+        ));
+    }
+    out
+}
+
+#[test]
+fn load_and_read_back() {
+    let db = db();
+    let tables = TableStore::new(&db);
+    tables
+        .load_csv("products", &sample_csv(200, None), 0, &PutOptions::default())
+        .unwrap();
+
+    let schema = tables
+        .schema("products", &VersionSpec::branch("master"))
+        .unwrap();
+    assert_eq!(schema.columns, vec!["id", "name", "category", "price", "stock"]);
+    assert_eq!(schema.key_column, 0);
+
+    assert_eq!(
+        tables
+            .row_count("products", &VersionSpec::branch("master"))
+            .unwrap(),
+        200
+    );
+    let row = tables
+        .row("products", &VersionSpec::branch("master"), "000042")
+        .unwrap()
+        .unwrap();
+    assert_eq!(row[1], "product-42");
+}
+
+#[test]
+fn csv_export_roundtrips() {
+    let db = db();
+    let tables = TableStore::new(&db);
+    let csv = sample_csv(50, None);
+    tables
+        .load_csv("ds", &csv, 0, &PutOptions::default())
+        .unwrap();
+    let exported = tables
+        .export_csv("ds", &VersionSpec::branch("master"))
+        .unwrap();
+    // Same parsed content (row order is key order == original order here).
+    assert_eq!(
+        forkbase_table::parse_csv(&exported).unwrap(),
+        forkbase_table::parse_csv(&csv).unwrap()
+    );
+}
+
+#[test]
+fn fig4_single_word_difference_costs_almost_nothing() {
+    // §III-A: "Loading the first dataset increases 338.54 KB to the
+    // storage, but afterwards loading the second dataset only increases
+    // 0.04 KB." We assert the shape: the second, one-word-different load
+    // adds well under 2% of the first load's footprint.
+    let db = db();
+    let tables = TableStore::new(&db);
+
+    let csv1 = sample_csv(5000, None);
+    let csv2 = sample_csv(5000, Some(2500)); // single word differs
+
+    tables
+        .load_csv("dataset-1", &csv1, 0, &PutOptions::default())
+        .unwrap();
+    let after_first = db.store().stored_bytes();
+
+    tables
+        .load_csv("dataset-2", &csv2, 0, &PutOptions::default())
+        .unwrap();
+    let delta = db.store().stored_bytes() - after_first;
+
+    assert!(
+        (delta as f64) < (after_first as f64) * 0.02,
+        "second load added {delta} bytes of {after_first} — expected ≲2%"
+    );
+}
+
+#[test]
+fn fig5_differential_query_between_branches() {
+    // §III-B: diff between master and VendorX branches of Dataset-1,
+    // highlighted at dataset and entry scopes.
+    let db = db();
+    let tables = TableStore::new(&db);
+    tables
+        .load_csv("dataset-1", &sample_csv(300, None), 0, &PutOptions::default())
+        .unwrap();
+    db.branch("dataset-1", "master", "VendorX").unwrap();
+
+    // VendorX edits one cell, adds a row, deletes a row.
+    tables
+        .update_cell(
+            "dataset-1",
+            "000100",
+            "price",
+            "999.99",
+            &PutOptions::on_branch("VendorX"),
+        )
+        .unwrap();
+    tables
+        .upsert_rows(
+            "dataset-1",
+            vec![vec![
+                "999999".into(),
+                "vendor-special".into(),
+                "cat-x".into(),
+                "1.00".into(),
+                "5".into(),
+            ]],
+            &PutOptions::on_branch("VendorX"),
+        )
+        .unwrap();
+    tables
+        .delete_rows("dataset-1", &["000200"], &PutOptions::on_branch("VendorX"))
+        .unwrap();
+
+    let diff: DatasetDiff = tables
+        .diff(
+            "dataset-1",
+            &VersionSpec::branch("master"),
+            &VersionSpec::branch("VendorX"),
+        )
+        .unwrap();
+
+    assert_eq!(diff.counts(), (1, 1, 1));
+    assert_eq!(diff.changed_cells(), 1);
+    assert!(!diff.schema_changed);
+
+    // Entry scope: exactly the price cell of row 000100.
+    let modified = diff
+        .rows
+        .iter()
+        .find_map(|c| match c {
+            RowChange::Modified { key, cells } if key == "000100" => Some(cells),
+            _ => None,
+        })
+        .expect("row 000100 modified");
+    assert_eq!(modified.len(), 1);
+    assert_eq!(modified[0].column, "price");
+    assert_eq!(modified[0].to, "999.99");
+
+    // The rendered report mentions every scope.
+    let report = diff.render();
+    assert!(report.contains("+1 row(s)"));
+    assert!(report.contains("price"));
+
+    // Master unchanged through it all.
+    let row = tables
+        .row("dataset-1", &VersionSpec::branch("master"), "000100")
+        .unwrap()
+        .unwrap();
+    assert_ne!(row[3], "999.99");
+}
+
+#[test]
+fn branch_edit_merge_workflow() {
+    let db = db();
+    let tables = TableStore::new(&db);
+    tables
+        .load_csv("shared", &sample_csv(400, None), 0, &PutOptions::default())
+        .unwrap();
+
+    // Two collaborators branch and edit disjoint rows.
+    db.branch("shared", "master", "team-a").unwrap();
+    db.branch("shared", "master", "team-b").unwrap();
+    tables
+        .update_cell("shared", "000010", "stock", "0", &PutOptions::on_branch("team-a"))
+        .unwrap();
+    tables
+        .update_cell("shared", "000390", "stock", "77", &PutOptions::on_branch("team-b"))
+        .unwrap();
+
+    // Merge both back into master.
+    db.merge("shared", "master", "team-a", MergePolicy::Fail, &PutOptions::default())
+        .unwrap();
+    db.merge("shared", "master", "team-b", MergePolicy::Fail, &PutOptions::default())
+        .unwrap();
+
+    let a = tables
+        .row("shared", &VersionSpec::branch("master"), "000010")
+        .unwrap()
+        .unwrap();
+    let b = tables
+        .row("shared", &VersionSpec::branch("master"), "000390")
+        .unwrap()
+        .unwrap();
+    assert_eq!(a[4], "0");
+    assert_eq!(b[4], "77");
+
+    // Full history verifies (tamper evidence over the whole workflow).
+    db.verify_branch("shared", "master").unwrap();
+}
+
+#[test]
+fn column_stats() {
+    let db = db();
+    let tables = TableStore::new(&db);
+    tables
+        .load_csv("ds", &sample_csv(100, None), 0, &PutOptions::default())
+        .unwrap();
+    let stats = tables
+        .column_stats("ds", &VersionSpec::branch("master"))
+        .unwrap();
+    assert_eq!(stats.len(), 5);
+    let (name, distinct, range) = &stats[0];
+    assert_eq!(name, "id");
+    assert_eq!(*distinct, 100);
+    assert_eq!(
+        range.as_ref().map(|(a, b)| (a.as_str(), b.as_str())),
+        Some(("000000", "000099"))
+    );
+    let (_, categories, _) = &stats[2];
+    assert_eq!(*categories, 17);
+}
+
+#[test]
+fn malformed_inputs_rejected() {
+    let db = db();
+    let tables = TableStore::new(&db);
+    // No header.
+    assert!(tables
+        .load_csv("x", "", 0, &PutOptions::default())
+        .is_err());
+    // Key column out of range.
+    assert!(tables
+        .load_csv("x", "a,b\n1,2\n", 5, &PutOptions::default())
+        .is_err());
+    // Ragged row.
+    assert!(tables
+        .load_csv("x", "a,b\n1,2,3\n", 0, &PutOptions::default())
+        .is_err());
+    // Empty primary key.
+    assert!(tables
+        .load_csv("x", "a,b\n,2\n", 0, &PutOptions::default())
+        .is_err());
+
+    tables
+        .load_csv("ok", "a,b\n1,2\n", 0, &PutOptions::default())
+        .unwrap();
+    // Wrong arity upsert.
+    assert!(tables
+        .upsert_rows("ok", vec![vec!["1".into()]], &PutOptions::default())
+        .is_err());
+    // Unknown column update.
+    assert!(tables
+        .update_cell("ok", "1", "ghost", "v", &PutOptions::default())
+        .is_err());
+    // Updating the key column is refused.
+    assert!(tables
+        .update_cell("ok", "1", "a", "v", &PutOptions::default())
+        .is_err());
+    // Missing row.
+    assert!(tables
+        .update_cell("ok", "404", "b", "v", &PutOptions::default())
+        .is_err());
+}
+
+#[test]
+fn identical_loads_are_fully_deduplicated() {
+    let db = db();
+    let tables = TableStore::new(&db);
+    let csv = sample_csv(1000, None);
+    tables
+        .load_csv("first", &csv, 0, &PutOptions::default())
+        .unwrap();
+    let stored = db.store().stored_bytes();
+    tables
+        .load_csv("second", &csv, 0, &PutOptions::default())
+        .unwrap();
+    // Only the new FNode differs (key name is part of it); the entire map
+    // is shared.
+    let delta = db.store().stored_bytes() - stored;
+    assert!(delta < 300, "identical dataset re-load cost {delta} bytes");
+}
+
+#[test]
+fn dataset_history_tracks_every_commit() {
+    let db = db();
+    let tables = TableStore::new(&db);
+    tables
+        .load_csv("ds", &sample_csv(50, None), 0, &PutOptions::default().message("initial load"))
+        .unwrap();
+    for i in 0..4 {
+        tables
+            .update_cell(
+                "ds",
+                "000001",
+                "stock",
+                &format!("{i}"),
+                &PutOptions::default().message(format!("stock update {i}")),
+            )
+            .unwrap();
+    }
+    let history = db.history("ds", &VersionSpec::branch("master")).unwrap();
+    assert_eq!(history.len(), 5);
+    assert_eq!(history.last().unwrap().message, "initial load");
+    // Every version is tamper-evident Base32.
+    for h in &history {
+        assert!(h.uid.to_base32().len() >= 52);
+    }
+}

@@ -1,0 +1,17 @@
+//! ForkBase typed values (paper §II, "Data Access APIs").
+//!
+//! "Supported data types include primitives (string, number, boolean),
+//! blob, map, set and list, as well as composite data structures built on
+//! them (e.g., relational table)."
+//!
+//! A [`Value`] is what a ForkBase key maps to in each branch. Primitives
+//! are stored inline in the FNode; the collection types hold references to
+//! POS-Trees so that multi-megabyte values still version, diff and dedup
+//! at page granularity. The canonical encoding implemented here feeds the
+//! FNode hash, making values part of the tamper-evident uid.
+
+pub mod set;
+pub mod value;
+
+pub use set::VSet;
+pub use value::{Value, ValueDecodeError, ValueType};

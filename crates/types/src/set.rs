@@ -1,0 +1,229 @@
+//! `VSet`: ordered sets as maps with empty values.
+//!
+//! Sets inherit every POS-Tree property for free: structural invariance,
+//! O(D log N) diff, page-sharing dedup, three-way merge.
+
+use bytes::Bytes;
+use forkbase_chunk::ChunkerConfig;
+use forkbase_postree::map::MapIter;
+use forkbase_postree::node::NodeResult;
+use forkbase_postree::{MapEdit, PosMap, TreeRef};
+use forkbase_store::ChunkStore;
+
+/// An immutable ordered set of byte strings.
+pub struct VSet<'s, S> {
+    inner: PosMap<'s, S>,
+}
+
+impl<'s, S> Clone for VSet<'s, S> {
+    fn clone(&self) -> Self {
+        VSet {
+            inner: self.inner.clone(),
+        }
+    }
+}
+
+impl<'s, S: ChunkStore> VSet<'s, S> {
+    /// Create an empty set.
+    pub fn empty(store: &'s S, cfg: ChunkerConfig) -> NodeResult<Self> {
+        Ok(VSet {
+            inner: PosMap::empty(store, cfg)?,
+        })
+    }
+
+    /// Open an existing set by tree reference.
+    pub fn open(store: &'s S, cfg: ChunkerConfig, tree: TreeRef) -> Self {
+        VSet {
+            inner: PosMap::open(store, cfg, tree),
+        }
+    }
+
+    /// Build from members (need not be sorted or unique).
+    pub fn build(
+        store: &'s S,
+        cfg: ChunkerConfig,
+        members: impl IntoIterator<Item = Bytes>,
+    ) -> NodeResult<Self> {
+        let pairs: Vec<(Bytes, Bytes)> =
+            members.into_iter().map(|m| (m, Bytes::new())).collect();
+        Ok(VSet {
+            inner: PosMap::build_from_pairs(store, cfg, pairs)?,
+        })
+    }
+
+    /// The tree reference.
+    pub fn tree(&self) -> TreeRef {
+        self.inner.tree()
+    }
+
+    /// Root hash: equal roots ⟺ equal member sets.
+    pub fn root(&self) -> forkbase_crypto::Hash {
+        self.inner.root()
+    }
+
+    /// Number of members.
+    pub fn len(&self) -> u64 {
+        self.inner.len()
+    }
+
+    /// Whether the set is empty.
+    pub fn is_empty(&self) -> bool {
+        self.inner.is_empty()
+    }
+
+    /// Membership test, `O(log N)`.
+    pub fn contains(&self, member: &[u8]) -> NodeResult<bool> {
+        self.inner.contains(member)
+    }
+
+    /// Insert a member, returning the new set.
+    pub fn insert(&self, member: impl Into<Bytes>) -> NodeResult<Self> {
+        Ok(VSet {
+            inner: self.inner.insert(member, Bytes::new())?,
+        })
+    }
+
+    /// Remove a member, returning the new set.
+    pub fn remove(&self, member: impl Into<Bytes>) -> NodeResult<Self> {
+        Ok(VSet {
+            inner: self.inner.remove(member)?,
+        })
+    }
+
+    /// Batch insert/remove: `(member, true)` inserts, `(member, false)`
+    /// removes.
+    pub fn apply(&self, edits: impl IntoIterator<Item = (Bytes, bool)>) -> NodeResult<Self> {
+        let edits = edits.into_iter().map(|(m, add)| {
+            if add {
+                MapEdit::put(m, Bytes::new())
+            } else {
+                MapEdit::delete(m)
+            }
+        });
+        Ok(VSet {
+            inner: self.inner.apply(edits)?,
+        })
+    }
+
+    /// Iterate members in order.
+    pub fn iter(&self) -> NodeResult<SetIter<'s, S>> {
+        Ok(SetIter {
+            inner: self.inner.iter()?,
+        })
+    }
+
+    /// Collect all members.
+    pub fn to_vec(&self) -> NodeResult<Vec<Bytes>> {
+        self.iter()?.collect()
+    }
+}
+
+/// Iterator over set members.
+pub struct SetIter<'s, S> {
+    inner: MapIter<'s, S>,
+}
+
+impl<'s, S: ChunkStore> Iterator for SetIter<'s, S> {
+    type Item = NodeResult<Bytes>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        self.inner.next().map(|r| r.map(|e| e.key))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use forkbase_store::MemStore;
+
+    fn cfg() -> ChunkerConfig {
+        ChunkerConfig::test_small()
+    }
+
+    #[test]
+    fn build_dedups_members() {
+        let store = MemStore::new();
+        let s = VSet::build(
+            &store,
+            cfg(),
+            [
+                Bytes::from_static(b"b"),
+                Bytes::from_static(b"a"),
+                Bytes::from_static(b"b"),
+            ],
+        )
+        .unwrap();
+        assert_eq!(s.len(), 2);
+        assert!(s.contains(b"a").unwrap());
+        assert!(s.contains(b"b").unwrap());
+        assert!(!s.contains(b"c").unwrap());
+    }
+
+    #[test]
+    fn insert_remove() {
+        let store = MemStore::new();
+        let s = VSet::empty(&store, cfg()).unwrap();
+        let s = s.insert(Bytes::from_static(b"x")).unwrap();
+        assert!(s.contains(b"x").unwrap());
+        let s2 = s.remove(Bytes::from_static(b"x")).unwrap();
+        assert!(!s2.contains(b"x").unwrap());
+        // Original unchanged.
+        assert!(s.contains(b"x").unwrap());
+    }
+
+    #[test]
+    fn set_equality_is_order_independent() {
+        let store = MemStore::new();
+        let s1 = VSet::build(
+            &store,
+            cfg(),
+            (0..500).map(|i| Bytes::from(format!("m{i:05}"))),
+        )
+        .unwrap();
+        let s2 = VSet::build(
+            &store,
+            cfg(),
+            (0..500).rev().map(|i| Bytes::from(format!("m{i:05}"))),
+        )
+        .unwrap();
+        assert_eq!(s1.root(), s2.root());
+    }
+
+    #[test]
+    fn iteration_is_sorted() {
+        let store = MemStore::new();
+        let s = VSet::build(
+            &store,
+            cfg(),
+            [
+                Bytes::from_static(b"zebra"),
+                Bytes::from_static(b"apple"),
+                Bytes::from_static(b"mango"),
+            ],
+        )
+        .unwrap();
+        let v = s.to_vec().unwrap();
+        assert_eq!(
+            v,
+            vec![
+                Bytes::from_static(b"apple"),
+                Bytes::from_static(b"mango"),
+                Bytes::from_static(b"zebra")
+            ]
+        );
+    }
+
+    #[test]
+    fn batch_apply() {
+        let store = MemStore::new();
+        let s = VSet::build(&store, cfg(), [Bytes::from_static(b"keep")]).unwrap();
+        let s2 = s
+            .apply([
+                (Bytes::from_static(b"new"), true),
+                (Bytes::from_static(b"keep"), false),
+            ])
+            .unwrap();
+        assert!(s2.contains(b"new").unwrap());
+        assert!(!s2.contains(b"keep").unwrap());
+    }
+}

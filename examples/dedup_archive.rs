@@ -1,0 +1,87 @@
+//! Deduplicated archival (Fig. 4 at depth): keep every nightly revision
+//! of a dataset forever and watch storage grow sublinearly.
+//!
+//! Simulates 60 "nightly" revisions of a 3000-row dataset, each touching
+//! a handful of rows, and compares the ForkBase footprint against what
+//! full copies would cost — then proves any historical night is still
+//! retrievable and verifiable.
+//!
+//! ```text
+//! cargo run --release --example dedup_archive
+//! ```
+
+use bytes::Bytes;
+use forkbase::{ForkBase, PutOptions, VersionSpec};
+use forkbase_postree::MapEdit;
+use forkbase_store::{ChunkStore, MemStore};
+
+fn main() {
+    let db = ForkBase::new(MemStore::new());
+
+    // Night 0: the initial dataset.
+    let rows: Vec<(Bytes, Bytes)> = (0..3000)
+        .map(|i| {
+            (
+                Bytes::from(format!("record-{i:06}")),
+                Bytes::from(format!("measurement={} station={} flag=ok", i * 37 % 997, i % 40)),
+            )
+        })
+        .collect();
+    let map = db.new_map(rows.clone()).unwrap();
+    db.put(
+        "nightly",
+        map,
+        &PutOptions::default().author("pipeline").message("night 0"),
+    )
+    .unwrap();
+
+    let mut logical = db.store().stored_bytes(); // one full copy
+    let night0 = db.store().stored_bytes();
+    println!("night  0: stored {night0} bytes (full dataset)");
+
+    // Nights 1..59: small updates (5 rows drift per night).
+    for night in 1..60u64 {
+        let edits: Vec<MapEdit> = (0..5)
+            .map(|j| {
+                let idx = ((night * 53 + j * 601) % 3000) as usize;
+                MapEdit::put(
+                    rows[idx].0.clone(),
+                    Bytes::from(format!("measurement={} updated=night{night}", night * 31 + j)),
+                )
+            })
+            .collect();
+        db.put_map_edits(
+            "nightly",
+            edits,
+            &PutOptions::default()
+                .author("pipeline")
+                .message(format!("night {night}")),
+        )
+        .unwrap();
+        logical += night0; // what a copy-per-night scheme would add
+        if night % 15 == 0 || night == 59 {
+            let stored = db.store().stored_bytes();
+            println!(
+                "night {night:>2}: stored {stored} bytes — {:.1}x smaller than {} full copies",
+                logical as f64 / stored as f64,
+                night + 1
+            );
+        }
+    }
+
+    // Any historical night is one lookup away (no delta replay):
+    let history = db.history("nightly", &VersionSpec::branch("master")).unwrap();
+    println!("\nhistory holds {} versions", history.len());
+    let night30 = &history[history.len() - 31]; // history is newest-first
+    let snapshot = db.get_version(&night30.uid).unwrap();
+    let entries = db.map_entries(&snapshot.value).unwrap();
+    println!(
+        "retrieved {} rows of {:?} in one O(log N) tree walk per row",
+        entries.len(),
+        night30.message
+    );
+
+    // And the whole 60-version chain still verifies from the head uid.
+    let checked = db.verify_branch("nightly", "master").unwrap();
+    println!("verified all {checked} versions — the archive is tamper-evident");
+}

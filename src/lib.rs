@@ -1,0 +1,16 @@
+//! Umbrella crate for the ForkBase reproduction workspace.
+//!
+//! This crate exists to host workspace-level integration tests (`tests/`)
+//! and runnable examples (`examples/`). The actual functionality lives in
+//! the `crates/` members; see the workspace `README.md` for an overview.
+//!
+//! Re-exports the public facade so examples can `use forkbase_suite::*`.
+
+pub use forkbase as core;
+pub use forkbase_baselines as baselines;
+pub use forkbase_chunk as chunk;
+pub use forkbase_crypto as crypto;
+pub use forkbase_postree as postree;
+pub use forkbase_store as store;
+pub use forkbase_table as table;
+pub use forkbase_types as types;

@@ -1,0 +1,273 @@
+//! Workspace-level integration tests: end-to-end flows spanning every
+//! crate (chunker → trees → stores → database → tables), mirroring the
+//! paper's demonstration workflow (§III) plus durability and scale
+//! scenarios the demo implies but cannot show in a UI.
+
+use bytes::Bytes;
+use forkbase_suite::core::{ForkBase, PutOptions, VersionSpec};
+use forkbase_suite::postree::{MergePolicy, TreeConfig};
+use forkbase_suite::store::{ChunkStore, FileStore, MemStore};
+use forkbase_suite::table::TableStore;
+use forkbase_suite::types::Value;
+
+fn csv(rows: usize, mutate: Option<usize>) -> String {
+    let mut out = String::from("id,region,revenue,quarter\n");
+    for i in 0..rows {
+        let region = if Some(i) == mutate { "MUTATED" } else { "emea" };
+        out.push_str(&format!("{i:07},{region},{},{}\n", i * 17 % 9999, i % 4 + 1));
+    }
+    out
+}
+
+/// The complete demo workflow of §III on one database: load, branch,
+/// edit, diff at all scopes, merge, validate — while the storage layer
+/// deduplicates underneath.
+#[test]
+fn paper_demonstration_workflow() {
+    let db = ForkBase::new(MemStore::new());
+    let tables = TableStore::new(&db);
+
+    // §III-A: load two near-identical datasets; the second is nearly free.
+    let csv1 = csv(4000, None);
+    let csv2 = csv(4000, Some(2000));
+    tables
+        .load_csv("dataset-1", &csv1, 0, &PutOptions::default())
+        .unwrap();
+    let first_load = db.store().stored_bytes();
+    tables
+        .load_csv("dataset-2", &csv2, 0, &PutOptions::default())
+        .unwrap();
+    let second_load = db.store().stored_bytes() - first_load;
+    assert!(
+        (second_load as f64) < first_load as f64 * 0.05,
+        "Fig. 4 shape: second load {second_load} of {first_load}"
+    );
+
+    // §III-B: branch dataset-1 for VendorX, edit, and diff both scopes.
+    db.branch("dataset-1", "master", "VendorX").unwrap();
+    tables
+        .update_cell(
+            "dataset-1",
+            "0000123",
+            "revenue",
+            "0",
+            &PutOptions::on_branch("VendorX").author("vendor-x"),
+        )
+        .unwrap();
+    let diff = tables
+        .diff(
+            "dataset-1",
+            &VersionSpec::branch("master"),
+            &VersionSpec::branch("VendorX"),
+        )
+        .unwrap();
+    assert_eq!(diff.counts(), (0, 0, 1));
+    assert_eq!(diff.changed_cells(), 1);
+
+    // Merge it back.
+    db.merge(
+        "dataset-1",
+        "master",
+        "VendorX",
+        MergePolicy::Fail,
+        &PutOptions::default(),
+    )
+    .unwrap();
+    let row = tables
+        .row("dataset-1", &VersionSpec::branch("master"), "0000123")
+        .unwrap()
+        .unwrap();
+    assert_eq!(row[2], "0");
+
+    // §III-C: every version carries a Base32 tamper-evident uid, and the
+    // full chain re-validates.
+    let head = db.head("dataset-1", "master").unwrap();
+    assert!(head.to_base32().len() >= 52);
+    let versions = db.verify_branch("dataset-1", "master").unwrap();
+    // Master never moved after the load, so the merge fast-forwards:
+    // the chain is load → vendor edit (no separate merge node).
+    assert_eq!(versions, 2);
+}
+
+/// Cross-object dedup: loading the same dataset under different keys and
+/// on different branches shares pages across all of them.
+#[test]
+fn pages_shared_across_keys_and_branches() {
+    let db = ForkBase::new(MemStore::new());
+    let tables = TableStore::new(&db);
+    let text = csv(3000, None);
+    tables.load_csv("a", &text, 0, &PutOptions::default()).unwrap();
+    let after_a = db.store().stored_bytes();
+    tables.load_csv("b", &text, 0, &PutOptions::default()).unwrap();
+    let delta_b = db.store().stored_bytes() - after_a;
+    // Key "b" shares every page of the map; only its FNode is new.
+    assert!(delta_b < 500, "cross-key sharing failed: {delta_b}");
+}
+
+/// Full durability loop: commit on a FileStore-backed database, reopen
+/// the store from disk, restore refs, and verify everything.
+#[test]
+fn durable_database_survives_restart() {
+    let dir = std::env::temp_dir().join(format!("fkb-e2e-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+
+    let refs_text;
+    let head_before;
+    {
+        let db = ForkBase::new(FileStore::open(&dir).unwrap());
+        let tables = TableStore::new(&db);
+        tables
+            .load_csv("sales", &csv(1000, None), 0, &PutOptions::default())
+            .unwrap();
+        db.branch("sales", "master", "audit").unwrap();
+        tables
+            .update_cell("sales", "0000001", "revenue", "42", &PutOptions::default())
+            .unwrap();
+        head_before = db.head("sales", "master").unwrap();
+        refs_text = db.dump_refs();
+        db.store().sync().unwrap();
+    }
+
+    // Restart: new process view over the same directory.
+    let db = ForkBase::new(FileStore::open(&dir).unwrap());
+    db.load_refs(&refs_text).unwrap();
+    assert_eq!(db.head("sales", "master").unwrap(), head_before);
+    assert_eq!(db.list_branches("sales").unwrap().len(), 2);
+    // Everything re-validates after the round trip through disk.
+    assert_eq!(db.verify_branch("sales", "master").unwrap(), 2);
+    let tables = TableStore::new(&db);
+    let row = tables
+        .row("sales", &VersionSpec::branch("master"), "0000001")
+        .unwrap()
+        .unwrap();
+    assert_eq!(row[2], "42");
+
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+/// Structural invariance end-to-end: two databases that arrive at the
+/// same logical state by different edit histories agree on every value
+/// root (and disagree on uids, which cover history).
+#[test]
+fn logical_state_determines_value_roots() {
+    let db1 = ForkBase::new(MemStore::new());
+    let db2 = ForkBase::new(MemStore::new());
+
+    // db1: build the final state directly.
+    let final_state: Vec<(Bytes, Bytes)> = (0..500)
+        .map(|i| (Bytes::from(format!("k{i:04}")), Bytes::from(format!("final-{i}"))))
+        .collect();
+    let v1 = db1.new_map(final_state.clone()).unwrap();
+    db1.put("obj", v1.clone(), &PutOptions::default()).unwrap();
+
+    // db2: build something else first, then edit into the same state.
+    let initial: Vec<(Bytes, Bytes)> = (0..500)
+        .map(|i| (Bytes::from(format!("k{i:04}")), Bytes::from(format!("draft-{i}"))))
+        .collect();
+    let v2 = db2.new_map(initial).unwrap();
+    db2.put("obj", v2, &PutOptions::default()).unwrap();
+    let edits: Vec<forkbase_suite::postree::MapEdit> = (0..500)
+        .map(|i| {
+            forkbase_suite::postree::MapEdit::put(
+                Bytes::from(format!("k{i:04}")),
+                Bytes::from(format!("final-{i}")),
+            )
+        })
+        .collect();
+    db2.put_map_edits("obj", edits, &PutOptions::default()).unwrap();
+
+    let root1 = db1.get("obj", "master").unwrap().value.tree_ref().unwrap();
+    let root2 = db2.get("obj", "master").unwrap().value.tree_ref().unwrap();
+    assert_eq!(root1, root2, "same records ⟹ same tree (SIRI)");
+    assert_ne!(
+        db1.head("obj", "master").unwrap(),
+        db2.head("obj", "master").unwrap(),
+        "uids still differ: history differs"
+    );
+}
+
+/// Mixed value types coexist under one key's branches.
+#[test]
+fn heterogeneous_values_across_branches() {
+    let db = ForkBase::with_config(MemStore::new(), TreeConfig::test_config());
+    db.put("thing", Value::string("text form"), &PutOptions::default())
+        .unwrap();
+    db.branch("thing", "master", "as-blob").unwrap();
+    let blob = db.new_blob(b"binary form of the thing").unwrap();
+    db.put("thing", blob, &PutOptions::on_branch("as-blob")).unwrap();
+    db.branch("thing", "master", "as-list").unwrap();
+    let list = db
+        .new_list(vec![Bytes::from_static(b"item1"), Bytes::from_static(b"item2")])
+        .unwrap();
+    db.put("thing", list, &PutOptions::on_branch("as-list")).unwrap();
+
+    assert_eq!(
+        db.get("thing", "master").unwrap().value.value_type(),
+        forkbase_suite::types::ValueType::Str
+    );
+    assert_eq!(
+        db.blob_read(&db.get("thing", "as-blob").unwrap().value).unwrap(),
+        b"binary form of the thing"
+    );
+    assert_eq!(
+        db.list_elements(&db.get("thing", "as-list").unwrap().value)
+            .unwrap()
+            .len(),
+        2
+    );
+    // Each branch verifies independently.
+    for b in ["master", "as-blob", "as-list"] {
+        db.verify_branch("thing", b).unwrap();
+    }
+}
+
+/// A deep branch tree: fork-of-fork-of-fork, edits at every level, merges
+/// cascading back to master.
+#[test]
+fn deep_fork_tree_merges_cleanly() {
+    let db = ForkBase::with_config(MemStore::new(), TreeConfig::test_config());
+    let base: Vec<(Bytes, Bytes)> = (0..800)
+        .map(|i| (Bytes::from(format!("k{i:04}")), Bytes::from("base")))
+        .collect();
+    let map = db.new_map(base).unwrap();
+    db.put("doc", map, &PutOptions::default()).unwrap();
+
+    // master -> l1 -> l2 -> l3, each editing its own key region.
+    let mut parent = "master".to_string();
+    for (level, region) in [(1, 100usize), (2, 300), (3, 500)] {
+        let child = format!("l{level}");
+        db.branch("doc", &parent, &child).unwrap();
+        db.put_map_edits(
+            "doc",
+            (0..10)
+                .map(|j| {
+                    forkbase_suite::postree::MapEdit::put(
+                        Bytes::from(format!("k{:04}", region + j)),
+                        Bytes::from(format!("edit-l{level}")),
+                    )
+                })
+                .collect(),
+            &PutOptions::on_branch(&child),
+        )
+        .unwrap();
+        parent = child;
+    }
+
+    // Merge l3 -> l2 -> l1 -> master.
+    db.merge("doc", "l2", "l3", MergePolicy::Fail, &PutOptions::default())
+        .unwrap();
+    db.merge("doc", "l1", "l2", MergePolicy::Fail, &PutOptions::default())
+        .unwrap();
+    db.merge("doc", "master", "l1", MergePolicy::Fail, &PutOptions::default())
+        .unwrap();
+
+    let head = db.get("doc", "master").unwrap();
+    for region in [100usize, 300, 500] {
+        let v = db
+            .map_get(&head.value, format!("k{region:04}").as_bytes())
+            .unwrap()
+            .unwrap();
+        assert!(v.starts_with(b"edit-l"), "region {region} merged");
+    }
+    db.verify_branch("doc", "master").unwrap();
+}

@@ -1,0 +1,144 @@
+//! Workspace-level property tests: whole-database invariants under
+//! randomized operation sequences, spanning the core + table layers.
+
+use bytes::Bytes;
+use forkbase_suite::core::{ForkBase, PutOptions, VersionSpec};
+use forkbase_suite::postree::{MapEdit, MergePolicy, TreeConfig};
+use forkbase_suite::store::MemStore;
+use proptest::prelude::*;
+
+fn db() -> ForkBase<MemStore> {
+    ForkBase::with_config(MemStore::new(), TreeConfig::test_config())
+}
+
+/// One randomized operation against a single key's branch set.
+#[derive(Clone, Debug)]
+enum Op {
+    Put { branch: u8, n_edits: u8 },
+    Branch { from: u8, name: u8 },
+    Merge { dst: u8, src: u8 },
+    Delete { branch: u8 },
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        (0u8..4, 1u8..10).prop_map(|(branch, n_edits)| Op::Put { branch, n_edits }),
+        (0u8..4, 0u8..4).prop_map(|(from, name)| Op::Branch { from, name }),
+        (0u8..4, 0u8..4).prop_map(|(dst, src)| Op::Merge { dst, src }),
+        (1u8..4).prop_map(|branch| Op::Delete { branch }),
+    ]
+}
+
+fn branch_name(i: u8) -> String {
+    if i == 0 {
+        "master".to_string()
+    } else {
+        format!("branch-{i}")
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 12, ..ProptestConfig::default() })]
+
+    /// After ANY sequence of put/branch/merge/delete operations, every
+    /// surviving branch fully verifies from its head uid — the database
+    /// can never reach a state that fails its own tamper check.
+    #[test]
+    fn all_reachable_state_always_verifies(ops in proptest::collection::vec(op_strategy(), 1..25)) {
+        let db = db();
+        // Seed master with a map.
+        let base: Vec<(Bytes, Bytes)> = (0..200)
+            .map(|i| (Bytes::from(format!("k{i:04}")), Bytes::from("seed")))
+            .collect();
+        let map = db.new_map(base).unwrap();
+        db.put("obj", map, &PutOptions::default()).unwrap();
+
+        let mut commit_counter = 0u32;
+        for op in &ops {
+            match op {
+                Op::Put { branch, n_edits } => {
+                    let b = branch_name(*branch);
+                    if db.head("obj", &b).is_err() {
+                        continue;
+                    }
+                    commit_counter += 1;
+                    let edits: Vec<MapEdit> = (0..*n_edits)
+                        .map(|j| MapEdit::put(
+                            Bytes::from(format!("k{:04}", (commit_counter * 7 + j as u32) % 300)),
+                            Bytes::from(format!("c{commit_counter}-{j}")),
+                        ))
+                        .collect();
+                    db.put_map_edits("obj", edits, &PutOptions::on_branch(b)).unwrap();
+                }
+                Op::Branch { from, name } => {
+                    let from = branch_name(*from);
+                    let name = branch_name(*name);
+                    if from == name || db.head("obj", &from).is_err() {
+                        continue;
+                    }
+                    let _ = db.branch("obj", &from, &name); // may already exist
+                }
+                Op::Merge { dst, src } => {
+                    let dst = branch_name(*dst);
+                    let src = branch_name(*src);
+                    if dst == src
+                        || db.head("obj", &dst).is_err()
+                        || db.head("obj", &src).is_err()
+                    {
+                        continue;
+                    }
+                    // Policy Theirs: merges always succeed when possible.
+                    let _ = db.merge("obj", &dst, &src, MergePolicy::Theirs,
+                                     &PutOptions::default());
+                }
+                Op::Delete { branch } => {
+                    let b = branch_name(*branch);
+                    let _ = db.delete_branch("obj", &b);
+                }
+            }
+        }
+
+        // Invariant: every surviving branch verifies completely.
+        for info in db.list_branches("obj").unwrap() {
+            let checked = db.verify_branch("obj", &info.name).unwrap();
+            prop_assert!(checked >= 1);
+            // And its history walk terminates without cycles.
+            let hist = db.history("obj", &VersionSpec::branch(&info.name)).unwrap();
+            prop_assert!(!hist.is_empty());
+        }
+
+        // Invariant: GC never breaks reachable state.
+        forkbase_suite::core::gc::collect(&db).unwrap();
+        for info in db.list_branches("obj").unwrap() {
+            db.verify_branch("obj", &info.name).unwrap();
+        }
+    }
+
+    /// Export/import round trip through CSV preserves datasets exactly.
+    #[test]
+    fn csv_roundtrip_preserves_datasets(
+        rows in proptest::collection::vec(
+            (1u32..100_000, 0u32..1000, proptest::string::string_regex("[a-z ]{0,12}").unwrap()),
+            1..40,
+        )
+    ) {
+        let db = db();
+        let tables = forkbase_suite::table::TableStore::new(&db);
+        // Unique ids required: index rows by position.
+        let mut csv = String::from("id,qty,note\n");
+        for (i, (a, b, note)) in rows.iter().enumerate() {
+            csv.push_str(&format!("{i:06}-{a},{b},{note}\n"));
+        }
+        tables.load_csv("ds", &csv, 0, &PutOptions::default()).unwrap();
+        let exported = tables.export_csv("ds", &VersionSpec::branch("master")).unwrap();
+        let reparsed = forkbase_suite::table::parse_csv(&exported).unwrap();
+        let original = forkbase_suite::table::parse_csv(&csv).unwrap();
+        // Row order may differ (key order vs input order); compare as sets.
+        let mut a = original[1..].to_vec();
+        let mut b = reparsed[1..].to_vec();
+        a.sort();
+        b.sort();
+        prop_assert_eq!(a, b);
+        prop_assert_eq!(&original[0], &reparsed[0], "header preserved");
+    }
+}
