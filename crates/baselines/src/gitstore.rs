@@ -50,8 +50,7 @@ impl VersionedStore for GitStore {
 
     fn storage_bytes(&self) -> u64 {
         // Object payloads plus one 32-byte ref per version.
-        self.objects.values().map(|b| b.len() as u64).sum::<u64>()
-            + 32 * self.versions.len() as u64
+        self.objects.values().map(|b| b.len() as u64).sum::<u64>() + 32 * self.versions.len() as u64
     }
 
     fn get_version(&self, version: u64) -> Option<Snapshot> {

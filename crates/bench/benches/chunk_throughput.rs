@@ -1,0 +1,204 @@
+//! Ingestion-path throughput: per-byte chunking vs the bulk-slice fast
+//! path, on 64 MiB of incompressible input.
+//!
+//! This is the gating cost of content-addressed storage (PAPER §II-A):
+//! every byte written to ForkBase crosses the rolling-hash boundary
+//! detector before anything else happens to it. The acceptance bar for the
+//! fast path is ≥ 3× over the per-byte baseline at the default data-chunk
+//! parameters (window 48, min 512, avg ~4.5 KiB).
+
+use bytes::Bytes;
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use forkbase_bench::workload;
+use forkbase_chunk::{chunk_boundaries, chunk_boundaries_per_byte, ChunkerConfig, RollingHash};
+use forkbase_postree::{PosBlob, TreeConfig};
+use forkbase_store::MemStore;
+
+const INPUT_LEN: usize = 64 << 20;
+
+/// The seed repository's original per-byte chunker, frozen verbatim as the
+/// "before this PR" baseline: ring-buffer eviction with a `%` modulo, the
+/// pattern mask recomputed on every byte, and a δᵏ rotate per eviction.
+struct SeedChunker {
+    cfg: ChunkerConfig,
+    ring: Vec<u8>,
+    head: usize,
+    filled: usize,
+    value: u64,
+    in_chunk: usize,
+}
+
+impl SeedChunker {
+    fn new(cfg: ChunkerConfig) -> Self {
+        SeedChunker {
+            ring: vec![0u8; cfg.window],
+            cfg,
+            head: 0,
+            filled: 0,
+            value: 0,
+            in_chunk: 0,
+        }
+    }
+
+    #[inline]
+    fn push(&mut self, b: u8) -> bool {
+        let window = self.cfg.window;
+        if self.filled < window {
+            self.value = self.value.rotate_left(1) ^ forkbase_chunk::gamma(b);
+            let idx = (self.head + self.filled) % window;
+            self.ring[idx] = b;
+            self.filled += 1;
+        } else {
+            let out = self.ring[self.head];
+            self.value = self.value.rotate_left(1)
+                ^ forkbase_chunk::gamma(out).rotate_left((window % 64) as u32)
+                ^ forkbase_chunk::gamma(b);
+            self.ring[self.head] = b;
+            self.head = (self.head + 1) % window;
+        }
+        self.in_chunk += 1;
+        let mask = (1u64 << self.cfg.pattern_bits) - 1;
+        let cut = self.in_chunk >= self.cfg.max_size
+            || (self.in_chunk >= self.cfg.min_size && self.value & mask == 0);
+        if cut {
+            self.head = 0;
+            self.filled = 0;
+            self.value = 0;
+            self.in_chunk = 0;
+        }
+        cut
+    }
+}
+
+fn seed_boundaries(data: &[u8], cfg: ChunkerConfig) -> Vec<usize> {
+    let mut ck = SeedChunker::new(cfg);
+    let mut ends = Vec::new();
+    for (i, &b) in data.iter().enumerate() {
+        if ck.push(b) {
+            ends.push(i + 1);
+        }
+    }
+    if ends.last().copied() != Some(data.len()) && !data.is_empty() {
+        ends.push(data.len());
+    }
+    ends
+}
+
+fn bench_boundary_scan(c: &mut Criterion) {
+    let data = workload::random_bytes(INPUT_LEN, 0xC0DE);
+    let cfg = ChunkerConfig::data_default();
+    // Sanity: identical boundaries, or the comparison is meaningless.
+    let reference = chunk_boundaries_per_byte(&data, cfg);
+    assert_eq!(chunk_boundaries(&data, cfg), reference);
+    assert_eq!(seed_boundaries(&data, cfg), reference);
+
+    let mut group = c.benchmark_group("chunk_throughput/boundaries_64MiB");
+    group.sample_size(10);
+    group.throughput(Throughput::Bytes(data.len() as u64));
+    group.bench_function("per_byte_seed", |b| {
+        b.iter(|| seed_boundaries(&data, cfg).len());
+    });
+    group.bench_function("per_byte", |b| {
+        b.iter(|| chunk_boundaries_per_byte(&data, cfg).len());
+    });
+    group.bench_function("bulk_scan", |b| {
+        b.iter(|| chunk_boundaries(&data, cfg).len());
+    });
+    group.finish();
+
+    // The full ingestion fast path this PR replaces, minus the (unchanged)
+    // hashing and store layers: the seed walked every byte through the
+    // chunker state machine and then copied each chunk into its own
+    // buffer; the fast path scans slices and materializes chunks as
+    // zero-copy views.
+    let shared = Bytes::from(data.clone());
+    let mut group = c.benchmark_group("chunk_throughput/ingest_64MiB");
+    group.sample_size(10);
+    group.throughput(Throughput::Bytes(data.len() as u64));
+    group.bench_function("seed_per_byte_plus_copy", |b| {
+        b.iter(|| {
+            let mut ck = SeedChunker::new(cfg);
+            let mut chunks: Vec<Bytes> = Vec::new();
+            let mut start = 0usize;
+            for (i, &byte) in data.iter().enumerate() {
+                if ck.push(byte) {
+                    chunks.push(Bytes::copy_from_slice(&data[start..=i]));
+                    start = i + 1;
+                }
+            }
+            if start < data.len() {
+                chunks.push(Bytes::copy_from_slice(&data[start..]));
+            }
+            chunks.len()
+        });
+    });
+    group.bench_function("bulk_scan_zero_copy", |b| {
+        b.iter(|| {
+            let mut ck = forkbase_chunk::ByteChunker::new(cfg);
+            let mut chunks: Vec<Bytes> = Vec::new();
+            let mut pos = 0usize;
+            while let Some(off) = ck.next_boundary(&shared[pos..]) {
+                chunks.push(shared.slice(pos..pos + off));
+                pos += off;
+            }
+            if pos < shared.len() {
+                chunks.push(shared.slice(pos..));
+            }
+            chunks.len()
+        });
+    });
+    group.finish();
+}
+
+fn bench_rolling_primitives(c: &mut Criterion) {
+    let data = workload::random_bytes(8 << 20, 0xF00D);
+    let mut group = c.benchmark_group("chunk_throughput/rolling_hash_8MiB");
+    group.sample_size(10);
+    group.throughput(Throughput::Bytes(data.len() as u64));
+    group.bench_function("push_per_byte", |b| {
+        b.iter(|| {
+            let mut rh = RollingHash::new(48);
+            let mut acc = 0u64;
+            for &byte in &data {
+                acc ^= rh.push(byte);
+            }
+            acc
+        });
+    });
+    group.bench_function("scan_boundary_no_match", |b| {
+        // mask with 40 low bits never fires on 8 MiB: pure scan cost.
+        b.iter(|| forkbase_chunk::scan_boundary(&data, 48, (1u64 << 40) - 1, 47, usize::MAX));
+    });
+    group.finish();
+}
+
+fn bench_blob_ingest(c: &mut Criterion) {
+    let content = Bytes::from(workload::random_bytes(INPUT_LEN, 0xB10B));
+    let cfg = TreeConfig::default_config();
+    let mut group = c.benchmark_group("chunk_throughput/blob_ingest_64MiB");
+    group.sample_size(10);
+    group.throughput(Throughput::Bytes(content.len() as u64));
+    group.bench_function("write_zero_copy", |b| {
+        b.iter(|| {
+            let store = MemStore::new();
+            PosBlob::new(&store, cfg)
+                .write_bytes(content.clone())
+                .unwrap()
+        });
+    });
+    group.bench_function("write_copying", |b| {
+        b.iter(|| {
+            let store = MemStore::new();
+            PosBlob::new(&store, cfg).write(&content).unwrap()
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_boundary_scan,
+    bench_rolling_primitives,
+    bench_blob_ingest
+);
+criterion_main!(benches);

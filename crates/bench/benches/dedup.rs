@@ -12,9 +12,10 @@ use forkbase_store::MemStore;
 
 fn bench_blob_ingest(c: &mut Criterion) {
     let cfg = TreeConfig::default_config();
-    let content = workload::random_bytes(1 << 20, 0xDE);
-    let mut near = content.clone();
-    near[1 << 19] ^= 0xff;
+    let content = bytes::Bytes::from(workload::random_bytes(1 << 20, 0xDE));
+    let mut near_vec = content.to_vec();
+    near_vec[1 << 19] ^= 0xff;
+    let near = bytes::Bytes::from(near_vec);
 
     let mut group = c.benchmark_group("fig4_blob_ingest_1MiB");
     group.sample_size(10);
@@ -22,13 +23,17 @@ fn bench_blob_ingest(c: &mut Criterion) {
     group.bench_function("cold", |b| {
         b.iter(|| {
             let store = MemStore::new();
-            PosBlob::new(&store, cfg).write(&content).unwrap()
+            PosBlob::new(&store, cfg)
+                .write_bytes(content.clone())
+                .unwrap()
         });
     });
     group.bench_function("near_duplicate", |b| {
         let store = MemStore::new();
-        PosBlob::new(&store, cfg).write(&content).unwrap();
-        b.iter(|| PosBlob::new(&store, cfg).write(&near).unwrap());
+        PosBlob::new(&store, cfg)
+            .write_bytes(content.clone())
+            .unwrap();
+        b.iter(|| PosBlob::new(&store, cfg).write_bytes(near.clone()).unwrap());
     });
     group.finish();
 }

@@ -48,9 +48,10 @@ fn bench_merge(c: &mut Criterion) {
     let base_data = workload::snapshot(N, 0xD3);
     let base = PosMap::build_from_sorted(&store, cfg.node, base_data.iter().cloned()).unwrap();
     let ours = base
-        .apply((0..50).map(|i| {
-            MapEdit::put(base_data[i].0.clone(), bytes::Bytes::from_static(b"ours"))
-        }))
+        .apply(
+            (0..50)
+                .map(|i| MapEdit::put(base_data[i].0.clone(), bytes::Bytes::from_static(b"ours"))),
+        )
         .unwrap();
     let theirs = base
         .apply((0..50).map(|i| {

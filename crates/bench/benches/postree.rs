@@ -103,5 +103,11 @@ fn bench_scan(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_build, bench_get, bench_single_edit, bench_scan);
+criterion_group!(
+    benches,
+    bench_build,
+    bench_get,
+    bench_single_edit,
+    bench_scan
+);
 criterion_main!(benches);

@@ -69,7 +69,10 @@ fn bench_stores(c: &mut Criterion) {
     group.bench_function("memstore", |b| {
         b.iter(|| {
             let store = MemStore::new();
-            let hashes: Vec<_> = chunks.iter().map(|c| store.put(c.clone()).unwrap()).collect();
+            let hashes: Vec<_> = chunks
+                .iter()
+                .map(|c| store.put(c.clone()).unwrap())
+                .collect();
             for h in &hashes {
                 store.get(h).unwrap().unwrap();
             }
@@ -81,7 +84,10 @@ fn bench_stores(c: &mut Criterion) {
         b.iter(|| {
             let _ = std::fs::remove_dir_all(&dir);
             let store = FileStore::open(&dir).unwrap();
-            let hashes: Vec<_> = chunks.iter().map(|c| store.put(c.clone()).unwrap()).collect();
+            let hashes: Vec<_> = chunks
+                .iter()
+                .map(|c| store.put(c.clone()).unwrap())
+                .collect();
             for h in &hashes {
                 store.get(h).unwrap().unwrap();
             }

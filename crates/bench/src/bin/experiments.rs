@@ -8,8 +8,8 @@
 //! writes machine-readable CSVs for plotting.
 
 use forkbase_bench::experiments::{
-    ablation, fig2_structure, fig3_merge, fig4_dedup, fig5_diff, fig6_tamper, siri,
-    table1_systems, Ctx,
+    ablation, fig2_structure, fig3_merge, fig4_dedup, fig5_diff, fig6_tamper, siri, table1_systems,
+    Ctx,
 };
 
 fn main() {

@@ -48,9 +48,8 @@ pub fn run(ctx: &Ctx) {
         let cfg = config_for(q);
         let store = MemStore::new();
         let data = workload::snapshot(n, 0xAB1A);
-        let (base, build_time) = timed(|| {
-            PosMap::build_from_sorted(&store, cfg.node, data.iter().cloned()).unwrap()
-        });
+        let (base, build_time) =
+            timed(|| PosMap::build_from_sorted(&store, cfg.node, data.iter().cloned()).unwrap());
         let pages = store.chunk_count();
         let before = store.stored_bytes();
 

@@ -89,7 +89,8 @@ pub fn run(ctx: &Ctx) {
         let map = PosMap::build_from_sorted(&store, cfg.node, data).unwrap();
         let stats = measure(&store, map.root());
         // Expected height if perfectly balanced with observed fanout.
-        let fanout = (stats.nodes as f64 - 1.0).max(1.0) / (stats.nodes - stats.leaves).max(1) as f64;
+        let fanout =
+            (stats.nodes as f64 - 1.0).max(1.0) / (stats.nodes - stats.leaves).max(1) as f64;
         let expected_height = (n as f64).ln() / fanout.max(2.0).ln();
         table.row(&[
             n.to_string(),

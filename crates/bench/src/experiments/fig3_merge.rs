@@ -43,7 +43,10 @@ pub fn run(ctx: &Ctx) {
         // disjoint sub-tree scenario).
         let ours = base
             .apply((0..w).map(|i| {
-                MapEdit::put(base_data[i].0.clone(), bytes::Bytes::from(format!("ours-{i}")))
+                MapEdit::put(
+                    base_data[i].0.clone(),
+                    bytes::Bytes::from(format!("ours-{i}")),
+                )
             }))
             .unwrap();
         let theirs = base

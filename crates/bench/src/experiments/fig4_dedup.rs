@@ -76,12 +76,46 @@ pub fn run(ctx: &Ctx) {
 
     let mut table = Table::new(
         "Fig. 4 — loading two CSVs that differ by one word (paper: +338.54 KB, then +0.04 KB)",
-        &["storage granularity", "CSV size", "first load", "second load", "second/first"],
+        &[
+            "storage granularity",
+            "CSV size",
+            "first load",
+            "second load",
+            "second/first",
+        ],
     );
-    scenario("rows, 4 KiB pages", TreeConfig::default_config(), &csv1, &csv2, false, &mut table);
-    scenario("rows, 512 B pages", fine_config(), &csv1, &csv2, false, &mut table);
-    scenario("blob, 4 KiB chunks", TreeConfig::default_config(), &csv1, &csv2, true, &mut table);
-    scenario("blob, 512 B chunks", fine_config(), &csv1, &csv2, true, &mut table);
+    scenario(
+        "rows, 4 KiB pages",
+        TreeConfig::default_config(),
+        &csv1,
+        &csv2,
+        false,
+        &mut table,
+    );
+    scenario(
+        "rows, 512 B pages",
+        fine_config(),
+        &csv1,
+        &csv2,
+        false,
+        &mut table,
+    );
+    scenario(
+        "blob, 4 KiB chunks",
+        TreeConfig::default_config(),
+        &csv1,
+        &csv2,
+        true,
+        &mut table,
+    );
+    scenario(
+        "blob, 512 B chunks",
+        fine_config(),
+        &csv1,
+        &csv2,
+        true,
+        &mut table,
+    );
     table.emit(ctx.csv_dir.as_deref(), "fig4_dedup");
     println!(
         "shape check: the second load costs a tiny fraction of the first.\n\

@@ -41,8 +41,7 @@ pub fn run(ctx: &Ctx) {
     for &n in &sizes {
         let store = MemStore::new();
         let base_data = workload::snapshot(n, 0xF5);
-        let base =
-            PosMap::build_from_sorted(&store, cfg.node, base_data.iter().cloned()).unwrap();
+        let base = PosMap::build_from_sorted(&store, cfg.node, base_data.iter().cloned()).unwrap();
         for &d in &ds {
             if d > n {
                 continue;

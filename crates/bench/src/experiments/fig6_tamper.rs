@@ -44,7 +44,12 @@ pub fn run(ctx: &Ctx) {
 
     let mut table = Table::new(
         format!("Fig. 6a — validation latency ({rows}-row dataset)"),
-        &["history depth", "head verify", "full-chain verify", "versions checked"],
+        &[
+            "history depth",
+            "head verify",
+            "full-chain verify",
+            "versions checked",
+        ],
     );
     for &depth in &checkpoints {
         // Verify just the head…
@@ -103,6 +108,8 @@ pub fn run(ctx: &Ctx) {
     // Show a version stamp like the demo UI does.
     let head = db.head("target", "master").unwrap();
     println!("example version stamp (RFC 4648 Base32): {head}");
-    println!("shape check: detection is 100% for every corruption mode; verify\n\
-              latency is flat for the head and linear in chain length for full audits.");
+    println!(
+        "shape check: detection is 100% for every corruption mode; verify\n\
+              latency is flat for the head and linear in chain length for full audits."
+    );
 }

@@ -36,7 +36,11 @@ pub fn run(ctx: &Ctx) {
         let batch = 1usize << (8 + trial * 2);
         for chunk in shuffled.chunks(batch) {
             m = m
-                .apply(chunk.iter().map(|(k, v)| MapEdit::put(k.clone(), v.clone())))
+                .apply(
+                    chunk
+                        .iter()
+                        .map(|(k, v)| MapEdit::put(k.clone(), v.clone())),
+                )
                 .unwrap();
         }
         roots.push(m.root());
@@ -61,7 +65,9 @@ pub fn run(ctx: &Ctx) {
     );
     for trial in 0..5 {
         let key = bytes::Bytes::from(format!("key-{:010}-new{trial}", trial * n / 5));
-        let updated = bulk.insert(key, bytes::Bytes::from_static(b"inserted")).unwrap();
+        let updated = bulk
+            .insert(key, bytes::Bytes::from_static(b"inserted"))
+            .unwrap();
         let pages_after = collect_pages(&store, &updated.root());
         let new = pages_after.difference(&pages_before).count();
         let shared = pages_after.intersection(&pages_before).count();
@@ -77,7 +83,13 @@ pub fn run(ctx: &Ctx) {
     // Property 3: universal reuse across instance sizes.
     let mut table = Table::new(
         "SIRI property 3 — page reuse between instances of different cardinality",
-        &["small N", "large N", "small pages", "reused by large", "reuse %"],
+        &[
+            "small N",
+            "large N",
+            "small pages",
+            "reused by large",
+            "reuse %",
+        ],
     );
     for &(small_n, large_n) in &[(n / 4, n / 2), (n / 2, n)] {
         let small =
@@ -92,7 +104,10 @@ pub fn run(ctx: &Ctx) {
             large_n.to_string(),
             p_small.len().to_string(),
             reused.to_string(),
-            format!("{:.1}%", 100.0 * reused as f64 / p_small.len().max(1) as f64),
+            format!(
+                "{:.1}%",
+                100.0 * reused as f64 / p_small.len().max(1) as f64
+            ),
         ]);
     }
     table.emit(ctx.csv_dir.as_deref(), "siri_p3");

@@ -21,14 +21,50 @@ pub fn run(ctx: &Ctx) {
     // Qualitative matrix straight from the paper.
     let mut matrix = Table::new(
         "Table I — qualitative comparison (from the paper)",
-        &["system", "data model", "dedup", "tamper evidence", "branching"],
+        &[
+            "system",
+            "data model",
+            "dedup",
+            "tamper evidence",
+            "branching",
+        ],
     );
     for row in [
-        ["ForkBase", "structured/unstructured, immutable", "page level", "Merkle DAG root hash", "Git-like"],
-        ["DataHub & Decibel", "structured (table), mutable", "table oriented", "none", "ad-hoc"],
-        ["OrpheusDB", "structured (table), mutable", "table oriented", "none", "ad-hoc"],
-        ["MusaeusDB", "structured (table), mutable", "table oriented", "none", "none"],
-        ["RStore", "unstructured, mutable KV", "none", "none", "ad-hoc"],
+        [
+            "ForkBase",
+            "structured/unstructured, immutable",
+            "page level",
+            "Merkle DAG root hash",
+            "Git-like",
+        ],
+        [
+            "DataHub & Decibel",
+            "structured (table), mutable",
+            "table oriented",
+            "none",
+            "ad-hoc",
+        ],
+        [
+            "OrpheusDB",
+            "structured (table), mutable",
+            "table oriented",
+            "none",
+            "ad-hoc",
+        ],
+        [
+            "MusaeusDB",
+            "structured (table), mutable",
+            "table oriented",
+            "none",
+            "none",
+        ],
+        [
+            "RStore",
+            "unstructured, mutable KV",
+            "none",
+            "none",
+            "ad-hoc",
+        ],
     ] {
         matrix.row(&row.map(String::from));
     }

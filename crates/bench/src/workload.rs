@@ -41,7 +41,9 @@ pub fn product_csv(rows: usize, seed: u64, mutate: Option<usize>) -> String {
         let price = format!("{}.{:02}", r.gen_range(1..500), r.gen_range(0..100u32));
         let stock = r.gen_range(0..1000);
         let notes = format!("batch{} vendor{}", r.gen_range(0..50), r.gen_range(0..9));
-        out.push_str(&format!("{i:08},{name},{category},{price},{stock},{notes}\n"));
+        out.push_str(&format!(
+            "{i:08},{name},{category},{price},{stock},{notes}\n"
+        ));
     }
     out
 }
@@ -141,7 +143,11 @@ mod tests {
         let rows = rows_for_csv_size(target, 42);
         let csv = product_csv(rows, 42, None);
         let err = (csv.len() as f64 - target as f64).abs() / target as f64;
-        assert!(err < 0.02, "size {} vs target {target} ({err:.3})", csv.len());
+        assert!(
+            err < 0.02,
+            "size {} vs target {target} ({err:.3})",
+            csv.len()
+        );
     }
 
     #[test]

@@ -6,7 +6,7 @@
 //! every emitted boundary so boundaries are a greedy deterministic function
 //! of the stream (see crate docs).
 
-use crate::rolling::RollingHash;
+use crate::rolling::{scan_boundary, RollingHash};
 
 /// Parameters controlling pattern detection and chunk size bounds.
 ///
@@ -83,9 +83,17 @@ impl Default for ChunkerConfig {
 /// Byte-granularity chunker: boundaries may fall after any byte.
 ///
 /// Used to slice `Blob` content into data chunks (Fig. 2 "Data Chunk").
+///
+/// Two equivalent interfaces are offered: the per-byte [`push`](Self::push)
+/// for streaming callers, and the bulk [`next_boundary`](Self::next_boundary)
+/// fast path for callers holding whole slices. They produce byte-identical
+/// boundaries (a format guarantee — see the crate docs) and may be mixed
+/// freely on one stream.
 #[derive(Clone)]
 pub struct ByteChunker {
     cfg: ChunkerConfig,
+    /// `cfg.mask()`, hoisted out of the hot loops.
+    mask: u64,
     rh: RollingHash,
     in_chunk: usize,
 }
@@ -96,6 +104,7 @@ impl ByteChunker {
         cfg.validate();
         ByteChunker {
             rh: RollingHash::new(cfg.window),
+            mask: cfg.mask(),
             cfg,
             in_chunk: 0,
         }
@@ -118,11 +127,59 @@ impl ByteChunker {
         let v = self.rh.push(b);
         self.in_chunk += 1;
         let cut = self.in_chunk >= self.cfg.max_size
-            || (self.in_chunk >= self.cfg.min_size && v & self.cfg.mask() == 0);
+            || (self.in_chunk >= self.cfg.min_size && v & self.mask == 0);
         if cut {
             self.reset();
         }
         cut
+    }
+
+    /// Bulk fast path: consume `data` until the next chunk boundary.
+    ///
+    /// Returns `Some(end)` when a boundary falls after `data[..end]`
+    /// (internal state is then reset, ready for the next chunk at
+    /// `data[end..]`), or `None` when all of `data` was consumed without
+    /// reaching a boundary (internal state then reflects the consumed
+    /// bytes, exactly as if each had been [`push`](Self::push)ed).
+    ///
+    /// When the first pattern-eligible position's window lies entirely
+    /// inside `data` — always the case for a fresh chunk with
+    /// `min_size ≥ window` — the scan runs ring-buffer-free with skip-ahead
+    /// via [`scan_boundary`]; otherwise it falls back to per-byte pushes.
+    pub fn next_boundary(&mut self, data: &[u8]) -> Option<usize> {
+        let n = data.len();
+        let already = self.in_chunk;
+        // Position p in `data` has stream count `already + p + 1`.
+        // First pattern-eligible position, and the forced-cut offset.
+        let p_first = self.cfg.min_size.saturating_sub(already + 1);
+        let p_cut = self.cfg.max_size - already;
+        if p_first + 1 >= self.cfg.window {
+            // Eligible windows never reach back into ring-buffered history:
+            // scan the slice directly.
+            if let Some(i) = scan_boundary(data, self.cfg.window, self.mask, p_first, p_cut.min(n))
+            {
+                self.reset();
+                return Some(i + 1);
+            }
+            if n >= p_cut {
+                self.reset();
+                return Some(p_cut);
+            }
+            // No boundary here: fold the tail into streaming state so a
+            // later push()/next_boundary() continues seamlessly.
+            self.rh.absorb(data);
+            self.in_chunk = already + n;
+            None
+        } else {
+            // Mid-chunk continuation (or min_size < window): the eligible
+            // window overlaps bytes held only by the ring buffer.
+            for (i, &b) in data.iter().enumerate() {
+                if self.push(b) {
+                    return Some(i + 1);
+                }
+            }
+            None
+        }
     }
 
     /// Forget all state (start of a fresh chunk).
@@ -141,6 +198,8 @@ impl ByteChunker {
 #[derive(Clone)]
 pub struct EntryChunker {
     cfg: ChunkerConfig,
+    /// `cfg.mask()`, hoisted out of the hot loops.
+    mask: u64,
     rh: RollingHash,
     in_chunk: usize,
 }
@@ -151,6 +210,7 @@ impl EntryChunker {
         cfg.validate();
         EntryChunker {
             rh: RollingHash::new(cfg.window),
+            mask: cfg.mask(),
             cfg,
             in_chunk: 0,
         }
@@ -169,18 +229,34 @@ impl EntryChunker {
     /// Push one entry (its canonical serialized bytes); returns `true` if a
     /// node boundary falls after this entry, in which case the state has
     /// been reset for the next node.
+    ///
+    /// Bytes below `min_size` into the node are never pattern-tested, only
+    /// absorbed into the hash state in bulk ([`RollingHash::absorb`] skips
+    /// hashing entirely for all but the trailing window of such a run);
+    /// eligible bytes run through a loop with the mask hoisted.
     pub fn push_entry(&mut self, entry: &[u8]) -> bool {
+        let end_count = self.in_chunk + entry.len();
         let mut pattern = false;
-        for &b in entry {
-            let v = self.rh.push(b);
-            self.in_chunk += 1;
-            if self.in_chunk >= self.cfg.min_size && v & self.cfg.mask() == 0 {
-                pattern = true;
-                // Keep rolling to the end of the entry: state must reflect
-                // the full stream in case this entry does NOT end the node
-                // (it does here, but the loop is also the eviction path).
+        if end_count < self.cfg.min_size {
+            // Nothing in this entry is pattern-eligible: bulk state update.
+            self.rh.absorb(entry);
+        } else {
+            // First entry index whose stream count reaches min_size.
+            let p_first = self.cfg.min_size.saturating_sub(self.in_chunk + 1);
+            if p_first > 0 {
+                self.rh.absorb(&entry[..p_first]);
+            }
+            for &b in &entry[p_first..] {
+                let v = self.rh.push(b);
+                if v & self.mask == 0 {
+                    pattern = true;
+                    // Keep rolling to the end of the entry: state must
+                    // reflect the full stream (the loop is also the
+                    // eviction path).
+                }
             }
         }
+        self.in_chunk = end_count;
         let cut = pattern || self.in_chunk >= self.cfg.max_size;
         if cut {
             self.reset();
@@ -196,9 +272,27 @@ impl EntryChunker {
 }
 
 /// Convenience: compute the boundary offsets of `data` under `cfg` using the
-/// byte chunker. The returned offsets are exclusive chunk ends; the final
-/// partial chunk (if any) ends at `data.len()`.
+/// byte chunker's bulk fast path. The returned offsets are exclusive chunk
+/// ends; the final partial chunk (if any) ends at `data.len()`.
 pub fn chunk_boundaries(data: &[u8], cfg: ChunkerConfig) -> Vec<usize> {
+    let mut ck = ByteChunker::new(cfg);
+    let mut ends = Vec::new();
+    let mut pos = 0usize;
+    while let Some(off) = ck.next_boundary(&data[pos..]) {
+        pos += off;
+        ends.push(pos);
+    }
+    if pos < data.len() {
+        ends.push(data.len());
+    }
+    ends
+}
+
+/// Reference implementation of [`chunk_boundaries`] using only the per-byte
+/// state machine. Exists so tests (and benchmarks) can pin the bulk fast
+/// path against the original semantics; the two must agree on every input,
+/// byte for byte, because boundaries are on-disk format.
+pub fn chunk_boundaries_per_byte(data: &[u8], cfg: ChunkerConfig) -> Vec<usize> {
     let mut ck = ByteChunker::new(cfg);
     let mut ends = Vec::new();
     for (i, &b) in data.iter().enumerate() {

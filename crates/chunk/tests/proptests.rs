@@ -140,4 +140,136 @@ proptest! {
         }
         prop_assert_eq!(ends, chunk_boundaries(&data, cfg));
     }
+
+    /// THE format guarantee behind the bulk fast path: the slice scanner
+    /// and the per-byte state machine emit identical boundary offsets on
+    /// arbitrary input, for configs on both sides of the
+    /// `min_size ≥ window` skip-ahead threshold.
+    #[test]
+    fn bulk_equals_per_byte(data in proptest::collection::vec(proptest::num::u8::ANY, 0..30_000)) {
+        for cfg in [
+            small_cfg(),
+            ChunkerConfig::data_default(),
+            // min_size below the window: bulk path must fall back correctly.
+            ChunkerConfig { window: 32, pattern_bits: 5, min_size: 8, max_size: 4096 },
+            // Degenerate window.
+            ChunkerConfig { window: 1, pattern_bits: 4, min_size: 4, max_size: 64 },
+        ] {
+            prop_assert_eq!(
+                chunk_boundaries(&data, cfg),
+                forkbase_chunk::chunk_boundaries_per_byte(&data, cfg),
+                "cfg {:?}", cfg
+            );
+        }
+    }
+
+    /// Feeding the bulk interface in arbitrary fragments (as a streaming
+    /// network ingester would) yields the same boundaries as one whole
+    /// slice — the continuation state after a partial scan is exact.
+    #[test]
+    fn fragmented_next_boundary_equals_whole_slice(
+        data in proptest::collection::vec(proptest::num::u8::ANY, 0..20_000),
+        frag_lens in proptest::collection::vec(1usize..700, 1..80),
+    ) {
+        let cfg = small_cfg();
+        let whole = chunk_boundaries(&data, cfg);
+
+        let mut ck = ByteChunker::new(cfg);
+        let mut ends = Vec::new();
+        let mut i = 0usize;
+        let mut frag_iter = frag_lens.iter().cycle();
+        while i < data.len() {
+            let frag_end = (i + frag_iter.next().unwrap()).min(data.len());
+            // Consume one fragment, which may contain several boundaries.
+            let mut pos = i;
+            while let Some(off) = ck.next_boundary(&data[pos..frag_end]) {
+                pos += off;
+                ends.push(pos);
+            }
+            i = frag_end;
+        }
+        if ends.last().copied() != Some(data.len()) && !data.is_empty() {
+            ends.push(data.len());
+        }
+        prop_assert_eq!(ends, whole);
+    }
+
+    /// Mixing per-byte pushes and bulk scans on one stream is coherent.
+    #[test]
+    fn mixed_push_and_bulk_equals_whole_slice(
+        data in proptest::collection::vec(proptest::num::u8::ANY, 0..10_000),
+        lens in proptest::collection::vec(1usize..300, 1..40),
+        start_with_push in proptest::bool::ANY,
+    ) {
+        let cfg = small_cfg();
+        let whole = chunk_boundaries(&data, cfg);
+
+        let mut ck = ByteChunker::new(cfg);
+        let mut ends = Vec::new();
+        let mut i = 0usize;
+        let mut use_push = start_with_push;
+        let mut lens_iter = lens.iter().cycle();
+        while i < data.len() {
+            let seg_end = (i + lens_iter.next().unwrap()).min(data.len());
+            if use_push {
+                for (j, &b) in data[i..seg_end].iter().enumerate() {
+                    if ck.push(b) {
+                        ends.push(i + j + 1);
+                    }
+                }
+            } else {
+                let mut pos = i;
+                while let Some(off) = ck.next_boundary(&data[pos..seg_end]) {
+                    pos += off;
+                    ends.push(pos);
+                }
+            }
+            use_push = !use_push;
+            i = seg_end;
+        }
+        if ends.last().copied() != Some(data.len()) && !data.is_empty() {
+            ends.push(data.len());
+        }
+        prop_assert_eq!(ends, whole);
+    }
+
+    /// Slice-based EntryChunker cuts exactly like the per-byte reference.
+    #[test]
+    fn entry_chunker_bulk_equals_per_byte_reference(
+        entries in proptest::collection::vec(
+            proptest::collection::vec(proptest::num::u8::ANY, 1..80),
+            1..150,
+        ),
+    ) {
+        let cfg = small_cfg();
+        // Reference: the original per-byte semantics, reimplemented here.
+        let reference = |entries: &[Vec<u8>]| -> Vec<usize> {
+            let mut rh = forkbase_chunk::RollingHash::new(cfg.window);
+            let mut in_chunk = 0usize;
+            let mut cuts = Vec::new();
+            for (i, e) in entries.iter().enumerate() {
+                let mut pattern = false;
+                for &b in e {
+                    let v = rh.push(b);
+                    in_chunk += 1;
+                    if in_chunk >= cfg.min_size && v & ((1u64 << cfg.pattern_bits) - 1) == 0 {
+                        pattern = true;
+                    }
+                }
+                if pattern || in_chunk >= cfg.max_size {
+                    rh.reset();
+                    in_chunk = 0;
+                    cuts.push(i);
+                }
+            }
+            cuts
+        };
+        let mut ck = EntryChunker::new(cfg);
+        let bulk: Vec<usize> = entries
+            .iter()
+            .enumerate()
+            .filter_map(|(i, e)| ck.push_entry(e).then_some(i))
+            .collect();
+        prop_assert_eq!(bulk, reference(&entries));
+    }
 }

@@ -64,9 +64,7 @@ pub fn run_command<S: ChunkStore>(db: &ForkBase<S>, args: &[&str]) -> DbResult<S
         author,
         message,
     };
-    let pos = |i: usize| -> DbResult<&str> {
-        positional.get(i).copied().ok_or_else(usage)
-    };
+    let pos = |i: usize| -> DbResult<&str> { positional.get(i).copied().ok_or_else(usage) };
 
     match verb {
         "put" => {
@@ -118,7 +116,11 @@ pub fn run_command<S: ChunkStore>(db: &ForkBase<S>, args: &[&str]) -> DbResult<S
                     h.uid,
                     h.logical_time,
                     h.author,
-                    if h.message.is_empty() { "(no message)" } else { &h.message }
+                    if h.message.is_empty() {
+                        "(no message)"
+                    } else {
+                        &h.message
+                    }
                 ));
             }
             Ok(out)
@@ -183,11 +185,8 @@ pub fn run_command<S: ChunkStore>(db: &ForkBase<S>, args: &[&str]) -> DbResult<S
             let start = positional.get(1).copied();
             let end = positional.get(2).copied();
             let got = db.get(key, &branch)?;
-            let entries = db.map_select(
-                &got.value,
-                start.map(str::as_bytes),
-                end.map(str::as_bytes),
-            )?;
+            let entries =
+                db.map_select(&got.value, start.map(str::as_bytes), end.map(str::as_bytes))?;
             let mut out = String::new();
             for (k, v) in entries {
                 out.push_str(&format!(
@@ -309,13 +308,11 @@ fn render_value_diff(diff: &forkbase::ValueDiff) -> String {
                         String::from_utf8_lossy(key),
                         String::from_utf8_lossy(value)
                     )),
-                    forkbase_postree::DiffEntry::Removed { key, value } => out.push_str(
-                        &format!(
-                            "- {}\t{}\n",
-                            String::from_utf8_lossy(key),
-                            String::from_utf8_lossy(value)
-                        ),
-                    ),
+                    forkbase_postree::DiffEntry::Removed { key, value } => out.push_str(&format!(
+                        "- {}\t{}\n",
+                        String::from_utf8_lossy(key),
+                        String::from_utf8_lossy(value)
+                    )),
                     forkbase_postree::DiffEntry::Modified { key, from, to } => {
                         out.push_str(&format!(
                             "~ {}\t{} -> {}\n",
@@ -379,7 +376,11 @@ mod tests {
     #[test]
     fn history_meta_and_verify() {
         let db = db();
-        run_command(&db, &["put", "k", "v1", "--message", "first", "--author", "alice"]).unwrap();
+        run_command(
+            &db,
+            &["put", "k", "v1", "--message", "first", "--author", "alice"],
+        )
+        .unwrap();
         run_command(&db, &["put", "k", "v2", "--message", "second"]).unwrap();
         let hist = run_command(&db, &["history", "k"]).unwrap();
         assert!(hist.contains("first"));
@@ -489,7 +490,10 @@ mod tests {
         run_command(&db, &["put", "k", "v"]).unwrap();
         run_command(&db, &["branch", "k", "tmp"]).unwrap();
         run_command(&db, &["rename-branch", "k", "tmp", "kept"]).unwrap();
-        assert_eq!(run_command(&db, &["branches", "k"]).unwrap(), "kept\nmaster");
+        assert_eq!(
+            run_command(&db, &["branches", "k"]).unwrap(),
+            "kept\nmaster"
+        );
         run_command(&db, &["delete-branch", "k", "kept"]).unwrap();
         assert_eq!(run_command(&db, &["branches", "k"]).unwrap(), "master");
     }

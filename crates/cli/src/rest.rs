@@ -143,9 +143,9 @@ fn handle_connection<S: ChunkStore>(
     let result: Result<String, DbError> = match (method, segments.as_slice()) {
         ("GET", ["keys"]) => Ok(db.list_keys().join("\n")),
         ("GET", ["stat"]) => Ok(db.stat().to_string()),
-        ("GET", ["get", key]) => db.get(&url_decode(key), &branch).map(|g| {
-            format!("{}\nversion: {}", g.value.summary(), g.uid)
-        }),
+        ("GET", ["get", key]) => db
+            .get(&url_decode(key), &branch)
+            .map(|g| format!("{}\nversion: {}", g.value.summary(), g.uid)),
         ("PUT", ["put", key]) => {
             let text = String::from_utf8_lossy(&body).into_owned();
             let opts = PutOptions::on_branch(branch.clone()).author("rest");
@@ -366,8 +366,7 @@ mod tests {
         for t in 0..6 {
             handles.push(std::thread::spawn(move || {
                 for i in 0..10 {
-                    let (status, _) =
-                        request(addr, "PUT", &format!("/put/key-{t}-{i}"), "payload");
+                    let (status, _) = request(addr, "PUT", &format!("/put/key-{t}-{i}"), "payload");
                     assert_eq!(status, 200);
                 }
             }));

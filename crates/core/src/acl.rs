@@ -105,11 +105,15 @@ impl AccessController {
         if self.role(user).is_none() {
             return Err(DbError::InvalidInput(format!("unknown user {user:?}")));
         }
-        self.grants.write().entry(user.to_string()).or_default().push(Grant {
-            key_pattern: key_pattern.into(),
-            branch_pattern: branch_pattern.into(),
-            permission,
-        });
+        self.grants
+            .write()
+            .entry(user.to_string())
+            .or_default()
+            .push(Grant {
+                key_pattern: key_pattern.into(),
+                branch_pattern: branch_pattern.into(),
+                permission,
+            });
         Ok(())
     }
 
@@ -127,9 +131,8 @@ impl AccessController {
             )));
         }
         if let Some(grants) = self.grants.write().get_mut(user) {
-            grants.retain(|g| {
-                !(g.key_pattern == key_pattern && g.branch_pattern == branch_pattern)
-            });
+            grants
+                .retain(|g| !(g.key_pattern == key_pattern && g.branch_pattern == branch_pattern));
         }
         Ok(())
     }
@@ -223,8 +226,14 @@ mod tests {
         assert!(acl.allows("analyst", "any-key", "experiment", Permission::Write));
         assert!(!acl.allows("analyst", "any-key", "master", Permission::Write));
 
-        acl.grant("admin-a", "analyst", "shared-dataset", "*", Permission::Read)
-            .unwrap();
+        acl.grant(
+            "admin-a",
+            "analyst",
+            "shared-dataset",
+            "*",
+            Permission::Read,
+        )
+        .unwrap();
         assert!(acl.allows("analyst", "shared-dataset", "anything", Permission::Read));
     }
 
@@ -233,8 +242,14 @@ mod tests {
         // The Fig. 1 scenario: Admin A gives a member write access only on
         // branch "team-a"; master stays protected.
         let acl = setup();
-        acl.grant("admin-a", "analyst", "dataset-1", "team-a", Permission::Write)
-            .unwrap();
+        acl.grant(
+            "admin-a",
+            "analyst",
+            "dataset-1",
+            "team-a",
+            Permission::Write,
+        )
+        .unwrap();
         assert!(acl.allows("analyst", "dataset-1", "team-a", Permission::Write));
         assert!(!acl.allows("analyst", "dataset-1", "master", Permission::Write));
         assert!(!acl.allows("analyst", "dataset-1", "master", Permission::Read));

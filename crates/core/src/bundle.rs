@@ -89,21 +89,21 @@ pub fn export_bundle<S: ChunkStore>(
     out.write_all(&(selected.len() as u32).to_le_bytes())
         .map_err(io_err)?;
     for r in &selected {
-        out.write_all(&(r.key.len() as u32).to_le_bytes()).map_err(io_err)?;
+        out.write_all(&(r.key.len() as u32).to_le_bytes())
+            .map_err(io_err)?;
         out.write_all(r.key.as_bytes()).map_err(io_err)?;
         out.write_all(&(r.branch.len() as u32).to_le_bytes())
             .map_err(io_err)?;
         out.write_all(r.branch.as_bytes()).map_err(io_err)?;
         out.write_all(r.uid.as_bytes()).map_err(io_err)?;
     }
-    out.write_all(&(order.len() as u32).to_le_bytes()).map_err(io_err)?;
+    out.write_all(&(order.len() as u32).to_le_bytes())
+        .map_err(io_err)?;
     for hash in &order {
-        let bytes = db
-            .store()
-            .get(hash)?
-            .ok_or(DbError::NoSuchVersion(*hash))?;
+        let bytes = db.store().get(hash)?.ok_or(DbError::NoSuchVersion(*hash))?;
         out.write_all(hash.as_bytes()).map_err(io_err)?;
-        out.write_all(&(bytes.len() as u32).to_le_bytes()).map_err(io_err)?;
+        out.write_all(&(bytes.len() as u32).to_le_bytes())
+            .map_err(io_err)?;
         out.write_all(&bytes).map_err(io_err)?;
     }
     Ok(order.len() as u64)
@@ -226,10 +226,16 @@ mod tests {
     fn seeded() -> ForkBase<MemStore> {
         let d = db();
         let pairs: Vec<(Bytes, Bytes)> = (0..300)
-            .map(|i| (Bytes::from(format!("k{i:04}")), Bytes::from(format!("v{i}"))))
+            .map(|i| {
+                (
+                    Bytes::from(format!("k{i:04}")),
+                    Bytes::from(format!("v{i}")),
+                )
+            })
             .collect();
         let map = d.new_map(pairs).unwrap();
-        d.put("data", map, &PutOptions::default().message("load")).unwrap();
+        d.put("data", map, &PutOptions::default().message("load"))
+            .unwrap();
         d.branch("data", "master", "dev").unwrap();
         d.put(
             "data",
@@ -261,7 +267,9 @@ mod tests {
         // Imported history fully verifies and walks.
         dst.verify_branch("data", "master").unwrap();
         assert_eq!(
-            dst.history("data", &VersionSpec::branch("dev")).unwrap().len(),
+            dst.history("data", &VersionSpec::branch("dev"))
+                .unwrap()
+                .len(),
             2
         );
     }

@@ -131,11 +131,17 @@ impl Cluster {
         self.put(key, Value::Str(content), opts)
     }
 
-    /// `Put` a blob built from raw content on the owning servelet.
-    pub fn put_blob(&self, key: &str, content: Vec<u8>, opts: PutOptions) -> DbResult<CommitResult> {
+    /// `Put` a blob built from raw content on the owning servelet. The
+    /// content `Vec` becomes the blob's backing buffer without copying.
+    pub fn put_blob(
+        &self,
+        key: &str,
+        content: Vec<u8>,
+        opts: PutOptions,
+    ) -> DbResult<CommitResult> {
         let key_owned = key.to_string();
         self.with_key(key, move |db| {
-            let value = db.new_blob(&content)?;
+            let value = db.new_blob_bytes(bytes::Bytes::from(content))?;
             db.put(&key_owned, value, &opts)
         })
     }

@@ -548,17 +548,15 @@ impl<S: ChunkStore> ForkBase<S> {
                 continue;
             }
             let mut parts = line.splitn(3, '\t');
-            let (Some(key), Some(branch), Some(hex)) =
-                (parts.next(), parts.next(), parts.next())
+            let (Some(key), Some(branch), Some(hex)) = (parts.next(), parts.next(), parts.next())
             else {
                 return Err(DbError::InvalidInput(format!(
                     "refs line {} is malformed",
                     i + 1
                 )));
             };
-            let uid = Uid::from_hex(hex).ok_or_else(|| {
-                DbError::InvalidInput(format!("refs line {}: bad uid", i + 1))
-            })?;
+            let uid = Uid::from_hex(hex)
+                .ok_or_else(|| DbError::InvalidInput(format!("refs line {}: bad uid", i + 1)))?;
             let fnode = FNode::load(&self.store, &uid)?;
             if fnode.key != key {
                 return Err(DbError::TamperDetected(format!(
@@ -601,10 +599,18 @@ impl<S: ChunkStore> ForkBase<S> {
         Ok(Value::List(list.tree()))
     }
 
-    /// Build a `Blob` value from raw content.
+    /// Build a `Blob` value from raw content (copies once; prefer
+    /// [`Self::new_blob_bytes`] when a `Bytes` is already at hand).
     pub fn new_blob(&self, content: &[u8]) -> DbResult<Value> {
+        self.new_blob_bytes(Bytes::copy_from_slice(content))
+    }
+
+    /// Build a `Blob` value from shared content, zero-copy: every stored
+    /// chunk is a slice view of `content`, and boundary detection uses the
+    /// bulk scanner instead of the per-byte state machine.
+    pub fn new_blob_bytes(&self, content: Bytes) -> DbResult<Value> {
         let blob = PosBlob::new(&self.store, self.cfg);
-        Ok(Value::Blob(blob.write(content)?))
+        Ok(Value::Blob(blob.write_bytes(content)?))
     }
 
     /// Look up one entry of a `Map` value.
@@ -1023,9 +1029,7 @@ impl<S: ChunkStore> ForkBase<S> {
     }
 }
 
-fn list_leaf_hashes<S: ChunkStore>(
-    list: &PosList<'_, S>,
-) -> DbResult<Vec<forkbase_crypto::Hash>> {
+fn list_leaf_hashes<S: ChunkStore>(list: &PosList<'_, S>) -> DbResult<Vec<forkbase_crypto::Hash>> {
     // Walk leaf node hashes via the cursor.
     let mut cursor = forkbase_postree::cursor::LeafCursor::new(list.store_ref(), list.tree())?;
     let mut out = Vec::new();

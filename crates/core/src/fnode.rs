@@ -66,26 +66,22 @@ impl FNode {
         let err = |m: &str| DbError::InvalidInput(format!("FNode decode: {m}"));
         let mut pos = 0usize;
         let take = |pos: &mut usize, n: usize| -> DbResult<&[u8]> {
-            let s = bytes
-                .get(*pos..*pos + n)
-                .ok_or_else(|| err("truncated"))?;
+            let s = bytes.get(*pos..*pos + n).ok_or_else(|| err("truncated"))?;
             *pos += n;
             Ok(s)
         };
         let take_bytes = |pos: &mut usize| -> DbResult<&[u8]> {
-            let len =
-                u32::from_le_bytes(take(pos, 4)?.try_into().expect("4 bytes")) as usize;
+            let len = u32::from_le_bytes(take(pos, 4)?.try_into().expect("4 bytes")) as usize;
             take(pos, len)
         };
 
         if *take(&mut pos, 1)?.first().expect("one byte") != FNODE_MAGIC {
             return Err(err("bad magic"));
         }
-        let key = String::from_utf8(take_bytes(&mut pos)?.to_vec())
-            .map_err(|_| err("key not UTF-8"))?;
+        let key =
+            String::from_utf8(take_bytes(&mut pos)?.to_vec()).map_err(|_| err("key not UTF-8"))?;
         let value = Value::decode(take_bytes(&mut pos)?)?;
-        let n_bases =
-            u32::from_le_bytes(take(&mut pos, 4)?.try_into().expect("4 bytes")) as usize;
+        let n_bases = u32::from_le_bytes(take(&mut pos, 4)?.try_into().expect("4 bytes")) as usize;
         if n_bases > 16 {
             return Err(err("implausible base count"));
         }
@@ -97,8 +93,7 @@ impl FNode {
             .map_err(|_| err("author not UTF-8"))?;
         let message = String::from_utf8(take_bytes(&mut pos)?.to_vec())
             .map_err(|_| err("message not UTF-8"))?;
-        let logical_time =
-            u64::from_le_bytes(take(&mut pos, 8)?.try_into().expect("8 bytes"));
+        let logical_time = u64::from_le_bytes(take(&mut pos, 8)?.try_into().expect("8 bytes"));
         if pos != bytes.len() {
             return Err(err("trailing bytes"));
         }
@@ -129,9 +124,7 @@ impl FNode {
     /// first line of tamper evidence (§II-D): a malicious store cannot
     /// substitute a different FNode without changing the uid.
     pub fn load<S: ChunkStore>(store: &S, uid: &Uid) -> DbResult<FNode> {
-        let bytes = store
-            .get(uid)?
-            .ok_or(DbError::NoSuchVersion(*uid))?;
+        let bytes = store.get(uid)?.ok_or(DbError::NoSuchVersion(*uid))?;
         let actual = sha256(&bytes);
         if actual != *uid {
             return Err(DbError::TamperDetected(format!(

@@ -131,7 +131,12 @@ mod tests {
     fn nothing_reclaimed_when_everything_is_live() {
         let db = db();
         let pairs: Vec<(Bytes, Bytes)> = (0..500)
-            .map(|i| (Bytes::from(format!("k{i:05}")), Bytes::from(format!("v{i}"))))
+            .map(|i| {
+                (
+                    Bytes::from(format!("k{i:05}")),
+                    Bytes::from(format!("v{i}")),
+                )
+            })
             .collect();
         let map = db.new_map(pairs).unwrap();
         db.put("data", map, &PutOptions::default()).unwrap();
@@ -146,7 +151,12 @@ mod tests {
     fn dropped_branch_is_reclaimed_but_history_stays() {
         let db = db();
         let pairs: Vec<(Bytes, Bytes)> = (0..500)
-            .map(|i| (Bytes::from(format!("k{i:05}")), Bytes::from(format!("v{i}"))))
+            .map(|i| {
+                (
+                    Bytes::from(format!("k{i:05}")),
+                    Bytes::from(format!("v{i}")),
+                )
+            })
             .collect();
         let map = db.new_map(pairs).unwrap();
         db.put("data", map, &PutOptions::default()).unwrap();
@@ -169,9 +179,7 @@ mod tests {
 
         // Master and its full history still verify.
         db.verify_branch("data", "master").unwrap();
-        let history = db
-            .history("data", &VersionSpec::branch("master"))
-            .unwrap();
+        let history = db.history("data", &VersionSpec::branch("master")).unwrap();
         assert_eq!(history.len(), 1);
     }
 
@@ -201,7 +209,12 @@ mod tests {
         // Two keys share most of their map content.
         let mk = |extra: &str| -> Vec<(Bytes, Bytes)> {
             let mut v: Vec<(Bytes, Bytes)> = (0..300)
-                .map(|i| (Bytes::from(format!("k{i:05}")), Bytes::from(format!("v{i}"))))
+                .map(|i| {
+                    (
+                        Bytes::from(format!("k{i:05}")),
+                        Bytes::from(format!("v{i}")),
+                    )
+                })
                 .collect();
             v.push((Bytes::from(extra.to_string()), Bytes::from_static(b"1")));
             v

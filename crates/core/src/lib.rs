@@ -46,10 +46,10 @@ pub mod fnode;
 pub mod gc;
 
 pub use acl::{AccessController, Permission, Role};
+pub use bundle::{export_bundle, import_bundle, BundleRef};
 pub use db::{
     BranchInfo, CommitResult, ForkBase, GetResult, HistoryEntry, PutOptions, ValueDiff,
     VersionSpec, DEFAULT_BRANCH,
 };
-pub use bundle::{export_bundle, import_bundle, BundleRef};
 pub use error::{DbError, DbResult};
 pub use fnode::{FNode, Uid};

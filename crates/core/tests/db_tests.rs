@@ -4,9 +4,7 @@
 
 use bytes::Bytes;
 use forkbase::db::DbStat;
-use forkbase::{
-    DbError, ForkBase, PutOptions, ValueDiff, VersionSpec, DEFAULT_BRANCH,
-};
+use forkbase::{DbError, ForkBase, PutOptions, ValueDiff, VersionSpec, DEFAULT_BRANCH};
 use forkbase_postree::{MapEdit, MergePolicy, TreeConfig};
 use forkbase_store::{ChunkStore, FaultMode, FaultyStore, MemStore};
 use forkbase_types::Value;
@@ -42,10 +40,18 @@ fn put_get_head_on_default_branch() {
 fn put_appends_history() {
     let db = db();
     let c1 = db
-        .put("doc", Value::string("v1"), &PutOptions::default().message("first"))
+        .put(
+            "doc",
+            Value::string("v1"),
+            &PutOptions::default().message("first"),
+        )
         .unwrap();
     let c2 = db
-        .put("doc", Value::string("v2"), &PutOptions::default().message("second"))
+        .put(
+            "doc",
+            Value::string("v2"),
+            &PutOptions::default().message("second"),
+        )
         .unwrap();
     assert_ne!(c1.uid, c2.uid);
 
@@ -63,8 +69,11 @@ fn put_appends_history() {
 #[test]
 fn get_version_retrieves_old_values() {
     let db = db();
-    let c1 = db.put("doc", Value::string("old"), &PutOptions::default()).unwrap();
-    db.put("doc", Value::string("new"), &PutOptions::default()).unwrap();
+    let c1 = db
+        .put("doc", Value::string("old"), &PutOptions::default())
+        .unwrap();
+    db.put("doc", Value::string("new"), &PutOptions::default())
+        .unwrap();
     let old = db.get_version(&c1.uid).unwrap();
     assert_eq!(old.value.as_str(), Some("old"));
 }
@@ -72,8 +81,12 @@ fn get_version_retrieves_old_values() {
 #[test]
 fn missing_key_and_branch_errors() {
     let db = db();
-    assert!(matches!(db.get("ghost", "master"), Err(DbError::NoSuchKey(_))));
-    db.put("real", Value::Int(1), &PutOptions::default()).unwrap();
+    assert!(matches!(
+        db.get("ghost", "master"),
+        Err(DbError::NoSuchKey(_))
+    ));
+    db.put("real", Value::Int(1), &PutOptions::default())
+        .unwrap();
     assert!(matches!(
         db.get("real", "ghost-branch"),
         Err(DbError::NoSuchBranch { .. })
@@ -87,7 +100,8 @@ fn missing_key_and_branch_errors() {
 #[test]
 fn branch_fork_and_isolation() {
     let db = db();
-    db.put("data", Value::string("base"), &PutOptions::default()).unwrap();
+    db.put("data", Value::string("base"), &PutOptions::default())
+        .unwrap();
     db.branch("data", "master", "vendor-x").unwrap();
 
     // Both branches see the same head initially.
@@ -97,9 +111,16 @@ fn branch_fork_and_isolation() {
     );
 
     // Writes diverge.
-    db.put("data", Value::string("vendor version"), &PutOptions::on_branch("vendor-x"))
-        .unwrap();
-    assert_eq!(db.get("data", "master").unwrap().value.as_str(), Some("base"));
+    db.put(
+        "data",
+        Value::string("vendor version"),
+        &PutOptions::on_branch("vendor-x"),
+    )
+    .unwrap();
+    assert_eq!(
+        db.get("data", "master").unwrap().value.as_str(),
+        Some("base")
+    );
     assert_eq!(
         db.get("data", "vendor-x").unwrap().value.as_str(),
         Some("vendor version")
@@ -128,8 +149,11 @@ fn branch_errors() {
 #[test]
 fn branch_from_historical_version() {
     let db = db();
-    let c1 = db.put("k", Value::string("v1"), &PutOptions::default()).unwrap();
-    db.put("k", Value::string("v2"), &PutOptions::default()).unwrap();
+    let c1 = db
+        .put("k", Value::string("v1"), &PutOptions::default())
+        .unwrap();
+    db.put("k", Value::string("v2"), &PutOptions::default())
+        .unwrap();
     db.branch_from_version("k", &c1.uid, "archaeology").unwrap();
     assert_eq!(
         db.get("k", "archaeology").unwrap().value.as_str(),
@@ -173,10 +197,15 @@ fn rename_and_delete_branch() {
 #[test]
 fn list_and_latest() {
     let db = db();
-    db.put("alpha", Value::Int(1), &PutOptions::default()).unwrap();
-    db.put("beta", Value::Int(2), &PutOptions::default()).unwrap();
+    db.put("alpha", Value::Int(1), &PutOptions::default())
+        .unwrap();
+    db.put("beta", Value::Int(2), &PutOptions::default())
+        .unwrap();
     db.branch("alpha", "master", "dev").unwrap();
-    assert_eq!(db.list_keys(), vec!["alpha".to_string(), "beta".to_string()]);
+    assert_eq!(
+        db.list_keys(),
+        vec!["alpha".to_string(), "beta".to_string()]
+    );
 
     let latest = db.latest("alpha").unwrap();
     assert_eq!(latest.len(), 2);
@@ -234,7 +263,10 @@ fn put_map_edits_commits_incrementally() {
     db.put_map_edits(
         "table",
         vec![
-            MapEdit::put(Bytes::from_static(b"row-000001"), Bytes::from_static(b"updated")),
+            MapEdit::put(
+                Bytes::from_static(b"row-000001"),
+                Bytes::from_static(b"updated"),
+            ),
             MapEdit::delete(Bytes::from_static(b"row-000002")),
         ],
         &PutOptions::default(),
@@ -275,7 +307,8 @@ fn blob_and_list_values() {
 #[test]
 fn type_mismatch_errors() {
     let db = db();
-    db.put("s", Value::string("text"), &PutOptions::default()).unwrap();
+    db.put("s", Value::string("text"), &PutOptions::default())
+        .unwrap();
     let got = db.get("s", "master").unwrap();
     assert!(matches!(
         db.map_get(&got.value, b"x"),
@@ -300,8 +333,14 @@ fn diff_map_versions_across_branches() {
     db.put_map_edits(
         "ds",
         vec![
-            MapEdit::put(Bytes::from_static(b"row-000007"), Bytes::from_static(b"changed")),
-            MapEdit::put(Bytes::from_static(b"row-999999"), Bytes::from_static(b"added")),
+            MapEdit::put(
+                Bytes::from_static(b"row-000007"),
+                Bytes::from_static(b"changed"),
+            ),
+            MapEdit::put(
+                Bytes::from_static(b"row-999999"),
+                Bytes::from_static(b"added"),
+            ),
         ],
         &PutOptions::on_branch("vendor-x"),
     )
@@ -324,7 +363,11 @@ fn diff_map_versions_across_branches() {
     // Identical branches diff to Identical.
     db.branch("ds", "master", "copy").unwrap();
     let diff = db
-        .diff("ds", &VersionSpec::branch("master"), &VersionSpec::branch("copy"))
+        .diff(
+            "ds",
+            &VersionSpec::branch("master"),
+            &VersionSpec::branch("copy"),
+        )
         .unwrap();
     assert!(diff.is_identical());
 }
@@ -381,46 +424,84 @@ fn merge_disjoint_branch_edits() {
     // Divergent edits on both branches, different rows.
     db.put_map_edits(
         "ds",
-        vec![MapEdit::put(Bytes::from_static(b"row-000010"), Bytes::from_static(b"A"))],
+        vec![MapEdit::put(
+            Bytes::from_static(b"row-000010"),
+            Bytes::from_static(b"A"),
+        )],
         &PutOptions::on_branch("team-a"),
     )
     .unwrap();
     db.put_map_edits(
         "ds",
-        vec![MapEdit::put(Bytes::from_static(b"row-000990"), Bytes::from_static(b"M"))],
+        vec![MapEdit::put(
+            Bytes::from_static(b"row-000990"),
+            Bytes::from_static(b"M"),
+        )],
         &PutOptions::default(),
     )
     .unwrap();
 
     let merged = db
-        .merge("ds", "master", "team-a", MergePolicy::Fail, &PutOptions::default())
+        .merge(
+            "ds",
+            "master",
+            "team-a",
+            MergePolicy::Fail,
+            &PutOptions::default(),
+        )
         .unwrap();
     let meta = db.meta(&merged.uid).unwrap();
     assert_eq!(meta.bases.len(), 2, "merge node has two bases");
 
     let got = db.get("ds", "master").unwrap();
-    assert_eq!(db.map_get(&got.value, b"row-000010").unwrap(), Some(Bytes::from_static(b"A")));
-    assert_eq!(db.map_get(&got.value, b"row-000990").unwrap(), Some(Bytes::from_static(b"M")));
+    assert_eq!(
+        db.map_get(&got.value, b"row-000010").unwrap(),
+        Some(Bytes::from_static(b"A"))
+    );
+    assert_eq!(
+        db.map_get(&got.value, b"row-000990").unwrap(),
+        Some(Bytes::from_static(b"M"))
+    );
 }
 
 #[test]
 fn merge_fast_forward() {
     let db = db();
-    db.put("k", Value::string("base"), &PutOptions::default()).unwrap();
+    db.put("k", Value::string("base"), &PutOptions::default())
+        .unwrap();
     db.branch("k", "master", "ahead").unwrap();
     let c2 = db
-        .put("k", Value::string("advanced"), &PutOptions::on_branch("ahead"))
+        .put(
+            "k",
+            Value::string("advanced"),
+            &PutOptions::on_branch("ahead"),
+        )
         .unwrap();
     // master has not moved: merging "ahead" in is a fast-forward.
     let merged = db
-        .merge("k", "master", "ahead", MergePolicy::Fail, &PutOptions::default())
+        .merge(
+            "k",
+            "master",
+            "ahead",
+            MergePolicy::Fail,
+            &PutOptions::default(),
+        )
         .unwrap();
     assert_eq!(merged.uid, c2.uid, "fast-forward reuses the head");
-    assert_eq!(db.get("k", "master").unwrap().value.as_str(), Some("advanced"));
+    assert_eq!(
+        db.get("k", "master").unwrap().value.as_str(),
+        Some("advanced")
+    );
 
     // Merging again is a no-op.
     let again = db
-        .merge("k", "master", "ahead", MergePolicy::Fail, &PutOptions::default())
+        .merge(
+            "k",
+            "master",
+            "ahead",
+            MergePolicy::Fail,
+            &PutOptions::default(),
+        )
         .unwrap();
     assert_eq!(again.uid, c2.uid);
 }
@@ -434,24 +515,42 @@ fn merge_conflict_detection_and_policies() {
 
     db.put_map_edits(
         "ds",
-        vec![MapEdit::put(Bytes::from_static(b"row-000050"), Bytes::from_static(b"mine"))],
+        vec![MapEdit::put(
+            Bytes::from_static(b"row-000050"),
+            Bytes::from_static(b"mine"),
+        )],
         &PutOptions::default(),
     )
     .unwrap();
     db.put_map_edits(
         "ds",
-        vec![MapEdit::put(Bytes::from_static(b"row-000050"), Bytes::from_static(b"theirs"))],
+        vec![MapEdit::put(
+            Bytes::from_static(b"row-000050"),
+            Bytes::from_static(b"theirs"),
+        )],
         &PutOptions::on_branch("other"),
     )
     .unwrap();
 
     assert!(matches!(
-        db.merge("ds", "master", "other", MergePolicy::Fail, &PutOptions::default()),
+        db.merge(
+            "ds",
+            "master",
+            "other",
+            MergePolicy::Fail,
+            &PutOptions::default()
+        ),
         Err(DbError::MergeConflicts(_))
     ));
 
     let merged = db
-        .merge("ds", "master", "other", MergePolicy::Theirs, &PutOptions::default())
+        .merge(
+            "ds",
+            "master",
+            "other",
+            MergePolicy::Theirs,
+            &PutOptions::default(),
+        )
         .unwrap();
     let got = db.get_version(&merged.uid).unwrap();
     assert_eq!(
@@ -463,17 +562,32 @@ fn merge_conflict_detection_and_policies() {
 #[test]
 fn merge_primitive_values() {
     let db = db();
-    db.put("k", Value::string("base"), &PutOptions::default()).unwrap();
+    db.put("k", Value::string("base"), &PutOptions::default())
+        .unwrap();
     db.branch("k", "master", "b").unwrap();
-    db.put("k", Value::string("ours"), &PutOptions::default()).unwrap();
-    db.put("k", Value::string("theirs"), &PutOptions::on_branch("b")).unwrap();
+    db.put("k", Value::string("ours"), &PutOptions::default())
+        .unwrap();
+    db.put("k", Value::string("theirs"), &PutOptions::on_branch("b"))
+        .unwrap();
 
     assert!(matches!(
-        db.merge("k", "master", "b", MergePolicy::Fail, &PutOptions::default()),
+        db.merge(
+            "k",
+            "master",
+            "b",
+            MergePolicy::Fail,
+            &PutOptions::default()
+        ),
         Err(DbError::MergeConflicts(_))
     ));
     let m = db
-        .merge("k", "master", "b", MergePolicy::Ours, &PutOptions::default())
+        .merge(
+            "k",
+            "master",
+            "b",
+            MergePolicy::Ours,
+            &PutOptions::default(),
+        )
         .unwrap();
     assert_eq!(db.get_version(&m.uid).unwrap().value.as_str(), Some("ours"));
 }
@@ -481,7 +595,8 @@ fn merge_primitive_values() {
 #[test]
 fn export_writes_content() {
     let db = db();
-    db.put("s", Value::string("exported text"), &PutOptions::default()).unwrap();
+    db.put("s", Value::string("exported text"), &PutOptions::default())
+        .unwrap();
     let mut buf = Vec::new();
     let n = db
         .export("s", &VersionSpec::branch("master"), &mut buf)
@@ -494,7 +609,8 @@ fn export_writes_content() {
         .unwrap();
     db.put("m", map, &PutOptions::default()).unwrap();
     let mut buf = Vec::new();
-    db.export("m", &VersionSpec::branch("master"), &mut buf).unwrap();
+    db.export("m", &VersionSpec::branch("master"), &mut buf)
+        .unwrap();
     assert_eq!(buf, b"k1\tv1\n");
 }
 
@@ -563,8 +679,11 @@ fn tampered_value_chunk_is_detected_by_verification() {
 fn tampered_history_is_detected() {
     let inner = MemStore::new();
     let db = ForkBase::with_config(FaultyStore::new(inner), TreeConfig::test_config());
-    db.put("doc", Value::string("v1"), &PutOptions::default()).unwrap();
-    let c2 = db.put("doc", Value::string("v2"), &PutOptions::default()).unwrap();
+    db.put("doc", Value::string("v1"), &PutOptions::default())
+        .unwrap();
+    let c2 = db
+        .put("doc", Value::string("v2"), &PutOptions::default())
+        .unwrap();
 
     // Tamper with the *parent* FNode: walking history from the head must
     // fail loudly, proving the hash chain covers ancestry.
@@ -595,13 +714,23 @@ fn identical_values_share_uid_only_with_identical_history() {
     // uid, when they have both the same value and derivation history."
     let db1 = db();
     let db2 = db();
-    let c1 = db1.put("k", Value::string("same"), &PutOptions::default()).unwrap();
-    let c2 = db2.put("k", Value::string("same"), &PutOptions::default()).unwrap();
-    assert_eq!(c1.uid, c2.uid, "same value, same (empty) history, same clock");
+    let c1 = db1
+        .put("k", Value::string("same"), &PutOptions::default())
+        .unwrap();
+    let c2 = db2
+        .put("k", Value::string("same"), &PutOptions::default())
+        .unwrap();
+    assert_eq!(
+        c1.uid, c2.uid,
+        "same value, same (empty) history, same clock"
+    );
 
     // Adding history changes the uid even if the value returns to "same".
-    db1.put("k", Value::string("other"), &PutOptions::default()).unwrap();
-    let c3 = db1.put("k", Value::string("same"), &PutOptions::default()).unwrap();
+    db1.put("k", Value::string("other"), &PutOptions::default())
+        .unwrap();
+    let c3 = db1
+        .put("k", Value::string("same"), &PutOptions::default())
+        .unwrap();
     assert_ne!(c3.uid, c1.uid);
 }
 
@@ -662,7 +791,8 @@ fn light_client_entry_proofs() {
         .prove_entry("state", &VersionSpec::branch("master"), b"row-999999")
         .unwrap();
     assert_eq!(
-        db.verify_entry_proof(&commit.uid, b"row-999999", &proof).unwrap(),
+        db.verify_entry_proof(&commit.uid, b"row-999999", &proof)
+            .unwrap(),
         None
     );
 
@@ -689,10 +819,14 @@ fn light_client_entry_proofs() {
 fn bundle_ships_a_branch_between_databases() {
     let src = db();
     let map = src.new_map(sample_pairs(500)).unwrap();
-    src.put("ds", map, &PutOptions::default().message("v1")).unwrap();
+    src.put("ds", map, &PutOptions::default().message("v1"))
+        .unwrap();
     src.put_map_edits(
         "ds",
-        vec![MapEdit::put(Bytes::from_static(b"row-000004"), Bytes::from_static(b"x"))],
+        vec![MapEdit::put(
+            Bytes::from_static(b"row-000004"),
+            Bytes::from_static(b"x"),
+        )],
         &PutOptions::default().message("v2"),
     )
     .unwrap();

@@ -42,7 +42,22 @@ impl<'s, S: ChunkStore> PosBlob<'s, S> {
 
     /// Write `content`, returning its reference. Identical content always
     /// produces the identical reference (and zero new chunks).
+    ///
+    /// Copies `content` once into a shared buffer and delegates to the
+    /// zero-copy [`write_bytes`](Self::write_bytes); callers that already
+    /// hold a [`Bytes`] should use that directly and skip the copy.
     pub fn write(&self, content: &[u8]) -> NodeResult<BlobRef> {
+        self.write_bytes(Bytes::copy_from_slice(content))
+    }
+
+    /// Write `content` without copying: chunk boundaries are found with the
+    /// bulk slice scanner and each chunk is handed to the store as a
+    /// [`Bytes::slice`] view into `content` — the ingestion path itself
+    /// performs no per-chunk copies. (A retaining store may still choose to
+    /// compact a chunk it keeps in memory, so that a deduplicated write —
+    /// where only a few slices survive — cannot pin the whole input
+    /// buffer; see `Bytes::compact`.)
+    pub fn write_bytes(&self, content: Bytes) -> NodeResult<BlobRef> {
         if content.is_empty() {
             let hash = sha256(b"");
             self.store.put_with_hash(hash, Bytes::new())?;
@@ -54,15 +69,13 @@ impl<'s, S: ChunkStore> PosBlob<'s, S> {
         }
         let mut builder = TreeBuilder::new(self.store, self.cfg.node);
         let mut chunker = forkbase_chunk::ByteChunker::new(self.cfg.data);
-        let mut start = 0usize;
-        for (i, &b) in content.iter().enumerate() {
-            if chunker.push(b) {
-                self.put_chunk(&mut builder, &content[start..=i])?;
-                start = i + 1;
-            }
+        let mut pos = 0usize;
+        while let Some(off) = chunker.next_boundary(&content[pos..]) {
+            self.put_chunk(&mut builder, content.slice(pos..pos + off))?;
+            pos += off;
         }
-        if start < content.len() {
-            self.put_chunk(&mut builder, &content[start..])?;
+        if pos < content.len() {
+            self.put_chunk(&mut builder, content.slice(pos..))?;
         }
         let finished = builder.finish()?;
         Ok(BlobRef {
@@ -72,11 +85,11 @@ impl<'s, S: ChunkStore> PosBlob<'s, S> {
         })
     }
 
-    fn put_chunk(&self, builder: &mut TreeBuilder<'s, S>, chunk: &[u8]) -> NodeResult<()> {
-        let hash = sha256(chunk);
-        self.store
-            .put_with_hash(hash, Bytes::copy_from_slice(chunk))?;
-        builder.append_leaf_node(IndexEntry::new(Bytes::new(), hash, chunk.len() as u64))
+    fn put_chunk(&self, builder: &mut TreeBuilder<'s, S>, chunk: Bytes) -> NodeResult<()> {
+        let hash = sha256(&chunk);
+        let len = chunk.len() as u64;
+        self.store.put_with_hash(hash, chunk)?;
+        builder.append_leaf_node(IndexEntry::new(Bytes::new(), hash, len))
     }
 
     /// Read the whole blob.
@@ -375,7 +388,10 @@ mod tests {
         store.inject(victim, FaultMode::FlipBit { byte: 3 });
         match blob.read_all(&r) {
             Err(NodeError::HashMismatch { .. }) => {}
-            other => panic!("tampering must be detected, got {:?}", other.map(|v| v.len())),
+            other => panic!(
+                "tampering must be detected, got {:?}",
+                other.map(|v| v.len())
+            ),
         }
     }
 
@@ -384,7 +400,10 @@ mod tests {
         let store = MemStore::new();
         let blob = PosBlob::new(&store, cfg());
         let r = blob.write(&pseudo_random(10_000, 2)).unwrap();
-        let lying = BlobRef { len: r.len + 1, ..r };
+        let lying = BlobRef {
+            len: r.len + 1,
+            ..r
+        };
         assert!(blob.verify(&lying).is_err());
     }
 }

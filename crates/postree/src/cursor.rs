@@ -75,7 +75,10 @@ impl<'s, S: ChunkStore> LeafCursor<'s, S> {
         if cursor.leaf_ref.is_some() {
             let (idx, len) = {
                 let entries = cursor.load_leaf()?;
-                (entries.partition_point(|e| e.key.as_ref() < key), entries.len())
+                (
+                    entries.partition_point(|e| e.key.as_ref() < key),
+                    entries.len(),
+                )
             };
             cursor.entry_idx = idx;
             if idx == len {
@@ -117,9 +120,7 @@ impl<'s, S: ChunkStore> LeafCursor<'s, S> {
             let idx = match target {
                 DescendTo::First => 0,
                 DescendTo::Key(key) => {
-                    let i = top
-                        .children
-                        .partition_point(|c| c.split_key.as_ref() < key);
+                    let i = top.children.partition_point(|c| c.split_key.as_ref() < key);
                     i.min(top.children.len() - 1)
                 }
             };
@@ -280,11 +281,7 @@ impl<'s, S: ChunkStore> LeafCursor<'s, S> {
 
     /// Advance past the (fully consumed) current leaf.
     fn advance_leaf(&mut self) -> NodeResult<()> {
-        let consumed = self
-            .leaf_ref
-            .as_ref()
-            .expect("advance_leaf at end")
-            .count;
+        let consumed = self.leaf_ref.as_ref().expect("advance_leaf at end").count;
         self.position_base += consumed;
         self.advance_leaf_inner()
     }
@@ -567,10 +564,7 @@ mod tests {
         for _ in 0..sub_count {
             fresh.next_entry().unwrap().unwrap();
         }
-        assert_eq!(
-            c.peek().unwrap().cloned(),
-            fresh.peek().unwrap().cloned()
-        );
+        assert_eq!(c.peek().unwrap().cloned(), fresh.peek().unwrap().cloned());
     }
 
     #[test]

@@ -346,5 +346,4 @@ mod tests {
             "loads = {loads:?} — not sublinear"
         );
     }
-
 }

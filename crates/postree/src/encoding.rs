@@ -44,7 +44,11 @@ pub struct DecodeError {
 
 impl std::fmt::Display for DecodeError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "decode error at byte {}: truncated {}", self.at, self.what)
+        write!(
+            f,
+            "decode error at byte {}: truncated {}",
+            self.at, self.what
+        )
     }
 }
 

@@ -104,7 +104,10 @@ impl<'s, S: ChunkStore> PosMap<'s, S> {
         let mut prev: Option<Bytes> = None;
         for (key, value) in entries {
             if let Some(p) = &prev {
-                debug_assert!(p < &key, "build_from_sorted requires strictly ascending keys");
+                debug_assert!(
+                    p < &key,
+                    "build_from_sorted requires strictly ascending keys"
+                );
             }
             prev = Some(key.clone());
             builder.push(LeafEntry::new(key, value))?;
@@ -448,7 +451,10 @@ mod tests {
             ])
             .unwrap();
         assert_eq!(m2.len(), 1000); // +1 insert, −1 delete
-        assert_eq!(m2.get(&k(500)).unwrap(), Some(Bytes::from_static(b"replaced")));
+        assert_eq!(
+            m2.get(&k(500)).unwrap(),
+            Some(Bytes::from_static(b"replaced"))
+        );
         assert_eq!(m2.get(&k(250)).unwrap(), None);
         assert_eq!(
             m2.get(&k(1_000_000)).unwrap(),
@@ -469,7 +475,10 @@ mod tests {
         let edits = vec![
             MapEdit::put(k(100), Bytes::from_static(b"x")),
             MapEdit::delete(k(1500)),
-            MapEdit::put(Bytes::from_static(b"key-00000100a"), Bytes::from_static(b"y")),
+            MapEdit::put(
+                Bytes::from_static(b"key-00000100a"),
+                Bytes::from_static(b"y"),
+            ),
             MapEdit::put(k(1999), Bytes::from_static(b"z")),
             MapEdit::delete(k(0)),
         ];
@@ -488,8 +497,7 @@ mod tests {
             }
         }
         let store2 = MemStore::new();
-        let rebuilt =
-            PosMap::build_from_sorted(&store2, cfg(), model).unwrap();
+        let rebuilt = PosMap::build_from_sorted(&store2, cfg(), model).unwrap();
         assert_eq!(applied.root(), rebuilt.root());
         assert_eq!(applied.len(), rebuilt.len());
     }
@@ -522,7 +530,9 @@ mod tests {
         let store = MemStore::new();
         let m = sample(&store, 20_000);
         let chunks_before = store.chunk_count();
-        let m2 = m.insert(k(10_000), Bytes::from_static(b"new value")).unwrap();
+        let m2 = m
+            .insert(k(10_000), Bytes::from_static(b"new value"))
+            .unwrap();
         let new_pages = store.chunk_count() - chunks_before;
         // A 20k-entry tree has hundreds of pages; an update should add only
         // a handful (changed leaf + path to root, modulo boundary shifts).
@@ -537,7 +547,9 @@ mod tests {
     fn insert_on_empty_map() {
         let store = MemStore::new();
         let m = PosMap::empty(&store, cfg()).unwrap();
-        let m2 = m.insert(Bytes::from_static(b"k"), Bytes::from_static(b"v")).unwrap();
+        let m2 = m
+            .insert(Bytes::from_static(b"k"), Bytes::from_static(b"v"))
+            .unwrap();
         assert_eq!(m2.len(), 1);
         assert_eq!(m2.get(b"k").unwrap(), Some(Bytes::from_static(b"v")));
         // Equal to a fresh build.

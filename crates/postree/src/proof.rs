@@ -53,9 +53,7 @@ pub fn prove_key<S: ChunkStore>(store: &S, tree: TreeRef, key: &[u8]) -> NodeRes
     let mut nodes = Vec::new();
     let mut hash = tree.root;
     loop {
-        let bytes = store
-            .get(&hash)?
-            .ok_or(NodeError::Missing(hash))?;
+        let bytes = store.get(&hash)?.ok_or(NodeError::Missing(hash))?;
         let actual = sha256(&bytes);
         if actual != hash {
             return Err(NodeError::HashMismatch {
@@ -117,9 +115,7 @@ pub fn verify_proof(
                 if idx == children.len() {
                     // Absence proven — but only if the prover stops here.
                     if steps.peek().is_some() {
-                        return Err(ProofError(
-                            "prover descended past a proven absence".into(),
-                        ));
+                        return Err(ProofError("prover descended past a proven absence".into()));
                     }
                     return Ok(None);
                 }

@@ -267,7 +267,9 @@ mod tests {
     fn updated_tree_verifies() {
         let store = MemStore::new();
         let m = sample(&store, 3000);
-        let m2 = m.insert(k(12_345), Bytes::from_static(b"inserted")).unwrap();
+        let m2 = m
+            .insert(k(12_345), Bytes::from_static(b"inserted"))
+            .unwrap();
         let m3 = m2.remove(k(100)).unwrap();
         verify_map(&store, m3.tree(), cfg(), true).unwrap();
     }
@@ -339,9 +341,7 @@ mod tests {
         // different pages. Build such a tree by hand: all 200 entries in
         // one giant leaf (the canonical tree for this config splits them).
         let store = MemStore::new();
-        let entries: Vec<LeafEntry> = (0..200)
-            .map(|i| LeafEntry::new(k(i), v(i)))
-            .collect();
+        let entries: Vec<LeafEntry> = (0..200).map(|i| LeafEntry::new(k(i), v(i))).collect();
         let big_leaf = Node::Leaf(entries);
         let h = big_leaf.store(&store).unwrap();
         let tree = TreeRef::new(h, 200);

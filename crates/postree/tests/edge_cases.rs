@@ -37,7 +37,9 @@ fn values_larger_than_max_page() {
     verify_map(&store, m.tree(), cfg(), true).unwrap();
 
     // Updating next to the giant entry keeps it intact.
-    let m2 = m.insert(Bytes::from_static(b"bb"), Bytes::from_static(b"mid")).unwrap();
+    let m2 = m
+        .insert(Bytes::from_static(b"bb"), Bytes::from_static(b"mid"))
+        .unwrap();
     assert_eq!(m2.get(b"b").unwrap(), Some(huge));
     verify_map(&store, m2.tree(), cfg(), true).unwrap();
 }
@@ -115,7 +117,12 @@ fn insert_delete_cycle_returns_to_identical_root() {
     let base = PosMap::build_from_sorted(
         &store,
         cfg(),
-        (0..1000).map(|i| (Bytes::from(format!("k{i:05}")), Bytes::from(format!("v{i}")))),
+        (0..1000).map(|i| {
+            (
+                Bytes::from(format!("k{i:05}")),
+                Bytes::from(format!("v{i}")),
+            )
+        }),
     )
     .unwrap();
     let mut m = base.clone();
@@ -138,7 +145,11 @@ fn insert_delete_cycle_returns_to_identical_root() {
             .collect();
         m = m.apply(deletes).unwrap();
     }
-    assert_eq!(m.root(), base.root(), "round trip must restore the exact tree");
+    assert_eq!(
+        m.root(),
+        base.root(),
+        "round trip must restore the exact tree"
+    );
 }
 
 #[test]
@@ -152,12 +163,18 @@ fn edits_entirely_before_and_after_existing_range() {
     .unwrap();
     // All-prepend batch.
     let prepended = base
-        .apply((0..100).map(|i| MapEdit::put(Bytes::from(format!("k{i:05}")), Bytes::from_static(b"p"))))
+        .apply(
+            (0..100)
+                .map(|i| MapEdit::put(Bytes::from(format!("k{i:05}")), Bytes::from_static(b"p"))),
+        )
         .unwrap();
     assert_eq!(prepended.len(), 600);
     // All-append batch.
     let appended = prepended
-        .apply((2000..2100).map(|i| MapEdit::put(Bytes::from(format!("k{i:05}")), Bytes::from_static(b"a"))))
+        .apply(
+            (2000..2100)
+                .map(|i| MapEdit::put(Bytes::from(format!("k{i:05}")), Bytes::from_static(b"a"))),
+        )
         .unwrap();
     assert_eq!(appended.len(), 700);
     // Equal to a clean rebuild of the same record set.
@@ -203,7 +220,10 @@ fn repeated_identical_values_across_keys() {
     .unwrap();
     assert_eq!(m.len(), 500);
     for i in (0..500).step_by(97) {
-        assert_eq!(m.get(format!("k{i:04}").as_bytes()).unwrap(), Some(payload.clone()));
+        assert_eq!(
+            m.get(format!("k{i:04}").as_bytes()).unwrap(),
+            Some(payload.clone())
+        );
     }
     verify_map(&store, m.tree(), cfg(), true).unwrap();
 }
@@ -244,7 +264,12 @@ fn apply_noop_edit_changes_nothing() {
     let m = PosMap::build_from_sorted(
         &store,
         cfg(),
-        (0..500).map(|i| (Bytes::from(format!("k{i:04}")), Bytes::from(format!("v{i}")))),
+        (0..500).map(|i| {
+            (
+                Bytes::from(format!("k{i:04}")),
+                Bytes::from(format!("v{i}")),
+            )
+        }),
     )
     .unwrap();
     let chunks = forkbase_store::ChunkStore::chunk_count(&store);

@@ -99,6 +99,10 @@ impl LruState {
         if bytes.len() > self.capacity_bytes {
             return; // never cache something bigger than the whole budget
         }
+        // Cache a compact buffer so the LRU byte accounting matches what
+        // the entry actually keeps alive (a slice view would pin its whole
+        // backing allocation while being charged only its own length).
+        let bytes = bytes.compact();
         if let Some(&idx) = self.map.get(&hash) {
             self.touch(idx);
             return;
@@ -226,7 +230,10 @@ mod tests {
         let cached = CachedStore::new(MemStore::new(), 1024);
         let h = cached.put(Bytes::from_static(b"cached data")).unwrap();
         // First get may be served from cache (write-through).
-        assert_eq!(cached.get(&h).unwrap(), Some(Bytes::from_static(b"cached data")));
+        assert_eq!(
+            cached.get(&h).unwrap(),
+            Some(Bytes::from_static(b"cached data"))
+        );
         let (hits, _) = cached.cache_stats();
         assert!(hits >= 1);
     }

@@ -47,7 +47,10 @@ impl fmt::Display for StoreError {
                 segment,
                 offset,
                 reason,
-            } => write!(f, "bad frame in segment {segment} at offset {offset}: {reason}"),
+            } => write!(
+                f,
+                "bad frame in segment {segment} at offset {offset}: {reason}"
+            ),
             StoreError::BadLayout(msg) => write!(f, "bad store layout: {msg}"),
         }
     }

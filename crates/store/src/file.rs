@@ -284,7 +284,9 @@ impl ChunkStore for FileStore {
         let crc = crc32(&crc_input);
 
         active.writer.write_all(FRAME_MAGIC)?;
-        active.writer.write_all(&(bytes.len() as u32).to_le_bytes())?;
+        active
+            .writer
+            .write_all(&(bytes.len() as u32).to_le_bytes())?;
         active.writer.write_all(hash.as_bytes())?;
         active.writer.write_all(&bytes)?;
         active.writer.write_all(&crc.to_le_bytes())?;
@@ -423,7 +425,10 @@ mod tests {
 
         let s = FileStore::open(&dir).unwrap();
         assert_eq!(s.chunk_count(), 1, "torn frame must be dropped");
-        assert_eq!(s.get(&good).unwrap(), Some(Bytes::from_static(b"good chunk")));
+        assert_eq!(
+            s.get(&good).unwrap(),
+            Some(Bytes::from_static(b"good chunk"))
+        );
         // The store must still accept appends after truncation.
         let h3 = s.put(Bytes::from_static(b"after recovery")).unwrap();
         s.sync().unwrap();

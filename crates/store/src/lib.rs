@@ -143,7 +143,10 @@ mod trait_tests {
         let store = MemStore::new();
         let h = store.put(Bytes::from_static(b"hello")).unwrap();
         assert_eq!(h, sha256(b"hello"));
-        assert_eq!(store.get(&h).unwrap().unwrap(), Bytes::from_static(b"hello"));
+        assert_eq!(
+            store.get(&h).unwrap().unwrap(),
+            Bytes::from_static(b"hello")
+        );
     }
 
     #[test]

@@ -49,7 +49,9 @@ impl MemStore {
     /// Create an empty store.
     pub fn new() -> Self {
         MemStore {
-            shards: (0..SHARDS).map(|_| RwLock::new(DigestMap::default())).collect(),
+            shards: (0..SHARDS)
+                .map(|_| RwLock::new(DigestMap::default()))
+                .collect(),
             stats: StatsCell::new(),
         }
     }
@@ -93,7 +95,8 @@ impl MemStore {
         }
         if chunks > 0 {
             // Stats track resident data; adjust by replaying negative deltas.
-            self.stats.record_recovered(0u64.wrapping_sub(chunks), 0u64.wrapping_sub(bytes));
+            self.stats
+                .record_recovered(0u64.wrapping_sub(chunks), 0u64.wrapping_sub(bytes));
         }
         (chunks, bytes)
     }
@@ -117,7 +120,10 @@ impl ChunkStore for MemStore {
         let newly = match guard.entry(hash) {
             std::collections::hash_map::Entry::Occupied(_) => false,
             std::collections::hash_map::Entry::Vacant(v) => {
-                v.insert(bytes);
+                // Retain a compact buffer: a chunk arriving as a small
+                // slice of a large ingest buffer (the zero-copy blob path)
+                // must not pin that whole buffer for the store's lifetime.
+                v.insert(bytes.compact());
                 true
             }
         };
@@ -156,6 +162,23 @@ mod tests {
     use super::*;
     use forkbase_crypto::sha256;
     use std::sync::Arc;
+
+    #[test]
+    fn stored_slices_do_not_pin_their_backing_buffer() {
+        // Zero-copy blob ingestion hands the store small slice views of a
+        // large buffer; retaining them verbatim would keep the whole
+        // buffer alive even when dedup stores only a sliver.
+        let s = MemStore::new();
+        let big = Bytes::from(vec![0xa5u8; 1 << 20]);
+        let h = s.put(big.slice(1000..5096)).unwrap();
+        let stored = s.get(&h).unwrap().expect("stored");
+        assert_eq!(stored, big.slice(1000..5096));
+        assert!(
+            stored.backing_len() < 1 << 16,
+            "stored chunk pins {} bytes of backing buffer",
+            stored.backing_len()
+        );
+    }
 
     #[test]
     fn put_get_roundtrip() {

@@ -139,7 +139,10 @@ fn filestore_full_database_workload() {
             )
         }))
         .unwrap();
-    assert_eq!(m2.get(b"key-000060").unwrap(), Some(Bytes::from_static(b"updated")));
+    assert_eq!(
+        m2.get(b"key-000060").unwrap(),
+        Some(Bytes::from_static(b"updated"))
+    );
     store.sync().unwrap();
 
     // Reopen and keep reading the same trees.

@@ -45,8 +45,7 @@ impl<'d, S: ChunkStore> TableStore<'d, S> {
         key_column: usize,
         opts: &PutOptions,
     ) -> DbResult<CommitResult> {
-        let records = parse_csv(csv_text)
-            .map_err(|e| DbError::InvalidInput(e.to_string()))?;
+        let records = parse_csv(csv_text).map_err(|e| DbError::InvalidInput(e.to_string()))?;
         let Some((header, rows)) = records.split_first() else {
             return Err(DbError::InvalidInput("CSV has no header".into()));
         };
@@ -59,10 +58,7 @@ impl<'d, S: ChunkStore> TableStore<'d, S> {
         let schema = Schema::new(header.clone(), key_column);
 
         let mut pairs: Vec<(Bytes, Bytes)> = Vec::with_capacity(rows.len() + 1);
-        pairs.push((
-            Bytes::from_static(SCHEMA_KEY),
-            Bytes::from(schema.encode()),
-        ));
+        pairs.push((Bytes::from_static(SCHEMA_KEY), Bytes::from(schema.encode())));
         for (i, row) in rows.iter().enumerate() {
             if row.len() != schema.arity() {
                 return Err(DbError::InvalidInput(format!(
@@ -93,12 +89,16 @@ impl<'d, S: ChunkStore> TableStore<'d, S> {
             .db
             .map_get(&value, SCHEMA_KEY)?
             .ok_or_else(|| DbError::InvalidInput(format!("{key:?} is not a dataset")))?;
-        Schema::decode(&bytes)
-            .ok_or_else(|| DbError::InvalidInput("corrupt schema entry".into()))
+        Schema::decode(&bytes).ok_or_else(|| DbError::InvalidInput("corrupt schema entry".into()))
     }
 
     /// One row by primary key.
-    pub fn row(&self, key: &str, spec: &VersionSpec, row_key: &str) -> DbResult<Option<Vec<String>>> {
+    pub fn row(
+        &self,
+        key: &str,
+        spec: &VersionSpec,
+        row_key: &str,
+    ) -> DbResult<Option<Vec<String>>> {
         let uid = self.db.resolve(key, spec)?;
         let value = self.db.get_version(&uid)?.value;
         match self.db.map_get(&value, row_key.as_bytes())? {
@@ -118,10 +118,7 @@ impl<'d, S: ChunkStore> TableStore<'d, S> {
             if k.as_ref() == SCHEMA_KEY {
                 continue;
             }
-            out.push(
-                decode_row(&v)
-                    .ok_or_else(|| DbError::InvalidInput("corrupt row".into()))?,
-            );
+            out.push(decode_row(&v).ok_or_else(|| DbError::InvalidInput("corrupt row".into()))?);
         }
         Ok(out)
     }
@@ -214,12 +211,7 @@ impl<'d, S: ChunkStore> TableStore<'d, S> {
 
     /// Multi-scope differential query between two dataset versions
     /// (Fig. 5): row-level adds/removes plus cell-level changes.
-    pub fn diff(
-        &self,
-        key: &str,
-        from: &VersionSpec,
-        to: &VersionSpec,
-    ) -> DbResult<DatasetDiff> {
+    pub fn diff(&self, key: &str, from: &VersionSpec, to: &VersionSpec) -> DbResult<DatasetDiff> {
         let schema = self.schema(key, from)?;
         let value_diff = self.db.diff(key, from, to)?;
         DatasetDiff::from_value_diff(&schema, value_diff)
@@ -227,11 +219,7 @@ impl<'d, S: ChunkStore> TableStore<'d, S> {
 
     /// Per-column statistics of a dataset version: distinct count and
     /// min/max lexicographic values (the demo UI's `Stat`).
-    pub fn column_stats(
-        &self,
-        key: &str,
-        spec: &VersionSpec,
-    ) -> DbResult<ColumnStats> {
+    pub fn column_stats(&self, key: &str, spec: &VersionSpec) -> DbResult<ColumnStats> {
         let schema = self.schema(key, spec)?;
         let rows = self.rows(key, spec)?;
         let mut out = Vec::with_capacity(schema.arity());

@@ -178,7 +178,11 @@ impl DatasetDiff {
         let _ = writeln!(
             out,
             "dataset scope: +{a} row(s), -{r} row(s), ~{m} row(s){}",
-            if self.schema_changed { ", schema changed" } else { "" }
+            if self.schema_changed {
+                ", schema changed"
+            } else {
+                ""
+            }
         );
         for c in &self.rows {
             match c {
@@ -191,11 +195,8 @@ impl DatasetDiff {
                 RowChange::Modified { key, cells } => {
                     let _ = writeln!(out, "~ {key}:");
                     for cell in cells {
-                        let _ = writeln!(
-                            out,
-                            "    {}: {:?} -> {:?}",
-                            cell.column, cell.from, cell.to
-                        );
+                        let _ =
+                            writeln!(out, "    {}: {:?} -> {:?}", cell.column, cell.from, cell.to);
                     }
                 }
             }

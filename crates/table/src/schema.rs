@@ -87,10 +87,7 @@ mod tests {
 
     #[test]
     fn roundtrip() {
-        let s = Schema::new(
-            vec!["id".into(), "name".into(), "price".into()],
-            0,
-        );
+        let s = Schema::new(vec!["id".into(), "name".into(), "price".into()], 0);
         assert_eq!(Schema::decode(&s.encode()), Some(s.clone()));
         assert_eq!(s.arity(), 3);
         assert_eq!(s.key_column_name(), "id");

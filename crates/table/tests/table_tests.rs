@@ -35,13 +35,21 @@ fn load_and_read_back() {
     let db = db();
     let tables = TableStore::new(&db);
     tables
-        .load_csv("products", &sample_csv(200, None), 0, &PutOptions::default())
+        .load_csv(
+            "products",
+            &sample_csv(200, None),
+            0,
+            &PutOptions::default(),
+        )
         .unwrap();
 
     let schema = tables
         .schema("products", &VersionSpec::branch("master"))
         .unwrap();
-    assert_eq!(schema.columns, vec!["id", "name", "category", "price", "stock"]);
+    assert_eq!(
+        schema.columns,
+        vec!["id", "name", "category", "price", "stock"]
+    );
     assert_eq!(schema.key_column, 0);
 
     assert_eq!(
@@ -110,7 +118,12 @@ fn fig5_differential_query_between_branches() {
     let db = db();
     let tables = TableStore::new(&db);
     tables
-        .load_csv("dataset-1", &sample_csv(300, None), 0, &PutOptions::default())
+        .load_csv(
+            "dataset-1",
+            &sample_csv(300, None),
+            0,
+            &PutOptions::default(),
+        )
         .unwrap();
     db.branch("dataset-1", "master", "VendorX").unwrap();
 
@@ -191,17 +204,41 @@ fn branch_edit_merge_workflow() {
     db.branch("shared", "master", "team-a").unwrap();
     db.branch("shared", "master", "team-b").unwrap();
     tables
-        .update_cell("shared", "000010", "stock", "0", &PutOptions::on_branch("team-a"))
+        .update_cell(
+            "shared",
+            "000010",
+            "stock",
+            "0",
+            &PutOptions::on_branch("team-a"),
+        )
         .unwrap();
     tables
-        .update_cell("shared", "000390", "stock", "77", &PutOptions::on_branch("team-b"))
+        .update_cell(
+            "shared",
+            "000390",
+            "stock",
+            "77",
+            &PutOptions::on_branch("team-b"),
+        )
         .unwrap();
 
     // Merge both back into master.
-    db.merge("shared", "master", "team-a", MergePolicy::Fail, &PutOptions::default())
-        .unwrap();
-    db.merge("shared", "master", "team-b", MergePolicy::Fail, &PutOptions::default())
-        .unwrap();
+    db.merge(
+        "shared",
+        "master",
+        "team-a",
+        MergePolicy::Fail,
+        &PutOptions::default(),
+    )
+    .unwrap();
+    db.merge(
+        "shared",
+        "master",
+        "team-b",
+        MergePolicy::Fail,
+        &PutOptions::default(),
+    )
+    .unwrap();
 
     let a = tables
         .row("shared", &VersionSpec::branch("master"), "000010")
@@ -245,9 +282,7 @@ fn malformed_inputs_rejected() {
     let db = db();
     let tables = TableStore::new(&db);
     // No header.
-    assert!(tables
-        .load_csv("x", "", 0, &PutOptions::default())
-        .is_err());
+    assert!(tables.load_csv("x", "", 0, &PutOptions::default()).is_err());
     // Key column out of range.
     assert!(tables
         .load_csv("x", "a,b\n1,2\n", 5, &PutOptions::default())
@@ -305,7 +340,12 @@ fn dataset_history_tracks_every_commit() {
     let db = db();
     let tables = TableStore::new(&db);
     tables
-        .load_csv("ds", &sample_csv(50, None), 0, &PutOptions::default().message("initial load"))
+        .load_csv(
+            "ds",
+            &sample_csv(50, None),
+            0,
+            &PutOptions::default().message("initial load"),
+        )
         .unwrap();
     for i in 0..4 {
         tables

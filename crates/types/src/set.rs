@@ -44,8 +44,7 @@ impl<'s, S: ChunkStore> VSet<'s, S> {
         cfg: ChunkerConfig,
         members: impl IntoIterator<Item = Bytes>,
     ) -> NodeResult<Self> {
-        let pairs: Vec<(Bytes, Bytes)> =
-            members.into_iter().map(|m| (m, Bytes::new())).collect();
+        let pairs: Vec<(Bytes, Bytes)> = members.into_iter().map(|m| (m, Bytes::new())).collect();
         Ok(VSet {
             inner: PosMap::build_from_pairs(store, cfg, pairs)?,
         })

@@ -187,9 +187,9 @@ impl Value {
                 }
                 Value::Bool(b == 1)
             }
-            ValueType::Int => Value::Int(i64::from_le_bytes(
-                exact(8)?.try_into().expect("8 bytes"),
-            )),
+            ValueType::Int => {
+                Value::Int(i64::from_le_bytes(exact(8)?.try_into().expect("8 bytes")))
+            }
             ValueType::Float => Value::Float(f64::from_bits(u64::from_le_bytes(
                 exact(8)?.try_into().expect("8 bytes"),
             ))),
@@ -402,7 +402,9 @@ mod tests {
     #[test]
     fn summary_is_compact() {
         assert_eq!(Value::Int(5).summary(), "5");
-        assert!(Value::string("x".repeat(200)).summary().contains("200 bytes"));
+        assert!(Value::string("x".repeat(200))
+            .summary()
+            .contains("200 bytes"));
         let blob = Value::Blob(forkbase_postree::BlobRef {
             root: sha256(b"b"),
             len: 10,

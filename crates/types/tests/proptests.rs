@@ -17,7 +17,11 @@ fn value_strategy() -> impl Strategy<Value = Value> {
         proptest::num::i64::ANY.prop_map(Value::Int),
         proptest::num::f64::ANY.prop_map(Value::Float),
         ".{0,64}".prop_map(Value::Str),
-        (hash_strategy(), proptest::num::u64::ANY, proptest::num::u8::ANY)
+        (
+            hash_strategy(),
+            proptest::num::u64::ANY,
+            proptest::num::u8::ANY
+        )
             .prop_map(|(root, len, depth)| Value::Blob(BlobRef { root, len, depth })),
         (hash_strategy(), proptest::num::u64::ANY)
             .prop_map(|(r, c)| Value::List(TreeRef::new(r, c))),

@@ -1,0 +1,361 @@
+//! Minimal, API-compatible subset of the `bytes` crate.
+//!
+//! Vendored because this build environment has no network access to
+//! crates.io. Only the surface the ForkBase workspace uses is provided:
+//! cheaply-clonable, sliceable, immutable byte buffers. The representation
+//! is an `Arc<[u8]>` (or a `&'static [u8]`) plus a `(start, end)` view, so
+//! [`Bytes::clone`] and [`Bytes::slice`] are O(1) and never copy — the
+//! property the zero-copy blob ingestion path relies on.
+
+use std::borrow::Borrow;
+use std::fmt;
+use std::hash::{Hash, Hasher};
+use std::ops::{Bound, Deref, RangeBounds};
+use std::sync::Arc;
+
+#[derive(Clone)]
+enum Repr {
+    Static(&'static [u8]),
+    Shared(Arc<Vec<u8>>),
+}
+
+/// A cheaply cloneable, immutable, contiguous slice of memory.
+#[derive(Clone)]
+pub struct Bytes {
+    repr: Repr,
+    start: usize,
+    end: usize,
+}
+
+impl Bytes {
+    /// Creates a new empty `Bytes`.
+    #[inline]
+    pub const fn new() -> Self {
+        Bytes {
+            repr: Repr::Static(&[]),
+            start: 0,
+            end: 0,
+        }
+    }
+
+    /// Creates `Bytes` from a static slice without copying.
+    #[inline]
+    pub const fn from_static(bytes: &'static [u8]) -> Self {
+        Bytes {
+            repr: Repr::Static(bytes),
+            start: 0,
+            end: bytes.len(),
+        }
+    }
+
+    /// Copies `data` into a freshly allocated buffer (exactly one copy).
+    #[inline]
+    pub fn copy_from_slice(data: &[u8]) -> Self {
+        Bytes::from(data.to_vec())
+    }
+
+    /// Length of the backing allocation this view keeps alive (equals
+    /// [`len`](Self::len) for compact buffers, more for sub-slices).
+    #[inline]
+    pub fn backing_len(&self) -> usize {
+        match &self.repr {
+            Repr::Static(s) => s.len(),
+            Repr::Shared(a) => a.len(),
+        }
+    }
+
+    /// Returns a view that does not pin substantially more memory than it
+    /// exposes: when this view covers less than half of its (heap) backing
+    /// allocation, the bytes are copied into a tight buffer; otherwise the
+    /// view is cheaply cloned. Long-lived stores call this before retaining
+    /// a chunk so a small slice of a large ingest buffer cannot keep the
+    /// whole buffer alive.
+    pub fn compact(&self) -> Bytes {
+        match &self.repr {
+            // Static data is not owned; nothing is pinned.
+            Repr::Static(_) => self.clone(),
+            Repr::Shared(a) => {
+                if self.len() * 2 >= a.len() {
+                    self.clone()
+                } else {
+                    Bytes::copy_from_slice(self.as_slice())
+                }
+            }
+        }
+    }
+
+    /// Number of bytes in the view.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.end - self.start
+    }
+
+    /// Whether the view is empty.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.start == self.end
+    }
+
+    /// Returns a zero-copy sub-view of `self` for the given range.
+    ///
+    /// # Panics
+    /// Panics when the range is out of bounds or inverted.
+    pub fn slice(&self, range: impl RangeBounds<usize>) -> Self {
+        let len = self.len();
+        let begin = match range.start_bound() {
+            Bound::Included(&n) => n,
+            Bound::Excluded(&n) => n + 1,
+            Bound::Unbounded => 0,
+        };
+        let end = match range.end_bound() {
+            Bound::Included(&n) => n + 1,
+            Bound::Excluded(&n) => n,
+            Bound::Unbounded => len,
+        };
+        assert!(
+            begin <= end && end <= len,
+            "range start must be <= end and end <= len ({begin}..{end} of {len})"
+        );
+        Bytes {
+            repr: self.repr.clone(),
+            start: self.start + begin,
+            end: self.start + end,
+        }
+    }
+
+    /// The bytes as a plain slice.
+    #[inline]
+    pub fn as_slice(&self) -> &[u8] {
+        match &self.repr {
+            Repr::Static(s) => &s[self.start..self.end],
+            Repr::Shared(a) => &a[self.start..self.end],
+        }
+    }
+
+    /// Copies the view into a `Vec<u8>`.
+    #[inline]
+    pub fn to_vec(&self) -> Vec<u8> {
+        self.as_slice().to_vec()
+    }
+}
+
+impl Default for Bytes {
+    fn default() -> Self {
+        Bytes::new()
+    }
+}
+
+impl Deref for Bytes {
+    type Target = [u8];
+    #[inline]
+    fn deref(&self) -> &[u8] {
+        self.as_slice()
+    }
+}
+
+impl AsRef<[u8]> for Bytes {
+    #[inline]
+    fn as_ref(&self) -> &[u8] {
+        self.as_slice()
+    }
+}
+
+impl Borrow<[u8]> for Bytes {
+    #[inline]
+    fn borrow(&self) -> &[u8] {
+        self.as_slice()
+    }
+}
+
+impl From<Vec<u8>> for Bytes {
+    /// O(1): the vector becomes the backing buffer without copying.
+    fn from(v: Vec<u8>) -> Self {
+        let end = v.len();
+        Bytes {
+            repr: Repr::Shared(Arc::new(v)),
+            start: 0,
+            end,
+        }
+    }
+}
+
+impl From<Box<[u8]>> for Bytes {
+    fn from(v: Box<[u8]>) -> Self {
+        Bytes::from(Vec::from(v))
+    }
+}
+
+impl From<String> for Bytes {
+    fn from(s: String) -> Self {
+        Bytes::from(s.into_bytes())
+    }
+}
+
+impl From<&'static [u8]> for Bytes {
+    fn from(s: &'static [u8]) -> Self {
+        Bytes::from_static(s)
+    }
+}
+
+impl From<&'static str> for Bytes {
+    fn from(s: &'static str) -> Self {
+        Bytes::from_static(s.as_bytes())
+    }
+}
+
+impl FromIterator<u8> for Bytes {
+    fn from_iter<T: IntoIterator<Item = u8>>(iter: T) -> Self {
+        Bytes::from(iter.into_iter().collect::<Vec<u8>>())
+    }
+}
+
+impl<'a> IntoIterator for &'a Bytes {
+    type Item = &'a u8;
+    type IntoIter = std::slice::Iter<'a, u8>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.as_slice().iter()
+    }
+}
+
+impl PartialEq for Bytes {
+    fn eq(&self, other: &Bytes) -> bool {
+        self.as_slice() == other.as_slice()
+    }
+}
+impl Eq for Bytes {}
+
+impl PartialOrd for Bytes {
+    fn partial_cmp(&self, other: &Bytes) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for Bytes {
+    fn cmp(&self, other: &Bytes) -> std::cmp::Ordering {
+        self.as_slice().cmp(other.as_slice())
+    }
+}
+
+impl Hash for Bytes {
+    fn hash<H: Hasher>(&self, state: &mut H) {
+        self.as_slice().hash(state);
+    }
+}
+
+impl PartialEq<[u8]> for Bytes {
+    fn eq(&self, other: &[u8]) -> bool {
+        self.as_slice() == other
+    }
+}
+impl PartialEq<Bytes> for [u8] {
+    fn eq(&self, other: &Bytes) -> bool {
+        self == other.as_slice()
+    }
+}
+impl PartialEq<&[u8]> for Bytes {
+    fn eq(&self, other: &&[u8]) -> bool {
+        self.as_slice() == *other
+    }
+}
+impl PartialEq<Vec<u8>> for Bytes {
+    fn eq(&self, other: &Vec<u8>) -> bool {
+        self.as_slice() == other.as_slice()
+    }
+}
+impl PartialEq<Bytes> for Vec<u8> {
+    fn eq(&self, other: &Bytes) -> bool {
+        self.as_slice() == other.as_slice()
+    }
+}
+impl<const N: usize> PartialEq<[u8; N]> for Bytes {
+    fn eq(&self, other: &[u8; N]) -> bool {
+        self.as_slice() == other.as_slice()
+    }
+}
+impl<const N: usize> PartialEq<&[u8; N]> for Bytes {
+    fn eq(&self, other: &&[u8; N]) -> bool {
+        self.as_slice() == other.as_slice()
+    }
+}
+impl PartialEq<str> for Bytes {
+    fn eq(&self, other: &str) -> bool {
+        self.as_slice() == other.as_bytes()
+    }
+}
+
+impl fmt::Debug for Bytes {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "b\"")?;
+        for &b in self.as_slice() {
+            match b {
+                b'\\' => write!(f, "\\\\")?,
+                b'"' => write!(f, "\\\"")?,
+                b'\n' => write!(f, "\\n")?,
+                b'\r' => write!(f, "\\r")?,
+                b'\t' => write!(f, "\\t")?,
+                0x20..=0x7e => write!(f, "{}", b as char)?,
+                _ => write!(f, "\\x{b:02x}")?,
+            }
+        }
+        write!(f, "\"")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn slice_is_zero_copy_view() {
+        let b = Bytes::from(vec![1u8, 2, 3, 4, 5]);
+        let s = b.slice(1..4);
+        assert_eq!(s, [2u8, 3, 4]);
+        let ss = s.slice(..2);
+        assert_eq!(ss, [2u8, 3]);
+        // Underlying allocation is shared, not copied.
+        if let (Repr::Shared(a), Repr::Shared(b)) = (&b.repr, &ss.repr) {
+            assert!(Arc::ptr_eq(a, b));
+        } else {
+            panic!("expected shared representation");
+        }
+    }
+
+    #[test]
+    fn equality_and_ordering_follow_contents() {
+        let a = Bytes::from_static(b"abc");
+        let b = Bytes::from(vec![b'a', b'b', b'c']);
+        assert_eq!(a, b);
+        assert!(Bytes::from_static(b"abd") > a);
+        assert_eq!(a, *b"abc");
+    }
+
+    #[test]
+    fn empty_and_static() {
+        assert!(Bytes::new().is_empty());
+        assert_eq!(Bytes::from_static(b"xy").len(), 2);
+        assert_eq!(Bytes::from("hi"), *b"hi");
+    }
+
+    #[test]
+    fn from_vec_is_zero_copy() {
+        let v = vec![7u8; 1000];
+        let ptr = v.as_ptr();
+        let b = Bytes::from(v);
+        assert_eq!(b.as_slice().as_ptr(), ptr, "From<Vec> must not copy");
+    }
+
+    #[test]
+    fn compact_releases_oversized_backing() {
+        let big = Bytes::from(vec![1u8; 10_000]);
+        let tiny = big.slice(100..200);
+        assert_eq!(tiny.backing_len(), 10_000);
+        let compacted = tiny.compact();
+        assert_eq!(compacted, tiny);
+        assert_eq!(compacted.backing_len(), 100);
+        // A view covering most of its backing is cloned, not copied.
+        let most = big.slice(..9_000);
+        assert_eq!(most.compact().backing_len(), 10_000);
+        // Static data is never copied.
+        let st = Bytes::from_static(b"0123456789").slice(..2);
+        assert_eq!(st.compact().backing_len(), 10);
+    }
+}

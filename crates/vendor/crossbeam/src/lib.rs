@@ -1,0 +1,105 @@
+//! Minimal `crossbeam`-compatible shim for offline builds.
+//!
+//! Only `crossbeam::channel::{bounded, unbounded, Sender, Receiver}` is
+//! provided, implemented on `std::sync::mpsc` (whose `Sender` has been
+//! `Sync` since the crossbeam-based rewrite of std's channels).
+
+/// Multi-producer channels in the crossbeam API shape.
+pub mod channel {
+    use std::sync::mpsc;
+
+    /// Sending half of a channel.
+    pub struct Sender<T>(mpsc::SyncSender<T>);
+
+    impl<T> Clone for Sender<T> {
+        fn clone(&self) -> Self {
+            Sender(self.0.clone())
+        }
+    }
+
+    /// Error returned when the receiving half has disconnected.
+    #[derive(PartialEq, Eq)]
+    pub struct SendError<T>(pub T);
+
+    impl<T> std::fmt::Debug for SendError<T> {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            write!(f, "SendError(..)")
+        }
+    }
+
+    impl<T> std::fmt::Display for SendError<T> {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            write!(f, "sending on a disconnected channel")
+        }
+    }
+
+    impl<T> Sender<T> {
+        /// Blocks until the message is sent or the channel disconnects.
+        pub fn send(&self, value: T) -> Result<(), SendError<T>> {
+            self.0
+                .send(value)
+                .map_err(|mpsc::SendError(v)| SendError(v))
+        }
+    }
+
+    /// Receiving half of a channel.
+    pub struct Receiver<T>(mpsc::Receiver<T>);
+
+    /// Error returned when the sending half has disconnected.
+    pub use std::sync::mpsc::RecvError;
+
+    impl<T> Receiver<T> {
+        /// Blocks until a message arrives or the channel disconnects.
+        pub fn recv(&self) -> Result<T, RecvError> {
+            self.0.recv()
+        }
+
+        /// Non-blocking receive.
+        pub fn try_recv(&self) -> Result<T, mpsc::TryRecvError> {
+            self.0.try_recv()
+        }
+    }
+
+    impl<T> IntoIterator for Receiver<T> {
+        type Item = T;
+        type IntoIter = mpsc::IntoIter<T>;
+        fn into_iter(self) -> Self::IntoIter {
+            self.0.into_iter()
+        }
+    }
+
+    /// A channel of unbounded capacity.
+    ///
+    /// Backed by a large-capacity sync channel so `Sender` stays one type;
+    /// 2^20 in-flight jobs is far beyond anything the in-process cluster
+    /// simulation enqueues.
+    pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+        let (tx, rx) = mpsc::sync_channel(1 << 20);
+        (Sender(tx), Receiver(rx))
+    }
+
+    /// A channel holding at most `cap` messages.
+    pub fn bounded<T>(cap: usize) -> (Sender<T>, Receiver<T>) {
+        let (tx, rx) = mpsc::sync_channel(cap);
+        (Sender(tx), Receiver(rx))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::channel::*;
+
+    #[test]
+    fn channels_roundtrip_across_threads() {
+        let (tx, rx) = unbounded::<u32>();
+        let tx2 = tx.clone();
+        std::thread::spawn(move || tx2.send(7).unwrap());
+        assert_eq!(rx.recv().unwrap(), 7);
+        drop(tx);
+        assert!(rx.recv().is_err());
+
+        let (btx, brx) = bounded::<&str>(1);
+        btx.send("one").unwrap();
+        assert_eq!(brx.recv().unwrap(), "one");
+    }
+}

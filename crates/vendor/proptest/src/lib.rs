@@ -1,0 +1,668 @@
+//! Minimal `proptest`-shaped randomized testing harness.
+//!
+//! Vendored because this build environment cannot reach crates.io. The
+//! subset implemented is exactly what the workspace's property tests use:
+//! the [`proptest!`] macro, `prop_assert*` / `prop_assume!`, [`prop_oneof!`],
+//! strategies for integer ranges, tuples, `collection::vec`, `option::of`,
+//! `num::*::ANY`, `bool::ANY`, simple regex-string strategies, and
+//! `prop_map`. Differences from real proptest:
+//!
+//! * **No shrinking.** A failing case reports its values via the assertion
+//!   message only.
+//! * Case generation is deterministic per test (seeded from the test's
+//!   module path and name), so failures reproduce across runs.
+
+pub mod test_runner {
+    /// Configuration accepted by `#![proptest_config(..)]`.
+    ///
+    /// Only `cases` is honoured; the struct is constructible with
+    /// `ProptestConfig { cases: N, ..ProptestConfig::default() }` just like
+    /// the real crate.
+    #[derive(Clone, Debug)]
+    pub struct Config {
+        /// Number of accepted (non-rejected) cases to run per test.
+        pub cases: u32,
+        /// Upper bound on rejected cases before the test aborts.
+        pub max_global_rejects: u32,
+    }
+
+    impl Default for Config {
+        fn default() -> Self {
+            Config {
+                cases: 64,
+                max_global_rejects: 4096,
+            }
+        }
+    }
+
+    /// Why a single generated case did not pass.
+    #[derive(Debug)]
+    pub enum TestCaseError {
+        /// `prop_assume!` failed; the case is skipped, not failed.
+        Reject(String),
+        /// A `prop_assert*` failed; the whole test fails.
+        Fail(String),
+    }
+
+    /// Deterministic per-test random source (SplitMix64).
+    #[derive(Clone, Debug)]
+    pub struct TestRng {
+        state: u64,
+    }
+
+    impl TestRng {
+        /// Seed deterministically from a test identifier.
+        pub fn deterministic(name: &str) -> Self {
+            // FNV-1a over the identifier.
+            let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+            for &b in name.as_bytes() {
+                h ^= b as u64;
+                h = h.wrapping_mul(0x0000_0100_0000_01b3);
+            }
+            TestRng { state: h }
+        }
+
+        /// Next raw 64 bits.
+        pub fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+            z ^ (z >> 31)
+        }
+
+        /// Uniform value in `[0, n)`; `n` must be nonzero.
+        pub fn below(&mut self, n: usize) -> usize {
+            (self.next_u64() % n as u64) as usize
+        }
+    }
+}
+
+pub mod strategy {
+    use crate::test_runner::TestRng;
+    use std::ops::{Range, RangeInclusive};
+
+    /// A recipe for generating values of `Self::Value`.
+    pub trait Strategy {
+        /// The generated type.
+        type Value;
+
+        /// Produce one value.
+        fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+        /// Transform generated values with `f`.
+        fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+            F: Fn(Self::Value) -> O,
+        {
+            Map { inner: self, f }
+        }
+
+        /// Erase the concrete strategy type.
+        fn boxed(self) -> BoxedStrategy<Self::Value>
+        where
+            Self: Sized + 'static,
+        {
+            Box::new(self)
+        }
+    }
+
+    /// A type-erased strategy.
+    pub type BoxedStrategy<V> = Box<dyn Strategy<Value = V>>;
+
+    impl<S: Strategy + ?Sized> Strategy for Box<S> {
+        type Value = S::Value;
+        fn generate(&self, rng: &mut TestRng) -> Self::Value {
+            (**self).generate(rng)
+        }
+    }
+
+    /// Always generates a clone of the given value.
+    #[derive(Clone, Debug)]
+    pub struct Just<T: Clone>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+        fn generate(&self, _rng: &mut TestRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    /// Output of [`Strategy::prop_map`].
+    pub struct Map<S, F> {
+        pub(crate) inner: S,
+        pub(crate) f: F,
+    }
+
+    impl<S, F, O> Strategy for Map<S, F>
+    where
+        S: Strategy,
+        F: Fn(S::Value) -> O,
+    {
+        type Value = O;
+        fn generate(&self, rng: &mut TestRng) -> O {
+            (self.f)(self.inner.generate(rng))
+        }
+    }
+
+    /// Uniform choice among boxed strategies ([`crate::prop_oneof!`]).
+    pub struct OneOf<V> {
+        options: Vec<BoxedStrategy<V>>,
+    }
+
+    impl<V> OneOf<V> {
+        /// Build from a non-empty option list.
+        pub fn new(options: Vec<BoxedStrategy<V>>) -> Self {
+            assert!(!options.is_empty(), "prop_oneof! needs at least one option");
+            OneOf { options }
+        }
+    }
+
+    impl<V> Strategy for OneOf<V> {
+        type Value = V;
+        fn generate(&self, rng: &mut TestRng) -> V {
+            let idx = rng.below(self.options.len());
+            self.options[idx].generate(rng)
+        }
+    }
+
+    macro_rules! impl_int_range_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for Range<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    assert!(self.start < self.end, "empty range strategy");
+                    let span = (self.end as i128 - self.start as i128) as u128;
+                    let off = (rng.next_u64() as u128) % span;
+                    (self.start as i128 + off as i128) as $t
+                }
+            }
+            impl Strategy for RangeInclusive<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    let (lo, hi) = (*self.start(), *self.end());
+                    assert!(lo <= hi, "empty range strategy");
+                    let span = (hi as i128 - lo as i128 + 1) as u128;
+                    let off = (rng.next_u64() as u128) % span;
+                    (lo as i128 + off as i128) as $t
+                }
+            }
+        )*};
+    }
+
+    impl_int_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    macro_rules! impl_tuple_strategy {
+        ($(($($s:ident),+))+) => {$(
+            impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+                type Value = ($($s::Value,)+);
+                #[allow(non_snake_case)]
+                fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                    let ($($s,)+) = self;
+                    ($($s.generate(rng),)+)
+                }
+            }
+        )+};
+    }
+
+    impl_tuple_strategy! {
+        (A)
+        (A, B)
+        (A, B, C)
+        (A, B, C, D)
+    }
+
+    /// `&str` as a strategy: the pattern is interpreted as a tiny regex
+    /// subset (`.{a,b}` or `[class]{a,b}`) generating matching strings.
+    impl Strategy for &'static str {
+        type Value = String;
+        fn generate(&self, rng: &mut TestRng) -> String {
+            crate::string::generate_matching(self, rng)
+                .unwrap_or_else(|e| panic!("unsupported string pattern {self:?}: {e}"))
+        }
+    }
+}
+
+/// Strategies for collections.
+pub mod collection {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+    use std::ops::{Range, RangeInclusive};
+
+    /// Size specification for [`vec`]: an exact count or a range.
+    #[derive(Clone, Copy, Debug)]
+    pub struct SizeRange {
+        lo: usize,
+        /// Inclusive upper bound.
+        hi: usize,
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            SizeRange { lo: n, hi: n }
+        }
+    }
+    impl From<Range<usize>> for SizeRange {
+        fn from(r: Range<usize>) -> Self {
+            assert!(r.start < r.end, "empty size range");
+            SizeRange {
+                lo: r.start,
+                hi: r.end - 1,
+            }
+        }
+    }
+    impl From<RangeInclusive<usize>> for SizeRange {
+        fn from(r: RangeInclusive<usize>) -> Self {
+            SizeRange {
+                lo: *r.start(),
+                hi: *r.end(),
+            }
+        }
+    }
+
+    /// Strategy generating `Vec`s of `element` with a size in `size`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+
+    /// Output of [`vec`].
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let span = self.size.hi - self.size.lo + 1;
+            let len = self.size.lo + rng.below(span);
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+/// Full-range numeric strategies (`proptest::num::u8::ANY`, …).
+pub mod num {
+    macro_rules! any_int_module {
+        ($($mod_name:ident => $t:ty, $conv:expr);* $(;)?) => {$(
+            pub mod $mod_name {
+                use crate::strategy::Strategy;
+                use crate::test_runner::TestRng;
+
+                /// Strategy type behind [`ANY`].
+                #[derive(Clone, Copy, Debug)]
+                pub struct Any;
+
+                /// Generates any value of the type, uniformly over bits.
+                pub const ANY: Any = Any;
+
+                impl Strategy for Any {
+                    type Value = $t;
+                    fn generate(&self, rng: &mut TestRng) -> $t {
+                        let conv: fn(u64) -> $t = $conv;
+                        conv(rng.next_u64())
+                    }
+                }
+            }
+        )*};
+    }
+
+    any_int_module! {
+        u8 => u8, |v| v as u8;
+        u16 => u16, |v| v as u16;
+        u32 => u32, |v| v as u32;
+        u64 => u64, |v| v;
+        usize => usize, |v| v as usize;
+        i8 => i8, |v| v as i8;
+        i16 => i16, |v| v as i16;
+        i32 => i32, |v| v as i32;
+        i64 => i64, |v| v as i64;
+        f64 => f64, f64::from_bits;
+        f32 => f32, |v| f32::from_bits(v as u32);
+    }
+}
+
+/// `bool::ANY`.
+pub mod bool {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+
+    /// Strategy type behind [`ANY`].
+    #[derive(Clone, Copy, Debug)]
+    pub struct Any;
+
+    /// Generates `true` or `false` with equal probability.
+    pub const ANY: Any = Any;
+
+    impl Strategy for Any {
+        type Value = bool;
+        fn generate(&self, rng: &mut TestRng) -> bool {
+            rng.next_u64() & 1 == 1
+        }
+    }
+}
+
+/// `option::of`.
+pub mod option {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+
+    /// Strategy generating `None` about a quarter of the time, otherwise
+    /// `Some` of the inner strategy.
+    pub fn of<S: Strategy>(inner: S) -> OptionStrategy<S> {
+        OptionStrategy { inner }
+    }
+
+    /// Output of [`of`].
+    pub struct OptionStrategy<S> {
+        inner: S,
+    }
+
+    impl<S: Strategy> Strategy for OptionStrategy<S> {
+        type Value = Option<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Option<S::Value> {
+            if rng.next_u64().is_multiple_of(4) {
+                None
+            } else {
+                Some(self.inner.generate(rng))
+            }
+        }
+    }
+}
+
+/// Regex-subset string strategies.
+pub mod string {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+
+    /// Strategy generating strings matching a supported pattern.
+    pub struct RegexGeneratorStrategy {
+        pattern: &'static str,
+    }
+
+    impl Strategy for RegexGeneratorStrategy {
+        type Value = String;
+        fn generate(&self, rng: &mut TestRng) -> String {
+            generate_matching(self.pattern, rng)
+                .unwrap_or_else(|e| panic!("unsupported string pattern {:?}: {e}", self.pattern))
+        }
+    }
+
+    /// Build a strategy for strings matching `pattern`.
+    ///
+    /// Supported subset: `CLASS{a,b}` / `CLASS{n}` / `CLASS` where `CLASS`
+    /// is `.` (printable ASCII) or a `[...]` character class with literal
+    /// characters and `x-y` ranges.
+    pub fn string_regex(pattern: &'static str) -> Result<RegexGeneratorStrategy, String> {
+        // Validate eagerly so misuse fails at construction.
+        parse(pattern)?;
+        Ok(RegexGeneratorStrategy { pattern })
+    }
+
+    fn parse(pattern: &str) -> Result<(Vec<char>, usize, usize), String> {
+        let chars: Vec<char> = pattern.chars().collect();
+        let mut i = 0usize;
+        let mut class: Vec<char> = Vec::new();
+        if i < chars.len() && chars[i] == '.' {
+            class.extend((0x20u8..0x7f).map(|b| b as char));
+            i += 1;
+        } else if i < chars.len() && chars[i] == '[' {
+            i += 1;
+            while i < chars.len() && chars[i] != ']' {
+                if i + 2 < chars.len() && chars[i + 1] == '-' && chars[i + 2] != ']' {
+                    let (lo, hi) = (chars[i], chars[i + 2]);
+                    if lo > hi {
+                        return Err(format!("inverted class range {lo}-{hi}"));
+                    }
+                    class.extend((lo as u32..=hi as u32).filter_map(char::from_u32));
+                    i += 3;
+                } else {
+                    class.push(chars[i]);
+                    i += 1;
+                }
+            }
+            if i >= chars.len() {
+                return Err("unterminated character class".into());
+            }
+            i += 1; // ']'
+        } else {
+            return Err("pattern must start with '.' or '[...]'".into());
+        }
+        if class.is_empty() {
+            return Err("empty character class".into());
+        }
+        let (lo, hi) = if i < chars.len() && chars[i] == '{' {
+            let rest: String = chars[i + 1..].iter().collect();
+            let Some(close) = rest.find('}') else {
+                return Err("unterminated repetition".into());
+            };
+            if close + 1 != rest.len() {
+                return Err("trailing tokens after repetition".into());
+            }
+            let body = &rest[..close];
+            match body.split_once(',') {
+                Some((a, b)) => (
+                    a.parse::<usize>().map_err(|e| e.to_string())?,
+                    b.parse::<usize>().map_err(|e| e.to_string())?,
+                ),
+                None => {
+                    let n = body.parse::<usize>().map_err(|e| e.to_string())?;
+                    (n, n)
+                }
+            }
+        } else if i == chars.len() {
+            (1, 1)
+        } else {
+            return Err(format!("unsupported token at offset {i}"));
+        };
+        if lo > hi {
+            return Err("inverted repetition bounds".into());
+        }
+        Ok((class, lo, hi))
+    }
+
+    pub(crate) fn generate_matching(pattern: &str, rng: &mut TestRng) -> Result<String, String> {
+        let (class, lo, hi) = parse(pattern)?;
+        let len = lo + rng.below(hi - lo + 1);
+        Ok((0..len).map(|_| class[rng.below(class.len())]).collect())
+    }
+}
+
+/// The usual imports: `use proptest::prelude::*;`.
+pub mod prelude {
+    pub use crate::strategy::{BoxedStrategy, Just, Strategy};
+    pub use crate::test_runner::Config as ProptestConfig;
+    pub use crate::test_runner::TestCaseError;
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest,
+    };
+}
+
+/// Define property tests.
+///
+/// Accepts the same surface the real crate does for the forms used in this
+/// workspace: an optional `#![proptest_config(..)]` header followed by
+/// `fn name(binding in strategy, ...) { body }` items (attributes,
+/// including `#[test]`, pass through).
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_items!{ ($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_items!{ ($crate::test_runner::Config::default()) $($rest)* }
+    };
+}
+
+#[macro_export]
+#[doc(hidden)]
+macro_rules! __proptest_items {
+    (($cfg:expr)) => {};
+    (($cfg:expr)
+     $(#[$meta:meta])*
+     fn $name:ident($($pat:pat_param in $strat:expr),+ $(,)?) $body:block
+     $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let __cfg: $crate::test_runner::Config = $cfg;
+            let mut __rng = $crate::test_runner::TestRng::deterministic(
+                concat!(module_path!(), "::", stringify!($name)),
+            );
+            let mut __accepted: u32 = 0;
+            let mut __rejected: u32 = 0;
+            while __accepted < __cfg.cases {
+                $(let $pat = $crate::strategy::Strategy::generate(&($strat), &mut __rng);)+
+                let __result: ::std::result::Result<(), $crate::test_runner::TestCaseError> =
+                    (move || {
+                        $body
+                        #[allow(unreachable_code)]
+                        ::std::result::Result::Ok(())
+                    })();
+                match __result {
+                    ::std::result::Result::Ok(()) => __accepted += 1,
+                    ::std::result::Result::Err($crate::test_runner::TestCaseError::Reject(__why)) => {
+                        __rejected += 1;
+                        if __rejected > __cfg.max_global_rejects {
+                            panic!(
+                                "proptest '{}' rejected too many cases (last: {})",
+                                stringify!($name),
+                                __why
+                            );
+                        }
+                    }
+                    ::std::result::Result::Err($crate::test_runner::TestCaseError::Fail(__msg)) => {
+                        panic!(
+                            "proptest '{}' failed on case {}: {}",
+                            stringify!($name),
+                            __accepted + 1,
+                            __msg
+                        );
+                    }
+                }
+            }
+        }
+        $crate::__proptest_items!{ ($cfg) $($rest)* }
+    };
+}
+
+/// Assert a condition inside a proptest body.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        $crate::prop_assert!($cond, concat!("assertion failed: ", stringify!($cond)))
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            return ::std::result::Result::Err(
+                $crate::test_runner::TestCaseError::Fail(format!($($fmt)+)),
+            );
+        }
+    };
+}
+
+/// Assert equality inside a proptest body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr $(,)?) => {{
+        let __a = $a;
+        let __b = $b;
+        $crate::prop_assert!(
+            __a == __b,
+            "assertion failed: `{:?}` != `{:?}`",
+            __a,
+            __b
+        );
+    }};
+    ($a:expr, $b:expr, $($fmt:tt)+) => {{
+        let __a = $a;
+        let __b = $b;
+        if !(__a == __b) {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::Fail(
+                format!("{}: `{:?}` != `{:?}`", format!($($fmt)+), __a, __b),
+            ));
+        }
+    }};
+}
+
+/// Assert inequality inside a proptest body.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr $(,)?) => {{
+        let __a = $a;
+        let __b = $b;
+        $crate::prop_assert!(__a != __b, "assertion failed: `{:?}` == `{:?}`", __a, __b);
+    }};
+}
+
+/// Skip the current case when an assumption does not hold.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr $(,)?) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::Reject(
+                stringify!($cond).to_string(),
+            ));
+        }
+    };
+}
+
+/// Uniform choice among strategies producing the same value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strat:expr),+ $(,)?) => {
+        $crate::strategy::OneOf::new(vec![
+            $($crate::strategy::Strategy::boxed($strat)),+
+        ])
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig { cases: 32, ..ProptestConfig::default() })]
+
+        #[test]
+        fn ranges_stay_in_bounds(x in 3usize..10, y in 0u8..=4) {
+            prop_assert!((3..10).contains(&x));
+            prop_assert!(y <= 4);
+        }
+
+        #[test]
+        fn vec_sizes_respected(v in crate::collection::vec(crate::num::u8::ANY, 2..6)) {
+            prop_assert!(v.len() >= 2 && v.len() < 6);
+        }
+
+        #[test]
+        fn assume_rejects_without_failing(x in 0u32..100) {
+            prop_assume!(x % 2 == 0);
+            prop_assert_eq!(x % 2, 0);
+        }
+
+        #[test]
+        fn oneof_and_prop_map(v in prop_oneof![
+            (0u8..10).prop_map(|x| x as u32),
+            100u32..110,
+        ]) {
+            prop_assert!(v < 10 || (100..110).contains(&v));
+        }
+    }
+
+    #[test]
+    fn string_patterns_generate_matching() {
+        let mut rng = crate::test_runner::TestRng::deterministic("strings");
+        for _ in 0..50 {
+            let s = crate::string::generate_matching("[a-z ]{0,12}", &mut rng).unwrap();
+            assert!(s.len() <= 12);
+            assert!(s.chars().all(|c| c == ' ' || c.is_ascii_lowercase()));
+            let t = crate::string::generate_matching(".{0,64}", &mut rng).unwrap();
+            assert!(t.chars().count() <= 64);
+        }
+    }
+}

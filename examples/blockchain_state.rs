@@ -57,7 +57,9 @@ fn main() {
             // Read-modify-write through the head state.
             let head = db.get("state", "master").unwrap();
             let from_bal: u64 = String::from_utf8_lossy(
-                &db.map_get(&head.value, &balance_key(from)).unwrap().unwrap(),
+                &db.map_get(&head.value, &balance_key(from))
+                    .unwrap()
+                    .unwrap(),
             )
             .parse()
             .unwrap();
@@ -69,7 +71,10 @@ fn main() {
             )
             .parse()
             .unwrap();
-            edits.push(MapEdit::put(balance_key(from), balance_val(from_bal - amount)));
+            edits.push(MapEdit::put(
+                balance_key(from),
+                balance_val(from_bal - amount),
+            ));
             edits.push(MapEdit::put(balance_key(to), balance_val(to_bal + amount)));
         }
         db.put_map_edits(
@@ -91,7 +96,8 @@ fn main() {
     // A competing fork from block 25: reorgs are branches.
     let history = db.history("state", &VersionSpec::branch("master")).unwrap();
     let block25 = &history[history.len() - 26];
-    db.branch_from_version("state", &block25.uid, "fork-b").unwrap();
+    db.branch_from_version("state", &block25.uid, "fork-b")
+        .unwrap();
     db.put_map_edits(
         "state",
         vec![MapEdit::put(balance_key(42), balance_val(999_999))],

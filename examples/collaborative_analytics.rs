@@ -35,7 +35,11 @@ fn main() {
     // The admin loads the shared dataset.
     let mut csv = String::from("sku,name,price,stock\n");
     for i in 0..2000 {
-        csv.push_str(&format!("sku-{i:05},widget-{i},{}.99,{}\n", i % 90 + 9, i % 50));
+        csv.push_str(&format!(
+            "sku-{i:05},widget-{i},{}.99,{}\n",
+            i % 90 + 9,
+            i % 50
+        ));
     }
     acl.check("admin", "products", "master", Permission::Write)
         .unwrap();
@@ -44,7 +48,9 @@ fn main() {
             "products",
             &csv,
             0,
-            &PutOptions::default().author("admin").message("initial load"),
+            &PutOptions::default()
+                .author("admin")
+                .message("initial load"),
         )
         .unwrap();
     let base_bytes = db.store().stored_bytes();
@@ -59,7 +65,8 @@ fn main() {
     );
 
     // Ana (team A) runs a price correction; the ACL confines her.
-    acl.check("ana", "products", "team-a", Permission::Write).unwrap();
+    acl.check("ana", "products", "team-a", Permission::Write)
+        .unwrap();
     assert!(!acl.allows("ana", "products", "master", Permission::Write));
     for sku in ["sku-00010", "sku-00011", "sku-00012"] {
         tables
@@ -68,13 +75,16 @@ fn main() {
                 sku,
                 "price",
                 "24.99",
-                &PutOptions::on_branch("team-a").author("ana").message("price fix"),
+                &PutOptions::on_branch("team-a")
+                    .author("ana")
+                    .message("price fix"),
             )
             .unwrap();
     }
 
     // Ben (team B) restocks a disjoint set of rows.
-    acl.check("ben", "products", "team-b", Permission::Write).unwrap();
+    acl.check("ben", "products", "team-b", Permission::Write)
+        .unwrap();
     for sku in ["sku-01900", "sku-01901"] {
         tables
             .update_cell(
@@ -82,7 +92,9 @@ fn main() {
                 sku,
                 "stock",
                 "500",
-                &PutOptions::on_branch("team-b").author("ben").message("restock"),
+                &PutOptions::on_branch("team-b")
+                    .author("ben")
+                    .message("restock"),
             )
             .unwrap();
     }

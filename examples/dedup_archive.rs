@@ -23,7 +23,11 @@ fn main() {
         .map(|i| {
             (
                 Bytes::from(format!("record-{i:06}")),
-                Bytes::from(format!("measurement={} station={} flag=ok", i * 37 % 997, i % 40)),
+                Bytes::from(format!(
+                    "measurement={} station={} flag=ok",
+                    i * 37 % 997,
+                    i % 40
+                )),
             )
         })
         .collect();
@@ -46,7 +50,10 @@ fn main() {
                 let idx = ((night * 53 + j * 601) % 3000) as usize;
                 MapEdit::put(
                     rows[idx].0.clone(),
-                    Bytes::from(format!("measurement={} updated=night{night}", night * 31 + j)),
+                    Bytes::from(format!(
+                        "measurement={} updated=night{night}",
+                        night * 31 + j
+                    )),
                 )
             })
             .collect();
@@ -70,7 +77,9 @@ fn main() {
     }
 
     // Any historical night is one lookup away (no delta replay):
-    let history = db.history("nightly", &VersionSpec::branch("master")).unwrap();
+    let history = db
+        .history("nightly", &VersionSpec::branch("master"))
+        .unwrap();
     println!("\nhistory holds {} versions", history.len());
     let night30 = &history[history.len() - 31]; // history is newest-first
     let snapshot = db.get_version(&night30.uid).unwrap();

@@ -20,7 +20,9 @@ fn main() {
         .put(
             "greeting",
             Value::string("hello world"),
-            &PutOptions::default().author("alice").message("first commit"),
+            &PutOptions::default()
+                .author("alice")
+                .message("first commit"),
         )
         .unwrap();
     println!("committed v1: {}", v1.uid);
@@ -49,11 +51,19 @@ fn main() {
     // 5. Branches are isolated…
     println!(
         "master:     {:?}",
-        db.get("greeting", "master").unwrap().value.as_str().unwrap()
+        db.get("greeting", "master")
+            .unwrap()
+            .value
+            .as_str()
+            .unwrap()
     );
     println!(
         "experiment: {:?}",
-        db.get("greeting", "experiment").unwrap().value.as_str().unwrap()
+        db.get("greeting", "experiment")
+            .unwrap()
+            .value
+            .as_str()
+            .unwrap()
     );
 
     // 6. …and diffable.
@@ -73,7 +83,9 @@ fn main() {
             "master",
             "experiment",
             MergePolicy::Theirs,
-            &PutOptions::default().author("alice").message("adopt experiment"),
+            &PutOptions::default()
+                .author("alice")
+                .message("adopt experiment"),
         )
         .unwrap();
     println!("merged -> {}", merged.uid);

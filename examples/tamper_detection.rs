@@ -53,7 +53,8 @@ fn main() {
         .find(|h| **h != trusted_head)
         .copied()
         .unwrap();
-    db.store().inject(value_chunk, FaultMode::FlipBit { byte: 7 });
+    db.store()
+        .inject(value_chunk, FaultMode::FlipBit { byte: 7 });
     match db.verify_branch("contract", "master") {
         Err(e) => println!("attack 1 (bit flip in value chunk) DETECTED: {e}"),
         Ok(_) => unreachable!("tampering must not pass"),
@@ -70,8 +71,10 @@ fn main() {
         message: "amendment 1".into(),
         logical_time: 2,
     };
-    db.store()
-        .inject(trusted_head, FaultMode::Substitute(Bytes::from(forged.encode())));
+    db.store().inject(
+        trusted_head,
+        FaultMode::Substitute(Bytes::from(forged.encode())),
+    );
     match db.get("contract", "master") {
         Err(DbError::TamperDetected(msg)) => {
             println!("attack 2 (history rewrite) DETECTED: {msg}")

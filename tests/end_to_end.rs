@@ -14,7 +14,11 @@ fn csv(rows: usize, mutate: Option<usize>) -> String {
     let mut out = String::from("id,region,revenue,quarter\n");
     for i in 0..rows {
         let region = if Some(i) == mutate { "MUTATED" } else { "emea" };
-        out.push_str(&format!("{i:07},{region},{},{}\n", i * 17 % 9999, i % 4 + 1));
+        out.push_str(&format!(
+            "{i:07},{region},{},{}\n",
+            i * 17 % 9999,
+            i % 4 + 1
+        ));
     }
     out
 }
@@ -96,9 +100,13 @@ fn pages_shared_across_keys_and_branches() {
     let db = ForkBase::new(MemStore::new());
     let tables = TableStore::new(&db);
     let text = csv(3000, None);
-    tables.load_csv("a", &text, 0, &PutOptions::default()).unwrap();
+    tables
+        .load_csv("a", &text, 0, &PutOptions::default())
+        .unwrap();
     let after_a = db.store().stored_bytes();
-    tables.load_csv("b", &text, 0, &PutOptions::default()).unwrap();
+    tables
+        .load_csv("b", &text, 0, &PutOptions::default())
+        .unwrap();
     let delta_b = db.store().stored_bytes() - after_a;
     // Key "b" shares every page of the map; only its FNode is new.
     assert!(delta_b < 500, "cross-key sharing failed: {delta_b}");
@@ -155,14 +163,24 @@ fn logical_state_determines_value_roots() {
 
     // db1: build the final state directly.
     let final_state: Vec<(Bytes, Bytes)> = (0..500)
-        .map(|i| (Bytes::from(format!("k{i:04}")), Bytes::from(format!("final-{i}"))))
+        .map(|i| {
+            (
+                Bytes::from(format!("k{i:04}")),
+                Bytes::from(format!("final-{i}")),
+            )
+        })
         .collect();
     let v1 = db1.new_map(final_state.clone()).unwrap();
     db1.put("obj", v1.clone(), &PutOptions::default()).unwrap();
 
     // db2: build something else first, then edit into the same state.
     let initial: Vec<(Bytes, Bytes)> = (0..500)
-        .map(|i| (Bytes::from(format!("k{i:04}")), Bytes::from(format!("draft-{i}"))))
+        .map(|i| {
+            (
+                Bytes::from(format!("k{i:04}")),
+                Bytes::from(format!("draft-{i}")),
+            )
+        })
         .collect();
     let v2 = db2.new_map(initial).unwrap();
     db2.put("obj", v2, &PutOptions::default()).unwrap();
@@ -174,7 +192,8 @@ fn logical_state_determines_value_roots() {
             )
         })
         .collect();
-    db2.put_map_edits("obj", edits, &PutOptions::default()).unwrap();
+    db2.put_map_edits("obj", edits, &PutOptions::default())
+        .unwrap();
 
     let root1 = db1.get("obj", "master").unwrap().value.tree_ref().unwrap();
     let root2 = db2.get("obj", "master").unwrap().value.tree_ref().unwrap();
@@ -194,19 +213,25 @@ fn heterogeneous_values_across_branches() {
         .unwrap();
     db.branch("thing", "master", "as-blob").unwrap();
     let blob = db.new_blob(b"binary form of the thing").unwrap();
-    db.put("thing", blob, &PutOptions::on_branch("as-blob")).unwrap();
+    db.put("thing", blob, &PutOptions::on_branch("as-blob"))
+        .unwrap();
     db.branch("thing", "master", "as-list").unwrap();
     let list = db
-        .new_list(vec![Bytes::from_static(b"item1"), Bytes::from_static(b"item2")])
+        .new_list(vec![
+            Bytes::from_static(b"item1"),
+            Bytes::from_static(b"item2"),
+        ])
         .unwrap();
-    db.put("thing", list, &PutOptions::on_branch("as-list")).unwrap();
+    db.put("thing", list, &PutOptions::on_branch("as-list"))
+        .unwrap();
 
     assert_eq!(
         db.get("thing", "master").unwrap().value.value_type(),
         forkbase_suite::types::ValueType::Str
     );
     assert_eq!(
-        db.blob_read(&db.get("thing", "as-blob").unwrap().value).unwrap(),
+        db.blob_read(&db.get("thing", "as-blob").unwrap().value)
+            .unwrap(),
         b"binary form of the thing"
     );
     assert_eq!(
@@ -258,8 +283,14 @@ fn deep_fork_tree_merges_cleanly() {
         .unwrap();
     db.merge("doc", "l1", "l2", MergePolicy::Fail, &PutOptions::default())
         .unwrap();
-    db.merge("doc", "master", "l1", MergePolicy::Fail, &PutOptions::default())
-        .unwrap();
+    db.merge(
+        "doc",
+        "master",
+        "l1",
+        MergePolicy::Fail,
+        &PutOptions::default(),
+    )
+    .unwrap();
 
     let head = db.get("doc", "master").unwrap();
     for region in [100usize, 300, 500] {
