@@ -153,6 +153,13 @@ pub fn import_bundle<S: ChunkStore>(
         refs.push(BundleRef { key, branch, uid });
     }
 
+    // Hold the GC gate across the whole write-verify-install sequence: the
+    // imported chunks are unreachable from any branch head until the refs
+    // are installed, so a concurrent gc::collect in between would sweep
+    // them and publish a branch with unreadable history. (install_ref
+    // deliberately does not take the gate itself — we hold it here.)
+    let _gc = db.gc_shared();
+
     let chunk_count = read_u32(input)? as usize;
     for _ in 0..chunk_count {
         let hash = read_hash(input)?;

@@ -193,10 +193,27 @@ impl std::fmt::Display for DbStat {
     }
 }
 
+/// Number of striped head locks. Power of two and comfortably above the
+/// bench thread counts, so commits to distinct (key, branch) pairs rarely
+/// share a stripe.
+const HEAD_STRIPES: usize = 64;
+
 /// The ForkBase database engine.
 ///
 /// Generic over the chunk store so the same engine runs on [`forkbase_store::MemStore`],
 /// [`forkbase_store::FileStore`], or any custom backend.
+///
+/// # Concurrency model
+///
+/// * A commit's head read-modify-write holds one of [`HEAD_STRIPES`]
+///   striped locks, selected by hashing `(key, branch)`. Commits to
+///   different keys or branches proceed in parallel; commits to the same
+///   branch serialize, which is what makes each branch a linear chain.
+/// * Merges lock the stripes of both branches in stripe-index order, so
+///   two crossing merges cannot deadlock.
+/// * Every mutating verb holds the GC gate shared; [`crate::gc::collect`]
+///   holds it exclusive, so mark-and-sweep sees quiescent heads and never
+///   races an in-flight commit's freshly written chunks.
 pub struct ForkBase<S> {
     store: S,
     cfg: TreeConfig,
@@ -204,8 +221,10 @@ pub struct ForkBase<S> {
     branches: RwLock<HashMap<String, BTreeMap<String, Uid>>>,
     /// Monotone logical clock stamped into FNodes.
     clock: AtomicU64,
-    /// Serializes commits (head read-modify-write).
-    commit_lock: Mutex<()>,
+    /// Striped per-(key, branch) commit locks (head read-modify-write).
+    head_locks: Vec<Mutex<()>>,
+    /// Commits and ref updates hold this shared; GC holds it exclusive.
+    gc_gate: RwLock<()>,
 }
 
 impl<S: ChunkStore> ForkBase<S> {
@@ -221,8 +240,35 @@ impl<S: ChunkStore> ForkBase<S> {
             cfg,
             branches: RwLock::new(HashMap::new()),
             clock: AtomicU64::new(1),
-            commit_lock: Mutex::new(()),
+            head_locks: (0..HEAD_STRIPES).map(|_| Mutex::new(())).collect(),
+            gc_gate: RwLock::new(()),
         }
+    }
+
+    /// The stripe guarding the head of `(key, branch)`.
+    fn head_stripe(key: &str, branch: &str) -> usize {
+        use std::hash::{Hash as _, Hasher as _};
+        let mut h = std::collections::hash_map::DefaultHasher::new();
+        key.hash(&mut h);
+        branch.hash(&mut h);
+        h.finish() as usize % HEAD_STRIPES
+    }
+
+    /// Block all mutating verbs for the guard's lifetime. Used by GC so the
+    /// mark phase sees quiescent heads and no commit can publish chunks
+    /// between mark and sweep.
+    pub(crate) fn gc_exclusive(&self) -> parking_lot::RwLockWriteGuard<'_, ()> {
+        self.gc_gate.write()
+    }
+
+    /// Hold the GC gate shared for a multi-step write sequence (e.g. bundle
+    /// import: store chunks, verify, install refs). While held, a concurrent
+    /// [`crate::gc::collect`] cannot sweep the not-yet-referenced chunks.
+    ///
+    /// The gate is NOT re-entrant: while holding this guard call only verbs
+    /// that do not themselves take the gate (`install_ref`, read verbs).
+    pub(crate) fn gc_shared(&self) -> parking_lot::RwLockReadGuard<'_, ()> {
+        self.gc_gate.read()
     }
 
     /// The underlying chunk store.
@@ -251,10 +297,26 @@ impl<S: ChunkStore> ForkBase<S> {
 
     /// `Put`: commit `value` as the new head of `opts.branch`, creating the
     /// branch if needed. Returns the new version uid.
+    ///
+    /// Commits to distinct `(key, branch)` pairs proceed in parallel;
+    /// commits to the same branch serialize on its head-lock stripe.
     pub fn put(&self, key: &str, value: Value, opts: &PutOptions) -> DbResult<CommitResult> {
         Self::validate_name("key", key)?;
         Self::validate_name("branch", &opts.branch)?;
-        let _guard = self.commit_lock.lock();
+        let _gc = self.gc_gate.read();
+        self.put_inner(key, value, opts)
+    }
+
+    /// `put` minus validation and the GC gate (the caller holds it).
+    fn put_inner(&self, key: &str, value: Value, opts: &PutOptions) -> DbResult<CommitResult> {
+        let _head = self.head_locks[Self::head_stripe(key, &opts.branch)].lock();
+        self.commit_locked(key, value, opts)
+    }
+
+    /// Append a version to `opts.branch`. The caller must hold the head
+    /// stripe for `(key, opts.branch)` — that lock is what makes the
+    /// read-head / store-FNode / advance-head sequence atomic per branch.
+    fn commit_locked(&self, key: &str, value: Value, opts: &PutOptions) -> DbResult<CommitResult> {
         let bases = {
             let branches = self.branches.read();
             branches
@@ -281,6 +343,20 @@ impl<S: ChunkStore> ForkBase<S> {
             uid,
             branch: opts.branch.clone(),
         })
+    }
+
+    /// Compound commit: chunk `content` into a `Blob` value and commit it
+    /// in one step. The whole pipeline — content-defined chunking, batched
+    /// chunk stores, head update — runs under a single GC gate, so it is
+    /// safe against a concurrent [`crate::gc::collect`], unlike a separate
+    /// [`Self::new_blob_bytes`] + [`Self::put`] sequence.
+    pub fn put_blob(&self, key: &str, content: Bytes, opts: &PutOptions) -> DbResult<CommitResult> {
+        Self::validate_name("key", key)?;
+        Self::validate_name("branch", &opts.branch)?;
+        let _gc = self.gc_gate.read();
+        let blob = PosBlob::new(&self.store, self.cfg);
+        let value = Value::Blob(blob.write_bytes(content)?);
+        self.put_inner(key, value, opts)
     }
 
     /// `Get`: the value at a branch head.
@@ -356,12 +432,18 @@ impl<S: ChunkStore> ForkBase<S> {
     /// `Branch`: create `new_branch` pointing at the head of `from_branch`.
     pub fn branch(&self, key: &str, from_branch: &str, new_branch: &str) -> DbResult<()> {
         Self::validate_name("branch", new_branch)?;
+        let _gc = self.gc_gate.read();
         let head = self.head(key, from_branch)?;
-        self.branch_from_version(key, &head, new_branch)
+        self.branch_from_version_inner(key, &head, new_branch)
     }
 
     /// `Branch` from an explicit historical version.
     pub fn branch_from_version(&self, key: &str, uid: &Uid, new_branch: &str) -> DbResult<()> {
+        let _gc = self.gc_gate.read();
+        self.branch_from_version_inner(key, uid, new_branch)
+    }
+
+    fn branch_from_version_inner(&self, key: &str, uid: &Uid, new_branch: &str) -> DbResult<()> {
         Self::validate_name("branch", new_branch)?;
         // The version must exist and belong to this key.
         let fnode = FNode::load(&self.store, uid)?;
@@ -388,6 +470,7 @@ impl<S: ChunkStore> ForkBase<S> {
     /// `Rename`: rename a branch.
     pub fn rename_branch(&self, key: &str, old: &str, new: &str) -> DbResult<()> {
         Self::validate_name("branch", new)?;
+        let _gc = self.gc_gate.read();
         let mut branches = self.branches.write();
         let key_branches = branches
             .get_mut(key)
@@ -410,6 +493,7 @@ impl<S: ChunkStore> ForkBase<S> {
 
     /// Delete a branch (the versions remain; only the ref goes away).
     pub fn delete_branch(&self, key: &str, branch: &str) -> DbResult<()> {
+        let _gc = self.gc_gate.read();
         let mut branches = self.branches.write();
         let key_branches = branches
             .get_mut(key)
@@ -467,8 +551,10 @@ impl<S: ChunkStore> ForkBase<S> {
         }
     }
 
-    /// Install a branch ref directly (bundle import). The caller must
-    /// have verified that `uid` resolves to a valid FNode of `key`.
+    /// Install a branch ref directly (bundle import). The caller must have
+    /// verified that `uid` resolves to a valid FNode of `key`, and must
+    /// already hold the GC gate ([`Self::gc_shared`]) so the chunks backing
+    /// `uid` cannot be swept before the ref is published.
     pub(crate) fn install_ref(&self, key: &str, branch: &str, uid: Uid) -> DbResult<()> {
         Self::validate_name("key", key)?;
         Self::validate_name("branch", branch)?;
@@ -541,6 +627,10 @@ impl<S: ChunkStore> ForkBase<S> {
     /// file cannot point at garbage silently). Also advances the logical
     /// clock past every referenced commit.
     pub fn load_refs(&self, text: &str) -> DbResult<()> {
+        // Hold the GC gate across validation AND installation: a collector
+        // running in the gap could sweep the (still unreferenced) FNodes
+        // this refs file points at, leaving dangling refs.
+        let _gc = self.gc_gate.read();
         let mut parsed: Vec<(String, String, Uid)> = Vec::new();
         let mut max_time = 0u64;
         for (i, line) in text.lines().enumerate() {
@@ -581,6 +671,12 @@ impl<S: ChunkStore> ForkBase<S> {
     // ------------------------------------------------------------------
 
     /// Build a `Map` value from key/value pairs.
+    ///
+    /// The returned value is unreferenced until committed with
+    /// [`Self::put`]; if a concurrent [`crate::gc::collect`] may run, use a
+    /// compound verb ([`Self::put_map_edits`], [`Self::put_blob`]) instead
+    /// of a two-step construct-then-put (see README "Concurrency model").
+    /// The same caveat applies to every `new_*` constructor below.
     pub fn new_map(&self, pairs: Vec<(Bytes, Bytes)>) -> DbResult<Value> {
         let map = PosMap::build_from_pairs(&self.store, self.cfg.node, pairs)?;
         Ok(Value::Map(map.tree()))
@@ -643,6 +739,8 @@ impl<S: ChunkStore> ForkBase<S> {
     }
 
     /// Apply edits to a `Map`/`Set` value, returning the updated value.
+    /// Same GC caveat as [`Self::new_map`]: commit the result before a
+    /// collector can run, or use [`Self::put_map_edits`].
     pub fn map_apply(&self, value: &Value, edits: Vec<MapEdit>) -> DbResult<Value> {
         let tree = self.expect_map(value)?;
         let updated = PosMap::open(&self.store, self.cfg.node, tree).apply(edits)?;
@@ -684,15 +782,25 @@ impl<S: ChunkStore> ForkBase<S> {
 
     /// Commit a batch of map edits on a branch head in one step: read the
     /// head map value, apply, put. The workhorse of the table layer.
+    ///
+    /// The head stripe is held across the read-apply-commit sequence, so
+    /// two concurrent edit batches on the same branch serialize instead of
+    /// silently dropping one another's updates, and the GC gate is held
+    /// throughout so the freshly built tree cannot be swept before the
+    /// head advances to it.
     pub fn put_map_edits(
         &self,
         key: &str,
         edits: Vec<MapEdit>,
         opts: &PutOptions,
     ) -> DbResult<CommitResult> {
+        Self::validate_name("key", key)?;
+        Self::validate_name("branch", &opts.branch)?;
+        let _gc = self.gc_gate.read();
+        let _head = self.head_locks[Self::head_stripe(key, &opts.branch)].lock();
         let head = self.get(key, &opts.branch)?;
         let updated = self.map_apply(&head.value, edits)?;
-        self.put(key, updated, opts)
+        self.commit_locked(key, updated, opts)
     }
 
     // ------------------------------------------------------------------
@@ -830,7 +938,16 @@ impl<S: ChunkStore> ForkBase<S> {
         policy: MergePolicy,
         opts: &PutOptions,
     ) -> DbResult<CommitResult> {
-        let _guard = self.commit_lock.lock();
+        let _gc = self.gc_gate.read();
+        // Lock both branches' stripes in index order (deduplicated when
+        // they collide) so concurrent merges in opposite directions cannot
+        // deadlock. Holding the src stripe keeps the source head from
+        // advancing mid-merge.
+        let si = Self::head_stripe(key, dst_branch);
+        let sj = Self::head_stripe(key, src_branch);
+        let (lo, hi) = (si.min(sj), si.max(sj));
+        let _lo_guard = self.head_locks[lo].lock();
+        let _hi_guard = (hi != lo).then(|| self.head_locks[hi].lock());
         let ours_uid = self.head(key, dst_branch)?;
         let theirs_uid = self.head(key, src_branch)?;
         if ours_uid == theirs_uid || self.is_ancestor(&theirs_uid, &ours_uid)? {

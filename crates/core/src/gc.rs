@@ -111,7 +111,14 @@ fn mark_blob<S: ChunkStore>(
 
 /// Run a full mark-and-sweep on a [`MemStore`]-backed database. Returns
 /// `(chunks_reclaimed, bytes_reclaimed)`.
+///
+/// Holds the database's GC gate exclusively for the whole mark+sweep, so
+/// every mutating verb (`put`, `put_blob`, `put_map_edits`, `merge`,
+/// branch/ref updates) is quiesced: the mark phase sees a consistent set
+/// of heads and no commit can publish chunks between mark and sweep.
+/// Read-only verbs never take the gate and keep running during GC.
 pub fn collect(db: &ForkBase<MemStore>) -> DbResult<(u64, u64)> {
+    let _world_stopped = db.gc_exclusive();
     let live = mark(db)?;
     Ok(db.store().sweep(|h| live.contains(h)))
 }

@@ -1,0 +1,300 @@
+//! Concurrency stress tests for the commit pipeline: striped head locks,
+//! batched chunk writes, and the GC gate.
+//!
+//! The light `*_smoke` tests run in tier-1 (`cargo test`). The heavy
+//! `stress_*` tests are `#[ignore]`d and exercised by CI's dedicated
+//! stress job in release mode, where races actually surface:
+//!
+//! ```text
+//! cargo test --release -- --ignored stress
+//! ```
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+use bytes::Bytes;
+use forkbase::db::VersionSpec;
+use forkbase::{gc, ForkBase, PutOptions};
+use forkbase_postree::merge::MergePolicy;
+use forkbase_postree::{MapEdit, TreeConfig};
+use forkbase_store::MemStore;
+use forkbase_types::Value;
+
+fn db() -> ForkBase<MemStore> {
+    ForkBase::with_config(MemStore::new(), TreeConfig::test_config())
+}
+
+fn pseudo_random(len: usize, seed: u64) -> Bytes {
+    let mut s = seed | 1;
+    Bytes::from(
+        (0..len)
+            .map(|_| {
+                s ^= s << 13;
+                s ^= s >> 7;
+                s ^= s << 17;
+                (s & 0xff) as u8
+            })
+            .collect::<Vec<u8>>(),
+    )
+}
+
+/// N threads commit to disjoint keys; every branch must end up a linear
+/// chain of exactly the commits that thread made.
+fn run_disjoint_puts(threads: usize, commits: usize) {
+    let db = db();
+    std::thread::scope(|s| {
+        for t in 0..threads {
+            let db = &db;
+            s.spawn(move || {
+                let key = format!("key-{t}");
+                for i in 0..commits {
+                    // Alternate cheap string commits with blob commits so
+                    // the batched chunk path runs under contention too.
+                    if i % 4 == 3 {
+                        db.put_blob(
+                            &key,
+                            pseudo_random(20_000, (t * 1000 + i) as u64),
+                            &PutOptions::default(),
+                        )
+                        .unwrap();
+                    } else {
+                        db.put(
+                            &key,
+                            Value::string(format!("v-{t}-{i}")),
+                            &PutOptions::default(),
+                        )
+                        .unwrap();
+                    }
+                }
+            });
+        }
+    });
+    for t in 0..threads {
+        let key = format!("key-{t}");
+        let history = db.history(&key, &VersionSpec::branch("master")).unwrap();
+        assert_eq!(history.len(), commits, "key-{t} must be a linear chain");
+        db.verify_branch(&key, "master").unwrap();
+    }
+}
+
+/// N threads hammer the same (key, branch): the striped head lock must make
+/// each commit's base the previous head, so the final history length equals
+/// the total number of commits — no lost updates.
+fn run_contended_puts(threads: usize, commits: usize) {
+    let db = db();
+    std::thread::scope(|s| {
+        for t in 0..threads {
+            let db = &db;
+            s.spawn(move || {
+                for i in 0..commits {
+                    db.put(
+                        "hot",
+                        Value::string(format!("v-{t}-{i}")),
+                        &PutOptions::default(),
+                    )
+                    .unwrap();
+                }
+            });
+        }
+    });
+    let history = db.history("hot", &VersionSpec::branch("master")).unwrap();
+    assert_eq!(
+        history.len(),
+        threads * commits,
+        "every commit must appear in the chain exactly once"
+    );
+    db.verify_branch("hot", "master").unwrap();
+}
+
+#[test]
+fn concurrent_puts_smoke() {
+    run_disjoint_puts(4, 20);
+    run_contended_puts(4, 25);
+}
+
+#[test]
+#[ignore = "heavy; run by the CI stress job in release mode"]
+fn stress_concurrent_puts_disjoint_keys() {
+    run_disjoint_puts(8, 300);
+}
+
+#[test]
+#[ignore = "heavy; run by the CI stress job in release mode"]
+fn stress_concurrent_puts_contended_branch() {
+    run_contended_puts(8, 250);
+}
+
+/// Each thread branches off master, edits its own disjoint key range via
+/// `put_map_edits`, and merges back. All edits must survive into master.
+fn run_branch_merge(threads: usize, edits_per_thread: usize) {
+    let db = db();
+    let base: Vec<(Bytes, Bytes)> = (0..100)
+        .map(|i| {
+            (
+                Bytes::from(format!("base-{i:04}")),
+                Bytes::from_static(b"seed"),
+            )
+        })
+        .collect();
+    let map = db.new_map(base).unwrap();
+    db.put("doc", map, &PutOptions::default()).unwrap();
+
+    std::thread::scope(|s| {
+        for t in 0..threads {
+            let db = &db;
+            s.spawn(move || {
+                let branch = format!("fork-{t}");
+                db.branch("doc", "master", &branch).unwrap();
+                for i in 0..edits_per_thread {
+                    db.put_map_edits(
+                        "doc",
+                        vec![MapEdit::put(
+                            Bytes::from(format!("t{t}-k{i:04}")),
+                            Bytes::from(format!("t{t}-v{i}")),
+                        )],
+                        &PutOptions::on_branch(&branch),
+                    )
+                    .unwrap();
+                }
+                db.merge(
+                    "doc",
+                    "master",
+                    &branch,
+                    MergePolicy::Fail,
+                    &PutOptions::default(),
+                )
+                .unwrap();
+            });
+        }
+    });
+
+    let head = db.get("doc", "master").unwrap();
+    db.verify_branch("doc", "master").unwrap();
+    for t in 0..threads {
+        for i in 0..edits_per_thread {
+            let got = db
+                .map_get(&head.value, format!("t{t}-k{i:04}").as_bytes())
+                .unwrap();
+            assert_eq!(
+                got,
+                Some(Bytes::from(format!("t{t}-v{i}"))),
+                "edit t{t}-k{i:04} lost in merge"
+            );
+        }
+    }
+}
+
+#[test]
+fn concurrent_branch_merge_smoke() {
+    run_branch_merge(3, 5);
+}
+
+#[test]
+#[ignore = "heavy; run by the CI stress job in release mode"]
+fn stress_concurrent_branch_merge() {
+    run_branch_merge(8, 40);
+}
+
+/// Writers commit (strings, blobs, map edits) and churn scratch branches
+/// while a collector thread runs mark-and-sweep in a loop. Nothing
+/// reachable may ever be swept: every branch must fully verify afterwards.
+fn run_gc_vs_commits(threads: usize, rounds: usize, gc_runs: usize) {
+    let db = Arc::new(db());
+    // Seed a map key for the put_map_edits traffic.
+    let map = db
+        .new_map(vec![(Bytes::from_static(b"k"), Bytes::from_static(b"v"))])
+        .unwrap();
+    db.put("table", map, &PutOptions::default()).unwrap();
+
+    let stop = Arc::new(AtomicBool::new(false));
+    let collector = {
+        let db = Arc::clone(&db);
+        let stop = Arc::clone(&stop);
+        std::thread::spawn(move || {
+            let mut runs = 0usize;
+            let mut reclaimed = 0u64;
+            while runs < gc_runs && !stop.load(Ordering::Relaxed) {
+                let (chunks, _) = gc::collect(&db).unwrap();
+                reclaimed += chunks;
+                runs += 1;
+                std::thread::yield_now();
+            }
+            reclaimed
+        })
+    };
+
+    std::thread::scope(|s| {
+        for t in 0..threads {
+            let db = &db;
+            s.spawn(move || {
+                let key = format!("w-{t}");
+                for i in 0..rounds {
+                    match i % 4 {
+                        0 => {
+                            db.put(&key, Value::string(format!("r{i}")), &PutOptions::default())
+                                .unwrap();
+                        }
+                        1 => {
+                            db.put_blob(
+                                &key,
+                                pseudo_random(30_000, (t * 7919 + i) as u64),
+                                &PutOptions::default(),
+                            )
+                            .unwrap();
+                        }
+                        2 => {
+                            db.put_map_edits(
+                                "table",
+                                vec![MapEdit::put(
+                                    Bytes::from(format!("t{t}-r{i}")),
+                                    Bytes::from_static(b"x"),
+                                )],
+                                &PutOptions::default(),
+                            )
+                            .unwrap();
+                        }
+                        _ => {
+                            // Create garbage for the collector: a scratch
+                            // branch with a divergent blob, then drop it.
+                            let scratch = format!("scratch-{t}-{i}");
+                            db.branch(&key, "master", &scratch).unwrap();
+                            db.put_blob(
+                                &key,
+                                pseudo_random(25_000, (t * 104729 + i) as u64),
+                                &PutOptions::on_branch(&scratch),
+                            )
+                            .unwrap();
+                            db.delete_branch(&key, &scratch).unwrap();
+                        }
+                    }
+                }
+            });
+        }
+    });
+    stop.store(true, Ordering::Relaxed);
+    collector.join().unwrap();
+
+    // One final sweep with everything quiescent, then full verification:
+    // GC must never have collected a chunk reachable from a live head.
+    gc::collect(&db).unwrap();
+    for t in 0..threads {
+        let key = format!("w-{t}");
+        db.verify_branch(&key, "master").unwrap();
+        // Per 4-round block a writer commits to its own master twice
+        // (cases 0 and 1); `rounds` is kept divisible by 4.
+        let history = db.history(&key, &VersionSpec::branch("master")).unwrap();
+        assert_eq!(history.len(), rounds / 2, "w-{t} chain intact");
+    }
+    db.verify_branch("table", "master").unwrap();
+}
+
+#[test]
+fn gc_vs_commits_smoke() {
+    run_gc_vs_commits(3, 16, 10);
+}
+
+#[test]
+#[ignore = "heavy; run by the CI stress job in release mode"]
+fn stress_gc_vs_concurrent_put_branch_merge() {
+    run_gc_vs_commits(8, 120, 200);
+}

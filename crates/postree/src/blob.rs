@@ -88,7 +88,10 @@ impl<'s, S: ChunkStore> PosBlob<'s, S> {
     fn put_chunk(&self, builder: &mut TreeBuilder<'s, S>, chunk: Bytes) -> NodeResult<()> {
         let hash = sha256(&chunk);
         let len = chunk.len() as u64;
-        self.store.put_with_hash(hash, chunk)?;
+        // Stage rather than store: data chunks and the index nodes above
+        // them land in the store in batched round-trips, flushed at the
+        // builder's threshold and finally by `finish`.
+        builder.stage_chunk(hash, chunk)?;
         builder.append_leaf_node(IndexEntry::new(Bytes::new(), hash, len))
     }
 

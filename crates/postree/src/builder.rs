@@ -15,10 +15,17 @@
 //! the node's own bytes (reset-on-cut chunking) and will re-occur in the
 //! new stream at exactly the same place.
 
+use bytes::Bytes;
 use forkbase_chunk::{ChunkerConfig, EntryChunker};
+use forkbase_crypto::{sha256, Hash};
 use forkbase_store::ChunkStore;
 
 use crate::node::{IndexEntry, LeafEntry, Node, NodeResult};
+
+/// Flush the staged-chunk buffer once it holds this many chunks…
+const FLUSH_CHUNKS: usize = 128;
+/// …or this many payload bytes, whichever comes first.
+const FLUSH_BYTES: usize = 4 * 1024 * 1024;
 
 /// The result of finishing a build: the root reference.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -67,6 +74,13 @@ pub struct TreeBuilder<'s, S> {
     scratch: Vec<u8>,
     /// Total number of nodes written (including dedup hits), for metrics.
     nodes_written: u64,
+    /// Finished chunks awaiting one batched store round-trip. Nothing
+    /// reads an emitted node before [`Self::finish`] (parents reference
+    /// children by hash only), so deferring the writes is invisible —
+    /// except to the store's lock, which is taken once per batch instead
+    /// of once per node.
+    staged: Vec<(Hash, Bytes)>,
+    staged_bytes: usize,
 }
 
 impl<'s, S: ChunkStore> TreeBuilder<'s, S> {
@@ -78,7 +92,32 @@ impl<'s, S: ChunkStore> TreeBuilder<'s, S> {
             levels: vec![LevelBuilder::new(cfg)],
             scratch: Vec::with_capacity(256),
             nodes_written: 0,
+            staged: Vec::new(),
+            staged_bytes: 0,
         }
+    }
+
+    /// Stage an arbitrary content-addressed chunk for the next batched
+    /// store write. Used by the blob writer so data chunks ride the same
+    /// batch as the index nodes above them. `hash` must be the SHA-256 of
+    /// `bytes`.
+    pub fn stage_chunk(&mut self, hash: Hash, bytes: Bytes) -> NodeResult<()> {
+        self.staged_bytes += bytes.len();
+        self.staged.push((hash, bytes));
+        if self.staged.len() >= FLUSH_CHUNKS || self.staged_bytes >= FLUSH_BYTES {
+            self.flush_staged()?;
+        }
+        Ok(())
+    }
+
+    /// Send all staged chunks to the store in one `put_batch` round-trip.
+    fn flush_staged(&mut self) -> NodeResult<()> {
+        if self.staged.is_empty() {
+            return Ok(());
+        }
+        self.staged_bytes = 0;
+        self.store.put_batch(std::mem::take(&mut self.staged))?;
+        Ok(())
     }
 
     /// Number of leaf entries buffered in the unfinished leaf node.
@@ -169,7 +208,9 @@ impl<'s, S: ChunkStore> TreeBuilder<'s, S> {
         lvl.nodes_emitted += 1;
         let count = node.subtree_count();
         let split_key = node.split_key().unwrap_or_default();
-        let hash = node.store(self.store)?;
+        let encoded = node.encode();
+        let hash = sha256(&encoded);
+        self.stage_chunk(hash, Bytes::from(encoded))?;
         self.nodes_written += 1;
         Ok(IndexEntry {
             split_key,
@@ -181,8 +222,15 @@ impl<'s, S: ChunkStore> TreeBuilder<'s, S> {
     /// Flush all levels and return the root reference.
     ///
     /// An empty build yields a canonical empty leaf node, so the empty tree
-    /// has a well-defined root hash too.
+    /// has a well-defined root hash too. Every staged chunk is flushed to
+    /// the store before this returns: the finished tree is fully readable.
     pub fn finish(mut self) -> NodeResult<FinishedTree> {
+        let root = self.finish_root()?;
+        self.flush_staged()?;
+        Ok(root)
+    }
+
+    fn finish_root(&mut self) -> NodeResult<FinishedTree> {
         let mut level = 0usize;
         loop {
             let is_top = level + 1 == self.levels.len();
@@ -355,6 +403,52 @@ mod tests {
             }
         }
         check(&store, &t.hash);
+    }
+
+    #[test]
+    fn emitted_nodes_are_batched_until_finish() {
+        // Small builds stay under the flush threshold: nothing reaches the
+        // store until `finish`, and then everything does, in one batch.
+        let store = MemStore::new();
+        let mut b = TreeBuilder::new(&store, ChunkerConfig::test_small());
+        for i in 0..200 {
+            b.push(entry(i)).unwrap();
+        }
+        assert!(b.nodes_written() > 0, "some nodes already emitted");
+        assert_eq!(
+            store.chunk_count(),
+            0,
+            "emitted nodes are staged, not stored"
+        );
+        let t = b.finish().unwrap();
+        assert!(store.chunk_count() > 0);
+        assert!(
+            store.contains(&t.hash).unwrap(),
+            "root readable after finish"
+        );
+        // Batched build must be byte-identical to what the per-node path
+        // produced (same chunks, same root).
+        let reference = MemStore::new();
+        let t2 = build(&reference, 200, ChunkerConfig::test_small());
+        assert_eq!(t.hash, t2.hash);
+        assert_eq!(store.chunk_count(), reference.chunk_count());
+    }
+
+    #[test]
+    fn large_build_flushes_at_threshold() {
+        // A build bigger than FLUSH_CHUNKS nodes must flush mid-build so
+        // staged memory stays bounded.
+        let store = MemStore::new();
+        let mut b = TreeBuilder::new(&store, ChunkerConfig::test_small());
+        for i in 0..5000 {
+            b.push(entry(i)).unwrap();
+        }
+        assert!(
+            store.chunk_count() > 0,
+            "threshold flush must have hit the store before finish"
+        );
+        let t = b.finish().unwrap();
+        assert_eq!(t.count, 5000);
     }
 
     #[test]

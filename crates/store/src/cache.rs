@@ -185,6 +185,18 @@ impl<S: ChunkStore> ChunkStore for CachedStore<S> {
         Ok(newly)
     }
 
+    fn put_batch(&self, chunks: Vec<(Hash, Bytes)>) -> StoreResult<usize> {
+        // Write through to the backing store's batch path first (it owns
+        // the stats), then populate the cache under one lock acquisition.
+        // Bytes clones are refcount bumps, not copies.
+        let newly = self.inner.put_batch(chunks.clone())?;
+        let mut lru = self.lru.lock();
+        for (hash, bytes) in chunks {
+            lru.insert(hash, bytes);
+        }
+        Ok(newly)
+    }
+
     fn get(&self, hash: &Hash) -> StoreResult<Option<Bytes>> {
         if let Some(bytes) = self.lru.lock().get(hash) {
             return Ok(Some(bytes));
@@ -248,6 +260,36 @@ mod tests {
         assert_eq!(cached.cache_stats().1, 1, "first get is a miss");
         cached.get(&h).unwrap().unwrap();
         assert_eq!(cached.cache_stats().0, 1, "second get is a hit");
+    }
+
+    #[test]
+    fn put_batch_populates_cache_and_keeps_stats_consistent() {
+        let cached = CachedStore::new(MemStore::new(), 4096);
+        let batch: Vec<(Hash, Bytes)> = (0..10u8)
+            .map(|i| {
+                let b = Bytes::from(vec![i; 64]);
+                (forkbase_crypto::sha256(&b), b)
+            })
+            .collect();
+        let hashes: Vec<Hash> = batch.iter().map(|(h, _)| *h).collect();
+        assert_eq!(cached.put_batch(batch.clone()).unwrap(), 10);
+        // Inner store counted each chunk exactly once.
+        let st = cached.stats();
+        assert_eq!(st.puts, 10);
+        assert_eq!(st.unique_chunks, 10);
+        assert_eq!(st.dedup_hits, 0);
+        // The batch write-through populated the cache: all gets are hits,
+        // so cache_stats stays consistent on the batch path.
+        assert_eq!(cached.cache_stats(), (0, 0));
+        for h in &hashes {
+            assert!(cached.get(h).unwrap().is_some());
+        }
+        assert_eq!(cached.cache_stats(), (10, 0));
+        // Re-batching the same chunks is pure dedup and does not disturb
+        // hit/miss accounting.
+        assert_eq!(cached.put_batch(batch).unwrap(), 0);
+        assert_eq!(cached.stats().dedup_hits, 10);
+        assert_eq!(cached.cache_stats(), (10, 0));
     }
 
     #[test]

@@ -81,6 +81,12 @@ impl<S: ChunkStore> ChunkStore for FaultyStore<S> {
         self.inner.put_with_hash(hash, bytes)
     }
 
+    fn put_batch(&self, chunks: Vec<(Hash, Bytes)>) -> StoreResult<usize> {
+        // Faults are read-side only (§II-D: the adversary serves bad data,
+        // the write path is honest); batches pass straight through.
+        self.inner.put_batch(chunks)
+    }
+
     fn get(&self, hash: &Hash) -> StoreResult<Option<Bytes>> {
         let mode = self.faults.read().get(hash).cloned();
         let Some(mode) = mode else {
@@ -148,6 +154,19 @@ mod tests {
     fn no_fault_passes_through() {
         let (s, h, data) = setup();
         assert_eq!(s.get(&h).unwrap(), Some(data));
+    }
+
+    #[test]
+    fn put_batch_passes_through_with_read_side_faults() {
+        let s = FaultyStore::new(MemStore::new());
+        let a = Bytes::from_static(b"batch-honest-a");
+        let b = Bytes::from_static(b"batch-honest-b");
+        let batch = vec![(sha256(&a), a.clone()), (sha256(&b), b.clone())];
+        assert_eq!(s.put_batch(batch).unwrap(), 2);
+        s.inject(sha256(&a), FaultMode::Drop);
+        assert_eq!(s.get(&sha256(&a)).unwrap(), None, "read-side fault");
+        assert_eq!(s.get(&sha256(&b)).unwrap(), Some(b));
+        assert_eq!(s.inner().chunk_count(), 2, "writes stayed honest");
     }
 
     #[test]

@@ -59,6 +59,26 @@ pub trait ChunkStore: Send + Sync {
     /// The hash **must** be the SHA-256 of `bytes`; debug builds verify.
     fn put_with_hash(&self, hash: Hash, bytes: Bytes) -> StoreResult<bool>;
 
+    /// Store a batch of caller-hashed chunks in one store round-trip,
+    /// returning how many were newly stored (the rest were dedup hits).
+    ///
+    /// Semantically identical to calling [`Self::put_with_hash`] once per
+    /// element, in order — including when the same hash appears twice in
+    /// one batch (the second occurrence is a dedup hit) — and every chunk
+    /// updates [`StoreStats`] exactly once. Backends override this to
+    /// amortize locking and fsync: one lock acquisition per shard
+    /// (`MemStore`), one active-segment lock and at most one fsync per
+    /// batch (`FileStore`).
+    fn put_batch(&self, chunks: Vec<(Hash, Bytes)>) -> StoreResult<usize> {
+        let mut newly = 0usize;
+        for (hash, bytes) in chunks {
+            if self.put_with_hash(hash, bytes)? {
+                newly += 1;
+            }
+        }
+        Ok(newly)
+    }
+
     /// Fetch a chunk by hash. `Ok(None)` means the store has no such chunk.
     fn get(&self, hash: &Hash) -> StoreResult<Option<Bytes>>;
 
@@ -89,6 +109,9 @@ impl<S: ChunkStore + ?Sized> ChunkStore for &S {
     fn put_with_hash(&self, hash: Hash, bytes: Bytes) -> StoreResult<bool> {
         (**self).put_with_hash(hash, bytes)
     }
+    fn put_batch(&self, chunks: Vec<(Hash, Bytes)>) -> StoreResult<usize> {
+        (**self).put_batch(chunks)
+    }
     fn get(&self, hash: &Hash) -> StoreResult<Option<Bytes>> {
         (**self).get(hash)
     }
@@ -112,6 +135,9 @@ impl<S: ChunkStore + ?Sized> ChunkStore for &S {
 impl<S: ChunkStore + ?Sized> ChunkStore for std::sync::Arc<S> {
     fn put_with_hash(&self, hash: Hash, bytes: Bytes) -> StoreResult<bool> {
         (**self).put_with_hash(hash, bytes)
+    }
+    fn put_batch(&self, chunks: Vec<(Hash, Bytes)>) -> StoreResult<usize> {
+        (**self).put_batch(chunks)
     }
     fn get(&self, hash: &Hash) -> StoreResult<Option<Bytes>> {
         (**self).get(hash)
@@ -156,5 +182,58 @@ mod trait_tests {
         let as_ref: &dyn ChunkStore = &*store;
         assert!(as_ref.contains(&h).unwrap());
         assert_eq!(store.chunk_count(), 1);
+    }
+
+    /// A store that only implements the required methods, so `put_batch`
+    /// resolves to the trait default.
+    struct DefaultOnly(MemStore);
+
+    impl ChunkStore for DefaultOnly {
+        fn put_with_hash(&self, hash: Hash, bytes: Bytes) -> StoreResult<bool> {
+            self.0.put_with_hash(hash, bytes)
+        }
+        fn get(&self, hash: &Hash) -> StoreResult<Option<Bytes>> {
+            self.0.get(hash)
+        }
+        fn stats(&self) -> StoreStats {
+            self.0.stats()
+        }
+        fn chunk_count(&self) -> usize {
+            self.0.chunk_count()
+        }
+        fn stored_bytes(&self) -> u64 {
+            self.0.stored_bytes()
+        }
+    }
+
+    fn hashed(data: &[&'static [u8]]) -> Vec<(Hash, Bytes)> {
+        data.iter()
+            .map(|d| (sha256(d), Bytes::from_static(d)))
+            .collect()
+    }
+
+    #[test]
+    fn default_put_batch_matches_sequential_puts() {
+        let store = DefaultOnly(MemStore::new());
+        let batch = hashed(&[b"one", b"two", b"two", b"three"]);
+        let newly = store.put_batch(batch).unwrap();
+        assert_eq!(newly, 3, "intra-batch duplicate is a dedup hit");
+        let st = store.stats();
+        assert_eq!(st.puts, 4);
+        assert_eq!(st.unique_chunks, 3);
+        assert_eq!(st.dedup_hits, 1);
+        // A second batch of the same chunks is all hits.
+        let again = store.put_batch(hashed(&[b"one", b"three"])).unwrap();
+        assert_eq!(again, 0);
+    }
+
+    #[test]
+    fn put_batch_forwards_through_arc_and_ref() {
+        let store = Arc::new(MemStore::new());
+        let newly = store.put_batch(hashed(&[b"a", b"b"])).unwrap();
+        assert_eq!(newly, 2);
+        let as_ref: &dyn ChunkStore = &*store;
+        assert_eq!(as_ref.put_batch(hashed(&[b"a", b"c"])).unwrap(), 1);
+        assert_eq!(store.chunk_count(), 3);
     }
 }

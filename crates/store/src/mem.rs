@@ -132,6 +132,53 @@ impl ChunkStore for MemStore {
         Ok(newly)
     }
 
+    fn put_batch(&self, chunks: Vec<(Hash, Bytes)>) -> StoreResult<usize> {
+        if chunks.is_empty() {
+            return Ok(0);
+        }
+        let puts = chunks.len() as u64;
+        let logical: u64 = chunks.iter().map(|(_, b)| b.len() as u64).sum();
+
+        // Group by shard so each shard lock is taken exactly once per
+        // batch, instead of once per chunk.
+        let mut buckets: Vec<Vec<(Hash, Bytes)>> = (0..SHARDS).map(|_| Vec::new()).collect();
+        for (hash, bytes) in chunks {
+            debug_assert_eq!(
+                forkbase_crypto::sha256(&bytes),
+                hash,
+                "put_batch called with a hash that does not match the content"
+            );
+            let idx = hash.as_bytes()[31] as usize % SHARDS;
+            buckets[idx].push((hash, bytes));
+        }
+
+        let mut new_chunks = 0u64;
+        let mut new_bytes = 0u64;
+        for (idx, bucket) in buckets.into_iter().enumerate() {
+            if bucket.is_empty() {
+                continue;
+            }
+            let mut guard = self.shards[idx].write();
+            for (hash, bytes) in bucket {
+                let len = bytes.len() as u64;
+                if let std::collections::hash_map::Entry::Vacant(v) = guard.entry(hash) {
+                    v.insert(bytes.compact());
+                    new_chunks += 1;
+                    new_bytes += len;
+                }
+            }
+        }
+        self.stats.record_put_batch(
+            puts,
+            logical,
+            new_chunks,
+            new_bytes,
+            puts - new_chunks,
+            logical - new_bytes,
+        );
+        Ok(new_chunks as usize)
+    }
+
     fn get(&self, hash: &Hash) -> StoreResult<Option<Bytes>> {
         let guard = self.shard(hash).read();
         let found = guard.get(hash).cloned();
@@ -223,6 +270,80 @@ mod tests {
                     let data = Bytes::from(format!("shared-{i}-{}", i * 3));
                     s.put(data).unwrap();
                     let _ = t;
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(s.chunk_count(), 500);
+        let st = s.stats();
+        assert_eq!(st.puts, 8 * 500);
+        assert_eq!(st.dedup_hits, 7 * 500);
+    }
+
+    #[test]
+    fn put_batch_stats_update_exactly_once_per_chunk() {
+        let s = MemStore::new();
+        let pre = s.put(Bytes::from_static(b"already here")).unwrap();
+        let batch: Vec<(Hash, Bytes)> = [
+            Bytes::from_static(b"already here"), // dedup vs resident chunk
+            Bytes::from_static(b"fresh-1"),
+            Bytes::from_static(b"fresh-2"),
+            Bytes::from_static(b"fresh-1"), // dedup within the batch
+        ]
+        .into_iter()
+        .map(|b| (sha256(&b), b))
+        .collect();
+        let newly = s.put_batch(batch).unwrap();
+        assert_eq!(newly, 2);
+        let st = s.stats();
+        assert_eq!(st.puts, 1 + 4);
+        assert_eq!(st.unique_chunks, 3);
+        assert_eq!(st.dedup_hits, 2);
+        assert_eq!(
+            st.stored_bytes,
+            (b"already here".len() + b"fresh-1".len() + b"fresh-2".len()) as u64
+        );
+        assert_eq!(
+            st.logical_bytes,
+            (2 * b"already here".len() + 2 * b"fresh-1".len() + b"fresh-2".len()) as u64
+        );
+        assert!(s.contains(&pre).unwrap());
+    }
+
+    #[test]
+    fn put_batch_equals_sequential_puts() {
+        let sequential = MemStore::new();
+        let batched = MemStore::new();
+        let data: Vec<Bytes> = (0..200u32)
+            .map(|i| Bytes::from(format!("chunk-{}", i % 120))) // ~40% dups
+            .collect();
+        for b in &data {
+            sequential.put(b.clone()).unwrap();
+        }
+        batched
+            .put_batch(data.iter().map(|b| (sha256(b), b.clone())).collect())
+            .unwrap();
+        assert_eq!(sequential.stats(), batched.stats());
+        assert_eq!(sequential.chunk_count(), batched.chunk_count());
+    }
+
+    #[test]
+    fn concurrent_batches_dedup_correctly() {
+        let s = Arc::new(MemStore::new());
+        let mut handles = Vec::new();
+        for _ in 0..8 {
+            let s = Arc::clone(&s);
+            handles.push(std::thread::spawn(move || {
+                for round in 0..10u32 {
+                    let batch: Vec<(Hash, Bytes)> = (0..50u32)
+                        .map(|i| {
+                            let b = Bytes::from(format!("shared-{round}-{i}"));
+                            (sha256(&b), b)
+                        })
+                        .collect();
+                    s.put_batch(batch).unwrap();
                 }
             }));
         }

@@ -84,6 +84,35 @@ impl StatsCell {
         }
     }
 
+    /// Record a whole batch of puts with one atomic add per counter.
+    ///
+    /// `puts`/`logical_bytes` cover every chunk presented (including dedup
+    /// hits); `new_chunks`/`new_bytes` cover the newly stored subset and
+    /// `dup_chunks`/`dup_bytes` the dedup-hit subset. Callers must ensure
+    /// `puts == new_chunks + dup_chunks` so each chunk is counted exactly
+    /// once, matching a sequence of [`Self::record_put`] calls.
+    #[allow(clippy::too_many_arguments)]
+    pub fn record_put_batch(
+        &self,
+        puts: u64,
+        logical_bytes: u64,
+        new_chunks: u64,
+        new_bytes: u64,
+        dup_chunks: u64,
+        dup_bytes: u64,
+    ) {
+        debug_assert_eq!(puts, new_chunks + dup_chunks);
+        debug_assert_eq!(logical_bytes, new_bytes + dup_bytes);
+        self.puts.fetch_add(puts, Ordering::Relaxed);
+        self.logical_bytes
+            .fetch_add(logical_bytes, Ordering::Relaxed);
+        self.unique_chunks.fetch_add(new_chunks, Ordering::Relaxed);
+        self.stored_bytes.fetch_add(new_bytes, Ordering::Relaxed);
+        self.dedup_hits.fetch_add(dup_chunks, Ordering::Relaxed);
+        self.dedup_saved_bytes
+            .fetch_add(dup_bytes, Ordering::Relaxed);
+    }
+
     /// Record a get; `hit` is whether the chunk existed.
     pub fn record_get(&self, hit: bool) {
         self.gets.fetch_add(1, Ordering::Relaxed);
@@ -146,6 +175,17 @@ mod tests {
         assert_eq!(s.dedup_hits, 1);
         assert_eq!(s.dedup_saved_bytes, 100);
         assert!((s.dedup_ratio() - 250.0 / 150.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn batch_accounting_matches_sequential() {
+        let seq = StatsCell::new();
+        seq.record_put(100, true);
+        seq.record_put(100, false);
+        seq.record_put(40, true);
+        let batched = StatsCell::new();
+        batched.record_put_batch(3, 240, 2, 140, 1, 100);
+        assert_eq!(seq.snapshot(), batched.snapshot());
     }
 
     #[test]

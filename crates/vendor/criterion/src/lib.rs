@@ -133,6 +133,58 @@ fn report(group: &str, id: &str, ns: f64, throughput: Option<Throughput>) {
         None => String::new(),
     };
     println!("{full:<48} time: {:>12}{rate}", format_time(ns));
+    write_json_line(&full, ns, throughput);
+}
+
+/// When `BENCH_JSON_PATH` names a file, append one JSON object per result
+/// (JSON-lines) so CI can upload machine-readable bench artifacts instead
+/// of scraping logs.
+fn write_json_line(bench: &str, ns: f64, throughput: Option<Throughput>) {
+    let Ok(path) = std::env::var("BENCH_JSON_PATH") else {
+        return;
+    };
+    if path.is_empty() {
+        return;
+    }
+    write_json_line_to(std::path::Path::new(&path), bench, ns, throughput);
+}
+
+fn write_json_line_to(
+    path: &std::path::Path,
+    bench: &str,
+    ns: f64,
+    throughput: Option<Throughput>,
+) {
+    let escaped: String = bench
+        .chars()
+        .flat_map(|c| match c {
+            '"' | '\\' => vec!['\\', c],
+            _ => vec![c],
+        })
+        .collect();
+    let mut line = format!("{{\"bench\":\"{escaped}\",\"ns_per_iter\":{ns:.1}");
+    match throughput {
+        Some(Throughput::Bytes(n)) => {
+            let mibps = n as f64 / (ns / 1e9) / (1024.0 * 1024.0);
+            line.push_str(&format!(",\"bytes_per_iter\":{n},\"mib_per_s\":{mibps:.1}"));
+        }
+        Some(Throughput::Elements(n)) => {
+            let eps = n as f64 / (ns / 1e9);
+            line.push_str(&format!(
+                ",\"elements_per_iter\":{n},\"elem_per_s\":{eps:.0}"
+            ));
+        }
+        None => {}
+    }
+    line.push('}');
+    use std::io::Write as _;
+    if let Ok(mut f) = std::fs::OpenOptions::new()
+        .create(true)
+        .append(true)
+        .open(path)
+    {
+        let _ = writeln!(f, "{line}");
+    }
 }
 
 /// Benchmark driver; one is created per `criterion_group!`.
@@ -275,5 +327,34 @@ mod tests {
             b.iter(|| (0..100u64).sum::<u64>());
         });
         group.finish();
+    }
+
+    #[test]
+    fn json_lines_escape_and_report_throughput() {
+        // Call the path-taking writer directly: mutating the process
+        // environment from a test races concurrently running tests that
+        // read it (setenv/getenv is UB under glibc).
+        let file = std::env::temp_dir().join(format!("criterion-json-{}", std::process::id()));
+        let _ = std::fs::remove_file(&file);
+        write_json_line_to(
+            &file,
+            "group/\"quoted\"",
+            2_000.0,
+            Some(Throughput::Bytes(1 << 20)),
+        );
+        write_json_line_to(&file, "plain", 10.0, None);
+        let text = std::fs::read_to_string(&file).unwrap();
+        let _ = std::fs::remove_file(&file);
+        let mut lines = text.lines();
+        let first = lines.next().unwrap();
+        assert!(first.contains("\\\"quoted\\\""), "quotes escaped: {first}");
+        assert!(
+            first.contains("\"mib_per_s\":500000.0"),
+            "1 MiB in 2 µs: {first}"
+        );
+        assert_eq!(
+            lines.next().unwrap(),
+            "{\"bench\":\"plain\",\"ns_per_iter\":10.0}"
+        );
     }
 }
