@@ -6,6 +6,7 @@
 //! These bound every higher-level number: a 4 KiB page costs one SHA-256
 //! compression pass per load (verification) and per store (addressing).
 
+use std::collections::HashSet;
 use std::sync::Mutex as StdMutex;
 
 use bytes::Bytes;
@@ -14,7 +15,7 @@ use forkbase::{ForkBase, PutOptions};
 use forkbase_bench::workload;
 use forkbase_chunk::{ByteChunker, ChunkerConfig, RollingHash};
 use forkbase_crypto::{sha256, Hash};
-use forkbase_store::{ChunkStore, FileStore, MemStore};
+use forkbase_store::{ChunkStore, FileStore, FileStoreConfig, MemStore};
 use forkbase_types::Value;
 
 fn bench_sha256(c: &mut Criterion) {
@@ -153,6 +154,55 @@ fn bench_put_batch(c: &mut Criterion) {
     group.finish();
 }
 
+/// Physical space reclamation on the segmented pack-file store: ingest a
+/// working set, drop half of it, run `compact` against the survivor set,
+/// and re-read every survivor. Throughput is the full cycle over the
+/// ingested bytes, so regressions in any leg (group commit, segment
+/// utilization accounting, compaction rewrite, post-compaction reads)
+/// show up here.
+fn bench_compaction(c: &mut Criterion) {
+    const CHUNK: usize = 4096;
+    const COUNT: usize = 256;
+    let chunks: Vec<(Hash, Bytes)> = (0..COUNT)
+        .map(|i| {
+            let b = Bytes::from(workload::random_bytes(CHUNK, 0x80 + i as u64));
+            (sha256(&b), b)
+        })
+        .collect();
+    let live: HashSet<Hash> = chunks.iter().step_by(2).map(|(h, _)| *h).collect();
+
+    let mut group = c.benchmark_group("store/compaction");
+    group.throughput(Throughput::Bytes((CHUNK * COUNT) as u64));
+    group.sample_size(10);
+    let dir = std::env::temp_dir().join(format!("fkb-compact-bench-{}", std::process::id()));
+    group.bench_function("ingest_delete_compact_reread", |b| {
+        b.iter(|| {
+            let _ = std::fs::remove_dir_all(&dir);
+            let store = FileStore::open_with(
+                &dir,
+                FileStoreConfig {
+                    segment_bytes: 64 * 1024,
+                    ..Default::default()
+                },
+            )
+            .unwrap();
+            store.put_batch(chunks.clone()).unwrap();
+            store.sync().unwrap();
+            let report = store.compact(&live).unwrap();
+            assert_eq!(report.chunks_reclaimed as usize, COUNT - live.len());
+            assert!(
+                report.disk_bytes_after < report.disk_bytes_before,
+                "compaction must shrink the store"
+            );
+            for h in &live {
+                store.get(h).unwrap().unwrap();
+            }
+        });
+    });
+    let _ = std::fs::remove_dir_all(&dir);
+    group.finish();
+}
+
 /// The tentpole measurement: aggregate commit throughput with N writer
 /// threads, on disjoint keys (stripes never contend) and one contended
 /// branch (stripes always contend), against a baseline that emulates the
@@ -248,6 +298,7 @@ criterion_group!(
     bench_chunker,
     bench_stores,
     bench_put_batch,
+    bench_compaction,
     bench_concurrent_commits,
     bench_concurrent_blob_commits
 );

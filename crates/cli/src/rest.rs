@@ -24,7 +24,7 @@ use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 
 use forkbase::{DbError, ForkBase, PutOptions, VersionSpec};
-use forkbase_store::ChunkStore;
+use forkbase_store::SweepStore;
 use forkbase_types::Value;
 
 /// Handle to a running REST server.
@@ -36,7 +36,7 @@ pub struct RestServer {
 
 impl RestServer {
     /// Start serving `db` on `127.0.0.1:port` (`port` 0 = auto-assign).
-    pub fn start<S: ChunkStore + 'static>(
+    pub fn start<S: SweepStore + 'static>(
         db: Arc<ForkBase<S>>,
         port: u16,
     ) -> std::io::Result<RestServer> {
@@ -91,7 +91,7 @@ impl Drop for RestServer {
     }
 }
 
-fn handle_connection<S: ChunkStore>(
+fn handle_connection<S: SweepStore>(
     mut stream: TcpStream,
     db: &ForkBase<S>,
 ) -> std::io::Result<()> {

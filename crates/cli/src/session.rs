@@ -3,7 +3,8 @@
 //! Layout:
 //!
 //! ```text
-//! <root>/chunks/seg-*.fkb   — the chunk store (append-only segments)
+//! <root>/chunks/MANIFEST    — chunk-store segment list (atomic swap)
+//! <root>/chunks/pack-*.fbk  — the chunk store (append-only pack files)
 //! <root>/refs               — branch heads (the only mutable file)
 //! ```
 

@@ -23,7 +23,7 @@ use bytes::Bytes;
 use forkbase_postree::diff::diff_maps;
 use forkbase_postree::merge::{merge_maps, MergePolicy};
 use forkbase_postree::{MapDiff, MapEdit, PosBlob, PosList, PosMap, TreeConfig, TreeRef};
-use forkbase_store::{ChunkStore, StoreStats};
+use forkbase_store::{ChunkStore, StoreStats, SweepStore};
 use forkbase_types::{Value, ValueType};
 use parking_lot::{Mutex, RwLock};
 
@@ -205,7 +205,7 @@ const HEAD_STRIPES: usize = 64;
 ///
 /// # Concurrency model
 ///
-/// * A commit's head read-modify-write holds one of [`HEAD_STRIPES`]
+/// * A commit's head read-modify-write holds one of `HEAD_STRIPES` (64)
 ///   striped locks, selected by hashing `(key, branch)`. Commits to
 ///   different keys or branches proceed in parallel; commits to the same
 ///   branch serialize, which is what makes each branch a linear chain.
@@ -549,6 +549,20 @@ impl<S: ChunkStore> ForkBase<S> {
             branches: branches.values().map(|b| b.len() as u64).sum(),
             store: self.store.stats(),
         }
+    }
+
+    /// Run a full garbage-collection pass: mark every chunk reachable from
+    /// a branch head, sweep the rest, and — on segmented stores like
+    /// [`forkbase_store::FileStore`] — physically compact low-utilization
+    /// segments so the reclaimed bytes are returned to the operating
+    /// system. Stops the world for writers (see [`crate::gc::collect`]);
+    /// readers keep running. The report includes reclaimed chunk/byte
+    /// counts and the on-disk footprint before and after.
+    pub fn gc(&self) -> DbResult<crate::gc::GcReport>
+    where
+        S: SweepStore,
+    {
+        crate::gc::collect(self)
     }
 
     /// Install a branch ref directly (bundle import). The caller must have

@@ -53,3 +53,4 @@ pub use db::{
 };
 pub use error::{DbError, DbResult};
 pub use fnode::{FNode, Uid};
+pub use gc::GcReport;

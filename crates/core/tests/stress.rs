@@ -214,8 +214,8 @@ fn run_gc_vs_commits(threads: usize, rounds: usize, gc_runs: usize) {
             let mut runs = 0usize;
             let mut reclaimed = 0u64;
             while runs < gc_runs && !stop.load(Ordering::Relaxed) {
-                let (chunks, _) = gc::collect(&db).unwrap();
-                reclaimed += chunks;
+                let report = gc::collect(&db).unwrap();
+                reclaimed += report.sweep.chunks_reclaimed;
                 runs += 1;
                 std::thread::yield_now();
             }

@@ -226,7 +226,7 @@ mod tests {
     use crate::map::PosMap;
     use crate::node::{IndexEntry, LeafEntry};
     use bytes::Bytes;
-    use forkbase_store::MemStore;
+    use forkbase_store::{MemStore, SweepStore};
 
     fn cfg() -> ChunkerConfig {
         ChunkerConfig::test_small()
@@ -365,7 +365,7 @@ mod tests {
                 victim = Some(*h);
             }
         });
-        store.sweep(|h| Some(*h) != victim);
+        store.sweep(&|h| Some(*h) != victim).unwrap();
         assert!(matches!(
             verify_map(&store, m.tree(), cfg(), false),
             Err(VerifyError::Node(NodeError::Missing(_)))

@@ -12,6 +12,7 @@ use forkbase_crypto::Hash;
 use parking_lot::Mutex;
 
 use crate::stats::StoreStats;
+use crate::sweep::{SweepReport, SweepStore, Utilization};
 use crate::{ChunkStore, StoreResult};
 
 /// Doubly-linked LRU list over a slab of entries.
@@ -144,6 +145,33 @@ impl LruState {
         self.map.insert(hash, idx);
         self.push_front(idx);
     }
+
+    /// Drop every cached entry whose hash fails `keep`. Used when the
+    /// backing store sweeps: a swept chunk must not stay servable from the
+    /// cache, or `get` and `contains` would disagree with the store.
+    fn retain(&mut self, keep: impl Fn(&Hash) -> bool) {
+        let dead: Vec<(Hash, usize)> = self
+            .map
+            .iter()
+            .filter(|(h, _)| !keep(h))
+            .map(|(h, &idx)| (*h, idx))
+            .collect();
+        for (hash, idx) in dead {
+            self.unlink(idx);
+            let evicted = std::mem::replace(
+                &mut self.slab[idx],
+                LruEntry {
+                    hash: Hash::ZERO,
+                    bytes: Bytes::new(),
+                    prev: None,
+                    next: None,
+                },
+            );
+            self.map.remove(&hash);
+            self.bytes -= evicted.bytes.len();
+            self.free.push(idx);
+        }
+    }
 }
 
 /// A read-through, write-through cache in front of another store.
@@ -232,6 +260,19 @@ impl<S: ChunkStore> ChunkStore for CachedStore<S> {
     }
 }
 
+impl<S: SweepStore> SweepStore for CachedStore<S> {
+    fn sweep(&self, live: &(dyn Fn(&Hash) -> bool + Sync)) -> StoreResult<SweepReport> {
+        let report = self.inner.sweep(live)?;
+        // Evict swept chunks so the cache cannot resurrect them.
+        self.lru.lock().retain(|h| live(h));
+        Ok(report)
+    }
+
+    fn utilization(&self) -> StoreResult<Utilization> {
+        self.inner.utilization()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -313,6 +354,20 @@ mod tests {
         let h = cached.put(Bytes::from(vec![1u8; 64])).unwrap();
         assert_eq!(cached.cached_bytes(), 0);
         assert!(cached.get(&h).unwrap().is_some(), "served by inner store");
+    }
+
+    #[test]
+    fn sweep_evicts_dead_entries_from_cache() {
+        let cached = CachedStore::new(MemStore::new(), 4096);
+        let keep = cached.put(Bytes::from_static(b"keep")).unwrap();
+        let dead = cached.put(Bytes::from_static(b"dead")).unwrap();
+        let report = cached.sweep(&|h| *h == keep).unwrap();
+        assert_eq!(report.chunks_reclaimed, 1);
+        // The swept chunk must be gone even though it was cached.
+        assert_eq!(cached.get(&dead).unwrap(), None);
+        assert!(!cached.contains(&dead).unwrap());
+        assert!(cached.get(&keep).unwrap().is_some());
+        assert_eq!(cached.cached_bytes(), b"keep".len());
     }
 
     #[test]

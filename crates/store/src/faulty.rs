@@ -14,6 +14,7 @@ use forkbase_crypto::Hash;
 use parking_lot::RwLock;
 
 use crate::stats::StoreStats;
+use crate::sweep::{SweepReport, SweepStore, Utilization};
 use crate::{ChunkStore, StoreResult};
 
 /// How a particular chunk should misbehave on `get`.
@@ -134,6 +135,18 @@ impl<S: ChunkStore> ChunkStore for FaultyStore<S> {
 
     fn sync(&self) -> StoreResult<()> {
         self.inner.sync()
+    }
+}
+
+/// Sweeps are write-side (the adversary only lies on reads), so they pass
+/// straight through to the honest inner store.
+impl<S: SweepStore> SweepStore for FaultyStore<S> {
+    fn sweep(&self, live: &(dyn Fn(&Hash) -> bool + Sync)) -> StoreResult<SweepReport> {
+        self.inner.sweep(live)
+    }
+
+    fn utilization(&self) -> StoreResult<Utilization> {
+        self.inner.utilization()
     }
 }
 

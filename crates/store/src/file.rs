@@ -1,7 +1,20 @@
-//! Durable log-structured chunk store.
+//! Durable segmented pack-file chunk store.
 //!
-//! Layout: a directory of append-only segment files `seg-NNNNNNNN.fkb`.
-//! Each chunk is written as one frame:
+//! # On-disk layout
+//!
+//! ```text
+//! <dir>/
+//!   MANIFEST              — names the live segments (atomic-rename target)
+//!   MANIFEST.tmp          — staging copy, deleted on open
+//!   TOMBSTONES            — dead frames inside retained segments
+//!   LOCK                  — advisory lock; one process per store directory
+//!   pack-00000000.fbk     — segment files; one is the append target
+//!   pack-00000003.fbk.tmp — compaction temp segment, deleted on open
+//! ```
+//!
+//! Each segment is a sequence of CRC frames (FORMAT INVARIANT — this frame
+//! layout is unchanged since the first FileStore and is shared with the
+//! bundle format):
 //!
 //! ```text
 //! ┌─────────┬──────────┬───────────┬───────────────┬──────────┐
@@ -9,16 +22,51 @@
 //! └─────────┴──────────┴───────────┴───────────────┴──────────┘
 //! ```
 //!
-//! (the CRC covers hash+payload). Chunks are immutable, so there are no
-//! updates or tombstones — the log only grows, and the in-memory index maps
-//! `Hash → (segment, offset, len)`. On open, all segments are scanned and
-//! the index rebuilt; a torn final frame (crash mid-append) is detected by
-//! magic/length/CRC validation and the segment is truncated back to the
-//! last good frame.
+//! (the CRC covers hash+payload). Chunks are immutable, so segments hold no
+//! updates or tombstones; the in-memory index maps `Hash → (segment,
+//! offset, len)` and is rebuilt on open by scanning every segment named in
+//! the manifest. A torn final frame (crash mid-append) is detected by
+//! magic/length/CRC validation and truncated back to the last good frame.
+//!
+//! # Manifest protocol
+//!
+//! The manifest is a small CRC-tailed text file listing the epoch, the
+//! active (append) segment, and every live segment id. It is only ever
+//! replaced whole: write `MANIFEST.tmp`, fsync, rename over `MANIFEST`,
+//! fsync the directory. Any segment file *not* named by the manifest is an
+//! orphan from a crashed compaction and is deleted on open — orphans only
+//! ever contain copies of chunks that the manifest-listed segments still
+//! hold, so deleting them never loses data.
+//!
+//! # Compaction
+//!
+//! [`FileStore::compact`] takes the live-chunk set (produced by
+//! `forkbase::gc`'s mark phase), drops dead index entries, and rewrites the
+//! survivors of low-utilization segments into fresh segments:
+//!
+//! 1. seal the active segment (flush + fsync);
+//! 2. pick victims: segments whose live frame bytes fall below
+//!    [`FileStoreConfig::compact_min_utilization`] of their file size;
+//! 3. copy the victims' live chunks into `pack-N.fbk.tmp` files (fsynced),
+//!    then rename them into place;
+//! 4. durably record dead frames that remain inside *retained* segments
+//!    in `TOMBSTONES` (atomic rename, like the manifest) so a sweep
+//!    outlives the process — without this, dead chunks in well-utilized
+//!    segments would resurrect on reopen;
+//! 5. atomically swap in a manifest naming (retained ∪ new) segments;
+//! 6. delete the victim files and repoint the index at the new slots.
+//!
+//! A crash at any step recovers to a consistent store: before step 5 the
+//! old manifest still names every victim (the new files are unlisted
+//! orphans, and dead chunks inside victims reappear until GC runs again —
+//! GC is idempotent); after step 5 the victims are unlisted and deleted
+//! on open. Acked (fsynced) chunks are never lost. Tombstones are
+//! frame-granular (`segment, offset`), so re-putting previously swept
+//! content writes a fresh frame that no stale tombstone can shadow.
 
 use std::collections::{HashMap, HashSet};
 use std::fs::{self, File, OpenOptions};
-use std::io::{BufWriter, Read, Seek, SeekFrom, Write};
+use std::io::{BufWriter, ErrorKind, Read, Seek, SeekFrom, Write};
 use std::path::{Path, PathBuf};
 
 use bytes::Bytes;
@@ -27,11 +75,31 @@ use parking_lot::{Mutex, RwLock};
 
 use crate::crc::crc32;
 use crate::stats::{StatsCell, StoreStats};
+use crate::sweep::{SweepReport, SweepStore, Utilization};
 use crate::{ChunkStore, StoreError, StoreResult};
 
 const FRAME_MAGIC: &[u8; 4] = b"FKB1";
 const HEADER_LEN: usize = 4 + 4 + 32; // magic + len + hash
 const TRAILER_LEN: usize = 4; // crc32
+
+const MANIFEST_NAME: &str = "MANIFEST";
+const MANIFEST_TMP_NAME: &str = "MANIFEST.tmp";
+const MANIFEST_MAGIC: &str = "forkbase-packs v1";
+const TOMBSTONES_NAME: &str = "TOMBSTONES";
+const TOMBSTONES_TMP_NAME: &str = "TOMBSTONES.tmp";
+const TOMBSTONES_MAGIC: &str = "forkbase-tombs v1";
+const LOCK_NAME: &str = "LOCK";
+const PACK_PREFIX: &str = "pack-";
+const PACK_EXT: &str = ".fbk";
+const PACK_TMP_EXT: &str = ".fbk.tmp";
+/// Pre-manifest segment naming (`seg-NNNNNNNN.fkb`), adopted on open.
+const LEGACY_PREFIX: &str = "seg-";
+const LEGACY_EXT: &str = ".fkb";
+
+/// Total frame size for a payload of `len` bytes.
+fn frame_len(len: u32) -> u64 {
+    (HEADER_LEN + TRAILER_LEN) as u64 + u64::from(len)
+}
 
 /// Location of a chunk inside the segment files.
 #[derive(Clone, Copy, Debug)]
@@ -50,6 +118,76 @@ struct Active {
     offset: u64,
 }
 
+/// The durable segment list. Mutated only while holding the active lock
+/// (rotation and compaction), so writers see a consistent view.
+#[derive(Clone, Debug, PartialEq, Eq)]
+struct Manifest {
+    /// Incremented on every manifest write; lets tests (and humans
+    /// debugging a store directory) order manifest generations.
+    epoch: u64,
+    /// The append-target segment. Always a member of `packs`.
+    active: u64,
+    /// Every live segment, ascending.
+    packs: Vec<u64>,
+}
+
+impl Manifest {
+    fn encode(&self) -> String {
+        let mut body = format!(
+            "{MANIFEST_MAGIC}\nepoch {}\nactive {}\n",
+            self.epoch, self.active
+        );
+        for p in &self.packs {
+            body.push_str(&format!("pack {p}\n"));
+        }
+        let crc = crc32(body.as_bytes());
+        body.push_str(&format!("crc {crc:08x}\n"));
+        body
+    }
+
+    fn decode(text: &str) -> Result<Manifest, String> {
+        let (body, crc_line) = match text.rfind("crc ") {
+            Some(pos) => (&text[..pos], text[pos..].trim_end()),
+            None => return Err("missing crc line".into()),
+        };
+        let stored = u32::from_str_radix(crc_line.trim_start_matches("crc ").trim(), 16)
+            .map_err(|_| "unparseable crc".to_string())?;
+        if crc32(body.as_bytes()) != stored {
+            return Err("manifest crc mismatch".into());
+        }
+        let mut lines = body.lines();
+        if lines.next() != Some(MANIFEST_MAGIC) {
+            return Err("bad manifest magic".into());
+        }
+        let mut epoch = None;
+        let mut active = None;
+        let mut packs = Vec::new();
+        for line in lines {
+            let mut it = line.split_whitespace();
+            match (it.next(), it.next()) {
+                (Some("epoch"), Some(v)) => epoch = v.parse().ok(),
+                (Some("active"), Some(v)) => active = v.parse().ok(),
+                (Some("pack"), Some(v)) => {
+                    packs.push(v.parse().map_err(|_| format!("bad pack id {v:?}"))?)
+                }
+                _ => return Err(format!("unrecognized manifest line {line:?}")),
+            }
+        }
+        let (Some(epoch), Some(active)) = (epoch, active) else {
+            return Err("manifest missing epoch/active".into());
+        };
+        if !packs.contains(&active) {
+            return Err(format!("active segment {active} not in pack list"));
+        }
+        packs.sort_unstable();
+        Ok(Manifest {
+            epoch,
+            active,
+            packs,
+        })
+    }
+}
+
 /// Configuration for [`FileStore`].
 #[derive(Clone, Copy, Debug)]
 pub struct FileStoreConfig {
@@ -58,6 +196,12 @@ pub struct FileStoreConfig {
     /// If true, fsync after every put (durable but slow); otherwise only on
     /// [`ChunkStore::sync`] and rotation.
     pub sync_every_put: bool,
+    /// Compaction victim threshold: a segment is rewritten when its live
+    /// frame bytes fall below this fraction of its file size. At the
+    /// default 0.8 every retained segment is ≥ 80% live, bounding total
+    /// disk usage at 1.25× the live frame bytes (plus active-segment
+    /// slack).
+    pub compact_min_utilization: f64,
 }
 
 impl Default for FileStoreConfig {
@@ -65,21 +209,91 @@ impl Default for FileStoreConfig {
         FileStoreConfig {
             segment_bytes: 64 * 1024 * 1024,
             sync_every_put: false,
+            compact_min_utilization: 0.8,
         }
     }
 }
 
-/// Durable content-addressed store over append-only segment files.
+/// Dead frames inside retained segments: `(segment, payload_offset)`.
+///
+/// Frame-granular so a re-put of the same content (a brand-new frame at a
+/// different offset) can never be shadowed by a stale tombstone.
+type TombstoneSet = HashSet<(u64, u64)>;
+
+/// Durable content-addressed store over manifest-tracked pack files.
 pub struct FileStore {
     dir: PathBuf,
     cfg: FileStoreConfig,
     index: RwLock<HashMap<Hash, Slot>>,
     active: Mutex<Active>,
+    /// Guarded invariant: matches the MANIFEST file on disk. Lock order is
+    /// `active` → `manifest` (never the reverse).
+    manifest: Mutex<Manifest>,
+    /// Guarded invariant: matches the TOMBSTONES file on disk. Mutated
+    /// only while holding the active lock (compaction).
+    tombstones: Mutex<TombstoneSet>,
+    /// Mirror of `active.segment`, readable without the active lock.
+    /// Ordering: on rotation, `active_flushed` is reset to 0 *before* the
+    /// new id is published here, so an Acquire load of the id always pairs
+    /// with a flushed watermark that is valid for (or conservative about)
+    /// that segment.
+    active_segment: std::sync::atomic::AtomicU64,
+    /// Bytes of the active segment known flushed to the OS: reads at or
+    /// below this watermark need no lock and no flush.
+    active_flushed: std::sync::atomic::AtomicU64,
+    /// Held for the store's lifetime; released by the OS on process death.
+    /// Prevents a second process from opening the same directory and
+    /// deleting another's in-flight compaction output as "debris".
+    _lock: File,
     stats: StatsCell,
 }
 
+fn encode_tombstones(tombs: &TombstoneSet) -> String {
+    let mut entries: Vec<(u64, u64)> = tombs.iter().copied().collect();
+    entries.sort_unstable();
+    let mut body = format!("{TOMBSTONES_MAGIC}\n");
+    for (seg, offset) in entries {
+        body.push_str(&format!("dead {seg} {offset}\n"));
+    }
+    let crc = crc32(body.as_bytes());
+    body.push_str(&format!("crc {crc:08x}\n"));
+    body
+}
+
+fn decode_tombstones(text: &str) -> Result<TombstoneSet, String> {
+    let (body, crc_line) = match text.rfind("crc ") {
+        Some(pos) => (&text[..pos], text[pos..].trim_end()),
+        None => return Err("missing crc line".into()),
+    };
+    let stored = u32::from_str_radix(crc_line.trim_start_matches("crc ").trim(), 16)
+        .map_err(|_| "unparseable crc".to_string())?;
+    if crc32(body.as_bytes()) != stored {
+        return Err("tombstone crc mismatch".into());
+    }
+    let mut lines = body.lines();
+    if lines.next() != Some(TOMBSTONES_MAGIC) {
+        return Err("bad tombstone magic".into());
+    }
+    let mut out = TombstoneSet::new();
+    for line in lines {
+        let mut it = line.split_whitespace();
+        match (it.next(), it.next(), it.next()) {
+            (Some("dead"), Some(seg), Some(offset)) => {
+                let seg = seg.parse().map_err(|_| format!("bad segment {seg:?}"))?;
+                let offset = offset
+                    .parse()
+                    .map_err(|_| format!("bad offset {offset:?}"))?;
+                out.insert((seg, offset));
+            }
+            _ => return Err(format!("unrecognized tombstone line {line:?}")),
+        }
+    }
+    Ok(out)
+}
+
 impl FileStore {
-    /// Open (or create) a store in `dir`, replaying existing segments.
+    /// Open (or create) a store in `dir`, replaying the manifest's
+    /// segments and cleaning up any crashed-compaction debris.
     pub fn open(dir: impl AsRef<Path>) -> StoreResult<Self> {
         Self::open_with(dir, FileStoreConfig::default())
     }
@@ -89,19 +303,83 @@ impl FileStore {
         let dir = dir.as_ref().to_path_buf();
         fs::create_dir_all(&dir)?;
 
-        let mut segments = Self::list_segments(&dir)?;
-        segments.sort_unstable();
+        // Exclusive advisory lock for the store's lifetime. Open deletes
+        // unlisted segment files as crashed-compaction debris, which is
+        // only safe if no *other* process is mid-compaction in the same
+        // directory; the OS releases the lock on process death, so a
+        // kill -9 never wedges the store.
+        let lock = File::create(dir.join(LOCK_NAME))?;
+        if let Err(e) = lock.try_lock() {
+            return Err(StoreError::BadLayout(format!(
+                "store directory {} is locked by another process ({e})",
+                dir.display()
+            )));
+        }
+
+        // A *.tmp metadata file is a write that never committed.
+        let _ = fs::remove_file(dir.join(MANIFEST_TMP_NAME));
+        let _ = fs::remove_file(dir.join(TOMBSTONES_TMP_NAME));
+        Self::adopt_legacy_segments(&dir)?;
+
+        let manifest = match Self::read_manifest(&dir)? {
+            Some(m) => m,
+            None => {
+                // First open (or pre-manifest directory): adopt every pack
+                // file present, else start with segment 0.
+                let mut packs = Self::list_pack_files(&dir)?;
+                packs.sort_unstable();
+                if packs.is_empty() {
+                    packs.push(0);
+                }
+                let m = Manifest {
+                    epoch: 1,
+                    active: *packs.last().expect("non-empty"),
+                    packs,
+                };
+                Self::write_manifest(&dir, &m)?;
+                m
+            }
+        };
+
+        // Unlisted segment files are orphans of a crashed compaction: the
+        // chunks they hold are copies of chunks the listed segments still
+        // contain, so deleting them is always safe.
+        let listed: HashSet<u64> = manifest.packs.iter().copied().collect();
+        for seg in Self::list_pack_files(&dir)? {
+            if !listed.contains(&seg) {
+                fs::remove_file(Self::pack_path(&dir, seg))?;
+            }
+        }
+        for tmp in Self::list_tmp_files(&dir)? {
+            fs::remove_file(tmp)?;
+        }
+
+        // Tombstones keep sweeps durable: a dead frame inside a retained
+        // segment must stay dead across reopen. Entries for segments the
+        // manifest no longer names are stale and pruned.
+        let tombstones_on_disk = Self::read_tombstones(&dir)?;
+        let tombstones: TombstoneSet = tombstones_on_disk
+            .iter()
+            .filter(|(seg, _)| listed.contains(seg))
+            .copied()
+            .collect();
+        if tombstones != tombstones_on_disk {
+            Self::write_tombstones(&dir, &tombstones)?;
+        }
 
         let mut index = HashMap::new();
-        let mut recovered_chunks = 0u64;
-        let mut recovered_bytes = 0u64;
-        let mut last_segment = 0u64;
-        let mut last_offset = 0u64;
+        let mut active_offset = 0u64;
 
-        for &seg in &segments {
+        for &seg in &manifest.packs {
             let (entries, good_end) = Self::replay_segment(&dir, seg)?;
-            let path = Self::segment_path(&dir, seg);
-            let actual_len = fs::metadata(&path)?.len();
+            let path = Self::pack_path(&dir, seg);
+            let actual_len = match fs::metadata(&path) {
+                Ok(md) => md.len(),
+                // Listed but missing: a rotation crashed between the
+                // manifest write and the file creation. Treat as empty.
+                Err(e) if e.kind() == ErrorKind::NotFound => 0,
+                Err(e) => return Err(e.into()),
+            };
             if good_end < actual_len {
                 // Torn tail from a crash: truncate to the last good frame.
                 let f = OpenOptions::new().write(true).open(&path)?;
@@ -109,33 +387,29 @@ impl FileStore {
                 f.sync_all()?;
             }
             for (hash, slot) in entries {
-                recovered_bytes += u64::from(slot.len);
-                recovered_chunks += 1;
+                if tombstones.contains(&(seg, slot.payload_offset)) {
+                    continue; // swept before the last shutdown
+                }
                 index.insert(hash, slot);
             }
-            last_segment = seg;
-            last_offset = good_end;
+            if seg == manifest.active {
+                active_offset = good_end;
+            }
         }
 
-        // Dedup across segments can over-count; recompute from the index.
-        if recovered_chunks as usize != index.len() {
-            recovered_chunks = index.len() as u64;
-            recovered_bytes = index.values().map(|s| u64::from(s.len)).sum();
-        }
+        // Count recovered data from the index (frames can be duplicated
+        // across segments after crash recovery; the index dedups them).
+        let recovered_chunks = index.len() as u64;
+        let recovered_bytes = index.values().map(|s| u64::from(s.len)).sum();
 
-        let (segment, offset) = if segments.is_empty() {
-            (0, 0)
-        } else {
-            (last_segment, last_offset)
-        };
         let file = OpenOptions::new()
             .create(true)
             .append(true)
-            .open(Self::segment_path(&dir, segment))?;
+            .open(Self::pack_path(&dir, manifest.active))?;
         let active = Active {
-            segment,
+            segment: manifest.active,
             writer: BufWriter::new(file),
-            offset,
+            offset: active_offset,
         };
 
         let stats = StatsCell::new();
@@ -144,25 +418,62 @@ impl FileStore {
         Ok(FileStore {
             dir,
             cfg,
+            // Everything replayed from disk is by definition flushed.
+            active_segment: std::sync::atomic::AtomicU64::new(active.segment),
+            active_flushed: std::sync::atomic::AtomicU64::new(active.offset),
             index: RwLock::new(index),
             active: Mutex::new(active),
+            manifest: Mutex::new(manifest),
+            tombstones: Mutex::new(tombstones),
+            _lock: lock,
             stats,
         })
     }
 
-    fn segment_path(dir: &Path, seg: u64) -> PathBuf {
-        dir.join(format!("seg-{seg:08}.fkb"))
+    fn pack_path(dir: &Path, seg: u64) -> PathBuf {
+        dir.join(format!("{PACK_PREFIX}{seg:08}{PACK_EXT}"))
     }
 
-    fn list_segments(dir: &Path) -> StoreResult<Vec<u64>> {
-        let mut out = Vec::new();
+    fn pack_tmp_path(dir: &Path, seg: u64) -> PathBuf {
+        dir.join(format!("{PACK_PREFIX}{seg:08}{PACK_TMP_EXT}"))
+    }
+
+    fn manifest_path(dir: &Path) -> PathBuf {
+        dir.join(MANIFEST_NAME)
+    }
+
+    /// Rename pre-manifest `seg-NNNNNNNN.fkb` segments to pack naming so a
+    /// store written by the previous layout opens cleanly.
+    fn adopt_legacy_segments(dir: &Path) -> StoreResult<()> {
         for entry in fs::read_dir(dir)? {
             let entry = entry?;
             let name = entry.file_name();
             let name = name.to_string_lossy();
             if let Some(num) = name
-                .strip_prefix("seg-")
-                .and_then(|s| s.strip_suffix(".fkb"))
+                .strip_prefix(LEGACY_PREFIX)
+                .and_then(|s| s.strip_suffix(LEGACY_EXT))
+            {
+                let seg: u64 = num.parse().map_err(|_| {
+                    StoreError::BadLayout(format!("unparseable segment file name: {name}"))
+                })?;
+                fs::rename(entry.path(), Self::pack_path(dir, seg))?;
+            }
+        }
+        Ok(())
+    }
+
+    fn list_pack_files(dir: &Path) -> StoreResult<Vec<u64>> {
+        let mut out = Vec::new();
+        for entry in fs::read_dir(dir)? {
+            let entry = entry?;
+            let name = entry.file_name();
+            let name = name.to_string_lossy();
+            if name.ends_with(PACK_TMP_EXT) {
+                continue;
+            }
+            if let Some(num) = name
+                .strip_prefix(PACK_PREFIX)
+                .and_then(|s| s.strip_suffix(PACK_EXT))
             {
                 match num.parse::<u64>() {
                     Ok(n) => out.push(n),
@@ -177,11 +488,90 @@ impl FileStore {
         Ok(out)
     }
 
+    fn list_tmp_files(dir: &Path) -> StoreResult<Vec<PathBuf>> {
+        let mut out = Vec::new();
+        for entry in fs::read_dir(dir)? {
+            let entry = entry?;
+            if entry.file_name().to_string_lossy().ends_with(PACK_TMP_EXT) {
+                out.push(entry.path());
+            }
+        }
+        Ok(out)
+    }
+
+    fn read_manifest(dir: &Path) -> StoreResult<Option<Manifest>> {
+        let text = match fs::read_to_string(Self::manifest_path(dir)) {
+            Ok(t) => t,
+            Err(e) if e.kind() == ErrorKind::NotFound => return Ok(None),
+            Err(e) => return Err(e.into()),
+        };
+        Manifest::decode(&text)
+            .map(Some)
+            .map_err(|e| StoreError::BadLayout(format!("manifest: {e}")))
+    }
+
+    /// Durably replace the manifest: staging file, fsync, atomic rename,
+    /// directory fsync. The store is defined by whichever manifest the
+    /// rename left in place — there is no intermediate state.
+    fn write_manifest(dir: &Path, m: &Manifest) -> StoreResult<()> {
+        let tmp = dir.join(MANIFEST_TMP_NAME);
+        {
+            let mut f = File::create(&tmp)?;
+            f.write_all(m.encode().as_bytes())?;
+            f.sync_all()?;
+        }
+        fs::rename(&tmp, Self::manifest_path(dir))?;
+        Self::fsync_dir(dir)?;
+        Ok(())
+    }
+
+    /// Make directory-level mutations (renames, deletions) durable.
+    fn fsync_dir(dir: &Path) -> StoreResult<()> {
+        File::open(dir)?.sync_all()?;
+        Ok(())
+    }
+
+    fn read_tombstones(dir: &Path) -> StoreResult<TombstoneSet> {
+        let text = match fs::read_to_string(dir.join(TOMBSTONES_NAME)) {
+            Ok(t) => t,
+            Err(e) if e.kind() == ErrorKind::NotFound => return Ok(TombstoneSet::new()),
+            Err(e) => return Err(e.into()),
+        };
+        decode_tombstones(&text).map_err(|e| StoreError::BadLayout(format!("tombstones: {e}")))
+    }
+
+    /// Durably replace the tombstone file (same staging/rename/dir-fsync
+    /// discipline as the manifest). An empty set removes the file.
+    fn write_tombstones(dir: &Path, tombs: &TombstoneSet) -> StoreResult<()> {
+        let path = dir.join(TOMBSTONES_NAME);
+        if tombs.is_empty() {
+            match fs::remove_file(&path) {
+                Ok(()) => Self::fsync_dir(dir)?,
+                Err(e) if e.kind() == ErrorKind::NotFound => {}
+                Err(e) => return Err(e.into()),
+            }
+            return Ok(());
+        }
+        let tmp = dir.join(TOMBSTONES_TMP_NAME);
+        {
+            let mut f = File::create(&tmp)?;
+            f.write_all(encode_tombstones(tombs).as_bytes())?;
+            f.sync_all()?;
+        }
+        fs::rename(&tmp, &path)?;
+        Self::fsync_dir(dir)?;
+        Ok(())
+    }
+
     /// Scan one segment, returning its valid `(hash, slot)` entries and the
-    /// offset one past the last valid frame.
+    /// offset one past the last valid frame. A missing file reads as empty.
     fn replay_segment(dir: &Path, seg: u64) -> StoreResult<(Vec<(Hash, Slot)>, u64)> {
-        let path = Self::segment_path(dir, seg);
-        let mut file = File::open(&path)?;
+        let path = Self::pack_path(dir, seg);
+        let mut file = match File::open(&path) {
+            Ok(f) => f,
+            Err(e) if e.kind() == ErrorKind::NotFound => return Ok((Vec::new(), 0)),
+            Err(e) => return Err(e.into()),
+        };
         let len = file.metadata()?.len();
         let mut buf = Vec::with_capacity(len as usize);
         file.read_to_end(&mut buf)?;
@@ -233,6 +623,49 @@ impl FileStore {
         &self.dir
     }
 
+    /// Current manifest epoch (one write per rotation/compaction).
+    pub fn manifest_epoch(&self) -> u64 {
+        self.manifest.lock().epoch
+    }
+
+    /// Number of live segment files.
+    pub fn segment_count(&self) -> usize {
+        self.manifest.lock().packs.len()
+    }
+
+    /// Total bytes of the live segment files on disk.
+    pub fn disk_bytes(&self) -> StoreResult<u64> {
+        let packs = self.manifest.lock().packs.clone();
+        let mut total = 0u64;
+        for seg in packs {
+            match fs::metadata(Self::pack_path(&self.dir, seg)) {
+                Ok(md) => total += md.len(),
+                Err(e) if e.kind() == ErrorKind::NotFound => {}
+                Err(e) => return Err(e.into()),
+            }
+        }
+        Ok(total)
+    }
+
+    /// Flush the active writer and publish the flushed watermark so
+    /// readers can skip the lock for already-flushed frames. The caller
+    /// holds the active lock.
+    fn flush_active(&self, active: &mut Active) -> StoreResult<()> {
+        active.writer.flush()?;
+        self.active_flushed
+            .store(active.offset, std::sync::atomic::Ordering::Release);
+        Ok(())
+    }
+
+    /// Publish a new active segment id for lock-free readers. The flushed
+    /// watermark is reset *first* — see the field docs for the ordering
+    /// argument. The caller holds the active lock.
+    fn publish_active(&self, segment: u64) {
+        use std::sync::atomic::Ordering;
+        self.active_flushed.store(0, Ordering::Release);
+        self.active_segment.store(segment, Ordering::Release);
+    }
+
     /// Append one frame to the active segment (rotating first if it is
     /// full), returning the chunk's slot. Does not flush or fsync; the
     /// caller decides durability (per put or once per batch).
@@ -241,16 +674,28 @@ impl FileStore {
         if active.offset >= self.cfg.segment_bytes {
             active.writer.flush()?;
             active.writer.get_ref().sync_all()?;
-            let next = active.segment + 1;
+            let mut manifest = self.manifest.lock();
+            let next = manifest.packs.iter().max().copied().unwrap_or(0) + 1;
+            // Create the file, then commit it to the manifest, then write
+            // frames: a crash in between leaves an empty listed segment or
+            // an unlisted empty orphan — both recover cleanly.
             let file = OpenOptions::new()
                 .create(true)
                 .append(true)
-                .open(Self::segment_path(&self.dir, next))?;
+                .open(Self::pack_path(&self.dir, next))?;
+            let mut next_manifest = manifest.clone();
+            next_manifest.epoch += 1;
+            next_manifest.active = next;
+            next_manifest.packs.push(next);
+            Self::write_manifest(&self.dir, &next_manifest)?;
+            *manifest = next_manifest;
+            drop(manifest);
             *active = Active {
                 segment: next,
                 writer: BufWriter::new(file),
                 offset: 0,
             };
+            self.publish_active(next);
         }
 
         let payload_offset = active.offset + HEADER_LEN as u64;
@@ -266,7 +711,7 @@ impl FileStore {
         active.writer.write_all(hash.as_bytes())?;
         active.writer.write_all(bytes)?;
         active.writer.write_all(&crc.to_le_bytes())?;
-        active.offset += (HEADER_LEN + bytes.len() + TRAILER_LEN) as u64;
+        active.offset += frame_len(bytes.len() as u32);
 
         Ok(Slot {
             segment: active.segment,
@@ -276,12 +721,298 @@ impl FileStore {
     }
 
     fn read_slot(&self, slot: Slot) -> StoreResult<Bytes> {
-        let path = Self::segment_path(&self.dir, slot.segment);
+        let path = Self::pack_path(&self.dir, slot.segment);
         let mut file = File::open(path)?;
         file.seek(SeekFrom::Start(slot.payload_offset))?;
         let mut buf = vec![0u8; slot.len as usize];
         file.read_exact(&mut buf)?;
         Ok(Bytes::from(buf))
+    }
+
+    /// Physically compact the store against a live-chunk set (the mark
+    /// phase's output): drop dead index entries, rewrite the survivors of
+    /// low-utilization segments into fresh segments, swap the manifest,
+    /// and delete the victims. See the module docs for the crash-recovery
+    /// protocol. Writers block for the duration (they share the active
+    /// lock); readers keep running and retry through the slot relocation.
+    pub fn compact(&self, live: &HashSet<Hash>) -> StoreResult<SweepReport> {
+        let mut active = self.active.lock();
+        // Seal the log: every acked frame is on disk before we decide
+        // anything based on file contents. Publishing the watermark also
+        // lets readers of active-segment chunks proceed lock-free for the
+        // rest of the (long) compaction.
+        self.flush_active(&mut active)?;
+        active.writer.get_ref().sync_all()?;
+
+        // Phase 1: drop dead chunks from the index. Their frames stay on
+        // disk until the segment is compacted away (tombstoned below so
+        // they cannot resurrect on reopen), but they are no longer
+        // addressable and no longer counted as resident.
+        let mut chunks_reclaimed = 0u64;
+        let mut bytes_reclaimed = 0u64;
+        let mut dead_slots: Vec<Slot> = Vec::new();
+        {
+            let mut index = self.index.write();
+            index.retain(|h, slot| {
+                if live.contains(h) {
+                    true
+                } else {
+                    chunks_reclaimed += 1;
+                    bytes_reclaimed += u64::from(slot.len);
+                    dead_slots.push(*slot);
+                    false
+                }
+            });
+        }
+        if chunks_reclaimed > 0 {
+            self.stats.record_swept(chunks_reclaimed, bytes_reclaimed);
+        }
+
+        // Phase 2: per-segment utilization = live frame bytes / file size.
+        let manifest = self.manifest.lock().clone();
+        let mut live_frame_bytes: HashMap<u64, u64> =
+            manifest.packs.iter().map(|&p| (p, 0)).collect();
+        {
+            let index = self.index.read();
+            for slot in index.values() {
+                *live_frame_bytes.entry(slot.segment).or_insert(0) += frame_len(slot.len);
+            }
+        }
+        let mut seg_sizes: HashMap<u64, u64> = HashMap::new();
+        let mut disk_bytes_before = 0u64;
+        for &seg in &manifest.packs {
+            let len = match fs::metadata(Self::pack_path(&self.dir, seg)) {
+                Ok(md) => md.len(),
+                Err(e) if e.kind() == ErrorKind::NotFound => 0,
+                Err(e) => return Err(e.into()),
+            };
+            seg_sizes.insert(seg, len);
+            disk_bytes_before += len;
+        }
+        let victims: HashSet<u64> = manifest
+            .packs
+            .iter()
+            .copied()
+            .filter(|seg| {
+                let size = seg_sizes[seg];
+                size > 0
+                    && (live_frame_bytes[seg] as f64)
+                        < self.cfg.compact_min_utilization * size as f64
+            })
+            .collect();
+
+        if victims.is_empty() {
+            // No segment is worth rewriting, but the sweep itself must
+            // still be durable: tombstone every dead frame so it stays
+            // dead across reopen.
+            if !dead_slots.is_empty() {
+                let mut tombs = self.tombstones.lock();
+                tombs.extend(dead_slots.iter().map(|s| (s.segment, s.payload_offset)));
+                Self::write_tombstones(&self.dir, &tombs)?;
+            }
+            return Ok(SweepReport {
+                chunks_reclaimed,
+                bytes_reclaimed,
+                disk_bytes_before,
+                disk_bytes_after: disk_bytes_before,
+                ..Default::default()
+            });
+        }
+
+        // Phase 3: copy the victims' live chunks into temp segments, in
+        // (segment, offset) order for sequential reads.
+        let mut to_move: Vec<(Hash, Slot)> = {
+            let index = self.index.read();
+            index
+                .iter()
+                .filter(|(_, slot)| victims.contains(&slot.segment))
+                .map(|(h, s)| (*h, *s))
+                .collect()
+        };
+        to_move.sort_unstable_by_key(|(_, s)| (s.segment, s.payload_offset));
+
+        let mut next_id = manifest.packs.iter().max().copied().unwrap_or(0) + 1;
+        let mut new_segments: Vec<u64> = Vec::new();
+        let mut moved: Vec<(Hash, Slot)> = Vec::with_capacity(to_move.len());
+        let mut chunks_rewritten = 0u64;
+        let mut bytes_rewritten = 0u64;
+        {
+            let mut writer: Option<(u64, BufWriter<File>, u64)> = None; // (id, w, offset)
+                                                                        // `to_move` is sorted by (segment, offset): keep one source
+                                                                        // file handle per victim segment instead of reopening the
+                                                                        // file for every chunk.
+            let mut src: Option<(u64, File)> = None;
+            for (hash, slot) in &to_move {
+                if src.as_ref().map(|(seg, _)| *seg) != Some(slot.segment) {
+                    src = Some((
+                        slot.segment,
+                        File::open(Self::pack_path(&self.dir, slot.segment))?,
+                    ));
+                }
+                let (_, src_file) = src.as_mut().expect("source handle just ensured");
+                src_file.seek(SeekFrom::Start(slot.payload_offset))?;
+                let mut buf = vec![0u8; slot.len as usize];
+                src_file.read_exact(&mut buf)?;
+                let bytes = Bytes::from(buf);
+                if let Some((_, _, offset)) = &writer {
+                    if *offset >= self.cfg.segment_bytes {
+                        let (_, mut w, _) = writer.take().expect("writer present");
+                        w.flush()?;
+                        w.get_ref().sync_all()?;
+                    }
+                }
+                if writer.is_none() {
+                    let id = next_id;
+                    next_id += 1;
+                    let file = File::create(Self::pack_tmp_path(&self.dir, id))?;
+                    writer = Some((id, BufWriter::new(file), 0));
+                    new_segments.push(id);
+                }
+                let (id, w, offset) = writer.as_mut().expect("writer just ensured");
+                let mut crc_input = Vec::with_capacity(32 + bytes.len());
+                crc_input.extend_from_slice(hash.as_bytes());
+                crc_input.extend_from_slice(&bytes);
+                let crc = crc32(&crc_input);
+                w.write_all(FRAME_MAGIC)?;
+                w.write_all(&(bytes.len() as u32).to_le_bytes())?;
+                w.write_all(hash.as_bytes())?;
+                w.write_all(&bytes)?;
+                w.write_all(&crc.to_le_bytes())?;
+                let payload_offset = *offset + HEADER_LEN as u64;
+                *offset += frame_len(bytes.len() as u32);
+                moved.push((
+                    *hash,
+                    Slot {
+                        segment: *id,
+                        payload_offset,
+                        len: bytes.len() as u32,
+                    },
+                ));
+                chunks_rewritten += 1;
+                bytes_rewritten += bytes.len() as u64;
+            }
+            if let Some((_, mut w, _)) = writer.take() {
+                w.flush()?;
+                w.get_ref().sync_all()?;
+            }
+        }
+
+        // Phase 4: move the temp segments into place. A crash from here to
+        // the manifest swap leaves unlisted orphans, deleted on open.
+        for &id in &new_segments {
+            fs::rename(
+                Self::pack_tmp_path(&self.dir, id),
+                Self::pack_path(&self.dir, id),
+            )?;
+        }
+        Self::fsync_dir(&self.dir)?;
+
+        // If the active segment is a victim, its replacement is a fresh
+        // empty segment created (and listed) before the manifest swap.
+        let active_is_victim = victims.contains(&active.segment);
+        let new_active_id = if active_is_victim {
+            let id = next_id;
+            File::create(Self::pack_path(&self.dir, id))?.sync_all()?;
+            Some(id)
+        } else {
+            None
+        };
+
+        // Phase 5: make the sweep durable — tombstone dead frames that
+        // stay inside retained segments, and forget entries for segments
+        // about to be deleted. Written before the manifest swap: if we
+        // crash in between, the tombstones reference segments the old
+        // manifest still lists, which is exactly right.
+        {
+            let mut tombs = self.tombstones.lock();
+            tombs.retain(|(seg, _)| !victims.contains(seg));
+            tombs.extend(
+                dead_slots
+                    .iter()
+                    .filter(|s| !victims.contains(&s.segment))
+                    .map(|s| (s.segment, s.payload_offset)),
+            );
+            Self::write_tombstones(&self.dir, &tombs)?;
+        }
+
+        // Phase 6: the commit point — swap the manifest.
+        let mut next_manifest = Manifest {
+            epoch: manifest.epoch + 1,
+            active: new_active_id.unwrap_or(manifest.active),
+            packs: manifest
+                .packs
+                .iter()
+                .copied()
+                .filter(|seg| !victims.contains(seg))
+                .chain(new_segments.iter().copied())
+                .chain(new_active_id)
+                .collect(),
+        };
+        next_manifest.packs.sort_unstable();
+        Self::write_manifest(&self.dir, &next_manifest)?;
+        *self.manifest.lock() = next_manifest.clone();
+
+        // Phase 7: repoint the index at the rewritten slots, then delete
+        // the victims. Readers that copied an old slot before the repoint
+        // retry through the index after the file disappears.
+        {
+            let mut index = self.index.write();
+            for (hash, slot) in moved {
+                if let Some(entry) = index.get_mut(&hash) {
+                    *entry = slot;
+                }
+            }
+        }
+        for &seg in &victims {
+            fs::remove_file(Self::pack_path(&self.dir, seg))?;
+        }
+        Self::fsync_dir(&self.dir)?;
+
+        if let Some(id) = new_active_id {
+            *active = Active {
+                segment: id,
+                writer: BufWriter::new(
+                    OpenOptions::new()
+                        .append(true)
+                        .open(Self::pack_path(&self.dir, id))?,
+                ),
+                offset: 0,
+            };
+            self.publish_active(id);
+        }
+        drop(active);
+
+        self.stats
+            .record_compaction(chunks_rewritten, bytes_rewritten);
+
+        let mut disk_bytes_after = 0u64;
+        for &seg in &next_manifest.packs {
+            if let Ok(md) = fs::metadata(Self::pack_path(&self.dir, seg)) {
+                disk_bytes_after += md.len();
+            }
+        }
+        Ok(SweepReport {
+            chunks_reclaimed,
+            bytes_reclaimed,
+            chunks_rewritten,
+            bytes_rewritten,
+            segments_deleted: victims.len() as u64,
+            disk_bytes_before,
+            disk_bytes_after,
+        })
+    }
+
+    /// Flush the active writer if `slot` may still be buffered in it. The
+    /// lock is released before the caller's file read: holding it across
+    /// disk I/O + hashing would serialize readers of fresh chunks against
+    /// every writer, and the read path's retry loop already copes with a
+    /// concurrent compaction relocating the slot.
+    fn flush_if_active(&self, slot: Slot) -> StoreResult<()> {
+        let mut active = self.active.lock();
+        if slot.segment == active.segment {
+            self.flush_active(&mut active)?;
+        }
+        Ok(())
     }
 }
 
@@ -306,7 +1037,7 @@ impl ChunkStore for FileStore {
         let slot = self.append_frame(&mut active, &hash, &bytes)?;
 
         if self.cfg.sync_every_put {
-            active.writer.flush()?;
+            self.flush_active(&mut active)?;
             active.writer.get_ref().sync_all()?;
         }
 
@@ -352,7 +1083,7 @@ impl ChunkStore for FileStore {
 
         // At most one fsync per batch, only when durability-per-put is on.
         if self.cfg.sync_every_put && !staged.is_empty() {
-            active.writer.flush()?;
+            self.flush_active(&mut active)?;
             active.writer.get_ref().sync_all()?;
         }
 
@@ -377,30 +1108,51 @@ impl ChunkStore for FileStore {
     }
 
     fn get(&self, hash: &Hash) -> StoreResult<Option<Bytes>> {
-        let slot = self.index.read().get(hash).copied();
-        let Some(slot) = slot else {
-            self.stats.record_get(false);
-            return Ok(None);
-        };
-        // The slot may still be buffered in the active writer; flush first.
-        {
-            let mut active = self.active.lock();
-            if slot.segment == active.segment {
-                active.writer.flush()?;
+        // A concurrent compaction can relocate the slot and delete the old
+        // segment between our index read and the file read; the frame
+        // itself is immutable, so retrying through the index is enough.
+        const ATTEMPTS: usize = 3;
+        for attempt in 0..ATTEMPTS {
+            let slot = self.index.read().get(hash).copied();
+            let Some(slot) = slot else {
+                self.stats.record_get(false);
+                return Ok(None);
+            };
+            // The slot may still be buffered in the active writer. The
+            // lock-free watermark check covers the common cases — sealed
+            // segments and already-flushed active frames (including the
+            // whole of a compaction, which seals the log up front) — so
+            // only a read of genuinely unflushed data touches the lock.
+            use std::sync::atomic::Ordering;
+            let frame_end = slot.payload_offset + u64::from(slot.len) + TRAILER_LEN as u64;
+            if slot.segment == self.active_segment.load(Ordering::Acquire)
+                && frame_end > self.active_flushed.load(Ordering::Acquire)
+            {
+                self.flush_if_active(slot)?;
+            }
+            match self.read_slot(slot) {
+                Ok(bytes) => {
+                    // End-to-end integrity: media corruption surfaces here
+                    // rather than propagating bad data upward.
+                    let actual = forkbase_crypto::sha256(&bytes);
+                    if actual != *hash {
+                        return Err(StoreError::Corrupt {
+                            expected: *hash,
+                            actual,
+                        });
+                    }
+                    self.stats.record_get(true);
+                    return Ok(Some(bytes));
+                }
+                Err(StoreError::Io(e))
+                    if e.kind() == ErrorKind::NotFound && attempt + 1 < ATTEMPTS =>
+                {
+                    continue;
+                }
+                Err(e) => return Err(e),
             }
         }
-        let bytes = self.read_slot(slot)?;
-        // End-to-end integrity: media corruption surfaces here rather than
-        // propagating bad data upward.
-        let actual = forkbase_crypto::sha256(&bytes);
-        if actual != *hash {
-            return Err(StoreError::Corrupt {
-                expected: *hash,
-                actual,
-            });
-        }
-        self.stats.record_get(true);
-        Ok(Some(bytes))
+        unreachable!("loop always returns on the final attempt")
     }
 
     fn contains(&self, hash: &Hash) -> StoreResult<bool> {
@@ -421,15 +1173,37 @@ impl ChunkStore for FileStore {
 
     fn sync(&self) -> StoreResult<()> {
         let mut active = self.active.lock();
-        active.writer.flush()?;
+        self.flush_active(&mut active)?;
         active.writer.get_ref().sync_all()?;
         Ok(())
+    }
+}
+
+impl SweepStore for FileStore {
+    fn sweep(&self, live: &(dyn Fn(&Hash) -> bool + Sync)) -> StoreResult<SweepReport> {
+        let live_set: HashSet<Hash> = {
+            let index = self.index.read();
+            index.keys().filter(|h| live(h)).copied().collect()
+        };
+        self.compact(&live_set)
+    }
+
+    fn utilization(&self) -> StoreResult<Utilization> {
+        let live_bytes = {
+            let index = self.index.read();
+            index.values().map(|s| u64::from(s.len)).sum()
+        };
+        Ok(Utilization {
+            live_bytes,
+            disk_bytes: self.disk_bytes()?,
+        })
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use forkbase_crypto::sha256;
     use std::sync::atomic::{AtomicU64, Ordering};
 
     fn temp_dir(tag: &str) -> PathBuf {
@@ -484,7 +1258,7 @@ mod tests {
             s.sync().unwrap();
         }
         // Chop bytes off the end, simulating a crash mid-append.
-        let seg = FileStore::segment_path(&dir, 0);
+        let seg = FileStore::pack_path(&dir, 0);
         let len = fs::metadata(&seg).unwrap().len();
         let f = OpenOptions::new().write(true).open(&seg).unwrap();
         f.set_len(len - 5).unwrap();
@@ -499,6 +1273,7 @@ mod tests {
         // The store must still accept appends after truncation.
         let h3 = s.put(Bytes::from_static(b"after recovery")).unwrap();
         s.sync().unwrap();
+        drop(s); // release the directory lock before reopening
         let s2 = FileStore::open(&dir).unwrap();
         assert_eq!(s2.chunk_count(), 2);
         assert!(s2.contains(&h3).unwrap());
@@ -545,6 +1320,7 @@ mod tests {
         let cfg = FileStoreConfig {
             segment_bytes: 256,
             sync_every_put: true, // group commit: still at most one fsync
+            ..Default::default()
         };
         let s = FileStore::open_with(&dir, cfg).unwrap();
         let batch: Vec<(Hash, Bytes)> = (0..40u32)
@@ -555,10 +1331,7 @@ mod tests {
             .collect();
         let hashes: Vec<Hash> = batch.iter().map(|(h, _)| *h).collect();
         assert_eq!(s.put_batch(batch).unwrap(), 40);
-        assert!(
-            FileStore::list_segments(&dir).unwrap().len() > 1,
-            "batch must rotate segments mid-way"
-        );
+        assert!(s.segment_count() > 1, "batch must rotate segments mid-way");
         for h in &hashes {
             assert!(s.get(h).unwrap().is_some());
         }
@@ -581,15 +1354,15 @@ mod tests {
             })
             .collect();
         let hashes: Vec<Hash> = batch.iter().map(|(h, _)| *h).collect();
-        let frame_len = HEADER_LEN + batch[0].1.len() + TRAILER_LEN;
+        let one_frame = (HEADER_LEN + batch[0].1.len() + TRAILER_LEN) as u64;
         {
             let s = FileStore::open(&dir).unwrap();
             assert_eq!(s.put_batch(batch).unwrap(), 10);
             s.sync().unwrap();
         }
         // Cut into the middle of the 8th frame: 7 complete frames remain.
-        let seg = FileStore::segment_path(&dir, 0);
-        let cut = (7 * frame_len + frame_len / 2) as u64;
+        let seg = FileStore::pack_path(&dir, 0);
+        let cut = 7 * one_frame + one_frame / 2;
         let f = OpenOptions::new().write(true).open(&seg).unwrap();
         f.set_len(cut).unwrap();
         drop(f);
@@ -608,7 +1381,7 @@ mod tests {
         }
         assert_eq!(
             fs::metadata(&seg).unwrap().len(),
-            (7 * frame_len) as u64,
+            7 * one_frame,
             "partial frame truncated back to the last good frame"
         );
         // Re-putting the lost tail of the batch works and survives reopen.
@@ -644,7 +1417,7 @@ mod tests {
             s.sync().unwrap();
         }
         // Flip a byte inside the second frame's payload.
-        let seg = FileStore::segment_path(&dir, 0);
+        let seg = FileStore::pack_path(&dir, 0);
         let mut bytes = fs::read(&seg).unwrap();
         let second_frame = HEADER_LEN + 4 + TRAILER_LEN; // first frame size
         bytes[second_frame + HEADER_LEN] ^= 0xff;
@@ -666,7 +1439,7 @@ mod tests {
         // Corrupt the payload in place but leave the CRC region: simulate
         // silent bit-rot after a successful write. We re-write payload AND
         // a matching CRC so only the content-hash check can catch it.
-        let seg = FileStore::segment_path(&dir, 0);
+        let seg = FileStore::pack_path(&dir, 0);
         let mut bytes = fs::read(&seg).unwrap();
         bytes[HEADER_LEN] ^= 0x01; // payload byte
         let payload = bytes[HEADER_LEN..HEADER_LEN + 100].to_vec();
@@ -678,6 +1451,7 @@ mod tests {
         bytes[crc_at..crc_at + 4].copy_from_slice(&crc);
         fs::write(&seg, &bytes).unwrap();
 
+        drop(s); // release the directory lock before reopening
         let s = FileStore::open(&dir).unwrap();
         match s.get(&h) {
             Err(StoreError::Corrupt { expected, .. }) => assert_eq!(expected, h),
@@ -692,6 +1466,7 @@ mod tests {
         let cfg = FileStoreConfig {
             segment_bytes: 256,
             sync_every_put: false,
+            ..Default::default()
         };
         let s = FileStore::open_with(&dir, cfg).unwrap();
         let mut hashes = Vec::new();
@@ -700,8 +1475,7 @@ mod tests {
             hashes.push(s.put(data).unwrap());
         }
         s.sync().unwrap();
-        let segments = FileStore::list_segments(&dir).unwrap();
-        assert!(segments.len() > 1, "expected rotation, got {segments:?}");
+        assert!(s.segment_count() > 1, "expected rotation");
         // Every chunk still readable, across all segments.
         for (i, h) in hashes.iter().enumerate() {
             let got = s.get(h).unwrap().unwrap();
@@ -728,11 +1502,239 @@ mod tests {
     fn rejects_garbage_segment_names() {
         let dir = temp_dir("names");
         fs::create_dir_all(&dir).unwrap();
-        fs::write(dir.join("seg-notanumber.fkb"), b"junk").unwrap();
+        fs::write(dir.join("pack-notanumber.fbk"), b"junk").unwrap();
         match FileStore::open(&dir) {
             Err(StoreError::BadLayout(msg)) => assert!(msg.contains("notanumber")),
             other => panic!("expected BadLayout, got {:?}", other.map(|_| ())),
         }
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn adopts_legacy_seg_files() {
+        // A directory written by the pre-manifest layout (seg-*.fkb, no
+        // MANIFEST) opens cleanly: segments are renamed and adopted.
+        let dir = temp_dir("legacy");
+        let h1;
+        let h2;
+        {
+            let s = FileStore::open(&dir).unwrap();
+            h1 = s.put(Bytes::from_static(b"legacy one")).unwrap();
+            h2 = s.put(Bytes::from_static(b"legacy two")).unwrap();
+            s.sync().unwrap();
+        }
+        // Devolve to the legacy layout.
+        fs::remove_file(FileStore::manifest_path(&dir)).unwrap();
+        fs::rename(FileStore::pack_path(&dir, 0), dir.join("seg-00000000.fkb")).unwrap();
+
+        let s = FileStore::open(&dir).unwrap();
+        assert_eq!(s.chunk_count(), 2);
+        assert_eq!(s.get(&h1).unwrap(), Some(Bytes::from_static(b"legacy one")));
+        assert_eq!(s.get(&h2).unwrap(), Some(Bytes::from_static(b"legacy two")));
+        assert!(FileStore::manifest_path(&dir).exists());
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn rejects_corrupt_manifest() {
+        let dir = temp_dir("badmanifest");
+        {
+            let s = FileStore::open(&dir).unwrap();
+            s.put(Bytes::from_static(b"x")).unwrap();
+            s.sync().unwrap();
+        }
+        let path = FileStore::manifest_path(&dir);
+        let mut text = fs::read_to_string(&path).unwrap();
+        text = text.replace("active 0", "active 7");
+        fs::write(&path, text).unwrap();
+        match FileStore::open(&dir) {
+            Err(StoreError::BadLayout(msg)) => assert!(msg.contains("manifest")),
+            other => panic!("expected BadLayout, got {:?}", other.map(|_| ())),
+        }
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn manifest_roundtrip_and_crc() {
+        let m = Manifest {
+            epoch: 42,
+            active: 7,
+            packs: vec![3, 7, 9],
+        };
+        let text = m.encode();
+        assert_eq!(Manifest::decode(&text).unwrap(), m);
+        // Any flipped byte must be rejected.
+        let tampered = text.replace("pack 3", "pack 4");
+        assert!(Manifest::decode(&tampered).is_err());
+    }
+
+    #[test]
+    fn directory_lock_excludes_concurrent_opens() {
+        // Open deletes unlisted pack files as debris, so two live stores
+        // on one directory would destroy each other's compaction output;
+        // the LOCK file forbids it. Dropping the store releases the lock.
+        let dir = temp_dir("lock");
+        let s = FileStore::open(&dir).unwrap();
+        match FileStore::open(&dir) {
+            Err(StoreError::BadLayout(msg)) => assert!(msg.contains("locked"), "{msg}"),
+            other => panic!("second open must fail, got {:?}", other.map(|_| ())),
+        }
+        drop(s);
+        FileStore::open(&dir).unwrap();
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn tombstone_codec_roundtrip_and_crc() {
+        let mut tombs = TombstoneSet::new();
+        tombs.insert((3, 1024));
+        tombs.insert((0, 40));
+        let text = encode_tombstones(&tombs);
+        assert_eq!(decode_tombstones(&text).unwrap(), tombs);
+        let tampered = text.replace("dead 0 40", "dead 0 44");
+        assert!(
+            decode_tombstones(&tampered).is_err(),
+            "crc must catch edits"
+        );
+        assert_eq!(
+            decode_tombstones(&encode_tombstones(&TombstoneSet::new())).unwrap(),
+            TombstoneSet::new()
+        );
+    }
+
+    fn sized_chunk(i: u32, len: usize) -> Bytes {
+        let mut v = format!("chunk-{i:06}-").into_bytes();
+        v.resize(len, b'0' + (i % 10) as u8);
+        Bytes::from(v)
+    }
+
+    #[test]
+    fn compaction_reclaims_disk_space() {
+        let dir = temp_dir("compact");
+        let cfg = FileStoreConfig {
+            segment_bytes: 16 * 1024,
+            sync_every_put: false,
+            ..Default::default()
+        };
+        let s = FileStore::open_with(&dir, cfg).unwrap();
+        // ~64 chunks of 4 KiB → ~16 segments.
+        let batch: Vec<(Hash, Bytes)> = (0..64u32)
+            .map(|i| {
+                let b = sized_chunk(i, 4096);
+                (sha256(&b), b)
+            })
+            .collect();
+        let hashes: Vec<Hash> = batch.iter().map(|(h, _)| *h).collect();
+        s.put_batch(batch.clone()).unwrap();
+        s.sync().unwrap();
+        let disk_full = s.disk_bytes().unwrap();
+
+        // Keep every fourth chunk live.
+        let live: HashSet<Hash> = hashes.iter().step_by(4).copied().collect();
+        let report = s.compact(&live).unwrap();
+        assert_eq!(report.chunks_reclaimed, 48);
+        assert!(report.segments_deleted > 0);
+        assert!(report.disk_bytes_after < disk_full / 2);
+
+        // Live data survives, dead data is gone, and on-disk bytes are
+        // within 1.25x of the live frame bytes (the utilization bound).
+        let live_frames: u64 = live.iter().map(|_| frame_len(4096)).sum();
+        assert!(
+            report.disk_bytes_after as f64 <= 1.25 * live_frames as f64,
+            "disk {} vs live frames {live_frames}",
+            report.disk_bytes_after
+        );
+        for (i, h) in hashes.iter().enumerate() {
+            if live.contains(h) {
+                assert_eq!(s.get(h).unwrap(), Some(batch[i].1.clone()));
+            } else {
+                assert_eq!(s.get(h).unwrap(), None);
+            }
+        }
+        // Stats: resident counters shrank; compaction counters moved; the
+        // put counters did not (the churn-vs-dedup-ratio bugfix).
+        let st = s.stats();
+        assert_eq!(st.unique_chunks, live.len() as u64);
+        assert_eq!(st.puts, 64);
+        assert!(st.compaction_bytes_rewritten > 0);
+        assert_eq!(st.sweep_chunks_reclaimed, 48);
+
+        // The compacted store survives reopen with exactly the live set.
+        drop(s);
+        let s = FileStore::open(&dir).unwrap();
+        assert_eq!(s.chunk_count(), live.len());
+        for h in &live {
+            assert!(s.get(h).unwrap().is_some());
+        }
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn compaction_is_noop_on_well_utilized_store() {
+        let dir = temp_dir("compact-noop");
+        let s = FileStore::open(&dir).unwrap();
+        let batch: Vec<(Hash, Bytes)> = (0..16u32)
+            .map(|i| {
+                let b = sized_chunk(i, 1024);
+                (sha256(&b), b)
+            })
+            .collect();
+        let live: HashSet<Hash> = batch.iter().map(|(h, _)| *h).collect();
+        s.put_batch(batch).unwrap();
+        s.sync().unwrap();
+        let epoch_before = s.manifest_epoch();
+        let report = s.compact(&live).unwrap();
+        assert_eq!(report.chunks_reclaimed, 0);
+        assert_eq!(report.chunks_rewritten, 0);
+        assert_eq!(report.segments_deleted, 0);
+        assert_eq!(report.disk_bytes_before, report.disk_bytes_after);
+        assert_eq!(s.manifest_epoch(), epoch_before, "no manifest churn");
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn store_stays_writable_after_compacting_active_segment() {
+        let dir = temp_dir("compact-active");
+        let s = FileStore::open(&dir).unwrap();
+        let keep = s.put(sized_chunk(0, 512)).unwrap();
+        for i in 1..10u32 {
+            s.put(sized_chunk(i, 512)).unwrap();
+        }
+        s.sync().unwrap();
+        // Only one chunk stays live → the (only, active) segment is a
+        // victim; the store must swap to a fresh active and keep working.
+        let live: HashSet<Hash> = [keep].into_iter().collect();
+        let report = s.compact(&live).unwrap();
+        assert_eq!(report.chunks_reclaimed, 9);
+        assert_eq!(report.chunks_rewritten, 1);
+        assert!(s.get(&keep).unwrap().is_some());
+        let after = s
+            .put(Bytes::from_static(b"written after compaction"))
+            .unwrap();
+        s.sync().unwrap();
+        drop(s);
+        let s = FileStore::open(&dir).unwrap();
+        assert_eq!(s.chunk_count(), 2);
+        assert!(s.get(&keep).unwrap().is_some());
+        assert!(s.get(&after).unwrap().is_some());
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn utilization_tracks_dead_bytes() {
+        let dir = temp_dir("util");
+        let s = FileStore::open(&dir).unwrap();
+        let keep = s.put(sized_chunk(0, 2048)).unwrap();
+        s.put(sized_chunk(1, 2048)).unwrap();
+        s.sync().unwrap();
+        let u = s.utilization().unwrap();
+        assert_eq!(u.live_bytes, 4096);
+        assert!(u.disk_bytes >= u.live_bytes);
+        let live: HashSet<Hash> = [keep].into_iter().collect();
+        s.compact(&live).unwrap();
+        let u = s.utilization().unwrap();
+        assert_eq!(u.live_bytes, 2048);
+        assert!(u.ratio() > 0.9, "compaction restored utilization");
         fs::remove_dir_all(&dir).unwrap();
     }
 }

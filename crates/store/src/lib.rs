@@ -10,13 +10,18 @@
 //!
 //! * [`MemStore`] — concurrent in-memory store; the default substrate for
 //!   tests and benchmarks.
-//! * [`FileStore`] — durable log-structured store: CRC-framed append-only
-//!   segment files plus an in-memory index, with crash recovery that
-//!   tolerates torn tail writes.
+//! * [`FileStore`] — durable segmented pack-file store: CRC-framed
+//!   append-only segments tracked by an atomically-swapped manifest, an
+//!   in-memory index, crash recovery that tolerates torn tail writes and
+//!   killed compactions, and GC-driven physical compaction.
 //! * [`CachedStore`] — read-through LRU cache wrapper for slow backends.
 //! * [`FaultyStore`] — fault-injection wrapper simulating the paper's
 //!   *malicious storage provider* (§II-D): corrupts, drops, or substitutes
 //!   chunks so tamper-evidence tests can prove detection.
+//!
+//! Stores that can physically reclaim dead-chunk space additionally
+//! implement the [`SweepStore`] capability (see [`sweep`]); the wrappers
+//! forward it.
 //!
 //! Every store tracks [`StoreStats`] — the counters behind the Fig. 4
 //! deduplication experiment (storage growth per dataset load).
@@ -28,6 +33,7 @@ pub mod faulty;
 pub mod file;
 pub mod mem;
 pub mod stats;
+pub mod sweep;
 
 use bytes::Bytes;
 use forkbase_crypto::{sha256, Hash};
@@ -35,9 +41,10 @@ use forkbase_crypto::{sha256, Hash};
 pub use cache::CachedStore;
 pub use error::{StoreError, StoreResult};
 pub use faulty::{FaultMode, FaultyStore};
-pub use file::FileStore;
+pub use file::{FileStore, FileStoreConfig};
 pub use mem::MemStore;
 pub use stats::StoreStats;
+pub use sweep::{SweepReport, SweepStore, Utilization};
 
 /// A content-addressed store of immutable chunks.
 ///

@@ -13,6 +13,7 @@ use forkbase_crypto::Hash;
 use parking_lot::RwLock;
 
 use crate::stats::{StatsCell, StoreStats};
+use crate::sweep::{SweepReport, SweepStore, Utilization};
 use crate::{ChunkStore, StoreResult};
 
 /// Hasher that passes through the first 8 bytes of a SHA-256 digest.
@@ -74,11 +75,14 @@ impl MemStore {
             }
         }
     }
+}
 
-    /// Remove chunks not in the `live` predicate. Returns (chunks, bytes)
-    /// reclaimed. This is the sweep half of a mark-and-sweep GC; the mark
-    /// phase (reachability from branch heads) lives in `forkbase::gc`.
-    pub fn sweep(&self, live: impl Fn(&Hash) -> bool) -> (u64, u64) {
+/// In-memory sweep: dropping a chunk from the shard maps *is* the physical
+/// reclamation, so there is never anything to rewrite. The mark phase
+/// (reachability from branch heads) lives in `forkbase::gc`.
+impl SweepStore for MemStore {
+    fn sweep(&self, live: &(dyn Fn(&Hash) -> bool + Sync)) -> StoreResult<SweepReport> {
+        let disk_bytes_before = self.stored_bytes();
         let mut chunks = 0u64;
         let mut bytes = 0u64;
         for shard in &self.shards {
@@ -94,11 +98,23 @@ impl MemStore {
             });
         }
         if chunks > 0 {
-            // Stats track resident data; adjust by replaying negative deltas.
-            self.stats
-                .record_recovered(0u64.wrapping_sub(chunks), 0u64.wrapping_sub(bytes));
+            self.stats.record_swept(chunks, bytes);
         }
-        (chunks, bytes)
+        Ok(SweepReport {
+            chunks_reclaimed: chunks,
+            bytes_reclaimed: bytes,
+            disk_bytes_before,
+            disk_bytes_after: disk_bytes_before.saturating_sub(bytes),
+            ..Default::default()
+        })
+    }
+
+    fn utilization(&self) -> StoreResult<Utilization> {
+        let live = self.stored_bytes();
+        Ok(Utilization {
+            live_bytes: live,
+            disk_bytes: live,
+        })
     }
 }
 
@@ -361,11 +377,16 @@ mod tests {
         let s = MemStore::new();
         let keep = s.put(Bytes::from_static(b"keep me")).unwrap();
         let _dead = s.put(Bytes::from_static(b"dead chunk")).unwrap();
-        let (chunks, bytes) = s.sweep(|h| *h == keep);
-        assert_eq!(chunks, 1);
-        assert_eq!(bytes, b"dead chunk".len() as u64);
+        let report = s.sweep(&|h| *h == keep).unwrap();
+        assert_eq!(report.chunks_reclaimed, 1);
+        assert_eq!(report.bytes_reclaimed, b"dead chunk".len() as u64);
+        assert_eq!(report.chunks_rewritten, 0, "nothing to rewrite in RAM");
         assert_eq!(s.chunk_count(), 1);
         assert!(s.contains(&keep).unwrap());
+        let st = s.stats();
+        assert_eq!(st.stored_bytes, b"keep me".len() as u64);
+        assert_eq!(st.sweep_chunks_reclaimed, 1);
+        assert_eq!(s.utilization().unwrap().ratio(), 1.0);
     }
 
     #[test]

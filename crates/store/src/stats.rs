@@ -27,6 +27,16 @@ pub struct StoreStats {
     pub gets: u64,
     /// Gets that found no chunk.
     pub misses: u64,
+    /// Live chunks physically rewritten by compaction. Tracked separately
+    /// from `puts` so compaction churn never inflates dedup-ratio metrics.
+    pub compaction_chunks_rewritten: u64,
+    /// Payload bytes physically rewritten by compaction (write
+    /// amplification), excluded from `logical_bytes`/`stored_bytes`.
+    pub compaction_bytes_rewritten: u64,
+    /// Chunks physically reclaimed by sweep/compaction.
+    pub sweep_chunks_reclaimed: u64,
+    /// Payload bytes physically reclaimed by sweep/compaction.
+    pub sweep_bytes_reclaimed: u64,
 }
 
 impl StoreStats {
@@ -63,6 +73,10 @@ pub struct StatsCell {
     dedup_saved_bytes: AtomicU64,
     gets: AtomicU64,
     misses: AtomicU64,
+    compaction_chunks_rewritten: AtomicU64,
+    compaction_bytes_rewritten: AtomicU64,
+    sweep_chunks_reclaimed: AtomicU64,
+    sweep_bytes_reclaimed: AtomicU64,
 }
 
 impl StatsCell {
@@ -127,6 +141,28 @@ impl StatsCell {
         self.stored_bytes.fetch_add(bytes, Ordering::Relaxed);
     }
 
+    /// Record chunks physically reclaimed by a sweep: resident counters go
+    /// down, and the sweep counters record the reclamation itself.
+    pub fn record_swept(&self, chunks: u64, bytes: u64) {
+        self.unique_chunks.fetch_sub(chunks, Ordering::Relaxed);
+        self.stored_bytes.fetch_sub(bytes, Ordering::Relaxed);
+        self.sweep_chunks_reclaimed
+            .fetch_add(chunks, Ordering::Relaxed);
+        self.sweep_bytes_reclaimed
+            .fetch_add(bytes, Ordering::Relaxed);
+    }
+
+    /// Record live chunks rewritten by compaction. Deliberately does NOT
+    /// touch `puts`/`logical_bytes`/`stored_bytes`: the chunk stays
+    /// resident, only its physical location changed, and counting the
+    /// rewrite as a put would inflate the dedup ratio with churn.
+    pub fn record_compaction(&self, chunks: u64, bytes: u64) {
+        self.compaction_chunks_rewritten
+            .fetch_add(chunks, Ordering::Relaxed);
+        self.compaction_bytes_rewritten
+            .fetch_add(bytes, Ordering::Relaxed);
+    }
+
     /// Current snapshot.
     pub fn snapshot(&self) -> StoreStats {
         StoreStats {
@@ -138,6 +174,10 @@ impl StatsCell {
             dedup_saved_bytes: self.dedup_saved_bytes.load(Ordering::Relaxed),
             gets: self.gets.load(Ordering::Relaxed),
             misses: self.misses.load(Ordering::Relaxed),
+            compaction_chunks_rewritten: self.compaction_chunks_rewritten.load(Ordering::Relaxed),
+            compaction_bytes_rewritten: self.compaction_bytes_rewritten.load(Ordering::Relaxed),
+            sweep_chunks_reclaimed: self.sweep_chunks_reclaimed.load(Ordering::Relaxed),
+            sweep_bytes_reclaimed: self.sweep_bytes_reclaimed.load(Ordering::Relaxed),
         }
     }
 }
@@ -154,7 +194,14 @@ impl std::fmt::Display for StoreStats {
             self.dedup_saved_bytes,
             self.dedup_ratio()
         )?;
-        write!(f, "gets:          {} ({} misses)", self.gets, self.misses)
+        writeln!(f, "gets:          {} ({} misses)", self.gets, self.misses)?;
+        write!(
+            f,
+            "gc:            {} chunks / {} bytes reclaimed, {} bytes rewritten by compaction",
+            self.sweep_chunks_reclaimed,
+            self.sweep_bytes_reclaimed,
+            self.compaction_bytes_rewritten
+        )
     }
 }
 
@@ -208,6 +255,29 @@ mod tests {
         let after = cell.snapshot();
         assert_eq!(after.stored_delta(&before), 40);
         assert_eq!(after.chunk_delta(&before), 1);
+    }
+
+    #[test]
+    fn sweep_and_compaction_accounting_stay_separate() {
+        let cell = StatsCell::new();
+        cell.record_put(100, true);
+        cell.record_put(60, true);
+        let before = cell.snapshot();
+        // Compaction rewrites the 100-byte chunk and sweeps the 60-byte one.
+        cell.record_swept(1, 60);
+        cell.record_compaction(1, 100);
+        let s = cell.snapshot();
+        assert_eq!(s.unique_chunks, 1);
+        assert_eq!(s.stored_bytes, 100);
+        assert_eq!(s.sweep_chunks_reclaimed, 1);
+        assert_eq!(s.sweep_bytes_reclaimed, 60);
+        assert_eq!(s.compaction_chunks_rewritten, 1);
+        assert_eq!(s.compaction_bytes_rewritten, 100);
+        // The user-visible put counters are untouched by GC churn, so the
+        // dedup ratio cannot be inflated by compaction rewrites.
+        assert_eq!(s.puts, before.puts);
+        assert_eq!(s.logical_bytes, before.logical_bytes);
+        assert_eq!(s.dedup_hits, before.dedup_hits);
     }
 
     #[test]
