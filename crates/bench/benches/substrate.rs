@@ -291,6 +291,155 @@ fn bench_concurrent_blob_commits(c: &mut Criterion) {
     group.finish();
 }
 
+/// Snapshot + cursor scan vs the materializing verb over a 100k-entry
+/// map. The cursor path must be at least as fast (it decodes the same
+/// leaves but skips the O(N) output vector), and it is the path that
+/// keeps memory O(chunk) for values that don't fit.
+fn bench_snapshot_scan(c: &mut Criterion) {
+    use forkbase::VersionSpec;
+    const ENTRIES: u64 = 100_000;
+    let db = ForkBase::new(MemStore::new());
+    let pairs: Vec<(Bytes, Bytes)> = (0..ENTRIES)
+        .map(|i| {
+            (
+                Bytes::from(format!("key-{i:08}")),
+                Bytes::from(format!("value-{i}")),
+            )
+        })
+        .collect();
+    let map = db.new_map(pairs).unwrap();
+    db.put("big", map, &PutOptions::default()).unwrap();
+    let got = db.get("big", "master").unwrap();
+
+    let mut group = c.benchmark_group("db/snapshot_scan");
+    group.throughput(Throughput::Elements(ENTRIES));
+    group.sample_size(10);
+    group.bench_function("materialized_100k", |b| {
+        b.iter(|| {
+            let entries = db.map_entries(&got.value).unwrap();
+            assert_eq!(entries.len() as u64, ENTRIES);
+            entries.len()
+        });
+    });
+    group.bench_function("cursor_100k", |b| {
+        b.iter(|| {
+            let snap = db.snapshot("big", &VersionSpec::default()).unwrap();
+            let mut n = 0u64;
+            let mut bytes = 0usize;
+            for item in snap.map_iter().unwrap() {
+                let (k, v) = item.unwrap();
+                n += 1;
+                bytes += k.len() + v.len();
+            }
+            assert_eq!(n, ENTRIES);
+            bytes
+        });
+    });
+    // A bounded page: seek + 1k entries, the REST /v1/range access shape.
+    group.throughput(Throughput::Elements(1000));
+    group.bench_function("cursor_seek_page_1k", |b| {
+        b.iter(|| {
+            let snap = db.snapshot("big", &VersionSpec::default()).unwrap();
+            let n = snap
+                .map_range(b"key-00050000".as_slice()..b"key-00051000".as_slice())
+                .unwrap()
+                .count();
+            assert_eq!(n, 1000);
+            n
+        });
+    });
+    group.finish();
+}
+
+/// Atomic 16-key write batch vs 16 sequential puts.
+///
+/// On `MemStore` the comparison isolates the engine-side cost: the batch
+/// pays one stripe-lock sweep, one FNode `put_batch`, and one ref-table
+/// write section instead of 16 of each, but also pays op staging (the
+/// builder clones the options per op), so the two are in the same ball
+/// park. On a durable `FileStore` (`sync_every_put`) the group commit
+/// dominates: 16 sequential puts are 16 fsyncs, the batch is one.
+fn bench_write_batch(c: &mut Criterion) {
+    const KEYS: usize = 16;
+    let keys: Vec<String> = (0..KEYS).map(|i| format!("batch-key-{i}")).collect();
+
+    let mut group = c.benchmark_group("db/write_batch");
+    group.throughput(Throughput::Elements(KEYS as u64));
+    group.bench_function("sequential_16keys", |b| {
+        let db = ForkBase::new(MemStore::new());
+        let opts = PutOptions::default();
+        let mut round = 0u64;
+        b.iter(|| {
+            round += 1;
+            for key in &keys {
+                db.put(key, Value::string(format!("v{round}")), &opts)
+                    .unwrap();
+            }
+        });
+    });
+    group.bench_function("batch_16keys", |b| {
+        let db = ForkBase::new(MemStore::new());
+        let opts = PutOptions::default();
+        let mut round = 0u64;
+        b.iter(|| {
+            round += 1;
+            let mut batch = db.write_batch();
+            for key in &keys {
+                batch.put(key.clone(), Value::string(format!("v{round}")), &opts);
+            }
+            batch.commit().unwrap()
+        });
+    });
+
+    // Durable stores: one fsync per batch vs one per put.
+    group.sample_size(10);
+    let durable = |tag: &str| {
+        let dir = std::env::temp_dir().join(format!("fkb-wb-bench-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let store = FileStore::open_with(
+            &dir,
+            FileStoreConfig {
+                sync_every_put: true,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        (dir, ForkBase::new(store))
+    };
+    {
+        let (dir, db) = durable("seq");
+        let opts = PutOptions::default();
+        let mut round = 0u64;
+        group.bench_function("sequential_16keys_durable_filestore", |b| {
+            b.iter(|| {
+                round += 1;
+                for key in &keys {
+                    db.put(key, Value::string(format!("v{round}")), &opts)
+                        .unwrap();
+                }
+            });
+        });
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+    {
+        let (dir, db) = durable("batch");
+        let opts = PutOptions::default();
+        let mut round = 0u64;
+        group.bench_function("batch_16keys_durable_filestore", |b| {
+            b.iter(|| {
+                round += 1;
+                let mut batch = db.write_batch();
+                for key in &keys {
+                    batch.put(key.clone(), Value::string(format!("v{round}")), &opts);
+                }
+                batch.commit().unwrap()
+            });
+        });
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+    group.finish();
+}
+
 criterion_group!(
     benches,
     bench_sha256,
@@ -300,6 +449,8 @@ criterion_group!(
     bench_put_batch,
     bench_compaction,
     bench_concurrent_commits,
-    bench_concurrent_blob_commits
+    bench_concurrent_blob_commits,
+    bench_snapshot_scan,
+    bench_write_batch
 );
 criterion_main!(benches);

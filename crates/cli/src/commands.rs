@@ -23,7 +23,7 @@ use forkbase_types::Value;
 pub fn run_command<S: SweepStore>(db: &ForkBase<S>, args: &[&str]) -> DbResult<String> {
     let usage = || -> DbError {
         DbError::InvalidInput(
-            "usage: put|get|head|latest|meta|history|list|branches|branch|rename-branch|\
+            "usage: put|batch|get|head|latest|meta|history|list|branches|branch|rename-branch|\
              delete-branch|merge|diff|select|stat|gc|export|verify|load-csv|export-csv|diff-csv|\
              bundle-export|bundle-import|prove \
              … (see README)"
@@ -75,6 +75,44 @@ pub fn run_command<S: SweepStore>(db: &ForkBase<S>, args: &[&str]) -> DbResult<S
             let value = pos(1)?;
             let commit = db.put(key, Value::string(value), &opts)?;
             Ok(format!("{} -> {}", commit.branch, commit.uid))
+        }
+        "batch" => {
+            // batch put:KEY=VALUE… del:KEY… [--branch B]: stage string puts
+            // and branch deletions across any number of keys, committed
+            // atomically — every head swings together or none do.
+            if positional.is_empty() {
+                return Err(DbError::InvalidInput(
+                    "batch needs at least one op: put:KEY=VALUE or del:KEY".into(),
+                ));
+            }
+            let mut wb = db.write_batch();
+            for spec in &positional {
+                if let Some(rest) = spec.strip_prefix("put:") {
+                    let (key, value) = rest.split_once('=').ok_or_else(|| {
+                        DbError::InvalidInput(format!("batch put op needs KEY=VALUE: {spec:?}"))
+                    })?;
+                    wb.put(key, Value::string(value), &opts);
+                } else if let Some(key) = spec.strip_prefix("del:") {
+                    wb.delete_branch(key, &branch);
+                } else {
+                    return Err(DbError::InvalidInput(format!(
+                        "unknown batch op {spec:?} (put:KEY=VALUE | del:KEY)"
+                    )));
+                }
+            }
+            let outcomes = wb.commit()?;
+            let mut out = String::new();
+            for o in outcomes {
+                match o {
+                    forkbase::BatchOutcome::Committed(c) => {
+                        out.push_str(&format!("{} -> {}\n", c.branch, c.uid));
+                    }
+                    forkbase::BatchOutcome::Deleted { key, branch } => {
+                        out.push_str(&format!("deleted {key}@{branch}\n"));
+                    }
+                }
+            }
+            Ok(out)
         }
         "get" => {
             let key = pos(0)?;
@@ -474,6 +512,43 @@ mod tests {
             .unwrap()
             .unwrap();
         assert_eq!(row[1], "dev-edit");
+    }
+
+    #[test]
+    fn batch_verb_commits_atomically() {
+        let db = db();
+        let out = run_command(
+            &db,
+            &["batch", "put:a=1", "put:b=2", "put:a=1b", "--author", "ops"],
+        )
+        .unwrap();
+        assert_eq!(out.lines().count(), 3);
+        // In-batch chaining: the second put on `a` based on the first.
+        let hist = run_command(&db, &["history", "a"]).unwrap();
+        assert_eq!(hist.lines().count(), 2);
+        let got = run_command(&db, &["get", "a"]).unwrap();
+        assert!(got.contains("1b"));
+
+        // Deletions ride the same batch.
+        run_command(&db, &["branch", "b", "scratch"]).unwrap();
+        let out = run_command(
+            &db,
+            &["batch", "put:b=3", "del:scratch-key", "--branch", "x"],
+        );
+        assert!(out.is_err(), "bad del target must fail the whole batch");
+        let out = run_command(&db, &["batch", "del:b", "--branch", "scratch"]).unwrap();
+        assert!(out.contains("deleted b@scratch"));
+        assert_eq!(run_command(&db, &["branches", "b"]).unwrap(), "master");
+
+        // Atomicity on error: nothing from a failed batch lands.
+        let before = run_command(&db, &["head", "a"]).unwrap();
+        assert!(run_command(&db, &["batch", "put:a=new", "del:ghost"]).is_err());
+        assert_eq!(run_command(&db, &["head", "a"]).unwrap(), before);
+
+        // Malformed specs are rejected.
+        assert!(run_command(&db, &["batch"]).is_err());
+        assert!(run_command(&db, &["batch", "put:no-equals"]).is_err());
+        assert!(run_command(&db, &["batch", "zap:a"]).is_err());
     }
 
     #[test]

@@ -14,9 +14,18 @@
 //! GET  /history/<key>?branch=B        → history lines
 //! GET  /stat                          → store statistics
 //! GET  /verify/<key>?branch=B         → verification result
+//! GET  /v1/<key>/range?start=&end=&limit=&branch=
+//!                                     → JSON page of map entries, served
+//!                                       by the streaming cursor (O(chunk)
+//!                                       server memory regardless of value
+//!                                       or range size)
 //! ```
 //!
-//! Responses are `text/plain; charset=utf-8`; errors map to 4xx/5xx.
+//! Successful legacy routes answer `text/plain; charset=utf-8`; `/v1/…`
+//! routes answer `application/json`. **Every** error is structured JSON —
+//! `{"error":{"code":"<stable snake_case>","message":"<human text>"}}` —
+//! with the code drawn from [`DbError::code`], so clients branch on
+//! `error.code`, not on prose or status text.
 
 use std::io::{BufRead, BufReader, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
@@ -102,7 +111,7 @@ fn handle_connection<S: SweepStore>(
     reader.read_line(&mut request_line)?;
     let mut parts = request_line.split_whitespace();
     let (Some(method), Some(target)) = (parts.next(), parts.next()) else {
-        return respond(&mut stream, 400, "malformed request line");
+        return respond(&mut stream, 400, TEXT, "malformed request line");
     };
 
     // Headers: we only need Content-Length.
@@ -140,7 +149,18 @@ fn handle_connection<S: SweepStore>(
     let branch = q("branch").unwrap_or_else(|| "master".to_string());
 
     let segments: Vec<&str> = path.split('/').filter(|s| !s.is_empty()).collect();
+    // /v1 routes are JSON end to end; legacy routes stay text/plain on
+    // success (errors are JSON everywhere).
+    let json_route = segments.first() == Some(&"v1");
     let result: Result<String, DbError> = match (method, segments.as_slice()) {
+        ("GET", ["v1", key, "range"]) => range_route(
+            db,
+            &url_decode(key),
+            &branch,
+            &q("start"),
+            &q("end"),
+            &q("limit"),
+        ),
         ("GET", ["keys"]) => Ok(db.list_keys().join("\n")),
         ("GET", ["stat"]) => Ok(db.stat().to_string()),
         ("GET", ["get", key]) => db
@@ -191,30 +211,155 @@ fn handle_connection<S: SweepStore>(
     };
 
     match result {
-        Ok(text) => respond(&mut stream, 200, &text),
-        Err(e @ DbError::NoSuchKey(_))
-        | Err(e @ DbError::NoSuchBranch { .. })
-        | Err(e @ DbError::NoSuchVersion(_)) => respond(&mut stream, 404, &e.to_string()),
-        Err(e @ DbError::InvalidInput(_)) => respond(&mut stream, 400, &e.to_string()),
-        Err(e @ DbError::PermissionDenied(_)) => respond(&mut stream, 403, &e.to_string()),
-        Err(e) => respond(&mut stream, 500, &e.to_string()),
+        Ok(text) => {
+            let ctype = if json_route { JSON } else { TEXT };
+            respond(&mut stream, 200, ctype, &text)
+        }
+        Err(e) => {
+            let status = match &e {
+                DbError::NoSuchKey(_)
+                | DbError::NoSuchBranch { .. }
+                | DbError::NoSuchVersion(_) => 404,
+                DbError::InvalidInput(_) | DbError::TypeMismatch { .. } => 400,
+                DbError::PermissionDenied(_) => 403,
+                DbError::BranchExists { .. } | DbError::MergeConflicts(_) => 409,
+                _ => 500,
+            };
+            let body = format!(
+                "{{\"error\":{{\"code\":\"{}\",\"message\":\"{}\"}}}}",
+                e.code(),
+                json_escape(&e.to_string())
+            );
+            respond(&mut stream, status, JSON, &body)
+        }
     }
 }
 
-fn respond(stream: &mut TcpStream, status: u16, body: &str) -> std::io::Result<()> {
+/// Hard ceiling on one `/v1/<key>/range` page. The endpoint's constant-
+/// memory promise only holds if the response body is bounded too: an
+/// unauthenticated `limit=4000000000` must not make the server
+/// materialize a multi-GB page.
+const RANGE_LIMIT_MAX: usize = 10_000;
+
+/// `GET /v1/<key>/range`: a JSON page of map entries from the streaming
+/// cursor. `start` is inclusive, `end` exclusive; `limit` caps the page
+/// (default 1000, clamped to [`RANGE_LIMIT_MAX`]) and `truncated` tells
+/// the client whether more entries remain past the page. Keys and values
+/// are rendered as (lossily decoded) strings; entries that are not valid
+/// UTF-8 additionally carry `key_hex`/`value_hex` with the exact bytes,
+/// so binary data survives the trip.
+fn range_route<S: SweepStore>(
+    db: &ForkBase<S>,
+    key: &str,
+    branch: &str,
+    start: &Option<String>,
+    end: &Option<String>,
+    limit: &Option<String>,
+) -> Result<String, DbError> {
+    use std::ops::Bound;
+    let limit: usize = match limit {
+        None => 1000,
+        Some(l) => l
+            .parse::<usize>()
+            .map_err(|_| DbError::InvalidInput(format!("limit is not a number: {l:?}")))?
+            .min(RANGE_LIMIT_MAX),
+    };
+    let snap = db.snapshot(key, &VersionSpec::Branch(branch.to_string()))?;
+    let start_bound = match start {
+        Some(s) => Bound::Included(s.as_bytes()),
+        None => Bound::Unbounded,
+    };
+    let end_bound = match end {
+        Some(e) => Bound::Excluded(e.as_bytes()),
+        None => Bound::Unbounded,
+    };
+    let mut range = snap.map_range::<&[u8], _>((start_bound, end_bound))?;
+    let mut body = format!(
+        "{{\"key\":\"{}\",\"version\":\"{}\",\"entries\":[",
+        json_escape(key),
+        snap.uid()
+    );
+    let mut n = 0usize;
+    let mut truncated = false;
+    for item in &mut range {
+        let (k, v) = item?;
+        if n == limit {
+            truncated = true;
+            break;
+        }
+        if n > 0 {
+            body.push(',');
+        }
+        body.push('{');
+        body.push_str(&json_bytes_field("key", &k));
+        body.push(',');
+        body.push_str(&json_bytes_field("value", &v));
+        body.push('}');
+        n += 1;
+    }
+    body.push_str(&format!("],\"count\":{n},\"truncated\":{truncated}}}"));
+    Ok(body)
+}
+
+const TEXT: &str = "text/plain; charset=utf-8";
+const JSON: &str = "application/json";
+
+fn respond(
+    stream: &mut TcpStream,
+    status: u16,
+    content_type: &str,
+    body: &str,
+) -> std::io::Result<()> {
     let reason = match status {
         200 => "OK",
         400 => "Bad Request",
         403 => "Forbidden",
         404 => "Not Found",
+        409 => "Conflict",
         _ => "Internal Server Error",
     };
     let response = format!(
-        "HTTP/1.1 {status} {reason}\r\ncontent-type: text/plain; charset=utf-8\r\n\
+        "HTTP/1.1 {status} {reason}\r\ncontent-type: {content_type}\r\n\
          content-length: {}\r\nconnection: close\r\n\r\n{body}",
         body.len()
     );
     stream.write_all(response.as_bytes())
+}
+
+/// Render a byte string as `"name":"<lossy text>"`, adding a lossless
+/// `"name_hex":"…"` companion when the bytes are not valid UTF-8 (the
+/// lossy text alone would collapse distinct binary keys into the same
+/// replacement-character string).
+fn json_bytes_field(name: &str, bytes: &[u8]) -> String {
+    match std::str::from_utf8(bytes) {
+        Ok(text) => format!("\"{name}\":\"{}\"", json_escape(text)),
+        Err(_) => {
+            let hex: String = bytes.iter().map(|b| format!("{b:02x}")).collect();
+            format!(
+                "\"{name}\":\"{}\",\"{name}_hex\":\"{hex}\"",
+                json_escape(&String::from_utf8_lossy(bytes))
+            )
+        }
+    }
+}
+
+/// Minimal JSON string escaping (quotes, backslashes, control chars).
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out
 }
 
 fn url_decode(s: &str) -> String {
@@ -347,6 +492,92 @@ mod tests {
         assert_eq!(status, 400);
         let (status, _) = request(server.addr(), "GET", "/head/ghost", "");
         assert_eq!(status, 404);
+        server.stop();
+    }
+
+    #[test]
+    fn errors_are_structured_json() {
+        let (server, _db) = start();
+        let (status, body) = request(server.addr(), "GET", "/get/nope", "");
+        assert_eq!(status, 404);
+        assert!(
+            body.contains("\"error\"") && body.contains("\"code\":\"no_such_key\""),
+            "structured error body: {body}"
+        );
+        let (status, body) = request(server.addr(), "GET", "/no/such/route", "");
+        assert_eq!(status, 400);
+        assert!(body.contains("\"code\":\"invalid_input\""), "body: {body}");
+    }
+
+    #[test]
+    fn v1_range_pages_map_entries() {
+        let (server, db) = start();
+        let pairs: Vec<(bytes::Bytes, bytes::Bytes)> = (0..50)
+            .map(|i| {
+                (
+                    bytes::Bytes::from(format!("k{i:03}")),
+                    bytes::Bytes::from(format!("v{i}")),
+                )
+            })
+            .collect();
+        let map = db.new_map(pairs).unwrap();
+        db.put("table", map, &forkbase::PutOptions::default())
+            .unwrap();
+
+        // Bounded page.
+        let (status, body) = request(
+            server.addr(),
+            "GET",
+            "/v1/table/range?start=k010&end=k015",
+            "",
+        );
+        assert_eq!(status, 200);
+        assert!(body.contains("\"count\":5"), "body: {body}");
+        assert!(body.contains("\"truncated\":false"));
+        assert!(body.contains("{\"key\":\"k010\",\"value\":\"v10\"}"));
+        assert!(!body.contains("k015"));
+
+        // Limit + truncation marker.
+        let (status, body) = request(server.addr(), "GET", "/v1/table/range?limit=7", "");
+        assert_eq!(status, 200);
+        assert!(body.contains("\"count\":7") && body.contains("\"truncated\":true"));
+
+        // Absurd limits are clamped, not honored or rejected.
+        let (status, body) = request(server.addr(), "GET", "/v1/table/range?limit=4000000000", "");
+        assert_eq!(status, 200);
+        assert!(body.contains("\"count\":50"), "body: {body}");
+
+        // Binary (non-UTF-8) entries carry lossless hex companions.
+        let map = db
+            .new_map(vec![(
+                bytes::Bytes::from_static(&[0xff, 0x01]),
+                bytes::Bytes::from_static(&[0xfe]),
+            )])
+            .unwrap();
+        db.put("bin", map, &forkbase::PutOptions::default())
+            .unwrap();
+        let (status, body) = request(server.addr(), "GET", "/v1/bin/range", "");
+        assert_eq!(status, 200);
+        assert!(
+            body.contains("\"key_hex\":\"ff01\"") && body.contains("\"value_hex\":\"fe\""),
+            "body: {body}"
+        );
+
+        // Missing key → structured 404.
+        let (status, body) = request(server.addr(), "GET", "/v1/ghost/range", "");
+        assert_eq!(status, 404);
+        assert!(body.contains("\"code\":\"no_such_key\""));
+
+        // Non-map value → 400 type mismatch.
+        db.put(
+            "scalar",
+            Value::string("not a map"),
+            &forkbase::PutOptions::default(),
+        )
+        .unwrap();
+        let (status, body) = request(server.addr(), "GET", "/v1/scalar/range", "");
+        assert_eq!(status, 400);
+        assert!(body.contains("\"code\":\"type_mismatch\""), "body: {body}");
         server.stop();
     }
 

@@ -1,0 +1,424 @@
+//! [`WriteBatch`]: atomic multi-key commits.
+//!
+//! A batch collects puts, compound map edits, and branch deletions across
+//! any number of `(key, branch)` pairs, then commits them in one step:
+//!
+//! 1. every touched head stripe is locked in **stripe-index order**
+//!    (deduplicated), the same deadlock-free discipline `merge` uses for
+//!    its two stripes — so concurrent batches and merges can never wait on
+//!    each other in a cycle;
+//! 2. all new FNodes are built against the locked heads and staged;
+//! 3. the staged chunks land in the store through a **single
+//!    [`ChunkStore::put_batch`]** round-trip (one lock acquisition per
+//!    shard, at most one fsync on a `FileStore`);
+//! 4. every head is swung inside **one** ref-table write section — or, if
+//!    any step failed, none are.
+//!
+//! Readers that look at multiple heads through [`ForkBase::heads`] (one
+//! consistent read of the ref table) therefore observe either all of a
+//! batch's updates or none of them: no torn multi-key states. The
+//! already-written FNode chunks of a failed batch are unreferenced and
+//! reclaimed by the next [`crate::gc::collect`].
+
+use std::collections::HashMap;
+
+use bytes::Bytes;
+use forkbase_postree::{MapEdit, PosBlob, PosMap};
+use forkbase_store::ChunkStore;
+use forkbase_types::Value;
+use parking_lot::MutexGuard;
+
+use super::{expect_map, CommitResult, ForkBase, PutOptions};
+use crate::error::{DbError, DbResult};
+use crate::fnode::{FNode, Uid};
+use std::sync::atomic::Ordering;
+
+/// One staged operation of a [`WriteBatch`].
+enum BatchOp {
+    /// Commit a value as the new head of `(key, opts.branch)`.
+    Put {
+        key: String,
+        value: Value,
+        opts: PutOptions,
+    },
+    /// Chunk `content` into a blob value at commit time, then commit it.
+    PutBlob {
+        key: String,
+        content: Bytes,
+        opts: PutOptions,
+    },
+    /// Apply map edits to the head value of `(key, opts.branch)`.
+    MapEdits {
+        key: String,
+        edits: Vec<MapEdit>,
+        opts: PutOptions,
+    },
+    /// Delete a branch ref (versions remain, like `delete_branch`).
+    DeleteBranch { key: String, branch: String },
+}
+
+impl BatchOp {
+    fn key_branch(&self) -> (&str, &str) {
+        match self {
+            BatchOp::Put { key, opts, .. }
+            | BatchOp::PutBlob { key, opts, .. }
+            | BatchOp::MapEdits { key, opts, .. } => (key, &opts.branch),
+            BatchOp::DeleteBranch { key, branch } => (key, branch),
+        }
+    }
+}
+
+/// Per-operation outcome of a committed [`WriteBatch`], in batch order.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum BatchOutcome {
+    /// A put/map-edit landed this commit.
+    Committed(CommitResult),
+    /// A branch ref was removed.
+    Deleted {
+        /// The key whose branch was deleted.
+        key: String,
+        /// The deleted branch.
+        branch: String,
+    },
+}
+
+impl BatchOutcome {
+    /// The commit result, if this outcome was a commit.
+    pub fn commit(&self) -> Option<&CommitResult> {
+        match self {
+            BatchOutcome::Committed(c) => Some(c),
+            BatchOutcome::Deleted { .. } => None,
+        }
+    }
+}
+
+/// A collection of writes across many keys, committed atomically.
+///
+/// Build with [`ForkBase::write_batch`], stage operations, then
+/// [`WriteBatch::commit`]. Operations on the **same** `(key, branch)`
+/// chain within the batch: a later put's base is the earlier put's
+/// freshly created version.
+///
+/// ```
+/// use forkbase::{ForkBase, PutOptions};
+/// use forkbase_store::MemStore;
+/// use forkbase_types::Value;
+///
+/// let db = ForkBase::new(MemStore::new());
+/// let mut batch = db.write_batch();
+/// batch
+///     .put("account/alice", Value::Int(90), &PutOptions::default())
+///     .put("account/bob", Value::Int(110), &PutOptions::default());
+/// let outcomes = batch.commit().unwrap();
+/// assert_eq!(outcomes.len(), 2);
+/// // Both heads moved together: a concurrent reader using `db.heads`
+/// // sees either neither commit or both, never a torn transfer.
+/// assert_eq!(
+///     db.heads(&[("account/alice", "master"), ("account/bob", "master")])
+///         .unwrap()
+///         .len(),
+///     2
+/// );
+/// ```
+pub struct WriteBatch<'db, S> {
+    db: &'db ForkBase<S>,
+    ops: Vec<BatchOp>,
+}
+
+impl<S: ChunkStore> ForkBase<S> {
+    /// Start collecting an atomic multi-key write batch.
+    pub fn write_batch(&self) -> WriteBatch<'_, S> {
+        WriteBatch {
+            db: self,
+            ops: Vec::new(),
+        }
+    }
+}
+
+impl<'db, S: ChunkStore> WriteBatch<'db, S> {
+    /// Stage a `Put` of `value` on `(key, opts.branch)`.
+    pub fn put(&mut self, key: impl Into<String>, value: Value, opts: &PutOptions) -> &mut Self {
+        self.ops.push(BatchOp::Put {
+            key: key.into(),
+            value,
+            opts: opts.clone(),
+        });
+        self
+    }
+
+    /// Stage a blob commit: `content` is chunked at commit time (under the
+    /// GC gate, like [`ForkBase::put_blob`]).
+    pub fn put_blob(
+        &mut self,
+        key: impl Into<String>,
+        content: Bytes,
+        opts: &PutOptions,
+    ) -> &mut Self {
+        self.ops.push(BatchOp::PutBlob {
+            key: key.into(),
+            content,
+            opts: opts.clone(),
+        });
+        self
+    }
+
+    /// Stage a compound map edit against the head of `(key, opts.branch)`
+    /// (read head value → apply edits → commit), like
+    /// [`ForkBase::put_map_edits`].
+    pub fn map_edits(
+        &mut self,
+        key: impl Into<String>,
+        edits: Vec<MapEdit>,
+        opts: &PutOptions,
+    ) -> &mut Self {
+        self.ops.push(BatchOp::MapEdits {
+            key: key.into(),
+            edits,
+            opts: opts.clone(),
+        });
+        self
+    }
+
+    /// Stage a branch deletion.
+    pub fn delete_branch(
+        &mut self,
+        key: impl Into<String>,
+        branch: impl Into<String>,
+    ) -> &mut Self {
+        self.ops.push(BatchOp::DeleteBranch {
+            key: key.into(),
+            branch: branch.into(),
+        });
+        self
+    }
+
+    /// Number of staged operations.
+    pub fn len(&self) -> usize {
+        self.ops.len()
+    }
+
+    /// Whether the batch has no staged operations.
+    pub fn is_empty(&self) -> bool {
+        self.ops.is_empty()
+    }
+
+    /// Commit every staged operation atomically; returns per-operation
+    /// outcomes in batch order.
+    ///
+    /// All touched head stripes are acquired in index order, all new
+    /// FNodes are staged through one [`ChunkStore::put_batch`], and every
+    /// head swings inside a single ref-table write section — or none do,
+    /// if any operation fails. See the module docs for the protocol.
+    pub fn commit(self) -> DbResult<Vec<BatchOutcome>> {
+        let db = self.db;
+        let mut ops = self.ops;
+        if ops.is_empty() {
+            return Ok(Vec::new());
+        }
+        // Validate names before touching any lock.
+        for op in &ops {
+            let (key, branch) = op.key_branch();
+            ForkBase::<S>::validate_name("key", key)?;
+            ForkBase::<S>::validate_name("branch", branch)?;
+        }
+
+        let _gc = db.gc_gate.read();
+
+        // Chunk blob contents BEFORE any head stripe is taken: chunking is
+        // content-addressed and independent of heads, and a large blob
+        // would otherwise stall every writer sharing a stripe with this
+        // batch for the whole chunking run (the non-batch `put_blob` makes
+        // the same choice). Must happen under the GC gate, so the freshly
+        // written trees cannot be swept before the heads swing.
+        for op in &mut ops {
+            if let BatchOp::PutBlob { key, content, opts } = op {
+                let blob = PosBlob::new(&db.store, db.cfg);
+                let value = Value::Blob(blob.write_bytes(std::mem::take(content))?);
+                *op = BatchOp::Put {
+                    key: std::mem::take(key),
+                    value,
+                    opts: std::mem::take(opts),
+                };
+            }
+        }
+
+        // Index the distinct (key, branch) pairs once, so the per-op work
+        // below is a vector index instead of a hash lookup + allocation.
+        // Owned copies of the distinct pairs (one clone per pair, not per
+        // op) let the op loop consume `ops` and move its strings straight
+        // into the FNodes.
+        let (pairs, op_pair): (Vec<(String, String)>, Vec<usize>) = {
+            let mut pair_index: HashMap<(&str, &str), usize> = HashMap::new();
+            let mut distinct: Vec<(&str, &str)> = Vec::new();
+            let op_pair: Vec<usize> = ops
+                .iter()
+                .map(|op| {
+                    let pair = op.key_branch();
+                    *pair_index.entry(pair).or_insert_with(|| {
+                        distinct.push(pair);
+                        distinct.len() - 1
+                    })
+                })
+                .collect();
+            (
+                distinct
+                    .into_iter()
+                    .map(|(k, b)| (k.to_string(), b.to_string()))
+                    .collect(),
+                op_pair,
+            )
+        };
+
+        // Lock every touched stripe in index order (deduplicated): the
+        // same total order merge uses, so no lock cycle can form.
+        let mut stripes: Vec<usize> = pairs
+            .iter()
+            .map(|(key, branch)| ForkBase::<S>::head_stripe(key, branch))
+            .collect();
+        stripes.sort_unstable();
+        stripes.dedup();
+        let _guards: Vec<MutexGuard<'_, ()>> =
+            stripes.iter().map(|&i| db.head_locks[i].lock()).collect();
+
+        // One consistent read of the current heads (the stripes are held,
+        // so these cannot move under the batch).
+        let (mut heads, key_existed): (Vec<Option<Uid>>, Vec<bool>) = {
+            let branches = db.branches.read();
+            pairs
+                .iter()
+                .map(|(key, branch)| {
+                    let kb = branches.get(key);
+                    (kb.and_then(|m| m.get(branch)).copied(), kb.is_some())
+                })
+                .unzip()
+        };
+
+        // Build all FNodes against the locked heads, consuming the staged
+        // ops (their strings move into the FNodes — no per-op clones).
+        // `heads` tracks in-batch chaining: a later op on the same
+        // (key, branch) bases on the earlier op's version; `None` marks a
+        // (possibly in-batch) deleted or absent branch.
+        let mut keys_created: Vec<usize> = Vec::new(); // pair indices put to
+        let mut staged_chunks: Vec<(Uid, Bytes)> = Vec::with_capacity(ops.len());
+        let mut outcomes: Vec<BatchOutcome> = Vec::with_capacity(ops.len());
+        // Per-pair value of the latest in-batch commit: later map-edit ops
+        // on the same branch must read the staged head's value from here —
+        // its FNode chunk is not in the store until the put_batch below.
+        // Only tracked for pairs some map-edit op actually targets, so the
+        // common all-puts batch never clones a value.
+        let mut staged_values: Vec<Option<Value>> = vec![None; pairs.len()];
+        let mut needs_value: Vec<bool> = vec![false; pairs.len()];
+        for (op, &p) in ops.iter().zip(&op_pair) {
+            if matches!(op, BatchOp::MapEdits { .. }) {
+                needs_value[p] = true;
+            }
+        }
+
+        // Classify a missing head the way `delete_branch` does: missing
+        // key vs missing branch, where a key counts as present if an
+        // earlier batch op created it.
+        let missing_head_err =
+            |created: &[usize], pair: usize, key: String, branch: String| -> DbError {
+                if !key_existed[pair] && !created.iter().any(|&p| pairs[p].0 == key) {
+                    DbError::NoSuchKey(key)
+                } else {
+                    DbError::NoSuchBranch { key, branch }
+                }
+            };
+
+        for (op, pair) in ops.into_iter().zip(op_pair) {
+            match op {
+                BatchOp::DeleteBranch { key, branch } => {
+                    if heads[pair].is_none() {
+                        return Err(missing_head_err(&keys_created, pair, key, branch));
+                    }
+                    heads[pair] = None;
+                    staged_values[pair] = None;
+                    outcomes.push(BatchOutcome::Deleted { key, branch });
+                }
+                BatchOp::Put { key, value, opts } => {
+                    if needs_value[pair] {
+                        staged_values[pair] = Some(value.clone());
+                    }
+                    let (uid, branch) =
+                        commit_one(db, &mut staged_chunks, key, value, heads[pair], opts);
+                    heads[pair] = Some(uid);
+                    keys_created.push(pair);
+                    outcomes.push(BatchOutcome::Committed(CommitResult { uid, branch }));
+                }
+                BatchOp::PutBlob { .. } => {
+                    unreachable!("blob ops were rewritten to puts before locking")
+                }
+                BatchOp::MapEdits { key, edits, opts } => {
+                    if heads[pair].is_none() {
+                        return Err(missing_head_err(&keys_created, pair, key, opts.branch));
+                    }
+                    // Base value: the in-batch staged head if one exists
+                    // (its FNode is not in the store yet), else the stored
+                    // head's.
+                    let base_value = match &staged_values[pair] {
+                        Some(v) => v.clone(),
+                        None => FNode::load(&db.store, &heads[pair].expect("checked above"))?.value,
+                    };
+                    let tree = expect_map(&base_value)?;
+                    let updated = PosMap::open(&db.store, db.cfg.node, tree).apply(edits)?;
+                    let value = match base_value {
+                        Value::Set(_) => Value::Set(updated.tree()),
+                        _ => Value::Map(updated.tree()),
+                    };
+                    staged_values[pair] = Some(value.clone());
+                    let (uid, branch) =
+                        commit_one(db, &mut staged_chunks, key, value, heads[pair], opts);
+                    heads[pair] = Some(uid);
+                    outcomes.push(BatchOutcome::Committed(CommitResult { uid, branch }));
+                }
+            }
+        }
+
+        // One store round-trip for every new FNode (value trees were
+        // batched by their own builders above).
+        db.store.put_batch(staged_chunks)?;
+
+        // The commit point: swing every head (or drop every deleted ref)
+        // inside a single write section. A reader holding the ref table —
+        // `heads`, `dump_refs` — sees all of these updates or none.
+        let mut branches = db.branches.write();
+        for ((key, branch), head) in pairs.into_iter().zip(heads) {
+            match head {
+                Some(uid) => {
+                    branches.entry(key).or_default().insert(branch, uid);
+                }
+                None => {
+                    if let Some(kb) = branches.get_mut(&key) {
+                        kb.remove(&branch);
+                    }
+                }
+            }
+        }
+        Ok(outcomes)
+    }
+}
+
+/// Build one commit FNode against `head` (taking ownership of the op's
+/// strings and value), stage its encoded chunk, and return the uid plus
+/// the target branch for the outcome.
+fn commit_one<S: ChunkStore>(
+    db: &ForkBase<S>,
+    staged_chunks: &mut Vec<(Uid, Bytes)>,
+    key: String,
+    value: Value,
+    head: Option<Uid>,
+    opts: PutOptions,
+) -> (Uid, String) {
+    let fnode = FNode {
+        key,
+        value,
+        bases: head.into_iter().collect(),
+        author: opts.author,
+        message: opts.message,
+        logical_time: db.clock.fetch_add(1, Ordering::Relaxed),
+    };
+    let (uid, bytes) = fnode.encode_with_uid();
+    staged_chunks.push((uid, Bytes::from(bytes)));
+    (uid, opts.branch)
+}

@@ -55,6 +55,29 @@ pub enum DbError {
     InvalidInput(String),
 }
 
+impl DbError {
+    /// A stable, machine-readable error code (snake_case). The REST layer
+    /// returns this alongside the human message so clients can branch on
+    /// error kind without parsing prose.
+    pub fn code(&self) -> &'static str {
+        match self {
+            DbError::Store(_) => "store_error",
+            DbError::Node(_) => "tree_error",
+            DbError::Value(_) => "value_error",
+            DbError::NoSuchKey(_) => "no_such_key",
+            DbError::NoSuchBranch { .. } => "no_such_branch",
+            DbError::NoSuchVersion(_) => "no_such_version",
+            DbError::BranchExists { .. } => "branch_exists",
+            DbError::MergeConflicts(_) => "merge_conflicts",
+            DbError::NoCommonAncestor(_, _) => "no_common_ancestor",
+            DbError::TypeMismatch { .. } => "type_mismatch",
+            DbError::TamperDetected(_) => "tamper_detected",
+            DbError::PermissionDenied(_) => "permission_denied",
+            DbError::InvalidInput(_) => "invalid_input",
+        }
+    }
+}
+
 impl std::fmt::Display for DbError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
@@ -156,6 +179,11 @@ mod tests {
         ];
         for e in cases {
             assert!(!e.to_string().is_empty());
+            let code = e.code();
+            assert!(
+                !code.is_empty() && code.chars().all(|c| c == '_' || c.is_ascii_lowercase()),
+                "codes are stable snake_case: {code}"
+            );
         }
     }
 

@@ -109,13 +109,21 @@ impl FNode {
 
     /// The version uid: SHA-256 of the canonical encoding.
     pub fn uid(&self) -> Uid {
-        sha256(&self.encode())
+        self.encode_with_uid().0
+    }
+
+    /// Canonical encoding plus its uid in one pass — the single place the
+    /// content-addressing of versions is defined. Both the direct store
+    /// path ([`Self::store`]) and the write-batch staging path use this,
+    /// so their uids can never drift apart.
+    pub fn encode_with_uid(&self) -> (Uid, Vec<u8>) {
+        let bytes = self.encode();
+        (sha256(&bytes), bytes)
     }
 
     /// Persist into the chunk store; returns the uid.
     pub fn store<S: ChunkStore>(&self, store: &S) -> DbResult<Uid> {
-        let bytes = self.encode();
-        let uid = sha256(&bytes);
+        let (uid, bytes) = self.encode_with_uid();
         store.put_with_hash(uid, Bytes::from(bytes))?;
         Ok(uid)
     }

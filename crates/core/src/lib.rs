@@ -38,6 +38,7 @@
 //! ```
 
 pub mod acl;
+pub mod api;
 pub mod bundle;
 pub mod cluster;
 pub mod db;
@@ -46,11 +47,11 @@ pub mod fnode;
 pub mod gc;
 
 pub use acl::{AccessController, Permission, Role};
-pub use bundle::{export_bundle, import_bundle, BundleRef};
-pub use db::{
-    BranchInfo, CommitResult, ForkBase, GetResult, HistoryEntry, PutOptions, ValueDiff,
-    VersionSpec, DEFAULT_BRANCH,
+pub use api::{
+    BatchOutcome, BlobReader, BranchInfo, CommitResult, DbStat, ForkBase, GetResult, HistoryEntry,
+    ListStream, MapRange, PutOptions, Snapshot, ValueDiff, VersionSpec, WriteBatch, DEFAULT_BRANCH,
 };
+pub use bundle::{export_bundle, import_bundle, BundleRef};
 pub use error::{DbError, DbResult};
 pub use fnode::{FNode, Uid};
 pub use gc::GcReport;

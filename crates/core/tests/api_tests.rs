@@ -1,0 +1,487 @@
+//! Integration tests for the PR 4 data-access API: snapshots, streaming
+//! cursors, and atomic write batches — plus equivalence of the reworked
+//! read verbs with their pre-snapshot behavior.
+
+use std::collections::BTreeMap;
+use std::io::Read;
+
+use bytes::Bytes;
+use forkbase::{BatchOutcome, DbError, ForkBase, PutOptions, VersionSpec};
+use forkbase_postree::{MapEdit, TreeConfig};
+use forkbase_store::MemStore;
+use forkbase_types::Value;
+
+fn db() -> ForkBase<MemStore> {
+    ForkBase::with_config(MemStore::new(), TreeConfig::test_config())
+}
+
+fn pseudo_random(len: usize, seed: u64) -> Vec<u8> {
+    let mut s = seed | 1;
+    (0..len)
+        .map(|_| {
+            s ^= s << 13;
+            s ^= s >> 7;
+            s ^= s << 17;
+            (s & 0xff) as u8
+        })
+        .collect()
+}
+
+fn k(i: u32) -> Bytes {
+    Bytes::from(format!("key-{i:05}"))
+}
+
+fn v(i: u32) -> Bytes {
+    Bytes::from(format!("value-{i}"))
+}
+
+fn put_map(db: &ForkBase<MemStore>, key: &str, n: u32) {
+    let pairs: Vec<(Bytes, Bytes)> = (0..n).map(|i| (k(i), v(i))).collect();
+    let map = db.new_map(pairs).unwrap();
+    db.put(key, map, &PutOptions::default()).unwrap();
+}
+
+// ---------------------------------------------------------------------
+// Snapshots
+// ---------------------------------------------------------------------
+
+#[test]
+fn snapshot_pins_a_version_across_commits() {
+    let db = db();
+    db.put("doc", Value::string("v1"), &PutOptions::default())
+        .unwrap();
+    let snap = db.snapshot("doc", &VersionSpec::default()).unwrap();
+    db.put("doc", Value::string("v2"), &PutOptions::default())
+        .unwrap();
+    assert_eq!(snap.value().as_str(), Some("v1"));
+    assert_eq!(snap.key(), "doc");
+    // Clones share the resolved FNode and stay pinned too.
+    let clone = snap.clone();
+    assert_eq!(clone.uid(), snap.uid());
+    assert_eq!(clone.value().as_str(), Some("v1"));
+    // The live branch moved on.
+    assert_eq!(db.get("doc", "master").unwrap().value.as_str(), Some("v2"));
+}
+
+#[test]
+fn snapshot_counterparts_match_materializing_verbs() {
+    let db = db();
+    put_map(&db, "table", 2000);
+    let got = db.get("table", "master").unwrap();
+    let snap = db.snapshot("table", &VersionSpec::default()).unwrap();
+
+    assert_eq!(
+        snap.map_entries().unwrap(),
+        db.map_entries(&got.value).unwrap()
+    );
+    assert_eq!(
+        snap.map_get(&k(700)).unwrap(),
+        db.map_get(&got.value, &k(700)).unwrap()
+    );
+    assert_eq!(
+        snap.map_select(Some(&k(10)), Some(&k(20))).unwrap(),
+        db.map_select(&got.value, Some(&k(10)), Some(&k(20)))
+            .unwrap()
+    );
+    // Meta agrees with the verb path.
+    assert_eq!(snap.meta(), db.meta(&snap.uid()).unwrap());
+    // Proofs generated from a snapshot verify against its uid.
+    let proof = snap.prove_entry(&k(3)).unwrap();
+    let value = db.verify_entry_proof(&snap.uid(), &k(3), &proof).unwrap();
+    assert_eq!(value, Some(v(3)));
+}
+
+#[test]
+fn snapshot_export_matches_verb_export() {
+    let db = db();
+    put_map(&db, "table", 300);
+    let content = pseudo_random(100_000, 9);
+    db.put_blob("blob", Bytes::from(content.clone()), &PutOptions::default())
+        .unwrap();
+    db.put(
+        "list",
+        db.new_list((0..200).map(v).collect()).unwrap(),
+        &PutOptions::default(),
+    )
+    .unwrap();
+
+    for key in ["table", "blob", "list"] {
+        let mut via_verb = Vec::new();
+        let n1 = db
+            .export(key, &VersionSpec::default(), &mut via_verb)
+            .unwrap();
+        let mut via_snap = Vec::new();
+        let snap = db.snapshot(key, &VersionSpec::default()).unwrap();
+        let n2 = snap.export(&mut via_snap).unwrap();
+        assert_eq!(via_verb, via_snap, "export of {key}");
+        assert_eq!(n1, n2);
+    }
+}
+
+// ---------------------------------------------------------------------
+// Streaming cursors
+// ---------------------------------------------------------------------
+
+#[test]
+fn map_range_bounds_match_btreemap_model() {
+    let db = db();
+    put_map(&db, "table", 1000);
+    let snap = db.snapshot("table", &VersionSpec::default()).unwrap();
+    let model: BTreeMap<Bytes, Bytes> = (0..1000).map(|i| (k(i), v(i))).collect();
+
+    let collect = |range: Vec<Result<(Bytes, Bytes), DbError>>| -> Vec<(Bytes, Bytes)> {
+        range.into_iter().map(|r| r.unwrap()).collect()
+    };
+
+    // start..end (half-open).
+    let got = collect(
+        snap.map_range(k(100).as_ref()..k(110).as_ref())
+            .unwrap()
+            .collect(),
+    );
+    let want: Vec<_> = model
+        .range(k(100)..k(110))
+        .map(|(a, b)| (a.clone(), b.clone()))
+        .collect();
+    assert_eq!(got, want);
+
+    // start..=end (inclusive).
+    let got = collect(
+        snap.map_range(k(100).as_ref()..=k(110).as_ref())
+            .unwrap()
+            .collect(),
+    );
+    assert_eq!(got.len(), 11);
+    assert_eq!(got.last().unwrap().0, k(110));
+
+    // ..end and start.. and full.
+    let until = collect(snap.map_range(..k(5).as_ref()).unwrap().collect());
+    assert_eq!(until.len(), 5);
+    let from = collect(snap.map_range(k(995).as_ref()..).unwrap().collect());
+    assert_eq!(from.len(), 5);
+    let all = collect(snap.map_iter().unwrap().collect());
+    assert_eq!(all.len(), 1000);
+
+    // Exclusive start via (Bound, Bound).
+    use std::ops::Bound;
+    let got = collect(
+        snap.map_range::<&[u8], _>((
+            Bound::Excluded(k(100).as_ref()),
+            Bound::Included(k(103).as_ref()),
+        ))
+        .unwrap()
+        .collect(),
+    );
+    assert_eq!(
+        got.iter().map(|(a, _)| a.clone()).collect::<Vec<_>>(),
+        vec![k(101), k(102), k(103)]
+    );
+
+    // Bounds that match nothing.
+    assert!(collect(snap.map_range(b"zzz".as_slice()..).unwrap().collect()).is_empty());
+}
+
+#[test]
+fn list_iter_matches_list_elements() {
+    let db = db();
+    let elements: Vec<Bytes> = (0..1500).map(v).collect();
+    db.put(
+        "list",
+        db.new_list(elements.clone()).unwrap(),
+        &PutOptions::default(),
+    )
+    .unwrap();
+    let got = db.get("list", "master").unwrap();
+    let snap = db.snapshot("list", &VersionSpec::default()).unwrap();
+    let streamed: Vec<Bytes> = snap.list_iter().unwrap().map(|e| e.unwrap()).collect();
+    assert_eq!(streamed, db.list_elements(&got.value).unwrap());
+    assert_eq!(streamed, elements);
+}
+
+#[test]
+fn blob_reader_streams_through_a_small_buffer() {
+    let db = db();
+    let content = pseudo_random(2 * 1024 * 1024, 77);
+    db.put_blob("blob", Bytes::from(content.clone()), &PutOptions::default())
+        .unwrap();
+    let snap = db.snapshot("blob", &VersionSpec::default()).unwrap();
+
+    let mut reader = snap.blob_reader().unwrap();
+    let mut buf = [0u8; 8 * 1024];
+    let mut out = Vec::new();
+    loop {
+        let n = reader.read(&mut buf).unwrap();
+        if n == 0 {
+            break;
+        }
+        out.extend_from_slice(&buf[..n]);
+    }
+    assert_eq!(out, content);
+    // And the materializing wrapper agrees.
+    let got = db.get("blob", "master").unwrap();
+    assert_eq!(db.blob_read(&got.value).unwrap(), content);
+    assert_eq!(snap.blob_read().unwrap(), content);
+}
+
+#[test]
+fn cursor_paths_reject_wrong_types() {
+    let db = db();
+    db.put("scalar", Value::Int(7), &PutOptions::default())
+        .unwrap();
+    let snap = db.snapshot("scalar", &VersionSpec::default()).unwrap();
+    assert!(matches!(snap.map_iter(), Err(DbError::TypeMismatch { .. })));
+    assert!(matches!(
+        snap.list_iter(),
+        Err(DbError::TypeMismatch { .. })
+    ));
+    assert!(matches!(
+        snap.blob_reader(),
+        Err(DbError::TypeMismatch { .. })
+    ));
+}
+
+// ---------------------------------------------------------------------
+// Write batches
+// ---------------------------------------------------------------------
+
+#[test]
+fn write_batch_commits_across_keys() {
+    let db = db();
+    let mut batch = db.write_batch();
+    batch
+        .put("a", Value::Int(1), &PutOptions::default())
+        .put("b", Value::Int(2), &PutOptions::default())
+        .put("c", Value::Int(3), &PutOptions::default());
+    assert_eq!(batch.len(), 3);
+    let outcomes = batch.commit().unwrap();
+    assert_eq!(outcomes.len(), 3);
+    for (key, expect) in [("a", 1), ("b", 2), ("c", 3)] {
+        assert_eq!(db.get(key, "master").unwrap().value, Value::Int(expect));
+    }
+    // Outcomes carry the real uids.
+    let BatchOutcome::Committed(c) = &outcomes[0] else {
+        panic!("put outcome must be a commit");
+    };
+    assert_eq!(db.head("a", "master").unwrap(), c.uid);
+    // Each key's history is a proper chain (verifiable).
+    db.verify_branch("a", "master").unwrap();
+}
+
+#[test]
+fn write_batch_chains_ops_on_the_same_branch() {
+    let db = db();
+    let mut batch = db.write_batch();
+    batch
+        .put("doc", Value::string("first"), &PutOptions::default())
+        .put("doc", Value::string("second"), &PutOptions::default());
+    let outcomes = batch.commit().unwrap();
+    let uid1 = outcomes[0].commit().unwrap().uid;
+    let uid2 = outcomes[1].commit().unwrap().uid;
+    assert_eq!(db.head("doc", "master").unwrap(), uid2);
+    // The second commit's base is the first: one linear chain.
+    let meta = db.meta(&uid2).unwrap();
+    assert_eq!(meta.bases, vec![uid1]);
+    let history = db.history("doc", &VersionSpec::default()).unwrap();
+    assert_eq!(history.len(), 2);
+}
+
+#[test]
+fn write_batch_supports_map_edits_blobs_and_deletes() {
+    let db = db();
+    put_map(&db, "table", 100);
+    db.put("victim", Value::Int(0), &PutOptions::default())
+        .unwrap();
+    db.branch("victim", "master", "scratch").unwrap();
+
+    let content = pseudo_random(300_000, 5);
+    let mut batch = db.write_batch();
+    batch
+        .map_edits(
+            "table",
+            vec![
+                MapEdit::put(k(1_000_000), Bytes::from_static(b"appended")),
+                MapEdit::delete(k(5)),
+            ],
+            &PutOptions::default(),
+        )
+        .put_blob("blob", Bytes::from(content.clone()), &PutOptions::default())
+        .delete_branch("victim", "scratch");
+    let outcomes = batch.commit().unwrap();
+    assert_eq!(outcomes.len(), 3);
+    assert_eq!(
+        outcomes[2],
+        BatchOutcome::Deleted {
+            key: "victim".into(),
+            branch: "scratch".into()
+        }
+    );
+
+    let table = db.get("table", "master").unwrap();
+    assert_eq!(
+        db.map_get(&table.value, &k(1_000_000)).unwrap(),
+        Some(Bytes::from_static(b"appended"))
+    );
+    assert_eq!(db.map_get(&table.value, &k(5)).unwrap(), None);
+    // The map-edit commit chains on the previous head.
+    assert_eq!(
+        db.history("table", &VersionSpec::default()).unwrap().len(),
+        2
+    );
+
+    let blob = db.get("blob", "master").unwrap();
+    assert_eq!(db.blob_read(&blob.value).unwrap(), content);
+
+    assert!(matches!(
+        db.head("victim", "scratch"),
+        Err(DbError::NoSuchBranch { .. })
+    ));
+    assert!(db.head("victim", "master").is_ok());
+}
+
+#[test]
+fn write_batch_map_edits_chain_on_in_batch_puts() {
+    // A map-edit op whose base head was created earlier in the SAME batch
+    // must read the staged value (its FNode is not in the store until
+    // commit's put_batch).
+    let db = db();
+    let pairs: Vec<(Bytes, Bytes)> = (0..50).map(|i| (k(i), v(i))).collect();
+    let map = db.new_map(pairs).unwrap();
+    let mut batch = db.write_batch();
+    batch
+        .put("fresh", map, &PutOptions::default())
+        .map_edits(
+            "fresh",
+            vec![MapEdit::put(k(100), Bytes::from_static(b"chained"))],
+            &PutOptions::default(),
+        )
+        .map_edits("fresh", vec![MapEdit::delete(k(0))], &PutOptions::default());
+    let outcomes = batch.commit().unwrap();
+    assert_eq!(outcomes.len(), 3);
+    let got = db.get("fresh", "master").unwrap();
+    assert_eq!(
+        db.map_get(&got.value, &k(100)).unwrap(),
+        Some(Bytes::from_static(b"chained"))
+    );
+    assert_eq!(db.map_get(&got.value, &k(0)).unwrap(), None);
+    assert_eq!(db.map_get(&got.value, &k(1)).unwrap(), Some(v(1)));
+    // Three chained commits, verifiable end to end.
+    assert_eq!(
+        db.history("fresh", &VersionSpec::default()).unwrap().len(),
+        3
+    );
+    db.verify_branch("fresh", "master").unwrap();
+}
+
+#[test]
+fn blob_streams_reject_lying_length() {
+    // A BlobRef whose `len` disagrees with its chunk tree must fail every
+    // read path — materializing, streaming reader, and export.
+    use forkbase_postree::BlobRef;
+    let db = db();
+    let content = pseudo_random(50_000, 21);
+    db.put_blob("b", Bytes::from(content), &PutOptions::default())
+        .unwrap();
+    let honest = db.get("b", "master").unwrap();
+    let r = honest.value.blob_ref().unwrap();
+    let lying = Value::Blob(BlobRef {
+        len: r.len + 1,
+        ..r
+    });
+    db.put("liar", lying, &PutOptions::default()).unwrap();
+    let snap = db.snapshot("liar", &VersionSpec::default()).unwrap();
+
+    assert!(snap.blob_read().is_err(), "materializing read must fail");
+    let mut sink = Vec::new();
+    assert!(snap.export(&mut sink).is_err(), "export must fail");
+    let mut reader = snap.blob_reader().unwrap();
+    let mut buf = [0u8; 4096];
+    let err = loop {
+        match reader.read(&mut buf) {
+            Ok(0) => panic!("stream must not end cleanly"),
+            Ok(_) => continue,
+            Err(e) => break e,
+        }
+    };
+    assert_eq!(err.kind(), std::io::ErrorKind::InvalidData);
+}
+
+#[test]
+fn failed_write_batch_moves_no_heads() {
+    let db = db();
+    db.put("a", Value::Int(1), &PutOptions::default()).unwrap();
+    let head_before = db.head("a", "master").unwrap();
+    let stat_before = db.stat();
+
+    // Second op fails (deleting a branch that doesn't exist), so the
+    // already-built first op must not land either.
+    let mut batch = db.write_batch();
+    batch
+        .put("a", Value::Int(2), &PutOptions::default())
+        .delete_branch("ghost", "master");
+    assert!(matches!(batch.commit(), Err(DbError::NoSuchKey(_))));
+
+    assert_eq!(db.head("a", "master").unwrap(), head_before);
+    assert_eq!(db.get("a", "master").unwrap().value, Value::Int(1));
+    let stat_after = db.stat();
+    assert_eq!(stat_after.keys, stat_before.keys);
+    assert_eq!(stat_after.branches, stat_before.branches);
+
+    // Map edits against a missing branch also roll the batch back.
+    let mut batch = db.write_batch();
+    batch
+        .put("a", Value::Int(3), &PutOptions::default())
+        .map_edits(
+            "a",
+            vec![MapEdit::delete(k(0))],
+            &PutOptions::on_branch("nope"),
+        );
+    assert!(matches!(batch.commit(), Err(DbError::NoSuchBranch { .. })));
+    assert_eq!(db.head("a", "master").unwrap(), head_before);
+}
+
+#[test]
+fn empty_write_batch_is_a_noop() {
+    let db = db();
+    let batch = db.write_batch();
+    assert!(batch.is_empty());
+    assert!(batch.commit().unwrap().is_empty());
+}
+
+#[test]
+fn heads_reads_are_consistent_and_error_on_missing() {
+    let db = db();
+    let mut batch = db.write_batch();
+    batch.put("x", Value::Int(1), &PutOptions::default()).put(
+        "y",
+        Value::Int(1),
+        &PutOptions::default(),
+    );
+    batch.commit().unwrap();
+    let heads = db.heads(&[("x", "master"), ("y", "master")]).unwrap();
+    assert_eq!(heads.len(), 2);
+    assert_eq!(heads[0], db.head("x", "master").unwrap());
+    assert!(matches!(
+        db.heads(&[("x", "master"), ("ghost", "master")]),
+        Err(DbError::NoSuchKey(_))
+    ));
+}
+
+#[test]
+fn batch_chunks_survive_gc_after_commit() {
+    // The GC gate is held across the whole batch: chunks written by the
+    // batch are referenced by the time any collector can run.
+    let db = db();
+    let mut batch = db.write_batch();
+    batch
+        .put_blob(
+            "blob",
+            Bytes::from(pseudo_random(200_000, 3)),
+            &PutOptions::default(),
+        )
+        .put("doc", Value::string("kept"), &PutOptions::default());
+    batch.commit().unwrap();
+    let report = db.gc().unwrap();
+    assert_eq!(report.sweep.chunks_reclaimed, 0);
+    db.verify_branch("blob", "master").unwrap();
+    db.verify_branch("doc", "master").unwrap();
+}

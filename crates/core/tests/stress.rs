@@ -298,3 +298,191 @@ fn gc_vs_commits_smoke() {
 fn stress_gc_vs_concurrent_put_branch_merge() {
     run_gc_vs_commits(8, 120, 200);
 }
+
+/// Write-batch atomicity under concurrent readers: writers commit batches
+/// that put the **same** marker value to every key; readers grab all heads
+/// in one consistent [`ForkBase::heads`] read and resolve them. If a batch
+/// were ever observable half-applied, a reader would see two different
+/// markers across keys.
+fn run_write_batch_atomicity(writers: usize, batches: usize, keys: usize) {
+    let db = db();
+    let key_names: Vec<String> = (0..keys).map(|i| format!("acct-{i}")).collect();
+    // Seed all keys with marker "seed" in one batch so readers always find
+    // every head.
+    {
+        let mut seed = db.write_batch();
+        for key in &key_names {
+            seed.put(key.clone(), Value::string("seed"), &PutOptions::default());
+        }
+        seed.commit().unwrap();
+    }
+
+    let stop = Arc::new(AtomicBool::new(false));
+    let torn = Arc::new(AtomicBool::new(false));
+    std::thread::scope(|s| {
+        // Readers: every observation must be a single batch's marker
+        // across ALL keys.
+        let mut readers = Vec::new();
+        for _ in 0..2 {
+            let db = &db;
+            let stop = Arc::clone(&stop);
+            let torn = Arc::clone(&torn);
+            let key_names = &key_names;
+            readers.push(s.spawn(move || {
+                let pairs: Vec<(&str, &str)> = key_names
+                    .iter()
+                    .map(|key| (key.as_str(), "master"))
+                    .collect();
+                while !stop.load(Ordering::Relaxed) {
+                    let heads = db.heads(&pairs).unwrap();
+                    let markers: Vec<String> = heads
+                        .iter()
+                        .map(|uid| {
+                            db.get_version(uid)
+                                .unwrap()
+                                .value
+                                .as_str()
+                                .expect("marker values are strings")
+                                .to_string()
+                        })
+                        .collect();
+                    if markers.iter().any(|m| m != &markers[0]) {
+                        torn.store(true, Ordering::Relaxed);
+                        return;
+                    }
+                }
+            }));
+        }
+        // Writers: each batch stamps one marker onto every key.
+        let mut writer_handles = Vec::new();
+        for w in 0..writers {
+            let db = &db;
+            let key_names = &key_names;
+            writer_handles.push(s.spawn(move || {
+                for i in 0..batches {
+                    let marker = format!("w{w}-b{i}");
+                    let mut batch = db.write_batch();
+                    for key in key_names {
+                        batch.put(key.clone(), Value::string(&marker), &PutOptions::default());
+                    }
+                    batch.commit().unwrap();
+                }
+            }));
+        }
+        // Join writers, then release the readers before the scope joins
+        // them.
+        for h in writer_handles {
+            h.join().unwrap();
+        }
+        stop.store(true, Ordering::Relaxed);
+    });
+    assert!(
+        !torn.load(Ordering::Relaxed),
+        "a reader observed a torn multi-key batch"
+    );
+    // Every key converged to some writer's final marker, and each chain
+    // verifies end to end.
+    for key in &key_names {
+        db.verify_branch(key, "master").unwrap();
+        let history = db.history(key, &VersionSpec::branch("master")).unwrap();
+        assert_eq!(history.len(), writers * batches + 1, "{key} chain length");
+    }
+}
+
+#[test]
+fn write_batch_atomicity_smoke() {
+    run_write_batch_atomicity(2, 12, 4);
+}
+
+#[test]
+#[ignore = "heavy; run by the CI stress job in release mode"]
+fn stress_write_batch_atomicity() {
+    run_write_batch_atomicity(4, 150, 8);
+}
+
+/// Batches and merges take overlapping stripe sets concurrently; ordered
+/// acquisition must keep them deadlock-free (the test simply completing
+/// is the assertion, plus converged chains verifying).
+#[test]
+#[ignore = "heavy; run by the CI stress job in release mode"]
+fn stress_write_batch_vs_merge_no_deadlock() {
+    let db = db();
+    for key in ["m-0", "m-1", "m-2", "m-3"] {
+        let map = db
+            .new_map(vec![(
+                Bytes::from_static(b"init"),
+                Bytes::from_static(b"0"),
+            )])
+            .unwrap();
+        db.put(key, map, &PutOptions::default()).unwrap();
+        db.branch(key, "master", "side").unwrap();
+    }
+    std::thread::scope(|s| {
+        for t in 0..4 {
+            let db = &db;
+            s.spawn(move || {
+                for i in 0..60 {
+                    if t % 2 == 0 {
+                        // Batch across all four keys, both branches.
+                        let mut batch = db.write_batch();
+                        for key in ["m-0", "m-1", "m-2", "m-3"] {
+                            batch.map_edits(
+                                key,
+                                vec![MapEdit::put(
+                                    Bytes::from(format!("t{t}")),
+                                    Bytes::from(format!("{i}")),
+                                )],
+                                &PutOptions::on_branch(if i % 2 == 0 { "master" } else { "side" }),
+                            );
+                        }
+                        batch.commit().unwrap();
+                    } else {
+                        // Merges crossing the same stripes in both
+                        // directions.
+                        let key = format!("m-{}", i % 4);
+                        let (dst, src) = if i % 2 == 0 {
+                            ("master", "side")
+                        } else {
+                            ("side", "master")
+                        };
+                        let _ = db.merge(&key, dst, src, MergePolicy::Ours, &PutOptions::default());
+                    }
+                }
+            });
+        }
+    });
+    for key in ["m-0", "m-1", "m-2", "m-3"] {
+        db.verify_branch(key, "master").unwrap();
+        db.verify_branch(key, "side").unwrap();
+    }
+}
+
+/// A 64 MiB blob must stream through `Snapshot::blob_reader` without being
+/// materialized: the reader only ever holds one data chunk, and the bytes
+/// coming out are identical to the bytes that went in.
+#[test]
+#[ignore = "heavy; run by the CI stress job in release mode"]
+fn stress_blob_reader_streams_64mib() {
+    use std::io::Read as _;
+    let db = ForkBase::new(MemStore::new()); // default (production) chunking
+    let content = pseudo_random(64 * 1024 * 1024, 0xb10b);
+    db.put_blob("big", content.clone(), &PutOptions::default())
+        .unwrap();
+    let snap = db.snapshot("big", &VersionSpec::branch("master")).unwrap();
+    let mut reader = snap.blob_reader().unwrap();
+    let mut buf = vec![0u8; 64 * 1024];
+    let mut pos = 0usize;
+    loop {
+        let n = reader.read(&mut buf).unwrap();
+        if n == 0 {
+            break;
+        }
+        assert_eq!(
+            &content[pos..pos + n],
+            &buf[..n],
+            "stream diverges at offset {pos}"
+        );
+        pos += n;
+    }
+    assert_eq!(pos, content.len(), "every byte streamed exactly once");
+}

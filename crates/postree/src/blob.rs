@@ -159,15 +159,12 @@ impl<'s, S: ChunkStore> PosBlob<'s, S> {
     }
 
     fn get_chunk(&self, hash: &Hash) -> NodeResult<Bytes> {
-        let bytes = self.store.get(hash)?.ok_or(NodeError::Missing(*hash))?;
-        let actual = sha256(&bytes);
-        if actual != *hash {
-            return Err(NodeError::HashMismatch {
-                expected: *hash,
-                actual,
-            });
-        }
-        Ok(bytes)
+        fetch_verified(self.store, hash)
+    }
+
+    /// Open a streaming cursor over the blob's raw data chunks.
+    pub fn cursor(&self, blob: &BlobRef) -> NodeResult<BlobCursor<'s, S>> {
+        BlobCursor::new(self.store, blob)
     }
 
     /// Invoke `f` with each raw chunk in order.
@@ -261,6 +258,103 @@ impl<'s, S: ChunkStore> PosBlob<'s, S> {
             )));
         }
         Ok(total)
+    }
+}
+
+/// Fetch a chunk and verify it hashes back to its address.
+fn fetch_verified<S: ChunkStore>(store: &S, hash: &Hash) -> NodeResult<Bytes> {
+    let bytes = store.get(hash)?.ok_or(NodeError::Missing(*hash))?;
+    let actual = sha256(&bytes);
+    if actual != *hash {
+        return Err(NodeError::HashMismatch {
+            expected: *hash,
+            actual,
+        });
+    }
+    Ok(bytes)
+}
+
+/// One frame of a [`BlobCursor`]'s descent: the children of an index node,
+/// the next child to visit, and the node's depth above the raw chunks.
+struct BlobFrame {
+    children: Vec<IndexEntry>,
+    idx: usize,
+    depth: u8,
+}
+
+/// A streaming cursor over a blob's raw data chunks, in order.
+///
+/// Unlike [`PosBlob::read_all`] (which materializes the whole value) or
+/// [`PosBlob::walk_chunks`] (callback-driven), the cursor is a pull
+/// interface: each [`BlobCursor::next_chunk`] call fetches, verifies, and
+/// hands back exactly one data chunk. Memory held between calls is the
+/// root→leaf index path — O(log N) index nodes — never the blob content,
+/// which is what lets `Snapshot::blob_reader` stream a 64 MiB blob
+/// through a fixed-size buffer.
+pub struct BlobCursor<'s, S> {
+    store: &'s S,
+    stack: Vec<BlobFrame>,
+    /// Depth-0 blob: the root *is* the single raw chunk, pending until the
+    /// first `next_chunk`.
+    pending_root: Option<Hash>,
+}
+
+impl<'s, S: ChunkStore> BlobCursor<'s, S> {
+    /// Open a cursor at the first chunk of `blob`.
+    pub fn new(store: &'s S, blob: &BlobRef) -> NodeResult<Self> {
+        let mut cursor = BlobCursor {
+            store,
+            stack: Vec::new(),
+            pending_root: None,
+        };
+        if blob.depth == 0 {
+            cursor.pending_root = Some(blob.root);
+        } else {
+            cursor.push_index(&blob.root, blob.depth)?;
+        }
+        Ok(cursor)
+    }
+
+    fn push_index(&mut self, hash: &Hash, depth: u8) -> NodeResult<()> {
+        let node = Node::load(self.store, hash)?;
+        let Node::Index { children, level } = node else {
+            return Err(NodeError::Malformed("expected blob index node".into()));
+        };
+        if level != depth {
+            return Err(NodeError::Malformed(format!(
+                "blob index level {level} != expected depth {depth}"
+            )));
+        }
+        self.stack.push(BlobFrame {
+            children,
+            idx: 0,
+            depth,
+        });
+        Ok(())
+    }
+
+    /// Fetch, verify, and return the next raw data chunk, or `None` when
+    /// the blob is exhausted.
+    pub fn next_chunk(&mut self) -> NodeResult<Option<Bytes>> {
+        if let Some(root) = self.pending_root.take() {
+            return fetch_verified(self.store, &root).map(Some);
+        }
+        loop {
+            let Some(top) = self.stack.last_mut() else {
+                return Ok(None);
+            };
+            if top.idx == top.children.len() {
+                self.stack.pop();
+                continue;
+            }
+            let child = top.children[top.idx].clone();
+            top.idx += 1;
+            if top.depth == 1 {
+                return fetch_verified(self.store, &child.hash).map(Some);
+            }
+            let depth = top.depth - 1;
+            self.push_index(&child.hash, depth)?;
+        }
     }
 }
 
@@ -396,6 +490,53 @@ mod tests {
                 other.map(|v| v.len())
             ),
         }
+    }
+
+    #[test]
+    fn cursor_streams_chunks_in_order() {
+        let store = MemStore::new();
+        let blob = PosBlob::new(&store, cfg());
+        for len in [0usize, 4, 50_000, 200_000] {
+            let content = pseudo_random(len, len as u64 + 1);
+            let r = blob.write(&content).unwrap();
+            let mut cursor = blob.cursor(&r).unwrap();
+            let mut streamed = Vec::new();
+            while let Some(chunk) = cursor.next_chunk().unwrap() {
+                streamed.extend_from_slice(&chunk);
+            }
+            assert_eq!(streamed, content, "len {len}");
+            assert!(cursor.next_chunk().unwrap().is_none(), "stays exhausted");
+        }
+    }
+
+    #[test]
+    fn cursor_detects_tampered_chunk() {
+        let inner = MemStore::new();
+        let content = pseudo_random(60_000, 13);
+        let r = {
+            let blob = PosBlob::new(&inner, cfg());
+            blob.write(&content).unwrap()
+        };
+        let store = FaultyStore::new(inner);
+        let blob = PosBlob::new(&store, cfg());
+        let refs = blob.chunk_refs(&r).unwrap();
+        store.inject(refs[refs.len() / 2].0, FaultMode::FlipBit { byte: 1 });
+        let mut cursor = blob.cursor(&r).unwrap();
+        let mut result = Ok(());
+        loop {
+            match cursor.next_chunk() {
+                Ok(Some(_)) => continue,
+                Ok(None) => break,
+                Err(e) => {
+                    result = Err(e);
+                    break;
+                }
+            }
+        }
+        assert!(
+            matches!(result, Err(NodeError::HashMismatch { .. })),
+            "tampering must surface mid-stream"
+        );
     }
 
     #[test]

@@ -403,6 +403,27 @@ impl<'s, S: ChunkStore> LeafCursor<'s, S> {
         self.redescend_first()
     }
 
+    /// Decode and return every not-yet-consumed entry of the current leaf,
+    /// advancing the cursor to the next leaf node — the chunk-at-a-time
+    /// read. Returns `None` at end of tree. Memory cost is one decoded
+    /// leaf node, never the whole tree.
+    pub fn take_leaf(&mut self) -> NodeResult<Option<Vec<LeafEntry>>> {
+        loop {
+            if self.leaf_ref.is_none() {
+                return Ok(None);
+            }
+            let idx = self.entry_idx;
+            let len = self.load_leaf()?.len();
+            if idx < len {
+                let entries = self.leaf.as_ref().expect("loaded");
+                let out: Vec<LeafEntry> = entries[idx..].to_vec();
+                self.advance_leaf()?;
+                return Ok(Some(out));
+            }
+            self.advance_leaf()?;
+        }
+    }
+
     /// Collect every remaining entry (test helper; O(N)).
     pub fn drain(&mut self) -> NodeResult<Vec<LeafEntry>> {
         let mut out = Vec::new();
@@ -410,6 +431,67 @@ impl<'s, S: ChunkStore> LeafCursor<'s, S> {
             out.push(e);
         }
         Ok(out)
+    }
+}
+
+/// The public streaming cursor over a POS-Tree's leaf entries.
+///
+/// Where [`LeafCursor`] exposes node-level navigation for the splice and
+/// diff machinery, `TreeCursor` is the stable read surface higher layers
+/// build scans on: open at the start ([`TreeCursor::new`]) or at a key
+/// ([`TreeCursor::seek`]), then pull entries one at a time
+/// ([`TreeCursor::next_entry`]) or a whole leaf node at a time
+/// ([`TreeCursor::next_leaf`]). Either way the cursor holds at most one
+/// decoded leaf in memory — scans over arbitrarily large trees run in
+/// O(chunk) space, not O(tree).
+pub struct TreeCursor<'s, S> {
+    inner: LeafCursor<'s, S>,
+}
+
+impl<'s, S: ChunkStore> TreeCursor<'s, S> {
+    /// Open a cursor at the first entry of `tree`.
+    pub fn new(store: &'s S, tree: TreeRef) -> NodeResult<Self> {
+        Ok(TreeCursor {
+            inner: LeafCursor::new(store, tree)?,
+        })
+    }
+
+    /// Open a cursor positioned at the first entry with key ≥ `key`.
+    pub fn seek(store: &'s S, tree: TreeRef, key: &[u8]) -> NodeResult<Self> {
+        Ok(TreeCursor {
+            inner: LeafCursor::seek(store, tree, key)?,
+        })
+    }
+
+    /// Borrow the next entry without consuming it.
+    pub fn peek(&mut self) -> NodeResult<Option<&LeafEntry>> {
+        self.inner.peek()
+    }
+
+    /// Consume and return the next entry.
+    pub fn next_entry(&mut self) -> NodeResult<Option<LeafEntry>> {
+        self.inner.next_entry()
+    }
+
+    /// Consume and return all remaining entries of the current leaf node
+    /// (chunk-at-a-time). `None` at end of tree.
+    pub fn next_leaf(&mut self) -> NodeResult<Option<Vec<LeafEntry>>> {
+        self.inner.take_leaf()
+    }
+
+    /// Number of leaf entries strictly before the cursor position.
+    pub fn position(&self) -> u64 {
+        self.inner.position()
+    }
+
+    /// Whether the cursor has run off the end of the tree.
+    pub fn at_end(&self) -> bool {
+        self.inner.at_end()
+    }
+
+    /// Total nodes decoded so far (complexity accounting).
+    pub fn nodes_loaded(&self) -> u64 {
+        self.inner.nodes_loaded()
     }
 }
 
@@ -587,6 +669,47 @@ mod tests {
         assert!(!c.at_leaf_start());
         assert!(!c.at_start_of_ancestor(0));
         assert!(!c.at_start_of_ancestor(1));
+    }
+
+    #[test]
+    fn tree_cursor_leaf_at_a_time_matches_entrywise() {
+        let store = MemStore::new();
+        let tree = build(&store, 3000);
+        let mut by_leaf = TreeCursor::new(&store, tree).unwrap();
+        let mut by_entry = TreeCursor::new(&store, tree).unwrap();
+        let mut leaves = 0usize;
+        while let Some(chunk) = by_leaf.next_leaf().unwrap() {
+            assert!(!chunk.is_empty());
+            leaves += 1;
+            for e in chunk {
+                assert_eq!(Some(e), by_entry.next_entry().unwrap());
+            }
+            assert_eq!(by_leaf.position(), by_entry.position());
+        }
+        assert!(leaves > 1, "3000 entries span multiple leaves");
+        assert_eq!(by_entry.next_entry().unwrap(), None);
+        assert_eq!(by_leaf.position(), 3000);
+    }
+
+    #[test]
+    fn tree_cursor_seek_then_next_leaf() {
+        let store = MemStore::new();
+        let tree = build(&store, 2000);
+        // Seek mid-tree: the first returned leaf starts exactly at the
+        // sought entry, not at its node's start.
+        let mut c = TreeCursor::seek(&store, tree, format!("key-{:08}", 777).as_bytes()).unwrap();
+        assert_eq!(c.position(), 777);
+        let chunk = c.next_leaf().unwrap().unwrap();
+        assert_eq!(chunk[0], entry(777));
+        // Draining the rest yields every remaining entry in order.
+        let mut next = 777 + chunk.len() as u32;
+        while let Some(chunk) = c.next_leaf().unwrap() {
+            for e in chunk {
+                assert_eq!(e, entry(next));
+                next += 1;
+            }
+        }
+        assert_eq!(next, 2000);
     }
 
     #[test]

@@ -45,8 +45,9 @@ pub mod verify;
 
 use forkbase_crypto::Hash;
 
-pub use blob::{BlobRef, PosBlob};
+pub use blob::{BlobCursor, BlobRef, PosBlob};
 pub use builder::TreeBuilder;
+pub use cursor::TreeCursor;
 pub use diff::{DiffEntry, DiffStats, MapDiff};
 pub use list::PosList;
 pub use map::{MapEdit, PosMap};

@@ -104,13 +104,29 @@ fn main() {
         let diff = tables
             .diff(
                 "products",
-                &VersionSpec::branch("master"),
+                &VersionSpec::default(), // master head
                 &VersionSpec::branch(team),
             )
             .unwrap();
         println!("\n--- review of {team} ---");
         print!("{}", diff.render());
     }
+
+    // A dashboard scans one page of each team's fork through a pinned
+    // snapshot: the cursor streams entries in O(chunk) memory, and a
+    // concurrent merge cannot shift the page mid-scan.
+    let snap = db
+        .snapshot("products", &VersionSpec::branch("team-a"))
+        .unwrap();
+    let page: Vec<_> = snap
+        .map_range(b"sku-00010".as_slice()..b"sku-00013".as_slice())
+        .unwrap()
+        .collect::<Result<_, _>>()
+        .unwrap();
+    println!(
+        "\nteam-a rows sku-00010..sku-00013 ({} entries)",
+        page.len()
+    );
 
     // Merge both teams back; edits are disjoint so no conflicts.
     db.merge(

@@ -97,9 +97,43 @@ fn main() {
 
     println!("\nfull history of greeting@master:");
     for h in db
-        .history("greeting", &VersionSpec::branch("master"))
+        .history("greeting", &VersionSpec::default()) // default = master head
         .unwrap()
     {
         println!("  {}  {} — {}", h.uid, h.author, h.message);
     }
+
+    // 9. Snapshots pin a version: reads against one are immune to
+    //    concurrent commits and skip the head lookup on every call.
+    let snap = db.snapshot("greeting", &VersionSpec::default()).unwrap();
+    db.put(
+        "greeting",
+        Value::string("moved on"),
+        &PutOptions::default().author("alice"),
+    )
+    .unwrap();
+    println!(
+        "\nsnapshot still reads {:?} after a later commit",
+        snap.value().as_str().unwrap()
+    );
+
+    // 10. Write batches commit across keys atomically: both heads swing
+    //     together, or neither does.
+    let mut batch = db.write_batch();
+    batch
+        .put(
+            "account/alice",
+            Value::Int(90),
+            &PutOptions::default().author("bank").message("transfer"),
+        )
+        .put(
+            "account/bob",
+            Value::Int(110),
+            &PutOptions::default().author("bank").message("transfer"),
+        );
+    let outcomes = batch.commit().unwrap();
+    println!(
+        "atomic transfer committed {} heads together",
+        outcomes.len()
+    );
 }
