@@ -355,10 +355,11 @@ fn bench_snapshot_scan(c: &mut Criterion) {
 ///
 /// On `MemStore` the comparison isolates the engine-side cost: the batch
 /// pays one stripe-lock sweep, one FNode `put_batch`, and one ref-table
-/// write section instead of 16 of each, but also pays op staging (the
-/// builder clones the options per op), so the two are in the same ball
-/// park. On a durable `FileStore` (`sync_every_put`) the group commit
-/// dominates: 16 sequential puts are 16 fsyncs, the batch is one.
+/// write section instead of 16 of each, while op staging is an
+/// `Arc`-interned options clone plus a borrowed-parts FNode encoding (no
+/// per-op string clones) — so the batch must not lose to sequential. On a
+/// durable `FileStore` (`sync_every_put`) the group commit dominates: 16
+/// sequential puts are 16 fsyncs, the batch is one.
 fn bench_write_batch(c: &mut Criterion) {
     const KEYS: usize = 16;
     let keys: Vec<String> = (0..KEYS).map(|i| format!("batch-key-{i}")).collect();
@@ -440,6 +441,66 @@ fn bench_write_batch(c: &mut Criterion) {
     group.finish();
 }
 
+/// Routed cluster throughput: 64 single-key puts through the
+/// consistent-hash router of a 4-servelet MemStore cluster vs the same 64
+/// puts on one local `ForkBase`, plus the routed write batch (ops grouped
+/// per owning servelet, one atomic `WriteBatch` each).
+///
+/// The routed paths pay one channel round-trip per RPC (the simulated
+/// network) on top of the engine work, so `single_node` is the upper
+/// bound; the interesting number is how close routing gets and that the
+/// grouped batch beats per-op routing (4 RPCs instead of 64).
+fn bench_cluster_put(c: &mut Criterion) {
+    use forkbase::Cluster;
+    const KEYS: usize = 64;
+    let keys: Vec<String> = (0..KEYS).map(|i| format!("cluster-key-{i}")).collect();
+
+    let mut group = c.benchmark_group("db/cluster_put");
+    group.throughput(Throughput::Elements(KEYS as u64));
+    group.bench_function("single_node_64keys", |b| {
+        let db = ForkBase::new(MemStore::new());
+        let opts = PutOptions::default();
+        let mut round = 0u64;
+        b.iter(|| {
+            round += 1;
+            for key in &keys {
+                db.put(key, Value::string(format!("v{round}")), &opts)
+                    .unwrap();
+            }
+        });
+    });
+    group.bench_function("routed_4servelets_64keys", |b| {
+        let cluster = Cluster::new(4, forkbase_postree::TreeConfig::default_config());
+        let mut round = 0u64;
+        b.iter(|| {
+            round += 1;
+            for key in &keys {
+                cluster
+                    .put(
+                        key,
+                        Value::string(format!("v{round}")),
+                        PutOptions::default(),
+                    )
+                    .unwrap();
+            }
+        });
+    });
+    group.bench_function("routed_batch_4servelets_64keys", |b| {
+        let cluster = Cluster::new(4, forkbase_postree::TreeConfig::default_config());
+        let opts = PutOptions::default();
+        let mut round = 0u64;
+        b.iter(|| {
+            round += 1;
+            let mut batch = cluster.write_batch();
+            for key in &keys {
+                batch.put(key.clone(), Value::string(format!("v{round}")), &opts);
+            }
+            batch.commit().unwrap()
+        });
+    });
+    group.finish();
+}
+
 criterion_group!(
     benches,
     bench_sha256,
@@ -451,6 +512,7 @@ criterion_group!(
     bench_concurrent_commits,
     bench_concurrent_blob_commits,
     bench_snapshot_scan,
-    bench_write_batch
+    bench_write_batch,
+    bench_cluster_put
 );
 criterion_main!(benches);

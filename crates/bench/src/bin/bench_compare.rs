@@ -7,9 +7,10 @@
 //! bench_compare <baseline.json> <current.json> [--threshold 0.25]
 //! ```
 //!
-//! Only the *gated* groups fail the run — `chunk_throughput/*` and
-//! `db/concurrent_commits/*`, the two numbers the ROADMAP bench history
-//! tracks; everything else is reported informationally. A gated bench
+//! Only the *gated* groups fail the run — `chunk_throughput/*`,
+//! `db/concurrent_commits/*`, and `db/cluster_put/*`, the numbers the
+//! ROADMAP bench history tracks; everything else is reported
+//! informationally. A gated bench
 //! missing from the current run also fails (a silently dropped bench must
 //! not read as green). Shared CI runners are noisy, so the CI job runs
 //! this with `continue-on-error` and uploads the diff as an artifact; the
@@ -20,7 +21,11 @@ use std::collections::BTreeMap;
 use std::process::ExitCode;
 
 /// Benchmark groups whose regressions fail the gate.
-const GATED_PREFIXES: &[&str] = &["chunk_throughput", "db/concurrent_commits"];
+const GATED_PREFIXES: &[&str] = &[
+    "chunk_throughput",
+    "db/concurrent_commits",
+    "db/cluster_put",
+];
 const DEFAULT_THRESHOLD: f64 = 0.25;
 
 /// One parsed benchmark result line.
@@ -235,7 +240,9 @@ mod tests {
         assert!(is_gated(
             "db/concurrent_commits/global_baseline/contended/8thr"
         ));
+        assert!(is_gated("db/cluster_put/routed_4servelets_64keys"));
         assert!(!is_gated("store/compaction/ingest_delete_compact_reread"));
+        assert!(!is_gated("db/write_batch/batch_16keys"));
         assert!(!is_gated("crypto/sha256/4096"));
     }
 

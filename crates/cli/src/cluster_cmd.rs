@@ -1,0 +1,481 @@
+//! The `cluster` verb family: an elastic sharded ForkBase over a
+//! directory of durable [`FileStore`] servelets.
+//!
+//! Layout under `<root>/cluster/`:
+//!
+//! ```text
+//! <root>/cluster/TOPOLOGY               — servelet ids + next id (stable routing)
+//! <root>/cluster/servelet-<id>/chunks/  — that servelet's pack files
+//! <root>/cluster/servelet-<id>/refs     — that servelet's branch heads
+//! ```
+//!
+//! Every servelet runs its own worker thread with a private
+//! `ForkBase<FileStore>`; the topology record makes routing a pure
+//! function of the persisted servelet ids, so reopening the directory
+//! routes every key exactly as before. `add`/`remove` rebalance live:
+//! only the keys whose ring owner changed migrate, each with its full
+//! branch/version history and byte-identical chunk addresses.
+
+use std::path::{Path, PathBuf};
+
+use forkbase::{Cluster, ClusterTopology, DbError, DbResult, PutOptions};
+use forkbase_store::FileStore;
+use forkbase_types::Value;
+
+fn io_err(e: std::io::Error) -> DbError {
+    DbError::Store(forkbase_store::StoreError::Io(e))
+}
+
+/// Durably replace `path` with `contents`: write a tmp file, fsync it,
+/// atomically rename it into place, then fsync the parent directory —
+/// the same protocol the chunk store uses for its MANIFEST. Required
+/// here because cluster rebalance deletes the migrated keys' previous
+/// on-disk copy right after these files are written.
+fn write_durable(path: &Path, contents: &str) -> DbResult<()> {
+    let tmp = path.with_extension("tmp");
+    (|| -> std::io::Result<()> {
+        {
+            let mut f = std::fs::File::create(&tmp)?;
+            std::io::Write::write_all(&mut f, contents.as_bytes())?;
+            f.sync_all()?;
+        }
+        std::fs::rename(&tmp, path)?;
+        if let Some(parent) = path.parent() {
+            std::fs::File::open(parent)?.sync_all()?;
+        }
+        Ok(())
+    })()
+    .map_err(io_err)
+}
+
+/// A durable cluster bound to an on-disk directory.
+pub struct ClusterSession {
+    cluster: Cluster<FileStore>,
+    root: PathBuf,
+}
+
+impl ClusterSession {
+    fn cluster_dir(root: &Path) -> PathBuf {
+        root.join("cluster")
+    }
+
+    fn topology_path(root: &Path) -> PathBuf {
+        Self::cluster_dir(root).join("TOPOLOGY")
+    }
+
+    fn servelet_dir(root: &Path, id: u64) -> PathBuf {
+        Self::cluster_dir(root).join(format!("servelet-{id}"))
+    }
+
+    /// Initialize a fresh cluster of `n` servelets under `root`. Refuses
+    /// to clobber an existing topology.
+    pub fn init(root: impl AsRef<Path>, n: usize) -> DbResult<ClusterSession> {
+        let root = root.as_ref();
+        if n == 0 {
+            return Err(DbError::InvalidInput(
+                "a cluster needs at least one servelet".into(),
+            ));
+        }
+        let topo_path = Self::topology_path(root);
+        if topo_path.exists() {
+            return Err(DbError::InvalidInput(format!(
+                "cluster already initialized at {}",
+                topo_path.display()
+            )));
+        }
+        std::fs::create_dir_all(Self::cluster_dir(root)).map_err(io_err)?;
+        let topology = ClusterTopology {
+            servelet_ids: (0..n as u64).collect(),
+            next_id: n as u64,
+        };
+        std::fs::write(&topo_path, topology.encode()).map_err(io_err)?;
+        Self::open(root)
+    }
+
+    /// Open the cluster persisted under `root`.
+    pub fn open(root: impl AsRef<Path>) -> DbResult<ClusterSession> {
+        let root = root.as_ref().to_path_buf();
+        let topo_path = Self::topology_path(&root);
+        let text = std::fs::read_to_string(&topo_path).map_err(|e| {
+            DbError::InvalidInput(format!(
+                "no cluster at {} ({e}); run `cluster init N` first",
+                topo_path.display()
+            ))
+        })?;
+        let topology = ClusterTopology::parse(&text)?;
+        let cluster = Cluster::from_topology(
+            &topology,
+            forkbase_postree::TreeConfig::default_config(),
+            |id| {
+                Ok(FileStore::open(
+                    Self::servelet_dir(&root, id).join("chunks"),
+                )?)
+            },
+        )?;
+        // Load each servelet's branch heads (validated against its store).
+        for slot in 0..cluster.len() {
+            let refs_path = Self::servelet_dir(&root, cluster.ids()[slot]).join("refs");
+            if refs_path.exists() {
+                let text = std::fs::read_to_string(&refs_path).map_err(io_err)?;
+                cluster.on_node(slot, move |db| db.load_refs(&text))??;
+            }
+        }
+        Ok(ClusterSession { cluster, root })
+    }
+
+    /// The cluster handle.
+    pub fn cluster(&self) -> &Cluster<FileStore> {
+        &self.cluster
+    }
+
+    /// Persist the topology record plus every servelet's branch heads,
+    /// syncing each chunk store first.
+    pub fn save(&self) -> DbResult<()> {
+        let topology = self.cluster.topology();
+        for (slot, id) in topology.servelet_ids.iter().enumerate() {
+            let refs = self.cluster.on_node(slot, |db| {
+                forkbase_store::ChunkStore::sync(db.store())?;
+                Ok::<_, DbError>(db.dump_refs())
+            })??;
+            let dir = Self::servelet_dir(&self.root, *id);
+            std::fs::create_dir_all(&dir).map_err(io_err)?;
+            write_durable(&dir.join("refs"), &refs)?;
+        }
+        write_durable(&Self::topology_path(&self.root), &topology.encode())?;
+        Ok(())
+    }
+
+    /// Add a servelet (provisioning its data directory) and migrate the
+    /// keys it now owns. Returns the new servelet's id.
+    pub fn add_servelet(&self) -> DbResult<u64> {
+        let id = self.cluster.next_servelet_id();
+        let dir = Self::servelet_dir(&self.root, id);
+        let store = FileStore::open(dir.join("chunks"))?;
+        let assigned = match self.cluster.add_servelet(store) {
+            Ok(assigned) => assigned,
+            Err(e) => {
+                // The id is burned (ids are never reused) and migration
+                // rolled back; drop the freshly provisioned directory so a
+                // failed add does not leak partial packs on disk.
+                let _ = std::fs::remove_dir_all(&dir);
+                return Err(e);
+            }
+        };
+        debug_assert_eq!(assigned, id);
+        // Durability order matters: the new servelet's refs (it holds the
+        // migrated keys now) and the TOPOLOGY that makes reopen load it
+        // must be on disk BEFORE any source refs lacking those keys are
+        // rewritten (the caller's save()). A crash between here and that
+        // save leaves at worst a shadowed duplicate on the sources —
+        // routing prefers the new owner — never a lost key.
+        let slot = self
+            .cluster
+            .ids()
+            .iter()
+            .position(|&i| i == assigned)
+            .expect("just added");
+        let refs = self.cluster.on_node(slot, |db| {
+            forkbase_store::ChunkStore::sync(db.store())?;
+            Ok::<_, DbError>(db.dump_refs())
+        })??;
+        write_durable(&dir.join("refs"), &refs)?;
+        write_durable(
+            &Self::topology_path(&self.root),
+            &self.cluster.topology().encode(),
+        )?;
+        Ok(assigned)
+    }
+
+    /// Remove servelet `id` after migrating its keys away, then delete its
+    /// drained data directory.
+    pub fn remove_servelet(&self, id: u64) -> DbResult<()> {
+        self.cluster.remove_servelet(id)?;
+        // Make the migrated keys durable on their destinations (sync +
+        // refs + topology) BEFORE deleting the victim's directory — until
+        // this save the victim held the only on-disk copy.
+        self.save()?;
+        let dir = Self::servelet_dir(&self.root, id);
+        if dir.exists() {
+            std::fs::remove_dir_all(&dir).map_err(io_err)?;
+        }
+        Ok(())
+    }
+}
+
+/// Run one `cluster` subcommand against `session`, returning its textual
+/// output. `args` excludes the leading `cluster` (e.g. `["put", "k", "v"]`).
+pub fn run_cluster_command(session: &ClusterSession, args: &[&str]) -> DbResult<String> {
+    let usage = || -> DbError {
+        DbError::InvalidInput(
+            "usage: cluster init N | put KEY VALUE | get KEY | batch put:K=V|del:K … | \
+             range KEY [START [END]] [--limit N] | add | remove ID | keys | stats | gc \
+             [--branch B --author A --message M] (see README \"Sharding & elasticity\")"
+                .into(),
+        )
+    };
+    let Some((&verb, rest)) = args.split_first() else {
+        return Err(usage());
+    };
+    let mut positional = Vec::new();
+    let mut branch = "master".to_string();
+    let mut author = "cli".to_string();
+    let mut message = String::new();
+    let mut limit = 1000usize;
+    let mut it = rest.iter();
+    while let Some(&a) = it.next() {
+        let mut flag = |name: &str| -> DbResult<String> {
+            it.next()
+                .map(|s| s.to_string())
+                .ok_or_else(|| DbError::InvalidInput(format!("{name} needs a value")))
+        };
+        match a {
+            "--branch" => branch = flag("--branch")?,
+            "--author" => author = flag("--author")?,
+            "--message" => message = flag("--message")?,
+            "--limit" => {
+                limit = flag("--limit")?
+                    .parse()
+                    .map_err(|_| DbError::InvalidInput("--limit must be a number".into()))?;
+            }
+            other => positional.push(other),
+        }
+    }
+    let opts = PutOptions {
+        branch: branch.clone(),
+        author,
+        message,
+    };
+    let pos = |i: usize| -> DbResult<&str> { positional.get(i).copied().ok_or_else(usage) };
+    let cluster = session.cluster();
+
+    match verb {
+        "put" => {
+            let key = pos(0)?;
+            let value = pos(1)?;
+            let commit = cluster.put(key, Value::string(value), opts)?;
+            Ok(format!(
+                "servelet {} {} -> {}",
+                cluster.owner_id(key),
+                commit.branch,
+                commit.uid
+            ))
+        }
+        "get" => {
+            let key = pos(0)?;
+            let got = cluster.get(key, &branch)?;
+            Ok(format!(
+                "{}\n(version {} on servelet {})",
+                got.value.summary(),
+                got.uid,
+                cluster.owner_id(key)
+            ))
+        }
+        "batch" => {
+            // Same spec syntax as the single-node `batch` verb; ops are
+            // grouped per owning servelet and each group commits
+            // atomically there (no cross-servelet atomicity — see README).
+            if positional.is_empty() {
+                return Err(DbError::InvalidInput(
+                    "batch needs at least one op: put:KEY=VALUE or del:KEY".into(),
+                ));
+            }
+            let mut wb = cluster.write_batch();
+            for spec in &positional {
+                if let Some(rest) = spec.strip_prefix("put:") {
+                    let (key, value) = rest.split_once('=').ok_or_else(|| {
+                        DbError::InvalidInput(format!("batch put op needs KEY=VALUE: {spec:?}"))
+                    })?;
+                    wb.put(key, Value::string(value), &opts);
+                } else if let Some(key) = spec.strip_prefix("del:") {
+                    wb.delete_branch(key, &branch);
+                } else {
+                    return Err(DbError::InvalidInput(format!(
+                        "unknown batch op {spec:?} (put:KEY=VALUE | del:KEY)"
+                    )));
+                }
+            }
+            let outcomes = wb.commit()?;
+            let mut out = String::new();
+            for o in outcomes {
+                match o {
+                    forkbase::BatchOutcome::Committed(c) => {
+                        out.push_str(&format!("{} -> {}\n", c.branch, c.uid));
+                    }
+                    forkbase::BatchOutcome::Deleted { key, branch } => {
+                        out.push_str(&format!("deleted {key}@{branch}\n"));
+                    }
+                }
+            }
+            Ok(out)
+        }
+        "range" => {
+            let key = pos(0)?;
+            let start = positional.get(1).map(|s| bytes::Bytes::from(s.to_string()));
+            let end = positional.get(2).map(|s| bytes::Bytes::from(s.to_string()));
+            let page = cluster.map_range(key, &branch, start, end, limit)?;
+            let mut out = String::new();
+            for (k, v) in &page.entries {
+                out.push_str(&format!(
+                    "{}\t{}\n",
+                    String::from_utf8_lossy(k),
+                    String::from_utf8_lossy(v)
+                ));
+            }
+            if page.truncated {
+                out.push_str("… (truncated; raise --limit or narrow the range)\n");
+            }
+            Ok(out)
+        }
+        "add" => {
+            let id = session.add_servelet()?;
+            Ok(format!(
+                "servelet {id} joined; keys per servelet now {:?}",
+                cluster.key_distribution()?
+            ))
+        }
+        "remove" => {
+            let id: u64 = pos(0)?
+                .parse()
+                .map_err(|_| DbError::InvalidInput("remove needs a servelet id".into()))?;
+            session.remove_servelet(id)?;
+            Ok(format!(
+                "servelet {id} drained and removed; keys per servelet now {:?}",
+                cluster.key_distribution()?
+            ))
+        }
+        "keys" => Ok(cluster.list_keys()?.join("\n")),
+        "stats" => Ok(cluster.stats()?.to_string()),
+        "gc" => {
+            let mut out = String::new();
+            for (id, report) in cluster.gc()? {
+                out.push_str(&format!("servelet {id}:\n{report}\n"));
+            }
+            Ok(out)
+        }
+        _ => Err(usage()),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn temp_root(tag: &str) -> PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("forkbase-cluster-cli-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    #[test]
+    fn cluster_state_survives_reopen_and_routes_identically() {
+        let root = temp_root("reopen");
+        let owners: Vec<(String, u64)>;
+        {
+            let s = ClusterSession::init(&root, 3).unwrap();
+            for i in 0..30 {
+                run_cluster_command(&s, &["put", &format!("k{i}"), &format!("v{i}")]).unwrap();
+            }
+            owners = (0..30)
+                .map(|i| {
+                    let k = format!("k{i}");
+                    let owner = s.cluster().owner_id(&k);
+                    (k, owner)
+                })
+                .collect();
+            s.save().unwrap();
+        }
+        let s = ClusterSession::open(&root).unwrap();
+        for (key, owner) in owners {
+            assert_eq!(
+                s.cluster().owner_id(&key),
+                owner,
+                "routing drifted for {key}"
+            );
+            let out = run_cluster_command(&s, &["get", &key]).unwrap();
+            assert!(out.contains(&format!("servelet {owner}")));
+        }
+        // Double-init is refused.
+        assert!(ClusterSession::init(&root, 2).is_err());
+        std::fs::remove_dir_all(&root).unwrap();
+    }
+
+    #[test]
+    fn cluster_rebalance_via_commands() {
+        let root = temp_root("rebalance");
+        let s = ClusterSession::init(&root, 2).unwrap();
+        for i in 0..40 {
+            run_cluster_command(&s, &["put", &format!("k{i}"), &format!("v{i}")]).unwrap();
+        }
+        let out = run_cluster_command(&s, &["add"]).unwrap();
+        assert!(out.contains("servelet 2 joined"), "{out}");
+        assert!(ClusterSession::servelet_dir(&root, 2).exists());
+        let keys = run_cluster_command(&s, &["keys"]).unwrap();
+        assert_eq!(keys.lines().count(), 40);
+
+        let out = run_cluster_command(&s, &["remove", "0"]).unwrap();
+        assert!(out.contains("servelet 0 drained"), "{out}");
+        assert!(
+            !ClusterSession::servelet_dir(&root, 0).exists(),
+            "drained directory deleted"
+        );
+        for i in 0..40 {
+            let got = run_cluster_command(&s, &["get", &format!("k{i}")]).unwrap();
+            assert!(got.contains(&format!("\"v{i}\"")), "{got}");
+        }
+        let stats = run_cluster_command(&s, &["stats"]).unwrap();
+        assert!(
+            stats.contains("cluster: 2 servelet(s), 40 key(s)"),
+            "{stats}"
+        );
+        s.save().unwrap();
+
+        // Reopen after elasticity: topology reflects the changes.
+        drop(s);
+        let s = ClusterSession::open(&root).unwrap();
+        assert_eq!(s.cluster().ids(), vec![1, 2]);
+        assert_eq!(
+            run_cluster_command(&s, &["keys"]).unwrap().lines().count(),
+            40
+        );
+        std::fs::remove_dir_all(&root).unwrap();
+    }
+
+    #[test]
+    fn batch_range_and_errors() {
+        let root = temp_root("batch");
+        let s = ClusterSession::init(&root, 2).unwrap();
+        let out = run_cluster_command(&s, &["batch", "put:a=1", "put:b=2", "put:a=1b"]).unwrap();
+        assert_eq!(out.lines().count(), 3);
+        let got = run_cluster_command(&s, &["get", "a"]).unwrap();
+        assert!(got.contains("1b"));
+
+        // A table-ish map for range.
+        s.cluster()
+            .with_key("tbl", |db| {
+                let pairs = (0..50)
+                    .map(|i| {
+                        (
+                            bytes::Bytes::from(format!("r{i:03}")),
+                            bytes::Bytes::from(format!("x{i}")),
+                        )
+                    })
+                    .collect();
+                let map = db.new_map(pairs)?;
+                db.put("tbl", map, &PutOptions::default())
+            })
+            .unwrap()
+            .unwrap();
+        let page =
+            run_cluster_command(&s, &["range", "tbl", "r010", "r020", "--limit", "5"]).unwrap();
+        assert!(page.contains("r010\t"));
+        assert!(page.contains("truncated"), "{page}");
+
+        assert!(run_cluster_command(&s, &[]).is_err());
+        assert!(run_cluster_command(&s, &["bogus"]).is_err());
+        assert!(run_cluster_command(&s, &["get", "missing"]).is_err());
+        assert!(run_cluster_command(&s, &["remove", "not-a-number"]).is_err());
+        assert!(run_cluster_command(&s, &["batch", "zap:x"]).is_err());
+        std::fs::remove_dir_all(&root).unwrap();
+    }
+}

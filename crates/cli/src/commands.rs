@@ -26,7 +26,7 @@ pub fn run_command<S: SweepStore>(db: &ForkBase<S>, args: &[&str]) -> DbResult<S
             "usage: put|batch|get|head|latest|meta|history|list|branches|branch|rename-branch|\
              delete-branch|merge|diff|select|stat|gc|export|verify|load-csv|export-csv|diff-csv|\
              bundle-export|bundle-import|prove \
-             … (see README)"
+             … (see README; `forkbase cluster …` drives the sharded cluster)"
                 .into(),
         )
     };

@@ -7,10 +7,12 @@
 //! deliberately small HTTP/1.1 server on `std::net` — no async stack, one
 //! thread per connection — exposing the core verbs at predictable paths.
 
+pub mod cluster_cmd;
 pub mod commands;
 pub mod rest;
 pub mod session;
 
+pub use cluster_cmd::{run_cluster_command, ClusterSession};
 pub use commands::run_command;
 pub use rest::RestServer;
 pub use session::Session;

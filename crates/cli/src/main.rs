@@ -1,8 +1,11 @@
 //! The `forkbase` command-line tool.
 //!
 //! ```text
-//! forkbase --data DIR <verb> [args…]     run one verb against a durable store
-//! forkbase --data DIR serve [PORT]       start the REST server
+//! forkbase --data DIR <verb> [args…]       run one verb against a durable store
+//! forkbase --data DIR serve [PORT]         start the REST server
+//! forkbase --data DIR cluster <sub> [args] drive the elastic sharded cluster
+//!                                          (init N | put | get | batch | range |
+//!                                           add | remove ID | keys | stats | gc)
 //! ```
 //!
 //! Run with no arguments for the verb list. The data directory defaults to
@@ -10,7 +13,7 @@
 
 use std::process::ExitCode;
 
-use forkbase_cli::{run_command, RestServer, Session};
+use forkbase_cli::{run_cluster_command, run_command, ClusterSession, RestServer, Session};
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -29,6 +32,12 @@ fn main() -> ExitCode {
         } else {
             rest.push(a.as_str());
         }
+    }
+
+    // The cluster verb family manages its own multi-servelet layout under
+    // the data directory; it never opens the single-node store.
+    if rest.first().copied() == Some("cluster") {
+        return cluster_main(&data_dir, &rest[1..]);
     }
 
     let session = match Session::open(&data_dir) {
@@ -74,6 +83,68 @@ fn main() -> ExitCode {
         }
         Err(e) => {
             eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn cluster_main(data_dir: &str, args: &[&str]) -> ExitCode {
+    let session = if args.first().copied() == Some("init") {
+        let Some(n) = args.get(1).and_then(|n| n.parse::<usize>().ok()) else {
+            eprintln!("error: cluster init needs a servelet count (cluster init N)");
+            return ExitCode::FAILURE;
+        };
+        match ClusterSession::init(data_dir, n) {
+            Ok(s) => {
+                println!("initialized {n}-servelet cluster under {data_dir}/cluster");
+                s
+            }
+            Err(e) => {
+                eprintln!("error: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    } else {
+        match ClusterSession::open(data_dir) {
+            Ok(s) => s,
+            Err(e) => {
+                eprintln!("error: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    };
+
+    let output = if args.first().copied() == Some("init") {
+        Ok(String::new())
+    } else {
+        run_cluster_command(&session, args)
+    };
+    // Persist even when the command failed: a routed batch commits per
+    // servelet (groups on earlier slots stay committed on error by
+    // contract), and those heads must survive the process. A successful
+    // `remove` already saved (it must, before deleting the drained
+    // directory) — don't repeat the full sync.
+    let saved = if args.first().copied() == Some("remove") && output.is_ok() {
+        Ok(())
+    } else {
+        session.save()
+    };
+    match output {
+        Ok(output) => {
+            if !output.is_empty() {
+                println!("{output}");
+            }
+            if let Err(e) = saved {
+                eprintln!("warning: failed to persist cluster state: {e}");
+                return ExitCode::FAILURE;
+            }
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("error: {e}");
+            if let Err(e) = saved {
+                eprintln!("warning: failed to persist cluster state: {e}");
+            }
             ExitCode::FAILURE
         }
     }

@@ -221,6 +221,10 @@ fn handle_connection<S: SweepStore>(
                 | DbError::NoSuchBranch { .. }
                 | DbError::NoSuchVersion(_) => 404,
                 DbError::InvalidInput(_) | DbError::TypeMismatch { .. } => 400,
+                // A routed backend whose owning servelet is down: the
+                // request may succeed after a topology change, so it maps
+                // to 503 rather than a client error.
+                DbError::ServeletUnavailable { .. } => 503,
                 DbError::PermissionDenied(_) => 403,
                 DbError::BranchExists { .. } | DbError::MergeConflicts(_) => 409,
                 _ => 500,
@@ -316,6 +320,7 @@ fn respond(
         403 => "Forbidden",
         404 => "Not Found",
         409 => "Conflict",
+        503 => "Service Unavailable",
         _ => "Internal Server Error",
     };
     let response = format!(

@@ -124,3 +124,69 @@ fn bad_usage_exits_nonzero() {
     assert!(err.contains("no such key"));
     std::fs::remove_dir_all(&data).unwrap();
 }
+
+#[test]
+fn cluster_workflow_across_process_restarts() {
+    let data = temp_data("cluster");
+
+    let (ok, out, err) = run(&data, &["cluster", "init", "3"]);
+    assert!(ok, "init failed: {err}");
+    assert!(out.contains("initialized 3-servelet cluster"));
+    // Re-init is refused.
+    let (ok, _, err) = run(&data, &["cluster", "init", "2"]);
+    assert!(!ok, "double init must fail");
+    assert!(err.contains("already initialized"));
+
+    // Each command is a separate PROCESS: topology, refs, and chunks must
+    // all round-trip disk, and routing must stay identical.
+    for i in 0..12 {
+        let (ok, out, err) = run(
+            &data,
+            &[
+                "cluster",
+                "put",
+                &format!("doc-{i}"),
+                &format!("payload {i}"),
+            ],
+        );
+        assert!(ok, "cluster put failed: {err}");
+        assert!(out.contains("servelet "), "{out}");
+    }
+    let (ok, out, _) = run(&data, &["cluster", "keys"]);
+    assert!(ok);
+    assert_eq!(out.trim().lines().count(), 12);
+
+    // Atomic per-servelet batch from a fresh process.
+    let (ok, out, _) = run(
+        &data,
+        &["cluster", "batch", "put:doc-0=edited", "put:extra=new"],
+    );
+    assert!(ok, "{out}");
+
+    // Live rebalance: grow, then shrink, across process boundaries.
+    let (ok, out, err) = run(&data, &["cluster", "add"]);
+    assert!(ok, "add failed: {err}");
+    assert!(out.contains("servelet 3 joined"), "{out}");
+    let (ok, out, err) = run(&data, &["cluster", "remove", "0"]);
+    assert!(ok, "remove failed: {err}");
+    assert!(out.contains("servelet 0 drained"), "{out}");
+
+    // Every key survived the moves and still reads correctly.
+    let (ok, out, _) = run(&data, &["cluster", "get", "doc-0"]);
+    assert!(ok);
+    assert!(out.contains("edited"), "{out}");
+    for i in 1..12 {
+        let (ok, out, _) = run(&data, &["cluster", "get", &format!("doc-{i}")]);
+        assert!(ok);
+        assert!(out.contains(&format!("payload {i}")), "{out}");
+    }
+    let (ok, out, _) = run(&data, &["cluster", "stats"]);
+    assert!(ok);
+    assert!(out.contains("cluster: 3 servelet(s), 13 key(s)"), "{out}");
+
+    // The single-node verbs still work beside the cluster tree.
+    let (ok, _, _) = run(&data, &["put", "solo", "standalone"]);
+    assert!(ok);
+
+    std::fs::remove_dir_all(&data).unwrap();
+}

@@ -20,7 +20,8 @@
 //! already-written FNode chunks of a failed batch are unreferenced and
 //! reclaimed by the next [`crate::gc::collect`].
 
-use std::collections::HashMap;
+use std::collections::{BTreeMap, HashMap};
+use std::sync::Arc;
 
 use bytes::Bytes;
 use forkbase_postree::{MapEdit, PosBlob, PosMap};
@@ -30,28 +31,33 @@ use parking_lot::MutexGuard;
 
 use super::{expect_map, CommitResult, ForkBase, PutOptions};
 use crate::error::{DbError, DbResult};
-use crate::fnode::{FNode, Uid};
+use crate::fnode::{self, FNode, Uid};
 use std::sync::atomic::Ordering;
 
 /// One staged operation of a [`WriteBatch`].
+///
+/// Options are staged behind an [`Arc`] interned per batch (see
+/// [`WriteBatch::intern_opts`]): staging an op costs one refcount bump, not
+/// three `String` clones, which is what made a 16-key MemStore batch lose
+/// to sequential puts before.
 enum BatchOp {
     /// Commit a value as the new head of `(key, opts.branch)`.
     Put {
         key: String,
         value: Value,
-        opts: PutOptions,
+        opts: Arc<PutOptions>,
     },
     /// Chunk `content` into a blob value at commit time, then commit it.
     PutBlob {
         key: String,
         content: Bytes,
-        opts: PutOptions,
+        opts: Arc<PutOptions>,
     },
     /// Apply map edits to the head value of `(key, opts.branch)`.
     MapEdits {
         key: String,
         edits: Vec<MapEdit>,
-        opts: PutOptions,
+        opts: Arc<PutOptions>,
     },
     /// Delete a branch ref (versions remain, like `delete_branch`).
     DeleteBranch { key: String, branch: String },
@@ -123,7 +129,37 @@ impl BatchOutcome {
 pub struct WriteBatch<'db, S> {
     db: &'db ForkBase<S>,
     ops: Vec<BatchOp>,
+    /// Distinct option sets staged so far, most recent last. Almost every
+    /// batch uses one (or very few) option sets, so staging an op is a
+    /// short scan plus an `Arc` clone instead of cloning three `String`s.
+    opts_pool: Vec<Arc<PutOptions>>,
 }
+
+/// How many recent distinct option sets [`WriteBatch::intern_opts`]
+/// compares against before giving up and allocating a fresh `Arc`. Keeps
+/// staging O(1) even for adversarial batches where every op carries
+/// different options.
+const OPTS_POOL_SCAN: usize = 8;
+
+/// A fast, non-cryptographic string hasher (FxHash-style multiply-xor)
+/// for the per-op pair index. SipHash (the `HashMap` default) costs more
+/// than the lookup it guards on short keys; nothing here is
+/// attacker-controlled state that outlives the batch.
+#[derive(Default)]
+struct FxHasher(u64);
+
+impl std::hash::Hasher for FxHasher {
+    fn write(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.0 = (self.0.rotate_left(5) ^ b as u64).wrapping_mul(0x517c_c1b7_2722_0a95);
+        }
+    }
+    fn finish(&self) -> u64 {
+        self.0
+    }
+}
+
+type FxBuildHasher = std::hash::BuildHasherDefault<FxHasher>;
 
 impl<S: ChunkStore> ForkBase<S> {
     /// Start collecting an atomic multi-key write batch.
@@ -131,17 +167,41 @@ impl<S: ChunkStore> ForkBase<S> {
         WriteBatch {
             db: self,
             ops: Vec::new(),
+            opts_pool: Vec::new(),
         }
     }
 }
 
+/// Intern `opts` into `pool` behind an `Arc`: ops staged with the same
+/// options share one allocation instead of each cloning the strings.
+/// Shared by [`WriteBatch`] and [`crate::cluster::ClusterWriteBatch`].
+pub(crate) fn intern_opts(pool: &mut Vec<Arc<PutOptions>>, opts: &PutOptions) -> Arc<PutOptions> {
+    if let Some(hit) = pool
+        .iter()
+        .rev()
+        .take(OPTS_POOL_SCAN)
+        .find(|o| ***o == *opts)
+    {
+        return Arc::clone(hit);
+    }
+    let interned = Arc::new(opts.clone());
+    pool.push(Arc::clone(&interned));
+    interned
+}
+
 impl<'db, S: ChunkStore> WriteBatch<'db, S> {
+    /// See [`intern_opts`].
+    fn intern_opts(&mut self, opts: &PutOptions) -> Arc<PutOptions> {
+        intern_opts(&mut self.opts_pool, opts)
+    }
+
     /// Stage a `Put` of `value` on `(key, opts.branch)`.
     pub fn put(&mut self, key: impl Into<String>, value: Value, opts: &PutOptions) -> &mut Self {
+        let opts = self.intern_opts(opts);
         self.ops.push(BatchOp::Put {
             key: key.into(),
             value,
-            opts: opts.clone(),
+            opts,
         });
         self
     }
@@ -154,10 +214,11 @@ impl<'db, S: ChunkStore> WriteBatch<'db, S> {
         content: Bytes,
         opts: &PutOptions,
     ) -> &mut Self {
+        let opts = self.intern_opts(opts);
         self.ops.push(BatchOp::PutBlob {
             key: key.into(),
             content,
-            opts: opts.clone(),
+            opts,
         });
         self
     }
@@ -171,10 +232,11 @@ impl<'db, S: ChunkStore> WriteBatch<'db, S> {
         edits: Vec<MapEdit>,
         opts: &PutOptions,
     ) -> &mut Self {
+        let opts = self.intern_opts(opts);
         self.ops.push(BatchOp::MapEdits {
             key: key.into(),
             edits,
-            opts: opts.clone(),
+            opts,
         });
         self
     }
@@ -237,19 +299,37 @@ impl<'db, S: ChunkStore> WriteBatch<'db, S> {
                 *op = BatchOp::Put {
                     key: std::mem::take(key),
                     value,
-                    opts: std::mem::take(opts),
+                    opts: Arc::clone(opts),
                 };
             }
         }
 
-        // Index the distinct (key, branch) pairs once, so the per-op work
-        // below is a vector index instead of a hash lookup + allocation.
-        // Owned copies of the distinct pairs (one clone per pair, not per
-        // op) let the op loop consume `ops` and move its strings straight
-        // into the FNodes.
-        let (pairs, op_pair): (Vec<(String, String)>, Vec<usize>) = {
-            let mut pair_index: HashMap<(&str, &str), usize> = HashMap::new();
-            let mut distinct: Vec<(&str, &str)> = Vec::new();
+        // Detach map-edit lists before the ops are (immutably) borrowed
+        // for the rest of the commit: `PosMap::apply` consumes its edits,
+        // and cloning a large edit list at commit time would reintroduce
+        // exactly the per-op copying this path avoids. Only allocated when
+        // a map-edit op exists, so the common all-puts batch skips it.
+        let mut edit_lists: Vec<Option<Vec<MapEdit>>> = Vec::new();
+        if ops.iter().any(|op| matches!(op, BatchOp::MapEdits { .. })) {
+            edit_lists = ops
+                .iter_mut()
+                .map(|op| match op {
+                    BatchOp::MapEdits { edits, .. } => Some(std::mem::take(edits)),
+                    _ => None,
+                })
+                .collect();
+        }
+
+        // Index the distinct (key, branch) pairs once (cheap FxHash — this
+        // runs per op), so the per-op work below is a vector index instead
+        // of a repeated lookup. `distinct` borrows straight from the ops;
+        // no owned pair strings exist anywhere in the commit path — the op
+        // loop encodes versions from borrowed parts and the final
+        // ref-table write allocates only for genuinely new keys/branches.
+        let (distinct, op_pair): (Vec<(&str, &str)>, Vec<usize>) = {
+            let mut pair_index: HashMap<(&str, &str), usize, FxBuildHasher> =
+                HashMap::with_capacity_and_hasher(ops.len(), FxBuildHasher::default());
+            let mut distinct: Vec<(&str, &str)> = Vec::with_capacity(ops.len());
             let op_pair: Vec<usize> = ops
                 .iter()
                 .map(|op| {
@@ -260,18 +340,12 @@ impl<'db, S: ChunkStore> WriteBatch<'db, S> {
                     })
                 })
                 .collect();
-            (
-                distinct
-                    .into_iter()
-                    .map(|(k, b)| (k.to_string(), b.to_string()))
-                    .collect(),
-                op_pair,
-            )
+            (distinct, op_pair)
         };
 
         // Lock every touched stripe in index order (deduplicated): the
         // same total order merge uses, so no lock cycle can form.
-        let mut stripes: Vec<usize> = pairs
+        let mut stripes: Vec<usize> = distinct
             .iter()
             .map(|(key, branch)| ForkBase::<S>::head_stripe(key, branch))
             .collect();
@@ -284,21 +358,23 @@ impl<'db, S: ChunkStore> WriteBatch<'db, S> {
         // so these cannot move under the batch).
         let (mut heads, key_existed): (Vec<Option<Uid>>, Vec<bool>) = {
             let branches = db.branches.read();
-            pairs
+            distinct
                 .iter()
                 .map(|(key, branch)| {
-                    let kb = branches.get(key);
-                    (kb.and_then(|m| m.get(branch)).copied(), kb.is_some())
+                    let kb = branches.get(*key);
+                    (kb.and_then(|m| m.get(*branch)).copied(), kb.is_some())
                 })
                 .unzip()
         };
 
-        // Build all FNodes against the locked heads, consuming the staged
-        // ops (their strings move into the FNodes — no per-op clones).
-        // `heads` tracks in-batch chaining: a later op on the same
-        // (key, branch) bases on the earlier op's version; `None` marks a
-        // (possibly in-batch) deleted or absent branch.
-        let mut keys_created: Vec<usize> = Vec::new(); // pair indices put to
+        // Build every new version against the locked heads. The ops are
+        // only borrowed: FNode encodings are produced straight from
+        // borrowed parts ([`fnode::encode_parts_with_uid`]) — no owned
+        // `FNode` is materialized and no key/author/message string is
+        // cloned per op. `heads` tracks in-batch chaining: a later op on
+        // the same (key, branch) bases on the earlier op's version; `None`
+        // marks a (possibly in-batch) deleted or absent branch.
+        let mut keys_created: Vec<usize> = Vec::new(); // pair indices of new keys put to
         let mut staged_chunks: Vec<(Uid, Bytes)> = Vec::with_capacity(ops.len());
         let mut outcomes: Vec<BatchOutcome> = Vec::with_capacity(ops.len());
         // Per-pair value of the latest in-batch commit: later map-edit ops
@@ -306,8 +382,8 @@ impl<'db, S: ChunkStore> WriteBatch<'db, S> {
         // its FNode chunk is not in the store until the put_batch below.
         // Only tracked for pairs some map-edit op actually targets, so the
         // common all-puts batch never clones a value.
-        let mut staged_values: Vec<Option<Value>> = vec![None; pairs.len()];
-        let mut needs_value: Vec<bool> = vec![false; pairs.len()];
+        let mut staged_values: Vec<Option<Value>> = vec![None; distinct.len()];
+        let mut needs_value: Vec<bool> = vec![false; distinct.len()];
         for (op, &p) in ops.iter().zip(&op_pair) {
             if matches!(op, BatchOp::MapEdits { .. }) {
                 needs_value[p] = true;
@@ -318,15 +394,18 @@ impl<'db, S: ChunkStore> WriteBatch<'db, S> {
         // key vs missing branch, where a key counts as present if an
         // earlier batch op created it.
         let missing_head_err =
-            |created: &[usize], pair: usize, key: String, branch: String| -> DbError {
-                if !key_existed[pair] && !created.iter().any(|&p| pairs[p].0 == key) {
-                    DbError::NoSuchKey(key)
+            |created: &[usize], pair: usize, key: &str, branch: &str| -> DbError {
+                if !key_existed[pair] && !created.iter().any(|&p| distinct[p].0 == key) {
+                    DbError::NoSuchKey(key.to_string())
                 } else {
-                    DbError::NoSuchBranch { key, branch }
+                    DbError::NoSuchBranch {
+                        key: key.to_string(),
+                        branch: branch.to_string(),
+                    }
                 }
             };
 
-        for (op, pair) in ops.into_iter().zip(op_pair) {
+        for ((op_idx, op), &pair) in ops.iter().enumerate().zip(&op_pair) {
             match op {
                 BatchOp::DeleteBranch { key, branch } => {
                     if heads[pair].is_none() {
@@ -334,24 +413,29 @@ impl<'db, S: ChunkStore> WriteBatch<'db, S> {
                     }
                     heads[pair] = None;
                     staged_values[pair] = None;
-                    outcomes.push(BatchOutcome::Deleted { key, branch });
+                    outcomes.push(BatchOutcome::Deleted {
+                        key: key.clone(),
+                        branch: branch.clone(),
+                    });
                 }
                 BatchOp::Put { key, value, opts } => {
+                    let (uid, branch) =
+                        commit_one(db, &mut staged_chunks, key, value, heads[pair], opts);
                     if needs_value[pair] {
                         staged_values[pair] = Some(value.clone());
                     }
-                    let (uid, branch) =
-                        commit_one(db, &mut staged_chunks, key, value, heads[pair], opts);
                     heads[pair] = Some(uid);
-                    keys_created.push(pair);
+                    if !key_existed[pair] {
+                        keys_created.push(pair);
+                    }
                     outcomes.push(BatchOutcome::Committed(CommitResult { uid, branch }));
                 }
                 BatchOp::PutBlob { .. } => {
                     unreachable!("blob ops were rewritten to puts before locking")
                 }
-                BatchOp::MapEdits { key, edits, opts } => {
+                BatchOp::MapEdits { key, opts, .. } => {
                     if heads[pair].is_none() {
-                        return Err(missing_head_err(&keys_created, pair, key, opts.branch));
+                        return Err(missing_head_err(&keys_created, pair, key, &opts.branch));
                     }
                     // Base value: the in-batch staged head if one exists
                     // (its FNode is not in the store yet), else the stored
@@ -361,14 +445,15 @@ impl<'db, S: ChunkStore> WriteBatch<'db, S> {
                         None => FNode::load(&db.store, &heads[pair].expect("checked above"))?.value,
                     };
                     let tree = expect_map(&base_value)?;
+                    let edits = edit_lists[op_idx].take().expect("detached in pre-pass");
                     let updated = PosMap::open(&db.store, db.cfg.node, tree).apply(edits)?;
                     let value = match base_value {
                         Value::Set(_) => Value::Set(updated.tree()),
                         _ => Value::Map(updated.tree()),
                     };
-                    staged_values[pair] = Some(value.clone());
                     let (uid, branch) =
-                        commit_one(db, &mut staged_chunks, key, value, heads[pair], opts);
+                        commit_one(db, &mut staged_chunks, key, &value, heads[pair], opts);
+                    staged_values[pair] = Some(value);
                     heads[pair] = Some(uid);
                     outcomes.push(BatchOutcome::Committed(CommitResult { uid, branch }));
                 }
@@ -382,43 +467,63 @@ impl<'db, S: ChunkStore> WriteBatch<'db, S> {
         // The commit point: swing every head (or drop every deleted ref)
         // inside a single write section. A reader holding the ref table —
         // `heads`, `dump_refs` — sees all of these updates or none.
+        // Steady-state head swings mutate in place; owned strings are
+        // allocated only for keys/branches that did not exist before.
         let mut branches = db.branches.write();
-        for ((key, branch), head) in pairs.into_iter().zip(heads) {
-            match head {
-                Some(uid) => {
-                    branches.entry(key).or_default().insert(branch, uid);
-                }
-                None => {
-                    if let Some(kb) = branches.get_mut(&key) {
-                        kb.remove(&branch);
+        for (&(key, branch), head) in distinct.iter().zip(&heads) {
+            match (head, branches.get_mut(key)) {
+                (Some(uid), Some(kb)) => {
+                    if let Some(slot) = kb.get_mut(branch) {
+                        *slot = *uid;
+                    } else {
+                        kb.insert(branch.to_string(), *uid);
                     }
                 }
+                (Some(uid), None) => {
+                    branches.insert(
+                        key.to_string(),
+                        BTreeMap::from([(branch.to_string(), *uid)]),
+                    );
+                }
+                (None, Some(kb)) => {
+                    kb.remove(branch);
+                }
+                (None, None) => {}
             }
         }
         Ok(outcomes)
     }
 }
 
-/// Build one commit FNode against `head` (taking ownership of the op's
-/// strings and value), stage its encoded chunk, and return the uid plus
-/// the target branch for the outcome.
+/// Encode one commit version against `head` straight from borrowed parts
+/// — no owned `FNode`, no string clones — stage its chunk, and return the
+/// uid plus the target branch for the outcome. Byte-identical to what
+/// `FNode::encode_with_uid` would produce (pinned by
+/// `fnode::tests::borrowed_encoding_is_byte_identical`).
 fn commit_one<S: ChunkStore>(
     db: &ForkBase<S>,
     staged_chunks: &mut Vec<(Uid, Bytes)>,
-    key: String,
-    value: Value,
+    key: &str,
+    value: &Value,
     head: Option<Uid>,
-    opts: PutOptions,
+    opts: &PutOptions,
 ) -> (Uid, String) {
-    let fnode = FNode {
+    let base;
+    let bases: &[Uid] = match head {
+        Some(uid) => {
+            base = [uid];
+            &base
+        }
+        None => &[],
+    };
+    let (uid, bytes) = fnode::encode_parts_with_uid(
         key,
         value,
-        bases: head.into_iter().collect(),
-        author: opts.author,
-        message: opts.message,
-        logical_time: db.clock.fetch_add(1, Ordering::Relaxed),
-    };
-    let (uid, bytes) = fnode.encode_with_uid();
+        bases,
+        &opts.author,
+        &opts.message,
+        db.clock.fetch_add(1, Ordering::Relaxed),
+    );
     staged_chunks.push((uid, Bytes::from(bytes)));
-    (uid, opts.branch)
+    (uid, opts.branch.clone())
 }

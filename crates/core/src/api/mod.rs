@@ -48,7 +48,7 @@ use crate::fnode::{FNode, Uid};
 pub const DEFAULT_BRANCH: &str = "master";
 
 /// Options accompanying a `Put`.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct PutOptions {
     /// Target branch (created implicitly if absent).
     pub branch: String,
@@ -374,6 +374,22 @@ impl<S: ChunkStore> ForkBase<S> {
         S: SweepStore,
     {
         crate::gc::collect(self)
+    }
+
+    /// Advance the logical clock past `time` (no-op if already ahead).
+    /// Bundle import and refs loading call this so commits made after
+    /// adopting external history are never stamped earlier than it.
+    pub(crate) fn bump_clock_past(&self, time: u64) {
+        self.clock.fetch_max(time + 1, Ordering::Relaxed);
+    }
+
+    /// Drop every branch ref of `key` in one step. Used by cluster
+    /// rebalance after a key's full history has been imported (and
+    /// verified) on its new owner servelet; the versions remain as
+    /// unreferenced chunks until the next [`crate::gc::collect`].
+    pub(crate) fn forget_key(&self, key: &str) {
+        let _gc = self.gc_gate.read();
+        self.branches.write().remove(key);
     }
 
     /// Install a branch ref directly (bundle import). The caller must have

@@ -1,123 +1,416 @@
-//! Multi-servelet cluster simulation.
+//! Elastic multi-servelet cluster.
 //!
 //! The ForkBase of the paper is "a distributed storage system": a master
 //! dispatches requests to *servelets*, each owning a partition of the key
 //! space. This module reproduces that architecture in-process so the
-//! routing and partitioning code paths are real, without requiring a
-//! cluster: every servelet is a worker thread owning a private
-//! [`ForkBase`]`<`[`MemStore`]`>`, requests travel over crossbeam channels
-//! (the "network"), and keys are placed by consistent hashing.
+//! routing, partitioning, and rebalancing code paths are real, without
+//! requiring a network: every servelet is a worker thread owning a private
+//! [`ForkBase`] over any [`SweepStore`] backend (durable
+//! [`forkbase_store::FileStore`] packs in the CLI, [`MemStore`] in tests
+//! and benches), requests travel over crossbeam channels (the "network"),
+//! and keys are placed by consistent hashing.
 //!
-//! The simulation preserves the behaviours that matter to the paper's
-//! claims: per-servelet deduplication, branch isolation, and the fact that
-//! all versions of a key live on the same servelet (so diff/merge never
-//! cross nodes — the same placement rule the real system uses).
+//! # Placement rule
+//!
+//! All versions of a key live on the same servelet, so diff/merge/history
+//! never cross nodes — the same placement rule the real system uses, and
+//! the property that lets partition-local version storage scale (cf. the
+//! forkless-database line of work in PAPERS.md: cheap node-local
+//! verification plus partition-local history).
+//!
+//! # Elasticity
+//!
+//! [`Cluster::add_servelet`] / [`Cluster::remove_servelet`] recompute the
+//! consistent-hash ring and migrate **only** the keys whose ring owner
+//! changed. Each moving key travels as a [`crate::bundle`] — its full
+//! branch/version history with byte-identical chunk addresses — so version
+//! uids, dedup, and tamper evidence survive the move: the import re-hashes
+//! every chunk and walks every history before a single ref is installed.
+//! Copy-phase failures roll back (placement unchanged); after every copy
+//! verified, the new ring installs before sources drop their shadowed
+//! copies, so later failures roll forward and the next rebalance heals
+//! any residue (`plan_and_copy`'s authoritative-copy rule: of duplicate
+//! holders, only the old ring owner's copy ever received writes).
+//! Rebalance is stop-the-world for routed verbs (the rebalance gate);
+//! clients block for its duration, they never observe a key in transit.
+//!
+//! # Ring stability
+//!
+//! Ring points are a pure function of `(servelet id, vnode)` — not of
+//! construction order — and servelet ids are stable (allocated once, never
+//! reused; persisted via [`ClusterTopology`]). Two clusters opened over
+//! the same topology record route identically, no matter how many
+//! add/remove steps produced them.
 
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use bytes::Bytes;
 use crossbeam::channel::{bounded, unbounded, Sender};
 use forkbase_crypto::sha256;
 use forkbase_postree::TreeConfig;
-use forkbase_store::MemStore;
+use forkbase_store::{MemStore, SweepStore};
+use parking_lot::{Mutex, RwLock};
 
-use crate::db::{CommitResult, ForkBase, GetResult, PutOptions};
-use crate::error::DbResult;
+use crate::api::{BatchOutcome, CommitResult, DbStat, GetResult, PutOptions, VersionSpec};
+use crate::bundle::{export_bundle_keys, import_bundle};
+use crate::db::ForkBase;
+use crate::error::{DbError, DbResult};
+use crate::fnode::Uid;
+use crate::gc::GcReport;
 use forkbase_types::Value;
 
 /// A job shipped to a servelet thread.
-type Job = Box<dyn FnOnce(&ForkBase<MemStore>) + Send>;
+type Job<S> = Box<dyn FnOnce(&ForkBase<S>) + Send>;
 
-struct Servelet {
-    tx: Sender<Job>,
-    handle: Option<std::thread::JoinHandle<()>>,
+/// What travels over a servelet's "network" channel.
+enum Msg<S> {
+    Job(Job<S>),
+    /// Stop the worker loop (clean shutdown or fault injection).
+    Shutdown,
 }
 
-/// An in-process ForkBase cluster.
-pub struct Cluster {
-    /// `(point, servelet index)` sorted by point — the consistent-hash ring.
+/// One servelet: a worker thread owning a private `ForkBase<S>`.
+struct Node<S> {
+    /// Stable identity: allocated once, never reused, persisted in the
+    /// topology record. Ring points derive from this, not from the slot.
+    id: u64,
+    tx: Sender<Msg<S>>,
+    handle: Mutex<Option<std::thread::JoinHandle<()>>>,
+}
+
+/// The mutable routing state: swapped atomically by rebalance.
+struct State<S> {
+    /// `(point, slot)` sorted by point — the consistent-hash ring.
     ring: Vec<(u64, usize)>,
-    servelets: Vec<Servelet>,
+    nodes: Vec<Arc<Node<S>>>,
 }
 
 /// Virtual nodes per servelet on the hash ring; more points = smoother
 /// key balance.
-const VNODES: usize = 32;
+const VNODES: u32 = 32;
 
-impl Cluster {
-    /// Spin up `n` servelets (n ≥ 1) with the given tree configuration.
-    pub fn new(n: usize, cfg: TreeConfig) -> Self {
-        assert!(n >= 1, "a cluster needs at least one servelet");
-        let mut servelets = Vec::with_capacity(n);
-        for _ in 0..n {
-            let (tx, rx) = unbounded::<Job>();
-            let handle = std::thread::spawn(move || {
-                let db = ForkBase::with_config(MemStore::new(), cfg);
-                while let Ok(job) = rx.recv() {
-                    job(&db);
-                }
-            });
-            servelets.push(Servelet {
-                tx,
-                handle: Some(handle),
-            });
+/// A persistable description of a cluster's membership: the stable
+/// servelet ids in slot order plus the next id to allocate. Reopening a
+/// cluster from the same topology routes every key identically.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ClusterTopology {
+    /// Stable servelet ids, in slot order.
+    pub servelet_ids: Vec<u64>,
+    /// The id the next [`Cluster::add_servelet`] will assign. Monotone:
+    /// removed ids are never reused, so a stale data directory can never
+    /// be mistaken for a live servelet's.
+    pub next_id: u64,
+}
+
+const TOPOLOGY_MAGIC: &str = "forkbase-cluster-topology-v1";
+
+impl ClusterTopology {
+    /// Serialize as stable text (one record per line).
+    pub fn encode(&self) -> String {
+        let mut out = format!("{TOPOLOGY_MAGIC}\nnext-id\t{}\n", self.next_id);
+        for id in &self.servelet_ids {
+            out.push_str(&format!("servelet\t{id}\n"));
         }
-        let mut ring = Vec::with_capacity(n * VNODES);
-        for (idx, _) in servelets.iter().enumerate() {
-            for v in 0..VNODES {
-                let point = ring_point(&format!("servelet-{idx}-vnode-{v}"));
-                ring.push((point, idx));
+        out
+    }
+
+    /// Parse [`Self::encode`] output.
+    pub fn parse(text: &str) -> DbResult<ClusterTopology> {
+        let err = |m: &str| DbError::InvalidInput(format!("topology record: {m}"));
+        let mut lines = text.lines();
+        if lines.next() != Some(TOPOLOGY_MAGIC) {
+            return Err(err("bad magic"));
+        }
+        let mut next_id = None;
+        let mut servelet_ids = Vec::new();
+        for line in lines {
+            if line.is_empty() {
+                continue;
+            }
+            match line.split_once('\t') {
+                Some(("next-id", v)) => {
+                    next_id = Some(v.parse::<u64>().map_err(|_| err("bad next-id"))?);
+                }
+                Some(("servelet", v)) => {
+                    servelet_ids.push(v.parse::<u64>().map_err(|_| err("bad servelet id"))?);
+                }
+                _ => return Err(err("unknown line")),
             }
         }
-        ring.sort_unstable();
-        Cluster { ring, servelets }
+        if servelet_ids.is_empty() {
+            return Err(err("no servelets"));
+        }
+        let mut seen = std::collections::HashSet::new();
+        if !servelet_ids.iter().all(|id| seen.insert(*id)) {
+            return Err(err("duplicate servelet id"));
+        }
+        let max = *servelet_ids.iter().max().expect("non-empty");
+        let next_id = next_id.unwrap_or(max + 1);
+        if next_id <= max {
+            return Err(err("next-id must exceed every live id"));
+        }
+        Ok(ClusterTopology {
+            servelet_ids,
+            next_id,
+        })
     }
+}
+
+/// An in-process ForkBase cluster, elastic and generic over the servelet
+/// store backend.
+pub struct Cluster<S = MemStore> {
+    state: RwLock<State<S>>,
+    /// Routed verbs hold this shared; rebalance holds it exclusive, so a
+    /// topology change never races an in-flight request and no request
+    /// ever observes a key mid-migration.
+    rebalance_gate: RwLock<()>,
+    next_id: AtomicU64,
+    cfg: TreeConfig,
+}
+
+/// Scatter-gathered per-servelet statistics ([`Cluster::stats`]).
+#[derive(Clone, Debug)]
+pub struct ClusterStat {
+    /// `(servelet id, its DbStat)` in slot order.
+    pub servelets: Vec<(u64, DbStat)>,
+}
+
+impl ClusterStat {
+    /// Keys across all servelets.
+    pub fn total_keys(&self) -> u64 {
+        self.servelets.iter().map(|(_, s)| s.keys).sum()
+    }
+
+    /// Branches across all servelets.
+    pub fn total_branches(&self) -> u64 {
+        self.servelets.iter().map(|(_, s)| s.branches).sum()
+    }
+
+    /// Stored chunk-payload bytes across all servelets.
+    pub fn total_stored_bytes(&self) -> u64 {
+        self.servelets
+            .iter()
+            .map(|(_, s)| s.store.stored_bytes)
+            .sum()
+    }
+}
+
+impl std::fmt::Display for ClusterStat {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(
+            f,
+            "cluster: {} servelet(s), {} key(s), {} branch(es), {} stored byte(s)",
+            self.servelets.len(),
+            self.total_keys(),
+            self.total_branches(),
+            self.total_stored_bytes()
+        )?;
+        for (id, stat) in &self.servelets {
+            writeln!(
+                f,
+                "servelet {id}: {} key(s), {} branch(es), {} stored byte(s)",
+                stat.keys, stat.branches, stat.store.stored_bytes
+            )?;
+        }
+        Ok(())
+    }
+}
+
+/// One bounded page of a routed [`Cluster::map_range`] scan.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct MapPage {
+    /// The entries of the page, in key order.
+    pub entries: Vec<(Bytes, Bytes)>,
+    /// Whether entries remain past the page limit.
+    pub truncated: bool,
+    /// The snapshot version the page was served from.
+    pub version: Uid,
+}
+
+impl Cluster<MemStore> {
+    /// Spin up `n` in-memory servelets (n ≥ 1) with the given tree
+    /// configuration — the test/bench constructor. Servelet ids are
+    /// `0..n`.
+    pub fn new(n: usize, cfg: TreeConfig) -> Self {
+        assert!(n >= 1, "a cluster needs at least one servelet");
+        Self::from_stores((0..n as u64).map(|id| (id, MemStore::new())).collect(), cfg)
+    }
+}
+
+impl<S: SweepStore + Send + 'static> Cluster<S> {
+    /// Spin up one servelet per `(stable id, store)` pair. Ids must be
+    /// distinct; the ring is a pure function of the id set, so the same
+    /// ids always produce the same placement.
+    pub fn from_stores(stores: Vec<(u64, S)>, cfg: TreeConfig) -> Self {
+        assert!(!stores.is_empty(), "a cluster needs at least one servelet");
+        let mut seen = std::collections::HashSet::new();
+        let mut max_id = 0u64;
+        for (id, _) in &stores {
+            assert!(seen.insert(*id), "duplicate servelet id {id}");
+            max_id = max_id.max(*id);
+        }
+        let nodes: Vec<Arc<Node<S>>> = stores
+            .into_iter()
+            .map(|(id, store)| spawn_node(id, store, cfg))
+            .collect();
+        let ring = build_ring(&nodes.iter().map(|n| n.id).collect::<Vec<_>>());
+        Cluster {
+            state: RwLock::new(State { ring, nodes }),
+            rebalance_gate: RwLock::new(()),
+            next_id: AtomicU64::new(max_id + 1),
+            cfg,
+        }
+    }
+
+    /// Reopen a cluster from a persisted [`ClusterTopology`], opening each
+    /// servelet's store via `open`. Routing is identical to the cluster
+    /// that produced the record. `cfg` must match the configuration the
+    /// data was written with (chunk boundaries are on-disk format).
+    pub fn from_topology(
+        topology: &ClusterTopology,
+        cfg: TreeConfig,
+        mut open: impl FnMut(u64) -> DbResult<S>,
+    ) -> DbResult<Self> {
+        let mut seen = std::collections::HashSet::new();
+        for &id in &topology.servelet_ids {
+            if !seen.insert(id) {
+                return Err(DbError::InvalidInput(format!(
+                    "topology record: duplicate servelet id {id}"
+                )));
+            }
+        }
+        let mut stores = Vec::with_capacity(topology.servelet_ids.len());
+        for &id in &topology.servelet_ids {
+            stores.push((id, open(id)?));
+        }
+        let cluster = Self::from_stores(stores, cfg);
+        cluster.next_id.store(topology.next_id, Ordering::Relaxed);
+        Ok(cluster)
+    }
+
+    // ------------------------------------------------------------------
+    // Topology
+    // ------------------------------------------------------------------
 
     /// Number of servelets.
     pub fn len(&self) -> usize {
-        self.servelets.len()
+        self.state.read().nodes.len()
     }
 
     /// Whether the cluster is empty (never true — kept for API symmetry).
     pub fn is_empty(&self) -> bool {
-        self.servelets.is_empty()
+        self.state.read().nodes.is_empty()
     }
 
-    /// The servelet that owns `key` (consistent hashing).
+    /// Stable servelet ids, in slot order.
+    pub fn ids(&self) -> Vec<u64> {
+        self.state.read().nodes.iter().map(|n| n.id).collect()
+    }
+
+    /// The persistable membership record.
+    pub fn topology(&self) -> ClusterTopology {
+        ClusterTopology {
+            servelet_ids: self.ids(),
+            next_id: self.next_id.load(Ordering::Relaxed),
+        }
+    }
+
+    /// The id the next [`Self::add_servelet`] will assign (so callers can
+    /// provision the new servelet's store — e.g. its data directory —
+    /// before handing it over).
+    pub fn next_servelet_id(&self) -> u64 {
+        self.next_id.load(Ordering::Relaxed)
+    }
+
+    /// The slot of the servelet that owns `key` (consistent hashing).
+    /// Slots shift when servelets are removed; [`Self::owner_id`] is the
+    /// stable identity.
     pub fn route(&self, key: &str) -> usize {
-        let point = ring_point(key);
-        let idx = self.ring.partition_point(|(p, _)| *p < point);
-        let (_, servelet) = self.ring[idx % self.ring.len()];
-        servelet
+        route_on(&self.state.read().ring, key)
     }
 
-    /// Run `f` against the database of servelet `node` and wait for the
-    /// result (simulated RPC).
+    /// The stable id of the servelet that owns `key`.
+    pub fn owner_id(&self, key: &str) -> u64 {
+        let state = self.state.read();
+        state.nodes[route_on(&state.ring, key)].id
+    }
+
+    // ------------------------------------------------------------------
+    // RPC plumbing
+    // ------------------------------------------------------------------
+
+    /// Run `f` against the database of servelet slot `slot` and wait for
+    /// the result (simulated RPC). An RPC to a dead servelet returns
+    /// [`DbError::ServeletUnavailable`] — it never panics the caller.
     pub fn on_node<R: Send + 'static>(
         &self,
-        node: usize,
-        f: impl FnOnce(&ForkBase<MemStore>) -> R + Send + 'static,
-    ) -> R {
-        let (tx, rx) = bounded(1);
-        self.servelets[node]
-            .tx
-            .send(Box::new(move |db| {
-                let _ = tx.send(f(db));
-            }))
-            .expect("servelet thread alive");
-        rx.recv().expect("servelet responds")
+        slot: usize,
+        f: impl FnOnce(&ForkBase<S>) -> R + Send + 'static,
+    ) -> DbResult<R> {
+        let _gate = self.rebalance_gate.read();
+        let node = {
+            let state = self.state.read();
+            state
+                .nodes
+                .get(slot)
+                .cloned()
+                .ok_or_else(|| DbError::InvalidInput(format!("no servelet at slot {slot}")))?
+        };
+        call(&node, f)
     }
 
-    /// Run `f` against the servelet owning `key`.
+    /// Run `f` against the servelet owning `key`. Routing and dispatch
+    /// happen under one consistent view of the ring.
     pub fn with_key<R: Send + 'static>(
         &self,
         key: &str,
-        f: impl FnOnce(&ForkBase<MemStore>) -> R + Send + 'static,
-    ) -> R {
-        self.on_node(self.route(key), f)
+        f: impl FnOnce(&ForkBase<S>) -> R + Send + 'static,
+    ) -> DbResult<R> {
+        let _gate = self.rebalance_gate.read();
+        let node = {
+            let state = self.state.read();
+            Arc::clone(&state.nodes[route_on(&state.ring, key)])
+        };
+        call(&node, f)
     }
+
+    /// Dispatch `f` to **every** servelet concurrently and gather the
+    /// results in slot order (scatter-gather).
+    fn scatter<R: Send + 'static>(
+        &self,
+        f: impl Fn(&ForkBase<S>) -> R + Clone + Send + 'static,
+    ) -> DbResult<Vec<(u64, R)>> {
+        let _gate = self.rebalance_gate.read();
+        let nodes = self.state.read().nodes.clone();
+        scatter_nodes(&nodes, f)
+    }
+
+    /// Shut down servelet slot `slot`'s worker **without** removing it
+    /// from the ring — fault injection for dead-servelet handling: every
+    /// later RPC routed to it returns [`DbError::ServeletUnavailable`].
+    pub fn kill_servelet(&self, slot: usize) -> DbResult<()> {
+        let node = {
+            let state = self.state.read();
+            state
+                .nodes
+                .get(slot)
+                .cloned()
+                .ok_or_else(|| DbError::InvalidInput(format!("no servelet at slot {slot}")))?
+        };
+        shutdown_node(&node);
+        Ok(())
+    }
+
+    // ------------------------------------------------------------------
+    // Data plane
+    // ------------------------------------------------------------------
 
     /// `Put` routed to the owning servelet.
     pub fn put(&self, key: &str, value: Value, opts: PutOptions) -> DbResult<CommitResult> {
-        let key = key.to_string();
-        self.with_key(&key.clone(), move |db| db.put(&key, value, &opts))
+        let owned = key.to_string();
+        self.with_key(key, move |db| db.put(&owned, value, &opts))?
     }
 
     /// `Put` a string value (cross-node safe: the value is built on the
@@ -139,62 +432,665 @@ impl Cluster {
         content: Vec<u8>,
         opts: PutOptions,
     ) -> DbResult<CommitResult> {
-        let key_owned = key.to_string();
+        let owned = key.to_string();
         self.with_key(key, move |db| {
-            let value = db.new_blob_bytes(bytes::Bytes::from(content))?;
-            db.put(&key_owned, value, &opts)
-        })
+            db.put_blob(&owned, Bytes::from(content), &opts)
+        })?
     }
 
     /// `Get` routed to the owning servelet.
     pub fn get(&self, key: &str, branch: &str) -> DbResult<GetResult> {
-        let key_owned = key.to_string();
+        let owned = key.to_string();
         let branch = branch.to_string();
-        self.with_key(key, move |db| db.get(&key_owned, &branch))
+        self.with_key(key, move |db| db.get(&owned, &branch))?
     }
 
-    /// All keys across every servelet, sorted.
-    pub fn list_keys(&self) -> Vec<String> {
-        let mut keys = Vec::new();
-        for node in 0..self.len() {
-            keys.extend(self.on_node(node, |db| db.list_keys()));
+    /// Start collecting a routed multi-key write batch (see
+    /// [`ClusterWriteBatch`] for the atomicity contract).
+    pub fn write_batch(&self) -> ClusterWriteBatch<'_, S> {
+        ClusterWriteBatch {
+            cluster: self,
+            ops: Vec::new(),
+            opts_pool: Vec::new(),
         }
+    }
+
+    /// Scatter-gather branch-head read. Pairs are grouped per owning
+    /// servelet and each group is served by one consistent
+    /// [`ForkBase::heads`] read, so the returned uids are torn-free **per
+    /// servelet** (the same granularity [`ClusterWriteBatch`] commits at);
+    /// results come back in input order.
+    pub fn heads(&self, pairs: &[(&str, &str)]) -> DbResult<Vec<Uid>> {
+        let _gate = self.rebalance_gate.read();
+        let (nodes, groups) = {
+            let state = self.state.read();
+            let mut groups: BTreeMap<usize, Vec<(usize, String, String)>> = BTreeMap::new();
+            for (i, (key, branch)) in pairs.iter().enumerate() {
+                groups.entry(route_on(&state.ring, key)).or_default().push((
+                    i,
+                    key.to_string(),
+                    branch.to_string(),
+                ));
+            }
+            (state.nodes.clone(), groups)
+        };
+        let mut out: Vec<Option<Uid>> = vec![None; pairs.len()];
+        let mut pending = Vec::new();
+        for (slot, group) in groups {
+            let node = &nodes[slot];
+            let (tx, rx) = bounded(1);
+            let indices: Vec<usize> = group.iter().map(|(i, _, _)| *i).collect();
+            let job = move |db: &ForkBase<S>| {
+                let refs: Vec<(&str, &str)> = group
+                    .iter()
+                    .map(|(_, k, b)| (k.as_str(), b.as_str()))
+                    .collect();
+                let _ = tx.send(db.heads(&refs));
+            };
+            node.tx
+                .send(Msg::Job(Box::new(job)))
+                .map_err(|_| unavailable(node.id))?;
+            pending.push((node.id, indices, rx));
+        }
+        for (id, indices, rx) in pending {
+            let uids = rx.recv().map_err(|_| unavailable(id))??;
+            for (i, uid) in indices.into_iter().zip(uids) {
+                out[i] = Some(uid);
+            }
+        }
+        Ok(out
+            .into_iter()
+            .map(|u| u.expect("every pair grouped"))
+            .collect())
+    }
+
+    /// Scatter-gather statistics from every servelet.
+    pub fn stats(&self) -> DbResult<ClusterStat> {
+        Ok(ClusterStat {
+            servelets: self.scatter(|db| db.stat())?,
+        })
+    }
+
+    /// Snapshot-backed routed range scan: one bounded page of map entries
+    /// of `key@branch`, served by the owning servelet's streaming cursor
+    /// (O(chunk) servelet memory; the page itself is bounded by `limit`).
+    /// `start` is inclusive, `end` exclusive.
+    pub fn map_range(
+        &self,
+        key: &str,
+        branch: &str,
+        start: Option<Bytes>,
+        end: Option<Bytes>,
+        limit: usize,
+    ) -> DbResult<MapPage> {
+        use std::ops::Bound;
+        let owned = key.to_string();
+        let branch = branch.to_string();
+        self.with_key(key, move |db| {
+            let snap = db.snapshot(&owned, &VersionSpec::Branch(branch))?;
+            let start_bound = match &start {
+                Some(s) => Bound::Included(s.as_ref()),
+                None => Bound::Unbounded,
+            };
+            let end_bound = match &end {
+                Some(e) => Bound::Excluded(e.as_ref()),
+                None => Bound::Unbounded,
+            };
+            let mut range = snap.map_range::<&[u8], _>((start_bound, end_bound))?;
+            let mut entries = Vec::new();
+            let mut truncated = false;
+            for item in &mut range {
+                let (k, v) = item?;
+                if entries.len() == limit {
+                    truncated = true;
+                    break;
+                }
+                entries.push((k, v));
+            }
+            Ok(MapPage {
+                entries,
+                truncated,
+                version: snap.uid(),
+            })
+        })?
+    }
+
+    /// All keys across every servelet, sorted and deduplicated (a key can
+    /// transiently exist on two servelets after an interrupted rebalance,
+    /// until the next one cleans the stale copy up).
+    pub fn list_keys(&self) -> DbResult<Vec<String>> {
+        let mut keys: Vec<String> = self
+            .scatter(|db| db.list_keys())?
+            .into_iter()
+            .flat_map(|(_, k)| k)
+            .collect();
         keys.sort();
-        keys
+        keys.dedup();
+        Ok(keys)
     }
 
-    /// Aggregate chunk statistics across servelets.
-    pub fn total_stored_bytes(&self) -> u64 {
-        (0..self.len())
-            .map(|n| self.on_node(n, |db| forkbase_store::ChunkStore::stored_bytes(db.store())))
-            .sum()
+    /// Aggregate stored chunk-payload bytes across servelets.
+    pub fn total_stored_bytes(&self) -> DbResult<u64> {
+        Ok(self
+            .scatter(|db| forkbase_store::ChunkStore::stored_bytes(db.store()))?
+            .into_iter()
+            .map(|(_, b)| b)
+            .sum())
     }
 
-    /// Distribution of keys per servelet (for balance checks).
-    pub fn key_distribution(&self) -> Vec<usize> {
-        (0..self.len())
-            .map(|n| self.on_node(n, |db| db.list_keys().len()))
+    /// Distribution of keys per servelet slot (for balance checks).
+    pub fn key_distribution(&self) -> DbResult<Vec<usize>> {
+        Ok(self
+            .scatter(|db| db.list_keys().len())?
+            .into_iter()
+            .map(|(_, n)| n)
+            .collect())
+    }
+
+    /// Run a garbage-collection pass on every servelet; returns
+    /// `(servelet id, report)` in slot order.
+    pub fn gc(&self) -> DbResult<Vec<(u64, GcReport)>> {
+        self.scatter(|db| db.gc())?
+            .into_iter()
+            .map(|(id, r)| r.map(|r| (id, r)))
             .collect()
+    }
+
+    // ------------------------------------------------------------------
+    // Elasticity
+    // ------------------------------------------------------------------
+
+    /// Add a servelet backed by `store` and migrate to it exactly the keys
+    /// whose ring owner changed (with consistent hashing, keys only ever
+    /// move *onto* the new servelet). Returns the new servelet's stable
+    /// id. Stop-the-world for routed verbs while the migration runs.
+    ///
+    /// Failure semantics: an error during the copy phase rolls the copies
+    /// back and leaves placement exactly as it was. Once every copy has
+    /// verified, the new ring is installed **before** the sources drop
+    /// their (now shadowed) copies, so a cutover error rolls *forward*:
+    /// the topology change sticks, every key is served by its new owner,
+    /// and the next rebalance cleans up any stale source copies.
+    pub fn add_servelet(&self, store: S) -> DbResult<u64> {
+        let _gate = self.rebalance_gate.write();
+        let id = self.next_id.fetch_add(1, Ordering::Relaxed);
+        let node = spawn_node(id, store, self.cfg);
+        let (old_nodes, old_ring, new_ring) = {
+            let state = self.state.read();
+            let mut ids: Vec<u64> = state.nodes.iter().map(|n| n.id).collect();
+            ids.push(id);
+            (state.nodes.clone(), state.ring.clone(), build_ring(&ids))
+        };
+        let mut all_nodes = old_nodes;
+        all_nodes.push(Arc::clone(&node));
+        let plan = plan_and_copy(&all_nodes, &old_ring, &new_ring)?;
+        {
+            let mut state = self.state.write();
+            state.nodes.push(node);
+            state.ring = new_ring;
+        }
+        cutover(&all_nodes, plan)?;
+        Ok(id)
+    }
+
+    /// Remove servelet `id`, first migrating every key it owns to its new
+    /// ring owner. Refuses to remove the last servelet. Stop-the-world for
+    /// routed verbs while the migration runs; the servelet thread is shut
+    /// down once it holds no data.
+    ///
+    /// A **dead** servelet (worker thread gone — see [`Self::kill_servelet`])
+    /// cannot be drained: its keys are only readable from its store, so
+    /// this returns [`DbError::ServeletUnavailable`] rather than silently
+    /// dropping them. For durable backends the recovery path is to reopen
+    /// the cluster from its persisted topology (respawning every worker
+    /// over the on-disk stores) and remove the servelet then.
+    pub fn remove_servelet(&self, id: u64) -> DbResult<()> {
+        let _gate = self.rebalance_gate.write();
+        let (nodes, old_ring, slot, interim_ring) = {
+            let state = self.state.read();
+            if state.nodes.len() <= 1 {
+                return Err(DbError::InvalidInput(
+                    "cannot remove the last servelet".into(),
+                ));
+            }
+            let slot = state
+                .nodes
+                .iter()
+                .position(|n| n.id == id)
+                .ok_or_else(|| DbError::InvalidInput(format!("no servelet with id {id}")))?;
+            // Ring without the departing id, but still over the OLD slot
+            // numbering, so migration routes into the current node vector.
+            let ids: Vec<(u64, usize)> = state
+                .nodes
+                .iter()
+                .enumerate()
+                .filter(|(s, _)| *s != slot)
+                .map(|(s, n)| (n.id, s))
+                .collect();
+            (
+                state.nodes.clone(),
+                state.ring.clone(),
+                slot,
+                build_ring_slots(&ids),
+            )
+        };
+        let plan = plan_and_copy(&nodes, &old_ring, &interim_ring)?;
+        let node = {
+            let mut state = self.state.write();
+            let node = state.nodes.remove(slot);
+            let ids: Vec<u64> = state.nodes.iter().map(|n| n.id).collect();
+            // Same owners as `interim_ring` (points depend only on ids);
+            // only the slot numbering is compacted.
+            state.ring = build_ring(&ids);
+            node
+        };
+        // Roll forward like `add_servelet`: copies are verified and the
+        // ring no longer routes to the victim, so cutover/shutdown errors
+        // must not resurrect it.
+        let cut = cutover(&nodes, plan);
+        shutdown_node(&node);
+        cut
     }
 }
 
-impl Drop for Cluster {
+/// A collection of writes across many keys, routed per owning servelet.
+///
+/// On [`ClusterWriteBatch::commit`], ops are grouped by owner and each
+/// group commits through that servelet's atomic
+/// [`crate::api::WriteBatch`]:
+///
+/// * **per-servelet atomicity** — all ops landing on one servelet commit
+///   (and become visible) together or not at all;
+/// * **deterministic cross-servelet ordering** — groups commit in
+///   ascending servelet slot order, so failures always leave a prefix of
+///   slots committed;
+/// * **no cross-servelet atomicity** — if the group on slot `k` fails,
+///   groups on slots `< k` have already committed and stay committed. A
+///   cluster is not a distributed transaction coordinator; callers that
+///   need all-or-nothing semantics must keep the batch on one servelet
+///   (e.g. by key choice) or reconcile on error.
+pub struct ClusterWriteBatch<'c, S: SweepStore + Send + 'static> {
+    cluster: &'c Cluster<S>,
+    ops: Vec<ClusterOp>,
+    /// Distinct option sets staged so far (same interning discipline as
+    /// [`crate::api::WriteBatch`]): staging is an `Arc` bump, not three
+    /// `String` clones per op.
+    opts_pool: Vec<Arc<PutOptions>>,
+}
+
+enum ClusterOp {
+    Put {
+        key: String,
+        value: Value,
+        opts: Arc<PutOptions>,
+    },
+    DeleteBranch {
+        key: String,
+        branch: String,
+    },
+}
+
+impl ClusterOp {
+    fn key(&self) -> &str {
+        match self {
+            ClusterOp::Put { key, .. } | ClusterOp::DeleteBranch { key, .. } => key,
+        }
+    }
+}
+
+impl<S: SweepStore + Send + 'static> ClusterWriteBatch<'_, S> {
+    /// Stage a `Put` of `value` on `(key, opts.branch)`.
+    pub fn put(&mut self, key: impl Into<String>, value: Value, opts: &PutOptions) -> &mut Self {
+        let opts = crate::api::batch::intern_opts(&mut self.opts_pool, opts);
+        self.ops.push(ClusterOp::Put {
+            key: key.into(),
+            value,
+            opts,
+        });
+        self
+    }
+
+    /// Stage a branch deletion.
+    pub fn delete_branch(
+        &mut self,
+        key: impl Into<String>,
+        branch: impl Into<String>,
+    ) -> &mut Self {
+        self.ops.push(ClusterOp::DeleteBranch {
+            key: key.into(),
+            branch: branch.into(),
+        });
+        self
+    }
+
+    /// Number of staged operations.
+    pub fn len(&self) -> usize {
+        self.ops.len()
+    }
+
+    /// Whether the batch has no staged operations.
+    pub fn is_empty(&self) -> bool {
+        self.ops.is_empty()
+    }
+
+    /// Commit every staged op, grouped per owning servelet, each group
+    /// through one atomic [`crate::api::WriteBatch`]. Outcomes return in
+    /// batch order. See the type docs for the atomicity contract.
+    pub fn commit(self) -> DbResult<Vec<BatchOutcome>> {
+        if self.ops.is_empty() {
+            return Ok(Vec::new());
+        }
+        let _gate = self.cluster.rebalance_gate.read();
+        let (nodes, groups) = {
+            let state = self.cluster.state.read();
+            let mut groups: BTreeMap<usize, Vec<(usize, ClusterOp)>> = BTreeMap::new();
+            for (i, op) in self.ops.into_iter().enumerate() {
+                groups
+                    .entry(route_on(&state.ring, op.key()))
+                    .or_default()
+                    .push((i, op));
+            }
+            (state.nodes.clone(), groups)
+        };
+        let mut out: Vec<Option<BatchOutcome>> = Vec::new();
+        out.resize_with(groups.values().map(Vec::len).sum(), || None);
+        // Ascending slot order: deterministic, so a failure always leaves
+        // a prefix of slots committed (documented above).
+        for (slot, group) in groups {
+            let indices: Vec<usize> = group.iter().map(|(i, _)| *i).collect();
+            let ops: Vec<ClusterOp> = group.into_iter().map(|(_, op)| op).collect();
+            let outcomes = call(&nodes[slot], move |db| {
+                let mut wb = db.write_batch();
+                for op in ops {
+                    match op {
+                        ClusterOp::Put { key, value, opts } => {
+                            wb.put(key, value, &opts);
+                        }
+                        ClusterOp::DeleteBranch { key, branch } => {
+                            wb.delete_branch(key, branch);
+                        }
+                    }
+                }
+                wb.commit()
+            })??;
+            for (i, outcome) in indices.into_iter().zip(outcomes) {
+                out[i] = Some(outcome);
+            }
+        }
+        Ok(out
+            .into_iter()
+            .map(|o| o.expect("every op grouped"))
+            .collect())
+    }
+}
+
+impl<S> Drop for Cluster<S> {
     fn drop(&mut self) {
-        for s in &mut self.servelets {
-            // Closing the channel stops the worker loop.
-            let (dead_tx, _) = unbounded::<Job>();
-            let tx = std::mem::replace(&mut s.tx, dead_tx);
-            drop(tx);
-            if let Some(h) = s.handle.take() {
+        let nodes = std::mem::take(&mut self.state.get_mut().nodes);
+        for node in &nodes {
+            let _ = node.tx.send(Msg::Shutdown);
+        }
+        for node in &nodes {
+            if let Some(h) = node.handle.lock().take() {
                 let _ = h.join();
             }
         }
     }
 }
 
-fn ring_point(s: &str) -> u64 {
-    let h = sha256(s.as_bytes());
+// ----------------------------------------------------------------------
+// Free helpers (no `self` borrow, so rebalance can use them while holding
+// the gate exclusively)
+// ----------------------------------------------------------------------
+
+fn unavailable(id: u64) -> DbError {
+    DbError::ServeletUnavailable { servelet: id }
+}
+
+fn spawn_node<S: SweepStore + Send + 'static>(id: u64, store: S, cfg: TreeConfig) -> Arc<Node<S>> {
+    let (tx, rx) = unbounded::<Msg<S>>();
+    let handle = std::thread::spawn(move || {
+        let db = ForkBase::with_config(store, cfg);
+        while let Ok(msg) = rx.recv() {
+            match msg {
+                Msg::Job(job) => job(&db),
+                Msg::Shutdown => break,
+            }
+        }
+    });
+    Arc::new(Node {
+        id,
+        tx,
+        handle: Mutex::new(Some(handle)),
+    })
+}
+
+fn shutdown_node<S>(node: &Node<S>) {
+    let _ = node.tx.send(Msg::Shutdown);
+    if let Some(h) = node.handle.lock().take() {
+        let _ = h.join();
+    }
+}
+
+/// Simulated RPC against one servelet. A dead worker (channel closed, or
+/// closed before the job ran) yields [`DbError::ServeletUnavailable`].
+fn call<S, R: Send + 'static>(
+    node: &Node<S>,
+    f: impl FnOnce(&ForkBase<S>) -> R + Send + 'static,
+) -> DbResult<R> {
+    let (tx, rx) = bounded(1);
+    node.tx
+        .send(Msg::Job(Box::new(move |db| {
+            let _ = tx.send(f(db));
+        })))
+        .map_err(|_| unavailable(node.id))?;
+    rx.recv().map_err(|_| unavailable(node.id))
+}
+
+/// Dispatch `f` to every node, then gather in slot order.
+fn scatter_nodes<S, R: Send + 'static>(
+    nodes: &[Arc<Node<S>>],
+    f: impl Fn(&ForkBase<S>) -> R + Clone + Send + 'static,
+) -> DbResult<Vec<(u64, R)>> {
+    let mut pending = Vec::with_capacity(nodes.len());
+    for node in nodes {
+        let (tx, rx) = bounded(1);
+        let f = f.clone();
+        node.tx
+            .send(Msg::Job(Box::new(move |db| {
+                let _ = tx.send(f(db));
+            })))
+            .map_err(|_| unavailable(node.id))?;
+        pending.push((node.id, rx));
+    }
+    pending
+        .into_iter()
+        .map(|(id, rx)| rx.recv().map(|r| (id, r)).map_err(|_| unavailable(id)))
+        .collect()
+}
+
+/// The ring point of `(servelet id, vnode)` — a pure function of the
+/// stable id, never of construction order or slot position.
+fn ring_point(servelet_id: u64, vnode: u32) -> u64 {
+    let mut buf = [0u8; 28];
+    buf[..16].copy_from_slice(b"forkbase-ring-v1");
+    buf[16..24].copy_from_slice(&servelet_id.to_le_bytes());
+    buf[24..28].copy_from_slice(&vnode.to_le_bytes());
+    let h = sha256(&buf);
     u64::from_le_bytes(h.as_bytes()[..8].try_into().expect("8 bytes"))
+}
+
+/// The ring point a key hashes to.
+fn key_point(key: &str) -> u64 {
+    let h = sha256(key.as_bytes());
+    u64::from_le_bytes(h.as_bytes()[..8].try_into().expect("8 bytes"))
+}
+
+/// Build the ring for ids in slot order (`slot = index in ids`).
+fn build_ring(ids: &[u64]) -> Vec<(u64, usize)> {
+    build_ring_slots(
+        &ids.iter()
+            .enumerate()
+            .map(|(slot, &id)| (id, slot))
+            .collect::<Vec<_>>(),
+    )
+}
+
+/// Build a ring over explicit `(id, slot)` pairs. Ties on the point value
+/// break by servelet id, so ownership is a pure function of the id set.
+fn build_ring_slots(ids: &[(u64, usize)]) -> Vec<(u64, usize)> {
+    let mut ring: Vec<(u64, u64, usize)> = Vec::with_capacity(ids.len() * VNODES as usize);
+    for &(id, slot) in ids {
+        for v in 0..VNODES {
+            ring.push((ring_point(id, v), id, slot));
+        }
+    }
+    ring.sort_unstable();
+    ring.into_iter().map(|(p, _, slot)| (p, slot)).collect()
+}
+
+fn route_on(ring: &[(u64, usize)], key: &str) -> usize {
+    let point = key_point(key);
+    let idx = ring.partition_point(|(p, _)| *p < point);
+    ring[idx % ring.len()].1
+}
+
+/// A migration plan after its copy phase: every destination holds a
+/// verified copy of the keys that move; `forgets` lists the source refs
+/// to drop at cutover.
+struct MigrationPlan {
+    /// `(source slot, keys to forget there)`.
+    forgets: Vec<(usize, Vec<String>)>,
+}
+
+/// Plan and copy: move every key whose owner under `new_ring` differs
+/// from the slot it currently lives on. Keys travel grouped per
+/// (source, destination) pair as one bundle each: full branch/version
+/// history, byte-identical chunk addresses, hash-verified on import.
+///
+/// A key the destination **already holds** (the residue of a rebalance
+/// that was interrupted between copy and cutover — e.g. a process crash
+/// between the CLI's durable writes) is not re-imported: the ring owner's
+/// copy is authoritative, so the stale source copy is simply scheduled
+/// for cutover. This makes interrupted rebalances converge instead of
+/// wedging on a diverged-head import conflict.
+///
+/// On any copy failure the already-imported keys are rolled back on
+/// their destinations (including a partially imported group — refs
+/// install one key at a time as each verifies) and placement is exactly
+/// as it was.
+fn plan_and_copy<S: SweepStore + Send + 'static>(
+    nodes: &[Arc<Node<S>>],
+    old_ring: &[(u64, usize)],
+    new_ring: &[(u64, usize)],
+) -> DbResult<MigrationPlan> {
+    // Who holds each key (normally exactly one slot; more after an
+    // interrupted rebalance), then the move plan per key:
+    // the authoritative copy travels, every other copy is stale.
+    let mut holders: BTreeMap<String, Vec<usize>> = BTreeMap::new();
+    for (slot, node) in nodes.iter().enumerate() {
+        for key in call(node, |db| db.list_keys())? {
+            holders.entry(key).or_default().push(slot);
+        }
+    }
+    let mut moves: BTreeMap<(usize, usize), Vec<String>> = BTreeMap::new();
+    let mut forgets: BTreeMap<usize, Vec<String>> = BTreeMap::new();
+    // Stale copies sitting where an import must land: dropped BEFORE the
+    // copy phase (they would collide with the import). Safe at any time —
+    // writes were never routed to a stale copy, so it holds no unique
+    // history.
+    let mut pre_forgets: BTreeMap<usize, Vec<String>> = BTreeMap::new();
+    for (key, slots) in holders {
+        let dst = route_on(new_ring, &key);
+        let old_owner = route_on(old_ring, &key);
+        // The authoritative copy is the one writes were routed to (the
+        // old ring owner); residue of an interrupted rebalance never holds
+        // unique writes.
+        let auth = if slots.contains(&old_owner) {
+            old_owner
+        } else if slots.contains(&dst) {
+            dst
+        } else {
+            slots[0]
+        };
+        if auth == dst {
+            // Already where it belongs: every other holder is stale.
+            for s in slots.into_iter().filter(|&s| s != dst) {
+                forgets.entry(s).or_default().push(key.clone());
+            }
+            continue;
+        }
+        if slots.contains(&dst) {
+            pre_forgets.entry(dst).or_default().push(key.clone());
+        }
+        moves.entry((auth, dst)).or_default().push(key.clone());
+        // After the move lands on dst, every pre-existing copy —
+        // including the authoritative source — is dropped at cutover.
+        for s in slots.into_iter().filter(|&s| s != dst) {
+            forgets.entry(s).or_default().push(key.clone());
+        }
+    }
+
+    // Copy phase.
+    for (slot, keys) in pre_forgets {
+        call(&nodes[slot], move |db| {
+            for key in &keys {
+                db.forget_key(key);
+            }
+        })?;
+    }
+    let mut imported: Vec<(usize, Vec<String>)> = Vec::new();
+    let copied = (|| -> DbResult<()> {
+        for ((src, dst), keys) in &moves {
+            let export_keys = keys.clone();
+            let bundle = call(&nodes[*src], move |db| {
+                let mut buf = Vec::new();
+                export_bundle_keys(db, &export_keys, &mut buf)?;
+                Ok::<_, DbError>(buf)
+            })??;
+            imported.push((*dst, keys.clone()));
+            call(&nodes[*dst], move |db| {
+                import_bundle(db, &mut bundle.as_slice()).map(|_| ())
+            })??;
+        }
+        Ok(())
+    })();
+    if let Err(e) = copied {
+        // Undo the imports; the pre-forgotten stale copies stay gone
+        // (they held nothing unique) — the authoritative copies are all
+        // still in place, so placement is unchanged.
+        for (dst, keys) in imported {
+            let _ = call(&nodes[dst], move |db| {
+                for key in &keys {
+                    db.forget_key(key);
+                }
+            });
+        }
+        return Err(e);
+    }
+
+    Ok(MigrationPlan {
+        forgets: forgets.into_iter().collect(),
+    })
+}
+
+/// Cutover: drop the source refs of a copied-and-verified plan. Runs
+/// AFTER the new ring is installed, so an error here (e.g. a source
+/// worker died mid-loop) leaves shadowed stale copies — cleaned up by the
+/// next rebalance — never an unreachable key. The chunks themselves stay
+/// until each servelet's next GC.
+fn cutover<S: SweepStore + Send + 'static>(
+    nodes: &[Arc<Node<S>>],
+    plan: MigrationPlan,
+) -> DbResult<()> {
+    for (src, keys) in plan.forgets {
+        call(&nodes[src], move |db| {
+            for key in &keys {
+                db.forget_key(key);
+            }
+        })?;
+    }
+    Ok(())
 }
 
 #[cfg(test)]
@@ -229,7 +1125,7 @@ mod tests {
             )
             .unwrap();
         }
-        let dist = c.key_distribution();
+        let dist = c.key_distribution().unwrap();
         assert_eq!(dist.iter().sum::<usize>(), 200);
         for (node, count) in dist.iter().enumerate() {
             assert!(
@@ -256,14 +1152,18 @@ mod tests {
                 .unwrap();
         }
         // History must be fully resolvable on the owning node.
-        let history = c.with_key("evolving", |db| {
-            db.history("evolving", &VersionSpec::branch("master"))
-        });
+        let history = c
+            .with_key("evolving", |db| {
+                db.history("evolving", &VersionSpec::branch("master"))
+            })
+            .unwrap();
         assert_eq!(history.unwrap().len(), 5);
         // And absent everywhere else.
         let owner = c.route("evolving");
         for node in 0..c.len() {
-            let present = c.on_node(node, |db| db.list_keys().contains(&"evolving".to_string()));
+            let present = c
+                .on_node(node, |db| db.list_keys().contains(&"evolving".to_string()))
+                .unwrap();
             assert_eq!(present, node == owner);
         }
     }
@@ -300,9 +1200,12 @@ mod tests {
                 &PutOptions::default(),
             )
         })
+        .unwrap()
         .unwrap();
         let merged = c.get("data", "master").unwrap();
-        let v = c.with_key("data", move |db| db.map_get(&merged.value, b"k0001"));
+        let v = c
+            .with_key("data", move |db| db.map_get(&merged.value, b"k0001"))
+            .unwrap();
         assert_eq!(v.unwrap(), Some(bytes::Bytes::from_static(b"changed")));
     }
 
@@ -326,18 +1229,302 @@ mod tests {
         for h in handles {
             h.join().unwrap();
         }
-        assert_eq!(c.list_keys().len(), 8 * 25);
+        assert_eq!(c.list_keys().unwrap().len(), 8 * 25);
     }
 
     #[test]
     fn stored_bytes_aggregate() {
         let c = cluster(2);
-        assert_eq!(c.total_stored_bytes(), 0);
+        assert_eq!(c.total_stored_bytes().unwrap(), 0);
         // Varied content: constant bytes would self-dedup to almost nothing.
         let content: Vec<u8> = (0..10_000u32)
             .map(|i| (i.wrapping_mul(2654435761) >> 13) as u8)
             .collect();
         c.put_blob("blob", content, PutOptions::default()).unwrap();
-        assert!(c.total_stored_bytes() >= 10_000);
+        assert!(c.total_stored_bytes().unwrap() >= 10_000);
+    }
+
+    #[test]
+    fn dead_servelet_is_a_structured_error_not_a_panic() {
+        let c = cluster(2);
+        c.put_string("a-key", "v".into(), PutOptions::default())
+            .unwrap();
+        let victim = c.route("a-key");
+        c.kill_servelet(victim).unwrap();
+        let err = c.get("a-key", "master").unwrap_err();
+        assert!(
+            matches!(err, DbError::ServeletUnavailable { .. }),
+            "got {err:?}"
+        );
+        assert_eq!(err.code(), "servelet_unavailable");
+        // Keys on the surviving servelet still serve.
+        let survivor = (victim + 1) % 2;
+        let key = (0..)
+            .map(|i| format!("probe-{i}"))
+            .find(|k| c.route(k) == survivor)
+            .unwrap();
+        c.put_string(&key, "alive".into(), PutOptions::default())
+            .unwrap();
+        assert_eq!(c.get(&key, "master").unwrap().value.as_str(), Some("alive"));
+    }
+
+    #[test]
+    fn ring_is_a_pure_function_of_servelet_ids() {
+        // Same id set, different construction history ⟹ identical owners.
+        let direct = Cluster::from_stores(
+            vec![
+                (0, MemStore::new()),
+                (1, MemStore::new()),
+                (2, MemStore::new()),
+            ],
+            TreeConfig::test_config(),
+        );
+        let grown = Cluster::from_stores(
+            vec![(0, MemStore::new()), (1, MemStore::new())],
+            TreeConfig::test_config(),
+        );
+        let added = grown.add_servelet(MemStore::new()).unwrap();
+        assert_eq!(added, 2);
+        for i in 0..200 {
+            let key = format!("key-{i}");
+            assert_eq!(direct.owner_id(&key), grown.owner_id(&key));
+        }
+    }
+
+    #[test]
+    fn topology_record_reopens_to_identical_routing() {
+        let c = cluster(3);
+        let removed_mid = c.add_servelet(MemStore::new()).unwrap();
+        c.remove_servelet(removed_mid).unwrap();
+        c.add_servelet(MemStore::new()).unwrap();
+        let record = c.topology().encode();
+
+        let parsed = ClusterTopology::parse(&record).unwrap();
+        assert_eq!(parsed, c.topology());
+        let reopened =
+            Cluster::from_topology(&parsed, TreeConfig::test_config(), |_| Ok(MemStore::new()))
+                .unwrap();
+        for i in 0..200 {
+            let key = format!("key-{i}");
+            assert_eq!(c.owner_id(&key), reopened.owner_id(&key));
+        }
+        // Removed ids are never reused.
+        let next = reopened.add_servelet(MemStore::new()).unwrap();
+        assert!(next > removed_mid);
+        assert_eq!(next, parsed.next_id);
+    }
+
+    #[test]
+    fn topology_parse_rejects_garbage() {
+        assert!(ClusterTopology::parse("").is_err());
+        assert!(ClusterTopology::parse("not-a-topology").is_err());
+        assert!(
+            ClusterTopology::parse(TOPOLOGY_MAGIC).is_err(),
+            "no servelets"
+        );
+        assert!(
+            ClusterTopology::parse(&format!("{TOPOLOGY_MAGIC}\nnext-id\t1\nservelet\t5\n"))
+                .is_err(),
+            "next-id must exceed every live id"
+        );
+        assert!(
+            ClusterTopology::parse(&format!(
+                "{TOPOLOGY_MAGIC}\nnext-id\t3\nservelet\t1\nservelet\t1\n"
+            ))
+            .is_err(),
+            "duplicate servelet ids must be a structured error, not a panic"
+        );
+    }
+
+    #[test]
+    fn add_servelet_moves_only_keys_it_now_owns() {
+        let c = cluster(3);
+        for i in 0..120 {
+            c.put_string(&format!("key-{i}"), format!("v{i}"), PutOptions::default())
+                .unwrap();
+        }
+        let before: Vec<(String, u64)> = (0..120)
+            .map(|i| {
+                let k = format!("key-{i}");
+                let owner = c.owner_id(&k);
+                (k, owner)
+            })
+            .collect();
+        let new_id = c.add_servelet(MemStore::new()).unwrap();
+        let mut moved = 0;
+        for (key, old_owner) in before {
+            let now = c.owner_id(&key);
+            if now != old_owner {
+                assert_eq!(
+                    now, new_id,
+                    "with consistent hashing, keys only move onto the new servelet"
+                );
+                moved += 1;
+            }
+            // Every key still readable, wherever it lives.
+            assert!(c.get(&key, "master").is_ok(), "{key} unreadable after add");
+        }
+        assert!(moved > 0, "a 4th servelet should claim some of 120 keys");
+        assert!(moved < 120, "it must not claim all of them");
+        assert_eq!(
+            c.list_keys().unwrap().len(),
+            120,
+            "no duplicates, no losses"
+        );
+    }
+
+    #[test]
+    fn remove_servelet_rehomes_its_keys() {
+        let c = cluster(3);
+        for i in 0..90 {
+            c.put_string(&format!("key-{i}"), format!("v{i}"), PutOptions::default())
+                .unwrap();
+        }
+        let victim_id = c.ids()[1];
+        let victim_keys: Vec<String> = (0..90)
+            .map(|i| format!("key-{i}"))
+            .filter(|k| c.owner_id(k) == victim_id)
+            .collect();
+        assert!(!victim_keys.is_empty());
+        let unaffected: Vec<(String, u64)> = (0..90)
+            .map(|i| format!("key-{i}"))
+            .filter(|k| c.owner_id(k) != victim_id)
+            .map(|k| {
+                let owner = c.owner_id(&k);
+                (k, owner)
+            })
+            .collect();
+
+        c.remove_servelet(victim_id).unwrap();
+        assert_eq!(c.len(), 2);
+        assert!(!c.ids().contains(&victim_id));
+        for (key, owner) in unaffected {
+            assert_eq!(
+                c.owner_id(&key),
+                owner,
+                "{key} moved although its owner stayed"
+            );
+        }
+        for key in &victim_keys {
+            let got = c.get(key, "master").unwrap();
+            assert!(got.value.as_str().is_some());
+        }
+        assert_eq!(c.list_keys().unwrap().len(), 90);
+        // Removing the last servelet is refused.
+        let last_err = {
+            let ids = c.ids();
+            c.remove_servelet(ids[0]).unwrap();
+            c.remove_servelet(c.ids()[0]).unwrap_err()
+        };
+        assert!(matches!(last_err, DbError::InvalidInput(_)));
+    }
+
+    #[test]
+    fn cluster_write_batch_routes_and_chains() {
+        let c = cluster(3);
+        let mut wb = c.write_batch();
+        for i in 0..24 {
+            wb.put(
+                format!("batch-key-{i}"),
+                Value::string(format!("v{i}")),
+                &PutOptions::default(),
+            );
+        }
+        // Same-key ops chain within the owning servelet's batch.
+        wb.put("batch-key-0", Value::string("v0b"), &PutOptions::default());
+        let outcomes = wb.commit().unwrap();
+        assert_eq!(outcomes.len(), 25);
+        assert_eq!(
+            c.get("batch-key-0", "master").unwrap().value.as_str(),
+            Some("v0b")
+        );
+        let hist = c
+            .with_key("batch-key-0", |db| {
+                db.history("batch-key-0", &VersionSpec::branch("master"))
+            })
+            .unwrap()
+            .unwrap();
+        assert_eq!(hist.len(), 2, "in-batch chaining on the owning servelet");
+
+        // Scatter-gather heads matches the committed uids, in input order.
+        let pairs: Vec<(String, String)> = (0..24)
+            .map(|i| (format!("batch-key-{i}"), "master".to_string()))
+            .collect();
+        let refs: Vec<(&str, &str)> = pairs
+            .iter()
+            .map(|(k, b)| (k.as_str(), b.as_str()))
+            .collect();
+        let heads = c.heads(&refs).unwrap();
+        for (i, (key, _)) in pairs.iter().enumerate() {
+            assert_eq!(
+                heads[i],
+                c.with_key(key, {
+                    let key = key.clone();
+                    move |db| db.head(&key, "master")
+                })
+                .unwrap()
+                .unwrap()
+            );
+        }
+
+        // A bad op fails its whole servelet group atomically.
+        let mut wb = c.write_batch();
+        wb.put(
+            "batch-key-1",
+            Value::string("never"),
+            &PutOptions::default(),
+        );
+        wb.delete_branch("no-such-key", "master");
+        assert!(wb.commit().is_err());
+
+        // Stats see every servelet.
+        let stats = c.stats().unwrap();
+        assert_eq!(stats.servelets.len(), 3);
+        assert_eq!(stats.total_keys(), 24);
+    }
+
+    #[test]
+    fn routed_map_range_pages() {
+        let c = cluster(3);
+        let pairs: Vec<(Bytes, Bytes)> = (0..500)
+            .map(|i| {
+                (
+                    Bytes::from(format!("k{i:04}")),
+                    Bytes::from(format!("v{i}")),
+                )
+            })
+            .collect();
+        c.with_key("table", move |db| {
+            let map = db.new_map(pairs)?;
+            db.put("table", map, &PutOptions::default())
+        })
+        .unwrap()
+        .unwrap();
+
+        let page = c
+            .map_range(
+                "table",
+                "master",
+                Some(Bytes::from_static(b"k0100")),
+                Some(Bytes::from_static(b"k0200")),
+                40,
+            )
+            .unwrap();
+        assert_eq!(page.entries.len(), 40);
+        assert!(page.truncated);
+        assert_eq!(&page.entries[0].0[..], b"k0100");
+
+        let rest = c
+            .map_range(
+                "table",
+                "master",
+                Some(Bytes::from_static(b"k0100")),
+                Some(Bytes::from_static(b"k0200")),
+                1000,
+            )
+            .unwrap();
+        assert_eq!(rest.entries.len(), 100);
+        assert!(!rest.truncated);
+        assert_eq!(rest.version, page.version, "same head, same snapshot");
     }
 }

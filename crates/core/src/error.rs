@@ -49,6 +49,13 @@ pub enum DbError {
     },
     /// Tamper evidence: content failed validation against its uid.
     TamperDetected(String),
+    /// A cluster RPC targeted a servelet whose worker is dead or shut
+    /// down. Callers can retry after a topology change; the stable
+    /// [`DbError::code`] is `servelet_unavailable`.
+    ServeletUnavailable {
+        /// Stable id of the unreachable servelet.
+        servelet: u64,
+    },
     /// The caller lacks permission for the operation.
     PermissionDenied(String),
     /// Malformed input (bad key/branch names, etc.).
@@ -72,6 +79,7 @@ impl DbError {
             DbError::NoCommonAncestor(_, _) => "no_common_ancestor",
             DbError::TypeMismatch { .. } => "type_mismatch",
             DbError::TamperDetected(_) => "tamper_detected",
+            DbError::ServeletUnavailable { .. } => "servelet_unavailable",
             DbError::PermissionDenied(_) => "permission_denied",
             DbError::InvalidInput(_) => "invalid_input",
         }
@@ -100,6 +108,9 @@ impl std::fmt::Display for DbError {
                 write!(f, "type mismatch: expected {expected}, found {found}")
             }
             DbError::TamperDetected(m) => write!(f, "TAMPER DETECTED: {m}"),
+            DbError::ServeletUnavailable { servelet } => {
+                write!(f, "servelet {servelet} is unavailable (dead or shut down)")
+            }
             DbError::PermissionDenied(m) => write!(f, "permission denied: {m}"),
             DbError::InvalidInput(m) => write!(f, "invalid input: {m}"),
         }
@@ -174,6 +185,7 @@ mod tests {
                 found: "blob",
             },
             DbError::TamperDetected("bad hash".into()),
+            DbError::ServeletUnavailable { servelet: 3 },
             DbError::PermissionDenied("nope".into()),
             DbError::InvalidInput("bad".into()),
         ];

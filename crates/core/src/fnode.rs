@@ -43,22 +43,61 @@ pub struct FNode {
     pub logical_time: u64,
 }
 
+/// Canonical FNode encoding built from borrowed parts. This is THE
+/// definition of the version content-addressing: [`FNode::encode`] and the
+/// write-batch staging path ([`encode_parts_with_uid`]) both call it, so a
+/// batch-committed version and a direct-put version of the same content
+/// can never encode (or hash) differently.
+pub(crate) fn encode_parts(
+    key: &str,
+    value: &Value,
+    bases: &[Uid],
+    author: &str,
+    message: &str,
+    logical_time: u64,
+) -> Vec<u8> {
+    let mut out = Vec::with_capacity(128);
+    out.push(FNODE_MAGIC);
+    put_bytes(&mut out, key.as_bytes());
+    let value = value.encode();
+    put_bytes(&mut out, &value);
+    out.extend_from_slice(&(bases.len() as u32).to_le_bytes());
+    for b in bases {
+        out.extend_from_slice(b.as_bytes());
+    }
+    put_bytes(&mut out, author.as_bytes());
+    put_bytes(&mut out, message.as_bytes());
+    out.extend_from_slice(&logical_time.to_le_bytes());
+    out
+}
+
+/// [`encode_parts`] plus the uid, without materializing an [`FNode`] (and
+/// therefore without cloning key/author/message into owned `String`s) —
+/// the allocation-free staging path [`crate::api::WriteBatch`] commits
+/// through.
+pub(crate) fn encode_parts_with_uid(
+    key: &str,
+    value: &Value,
+    bases: &[Uid],
+    author: &str,
+    message: &str,
+    logical_time: u64,
+) -> (Uid, Vec<u8>) {
+    let bytes = encode_parts(key, value, bases, author, message, logical_time);
+    (sha256(&bytes), bytes)
+}
+
 impl FNode {
     /// Canonical encoding; its SHA-256 is the uid.
     pub fn encode(&self) -> Vec<u8> {
-        let mut out = Vec::with_capacity(128);
-        out.push(FNODE_MAGIC);
-        put_bytes(&mut out, self.key.as_bytes());
-        let value = self.value.encode();
-        put_bytes(&mut out, &value);
-        out.extend_from_slice(&(self.bases.len() as u32).to_le_bytes());
-        for b in &self.bases {
-            out.extend_from_slice(b.as_bytes());
-        }
-        put_bytes(&mut out, self.author.as_bytes());
-        put_bytes(&mut out, self.message.as_bytes());
-        out.extend_from_slice(&self.logical_time.to_le_bytes());
-        out
+        encode_parts(
+            &self.key,
+            &self.value,
+            &self.bases,
+            &self.author,
+            &self.message,
+            self.logical_time,
+        )
     }
 
     /// Decode a canonical encoding.
@@ -162,6 +201,21 @@ mod tests {
             message: "initial load".into(),
             logical_time: 42,
         }
+    }
+
+    #[test]
+    fn borrowed_encoding_is_byte_identical() {
+        let f = sample();
+        let (uid, bytes) = encode_parts_with_uid(
+            &f.key,
+            &f.value,
+            &f.bases,
+            &f.author,
+            &f.message,
+            f.logical_time,
+        );
+        assert_eq!(bytes, f.encode());
+        assert_eq!(uid, f.uid());
     }
 
     #[test]

@@ -1,0 +1,411 @@
+//! Cluster rebalance and fault-path integration tests.
+//!
+//! The heavy concurrent variant (`stress_…`) is `#[ignore]`d in tier-1 and
+//! runs in the CI `stress` job (`cargo test --release -- --ignored stress`).
+
+use bytes::Bytes;
+use forkbase::{Cluster, DbError, PutOptions, Uid, VersionSpec};
+use forkbase_postree::TreeConfig;
+use forkbase_store::MemStore;
+
+/// Tiny deterministic PRNG (xorshift*) so the "random" workload is
+/// reproducible without a dev-dependency.
+struct Rng(u64);
+
+impl Rng {
+    fn next(&mut self) -> u64 {
+        let mut x = self.0;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        self.0 = x;
+        x.wrapping_mul(0x2545F4914F6CDD1D)
+    }
+
+    fn below(&mut self, n: u64) -> u64 {
+        self.next() % n
+    }
+}
+
+/// Everything about a key's state that migration must preserve.
+#[derive(Debug, PartialEq)]
+struct KeyFingerprint {
+    /// Branch name → head uid.
+    heads: Vec<(String, Uid)>,
+    /// Full first-parent history uids on master.
+    history: Vec<Uid>,
+}
+
+fn fingerprint(c: &Cluster, key: &str) -> KeyFingerprint {
+    let owned = key.to_string();
+    c.with_key(key, move |db| {
+        let heads = db
+            .list_branches(&owned)
+            .unwrap()
+            .into_iter()
+            .map(|b| (b.name, b.head))
+            .collect();
+        let history = db
+            .history(&owned, &VersionSpec::branch("master"))
+            .unwrap()
+            .into_iter()
+            .map(|h| h.uid)
+            .collect();
+        KeyFingerprint { heads, history }
+    })
+    .unwrap()
+}
+
+/// Build a randomized workload: `n` keys, 1–4 versions each, some extra
+/// branches, a couple of map-valued keys for proof checks. Returns the
+/// map-valued key names.
+fn seed_workload(c: &Cluster, rng: &mut Rng, n: usize) -> Vec<String> {
+    for i in 0..n {
+        let key = format!("key-{i:03}");
+        for rev in 0..=rng.below(3) {
+            c.put_string(
+                &key,
+                format!("contents of {key} rev {rev} pad {}", rng.below(1 << 20)),
+                PutOptions::default().author("seed"),
+            )
+            .unwrap();
+        }
+        if rng.below(3) == 0 {
+            let branch = format!("b{}", rng.below(2));
+            c.with_key(&key, {
+                let key = key.clone();
+                move |db| db.branch(&key, "master", &branch)
+            })
+            .unwrap()
+            .unwrap();
+        }
+    }
+    // Map-valued keys: these support entry proofs, the strongest
+    // tamper-evidence check we can replay after migration.
+    let mut map_keys = Vec::new();
+    for m in 0..4 {
+        let key = format!("map-{m}");
+        let pairs: Vec<(Bytes, Bytes)> = (0..200)
+            .map(|i| {
+                (
+                    Bytes::from(format!("row{i:04}")),
+                    Bytes::from(format!("val{}", rng.below(1 << 30))),
+                )
+            })
+            .collect();
+        c.with_key(&key, {
+            let key = key.clone();
+            move |db| {
+                let map = db.new_map(pairs)?;
+                db.put(&key, map, &PutOptions::default())
+            }
+        })
+        .unwrap()
+        .unwrap();
+        map_keys.push(key);
+    }
+    map_keys
+}
+
+/// The rebalance property: after growing and shrinking the cluster under a
+/// random workload, every key is still readable with identical version
+/// uids and full history, verification and entry proofs still pass on
+/// migrated keys, only keys whose ring owner changed moved, and the total
+/// stored bytes don't balloon past what migration can legitimately add.
+#[test]
+fn rebalance_preserves_history_proofs_and_dedup() {
+    let c = Cluster::new(3, TreeConfig::test_config());
+    let mut rng = Rng(0x5EED_F08B_A5E5_0001);
+    let map_keys = seed_workload(&c, &mut rng, 80);
+
+    let all_keys = c.list_keys().unwrap();
+    let owners_before: Vec<(String, u64)> = all_keys
+        .iter()
+        .map(|k| (k.clone(), c.owner_id(k)))
+        .collect();
+    let prints_before: Vec<KeyFingerprint> = all_keys.iter().map(|k| fingerprint(&c, k)).collect();
+    // Entry proofs against the pre-migration head uid.
+    let proofs_before: Vec<(String, Uid, forkbase_postree::MerkleProof)> = map_keys
+        .iter()
+        .map(|key| {
+            let owned = key.clone();
+            let (proof, uid) = c
+                .with_key(key, move |db| {
+                    db.prove_entry(&owned, &VersionSpec::branch("master"), b"row0042")
+                })
+                .unwrap()
+                .unwrap();
+            (key.clone(), uid, proof)
+        })
+        .collect();
+    let bytes_before = c.total_stored_bytes().unwrap();
+
+    // Grow, then shrink: two full migrations.
+    let new_id = c.add_servelet(MemStore::new()).unwrap();
+    let removed = c.ids()[0];
+    c.remove_servelet(removed).unwrap();
+
+    // Membership changed, key set did not.
+    assert_eq!(c.list_keys().unwrap(), all_keys);
+
+    let mut migrated = 0usize;
+    for ((key, owner_before), print_before) in owners_before.iter().zip(&prints_before) {
+        let owner_now = c.owner_id(key);
+        let moved = owner_now != *owner_before;
+        if moved {
+            migrated += 1;
+            // Only two legitimate destinations exist: the added servelet,
+            // or (for keys of the removed one) any survivor.
+            assert!(
+                owner_now == new_id || *owner_before == removed,
+                "{key} moved {owner_before}->{owner_now} although its ring owner \
+                 should not have changed"
+            );
+        }
+        // Heads, history, and uids are byte-identical wherever it lives.
+        assert_eq!(
+            &fingerprint(&c, key),
+            print_before,
+            "{key} fingerprint drifted"
+        );
+        // Tamper evidence survives the move: full-history verification on
+        // the (possibly new) owner.
+        let owned = key.clone();
+        let verified = c
+            .with_key(key, move |db| db.verify_branch(&owned, "master"))
+            .unwrap()
+            .unwrap();
+        assert!(verified >= 1);
+    }
+    assert!(migrated > 0, "add+remove must move some keys");
+    assert!(
+        migrated < all_keys.len(),
+        "consistent hashing must not reshuffle everything"
+    );
+
+    // Entry proofs replay against the SAME uid after migration: chunk
+    // addresses survived byte-identically.
+    for (key, uid, proof) in proofs_before {
+        let owned = key.clone();
+        let value = c
+            .with_key(&key, move |db| {
+                let head = db.head(&owned, "master")?;
+                assert_eq!(head, uid, "{owned} head uid changed across migration");
+                db.verify_entry_proof(&uid, b"row0042", &proof)
+            })
+            .unwrap()
+            .unwrap();
+        assert!(value.is_some(), "{key} proof no longer verifies");
+    }
+
+    // Dedup economics: migration copies chunks before GC reclaims the
+    // source copies, so after a cluster-wide GC the footprint must come
+    // back to the pre-rebalance ballpark (placement changed, content did
+    // not; only cross-key dedup lost to re-partitioning may add a little).
+    for (_, report) in c.gc().unwrap() {
+        assert_eq!(report.sweep.chunks_rewritten, 0, "MemStore never rewrites");
+    }
+    let bytes_after = c.total_stored_bytes().unwrap();
+    assert!(
+        bytes_after as f64 <= bytes_before as f64 * 1.10,
+        "stored bytes regressed past the dedup ratio: {bytes_before} -> {bytes_after}"
+    );
+    assert!(
+        bytes_after as f64 >= bytes_before as f64 * 0.90,
+        "stored bytes shrank implausibly: {bytes_before} -> {bytes_after}"
+    );
+}
+
+/// Dead-servelet error path: a downed worker yields a structured,
+/// machine-readable error on every routed verb, and the rest of the
+/// cluster keeps serving.
+#[test]
+fn dead_servelet_error_paths_are_structured() {
+    let c = Cluster::new(3, TreeConfig::test_config());
+    for i in 0..30 {
+        c.put_string(&format!("k{i}"), format!("v{i}"), PutOptions::default())
+            .unwrap();
+    }
+    let victim_slot = c.route("k0");
+    c.kill_servelet(victim_slot).unwrap();
+
+    // Routed single-key verbs.
+    let err = c.get("k0", "master").unwrap_err();
+    assert_eq!(err.code(), "servelet_unavailable");
+    assert!(matches!(err, DbError::ServeletUnavailable { .. }));
+    assert!(c
+        .put(
+            "k0",
+            forkbase_types::Value::string("x"),
+            PutOptions::default()
+        )
+        .is_err());
+
+    // Scatter-gather verbs surface the same structured error instead of
+    // hanging or panicking.
+    assert_eq!(c.list_keys().unwrap_err().code(), "servelet_unavailable");
+    assert_eq!(c.stats().unwrap_err().code(), "servelet_unavailable");
+
+    // A batch whose groups include the dead servelet fails with the same
+    // code; groups routed entirely to live servelets still commit.
+    let live_key = (0..)
+        .map(|i| format!("probe-{i}"))
+        .find(|k| c.route(k) != victim_slot)
+        .unwrap();
+    let mut wb = c.write_batch();
+    wb.put(
+        &live_key,
+        forkbase_types::Value::string("ok"),
+        &PutOptions::default(),
+    );
+    wb.put(
+        "k0",
+        forkbase_types::Value::string("dead"),
+        &PutOptions::default(),
+    );
+    assert_eq!(wb.commit().unwrap_err().code(), "servelet_unavailable");
+
+    // Live servelets keep serving routed traffic.
+    c.put_string(&live_key, "still here".into(), PutOptions::default())
+        .unwrap();
+    assert_eq!(
+        c.get(&live_key, "master").unwrap().value.as_str(),
+        Some("still here")
+    );
+}
+
+/// Heavy variant for the CI stress job: clients hammer routed puts/gets
+/// while the cluster grows and shrinks repeatedly. Rebalance is
+/// stop-the-world for routed verbs, so clients may block but must never
+/// fail, lose a write, or observe a key mid-migration.
+#[test]
+#[ignore = "heavy; run by the CI stress job in release mode"]
+fn stress_cluster_rebalance_with_concurrent_clients() {
+    use std::sync::atomic::{AtomicBool, Ordering};
+    use std::sync::Arc;
+
+    let c = Arc::new(Cluster::new(3, TreeConfig::test_config()));
+    let stop = Arc::new(AtomicBool::new(false));
+    const CLIENTS: usize = 6;
+    const MIN_PUTS_PER_CLIENT: usize = 200;
+    const REBALANCE_CYCLES: usize = 6;
+
+    // Clients write (and read back) until the rebalancer has finished all
+    // its cycles, so the traffic is guaranteed to overlap every topology
+    // change. Each returns how many puts it committed.
+    let mut handles = Vec::new();
+    for t in 0..CLIENTS {
+        let c = Arc::clone(&c);
+        let stop = Arc::clone(&stop);
+        handles.push(std::thread::spawn(move || {
+            let mut i = 0usize;
+            while i < MIN_PUTS_PER_CLIENT || !stop.load(Ordering::Relaxed) {
+                let key = format!("client{t}-key{i}");
+                c.put_string(&key, format!("payload {t}/{i}"), PutOptions::default())
+                    .unwrap();
+                // Read-your-write through the router, even mid-rebalance.
+                let got = c.get(&key, "master").unwrap();
+                assert_eq!(
+                    got.value.as_str(),
+                    Some(format!("payload {t}/{i}").as_str())
+                );
+                i += 1;
+            }
+            i
+        }));
+    }
+
+    // Rebalancer: a fixed number of grow/shrink cycles while clients run.
+    let rebalancer = {
+        let c = Arc::clone(&c);
+        let stop = Arc::clone(&stop);
+        std::thread::spawn(move || {
+            let mut added: Vec<u64> = Vec::new();
+            for _ in 0..REBALANCE_CYCLES {
+                let id = c.add_servelet(MemStore::new()).unwrap();
+                added.push(id);
+                std::thread::sleep(std::time::Duration::from_millis(10));
+                if added.len() > 2 {
+                    let victim = added.remove(0);
+                    c.remove_servelet(victim).unwrap();
+                }
+                std::thread::sleep(std::time::Duration::from_millis(10));
+            }
+            stop.store(true, Ordering::Relaxed);
+        })
+    };
+
+    let committed: usize = handles.into_iter().map(|h| h.join().unwrap()).sum();
+    rebalancer.join().unwrap();
+
+    // Every write landed exactly once, wherever it now lives.
+    let keys = c.list_keys().unwrap();
+    assert_eq!(keys.len(), committed);
+    assert!(c.len() > 3, "the added servelets are live cluster members");
+    for t in 0..CLIENTS {
+        for i in (0..MIN_PUTS_PER_CLIENT).step_by(37) {
+            let key = format!("client{t}-key{i}");
+            let got = c.get(&key, "master").unwrap();
+            assert_eq!(
+                got.value.as_str(),
+                Some(format!("payload {t}/{i}").as_str())
+            );
+        }
+    }
+}
+
+/// Residue of an interrupted rebalance — the same key present on two
+/// servelets, diverged by later writes to the real owner — must be healed
+/// by the next rebalance (stale copy dropped, authoritative copy kept),
+/// not wedge it with an import conflict.
+#[test]
+fn interrupted_rebalance_residue_heals_on_next_rebalance() {
+    let c = Cluster::new(3, TreeConfig::test_config());
+    for i in 0..30 {
+        c.put_string(&format!("key-{i}"), format!("v{i}"), PutOptions::default())
+            .unwrap();
+    }
+    // Fabricate the crash-window residue: copy key-0's bundle onto a
+    // non-owner servelet, then diverge the authoritative copy.
+    let owner = c.route("key-0");
+    let stale_slot = (owner + 1) % 3;
+    let bundle = c
+        .on_node(owner, |db| {
+            let mut buf = Vec::new();
+            forkbase::export_bundle(db, "key-0", &[], &mut buf)?;
+            Ok::<_, forkbase::DbError>(buf)
+        })
+        .unwrap()
+        .unwrap();
+    c.on_node(stale_slot, move |db| {
+        forkbase::import_bundle(db, &mut bundle.as_slice()).map(|_| ())
+    })
+    .unwrap()
+    .unwrap();
+    c.put_string("key-0", "diverged".into(), PutOptions::default())
+        .unwrap();
+
+    // list_keys dedups the transient double listing.
+    assert_eq!(c.list_keys().unwrap().len(), 30);
+
+    // Grow then shrink: both rebalances must converge and keep serving
+    // the diverged (authoritative) value.
+    let id = c.add_servelet(MemStore::new()).unwrap();
+    assert_eq!(
+        c.get("key-0", "master").unwrap().value.as_str(),
+        Some("diverged")
+    );
+    let copies = (0..c.len())
+        .filter(|&slot| {
+            c.on_node(slot, |db| db.list_keys().contains(&"key-0".to_string()))
+                .unwrap()
+        })
+        .count();
+    assert_eq!(copies, 1, "stale copy must be gone after the rebalance");
+    c.remove_servelet(id).unwrap();
+    assert_eq!(
+        c.get("key-0", "master").unwrap().value.as_str(),
+        Some("diverged")
+    );
+    assert_eq!(c.list_keys().unwrap().len(), 30);
+}

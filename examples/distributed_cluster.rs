@@ -37,7 +37,7 @@ fn main() {
     // All versions of a key live on one servelet, so branch/diff/merge
     // never cross nodes — run a full branching workflow "remotely".
     let merged_value = cluster
-        .with_key("dataset-07", |db| {
+        .with_key("dataset-07", |db| -> Result<_, forkbase::DbError> {
             db.branch("dataset-07", "master", "edit")?;
             db.put(
                 "dataset-07",
@@ -51,14 +51,42 @@ fn main() {
                 forkbase_postree::MergePolicy::Theirs,
                 &PutOptions::default().author("editor"),
             )?;
-            Ok::<_, forkbase::DbError>(db.get("dataset-07", "master")?.value)
+            Ok(db.get("dataset-07", "master")?.value)
         })
+        .unwrap()
         .unwrap();
     println!("after remote merge: {:?}", merged_value.as_str().unwrap());
 
+    // Elastic rebalance: a fifth servelet joins and exactly the keys it
+    // now owns migrate to it — full history, byte-identical chunk
+    // addresses, hash-verified on arrival.
+    let owner_before = cluster.owner_id("dataset-07");
+    let new_id = cluster
+        .add_servelet(forkbase_store::MemStore::new())
+        .unwrap();
+    println!(
+        "servelet {new_id} joined; keys per servelet now {:?}",
+        cluster.key_distribution().unwrap()
+    );
+    let merged_survives = cluster.get("dataset-07", "master").unwrap();
+    println!(
+        "dataset-07 owner {} -> {}; merged value still {:?}",
+        owner_before,
+        cluster.owner_id("dataset-07"),
+        merged_survives.value.as_str().unwrap()
+    );
+
+    // And it can leave again; its keys rehome to the survivors.
+    cluster.remove_servelet(new_id).unwrap();
+    assert_eq!(cluster.list_keys().unwrap().len(), 40);
+    println!(
+        "servelet {new_id} drained and left; {} keys intact",
+        cluster.list_keys().unwrap().len()
+    );
+
     println!(
         "cluster-wide storage: {} bytes across {} servelets",
-        cluster.total_stored_bytes(),
+        cluster.total_stored_bytes().unwrap(),
         cluster.len()
     );
 }
