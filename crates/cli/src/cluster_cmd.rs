@@ -17,6 +17,7 @@
 //! branch/version history and byte-identical chunk addresses.
 
 use std::path::{Path, PathBuf};
+use std::sync::Arc;
 
 use forkbase::{Cluster, ClusterTopology, DbError, DbResult, PutOptions};
 use forkbase_store::FileStore;
@@ -50,7 +51,7 @@ fn write_durable(path: &Path, contents: &str) -> DbResult<()> {
 
 /// A durable cluster bound to an on-disk directory.
 pub struct ClusterSession {
-    cluster: Cluster<FileStore>,
+    cluster: Arc<Cluster<FileStore>>,
     root: PathBuf,
 }
 
@@ -103,12 +104,13 @@ impl ClusterSession {
             ))
         })?;
         let topology = ClusterTopology::parse(&text)?;
+        let open_root = root.clone();
         let cluster = Cluster::from_topology(
             &topology,
             forkbase_postree::TreeConfig::default_config(),
-            |id| {
+            move |id| {
                 Ok(FileStore::open(
-                    Self::servelet_dir(&root, id).join("chunks"),
+                    Self::servelet_dir(&open_root, id).join("chunks"),
                 )?)
             },
         )?;
@@ -120,12 +122,34 @@ impl ClusterSession {
                 cluster.on_node(slot, move |db| db.load_refs(&text))??;
             }
         }
-        Ok(ClusterSession { cluster, root })
+        // Supervised restarts reopen the packs AND restore the persisted
+        // branch heads — richer than the bare `open` factory above.
+        let respawn_root = root.clone();
+        cluster.set_respawn(move |id| {
+            let dir = Self::servelet_dir(&respawn_root, id);
+            let store = FileStore::open(dir.join("chunks"))?;
+            let refs = match std::fs::read_to_string(dir.join("refs")) {
+                Ok(text) => Some(text),
+                Err(e) if e.kind() == std::io::ErrorKind::NotFound => None,
+                Err(e) => return Err(io_err(e)),
+            };
+            Ok(forkbase::Respawned { store, refs })
+        });
+        Ok(ClusterSession {
+            cluster: Arc::new(cluster),
+            root,
+        })
     }
 
     /// The cluster handle.
     pub fn cluster(&self) -> &Cluster<FileStore> {
         &self.cluster
+    }
+
+    /// A shared handle to the cluster — what the REST gateway and the
+    /// supervisor hold while the session keeps persisting state.
+    pub fn cluster_arc(&self) -> Arc<Cluster<FileStore>> {
+        Arc::clone(&self.cluster)
     }
 
     /// Persist the topology record plus every servelet's branch heads,
@@ -208,7 +232,8 @@ pub fn run_cluster_command(session: &ClusterSession, args: &[&str]) -> DbResult<
     let usage = || -> DbError {
         DbError::InvalidInput(
             "usage: cluster init N | put KEY VALUE | get KEY | batch put:K=V|del:K … | \
-             range KEY [START [END]] [--limit N] | add | remove ID | keys | stats | gc \
+             range KEY [START [END]] [--limit N] | add | remove ID | keys | stats | gc | \
+             health | restart ID | serve [PORT] \
              [--branch B --author A --message M] (see README \"Sharding & elasticity\")"
                 .into(),
         )
@@ -346,11 +371,40 @@ pub fn run_cluster_command(session: &ClusterSession, args: &[&str]) -> DbResult<
         "keys" => Ok(cluster.list_keys()?.join("\n")),
         "stats" => Ok(cluster.stats()?.to_string()),
         "gc" => {
+            let report = cluster.gc()?;
             let mut out = String::new();
-            for (id, report) in cluster.gc()? {
+            for (id, report) in report.reports {
                 out.push_str(&format!("servelet {id}:\n{report}\n"));
             }
+            if !report.degraded.is_empty() {
+                out.push_str(&format!(
+                    "skipped unreachable servelet(s) {:?}; their dead chunks survive \
+                     until a later pass finds them alive\n",
+                    report.degraded
+                ));
+            }
             Ok(out)
+        }
+        "health" => {
+            let mut out = String::new();
+            for h in cluster.health() {
+                out.push_str(&format!("servelet {}\t{}", h.servelet, h.state.as_str()));
+                if h.consecutive_failures > 0 {
+                    out.push_str(&format!("\tfailures={}", h.consecutive_failures));
+                }
+                if let Some(err) = &h.last_error {
+                    out.push_str(&format!("\t{err}"));
+                }
+                out.push('\n');
+            }
+            Ok(out)
+        }
+        "restart" => {
+            let id: u64 = pos(0)?
+                .parse()
+                .map_err(|_| DbError::InvalidInput("restart needs a servelet id".into()))?;
+            cluster.restart_servelet(id)?;
+            Ok(format!("servelet {id} restarted from its durable backend"))
         }
         _ => Err(usage()),
     }

@@ -14,5 +14,5 @@ pub mod session;
 
 pub use cluster_cmd::{run_cluster_command, ClusterSession};
 pub use commands::run_command;
-pub use rest::RestServer;
+pub use rest::{ClusterRestServer, RestServer};
 pub use session::Session;

@@ -5,7 +5,8 @@
 //! forkbase --data DIR serve [PORT]         start the REST server
 //! forkbase --data DIR cluster <sub> [args] drive the elastic sharded cluster
 //!                                          (init N | put | get | batch | range |
-//!                                           add | remove ID | keys | stats | gc)
+//!                                           add | remove ID | keys | stats | gc |
+//!                                           health | restart ID | serve [PORT])
 //! ```
 //!
 //! Run with no arguments for the verb list. The data directory defaults to
@@ -13,7 +14,9 @@
 
 use std::process::ExitCode;
 
-use forkbase_cli::{run_cluster_command, run_command, ClusterSession, RestServer, Session};
+use forkbase_cli::{
+    run_cluster_command, run_command, ClusterRestServer, ClusterSession, RestServer, Session,
+};
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -113,6 +116,33 @@ fn cluster_main(data_dir: &str, args: &[&str]) -> ExitCode {
             }
         }
     };
+
+    if args.first().copied() == Some("serve") {
+        let port: u16 = args.get(1).and_then(|p| p.parse().ok()).unwrap_or(8643);
+        let server = match ClusterRestServer::start(session.cluster_arc(), port) {
+            Ok(s) => s,
+            Err(e) => {
+                eprintln!("failed to bind port {port}: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        // Self-heal while serving: probe every 2 s and restart dead
+        // servelets from their durable backends (packs + refs files).
+        let _supervisor =
+            forkbase::Supervisor::spawn(session.cluster_arc(), std::time::Duration::from_secs(2));
+        println!(
+            "forkbase cluster gateway listening on http://{}",
+            server.addr()
+        );
+        println!("data directory: {data_dir}/cluster (supervised)");
+        println!("press Ctrl-C to stop");
+        loop {
+            std::thread::sleep(std::time::Duration::from_secs(5));
+            if let Err(e) = session.save() {
+                eprintln!("warning: failed to persist cluster state: {e}");
+            }
+        }
+    }
 
     let output = if args.first().copied() == Some("init") {
         Ok(String::new())

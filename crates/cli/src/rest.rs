@@ -26,13 +26,29 @@
 //! `{"error":{"code":"<stable snake_case>","message":"<human text>"}}` —
 //! with the code drawn from [`DbError::code`], so clients branch on
 //! `error.code`, not on prose or status text.
+//!
+//! [`ClusterRestServer`] serves a [`Cluster`] instead of a single node,
+//! adding the fault-tolerance surface:
+//!
+//! ```text
+//! GET  /v1/cluster/health             → per-servelet liveness JSON
+//! POST /v1/cluster/restart/<id>       → supervised restart of servelet <id>
+//! GET  /get/<key>?branch=B            → routed get
+//! PUT  /put/<key>?branch=B            → routed put
+//! GET  /keys                          → strict cluster-wide key list
+//! ```
+//!
+//! A dead servelet maps to `503 Service Unavailable` **with a
+//! `retry-after` header** (a supervisor restart may heal it); a missed RPC
+//! deadline maps to `504 Gateway Timeout` (`servelet_timeout` — the
+//! outcome is ambiguous, see the cluster retry policy).
 
 use std::io::{BufRead, BufReader, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 
-use forkbase::{DbError, ForkBase, PutOptions, VersionSpec};
+use forkbase::{Cluster, DbError, ForkBase, PutOptions, VersionSpec};
 use forkbase_store::SweepStore;
 use forkbase_types::Value;
 
@@ -100,10 +116,169 @@ impl Drop for RestServer {
     }
 }
 
-fn handle_connection<S: SweepStore>(
+/// Handle to a running cluster REST gateway: routed data verbs plus the
+/// fault-tolerance surface (`/v1/cluster/health`, `/v1/cluster/restart`).
+pub struct ClusterRestServer {
+    addr: SocketAddr,
+    shutdown: Arc<AtomicBool>,
+    handle: Option<std::thread::JoinHandle<()>>,
+}
+
+impl ClusterRestServer {
+    /// Start serving `cluster` on `127.0.0.1:port` (`port` 0 = auto-assign).
+    pub fn start<S: SweepStore + Send + 'static>(
+        cluster: Arc<Cluster<S>>,
+        port: u16,
+    ) -> std::io::Result<ClusterRestServer> {
+        let listener = TcpListener::bind(("127.0.0.1", port))?;
+        let addr = listener.local_addr()?;
+        listener.set_nonblocking(true)?;
+        let shutdown = Arc::new(AtomicBool::new(false));
+        let shutdown_flag = Arc::clone(&shutdown);
+        let handle = std::thread::spawn(move || {
+            while !shutdown_flag.load(Ordering::Relaxed) {
+                match listener.accept() {
+                    Ok((stream, _)) => {
+                        let cluster = Arc::clone(&cluster);
+                        std::thread::spawn(move || {
+                            let _ = handle_cluster_connection(stream, &cluster);
+                        });
+                    }
+                    Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                        std::thread::sleep(std::time::Duration::from_millis(5));
+                    }
+                    Err(_) => break,
+                }
+            }
+        });
+        Ok(ClusterRestServer {
+            addr,
+            shutdown,
+            handle: Some(handle),
+        })
+    }
+
+    /// The bound address.
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Stop accepting connections and join the accept loop.
+    pub fn stop(mut self) {
+        self.shutdown.store(true, Ordering::Relaxed);
+        if let Some(h) = self.handle.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+impl Drop for ClusterRestServer {
+    fn drop(&mut self) {
+        self.shutdown.store(true, Ordering::Relaxed);
+        if let Some(h) = self.handle.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+fn handle_cluster_connection<S: SweepStore + Send + 'static>(
     mut stream: TcpStream,
-    db: &ForkBase<S>,
+    cluster: &Cluster<S>,
 ) -> std::io::Result<()> {
+    let Some(req) = read_request(&mut stream)? else {
+        return respond(&mut stream, 400, TEXT, "malformed request line");
+    };
+    let branch = req
+        .query_param("branch")
+        .unwrap_or_else(|| "master".to_string());
+    let segments: Vec<&str> = req.path.split('/').filter(|s| !s.is_empty()).collect();
+    let json_route = segments.first() == Some(&"v1");
+    let result: Result<String, DbError> = match (req.method.as_str(), segments.as_slice()) {
+        ("GET", ["v1", "cluster", "health"]) => Ok(health_json(cluster)),
+        ("POST", ["v1", "cluster", "restart", id]) => id
+            .parse::<u64>()
+            .map_err(|_| DbError::InvalidInput(format!("servelet id is not a number: {id:?}")))
+            .and_then(|id| {
+                cluster
+                    .restart_servelet(id)
+                    .map(|()| format!("{{\"restarted\":{id}}}"))
+            }),
+        ("GET", ["keys"]) => cluster.list_keys().map(|ks| ks.join("\n")),
+        ("GET", ["get", key]) => cluster
+            .get(&url_decode(key), &branch)
+            .map(|g| format!("{}\nversion: {}", g.value.summary(), g.uid)),
+        ("PUT", ["put", key]) => {
+            let text = String::from_utf8_lossy(&req.body).into_owned();
+            let opts = PutOptions::on_branch(branch.clone()).author("rest");
+            cluster
+                .put(&url_decode(key), Value::Str(text), opts)
+                .map(|c| c.uid.to_string())
+        }
+        _ => Err(DbError::InvalidInput(format!(
+            "no route for {} {}",
+            req.method, req.path
+        ))),
+    };
+
+    match result {
+        Ok(text) => {
+            let ctype = if json_route { JSON } else { TEXT };
+            respond(&mut stream, 200, ctype, &text)
+        }
+        Err(e) => respond_error(&mut stream, &e),
+    }
+}
+
+/// `GET /v1/cluster/health`: one record per servelet plus an overall
+/// `degraded` flag, so a dashboard polls a single endpoint.
+fn health_json<S: SweepStore + Send + 'static>(cluster: &Cluster<S>) -> String {
+    let health = cluster.health();
+    let degraded = health
+        .iter()
+        .any(|h| h.state != forkbase::HealthState::Alive);
+    let servelets: Vec<String> = health
+        .iter()
+        .map(|h| {
+            let last_error = match &h.last_error {
+                Some(e) => format!("\"{}\"", json_escape(e)),
+                None => "null".to_string(),
+            };
+            format!(
+                "{{\"id\":{},\"state\":\"{}\",\"consecutive_failures\":{},\"last_error\":{}}}",
+                h.servelet,
+                h.state.as_str(),
+                h.consecutive_failures,
+                last_error
+            )
+        })
+        .collect();
+    format!(
+        "{{\"servelets\":[{}],\"degraded\":{degraded}}}",
+        servelets.join(",")
+    )
+}
+
+/// One parsed HTTP request — shared by the single-node and cluster
+/// handlers so both speak exactly the same dialect.
+struct Request {
+    method: String,
+    path: String,
+    query: String,
+    body: Vec<u8>,
+}
+
+impl Request {
+    fn query_param(&self, name: &str) -> Option<String> {
+        self.query.split('&').find_map(|pair| {
+            let (k, v) = pair.split_once('=')?;
+            (k == name).then(|| url_decode(v))
+        })
+    }
+}
+
+/// Read one request off `stream`. `Ok(None)` means the request line was
+/// malformed (the caller answers 400).
+fn read_request(stream: &mut TcpStream) -> std::io::Result<Option<Request>> {
     stream.set_read_timeout(Some(std::time::Duration::from_secs(5)))?;
     let mut reader = BufReader::new(stream.try_clone()?);
 
@@ -111,8 +286,10 @@ fn handle_connection<S: SweepStore>(
     reader.read_line(&mut request_line)?;
     let mut parts = request_line.split_whitespace();
     let (Some(method), Some(target)) = (parts.next(), parts.next()) else {
-        return respond(&mut stream, 400, TEXT, "malformed request line");
+        return Ok(None);
     };
+    let method = method.to_string();
+    let target = target.to_string();
 
     // Headers: we only need Content-Length.
     let mut content_length = 0usize;
@@ -137,16 +314,27 @@ fn handle_connection<S: SweepStore>(
     }
 
     let (path, query) = match target.split_once('?') {
-        Some((p, q)) => (p, q),
-        None => (target, ""),
+        Some((p, q)) => (p.to_string(), q.to_string()),
+        None => (target, String::new()),
     };
-    let q = |name: &str| -> Option<String> {
-        query.split('&').find_map(|pair| {
-            let (k, v) = pair.split_once('=')?;
-            (k == name).then(|| url_decode(v))
-        })
+    Ok(Some(Request {
+        method,
+        path,
+        query,
+        body,
+    }))
+}
+
+fn handle_connection<S: SweepStore>(
+    mut stream: TcpStream,
+    db: &ForkBase<S>,
+) -> std::io::Result<()> {
+    let Some(req) = read_request(&mut stream)? else {
+        return respond(&mut stream, 400, TEXT, "malformed request line");
     };
+    let q = |name: &str| req.query_param(name);
     let branch = q("branch").unwrap_or_else(|| "master".to_string());
+    let (method, path, body) = (req.method.as_str(), req.path.as_str(), &req.body);
 
     let segments: Vec<&str> = path.split('/').filter(|s| !s.is_empty()).collect();
     // /v1 routes are JSON end to end; legacy routes stay text/plain on
@@ -167,7 +355,7 @@ fn handle_connection<S: SweepStore>(
             .get(&url_decode(key), &branch)
             .map(|g| format!("{}\nversion: {}", g.value.summary(), g.uid)),
         ("PUT", ["put", key]) => {
-            let text = String::from_utf8_lossy(&body).into_owned();
+            let text = String::from_utf8_lossy(body).into_owned();
             let opts = PutOptions::on_branch(branch.clone()).author("rest");
             db.put(&url_decode(key), Value::Str(text), &opts)
                 .map(|c| c.uid.to_string())
@@ -215,28 +403,43 @@ fn handle_connection<S: SweepStore>(
             let ctype = if json_route { JSON } else { TEXT };
             respond(&mut stream, 200, ctype, &text)
         }
-        Err(e) => {
-            let status = match &e {
-                DbError::NoSuchKey(_)
-                | DbError::NoSuchBranch { .. }
-                | DbError::NoSuchVersion(_) => 404,
-                DbError::InvalidInput(_) | DbError::TypeMismatch { .. } => 400,
-                // A routed backend whose owning servelet is down: the
-                // request may succeed after a topology change, so it maps
-                // to 503 rather than a client error.
-                DbError::ServeletUnavailable { .. } => 503,
-                DbError::PermissionDenied(_) => 403,
-                DbError::BranchExists { .. } | DbError::MergeConflicts(_) => 409,
-                _ => 500,
-            };
-            let body = format!(
-                "{{\"error\":{{\"code\":\"{}\",\"message\":\"{}\"}}}}",
-                e.code(),
-                json_escape(&e.to_string())
-            );
-            respond(&mut stream, status, JSON, &body)
-        }
+        Err(e) => respond_error(&mut stream, &e),
     }
+}
+
+/// Map a [`DbError`] onto its HTTP status and write the structured JSON
+/// error body. One mapping for both servers, so clients see identical
+/// behavior whether they talk to a single node or the cluster gateway.
+fn respond_error(stream: &mut TcpStream, e: &DbError) -> std::io::Result<()> {
+    let status = match e {
+        DbError::NoSuchKey(_) | DbError::NoSuchBranch { .. } | DbError::NoSuchVersion(_) => 404,
+        DbError::InvalidInput(_) | DbError::TypeMismatch { .. } => 400,
+        // A routed backend whose owning servelet is down: a supervisor
+        // restart or topology change may heal it, so it maps to 503
+        // rather than a client error.
+        DbError::ServeletUnavailable { .. } => 503,
+        // The RPC deadline elapsed with the outcome unknown — the gateway
+        // timed out on its upstream, and (for writes) the request may
+        // still have applied. 504 tells the client "ambiguous, check
+        // before blindly retrying", distinct from 503's "down, retry".
+        DbError::ServeletTimeout { .. } => 504,
+        DbError::PermissionDenied(_) => 403,
+        DbError::BranchExists { .. } | DbError::MergeConflicts(_) => 409,
+        _ => 500,
+    };
+    let body = format!(
+        "{{\"error\":{{\"code\":\"{}\",\"message\":\"{}\"}}}}",
+        e.code(),
+        json_escape(&e.to_string())
+    );
+    // 503 is the retryable one: tell well-behaved clients when to come
+    // back instead of letting them hot-loop on a restarting servelet.
+    let extra: &[(&str, &str)] = if status == 503 {
+        &[("retry-after", "1")]
+    } else {
+        &[]
+    };
+    respond_with(stream, status, JSON, extra, &body)
 }
 
 /// Hard ceiling on one `/v1/<key>/range` page. The endpoint's constant-
@@ -314,6 +517,16 @@ fn respond(
     content_type: &str,
     body: &str,
 ) -> std::io::Result<()> {
+    respond_with(stream, status, content_type, &[], body)
+}
+
+fn respond_with(
+    stream: &mut TcpStream,
+    status: u16,
+    content_type: &str,
+    extra_headers: &[(&str, &str)],
+    body: &str,
+) -> std::io::Result<()> {
     let reason = match status {
         200 => "OK",
         400 => "Bad Request",
@@ -321,11 +534,16 @@ fn respond(
         404 => "Not Found",
         409 => "Conflict",
         503 => "Service Unavailable",
+        504 => "Gateway Timeout",
         _ => "Internal Server Error",
     };
+    let mut extra = String::new();
+    for (name, value) in extra_headers {
+        extra.push_str(&format!("{name}: {value}\r\n"));
+    }
     let response = format!(
         "HTTP/1.1 {status} {reason}\r\ncontent-type: {content_type}\r\n\
-         content-length: {}\r\nconnection: close\r\n\r\n{body}",
+         content-length: {}\r\n{extra}connection: close\r\n\r\n{body}",
         body.len()
     );
     stream.write_all(response.as_bytes())
@@ -414,7 +632,8 @@ mod tests {
         (server, db)
     }
 
-    fn request(addr: SocketAddr, method: &str, path: &str, body: &str) -> (u16, String) {
+    /// Full raw response text — status line, headers, and body.
+    fn request_raw(addr: SocketAddr, method: &str, path: &str, body: &str) -> String {
         let mut stream = TcpStream::connect(addr).unwrap();
         let req = format!(
             "{method} {path} HTTP/1.1\r\nhost: test\r\ncontent-length: {}\r\n\r\n{body}",
@@ -423,6 +642,11 @@ mod tests {
         stream.write_all(req.as_bytes()).unwrap();
         let mut response = String::new();
         stream.read_to_string(&mut response).unwrap();
+        response
+    }
+
+    fn request(addr: SocketAddr, method: &str, path: &str, body: &str) -> (u16, String) {
+        let response = request_raw(addr, method, path, body);
         let status: u16 = response
             .split_whitespace()
             .nth(1)
@@ -591,6 +815,155 @@ mod tests {
         let (server, db) = start();
         request(server.addr(), "PUT", "/put/hello%20world", "spaced");
         assert!(db.list_keys().contains(&"hello world".to_string()));
+        server.stop();
+    }
+
+    type RefsMap = Arc<std::sync::Mutex<std::collections::HashMap<u64, String>>>;
+
+    /// A 3-servelet in-memory cluster behind the REST gateway. The respawn
+    /// factory hands back the same `Arc<MemStore>` (chunks survive a kill,
+    /// as a durable backend's would) plus the last saved branch heads, so
+    /// `/v1/cluster/restart` heals kills completely.
+    fn start_cluster() -> (ClusterRestServer, Arc<Cluster<Arc<MemStore>>>, RefsMap) {
+        let stores: Vec<(u64, Arc<MemStore>)> =
+            (0..3).map(|id| (id, Arc::new(MemStore::new()))).collect();
+        let by_id: std::collections::HashMap<u64, Arc<MemStore>> = stores.iter().cloned().collect();
+        let cluster = Arc::new(Cluster::from_stores(stores, TreeConfig::test_config()));
+        let refs: RefsMap = Arc::default();
+        let respawn_refs = Arc::clone(&refs);
+        cluster.set_respawn(move |id| {
+            Ok(forkbase::Respawned {
+                store: Arc::clone(&by_id[&id]),
+                refs: respawn_refs.lock().unwrap().get(&id).cloned(),
+            })
+        });
+        let server = ClusterRestServer::start(Arc::clone(&cluster), 0).unwrap();
+        (server, cluster, refs)
+    }
+
+    /// Snapshot every servelet's branch heads into `refs` (what the CLI's
+    /// `save()` persists to each servelet's `refs` file).
+    fn save_refs(cluster: &Cluster<Arc<MemStore>>, refs: &RefsMap) {
+        for (slot, id) in cluster.ids().into_iter().enumerate() {
+            let dump = cluster.on_node(slot, |db| db.dump_refs()).unwrap();
+            refs.lock().unwrap().insert(id, dump);
+        }
+    }
+
+    #[test]
+    fn cluster_gateway_routes_puts_and_gets() {
+        let (server, _cluster, _refs) = start_cluster();
+        for i in 0..9 {
+            let (status, uid) = request(
+                server.addr(),
+                "PUT",
+                &format!("/put/key-{i}"),
+                &format!("value-{i}"),
+            );
+            assert_eq!(status, 200);
+            assert!(uid.len() >= 52, "uid is base32: {uid}");
+        }
+        let (status, body) = request(server.addr(), "GET", "/get/key-4", "");
+        assert_eq!(status, 200);
+        assert!(body.contains("value-4"), "{body}");
+        let (status, keys) = request(server.addr(), "GET", "/keys", "");
+        assert_eq!(status, 200);
+        assert_eq!(keys.lines().count(), 9);
+        let (status, _) = request(server.addr(), "GET", "/get/ghost", "");
+        assert_eq!(status, 404);
+        server.stop();
+    }
+
+    #[test]
+    fn dead_servelet_maps_to_503_with_retry_after() {
+        let (server, cluster, _refs) = start_cluster();
+        request(server.addr(), "PUT", "/put/doomed", "v");
+        cluster.kill_servelet(cluster.route("doomed")).unwrap();
+
+        let raw = request_raw(server.addr(), "GET", "/get/doomed", "");
+        assert!(raw.starts_with("HTTP/1.1 503"), "{raw}");
+        assert!(
+            raw.to_ascii_lowercase().contains("retry-after: 1"),
+            "503 must carry retry-after: {raw}"
+        );
+        assert!(raw.contains("\"code\":\"servelet_unavailable\""), "{raw}");
+
+        // The strict cluster-wide key list degrades the same way.
+        let (status, body) = request(server.addr(), "GET", "/keys", "");
+        assert_eq!(status, 503);
+        assert!(body.contains("servelet_unavailable"), "{body}");
+        server.stop();
+    }
+
+    #[test]
+    fn missed_rpc_deadline_maps_to_504() {
+        let (server, cluster, _refs) = start_cluster();
+        request(server.addr(), "PUT", "/put/slow", "v");
+        let mut cfg = cluster.rpc_config();
+        cfg.deadline = std::time::Duration::from_millis(40);
+        cfg.retry = forkbase::RetryPolicy::no_retry();
+        cluster.set_rpc_config(cfg);
+        // Drop every request at the RPC boundary: deterministic timeouts.
+        cluster.arm_chaos(forkbase::ChaosPlan::seeded(11).drop_first(u32::MAX));
+
+        let raw = request_raw(server.addr(), "GET", "/get/slow", "");
+        assert!(raw.starts_with("HTTP/1.1 504"), "{raw}");
+        assert!(raw.contains("\"code\":\"servelet_timeout\""), "{raw}");
+        assert!(
+            !raw.to_ascii_lowercase().contains("retry-after"),
+            "504 is ambiguous — no blind-retry hint: {raw}"
+        );
+
+        cluster.disarm_chaos();
+        let (status, body) = request(server.addr(), "GET", "/get/slow", "");
+        assert_eq!(status, 200);
+        assert!(body.contains('v'), "{body}");
+        server.stop();
+    }
+
+    #[test]
+    fn health_and_restart_endpoints() {
+        let (server, cluster, refs) = start_cluster();
+        request(server.addr(), "PUT", "/put/persist", "survives");
+        save_refs(&cluster, &refs);
+
+        let (status, body) = request(server.addr(), "GET", "/v1/cluster/health", "");
+        assert_eq!(status, 200);
+        assert!(body.contains("\"degraded\":false"), "{body}");
+        assert_eq!(body.matches("\"state\":\"alive\"").count(), 3, "{body}");
+
+        let victim_slot = cluster.route("persist");
+        let victim_id = cluster.ids()[victim_slot];
+        cluster.kill_servelet(victim_slot).unwrap();
+        let (_, body) = request(server.addr(), "GET", "/v1/cluster/health", "");
+        assert!(body.contains("\"degraded\":true"), "{body}");
+        assert!(
+            body.contains(&format!("{{\"id\":{victim_id},\"state\":\"dead\"")),
+            "{body}"
+        );
+
+        let (status, body) = request(
+            server.addr(),
+            "POST",
+            &format!("/v1/cluster/restart/{victim_id}"),
+            "",
+        );
+        assert_eq!(status, 200, "{body}");
+        assert!(
+            body.contains(&format!("\"restarted\":{victim_id}")),
+            "{body}"
+        );
+
+        let (_, body) = request(server.addr(), "GET", "/v1/cluster/health", "");
+        assert!(body.contains("\"degraded\":false"), "{body}");
+        let (status, body) = request(server.addr(), "GET", "/get/persist", "");
+        assert_eq!(status, 200);
+        assert!(body.contains("survives"), "{body}");
+
+        // Garbage id → structured 400, not a panic or a 500.
+        let (status, body) = request(server.addr(), "POST", "/v1/cluster/restart/nope", "");
+        assert_eq!(status, 400);
+        assert!(body.contains("\"code\":\"invalid_input\""), "{body}");
         server.stop();
     }
 

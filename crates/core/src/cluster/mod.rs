@@ -41,13 +41,33 @@
 //! reused; persisted via [`ClusterTopology`]). Two clusters opened over
 //! the same topology record route identically, no matter how many
 //! add/remove steps produced them.
+//!
+//! # Fault tolerance
+//!
+//! Every routed RPC carries a per-call deadline ([`RpcConfig`]); a missed
+//! deadline is the structured [`DbError::ServeletTimeout`], never a hang.
+//! Idempotent verbs retry on a deterministic backoff schedule
+//! ([`RetryPolicy`]); **writes never auto-retry past an ambiguous
+//! outcome** — only a provably-undelivered request is retried, because a
+//! timed-out write may still apply. Dead servelets are restarted in place
+//! from their durable backends ([`Cluster::restart_servelet`], the
+//! [`Supervisor`] loop), scatter verbs offer `*_partial` variants that
+//! degrade instead of failing wholesale, and the whole layer is testable
+//! under a seeded, replayable fault schedule ([`ChaosPlan`]).
+
+mod chaos;
+mod rpc;
+mod supervisor;
+
+pub use chaos::{ChaosPlan, ChaosReport};
+pub use rpc::{RetryPolicy, RpcConfig};
+pub use supervisor::{HealthState, Respawned, ServeletHealth, SupervisionReport, Supervisor};
 
 use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 use bytes::Bytes;
-use crossbeam::channel::{bounded, unbounded, Sender};
 use forkbase_crypto::sha256;
 use forkbase_postree::TreeConfig;
 use forkbase_store::{MemStore, SweepStore};
@@ -61,24 +81,9 @@ use crate::fnode::Uid;
 use crate::gc::GcReport;
 use forkbase_types::Value;
 
-/// A job shipped to a servelet thread.
-type Job<S> = Box<dyn FnOnce(&ForkBase<S>) + Send>;
-
-/// What travels over a servelet's "network" channel.
-enum Msg<S> {
-    Job(Job<S>),
-    /// Stop the worker loop (clean shutdown or fault injection).
-    Shutdown,
-}
-
-/// One servelet: a worker thread owning a private `ForkBase<S>`.
-struct Node<S> {
-    /// Stable identity: allocated once, never reused, persisted in the
-    /// topology record. Ring points derive from this, not from the slot.
-    id: u64,
-    tx: Sender<Msg<S>>,
-    handle: Mutex<Option<std::thread::JoinHandle<()>>>,
-}
+use chaos::ChaosState;
+use rpc::{call_control, shutdown_node, spawn_node, Node};
+use supervisor::{HealthRecord, RespawnFn};
 
 /// The mutable routing state: swapped atomically by rebalance.
 struct State<S> {
@@ -164,10 +169,22 @@ pub struct Cluster<S = MemStore> {
     state: RwLock<State<S>>,
     /// Routed verbs hold this shared; rebalance holds it exclusive, so a
     /// topology change never races an in-flight request and no request
-    /// ever observes a key mid-migration.
+    /// ever observes a key mid-migration. Restarts also hold it shared —
+    /// they swap a worker in place without touching placement.
     rebalance_gate: RwLock<()>,
+    /// Serializes [`Cluster::restart_servelet`] calls.
+    restart_lock: Mutex<()>,
     next_id: AtomicU64,
     cfg: TreeConfig,
+    /// Deadlines + retry policy for every RPC this cluster issues.
+    rpc: RwLock<RpcConfig>,
+    /// Armed chaos schedule, if any ([`Cluster::arm_chaos`]).
+    chaos: RwLock<Option<Arc<ChaosState>>>,
+    /// Factory rebuilding a crashed servelet's store
+    /// ([`Cluster::set_respawn`]).
+    respawn: RwLock<Option<RespawnFn<S>>>,
+    /// Per-servelet supervision book-keeping.
+    health_records: Mutex<BTreeMap<u64, HealthRecord>>,
 }
 
 /// Scatter-gathered per-servelet statistics ([`Cluster::stats`]).
@@ -229,6 +246,58 @@ pub struct MapPage {
     pub version: Uid,
 }
 
+/// A degradable scatter-gather result: per-servelet successes plus the
+/// set of servelets that could not be reached within the deadline.
+///
+/// The degradation contract: `results` holds every reachable servelet's
+/// answer (in slot order), `degraded` the stable ids of the unreachable
+/// ones. `degraded` empty ⟺ the result is equivalent to the strict verb.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Partial<T> {
+    /// `(servelet id, result)` for every servelet that answered.
+    pub results: Vec<(u64, T)>,
+    /// Stable ids of servelets that were dead or timed out.
+    pub degraded: Vec<u64>,
+}
+
+impl<T> Default for Partial<T> {
+    fn default() -> Self {
+        Partial {
+            results: Vec::new(),
+            degraded: Vec::new(),
+        }
+    }
+}
+
+impl<T> Partial<T> {
+    /// Whether any servelet failed to answer.
+    pub fn is_degraded(&self) -> bool {
+        !self.degraded.is_empty()
+    }
+}
+
+/// Result of [`Cluster::heads_partial`]: per-pair heads with `None` for
+/// pairs owned by unreachable servelets.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct PartialHeads {
+    /// One entry per input pair, in input order; `None` when the owning
+    /// servelet was unreachable.
+    pub heads: Vec<Option<Uid>>,
+    /// Stable ids of the unreachable servelets.
+    pub degraded: Vec<u64>,
+}
+
+/// Result of [`Cluster::gc`]: per-servelet reports plus the servelets
+/// skipped because they were unreachable (their dead chunks survive until
+/// a later pass finds them alive).
+#[derive(Clone, Debug, Default)]
+pub struct ClusterGcReport {
+    /// `(servelet id, report)` for every servelet that ran its pass.
+    pub reports: Vec<(u64, GcReport)>,
+    /// Stable ids of servelets skipped as unreachable.
+    pub degraded: Vec<u64>,
+}
+
 impl Cluster<MemStore> {
     /// Spin up `n` in-memory servelets (n ≥ 1) with the given tree
     /// configuration — the test/bench constructor. Servelet ids are
@@ -259,8 +328,13 @@ impl<S: SweepStore + Send + 'static> Cluster<S> {
         Cluster {
             state: RwLock::new(State { ring, nodes }),
             rebalance_gate: RwLock::new(()),
+            restart_lock: Mutex::new(()),
             next_id: AtomicU64::new(max_id + 1),
             cfg,
+            rpc: RwLock::new(RpcConfig::default()),
+            chaos: RwLock::new(None),
+            respawn: RwLock::new(None),
+            health_records: Mutex::new(BTreeMap::new()),
         }
     }
 
@@ -268,10 +342,14 @@ impl<S: SweepStore + Send + 'static> Cluster<S> {
     /// servelet's store via `open`. Routing is identical to the cluster
     /// that produced the record. `cfg` must match the configuration the
     /// data was written with (chunk boundaries are on-disk format).
+    ///
+    /// `open` doubles as the respawn factory for supervised restarts
+    /// (without refs restoration — install a richer factory via
+    /// [`Self::set_respawn`] if the backend also persists refs).
     pub fn from_topology(
         topology: &ClusterTopology,
         cfg: TreeConfig,
-        mut open: impl FnMut(u64) -> DbResult<S>,
+        open: impl Fn(u64) -> DbResult<S> + Send + Sync + 'static,
     ) -> DbResult<Self> {
         let mut seen = std::collections::HashSet::new();
         for &id in &topology.servelet_ids {
@@ -287,6 +365,12 @@ impl<S: SweepStore + Send + 'static> Cluster<S> {
         }
         let cluster = Self::from_stores(stores, cfg);
         cluster.next_id.store(topology.next_id, Ordering::Relaxed);
+        cluster.set_respawn(move |id| {
+            Ok(Respawned {
+                store: open(id)?,
+                refs: None,
+            })
+        });
         Ok(cluster)
     }
 
@@ -338,12 +422,45 @@ impl<S: SweepStore + Send + 'static> Cluster<S> {
     }
 
     // ------------------------------------------------------------------
+    // RPC configuration + chaos
+    // ------------------------------------------------------------------
+
+    /// The current deadlines + retry policy.
+    pub fn rpc_config(&self) -> RpcConfig {
+        self.rpc.read().clone()
+    }
+
+    /// Replace the deadlines + retry policy for subsequent RPCs.
+    pub fn set_rpc_config(&self, cfg: RpcConfig) {
+        *self.rpc.write() = cfg;
+    }
+
+    /// Arm a seeded chaos schedule on the data-plane RPC boundary.
+    /// Replaces any armed plan; the fault stream restarts from the seed.
+    pub fn arm_chaos(&self, plan: ChaosPlan) {
+        *self.chaos.write() = Some(Arc::new(ChaosState::new(plan)));
+    }
+
+    /// Disarm chaos injection, returning what the armed plan injected.
+    pub fn disarm_chaos(&self) -> Option<ChaosReport> {
+        self.chaos.write().take().map(|s| s.report())
+    }
+
+    /// What the armed chaos plan has injected so far.
+    pub fn chaos_report(&self) -> Option<ChaosReport> {
+        self.chaos.read().as_ref().map(|s| s.report())
+    }
+
+    // ------------------------------------------------------------------
     // RPC plumbing
     // ------------------------------------------------------------------
 
     /// Run `f` against the database of servelet slot `slot` and wait for
-    /// the result (simulated RPC). An RPC to a dead servelet returns
-    /// [`DbError::ServeletUnavailable`] — it never panics the caller.
+    /// the result (simulated RPC). Deadline-bounded: a dead servelet
+    /// returns [`DbError::ServeletUnavailable`], a hung one
+    /// [`DbError::ServeletTimeout`] — it never blocks forever and never
+    /// panics the caller. As a maintenance door it is exempt from chaos
+    /// injection and retries.
     pub fn on_node<R: Send + 'static>(
         &self,
         slot: usize,
@@ -358,11 +475,13 @@ impl<S: SweepStore + Send + 'static> Cluster<S> {
                 .cloned()
                 .ok_or_else(|| DbError::InvalidInput(format!("no servelet at slot {slot}")))?
         };
-        call(&node, f)
+        let deadline = self.rpc.read().deadline;
+        rpc::attempt_once(&node, deadline, None, f).map_err(|e| e.into_db(node.id))
     }
 
     /// Run `f` against the servelet owning `key`. Routing and dispatch
-    /// happen under one consistent view of the ring.
+    /// happen under one consistent view of the ring. Deadline-bounded;
+    /// exempt from chaos injection and retries (see [`Self::on_node`]).
     pub fn with_key<R: Send + 'static>(
         &self,
         key: &str,
@@ -373,23 +492,82 @@ impl<S: SweepStore + Send + 'static> Cluster<S> {
             let state = self.state.read();
             Arc::clone(&state.nodes[route_on(&state.ring, key)])
         };
-        call(&node, f)
+        let deadline = self.rpc.read().deadline;
+        rpc::attempt_once(&node, deadline, None, f).map_err(|e| e.into_db(node.id))
     }
 
-    /// Dispatch `f` to **every** servelet concurrently and gather the
-    /// results in slot order (scatter-gather).
+    /// Route `key` and run `f` on its owner with deadline, chaos, and the
+    /// retry policy applied. `idempotent` selects the retry rule (the
+    /// ambiguous-write rule — see [`RetryPolicy`]). The owner is
+    /// re-resolved before every attempt so a supervised restart between
+    /// attempts heals the call.
+    fn routed<R: Send + 'static>(
+        &self,
+        key: &str,
+        idempotent: bool,
+        f: impl Fn(&ForkBase<S>) -> R + Clone + Send + 'static,
+    ) -> DbResult<R> {
+        let _gate = self.rebalance_gate.read();
+        let rpc_cfg = self.rpc.read().clone();
+        let chaos = self.chaos.read().clone();
+        let key = key.to_string();
+        rpc::retry_loop(
+            &rpc_cfg,
+            chaos.as_deref(),
+            idempotent,
+            || {
+                let state = self.state.read();
+                Arc::clone(&state.nodes[route_on(&state.ring, &key)])
+            },
+            f,
+        )
+    }
+
+    /// Dispatch `f` to **every** servelet concurrently and gather
+    /// per-servelet outcomes in slot order.
+    fn scatter_results<R: Send + 'static>(
+        &self,
+        f: impl Fn(&ForkBase<S>) -> R + Clone + Send + 'static,
+    ) -> Vec<(u64, Result<R, rpc::AttemptError>)> {
+        let _gate = self.rebalance_gate.read();
+        let nodes = self.state.read().nodes.clone();
+        let deadline = self.rpc.read().deadline;
+        let chaos = self.chaos.read().clone();
+        rpc::scatter_nodes(&nodes, deadline, chaos.as_deref(), f)
+    }
+
+    /// Strict scatter-gather: the first unreachable servelet fails the
+    /// whole call.
     fn scatter<R: Send + 'static>(
         &self,
         f: impl Fn(&ForkBase<S>) -> R + Clone + Send + 'static,
     ) -> DbResult<Vec<(u64, R)>> {
-        let _gate = self.rebalance_gate.read();
-        let nodes = self.state.read().nodes.clone();
-        scatter_nodes(&nodes, f)
+        self.scatter_results(f)
+            .into_iter()
+            .map(|(id, r)| r.map(|v| (id, v)).map_err(|e| e.into_db(id)))
+            .collect()
+    }
+
+    /// Degrading scatter-gather: unreachable servelets land in
+    /// [`Partial::degraded`] instead of failing the call.
+    fn scatter_partial<R: Send + 'static>(
+        &self,
+        f: impl Fn(&ForkBase<S>) -> R + Clone + Send + 'static,
+    ) -> Partial<R> {
+        let mut partial = Partial::default();
+        for (id, r) in self.scatter_results(f) {
+            match r {
+                Ok(v) => partial.results.push((id, v)),
+                Err(_) => partial.degraded.push(id),
+            }
+        }
+        partial
     }
 
     /// Shut down servelet slot `slot`'s worker **without** removing it
     /// from the ring — fault injection for dead-servelet handling: every
-    /// later RPC routed to it returns [`DbError::ServeletUnavailable`].
+    /// later RPC routed to it returns [`DbError::ServeletUnavailable`]
+    /// until [`Self::restart_servelet`] revives it.
     pub fn kill_servelet(&self, slot: usize) -> DbResult<()> {
         let node = {
             let state = self.state.read();
@@ -400,6 +578,11 @@ impl<S: SweepStore + Send + 'static> Cluster<S> {
                 .ok_or_else(|| DbError::InvalidInput(format!("no servelet at slot {slot}")))?
         };
         shutdown_node(&node);
+        self.health_records
+            .lock()
+            .entry(node.id)
+            .or_default()
+            .last_error = Some("killed by fault injection".into());
         Ok(())
     }
 
@@ -407,10 +590,13 @@ impl<S: SweepStore + Send + 'static> Cluster<S> {
     // Data plane
     // ------------------------------------------------------------------
 
-    /// `Put` routed to the owning servelet.
+    /// `Put` routed to the owning servelet. Never auto-retried past an
+    /// ambiguous outcome: a [`DbError::ServeletTimeout`] or
+    /// [`DbError::ServeletUnavailable`] from a write means the commit
+    /// *may or may not* have applied — re-read before re-issuing.
     pub fn put(&self, key: &str, value: Value, opts: PutOptions) -> DbResult<CommitResult> {
         let owned = key.to_string();
-        self.with_key(key, move |db| db.put(&owned, value, &opts))?
+        self.routed(key, false, move |db| db.put(&owned, value.clone(), &opts))?
     }
 
     /// `Put` a string value (cross-node safe: the value is built on the
@@ -424,8 +610,7 @@ impl<S: SweepStore + Send + 'static> Cluster<S> {
         self.put(key, Value::Str(content), opts)
     }
 
-    /// `Put` a blob built from raw content on the owning servelet. The
-    /// content `Vec` becomes the blob's backing buffer without copying.
+    /// `Put` a blob built from raw content on the owning servelet.
     pub fn put_blob(
         &self,
         key: &str,
@@ -433,16 +618,18 @@ impl<S: SweepStore + Send + 'static> Cluster<S> {
         opts: PutOptions,
     ) -> DbResult<CommitResult> {
         let owned = key.to_string();
-        self.with_key(key, move |db| {
-            db.put_blob(&owned, Bytes::from(content), &opts)
+        let content = Bytes::from(content);
+        self.routed(key, false, move |db| {
+            db.put_blob(&owned, content.clone(), &opts)
         })?
     }
 
-    /// `Get` routed to the owning servelet.
+    /// `Get` routed to the owning servelet (idempotent: retried per the
+    /// cluster's [`RetryPolicy`]).
     pub fn get(&self, key: &str, branch: &str) -> DbResult<GetResult> {
         let owned = key.to_string();
         let branch = branch.to_string();
-        self.with_key(key, move |db| db.get(&owned, &branch))?
+        self.routed(key, true, move |db| db.get(&owned, &branch))?
     }
 
     /// Start collecting a routed multi-key write batch (see
@@ -459,41 +646,31 @@ impl<S: SweepStore + Send + 'static> Cluster<S> {
     /// servelet and each group is served by one consistent
     /// [`ForkBase::heads`] read, so the returned uids are torn-free **per
     /// servelet** (the same granularity [`ClusterWriteBatch`] commits at);
-    /// results come back in input order.
+    /// results come back in input order. Strict: any unreachable owner
+    /// fails the call — see [`Self::heads_partial`] to degrade instead.
     pub fn heads(&self, pairs: &[(&str, &str)]) -> DbResult<Vec<Uid>> {
         let _gate = self.rebalance_gate.read();
-        let (nodes, groups) = {
-            let state = self.state.read();
-            let mut groups: BTreeMap<usize, Vec<(usize, String, String)>> = BTreeMap::new();
-            for (i, (key, branch)) in pairs.iter().enumerate() {
-                groups.entry(route_on(&state.ring, key)).or_default().push((
-                    i,
-                    key.to_string(),
-                    branch.to_string(),
-                ));
-            }
-            (state.nodes.clone(), groups)
-        };
+        let rpc_cfg = self.rpc.read().clone();
+        let chaos = self.chaos.read().clone();
         let mut out: Vec<Option<Uid>> = vec![None; pairs.len()];
-        let mut pending = Vec::new();
-        for (slot, group) in groups {
-            let node = &nodes[slot];
-            let (tx, rx) = bounded(1);
+        for (slot, group) in self.head_groups(pairs) {
             let indices: Vec<usize> = group.iter().map(|(i, _, _)| *i).collect();
-            let job = move |db: &ForkBase<S>| {
-                let refs: Vec<(&str, &str)> = group
-                    .iter()
-                    .map(|(_, k, b)| (k.as_str(), b.as_str()))
-                    .collect();
-                let _ = tx.send(db.heads(&refs));
-            };
-            node.tx
-                .send(Msg::Job(Box::new(job)))
-                .map_err(|_| unavailable(node.id))?;
-            pending.push((node.id, indices, rx));
-        }
-        for (id, indices, rx) in pending {
-            let uids = rx.recv().map_err(|_| unavailable(id))??;
+            let uids = rpc::retry_loop(
+                &rpc_cfg,
+                chaos.as_deref(),
+                true,
+                || {
+                    let state = self.state.read();
+                    Arc::clone(&state.nodes[slot])
+                },
+                move |db| {
+                    let refs: Vec<(&str, &str)> = group
+                        .iter()
+                        .map(|(_, k, b)| (k.as_str(), b.as_str()))
+                        .collect();
+                    db.heads(&refs)
+                },
+            )??;
             for (i, uid) in indices.into_iter().zip(uids) {
                 out[i] = Some(uid);
             }
@@ -504,11 +681,80 @@ impl<S: SweepStore + Send + 'static> Cluster<S> {
             .collect())
     }
 
-    /// Scatter-gather statistics from every servelet.
+    /// Degrading [`Self::heads`]: pairs owned by unreachable servelets
+    /// come back `None` and the owners are reported in
+    /// [`PartialHeads::degraded`]. Data errors (e.g. a missing branch on
+    /// a *reachable* servelet) still fail the call.
+    pub fn heads_partial(&self, pairs: &[(&str, &str)]) -> DbResult<PartialHeads> {
+        let _gate = self.rebalance_gate.read();
+        let rpc_cfg = self.rpc.read().clone();
+        let chaos = self.chaos.read().clone();
+        let mut out = PartialHeads {
+            heads: vec![None; pairs.len()],
+            degraded: Vec::new(),
+        };
+        for (slot, group) in self.head_groups(pairs) {
+            let indices: Vec<usize> = group.iter().map(|(i, _, _)| *i).collect();
+            let result = rpc::retry_loop(
+                &rpc_cfg,
+                chaos.as_deref(),
+                true,
+                || {
+                    let state = self.state.read();
+                    Arc::clone(&state.nodes[slot])
+                },
+                move |db| {
+                    let refs: Vec<(&str, &str)> = group
+                        .iter()
+                        .map(|(_, k, b)| (k.as_str(), b.as_str()))
+                        .collect();
+                    db.heads(&refs)
+                },
+            );
+            match result {
+                Ok(Ok(uids)) => {
+                    for (i, uid) in indices.into_iter().zip(uids) {
+                        out.heads[i] = Some(uid);
+                    }
+                }
+                Ok(Err(e)) => return Err(e),
+                Err(
+                    DbError::ServeletUnavailable { servelet }
+                    | DbError::ServeletTimeout { servelet },
+                ) => out.degraded.push(servelet),
+                Err(e) => return Err(e),
+            }
+        }
+        Ok(out)
+    }
+
+    /// Group head pairs by owning slot under one ring view.
+    #[allow(clippy::type_complexity)]
+    fn head_groups(&self, pairs: &[(&str, &str)]) -> BTreeMap<usize, Vec<(usize, String, String)>> {
+        let state = self.state.read();
+        let mut groups: BTreeMap<usize, Vec<(usize, String, String)>> = BTreeMap::new();
+        for (i, (key, branch)) in pairs.iter().enumerate() {
+            groups.entry(route_on(&state.ring, key)).or_default().push((
+                i,
+                key.to_string(),
+                branch.to_string(),
+            ));
+        }
+        groups
+    }
+
+    /// Scatter-gather statistics from every servelet. Strict — see
+    /// [`Self::stats_partial`] to degrade instead.
     pub fn stats(&self) -> DbResult<ClusterStat> {
         Ok(ClusterStat {
             servelets: self.scatter(|db| db.stat())?,
         })
+    }
+
+    /// Degrading [`Self::stats`]: statistics from every reachable
+    /// servelet plus the set of unreachable ones.
+    pub fn stats_partial(&self) -> Partial<DbStat> {
+        self.scatter_partial(|db| db.stat())
     }
 
     /// Snapshot-backed routed range scan: one bounded page of map entries
@@ -526,8 +772,8 @@ impl<S: SweepStore + Send + 'static> Cluster<S> {
         use std::ops::Bound;
         let owned = key.to_string();
         let branch = branch.to_string();
-        self.with_key(key, move |db| {
-            let snap = db.snapshot(&owned, &VersionSpec::Branch(branch))?;
+        self.routed(key, true, move |db| {
+            let snap = db.snapshot(&owned, &VersionSpec::Branch(branch.clone()))?;
             let start_bound = match &start {
                 Some(s) => Bound::Included(s.as_ref()),
                 None => Bound::Unbounded,
@@ -555,9 +801,36 @@ impl<S: SweepStore + Send + 'static> Cluster<S> {
         })?
     }
 
+    /// Degrading [`Self::map_range`]: an unreachable owner yields an
+    /// empty result set with the owner reported in
+    /// [`Partial::degraded`]; data errors still fail the call.
+    pub fn map_range_partial(
+        &self,
+        key: &str,
+        branch: &str,
+        start: Option<Bytes>,
+        end: Option<Bytes>,
+        limit: usize,
+    ) -> DbResult<Partial<MapPage>> {
+        match self.map_range(key, branch, start, end, limit) {
+            Ok(page) => Ok(Partial {
+                results: vec![(self.owner_id(key), page)],
+                degraded: Vec::new(),
+            }),
+            Err(
+                DbError::ServeletUnavailable { servelet } | DbError::ServeletTimeout { servelet },
+            ) => Ok(Partial {
+                results: Vec::new(),
+                degraded: vec![servelet],
+            }),
+            Err(e) => Err(e),
+        }
+    }
+
     /// All keys across every servelet, sorted and deduplicated (a key can
     /// transiently exist on two servelets after an interrupted rebalance,
-    /// until the next one cleans the stale copy up).
+    /// until the next one cleans the stale copy up). Strict — see
+    /// [`Self::list_keys_partial`] to degrade instead.
     pub fn list_keys(&self) -> DbResult<Vec<String>> {
         let mut keys: Vec<String> = self
             .scatter(|db| db.list_keys())?
@@ -567,6 +840,12 @@ impl<S: SweepStore + Send + 'static> Cluster<S> {
         keys.sort();
         keys.dedup();
         Ok(keys)
+    }
+
+    /// Degrading [`Self::list_keys`]: per-servelet key lists from every
+    /// reachable servelet plus the set of unreachable ones.
+    pub fn list_keys_partial(&self) -> Partial<Vec<String>> {
+        self.scatter_partial(|db| db.list_keys())
     }
 
     /// Aggregate stored chunk-payload bytes across servelets.
@@ -587,13 +866,21 @@ impl<S: SweepStore + Send + 'static> Cluster<S> {
             .collect())
     }
 
-    /// Run a garbage-collection pass on every servelet; returns
-    /// `(servelet id, report)` in slot order.
-    pub fn gc(&self) -> DbResult<Vec<(u64, GcReport)>> {
-        self.scatter(|db| db.gc())?
-            .into_iter()
-            .map(|(id, r)| r.map(|r| (id, r)))
-            .collect()
+    /// Run a garbage-collection pass on every reachable servelet.
+    /// Unreachable servelets are **skipped and reported** in
+    /// [`ClusterGcReport::degraded`] rather than failing the pass — their
+    /// dead chunks simply survive until a later pass finds them alive. A
+    /// GC failure on a *reachable* servelet still fails the call.
+    pub fn gc(&self) -> DbResult<ClusterGcReport> {
+        let mut out = ClusterGcReport::default();
+        for (id, r) in self.scatter_results(|db| db.gc()) {
+            match r {
+                Ok(Ok(report)) => out.reports.push((id, report)),
+                Ok(Err(e)) => return Err(e),
+                Err(_) => out.degraded.push(id),
+            }
+        }
+        Ok(out)
     }
 
     // ------------------------------------------------------------------
@@ -613,6 +900,7 @@ impl<S: SweepStore + Send + 'static> Cluster<S> {
     /// and the next rebalance cleans up any stale source copies.
     pub fn add_servelet(&self, store: S) -> DbResult<u64> {
         let _gate = self.rebalance_gate.write();
+        let deadline = self.rpc.read().control_deadline;
         let id = self.next_id.fetch_add(1, Ordering::Relaxed);
         let node = spawn_node(id, store, self.cfg);
         let (old_nodes, old_ring, new_ring) = {
@@ -623,13 +911,13 @@ impl<S: SweepStore + Send + 'static> Cluster<S> {
         };
         let mut all_nodes = old_nodes;
         all_nodes.push(Arc::clone(&node));
-        let plan = plan_and_copy(&all_nodes, &old_ring, &new_ring)?;
+        let plan = plan_and_copy(&all_nodes, &old_ring, &new_ring, deadline)?;
         {
             let mut state = self.state.write();
             state.nodes.push(node);
             state.ring = new_ring;
         }
-        cutover(&all_nodes, plan)?;
+        cutover(&all_nodes, plan, deadline)?;
         Ok(id)
     }
 
@@ -641,11 +929,12 @@ impl<S: SweepStore + Send + 'static> Cluster<S> {
     /// A **dead** servelet (worker thread gone — see [`Self::kill_servelet`])
     /// cannot be drained: its keys are only readable from its store, so
     /// this returns [`DbError::ServeletUnavailable`] rather than silently
-    /// dropping them. For durable backends the recovery path is to reopen
-    /// the cluster from its persisted topology (respawning every worker
-    /// over the on-disk stores) and remove the servelet then.
+    /// dropping them. Restart it first ([`Self::restart_servelet`]), or
+    /// for durable backends reopen the cluster from its persisted
+    /// topology and remove the servelet then.
     pub fn remove_servelet(&self, id: u64) -> DbResult<()> {
         let _gate = self.rebalance_gate.write();
+        let deadline = self.rpc.read().control_deadline;
         let (nodes, old_ring, slot, interim_ring) = {
             let state = self.state.read();
             if state.nodes.len() <= 1 {
@@ -674,7 +963,7 @@ impl<S: SweepStore + Send + 'static> Cluster<S> {
                 build_ring_slots(&ids),
             )
         };
-        let plan = plan_and_copy(&nodes, &old_ring, &interim_ring)?;
+        let plan = plan_and_copy(&nodes, &old_ring, &interim_ring, deadline)?;
         let node = {
             let mut state = self.state.write();
             let node = state.nodes.remove(slot);
@@ -687,8 +976,9 @@ impl<S: SweepStore + Send + 'static> Cluster<S> {
         // Roll forward like `add_servelet`: copies are verified and the
         // ring no longer routes to the victim, so cutover/shutdown errors
         // must not resurrect it.
-        let cut = cutover(&nodes, plan);
+        let cut = cutover(&nodes, plan, deadline);
         shutdown_node(&node);
+        self.health_records.lock().remove(&id);
         cut
     }
 }
@@ -718,6 +1008,7 @@ pub struct ClusterWriteBatch<'c, S: SweepStore + Send + 'static> {
     opts_pool: Vec<Arc<PutOptions>>,
 }
 
+#[derive(Clone)]
 enum ClusterOp {
     Put {
         key: String,
@@ -776,13 +1067,20 @@ impl<S: SweepStore + Send + 'static> ClusterWriteBatch<'_, S> {
     /// Commit every staged op, grouped per owning servelet, each group
     /// through one atomic [`crate::api::WriteBatch`]. Outcomes return in
     /// batch order. See the type docs for the atomicity contract.
+    ///
+    /// Writes: per-group commits are never auto-retried past an ambiguous
+    /// outcome (see [`RetryPolicy`]); a [`DbError::ServeletTimeout`] means
+    /// that group *may* have committed.
     pub fn commit(self) -> DbResult<Vec<BatchOutcome>> {
         if self.ops.is_empty() {
             return Ok(Vec::new());
         }
-        let _gate = self.cluster.rebalance_gate.read();
-        let (nodes, groups) = {
-            let state = self.cluster.state.read();
+        let cluster = self.cluster;
+        let _gate = cluster.rebalance_gate.read();
+        let rpc_cfg = cluster.rpc.read().clone();
+        let chaos = cluster.chaos.read().clone();
+        let groups = {
+            let state = cluster.state.read();
             let mut groups: BTreeMap<usize, Vec<(usize, ClusterOp)>> = BTreeMap::new();
             for (i, op) in self.ops.into_iter().enumerate() {
                 groups
@@ -790,7 +1088,7 @@ impl<S: SweepStore + Send + 'static> ClusterWriteBatch<'_, S> {
                     .or_default()
                     .push((i, op));
             }
-            (state.nodes.clone(), groups)
+            groups
         };
         let mut out: Vec<Option<BatchOutcome>> = Vec::new();
         out.resize_with(groups.values().map(Vec::len).sum(), || None);
@@ -799,20 +1097,29 @@ impl<S: SweepStore + Send + 'static> ClusterWriteBatch<'_, S> {
         for (slot, group) in groups {
             let indices: Vec<usize> = group.iter().map(|(i, _)| *i).collect();
             let ops: Vec<ClusterOp> = group.into_iter().map(|(_, op)| op).collect();
-            let outcomes = call(&nodes[slot], move |db| {
-                let mut wb = db.write_batch();
-                for op in ops {
-                    match op {
-                        ClusterOp::Put { key, value, opts } => {
-                            wb.put(key, value, &opts);
-                        }
-                        ClusterOp::DeleteBranch { key, branch } => {
-                            wb.delete_branch(key, branch);
+            let outcomes = rpc::retry_loop(
+                &rpc_cfg,
+                chaos.as_deref(),
+                false,
+                || {
+                    let state = cluster.state.read();
+                    Arc::clone(&state.nodes[slot])
+                },
+                move |db| {
+                    let mut wb = db.write_batch();
+                    for op in ops.iter().cloned() {
+                        match op {
+                            ClusterOp::Put { key, value, opts } => {
+                                wb.put(key, value, &opts);
+                            }
+                            ClusterOp::DeleteBranch { key, branch } => {
+                                wb.delete_branch(key, branch);
+                            }
                         }
                     }
-                }
-                wb.commit()
-            })??;
+                    wb.commit()
+                },
+            )??;
             for (i, outcome) in indices.into_iter().zip(outcomes) {
                 out[i] = Some(outcome);
             }
@@ -828,7 +1135,7 @@ impl<S> Drop for Cluster<S> {
     fn drop(&mut self) {
         let nodes = std::mem::take(&mut self.state.get_mut().nodes);
         for node in &nodes {
-            let _ = node.tx.send(Msg::Shutdown);
+            let _ = node.tx.send(rpc::Msg::Shutdown);
         }
         for node in &nodes {
             if let Some(h) = node.handle.lock().take() {
@@ -842,72 +1149,6 @@ impl<S> Drop for Cluster<S> {
 // Free helpers (no `self` borrow, so rebalance can use them while holding
 // the gate exclusively)
 // ----------------------------------------------------------------------
-
-fn unavailable(id: u64) -> DbError {
-    DbError::ServeletUnavailable { servelet: id }
-}
-
-fn spawn_node<S: SweepStore + Send + 'static>(id: u64, store: S, cfg: TreeConfig) -> Arc<Node<S>> {
-    let (tx, rx) = unbounded::<Msg<S>>();
-    let handle = std::thread::spawn(move || {
-        let db = ForkBase::with_config(store, cfg);
-        while let Ok(msg) = rx.recv() {
-            match msg {
-                Msg::Job(job) => job(&db),
-                Msg::Shutdown => break,
-            }
-        }
-    });
-    Arc::new(Node {
-        id,
-        tx,
-        handle: Mutex::new(Some(handle)),
-    })
-}
-
-fn shutdown_node<S>(node: &Node<S>) {
-    let _ = node.tx.send(Msg::Shutdown);
-    if let Some(h) = node.handle.lock().take() {
-        let _ = h.join();
-    }
-}
-
-/// Simulated RPC against one servelet. A dead worker (channel closed, or
-/// closed before the job ran) yields [`DbError::ServeletUnavailable`].
-fn call<S, R: Send + 'static>(
-    node: &Node<S>,
-    f: impl FnOnce(&ForkBase<S>) -> R + Send + 'static,
-) -> DbResult<R> {
-    let (tx, rx) = bounded(1);
-    node.tx
-        .send(Msg::Job(Box::new(move |db| {
-            let _ = tx.send(f(db));
-        })))
-        .map_err(|_| unavailable(node.id))?;
-    rx.recv().map_err(|_| unavailable(node.id))
-}
-
-/// Dispatch `f` to every node, then gather in slot order.
-fn scatter_nodes<S, R: Send + 'static>(
-    nodes: &[Arc<Node<S>>],
-    f: impl Fn(&ForkBase<S>) -> R + Clone + Send + 'static,
-) -> DbResult<Vec<(u64, R)>> {
-    let mut pending = Vec::with_capacity(nodes.len());
-    for node in nodes {
-        let (tx, rx) = bounded(1);
-        let f = f.clone();
-        node.tx
-            .send(Msg::Job(Box::new(move |db| {
-                let _ = tx.send(f(db));
-            })))
-            .map_err(|_| unavailable(node.id))?;
-        pending.push((node.id, rx));
-    }
-    pending
-        .into_iter()
-        .map(|(id, rx)| rx.recv().map(|r| (id, r)).map_err(|_| unavailable(id)))
-        .collect()
-}
 
 /// The ring point of `(servelet id, vnode)` — a pure function of the
 /// stable id, never of construction order or slot position.
@@ -983,13 +1224,14 @@ fn plan_and_copy<S: SweepStore + Send + 'static>(
     nodes: &[Arc<Node<S>>],
     old_ring: &[(u64, usize)],
     new_ring: &[(u64, usize)],
+    deadline: std::time::Duration,
 ) -> DbResult<MigrationPlan> {
     // Who holds each key (normally exactly one slot; more after an
     // interrupted rebalance), then the move plan per key:
     // the authoritative copy travels, every other copy is stale.
     let mut holders: BTreeMap<String, Vec<usize>> = BTreeMap::new();
     for (slot, node) in nodes.iter().enumerate() {
-        for key in call(node, |db| db.list_keys())? {
+        for key in call_control(node, deadline, |db| db.list_keys())? {
             holders.entry(key).or_default().push(slot);
         }
     }
@@ -1033,7 +1275,7 @@ fn plan_and_copy<S: SweepStore + Send + 'static>(
 
     // Copy phase.
     for (slot, keys) in pre_forgets {
-        call(&nodes[slot], move |db| {
+        call_control(&nodes[slot], deadline, move |db| {
             for key in &keys {
                 db.forget_key(key);
             }
@@ -1043,13 +1285,13 @@ fn plan_and_copy<S: SweepStore + Send + 'static>(
     let copied = (|| -> DbResult<()> {
         for ((src, dst), keys) in &moves {
             let export_keys = keys.clone();
-            let bundle = call(&nodes[*src], move |db| {
+            let bundle = call_control(&nodes[*src], deadline, move |db| {
                 let mut buf = Vec::new();
                 export_bundle_keys(db, &export_keys, &mut buf)?;
                 Ok::<_, DbError>(buf)
             })??;
             imported.push((*dst, keys.clone()));
-            call(&nodes[*dst], move |db| {
+            call_control(&nodes[*dst], deadline, move |db| {
                 import_bundle(db, &mut bundle.as_slice()).map(|_| ())
             })??;
         }
@@ -1060,7 +1302,7 @@ fn plan_and_copy<S: SweepStore + Send + 'static>(
         // (they held nothing unique) — the authoritative copies are all
         // still in place, so placement is unchanged.
         for (dst, keys) in imported {
-            let _ = call(&nodes[dst], move |db| {
+            let _ = call_control(&nodes[dst], deadline, move |db| {
                 for key in &keys {
                     db.forget_key(key);
                 }
@@ -1082,9 +1324,10 @@ fn plan_and_copy<S: SweepStore + Send + 'static>(
 fn cutover<S: SweepStore + Send + 'static>(
     nodes: &[Arc<Node<S>>],
     plan: MigrationPlan,
+    deadline: std::time::Duration,
 ) -> DbResult<()> {
     for (src, keys) in plan.forgets {
-        call(&nodes[src], move |db| {
+        call_control(&nodes[src], deadline, move |db| {
             for key in &keys {
                 db.forget_key(key);
             }

@@ -1,0 +1,420 @@
+//! RPC plumbing for the cluster: the servelet "network" boundary.
+//!
+//! Every routed verb crosses this one layer, so deadlines, deterministic
+//! retry/backoff, and chaos injection all live here and apply uniformly.
+//! The failure taxonomy matters for correctness:
+//!
+//! * **not delivered** — the send itself failed, the worker never saw the
+//!   request. Safe to retry even for writes.
+//! * **died after delivery** — the worker's channel disconnected after the
+//!   request was (or may have been) handed over. Ambiguous.
+//! * **timed out** — no reply within the per-call deadline; the worker may
+//!   still apply the request later. Ambiguous.
+//!
+//! Ambiguous outcomes surface as [`DbError::ServeletUnavailable`] /
+//! [`DbError::ServeletTimeout`] and are **never** auto-retried for writes;
+//! idempotent verbs retry per [`RetryPolicy`].
+
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use crossbeam::channel::{bounded, unbounded, Receiver, RecvTimeoutError, Sender};
+use forkbase_postree::TreeConfig;
+use forkbase_store::SweepStore;
+use parking_lot::Mutex;
+
+use crate::db::ForkBase;
+use crate::error::{DbError, DbResult};
+
+use super::chaos::{ChaosState, Fault};
+
+/// A job shipped to a servelet thread.
+pub(super) type Job<S> = Box<dyn FnOnce(&ForkBase<S>) + Send>;
+
+/// What travels over a servelet's "network" channel.
+pub(super) enum Msg<S> {
+    Job(Job<S>),
+    /// Stop the worker loop (clean shutdown or fault injection).
+    Shutdown,
+}
+
+/// One servelet: a worker thread owning a private `ForkBase<S>`.
+pub(super) struct Node<S> {
+    /// Stable identity: allocated once, never reused, persisted in the
+    /// topology record. Ring points derive from this, not from the slot.
+    pub(super) id: u64,
+    pub(super) tx: Sender<Msg<S>>,
+    pub(super) handle: Mutex<Option<std::thread::JoinHandle<()>>>,
+}
+
+/// How many times to attempt an idempotent RPC and how long to wait
+/// between attempts. The schedule is deterministic — exponential doubling
+/// from [`RetryPolicy::base_backoff`] capped at
+/// [`RetryPolicy::max_backoff`], no jitter — so chaos tests replay
+/// identically from a seed.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Total attempts, including the first (1 = no retry).
+    pub max_attempts: u32,
+    /// Backoff before the second attempt; doubles each further attempt.
+    pub base_backoff: Duration,
+    /// Upper bound on any single backoff.
+    pub max_backoff: Duration,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            max_attempts: 3,
+            base_backoff: Duration::from_millis(10),
+            max_backoff: Duration::from_secs(1),
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// A policy that never retries.
+    pub fn no_retry() -> Self {
+        RetryPolicy {
+            max_attempts: 1,
+            ..Default::default()
+        }
+    }
+
+    /// The backoff slept before 1-based attempt `attempt` (≥ 2):
+    /// `base · 2^(attempt-2)`, capped at `max_backoff`.
+    pub fn backoff_before(&self, attempt: u32) -> Duration {
+        let shift = attempt.saturating_sub(2).min(20);
+        self.base_backoff
+            .saturating_mul(1u32 << shift)
+            .min(self.max_backoff)
+    }
+}
+
+/// Per-call deadlines and the retry policy for the cluster's RPCs.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct RpcConfig {
+    /// Deadline for one data-plane attempt (routed verbs, scatter-gather).
+    pub deadline: Duration,
+    /// Deadline for control-plane calls (migration export/import, refs
+    /// restore) — generous, these move whole key histories.
+    pub control_deadline: Duration,
+    /// Deadline for supervision liveness probes — short, a probe does no
+    /// work.
+    pub probe_deadline: Duration,
+    /// Retry schedule for idempotent verbs.
+    pub retry: RetryPolicy,
+}
+
+impl Default for RpcConfig {
+    fn default() -> Self {
+        RpcConfig {
+            deadline: Duration::from_secs(30),
+            control_deadline: Duration::from_secs(300),
+            probe_deadline: Duration::from_secs(1),
+            retry: RetryPolicy::default(),
+        }
+    }
+}
+
+/// How one RPC attempt failed, before mapping to [`DbError`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub(super) enum AttemptError {
+    /// The send failed: the worker was already gone; the request was
+    /// **never** delivered. Safe to retry even for writes.
+    NotDelivered,
+    /// Delivered (or possibly delivered), then the worker's channel
+    /// disconnected without a reply. Ambiguous.
+    DiedAfterDelivery,
+    /// No reply within the deadline; the worker may still apply the
+    /// request. Ambiguous.
+    TimedOut,
+}
+
+impl AttemptError {
+    pub(super) fn into_db(self, servelet: u64) -> DbError {
+        match self {
+            AttemptError::NotDelivered | AttemptError::DiedAfterDelivery => {
+                DbError::ServeletUnavailable { servelet }
+            }
+            AttemptError::TimedOut => DbError::ServeletTimeout { servelet },
+        }
+    }
+
+    /// Whether a write may retry after this failure: only when the
+    /// request provably never reached the worker.
+    fn write_retry_safe(self) -> bool {
+        matches!(self, AttemptError::NotDelivered)
+    }
+}
+
+pub(super) fn spawn_node<S: SweepStore + Send + 'static>(
+    id: u64,
+    store: S,
+    cfg: TreeConfig,
+) -> Arc<Node<S>> {
+    let (tx, rx) = unbounded::<Msg<S>>();
+    let handle = std::thread::spawn(move || {
+        let db = ForkBase::with_config(store, cfg);
+        while let Ok(msg) = rx.recv() {
+            match msg {
+                Msg::Job(job) => job(&db),
+                Msg::Shutdown => break,
+            }
+        }
+    });
+    Arc::new(Node {
+        id,
+        tx,
+        handle: Mutex::new(Some(handle)),
+    })
+}
+
+/// Stop a worker and join its thread. Joining matters for durable
+/// backends: it drops the worker's `ForkBase` (and store), releasing e.g.
+/// a `FileStore`'s advisory lock so a respawn can reopen the directory.
+pub(super) fn shutdown_node<S>(node: &Node<S>) {
+    let _ = node.tx.send(Msg::Shutdown);
+    if let Some(h) = node.handle.lock().take() {
+        let _ = h.join();
+    }
+}
+
+fn gather<R>(
+    rx: Receiver<R>,
+    _keepalive: Option<Sender<R>>,
+    deadline: Duration,
+) -> Result<R, AttemptError> {
+    match rx.recv_timeout(deadline) {
+        Ok(r) => Ok(r),
+        Err(RecvTimeoutError::Disconnected) => Err(AttemptError::DiedAfterDelivery),
+        Err(RecvTimeoutError::Timeout) => Err(AttemptError::TimedOut),
+    }
+}
+
+/// One RPC attempt with a `FnOnce` job. Chaos faults apply, except
+/// `Duplicate` (a one-shot job cannot be delivered twice) which degrades
+/// to clean delivery.
+pub(super) fn attempt_once<S, R: Send + 'static>(
+    node: &Node<S>,
+    deadline: Duration,
+    chaos: Option<&ChaosState>,
+    f: impl FnOnce(&ForkBase<S>) -> R + Send + 'static,
+) -> Result<R, AttemptError> {
+    let fault = chaos.map_or(Fault::None, |c| c.next_fault());
+    dispatch_one(node, deadline, fault, f)
+}
+
+/// One RPC attempt with a cloneable job, enabling the `Duplicate` chaos
+/// fault (the request is delivered twice; the first reply wins, mirroring
+/// an at-least-once network).
+pub(super) fn attempt_idem<S, R: Send + 'static>(
+    node: &Node<S>,
+    deadline: Duration,
+    chaos: Option<&ChaosState>,
+    f: impl Fn(&ForkBase<S>) -> R + Clone + Send + 'static,
+) -> Result<R, AttemptError> {
+    let fault = chaos.map_or(Fault::None, |c| c.next_fault());
+    if fault == Fault::Duplicate {
+        // Capacity 2 so the worker never blocks replying to the duplicate.
+        let (tx, rx) = bounded::<R>(2);
+        for first in [true, false] {
+            let f = f.clone();
+            let jtx = tx.clone();
+            let job: Job<S> = Box::new(move |db| {
+                let _ = jtx.send(f(db));
+            });
+            let sent = node.tx.send(Msg::Job(job));
+            if first {
+                sent.map_err(|_| AttemptError::NotDelivered)?;
+            }
+        }
+        drop(tx);
+        return gather(rx, None, deadline);
+    }
+    dispatch_one(node, deadline, fault, f)
+}
+
+fn dispatch_one<S, R: Send + 'static>(
+    node: &Node<S>,
+    deadline: Duration,
+    fault: Fault,
+    f: impl FnOnce(&ForkBase<S>) -> R + Send + 'static,
+) -> Result<R, AttemptError> {
+    if fault == Fault::DropRequest {
+        // The request frame is lost in the "network": the worker never
+        // sees it and the caller's deadline expires. Simulated time is
+        // compressed — the outcome is reported without sleeping.
+        return Err(AttemptError::TimedOut);
+    }
+    if fault == Fault::CrashBefore {
+        // FIFO: the worker sees Shutdown before the job, so the job is
+        // provably never applied — yet the caller observes only a
+        // disconnect, i.e. an ambiguous outcome. Conservative by design.
+        let _ = node.tx.send(Msg::Shutdown);
+    }
+    let (tx, rx) = bounded::<R>(1);
+    let suppress = matches!(fault, Fault::DropReply | Fault::CrashAfter);
+    let jtx = tx.clone();
+    let job: Job<S> = Box::new(move |db| {
+        let r = f(db);
+        if !suppress {
+            let _ = jtx.send(r);
+        }
+    });
+    // DropReply models a lost reply with a live worker: keep a sender open
+    // so the caller times out instead of observing a disconnect.
+    let keepalive = (fault == Fault::DropReply).then(|| tx.clone());
+    drop(tx);
+    node.tx
+        .send(Msg::Job(job))
+        .map_err(|_| AttemptError::NotDelivered)?;
+    if fault == Fault::CrashAfter {
+        // The worker applies the job, suppresses the reply, then dies —
+        // the "acked-by-disk, lost-by-network" worst case for writes.
+        let _ = node.tx.send(Msg::Shutdown);
+    }
+    gather(rx, keepalive, deadline)
+}
+
+/// Run `f` with retries per `cfg`. `resolve` is called before **every**
+/// attempt so a retry lands on the current worker at the route — a
+/// supervisor restart between attempts heals the call mid-retry.
+///
+/// `idempotent` selects the retry rule: idempotent verbs retry on any
+/// failure; writes retry only a provably-undelivered request (the
+/// ambiguous-write rule).
+pub(super) fn retry_loop<S, R: Send + 'static>(
+    cfg: &RpcConfig,
+    chaos: Option<&ChaosState>,
+    idempotent: bool,
+    resolve: impl Fn() -> Arc<Node<S>>,
+    f: impl Fn(&ForkBase<S>) -> R + Clone + Send + 'static,
+) -> DbResult<R> {
+    let mut attempt = 1u32;
+    loop {
+        let node = resolve();
+        let outcome = if idempotent {
+            attempt_idem(&node, cfg.deadline, chaos, f.clone())
+        } else {
+            attempt_once(&node, cfg.deadline, chaos, f.clone())
+        };
+        match outcome {
+            Ok(r) => return Ok(r),
+            Err(e) => {
+                let may_retry = idempotent || e.write_retry_safe();
+                if !may_retry || attempt >= cfg.retry.max_attempts {
+                    return Err(e.into_db(node.id));
+                }
+                attempt += 1;
+                std::thread::sleep(cfg.retry.backoff_before(attempt));
+            }
+        }
+    }
+}
+
+/// Control-plane call: one attempt, no chaos, no retry, caller-chosen
+/// deadline. Used by migration internals and supervision so the recovery
+/// machinery itself is exempt from fault injection (injecting there would
+/// test the simulator, not the system).
+pub(super) fn call_control<S, R: Send + 'static>(
+    node: &Node<S>,
+    deadline: Duration,
+    f: impl FnOnce(&ForkBase<S>) -> R + Send + 'static,
+) -> DbResult<R> {
+    attempt_once(node, deadline, None, f).map_err(|e| e.into_db(node.id))
+}
+
+/// Dispatch `f` to every node concurrently, then gather per-node outcomes
+/// in slot order. The whole gather shares one deadline window, so a
+/// scatter verb is bounded by ~`deadline` wall-clock regardless of how
+/// many members are slow. Failures come back per node — the caller
+/// decides between strict (first error wins) and partial (degraded set)
+/// semantics.
+pub(super) fn scatter_nodes<S, R: Send + 'static>(
+    nodes: &[Arc<Node<S>>],
+    deadline: Duration,
+    chaos: Option<&ChaosState>,
+    f: impl Fn(&ForkBase<S>) -> R + Clone + Send + 'static,
+) -> Vec<(u64, Result<R, AttemptError>)> {
+    enum Fate<R> {
+        Wait(Receiver<R>, Option<Sender<R>>),
+        Fail(AttemptError),
+    }
+    let mut pending: Vec<(u64, Fate<R>)> = Vec::with_capacity(nodes.len());
+    for node in nodes {
+        let fault = chaos.map_or(Fault::None, |c| c.next_fault());
+        if fault == Fault::DropRequest {
+            pending.push((node.id, Fate::Fail(AttemptError::TimedOut)));
+            continue;
+        }
+        if fault == Fault::CrashBefore {
+            let _ = node.tx.send(Msg::Shutdown);
+        }
+        let (tx, rx) = bounded::<R>(2);
+        let suppress = matches!(fault, Fault::DropReply | Fault::CrashAfter);
+        let jtx = tx.clone();
+        let fj = f.clone();
+        let job: Job<S> = Box::new(move |db| {
+            let r = fj(db);
+            if !suppress {
+                let _ = jtx.send(r);
+            }
+        });
+        let keepalive = (fault == Fault::DropReply).then(|| tx.clone());
+        if fault == Fault::Duplicate {
+            let fj = f.clone();
+            let jtx = tx.clone();
+            let dup: Job<S> = Box::new(move |db| {
+                let _ = jtx.send(fj(db));
+            });
+            let _ = node.tx.send(Msg::Job(dup));
+        }
+        drop(tx);
+        if node.tx.send(Msg::Job(job)).is_err() {
+            pending.push((node.id, Fate::Fail(AttemptError::NotDelivered)));
+            continue;
+        }
+        if fault == Fault::CrashAfter {
+            let _ = node.tx.send(Msg::Shutdown);
+        }
+        pending.push((node.id, Fate::Wait(rx, keepalive)));
+    }
+    // One shared window: jobs already run concurrently, so each node gets
+    // whatever remains of the original deadline.
+    let deadline_at = Instant::now() + deadline;
+    pending
+        .into_iter()
+        .map(|(id, fate)| match fate {
+            Fate::Fail(e) => (id, Err(e)),
+            Fate::Wait(rx, keep) => {
+                let left = deadline_at.saturating_duration_since(Instant::now());
+                (id, gather(rx, keep, left))
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn backoff_schedule_is_deterministic_and_capped() {
+        let p = RetryPolicy {
+            max_attempts: 10,
+            base_backoff: Duration::from_millis(10),
+            max_backoff: Duration::from_millis(45),
+        };
+        assert_eq!(p.backoff_before(2), Duration::from_millis(10));
+        assert_eq!(p.backoff_before(3), Duration::from_millis(20));
+        assert_eq!(p.backoff_before(4), Duration::from_millis(40));
+        assert_eq!(p.backoff_before(5), Duration::from_millis(45), "capped");
+        assert_eq!(
+            p.backoff_before(60),
+            Duration::from_millis(45),
+            "no overflow"
+        );
+        assert_eq!(RetryPolicy::no_retry().max_attempts, 1);
+    }
+}

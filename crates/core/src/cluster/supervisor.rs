@@ -1,0 +1,304 @@
+//! Servelet supervision: liveness probing, health reporting, and restart
+//! of crashed workers from their durable backends.
+//!
+//! A dead servelet is not removed from the ring — its keys live in its
+//! store, and dropping them would lose data. Instead the supervisor
+//! rebuilds the worker **in place**: join the dead thread (releasing the
+//! store's advisory lock for durable backends), reopen the store through
+//! the cluster's *respawn factory*, restore branch heads from persisted
+//! refs when the factory supplies them, and swap the fresh worker into
+//! the same slot under the same stable id. Routing never changes; this is
+//! the PR-3 crash-recovery path (reopen `FileStore` packs + refs) driven
+//! end-to-end from the cluster layer.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use forkbase_store::SweepStore;
+
+use crate::error::{DbError, DbResult};
+
+use super::rpc::{call_control, shutdown_node, spawn_node};
+use super::Cluster;
+
+/// Liveness of one servelet as seen by the supervisor.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum HealthState {
+    /// The worker answered a probe within the probe deadline.
+    Alive,
+    /// The worker is gone or unresponsive.
+    Dead,
+    /// A restart is currently in flight.
+    Restarting,
+}
+
+impl HealthState {
+    /// Stable lowercase name (`alive` / `dead` / `restarting`).
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            HealthState::Alive => "alive",
+            HealthState::Dead => "dead",
+            HealthState::Restarting => "restarting",
+        }
+    }
+}
+
+/// One servelet's health record ([`Cluster::health`]).
+#[derive(Clone, Debug)]
+pub struct ServeletHealth {
+    /// Stable servelet id.
+    pub servelet: u64,
+    /// Current liveness.
+    pub state: HealthState,
+    /// Probe failures since the last success.
+    pub consecutive_failures: u32,
+    /// The most recent probe or restart error, if any.
+    pub last_error: Option<String>,
+}
+
+/// Book-keeping behind [`Cluster::health`].
+#[derive(Clone, Debug, Default)]
+pub(super) struct HealthRecord {
+    pub(super) restarting: bool,
+    pub(super) consecutive_failures: u32,
+    pub(super) last_error: Option<String>,
+}
+
+/// What a respawn factory hands back: the reopened store, plus the
+/// servelet's persisted refs text (see
+/// [`ForkBase::dump_refs`](crate::ForkBase::dump_refs)) when the backend
+/// persists branch heads. Without refs, committed versions remain
+/// resolvable by uid but branch heads start empty.
+pub struct Respawned<S> {
+    /// The reopened store (e.g. `FileStore` packs recovered on open).
+    pub store: S,
+    /// Persisted refs to restore via
+    /// [`ForkBase::load_refs`](crate::ForkBase::load_refs), if any.
+    pub refs: Option<String>,
+}
+
+pub(super) type RespawnFn<S> = Arc<dyn Fn(u64) -> DbResult<Respawned<S>> + Send + Sync>;
+
+/// Outcome of one supervision pass ([`Cluster::supervise_once`]).
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct SupervisionReport {
+    /// Servelets that answered their probe.
+    pub alive: Vec<u64>,
+    /// Dead servelets this pass successfully restarted.
+    pub restarted: Vec<u64>,
+    /// Dead servelets whose restart failed, with the error.
+    pub failed: Vec<(u64, String)>,
+}
+
+impl<S: SweepStore + Send + 'static> Cluster<S> {
+    /// Install the respawn factory used by [`Self::restart_servelet`] /
+    /// [`Self::supervise_once`] to rebuild a crashed servelet from its
+    /// durable backend. [`Self::from_topology`] installs its `open`
+    /// closure automatically (without refs); callers whose backend also
+    /// persists refs should install a factory that returns them.
+    pub fn set_respawn(&self, f: impl Fn(u64) -> DbResult<Respawned<S>> + Send + Sync + 'static) {
+        *self.respawn.write() = Some(Arc::new(f));
+    }
+
+    /// Probe every servelet (short control-plane ping, exempt from chaos)
+    /// and report per-servelet health in slot order.
+    pub fn health(&self) -> Vec<ServeletHealth> {
+        let nodes = self.state.read().nodes.clone();
+        let probe = self.rpc.read().probe_deadline;
+        let mut out = Vec::with_capacity(nodes.len());
+        for node in nodes {
+            if self
+                .health_records
+                .lock()
+                .get(&node.id)
+                .is_some_and(|r| r.restarting)
+            {
+                let rec = self
+                    .health_records
+                    .lock()
+                    .get(&node.id)
+                    .cloned()
+                    .unwrap_or_default();
+                out.push(ServeletHealth {
+                    servelet: node.id,
+                    state: HealthState::Restarting,
+                    consecutive_failures: rec.consecutive_failures,
+                    last_error: rec.last_error,
+                });
+                continue;
+            }
+            match call_control(&node, probe, |_db| ()) {
+                Ok(()) => {
+                    let mut recs = self.health_records.lock();
+                    let rec = recs.entry(node.id).or_default();
+                    rec.consecutive_failures = 0;
+                    rec.last_error = None;
+                    out.push(ServeletHealth {
+                        servelet: node.id,
+                        state: HealthState::Alive,
+                        consecutive_failures: 0,
+                        last_error: None,
+                    });
+                }
+                Err(e) => {
+                    let mut recs = self.health_records.lock();
+                    let rec = recs.entry(node.id).or_default();
+                    rec.consecutive_failures += 1;
+                    rec.last_error = Some(e.to_string());
+                    out.push(ServeletHealth {
+                        servelet: node.id,
+                        state: HealthState::Dead,
+                        consecutive_failures: rec.consecutive_failures,
+                        last_error: rec.last_error.clone(),
+                    });
+                }
+            }
+        }
+        out
+    }
+
+    /// Whether every servelet currently answers its probe.
+    pub fn is_fully_healthy(&self) -> bool {
+        self.health().iter().all(|h| h.state == HealthState::Alive)
+    }
+
+    /// Rebuild servelet `id`'s worker from its durable backend: join the
+    /// dead thread (releasing any store lock), reopen the store via the
+    /// respawn factory, restore refs if supplied, and swap the fresh
+    /// worker into the same slot. Safe on a live servelet too (a bounce).
+    ///
+    /// Fails with [`DbError::InvalidInput`] if no respawn factory is
+    /// installed or the id is unknown; factory errors pass through.
+    pub fn restart_servelet(&self, id: u64) -> DbResult<()> {
+        // One restart at a time; shared on the rebalance gate so a
+        // restart never interleaves with a migration's node traffic.
+        let _restart = self.restart_lock.lock();
+        let _gate = self.rebalance_gate.read();
+        let respawn = self.respawn.read().clone().ok_or_else(|| {
+            DbError::InvalidInput(format!(
+                "cannot restart servelet {id}: no respawn factory installed (Cluster::set_respawn)"
+            ))
+        })?;
+        let old = {
+            let state = self.state.read();
+            state
+                .nodes
+                .iter()
+                .find(|n| n.id == id)
+                .cloned()
+                .ok_or_else(|| DbError::InvalidInput(format!("no servelet with id {id}")))?
+        };
+        {
+            let mut recs = self.health_records.lock();
+            recs.entry(id).or_default().restarting = true;
+        }
+        let result = (|| {
+            // Join first: drops the old worker's ForkBase and store,
+            // releasing e.g. FileStore's advisory lock before reopen.
+            shutdown_node(&old);
+            let Respawned { store, refs } = respawn(id)?;
+            let node = spawn_node(id, store, self.cfg);
+            if let Some(refs) = refs {
+                let deadline = self.rpc.read().control_deadline;
+                call_control(&node, deadline, move |db| db.load_refs(&refs))??;
+            }
+            let mut state = self.state.write();
+            match state.nodes.iter().position(|n| n.id == id) {
+                Some(slot) => {
+                    state.nodes[slot] = node;
+                    Ok(())
+                }
+                None => {
+                    drop(state);
+                    shutdown_node(&node);
+                    Err(DbError::InvalidInput(format!(
+                        "servelet {id} was removed during restart"
+                    )))
+                }
+            }
+        })();
+        let mut recs = self.health_records.lock();
+        let rec = recs.entry(id).or_default();
+        rec.restarting = false;
+        match &result {
+            Ok(()) => {
+                rec.consecutive_failures = 0;
+                rec.last_error = None;
+            }
+            Err(e) => rec.last_error = Some(e.to_string()),
+        }
+        result
+    }
+
+    /// One supervision pass: probe everything, restart what's dead.
+    /// This is the loop body [`Supervisor`] runs on its interval; tests
+    /// call it directly for deterministic scheduling.
+    pub fn supervise_once(&self) -> SupervisionReport {
+        let mut report = SupervisionReport::default();
+        for h in self.health() {
+            match h.state {
+                HealthState::Alive => report.alive.push(h.servelet),
+                HealthState::Restarting => {}
+                HealthState::Dead => match self.restart_servelet(h.servelet) {
+                    Ok(()) => report.restarted.push(h.servelet),
+                    Err(e) => report.failed.push((h.servelet, e.to_string())),
+                },
+            }
+        }
+        report
+    }
+}
+
+/// A background thread running [`Cluster::supervise_once`] on a fixed
+/// interval. Stops (and joins) on [`Supervisor::stop`] or drop.
+pub struct Supervisor {
+    stop: Arc<AtomicBool>,
+    handle: Option<std::thread::JoinHandle<()>>,
+}
+
+impl Supervisor {
+    /// Start supervising `cluster`, probing (and restarting the dead)
+    /// every `interval`.
+    pub fn spawn<S: SweepStore + Send + 'static>(
+        cluster: Arc<Cluster<S>>,
+        interval: Duration,
+    ) -> Supervisor {
+        let stop = Arc::new(AtomicBool::new(false));
+        let flag = Arc::clone(&stop);
+        let handle = std::thread::spawn(move || {
+            while !flag.load(Ordering::Relaxed) {
+                let _ = cluster.supervise_once();
+                // Sleep in slices so stop() is prompt.
+                let mut left = interval;
+                while !flag.load(Ordering::Relaxed) && left > Duration::ZERO {
+                    let step = left.min(Duration::from_millis(20));
+                    std::thread::sleep(step);
+                    left = left.saturating_sub(step);
+                }
+            }
+        });
+        Supervisor {
+            stop,
+            handle: Some(handle),
+        }
+    }
+
+    /// Stop the supervision loop and join its thread.
+    pub fn stop(mut self) {
+        self.halt();
+    }
+
+    fn halt(&mut self) {
+        self.stop.store(true, Ordering::Relaxed);
+        if let Some(h) = self.handle.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+impl Drop for Supervisor {
+    fn drop(&mut self) {
+        self.halt();
+    }
+}

@@ -56,6 +56,16 @@ pub enum DbError {
         /// Stable id of the unreachable servelet.
         servelet: u64,
     },
+    /// A cluster RPC was delivered (or may have been delivered) but no
+    /// reply arrived within the per-call deadline. The outcome is
+    /// **ambiguous**: the servelet may still apply the request. Idempotent
+    /// verbs are safe to retry; writes are not auto-retried (see the
+    /// cluster retry policy). Stable [`DbError::code`]:
+    /// `servelet_timeout`.
+    ServeletTimeout {
+        /// Stable id of the servelet that missed the deadline.
+        servelet: u64,
+    },
     /// The caller lacks permission for the operation.
     PermissionDenied(String),
     /// Malformed input (bad key/branch names, etc.).
@@ -80,6 +90,7 @@ impl DbError {
             DbError::TypeMismatch { .. } => "type_mismatch",
             DbError::TamperDetected(_) => "tamper_detected",
             DbError::ServeletUnavailable { .. } => "servelet_unavailable",
+            DbError::ServeletTimeout { .. } => "servelet_timeout",
             DbError::PermissionDenied(_) => "permission_denied",
             DbError::InvalidInput(_) => "invalid_input",
         }
@@ -110,6 +121,12 @@ impl std::fmt::Display for DbError {
             DbError::TamperDetected(m) => write!(f, "TAMPER DETECTED: {m}"),
             DbError::ServeletUnavailable { servelet } => {
                 write!(f, "servelet {servelet} is unavailable (dead or shut down)")
+            }
+            DbError::ServeletTimeout { servelet } => {
+                write!(
+                    f,
+                    "servelet {servelet} missed the RPC deadline (outcome ambiguous)"
+                )
             }
             DbError::PermissionDenied(m) => write!(f, "permission denied: {m}"),
             DbError::InvalidInput(m) => write!(f, "invalid input: {m}"),
@@ -186,6 +203,7 @@ mod tests {
             },
             DbError::TamperDetected("bad hash".into()),
             DbError::ServeletUnavailable { servelet: 3 },
+            DbError::ServeletTimeout { servelet: 3 },
             DbError::PermissionDenied("nope".into()),
             DbError::InvalidInput("bad".into()),
         ];

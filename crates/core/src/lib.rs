@@ -52,7 +52,11 @@ pub use api::{
     ListStream, MapRange, PutOptions, Snapshot, ValueDiff, VersionSpec, WriteBatch, DEFAULT_BRANCH,
 };
 pub use bundle::{export_bundle, import_bundle, BundleRef};
-pub use cluster::{Cluster, ClusterStat, ClusterTopology, ClusterWriteBatch, MapPage};
+pub use cluster::{
+    ChaosPlan, ChaosReport, Cluster, ClusterGcReport, ClusterStat, ClusterTopology,
+    ClusterWriteBatch, HealthState, MapPage, Partial, PartialHeads, Respawned, RetryPolicy,
+    RpcConfig, ServeletHealth, SupervisionReport, Supervisor,
+};
 pub use error::{DbError, DbResult};
 pub use fnode::{FNode, Uid};
 pub use gc::GcReport;

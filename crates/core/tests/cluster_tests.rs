@@ -202,7 +202,9 @@ fn rebalance_preserves_history_proofs_and_dedup() {
     // source copies, so after a cluster-wide GC the footprint must come
     // back to the pre-rebalance ballpark (placement changed, content did
     // not; only cross-key dedup lost to re-partitioning may add a little).
-    for (_, report) in c.gc().unwrap() {
+    let gc = c.gc().unwrap();
+    assert!(gc.degraded.is_empty(), "every servelet is alive");
+    for (_, report) in gc.reports {
         assert_eq!(report.sweep.chunks_rewritten, 0, "MemStore never rewrites");
     }
     let bytes_after = c.total_stored_bytes().unwrap();

@@ -8,6 +8,7 @@
 //! *detects* every manipulation — never returning bad data as good.
 
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicUsize, Ordering};
 
 use bytes::Bytes;
 use forkbase_crypto::Hash;
@@ -15,7 +16,7 @@ use parking_lot::RwLock;
 
 use crate::stats::StoreStats;
 use crate::sweep::{SweepReport, SweepStore, Utilization};
-use crate::{ChunkStore, StoreResult};
+use crate::{ChunkStore, StoreError, StoreResult};
 
 /// How a particular chunk should misbehave on `get`.
 #[derive(Clone, Debug)]
@@ -33,13 +34,37 @@ pub enum FaultMode {
     Truncate(usize),
 }
 
-/// A store wrapper that injects faults on reads of selected chunks.
+/// How the write path should misbehave ([`FaultyStore::inject_write`]).
 ///
-/// Note the faults are *read-side*: the underlying store still holds the
-/// honest bytes, matching an adversary who serves bad data over the wire.
+/// Unlike the read-side [`FaultMode`]s (a lying adversary over an honest
+/// store), write faults model a *crashing* provider: the put fails with an
+/// I/O error and — for [`WriteFault::FailPutBatchAfter`] — may leave a torn
+/// prefix of the batch behind, exactly what a mid-batch power cut leaves in
+/// a pack file before the commit record lands.
+#[derive(Clone, Copy, Debug)]
+pub enum WriteFault {
+    /// Every `put` / `put_with_hash` fails; `put_batch` fails before
+    /// writing anything.
+    FailPut,
+    /// `put_batch` writes the first `n` chunks to the inner store, then
+    /// fails — a torn batch. Single puts count against the same budget.
+    FailPutBatchAfter(usize),
+}
+
+/// A store wrapper that injects faults on reads of selected chunks and,
+/// optionally, on the write path.
+///
+/// Note the read faults are *read-side*: the underlying store still holds
+/// the honest bytes, matching an adversary who serves bad data over the
+/// wire. Write faults ([`WriteFault`]) instead model a crashing provider
+/// whose failure may tear a batch.
 pub struct FaultyStore<S> {
     inner: S,
     faults: RwLock<HashMap<Hash, FaultMode>>,
+    write_fault: RwLock<Option<WriteFault>>,
+    /// Chunks the armed [`WriteFault::FailPutBatchAfter`] still allows
+    /// through before failing.
+    write_budget: AtomicUsize,
 }
 
 impl<S: ChunkStore> FaultyStore<S> {
@@ -48,6 +73,8 @@ impl<S: ChunkStore> FaultyStore<S> {
         FaultyStore {
             inner,
             faults: RwLock::new(HashMap::new()),
+            write_fault: RwLock::new(None),
+            write_budget: AtomicUsize::new(0),
         }
     }
 
@@ -75,17 +102,71 @@ impl<S: ChunkStore> FaultyStore<S> {
     pub fn fault_count(&self) -> usize {
         self.faults.read().len()
     }
+
+    /// Arm a write-path fault (replacing any armed one).
+    pub fn inject_write(&self, fault: WriteFault) {
+        let budget = match fault {
+            WriteFault::FailPut => 0,
+            WriteFault::FailPutBatchAfter(n) => n,
+        };
+        // Budget before mode: a concurrent writer observing the armed
+        // mode must never read a stale (larger) budget.
+        self.write_budget.store(budget, Ordering::SeqCst);
+        *self.write_fault.write() = Some(fault);
+    }
+
+    /// Disarm the write-path fault; writes are honest again.
+    pub fn heal_writes(&self) {
+        *self.write_fault.write() = None;
+    }
+
+    fn injected_write_error() -> StoreError {
+        StoreError::Io(std::io::Error::other("injected write fault (FaultyStore)"))
+    }
+
+    /// Consume `want` chunks of write budget; returns how many may still
+    /// be written before the armed fault fires (`None` = no fault armed).
+    fn take_write_budget(&self, want: usize) -> Option<usize> {
+        match *self.write_fault.read() {
+            None => None,
+            Some(WriteFault::FailPut) => Some(0),
+            Some(WriteFault::FailPutBatchAfter(_)) => {
+                let granted = self
+                    .write_budget
+                    .fetch_update(Ordering::SeqCst, Ordering::SeqCst, |left| {
+                        Some(left.saturating_sub(want))
+                    })
+                    .expect("fetch_update closure never returns None");
+                Some(granted.min(want))
+            }
+        }
+    }
 }
 
 impl<S: ChunkStore> ChunkStore for FaultyStore<S> {
     fn put_with_hash(&self, hash: Hash, bytes: Bytes) -> StoreResult<bool> {
-        self.inner.put_with_hash(hash, bytes)
+        match self.take_write_budget(1) {
+            None | Some(1) => self.inner.put_with_hash(hash, bytes),
+            Some(_) => Err(Self::injected_write_error()),
+        }
     }
 
     fn put_batch(&self, chunks: Vec<(Hash, Bytes)>) -> StoreResult<usize> {
-        // Faults are read-side only (§II-D: the adversary serves bad data,
-        // the write path is honest); batches pass straight through.
-        self.inner.put_batch(chunks)
+        match self.take_write_budget(chunks.len()) {
+            // Read-side faults never touch writes (§II-D: the adversary
+            // serves bad data, the write path is honest).
+            None => self.inner.put_batch(chunks),
+            Some(allowed) if allowed >= chunks.len() => self.inner.put_batch(chunks),
+            Some(allowed) => {
+                // Torn batch: a prefix lands in the inner store, then the
+                // "crash". The caller sees only the error.
+                let prefix: Vec<(Hash, Bytes)> = chunks.into_iter().take(allowed).collect();
+                if !prefix.is_empty() {
+                    self.inner.put_batch(prefix)?;
+                }
+                Err(Self::injected_write_error())
+            }
+        }
     }
 
     fn get(&self, hash: &Hash) -> StoreResult<Option<Bytes>> {
@@ -212,6 +293,45 @@ mod tests {
         let (s, h, data) = setup();
         s.inject(h, FaultMode::Truncate(4));
         assert_eq!(s.get(&h).unwrap(), Some(data.slice(..4)));
+    }
+
+    #[test]
+    fn fail_put_rejects_all_writes_until_healed() {
+        let s = FaultyStore::new(MemStore::new());
+        s.inject_write(WriteFault::FailPut);
+        assert!(s.put(Bytes::from_static(b"doomed")).is_err());
+        let batch = vec![(sha256(b"x"), Bytes::from_static(b"x"))];
+        assert!(s.put_batch(batch).is_err());
+        assert_eq!(s.inner().chunk_count(), 0, "FailPut writes nothing");
+        s.heal_writes();
+        s.put(Bytes::from_static(b"fine")).unwrap();
+        assert_eq!(s.inner().chunk_count(), 1);
+    }
+
+    #[test]
+    fn fail_put_batch_after_tears_the_batch() {
+        let s = FaultyStore::new(MemStore::new());
+        s.inject_write(WriteFault::FailPutBatchAfter(2));
+        let payloads: Vec<Bytes> = (0..5).map(|i| Bytes::from(format!("chunk-{i}"))).collect();
+        let batch: Vec<(Hash, Bytes)> = payloads.iter().map(|b| (sha256(b), b.clone())).collect();
+        assert!(s.put_batch(batch).is_err(), "torn batch must error");
+        assert_eq!(s.inner().chunk_count(), 2, "exactly the prefix landed");
+        assert!(s.inner().contains(&sha256(&payloads[0])).unwrap());
+        assert!(s.inner().contains(&sha256(&payloads[1])).unwrap());
+        assert!(!s.inner().contains(&sha256(&payloads[2])).unwrap());
+        // Budget exhausted: further writes fail outright until healed.
+        assert!(s.put(Bytes::from_static(b"after")).is_err());
+        s.heal_writes();
+        s.put(Bytes::from_static(b"after")).unwrap();
+    }
+
+    #[test]
+    fn single_puts_share_the_batch_budget() {
+        let s = FaultyStore::new(MemStore::new());
+        s.inject_write(WriteFault::FailPutBatchAfter(1));
+        s.put(Bytes::from_static(b"first")).unwrap();
+        assert!(s.put(Bytes::from_static(b"second")).is_err());
+        assert_eq!(s.inner().chunk_count(), 1);
     }
 
     #[test]

@@ -40,7 +40,7 @@ use forkbase_crypto::{sha256, Hash};
 
 pub use cache::CachedStore;
 pub use error::{StoreError, StoreResult};
-pub use faulty::{FaultMode, FaultyStore};
+pub use faulty::{FaultMode, FaultyStore, WriteFault};
 pub use file::{FileStore, FileStoreConfig};
 pub use mem::MemStore;
 pub use stats::StoreStats;

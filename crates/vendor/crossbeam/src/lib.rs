@@ -47,11 +47,20 @@ pub mod channel {
 
     /// Error returned when the sending half has disconnected.
     pub use std::sync::mpsc::RecvError;
+    /// Error returned by [`Receiver::recv_timeout`]: either the deadline
+    /// elapsed or the sending half disconnected.
+    pub use std::sync::mpsc::RecvTimeoutError;
 
     impl<T> Receiver<T> {
         /// Blocks until a message arrives or the channel disconnects.
         pub fn recv(&self) -> Result<T, RecvError> {
             self.0.recv()
+        }
+
+        /// Blocks until a message arrives, the channel disconnects, or
+        /// `timeout` elapses — the primitive behind RPC deadlines.
+        pub fn recv_timeout(&self, timeout: std::time::Duration) -> Result<T, RecvTimeoutError> {
+            self.0.recv_timeout(timeout)
         }
 
         /// Non-blocking receive.
