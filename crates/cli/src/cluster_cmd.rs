@@ -49,6 +49,28 @@ fn write_durable(path: &Path, contents: &str) -> DbResult<()> {
     .map_err(io_err)
 }
 
+/// Start a standalone servelet process: a [`forkbase::ServeletServer`]
+/// executing wire requests against a durable [`FileStore`] under `root`
+/// (layout `<root>/chunks` + `<root>/refs`, the single-node session
+/// layout). Every mutating request syncs the store and durably rewrites
+/// the refs file **before** it is acked — kill -9 after an ack never
+/// loses the write. This is what `forkbase serve --servelet ADDR` runs.
+pub fn serve_servelet(addr: &str, root: impl AsRef<Path>) -> DbResult<forkbase::ServeletServer> {
+    let root = root.as_ref().to_path_buf();
+    let store = FileStore::open(root.join("chunks"))?;
+    let db = Arc::new(forkbase::ForkBase::new(store));
+    let refs_path = root.join("refs");
+    if refs_path.exists() {
+        let text = std::fs::read_to_string(&refs_path).map_err(io_err)?;
+        db.load_refs(&text)?;
+    }
+    let persist: forkbase::PersistFn<FileStore> = Arc::new(move |db| {
+        forkbase_store::ChunkStore::sync(db.store())?;
+        write_durable(&refs_path, &db.dump_refs())
+    });
+    forkbase::ServeletServer::spawn(addr, db, Some(persist))
+}
+
 /// A durable cluster bound to an on-disk directory.
 pub struct ClusterSession {
     cluster: Arc<Cluster<FileStore>>,
@@ -85,10 +107,7 @@ impl ClusterSession {
             )));
         }
         std::fs::create_dir_all(Self::cluster_dir(root)).map_err(io_err)?;
-        let topology = ClusterTopology {
-            servelet_ids: (0..n as u64).collect(),
-            next_id: n as u64,
-        };
+        let topology = ClusterTopology::local((0..n as u64).collect(), n as u64);
         std::fs::write(&topo_path, topology.encode()).map_err(io_err)?;
         Self::open(root)
     }
@@ -114,9 +133,15 @@ impl ClusterSession {
                 )?)
             },
         )?;
-        // Load each servelet's branch heads (validated against its store).
+        // Load each LOCAL servelet's branch heads (validated against its
+        // store). Remote servelets own their stores and refs — their
+        // `forkbase serve` process loads them on startup.
         for slot in 0..cluster.len() {
-            let refs_path = Self::servelet_dir(&root, cluster.ids()[slot]).join("refs");
+            let id = cluster.ids()[slot];
+            if cluster.servelet_addr(id).is_some() {
+                continue;
+            }
+            let refs_path = Self::servelet_dir(&root, id).join("refs");
             if refs_path.exists() {
                 let text = std::fs::read_to_string(&refs_path).map_err(io_err)?;
                 cluster.on_node(slot, move |db| db.load_refs(&text))??;
@@ -157,6 +182,11 @@ impl ClusterSession {
     pub fn save(&self) -> DbResult<()> {
         let topology = self.cluster.topology();
         for (slot, id) in topology.servelet_ids.iter().enumerate() {
+            // Remote servelets persist on their own side (ack-implies-
+            // durable); only the topology entry is ours to record.
+            if topology.addr_of(*id).is_some() {
+                continue;
+            }
             let refs = self.cluster.on_node(slot, |db| {
                 forkbase_store::ChunkStore::sync(db.store())?;
                 Ok::<_, DbError>(db.dump_refs())
@@ -210,6 +240,19 @@ impl ClusterSession {
         Ok(assigned)
     }
 
+    /// Join a **remote** servelet process (already listening via
+    /// `forkbase serve --servelet ADDR`) and migrate the keys it now
+    /// owns across the wire. Persists the updated topology so a reopen
+    /// routes to it again.
+    pub fn add_remote_servelet(&self, addr: &str) -> DbResult<u64> {
+        let id = self.cluster.add_remote_servelet(addr)?;
+        write_durable(
+            &Self::topology_path(&self.root),
+            &self.cluster.topology().encode(),
+        )?;
+        Ok(id)
+    }
+
     /// Remove servelet `id` after migrating its keys away, then delete its
     /// drained data directory.
     pub fn remove_servelet(&self, id: u64) -> DbResult<()> {
@@ -232,7 +275,8 @@ pub fn run_cluster_command(session: &ClusterSession, args: &[&str]) -> DbResult<
     let usage = || -> DbError {
         DbError::InvalidInput(
             "usage: cluster init N | put KEY VALUE | get KEY | batch put:K=V|del:K … | \
-             range KEY [START [END]] [--limit N] | add | remove ID | keys | stats | gc | \
+             range KEY [START [END]] [--limit N] | add | add-remote ADDR | remove ID | \
+             keys | stats | gc | topology | \
              health | restart ID | serve [PORT] \
              [--branch B --author A --message M] (see README \"Sharding & elasticity\")"
                 .into(),
@@ -357,6 +401,25 @@ pub fn run_cluster_command(session: &ClusterSession, args: &[&str]) -> DbResult<
                 "servelet {id} joined; keys per servelet now {:?}",
                 cluster.key_distribution()?
             ))
+        }
+        "add-remote" => {
+            let addr = pos(0)?;
+            let id = session.add_remote_servelet(addr)?;
+            Ok(format!(
+                "remote servelet {id} ({addr}) joined; keys per servelet now {:?}",
+                cluster.key_distribution()?
+            ))
+        }
+        "topology" => {
+            let topo = cluster.topology();
+            let mut out = String::new();
+            for id in &topo.servelet_ids {
+                match topo.addr_of(*id) {
+                    Some(addr) => out.push_str(&format!("servelet {id}\tremote\t{addr}\n")),
+                    None => out.push_str(&format!("servelet {id}\tin-process\n")),
+                }
+            }
+            Ok(out)
         }
         "remove" => {
             let id: u64 = pos(0)?

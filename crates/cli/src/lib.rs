@@ -12,7 +12,7 @@ pub mod commands;
 pub mod rest;
 pub mod session;
 
-pub use cluster_cmd::{run_cluster_command, ClusterSession};
+pub use cluster_cmd::{run_cluster_command, serve_servelet, ClusterSession};
 pub use commands::run_command;
 pub use rest::{ClusterRestServer, RestServer};
 pub use session::Session;

@@ -1,12 +1,15 @@
 //! The `forkbase` command-line tool.
 //!
 //! ```text
-//! forkbase --data DIR <verb> [args…]       run one verb against a durable store
-//! forkbase --data DIR serve [PORT]         start the REST server
-//! forkbase --data DIR cluster <sub> [args] drive the elastic sharded cluster
-//!                                          (init N | put | get | batch | range |
-//!                                           add | remove ID | keys | stats | gc |
-//!                                           health | restart ID | serve [PORT])
+//! forkbase --data DIR <verb> [args…]        run one verb against a durable store
+//! forkbase --data DIR serve [PORT]          start the REST server
+//! forkbase serve --servelet ADDR --data DIR run a standalone servelet process
+//!                                           (wire protocol on ADDR, FileStore at DIR)
+//! forkbase --data DIR cluster <sub> [args]  drive the elastic sharded cluster
+//!                                           (init N | put | get | batch | range |
+//!                                            add | add-remote ADDR | remove ID |
+//!                                            keys | stats | gc | topology |
+//!                                            health | restart ID | serve [PORT])
 //! ```
 //!
 //! Run with no arguments for the verb list. The data directory defaults to
@@ -41,6 +44,29 @@ fn main() -> ExitCode {
     // the data directory; it never opens the single-node store.
     if rest.first().copied() == Some("cluster") {
         return cluster_main(&data_dir, &rest[1..]);
+    }
+
+    // A standalone servelet process: no REST, no routing — just the wire
+    // protocol on a socket over its own durable store. Routers reach it
+    // via `cluster add-remote ADDR` or a TOPOLOGY record with addresses.
+    if rest.first().copied() == Some("serve") && rest.get(1).copied() == Some("--servelet") {
+        let Some(addr) = rest.get(2) else {
+            eprintln!("error: serve --servelet needs an address (e.g. 127.0.0.1:8700)");
+            return ExitCode::FAILURE;
+        };
+        let server = match forkbase_cli::serve_servelet(addr, &data_dir) {
+            Ok(s) => s,
+            Err(e) => {
+                eprintln!("failed to start servelet on {addr}: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        println!("forkbase servelet listening on {}", server.addr());
+        println!("data directory: {data_dir}");
+        println!("press Ctrl-C to stop");
+        loop {
+            std::thread::sleep(std::time::Duration::from_secs(60));
+        }
     }
 
     let session = match Session::open(&data_dir) {

@@ -32,6 +32,8 @@
 //!
 //! ```text
 //! GET  /v1/cluster/health             → per-servelet liveness JSON
+//! GET  /v1/cluster/topology           → per-servelet placement JSON
+//!                                       (id + transport + address)
 //! POST /v1/cluster/restart/<id>       → supervised restart of servelet <id>
 //! GET  /get/<key>?branch=B            → routed get
 //! PUT  /put/<key>?branch=B            → routed put
@@ -41,11 +43,19 @@
 //! A dead servelet maps to `503 Service Unavailable` **with a
 //! `retry-after` header** (a supervisor restart may heal it); a missed RPC
 //! deadline maps to `504 Gateway Timeout` (`servelet_timeout` — the
-//! outcome is ambiguous, see the cluster retry policy).
+//! outcome is ambiguous, see the cluster retry policy). Both error bodies
+//! carry the failing servelet's id and, for remote servelets, its
+//! address, so an operator reading the error knows which process to look
+//! at.
+//!
+//! The cluster gateway bounds concurrent connections
+//! ([`ClusterRestServer::start_with_limit`]); excess connections are shed
+//! immediately with `503` + `retry-after` rather than queued behind an
+//! unbounded thread pile.
 
 use std::io::{BufRead, BufReader, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::Arc;
 
 use forkbase::{Cluster, DbError, ForkBase, PutOptions, VersionSpec};
@@ -124,23 +134,53 @@ pub struct ClusterRestServer {
     handle: Option<std::thread::JoinHandle<()>>,
 }
 
+/// Default ceiling on concurrent gateway connections
+/// ([`ClusterRestServer::start`]). One thread per connection only stays
+/// cheap while the count is bounded; excess clients get an immediate
+/// `503` + `retry-after` instead of a growing thread pile.
+pub const DEFAULT_CONNECTION_LIMIT: usize = 64;
+
 impl ClusterRestServer {
-    /// Start serving `cluster` on `127.0.0.1:port` (`port` 0 = auto-assign).
+    /// Start serving `cluster` on `127.0.0.1:port` (`port` 0 =
+    /// auto-assign) with the default concurrent-connection ceiling.
     pub fn start<S: SweepStore + Send + 'static>(
         cluster: Arc<Cluster<S>>,
         port: u16,
+    ) -> std::io::Result<ClusterRestServer> {
+        Self::start_with_limit(cluster, port, DEFAULT_CONNECTION_LIMIT)
+    }
+
+    /// [`Self::start`] with an explicit ceiling on concurrent
+    /// connections. When `max_connections` handlers are in flight, new
+    /// connections are shed immediately with `503 Service Unavailable` +
+    /// `retry-after` (structured `overloaded` error body) — load is
+    /// refused at the door, never queued unboundedly.
+    pub fn start_with_limit<S: SweepStore + Send + 'static>(
+        cluster: Arc<Cluster<S>>,
+        port: u16,
+        max_connections: usize,
     ) -> std::io::Result<ClusterRestServer> {
         let listener = TcpListener::bind(("127.0.0.1", port))?;
         let addr = listener.local_addr()?;
         listener.set_nonblocking(true)?;
         let shutdown = Arc::new(AtomicBool::new(false));
         let shutdown_flag = Arc::clone(&shutdown);
+        // A counting semaphore over connection-handler threads.
+        let active = Arc::new(AtomicUsize::new(0));
         let handle = std::thread::spawn(move || {
             while !shutdown_flag.load(Ordering::Relaxed) {
                 match listener.accept() {
-                    Ok((stream, _)) => {
+                    Ok((mut stream, _)) => {
+                        // Acquire a slot; shed the connection if none left.
+                        if active.fetch_add(1, Ordering::SeqCst) >= max_connections {
+                            active.fetch_sub(1, Ordering::SeqCst);
+                            let _ = shed_connection(&mut stream);
+                            continue;
+                        }
                         let cluster = Arc::clone(&cluster);
+                        let active = Arc::clone(&active);
                         std::thread::spawn(move || {
+                            let _guard = SlotGuard(active);
                             let _ = handle_cluster_connection(stream, &cluster);
                         });
                     }
@@ -181,6 +221,34 @@ impl Drop for ClusterRestServer {
     }
 }
 
+/// Releases one connection-semaphore slot when the handler thread exits,
+/// however it exits.
+struct SlotGuard(Arc<AtomicUsize>);
+
+impl Drop for SlotGuard {
+    fn drop(&mut self) {
+        self.0.fetch_sub(1, Ordering::SeqCst);
+    }
+}
+
+/// Refuse a connection at the door: the gateway is at its concurrency
+/// ceiling. Cheap by construction — briefly drain the request (closing
+/// with unread bytes would RST the connection before the client reads
+/// the 503), write one canned response, close.
+fn shed_connection(stream: &mut TcpStream) -> std::io::Result<()> {
+    let _ = stream.set_read_timeout(Some(std::time::Duration::from_millis(200)));
+    let mut sink = [0u8; 4096];
+    let _ = stream.read(&mut sink);
+    respond_with(
+        stream,
+        503,
+        JSON,
+        &[("retry-after", "1")],
+        "{\"error\":{\"code\":\"overloaded\",\
+          \"message\":\"gateway at its concurrent connection limit; retry shortly\"}}",
+    )
+}
+
 fn handle_cluster_connection<S: SweepStore + Send + 'static>(
     mut stream: TcpStream,
     cluster: &Cluster<S>,
@@ -195,6 +263,7 @@ fn handle_cluster_connection<S: SweepStore + Send + 'static>(
     let json_route = segments.first() == Some(&"v1");
     let result: Result<String, DbError> = match (req.method.as_str(), segments.as_slice()) {
         ("GET", ["v1", "cluster", "health"]) => Ok(health_json(cluster)),
+        ("GET", ["v1", "cluster", "topology"]) => Ok(topology_json(cluster)),
         ("POST", ["v1", "cluster", "restart", id]) => id
             .parse::<u64>()
             .map_err(|_| DbError::InvalidInput(format!("servelet id is not a number: {id:?}")))
@@ -225,8 +294,46 @@ fn handle_cluster_connection<S: SweepStore + Send + 'static>(
             let ctype = if json_route { JSON } else { TEXT };
             respond(&mut stream, 200, ctype, &text)
         }
-        Err(e) => respond_error(&mut stream, &e),
+        // The gateway knows which process each servelet is: attach the
+        // failing servelet's address to unavailability/timeout bodies.
+        Err(e) => {
+            let extra_fields = match &e {
+                DbError::ServeletUnavailable { servelet }
+                | DbError::ServeletTimeout { servelet } => {
+                    let address = match cluster.servelet_addr(*servelet) {
+                        Some(a) => format!("\"{}\"", json_escape(&a)),
+                        None => "null".to_string(),
+                    };
+                    format!(",\"servelet\":{servelet},\"address\":{address}")
+                }
+                _ => String::new(),
+            };
+            respond_error_with(&mut stream, &e, &extra_fields)
+        }
     }
+}
+
+/// `GET /v1/cluster/topology`: the persisted placement record as JSON —
+/// one entry per servelet with its stable id, transport, and (for remote
+/// servelets) the address its process listens on.
+fn topology_json<S: SweepStore + Send + 'static>(cluster: &Cluster<S>) -> String {
+    let topo = cluster.topology();
+    let servelets: Vec<String> = topo
+        .servelet_ids
+        .iter()
+        .map(|id| match topo.addr_of(*id) {
+            Some(addr) => format!(
+                "{{\"id\":{id},\"transport\":\"tcp\",\"address\":\"{}\"}}",
+                json_escape(addr)
+            ),
+            None => format!("{{\"id\":{id},\"transport\":\"in-process\",\"address\":null}}"),
+        })
+        .collect();
+    format!(
+        "{{\"servelets\":[{}],\"next_id\":{}}}",
+        servelets.join(","),
+        topo.next_id
+    )
 }
 
 /// `GET /v1/cluster/health`: one record per servelet plus an overall
@@ -411,6 +518,17 @@ fn handle_connection<S: SweepStore>(
 /// error body. One mapping for both servers, so clients see identical
 /// behavior whether they talk to a single node or the cluster gateway.
 fn respond_error(stream: &mut TcpStream, e: &DbError) -> std::io::Result<()> {
+    respond_error_with(stream, e, "")
+}
+
+/// [`respond_error`] with extra JSON fields spliced into the `error`
+/// object (`extra_fields` starts with `,` or is empty) — the cluster
+/// gateway uses this to attach the failing servelet's id and address.
+fn respond_error_with(
+    stream: &mut TcpStream,
+    e: &DbError,
+    extra_fields: &str,
+) -> std::io::Result<()> {
     let status = match e {
         DbError::NoSuchKey(_) | DbError::NoSuchBranch { .. } | DbError::NoSuchVersion(_) => 404,
         DbError::InvalidInput(_) | DbError::TypeMismatch { .. } => 400,
@@ -428,7 +546,7 @@ fn respond_error(stream: &mut TcpStream, e: &DbError) -> std::io::Result<()> {
         _ => 500,
     };
     let body = format!(
-        "{{\"error\":{{\"code\":\"{}\",\"message\":\"{}\"}}}}",
+        "{{\"error\":{{\"code\":\"{}\",\"message\":\"{}\"{extra_fields}}}}}",
         e.code(),
         json_escape(&e.to_string())
     );
@@ -964,6 +1082,83 @@ mod tests {
         let (status, body) = request(server.addr(), "POST", "/v1/cluster/restart/nope", "");
         assert_eq!(status, 400);
         assert!(body.contains("\"code\":\"invalid_input\""), "{body}");
+        server.stop();
+    }
+
+    #[test]
+    fn topology_endpoint_reports_placement() {
+        let (server, cluster, _refs) = start_cluster();
+        let (status, body) = request(server.addr(), "GET", "/v1/cluster/topology", "");
+        assert_eq!(status, 200);
+        for id in cluster.ids() {
+            assert!(
+                body.contains(&format!(
+                    "{{\"id\":{id},\"transport\":\"in-process\",\"address\":null}}"
+                )),
+                "{body}"
+            );
+        }
+        assert!(body.contains("\"next_id\":3"), "{body}");
+        server.stop();
+    }
+
+    #[test]
+    fn unavailability_errors_carry_servelet_identity() {
+        let (server, cluster, _refs) = start_cluster();
+        request(server.addr(), "PUT", "/put/doomed", "v");
+        let slot = cluster.route("doomed");
+        let id = cluster.ids()[slot];
+        cluster.kill_servelet(slot).unwrap();
+        let (status, body) = request(server.addr(), "GET", "/get/doomed", "");
+        assert_eq!(status, 503);
+        assert!(
+            body.contains(&format!("\"servelet\":{id}")),
+            "error body names the servelet: {body}"
+        );
+        assert!(
+            body.contains("\"address\":null"),
+            "in-process servelets have no address: {body}"
+        );
+        server.stop();
+    }
+
+    #[test]
+    fn gateway_sheds_connections_past_the_limit() {
+        let (_s, cluster, _refs) = start_cluster();
+        // Limit 1: park one slow connection (accepted, never sends its
+        // request), then observe the next connection being shed.
+        let server = ClusterRestServer::start_with_limit(Arc::clone(&cluster), 0, 1).unwrap();
+        let addr = server.addr();
+        let parked = TcpStream::connect(addr).unwrap();
+        // Give the accept loop time to hand the parked connection off.
+        let deadline = std::time::Instant::now() + std::time::Duration::from_secs(5);
+        let raw = loop {
+            let raw = request_raw(addr, "GET", "/keys", "");
+            if raw.starts_with("HTTP/1.1 503") || std::time::Instant::now() > deadline {
+                break raw;
+            }
+            std::thread::sleep(std::time::Duration::from_millis(10));
+        };
+        assert!(raw.starts_with("HTTP/1.1 503"), "{raw}");
+        assert!(raw.contains("\"code\":\"overloaded\""), "{raw}");
+        assert!(
+            raw.to_ascii_lowercase().contains("retry-after: 1"),
+            "shed responses carry retry-after: {raw}"
+        );
+        drop(parked);
+        // Slot released: the gateway serves again.
+        let deadline = std::time::Instant::now() + std::time::Duration::from_secs(5);
+        loop {
+            let (status, _) = request(addr, "GET", "/keys", "");
+            if status == 200 {
+                break;
+            }
+            assert!(
+                std::time::Instant::now() < deadline,
+                "gateway never recovered after shedding"
+            );
+            std::thread::sleep(std::time::Duration::from_millis(10));
+        }
         server.stop();
     }
 

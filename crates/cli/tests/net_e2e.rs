@@ -1,0 +1,226 @@
+//! Networked-cluster end-to-end test: real `forkbase serve --servelet`
+//! child processes on loopback TCP, a pure-router cluster in this
+//! process, a SIGKILL mid-run, and a supervised restart — asserting that
+//! **every acked write survives** the crash.
+//!
+//! Servelet stdout/stderr land in `target/net-e2e/servelet-N.log`; on
+//! failure the test leaves logs and data directories in place so the CI
+//! `net` job can upload them as artifacts.
+
+use std::fs::OpenOptions;
+use std::path::{Path, PathBuf};
+use std::process::{Child, Command, Stdio};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+use forkbase::{Cluster, ClusterTopology, PutOptions, RpcConfig, Supervisor};
+use forkbase_postree::TreeConfig;
+use forkbase_store::MemStore;
+
+/// `target/net-e2e/` at the workspace root (a stable path CI can upload).
+fn e2e_root() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("../../target/net-e2e")
+        .join(format!("run-{}", std::process::id()))
+}
+
+fn spawn_servelet(data: &Path, log: &Path, addr: &str) -> Child {
+    let logf = OpenOptions::new()
+        .create(true)
+        .append(true)
+        .open(log)
+        .expect("open servelet log");
+    Command::new(env!("CARGO_BIN_EXE_forkbase"))
+        .arg("serve")
+        .arg("--servelet")
+        .arg(addr)
+        .arg("--data")
+        .arg(data)
+        .stdin(Stdio::null())
+        .stdout(Stdio::from(logf.try_clone().expect("clone log handle")))
+        .stderr(Stdio::from(logf))
+        .spawn()
+        .expect("spawn servelet process")
+}
+
+/// Poll the servelet's log until it prints its resolved listen address.
+fn wait_for_addr(log: &Path) -> String {
+    let give_up = Instant::now() + Duration::from_secs(30);
+    loop {
+        if let Ok(text) = std::fs::read_to_string(log) {
+            if let Some(line) = text
+                .lines()
+                .find(|l| l.starts_with("forkbase servelet listening on "))
+            {
+                return line
+                    .trim_start_matches("forkbase servelet listening on ")
+                    .trim()
+                    .to_string();
+            }
+        }
+        assert!(
+            Instant::now() < give_up,
+            "servelet never reported its address; log: {log:?}"
+        );
+        std::thread::sleep(Duration::from_millis(20));
+    }
+}
+
+/// Kills every child on drop so a failing assert never leaks processes
+/// (the logs and data directories stay behind for artifact upload).
+struct Fleet(Arc<Mutex<Vec<Child>>>);
+
+impl Drop for Fleet {
+    fn drop(&mut self) {
+        for child in self.0.lock().unwrap().iter_mut() {
+            let _ = child.kill();
+            let _ = child.wait();
+        }
+    }
+}
+
+#[test]
+fn networked_cluster_survives_kill_and_restart_without_losing_acked_writes() {
+    let root = e2e_root();
+    std::fs::create_dir_all(&root).unwrap();
+    let datas: Vec<PathBuf> = (0..2).map(|i| root.join(format!("servelet-{i}"))).collect();
+    let logs: Vec<PathBuf> = (0..2)
+        .map(|i| root.join(format!("servelet-{i}.log")))
+        .collect();
+
+    // Two standalone servelet processes over their own durable stores.
+    let children = Arc::new(Mutex::new(Vec::new()));
+    let fleet = Fleet(Arc::clone(&children));
+    let mut addrs = Vec::new();
+    for i in 0..2usize {
+        let child = spawn_servelet(&datas[i], &logs[i], "127.0.0.1:0");
+        children.lock().unwrap().push(child);
+        addrs.push(wait_for_addr(&logs[i]));
+    }
+
+    // A pure router: no local store at all, every verb crosses the wire.
+    let topology = ClusterTopology {
+        servelet_ids: vec![0, 1],
+        addrs: addrs.iter().cloned().map(Some).collect(),
+        next_id: 2,
+    };
+    let cluster: Arc<Cluster<MemStore>> =
+        Arc::new(Cluster::connect(&topology, TreeConfig::default()).unwrap());
+    cluster.set_rpc_config(RpcConfig {
+        control_deadline: Duration::from_secs(20),
+        ..RpcConfig::default()
+    });
+
+    // Supervised restarts re-exec the dead servelet's process on its old
+    // address over its old (durable) data directory.
+    {
+        let children = Arc::clone(&children);
+        let datas = datas.clone();
+        let root = root.clone();
+        cluster.set_remote_respawn(move |id, addr| {
+            let log = root.join(format!("servelet-{id}.log"));
+            let child = spawn_servelet(&datas[id as usize], &log, addr);
+            children.lock().unwrap().push(child);
+            Ok(())
+        });
+    }
+
+    // Acked writes: anything put_string returns Ok for MUST survive.
+    let mut acked = Vec::new();
+    for i in 0..40 {
+        let key = format!("net-key-{i:02}");
+        let val = format!("payload {i} written before the crash");
+        cluster
+            .put_string(&key, val.clone(), PutOptions::default())
+            .unwrap();
+        acked.push((key, val));
+    }
+    // The workload must span both servelets or the kill proves nothing.
+    let owners: std::collections::HashSet<u64> =
+        acked.iter().map(|(k, _)| cluster.owner_id(k)).collect();
+    assert_eq!(owners.len(), 2, "workload landed on one servelet only");
+
+    // SIGKILL the servelet owning the first key — no shutdown hook, no
+    // final flush: exactly the crash the ack-after-persist rule is for.
+    let victim_key = acked[0].0.clone();
+    let victim_id = cluster.owner_id(&victim_key);
+    {
+        let mut kids = children.lock().unwrap();
+        let victim = &mut kids[victim_id as usize];
+        victim.kill().unwrap();
+        victim.wait().unwrap();
+    }
+
+    // While down: structured unavailability naming the victim, and the
+    // surviving servelet keeps serving reads and writes.
+    let err = cluster.get(&victim_key, "master").unwrap_err();
+    assert_eq!(err.code(), "servelet_unavailable", "got {err}");
+    let survivor_entry = acked
+        .iter()
+        .find(|(k, _)| cluster.owner_id(k) != victim_id)
+        .unwrap();
+    assert_eq!(
+        cluster
+            .get(&survivor_entry.0, "master")
+            .unwrap()
+            .value
+            .as_str(),
+        Some(survivor_entry.1.as_str())
+    );
+    let live_key = (0..)
+        .map(|i| format!("during-outage-{i}"))
+        .find(|k| cluster.owner_id(k) != victim_id)
+        .unwrap();
+    cluster
+        .put_string(
+            &live_key,
+            "written during the outage".into(),
+            PutOptions::default(),
+        )
+        .unwrap();
+    acked.push((live_key, "written during the outage".into()));
+
+    // Supervisor heals the cluster: probe → dead → remote respawn on the
+    // same address → probe until live again.
+    let supervisor = Supervisor::spawn(Arc::clone(&cluster), Duration::from_millis(200));
+    let give_up = Instant::now() + Duration::from_secs(30);
+    loop {
+        if cluster.get(&victim_key, "master").is_ok() {
+            break;
+        }
+        assert!(
+            Instant::now() < give_up,
+            "servelet {victim_id} never came back after the kill"
+        );
+        std::thread::sleep(Duration::from_millis(100));
+    }
+    supervisor.stop();
+
+    // Zero acked writes lost: every Ok'd put reads back byte-identical,
+    // including everything the killed servelet acked before dying.
+    for (key, val) in &acked {
+        let got = cluster.get(key, "master").unwrap();
+        assert_eq!(
+            got.value.as_str(),
+            Some(val.as_str()),
+            "acked write {key} lost across the crash"
+        );
+    }
+    // And the restarted servelet still accepts new writes.
+    cluster
+        .put_string(
+            &victim_key,
+            "written after the restart".into(),
+            PutOptions::default(),
+        )
+        .unwrap();
+    assert_eq!(
+        cluster.get(&victim_key, "master").unwrap().value.as_str(),
+        Some("written after the restart")
+    );
+
+    // Success: tear down and clean up (failures leave everything behind
+    // for the CI artifact upload).
+    drop(fleet);
+    let _ = std::fs::remove_dir_all(&root);
+}

@@ -163,7 +163,7 @@ pub struct HistoryEntry {
 }
 
 /// Database statistics (the `Stat` verb).
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct DbStat {
     /// Number of keys.
     pub keys: u64,

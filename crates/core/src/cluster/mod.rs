@@ -2,13 +2,25 @@
 //!
 //! The ForkBase of the paper is "a distributed storage system": a master
 //! dispatches requests to *servelets*, each owning a partition of the key
-//! space. This module reproduces that architecture in-process so the
-//! routing, partitioning, and rebalancing code paths are real, without
-//! requiring a network: every servelet is a worker thread owning a private
-//! [`ForkBase`] over any [`SweepStore`] backend (durable
-//! [`forkbase_store::FileStore`] packs in the CLI, [`MemStore`] in tests
-//! and benches), requests travel over crossbeam channels (the "network"),
-//! and keys are placed by consistent hashing.
+//! space. This module reproduces that architecture with a serializable
+//! RPC surface ([`wire`]: `Request`/`Reply` enums with a frozen binary
+//! encoding) carried by either of two transports:
+//!
+//! * **in-process** — every servelet is a worker thread owning a private
+//!   [`ForkBase`] over any [`SweepStore`] backend (durable
+//!   [`forkbase_store::FileStore`] packs in the CLI, [`MemStore`] in
+//!   tests and benches); requests travel over crossbeam channels. Kept
+//!   for tests, benches, and deterministic chaos injection.
+//! * **TCP** — a servelet is a standalone process
+//!   (`forkbase serve --servelet ADDR --data DIR`, served by
+//!   [`net::ServeletServer`]) and the router reaches it over a
+//!   length-prefixed, CRC-tailed, version-tagged frame codec (see
+//!   `PROTOCOL.md`). Remote addresses persist in the [`ClusterTopology`]
+//!   record.
+//!
+//! Keys are placed by consistent hashing either way, and every verb runs
+//! through the same server-side dispatch, so the two transports are
+//! behaviorally identical at the API.
 //!
 //! # Placement rule
 //!
@@ -56,12 +68,17 @@
 //! under a seeded, replayable fault schedule ([`ChaosPlan`]).
 
 mod chaos;
+pub mod net;
 mod rpc;
 mod supervisor;
+pub mod wire;
 
 pub use chaos::{ChaosPlan, ChaosReport};
+pub use net::{PersistFn, ServeletServer};
 pub use rpc::{RetryPolicy, RpcConfig};
-pub use supervisor::{HealthState, Respawned, ServeletHealth, SupervisionReport, Supervisor};
+pub use supervisor::{
+    HealthState, RemoteRespawnFn, Respawned, ServeletHealth, SupervisionReport, Supervisor,
+};
 
 use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -73,8 +90,7 @@ use forkbase_postree::TreeConfig;
 use forkbase_store::{MemStore, SweepStore};
 use parking_lot::{Mutex, RwLock};
 
-use crate::api::{BatchOutcome, CommitResult, DbStat, GetResult, PutOptions, VersionSpec};
-use crate::bundle::{export_bundle_keys, import_bundle};
+use crate::api::{BatchOutcome, CommitResult, DbStat, GetResult, PutOptions};
 use crate::db::ForkBase;
 use crate::error::{DbError, DbResult};
 use crate::fnode::Uid;
@@ -82,8 +98,9 @@ use crate::gc::GcReport;
 use forkbase_types::Value;
 
 use chaos::ChaosState;
-use rpc::{call_control, shutdown_node, spawn_node, Node};
+use rpc::{call_control, maint_call, remote_node, shutdown_node, spawn_node, Node};
 use supervisor::{HealthRecord, RespawnFn};
+use wire::{Reply, Request, WireOp};
 
 /// The mutable routing state: swapped atomically by rebalance.
 struct State<S> {
@@ -103,6 +120,12 @@ const VNODES: u32 = 32;
 pub struct ClusterTopology {
     /// Stable servelet ids, in slot order.
     pub servelet_ids: Vec<u64>,
+    /// Per-servelet network address, aligned with
+    /// [`Self::servelet_ids`]: `Some(addr)` for a standalone servelet
+    /// process reached over TCP, `None` for one this process hosts over
+    /// its own store. Empty means all-local (the pre-network record
+    /// form, still parsed).
+    pub addrs: Vec<Option<String>>,
     /// The id the next [`Cluster::add_servelet`] will assign. Monotone:
     /// removed ids are never reused, so a stale data directory can never
     /// be mistaken for a live servelet's.
@@ -112,11 +135,36 @@ pub struct ClusterTopology {
 const TOPOLOGY_MAGIC: &str = "forkbase-cluster-topology-v1";
 
 impl ClusterTopology {
-    /// Serialize as stable text (one record per line).
+    /// An all-local topology (no servelet has a network address).
+    pub fn local(servelet_ids: Vec<u64>, next_id: u64) -> ClusterTopology {
+        let addrs = vec![None; servelet_ids.len()];
+        ClusterTopology {
+            servelet_ids,
+            addrs,
+            next_id,
+        }
+    }
+
+    /// The address of servelet `id`, if it is remote.
+    pub fn addr_of(&self, id: u64) -> Option<&str> {
+        self.servelet_ids
+            .iter()
+            .position(|&s| s == id)
+            .and_then(|i| self.addrs.get(i))
+            .and_then(|a| a.as_deref())
+    }
+
+    /// Serialize as stable text (one record per line). Local servelets
+    /// emit `servelet\t<id>`, remote ones `servelet\t<id>\t<addr>` — the
+    /// pre-network form stays parseable by this build and vice versa for
+    /// all-local clusters.
     pub fn encode(&self) -> String {
         let mut out = format!("{TOPOLOGY_MAGIC}\nnext-id\t{}\n", self.next_id);
-        for id in &self.servelet_ids {
-            out.push_str(&format!("servelet\t{id}\n"));
+        for (i, id) in self.servelet_ids.iter().enumerate() {
+            match self.addrs.get(i).and_then(|a| a.as_deref()) {
+                Some(addr) => out.push_str(&format!("servelet\t{id}\t{addr}\n")),
+                None => out.push_str(&format!("servelet\t{id}\n")),
+            }
         }
         out
     }
@@ -130,6 +178,7 @@ impl ClusterTopology {
         }
         let mut next_id = None;
         let mut servelet_ids = Vec::new();
+        let mut addrs = Vec::new();
         for line in lines {
             if line.is_empty() {
                 continue;
@@ -139,7 +188,17 @@ impl ClusterTopology {
                     next_id = Some(v.parse::<u64>().map_err(|_| err("bad next-id"))?);
                 }
                 Some(("servelet", v)) => {
-                    servelet_ids.push(v.parse::<u64>().map_err(|_| err("bad servelet id"))?);
+                    let (id, addr) = match v.split_once('\t') {
+                        Some((id, addr)) => {
+                            if addr.is_empty() {
+                                return Err(err("empty servelet address"));
+                            }
+                            (id, Some(addr.to_string()))
+                        }
+                        None => (v, None),
+                    };
+                    servelet_ids.push(id.parse::<u64>().map_err(|_| err("bad servelet id"))?);
+                    addrs.push(addr);
                 }
                 _ => return Err(err("unknown line")),
             }
@@ -158,6 +217,7 @@ impl ClusterTopology {
         }
         Ok(ClusterTopology {
             servelet_ids,
+            addrs,
             next_id,
         })
     }
@@ -183,6 +243,9 @@ pub struct Cluster<S = MemStore> {
     /// Factory rebuilding a crashed servelet's store
     /// ([`Cluster::set_respawn`]).
     respawn: RwLock<Option<RespawnFn<S>>>,
+    /// Hook re-launching a crashed **remote** servelet process
+    /// ([`Cluster::set_remote_respawn`]).
+    remote_respawn: RwLock<Option<RemoteRespawnFn>>,
     /// Per-servelet supervision book-keeping.
     health_records: Mutex<BTreeMap<u64, HealthRecord>>,
 }
@@ -314,16 +377,23 @@ impl<S: SweepStore + Send + 'static> Cluster<S> {
     /// ids always produce the same placement.
     pub fn from_stores(stores: Vec<(u64, S)>, cfg: TreeConfig) -> Self {
         assert!(!stores.is_empty(), "a cluster needs at least one servelet");
-        let mut seen = std::collections::HashSet::new();
-        let mut max_id = 0u64;
-        for (id, _) in &stores {
-            assert!(seen.insert(*id), "duplicate servelet id {id}");
-            max_id = max_id.max(*id);
-        }
         let nodes: Vec<Arc<Node<S>>> = stores
             .into_iter()
             .map(|(id, store)| spawn_node(id, store, cfg))
             .collect();
+        Self::from_nodes(nodes, cfg)
+    }
+
+    /// Build a cluster over already-constructed nodes (any mix of
+    /// in-process and remote).
+    fn from_nodes(nodes: Vec<Arc<Node<S>>>, cfg: TreeConfig) -> Self {
+        assert!(!nodes.is_empty(), "a cluster needs at least one servelet");
+        let mut seen = std::collections::HashSet::new();
+        let mut max_id = 0u64;
+        for node in &nodes {
+            assert!(seen.insert(node.id), "duplicate servelet id {}", node.id);
+            max_id = max_id.max(node.id);
+        }
         let ring = build_ring(&nodes.iter().map(|n| n.id).collect::<Vec<_>>());
         Cluster {
             state: RwLock::new(State { ring, nodes }),
@@ -334,18 +404,23 @@ impl<S: SweepStore + Send + 'static> Cluster<S> {
             rpc: RwLock::new(RpcConfig::default()),
             chaos: RwLock::new(None),
             respawn: RwLock::new(None),
+            remote_respawn: RwLock::new(None),
             health_records: Mutex::new(BTreeMap::new()),
         }
     }
 
-    /// Reopen a cluster from a persisted [`ClusterTopology`], opening each
-    /// servelet's store via `open`. Routing is identical to the cluster
-    /// that produced the record. `cfg` must match the configuration the
-    /// data was written with (chunk boundaries are on-disk format).
+    /// Reopen a cluster from a persisted [`ClusterTopology`]. Servelets
+    /// with a recorded address become remote nodes (routed over TCP;
+    /// their processes own the stores); the rest are opened in-process
+    /// via `open`. Routing is identical to the cluster that produced the
+    /// record. `cfg` must match the configuration the data was written
+    /// with (chunk boundaries are on-disk format).
     ///
-    /// `open` doubles as the respawn factory for supervised restarts
-    /// (without refs restoration — install a richer factory via
-    /// [`Self::set_respawn`] if the backend also persists refs).
+    /// `open` doubles as the respawn factory for supervised restarts of
+    /// the **local** servelets (without refs restoration — install a
+    /// richer factory via [`Self::set_respawn`] if the backend also
+    /// persists refs; remote restarts use
+    /// [`Self::set_remote_respawn`]).
     pub fn from_topology(
         topology: &ClusterTopology,
         cfg: TreeConfig,
@@ -359,11 +434,14 @@ impl<S: SweepStore + Send + 'static> Cluster<S> {
                 )));
             }
         }
-        let mut stores = Vec::with_capacity(topology.servelet_ids.len());
-        for &id in &topology.servelet_ids {
-            stores.push((id, open(id)?));
+        let mut nodes = Vec::with_capacity(topology.servelet_ids.len());
+        for (i, &id) in topology.servelet_ids.iter().enumerate() {
+            match topology.addrs.get(i).and_then(|a| a.clone()) {
+                Some(addr) => nodes.push(remote_node(id, addr)),
+                None => nodes.push(spawn_node(id, open(id)?, cfg)),
+            }
         }
-        let cluster = Self::from_stores(stores, cfg);
+        let cluster = Self::from_nodes(nodes, cfg);
         cluster.next_id.store(topology.next_id, Ordering::Relaxed);
         cluster.set_respawn(move |id| {
             Ok(Respawned {
@@ -372,6 +450,25 @@ impl<S: SweepStore + Send + 'static> Cluster<S> {
             })
         });
         Ok(cluster)
+    }
+
+    /// Open a cluster whose servelets are **all** standalone processes:
+    /// the pure-router constructor. Every topology entry must carry an
+    /// address; this process opens no store at all.
+    pub fn connect(topology: &ClusterTopology, cfg: TreeConfig) -> DbResult<Self> {
+        for (i, &id) in topology.servelet_ids.iter().enumerate() {
+            if topology.addrs.get(i).and_then(|a| a.as_deref()).is_none() {
+                return Err(DbError::InvalidInput(format!(
+                    "servelet {id} has no address: Cluster::connect requires an all-remote \
+                     topology (use from_topology to host local servelets)"
+                )));
+            }
+        }
+        Self::from_topology(topology, cfg, |id| {
+            Err(DbError::InvalidInput(format!(
+                "servelet {id}: no local store in a connect()-ed cluster"
+            )))
+        })
     }
 
     // ------------------------------------------------------------------
@@ -393,12 +490,30 @@ impl<S: SweepStore + Send + 'static> Cluster<S> {
         self.state.read().nodes.iter().map(|n| n.id).collect()
     }
 
-    /// The persistable membership record.
+    /// The persistable membership record, including remote addresses.
     pub fn topology(&self) -> ClusterTopology {
+        let state = self.state.read();
         ClusterTopology {
-            servelet_ids: self.ids(),
+            servelet_ids: state.nodes.iter().map(|n| n.id).collect(),
+            addrs: state
+                .nodes
+                .iter()
+                .map(|n| n.addr().map(String::from))
+                .collect(),
             next_id: self.next_id.load(Ordering::Relaxed),
         }
+    }
+
+    /// The network address of servelet `id`, if it is remote. Used by
+    /// the REST gateway to enrich `servelet_unavailable` /
+    /// `servelet_timeout` error bodies with where the failure happened.
+    pub fn servelet_addr(&self, id: u64) -> Option<String> {
+        let state = self.state.read();
+        state
+            .nodes
+            .iter()
+            .find(|n| n.id == id)
+            .and_then(|n| n.addr().map(String::from))
     }
 
     /// The id the next [`Self::add_servelet`] will assign (so callers can
@@ -456,11 +571,13 @@ impl<S: SweepStore + Send + 'static> Cluster<S> {
     // ------------------------------------------------------------------
 
     /// Run `f` against the database of servelet slot `slot` and wait for
-    /// the result (simulated RPC). Deadline-bounded: a dead servelet
-    /// returns [`DbError::ServeletUnavailable`], a hung one
+    /// the result. Deadline-bounded: a dead servelet returns
+    /// [`DbError::ServeletUnavailable`], a hung one
     /// [`DbError::ServeletTimeout`] — it never blocks forever and never
     /// panics the caller. As a maintenance door it is exempt from chaos
-    /// injection and retries.
+    /// injection and retries, and is **local-only**: closures cannot
+    /// cross the wire, so a remote servelet returns
+    /// [`DbError::InvalidInput`].
     pub fn on_node<R: Send + 'static>(
         &self,
         slot: usize,
@@ -476,12 +593,13 @@ impl<S: SweepStore + Send + 'static> Cluster<S> {
                 .ok_or_else(|| DbError::InvalidInput(format!("no servelet at slot {slot}")))?
         };
         let deadline = self.rpc.read().deadline;
-        rpc::attempt_once(&node, deadline, None, f).map_err(|e| e.into_db(node.id))
+        maint_call(&node, deadline, f)
     }
 
     /// Run `f` against the servelet owning `key`. Routing and dispatch
     /// happen under one consistent view of the ring. Deadline-bounded;
-    /// exempt from chaos injection and retries (see [`Self::on_node`]).
+    /// exempt from chaos injection and retries, local-only (see
+    /// [`Self::on_node`]).
     pub fn with_key<R: Send + 'static>(
         &self,
         key: &str,
@@ -493,20 +611,15 @@ impl<S: SweepStore + Send + 'static> Cluster<S> {
             Arc::clone(&state.nodes[route_on(&state.ring, key)])
         };
         let deadline = self.rpc.read().deadline;
-        rpc::attempt_once(&node, deadline, None, f).map_err(|e| e.into_db(node.id))
+        maint_call(&node, deadline, f)
     }
 
-    /// Route `key` and run `f` on its owner with deadline, chaos, and the
-    /// retry policy applied. `idempotent` selects the retry rule (the
+    /// Route `key` and ship `req` to its owner with deadline, chaos, and
+    /// the retry policy applied. `idempotent` selects the retry rule (the
     /// ambiguous-write rule — see [`RetryPolicy`]). The owner is
     /// re-resolved before every attempt so a supervised restart between
     /// attempts heals the call.
-    fn routed<R: Send + 'static>(
-        &self,
-        key: &str,
-        idempotent: bool,
-        f: impl Fn(&ForkBase<S>) -> R + Clone + Send + 'static,
-    ) -> DbResult<R> {
+    fn routed(&self, key: &str, idempotent: bool, req: Request) -> DbResult<Reply> {
         let _gate = self.rebalance_gate.read();
         let rpc_cfg = self.rpc.read().clone();
         let chaos = self.chaos.read().clone();
@@ -519,46 +632,51 @@ impl<S: SweepStore + Send + 'static> Cluster<S> {
                 let state = self.state.read();
                 Arc::clone(&state.nodes[route_on(&state.ring, &key)])
             },
-            f,
+            req,
         )
     }
 
-    /// Dispatch `f` to **every** servelet concurrently and gather
+    /// Ship `req` to **every** servelet concurrently and gather
     /// per-servelet outcomes in slot order.
-    fn scatter_results<R: Send + 'static>(
-        &self,
-        f: impl Fn(&ForkBase<S>) -> R + Clone + Send + 'static,
-    ) -> Vec<(u64, Result<R, rpc::AttemptError>)> {
+    fn scatter_results(&self, req: &Request) -> Vec<(u64, rpc::Outcome)> {
         let _gate = self.rebalance_gate.read();
         let nodes = self.state.read().nodes.clone();
         let deadline = self.rpc.read().deadline;
         let chaos = self.chaos.read().clone();
-        rpc::scatter_nodes(&nodes, deadline, chaos.as_deref(), f)
+        rpc::scatter_nodes(&nodes, deadline, chaos.as_deref(), req)
     }
 
-    /// Strict scatter-gather: the first unreachable servelet fails the
-    /// whole call.
-    fn scatter<R: Send + 'static>(
+    /// Strict scatter-gather: the first unreachable servelet (or data
+    /// error) fails the whole call. `extract` pulls the typed payload out
+    /// of each reply.
+    fn scatter<R>(
         &self,
-        f: impl Fn(&ForkBase<S>) -> R + Clone + Send + 'static,
+        req: &Request,
+        extract: impl Fn(Reply) -> DbResult<R>,
     ) -> DbResult<Vec<(u64, R)>> {
-        self.scatter_results(f)
+        self.scatter_results(req)
             .into_iter()
-            .map(|(id, r)| r.map(|v| (id, v)).map_err(|e| e.into_db(id)))
+            .map(|(id, r)| match r {
+                Ok(reply) => Ok((id, extract(reply)?)),
+                Err(e) => Err(e.into_db(id)),
+            })
             .collect()
     }
 
     /// Degrading scatter-gather: unreachable servelets land in
-    /// [`Partial::degraded`] instead of failing the call.
-    fn scatter_partial<R: Send + 'static>(
+    /// [`Partial::degraded`] instead of failing the call. (The verbs
+    /// using this are infallible server-side, so an extraction failure —
+    /// a malformed or error reply — also degrades.)
+    fn scatter_partial<R>(
         &self,
-        f: impl Fn(&ForkBase<S>) -> R + Clone + Send + 'static,
+        req: &Request,
+        extract: impl Fn(Reply) -> DbResult<R>,
     ) -> Partial<R> {
         let mut partial = Partial::default();
-        for (id, r) in self.scatter_results(f) {
-            match r {
-                Ok(v) => partial.results.push((id, v)),
-                Err(_) => partial.degraded.push(id),
+        for (id, r) in self.scatter_results(req) {
+            match r.map(&extract) {
+                Ok(Ok(v)) => partial.results.push((id, v)),
+                Ok(Err(_)) | Err(_) => partial.degraded.push(id),
             }
         }
         partial
@@ -577,6 +695,12 @@ impl<S: SweepStore + Send + 'static> Cluster<S> {
                 .cloned()
                 .ok_or_else(|| DbError::InvalidInput(format!("no servelet at slot {slot}")))?
         };
+        if node.is_remote() {
+            return Err(DbError::InvalidInput(format!(
+                "servelet {} is a remote process: kill it at the OS level, not via the router",
+                node.id
+            )));
+        }
         shutdown_node(&node);
         self.health_records
             .lock()
@@ -595,8 +719,16 @@ impl<S: SweepStore + Send + 'static> Cluster<S> {
     /// [`DbError::ServeletUnavailable`] from a write means the commit
     /// *may or may not* have applied — re-read before re-issuing.
     pub fn put(&self, key: &str, value: Value, opts: PutOptions) -> DbResult<CommitResult> {
-        let owned = key.to_string();
-        self.routed(key, false, move |db| db.put(&owned, value.clone(), &opts))?
+        self.routed(
+            key,
+            false,
+            Request::Put {
+                key: key.to_string(),
+                value,
+                opts,
+            },
+        )?
+        .expect_commit()
     }
 
     /// `Put` a string value (cross-node safe: the value is built on the
@@ -617,19 +749,30 @@ impl<S: SweepStore + Send + 'static> Cluster<S> {
         content: Vec<u8>,
         opts: PutOptions,
     ) -> DbResult<CommitResult> {
-        let owned = key.to_string();
-        let content = Bytes::from(content);
-        self.routed(key, false, move |db| {
-            db.put_blob(&owned, content.clone(), &opts)
-        })?
+        self.routed(
+            key,
+            false,
+            Request::PutBlob {
+                key: key.to_string(),
+                content: Bytes::from(content),
+                opts,
+            },
+        )?
+        .expect_commit()
     }
 
     /// `Get` routed to the owning servelet (idempotent: retried per the
     /// cluster's [`RetryPolicy`]).
     pub fn get(&self, key: &str, branch: &str) -> DbResult<GetResult> {
-        let owned = key.to_string();
-        let branch = branch.to_string();
-        self.routed(key, true, move |db| db.get(&owned, &branch))?
+        self.routed(
+            key,
+            true,
+            Request::Get {
+                key: key.to_string(),
+                branch: branch.to_string(),
+            },
+        )?
+        .expect_get()
     }
 
     /// Start collecting a routed multi-key write batch (see
@@ -655,6 +798,9 @@ impl<S: SweepStore + Send + 'static> Cluster<S> {
         let mut out: Vec<Option<Uid>> = vec![None; pairs.len()];
         for (slot, group) in self.head_groups(pairs) {
             let indices: Vec<usize> = group.iter().map(|(i, _, _)| *i).collect();
+            let req = Request::Heads {
+                pairs: group.into_iter().map(|(_, k, b)| (k, b)).collect(),
+            };
             let uids = rpc::retry_loop(
                 &rpc_cfg,
                 chaos.as_deref(),
@@ -663,14 +809,9 @@ impl<S: SweepStore + Send + 'static> Cluster<S> {
                     let state = self.state.read();
                     Arc::clone(&state.nodes[slot])
                 },
-                move |db| {
-                    let refs: Vec<(&str, &str)> = group
-                        .iter()
-                        .map(|(_, k, b)| (k.as_str(), b.as_str()))
-                        .collect();
-                    db.heads(&refs)
-                },
-            )??;
+                req,
+            )?
+            .expect_uids()?;
             for (i, uid) in indices.into_iter().zip(uids) {
                 out[i] = Some(uid);
             }
@@ -695,6 +836,9 @@ impl<S: SweepStore + Send + 'static> Cluster<S> {
         };
         for (slot, group) in self.head_groups(pairs) {
             let indices: Vec<usize> = group.iter().map(|(i, _, _)| *i).collect();
+            let req = Request::Heads {
+                pairs: group.into_iter().map(|(_, k, b)| (k, b)).collect(),
+            };
             let result = rpc::retry_loop(
                 &rpc_cfg,
                 chaos.as_deref(),
@@ -703,21 +847,15 @@ impl<S: SweepStore + Send + 'static> Cluster<S> {
                     let state = self.state.read();
                     Arc::clone(&state.nodes[slot])
                 },
-                move |db| {
-                    let refs: Vec<(&str, &str)> = group
-                        .iter()
-                        .map(|(_, k, b)| (k.as_str(), b.as_str()))
-                        .collect();
-                    db.heads(&refs)
-                },
+                req,
             );
             match result {
-                Ok(Ok(uids)) => {
+                Ok(reply) => {
+                    let uids = reply.expect_uids()?;
                     for (i, uid) in indices.into_iter().zip(uids) {
                         out.heads[i] = Some(uid);
                     }
                 }
-                Ok(Err(e)) => return Err(e),
                 Err(
                     DbError::ServeletUnavailable { servelet }
                     | DbError::ServeletTimeout { servelet },
@@ -747,14 +885,14 @@ impl<S: SweepStore + Send + 'static> Cluster<S> {
     /// [`Self::stats_partial`] to degrade instead.
     pub fn stats(&self) -> DbResult<ClusterStat> {
         Ok(ClusterStat {
-            servelets: self.scatter(|db| db.stat())?,
+            servelets: self.scatter(&Request::Stat, Reply::expect_stat)?,
         })
     }
 
     /// Degrading [`Self::stats`]: statistics from every reachable
     /// servelet plus the set of unreachable ones.
     pub fn stats_partial(&self) -> Partial<DbStat> {
-        self.scatter_partial(|db| db.stat())
+        self.scatter_partial(&Request::Stat, Reply::expect_stat)
     }
 
     /// Snapshot-backed routed range scan: one bounded page of map entries
@@ -769,36 +907,18 @@ impl<S: SweepStore + Send + 'static> Cluster<S> {
         end: Option<Bytes>,
         limit: usize,
     ) -> DbResult<MapPage> {
-        use std::ops::Bound;
-        let owned = key.to_string();
-        let branch = branch.to_string();
-        self.routed(key, true, move |db| {
-            let snap = db.snapshot(&owned, &VersionSpec::Branch(branch.clone()))?;
-            let start_bound = match &start {
-                Some(s) => Bound::Included(s.as_ref()),
-                None => Bound::Unbounded,
-            };
-            let end_bound = match &end {
-                Some(e) => Bound::Excluded(e.as_ref()),
-                None => Bound::Unbounded,
-            };
-            let mut range = snap.map_range::<&[u8], _>((start_bound, end_bound))?;
-            let mut entries = Vec::new();
-            let mut truncated = false;
-            for item in &mut range {
-                let (k, v) = item?;
-                if entries.len() == limit {
-                    truncated = true;
-                    break;
-                }
-                entries.push((k, v));
-            }
-            Ok(MapPage {
-                entries,
-                truncated,
-                version: snap.uid(),
-            })
-        })?
+        self.routed(
+            key,
+            true,
+            Request::MapRange {
+                key: key.to_string(),
+                branch: branch.to_string(),
+                start,
+                end,
+                limit: limit as u64,
+            },
+        )?
+        .expect_page()
     }
 
     /// Degrading [`Self::map_range`]: an unreachable owner yields an
@@ -833,7 +953,7 @@ impl<S: SweepStore + Send + 'static> Cluster<S> {
     /// [`Self::list_keys_partial`] to degrade instead.
     pub fn list_keys(&self) -> DbResult<Vec<String>> {
         let mut keys: Vec<String> = self
-            .scatter(|db| db.list_keys())?
+            .scatter(&Request::ListKeys, Reply::expect_keys)?
             .into_iter()
             .flat_map(|(_, k)| k)
             .collect();
@@ -845,13 +965,13 @@ impl<S: SweepStore + Send + 'static> Cluster<S> {
     /// Degrading [`Self::list_keys`]: per-servelet key lists from every
     /// reachable servelet plus the set of unreachable ones.
     pub fn list_keys_partial(&self) -> Partial<Vec<String>> {
-        self.scatter_partial(|db| db.list_keys())
+        self.scatter_partial(&Request::ListKeys, Reply::expect_keys)
     }
 
     /// Aggregate stored chunk-payload bytes across servelets.
     pub fn total_stored_bytes(&self) -> DbResult<u64> {
         Ok(self
-            .scatter(|db| forkbase_store::ChunkStore::stored_bytes(db.store()))?
+            .scatter(&Request::StoredBytes, Reply::expect_count)?
             .into_iter()
             .map(|(_, b)| b)
             .sum())
@@ -860,9 +980,9 @@ impl<S: SweepStore + Send + 'static> Cluster<S> {
     /// Distribution of keys per servelet slot (for balance checks).
     pub fn key_distribution(&self) -> DbResult<Vec<usize>> {
         Ok(self
-            .scatter(|db| db.list_keys().len())?
+            .scatter(&Request::ListKeys, Reply::expect_keys)?
             .into_iter()
-            .map(|(_, n)| n)
+            .map(|(_, k)| k.len())
             .collect())
     }
 
@@ -873,10 +993,9 @@ impl<S: SweepStore + Send + 'static> Cluster<S> {
     /// GC failure on a *reachable* servelet still fails the call.
     pub fn gc(&self) -> DbResult<ClusterGcReport> {
         let mut out = ClusterGcReport::default();
-        for (id, r) in self.scatter_results(|db| db.gc()) {
+        for (id, r) in self.scatter_results(&Request::Gc) {
             match r {
-                Ok(Ok(report)) => out.reports.push((id, report)),
-                Ok(Err(e)) => return Err(e),
+                Ok(reply) => out.reports.push((id, reply.expect_gc()?)),
                 Err(_) => out.degraded.push(id),
             }
         }
@@ -903,6 +1022,37 @@ impl<S: SweepStore + Send + 'static> Cluster<S> {
         let deadline = self.rpc.read().control_deadline;
         let id = self.next_id.fetch_add(1, Ordering::Relaxed);
         let node = spawn_node(id, store, self.cfg);
+        let (old_nodes, old_ring, new_ring) = {
+            let state = self.state.read();
+            let mut ids: Vec<u64> = state.nodes.iter().map(|n| n.id).collect();
+            ids.push(id);
+            (state.nodes.clone(), state.ring.clone(), build_ring(&ids))
+        };
+        let mut all_nodes = old_nodes;
+        all_nodes.push(Arc::clone(&node));
+        let plan = plan_and_copy(&all_nodes, &old_ring, &new_ring, deadline)?;
+        {
+            let mut state = self.state.write();
+            state.nodes.push(node);
+            state.ring = new_ring;
+        }
+        cutover(&all_nodes, plan, deadline)?;
+        Ok(id)
+    }
+
+    /// [`Self::add_servelet`] for a **remote** servelet process already
+    /// listening on `addr` (see `forkbase serve --servelet`). The same
+    /// migration runs, with every copy crossing the wire as serialized
+    /// control-plane requests. The process must be empty or hold only
+    /// keys it will own — imports collide with pre-existing copies the
+    /// same way they would in process.
+    pub fn add_remote_servelet(&self, addr: impl Into<String>) -> DbResult<u64> {
+        let _gate = self.rebalance_gate.write();
+        let deadline = self.rpc.read().control_deadline;
+        let id = self.next_id.fetch_add(1, Ordering::Relaxed);
+        let node = remote_node(id, addr.into());
+        // Fail fast if nobody is listening, before any state changes.
+        call_control(&node, self.rpc.read().probe_deadline, Request::Probe)?.expect_unit()?;
         let (old_nodes, old_ring, new_ring) = {
             let state = self.state.read();
             let mut ids: Vec<u64> = state.nodes.iter().map(|n| n.id).collect();
@@ -1096,7 +1246,17 @@ impl<S: SweepStore + Send + 'static> ClusterWriteBatch<'_, S> {
         // a prefix of slots committed (documented above).
         for (slot, group) in groups {
             let indices: Vec<usize> = group.iter().map(|(i, _)| *i).collect();
-            let ops: Vec<ClusterOp> = group.into_iter().map(|(_, op)| op).collect();
+            let ops: Vec<WireOp> = group
+                .into_iter()
+                .map(|(_, op)| match op {
+                    ClusterOp::Put { key, value, opts } => WireOp::Put {
+                        key,
+                        value,
+                        opts: (*opts).clone(),
+                    },
+                    ClusterOp::DeleteBranch { key, branch } => WireOp::DeleteBranch { key, branch },
+                })
+                .collect();
             let outcomes = rpc::retry_loop(
                 &rpc_cfg,
                 chaos.as_deref(),
@@ -1105,21 +1265,9 @@ impl<S: SweepStore + Send + 'static> ClusterWriteBatch<'_, S> {
                     let state = cluster.state.read();
                     Arc::clone(&state.nodes[slot])
                 },
-                move |db| {
-                    let mut wb = db.write_batch();
-                    for op in ops.iter().cloned() {
-                        match op {
-                            ClusterOp::Put { key, value, opts } => {
-                                wb.put(key, value, &opts);
-                            }
-                            ClusterOp::DeleteBranch { key, branch } => {
-                                wb.delete_branch(key, branch);
-                            }
-                        }
-                    }
-                    wb.commit()
-                },
-            )??;
+                Request::Batch { ops },
+            )?
+            .expect_outcomes()?;
             for (i, outcome) in indices.into_iter().zip(outcomes) {
                 out[i] = Some(outcome);
             }
@@ -1135,12 +1283,10 @@ impl<S> Drop for Cluster<S> {
     fn drop(&mut self) {
         let nodes = std::mem::take(&mut self.state.get_mut().nodes);
         for node in &nodes {
-            let _ = node.tx.send(rpc::Msg::Shutdown);
+            node.transport.signal_shutdown();
         }
         for node in &nodes {
-            if let Some(h) = node.handle.lock().take() {
-                let _ = h.join();
-            }
+            node.transport.join();
         }
     }
 }
@@ -1231,7 +1377,7 @@ fn plan_and_copy<S: SweepStore + Send + 'static>(
     // the authoritative copy travels, every other copy is stale.
     let mut holders: BTreeMap<String, Vec<usize>> = BTreeMap::new();
     for (slot, node) in nodes.iter().enumerate() {
-        for key in call_control(node, deadline, |db| db.list_keys())? {
+        for key in call_control(node, deadline, Request::ListKeys)?.expect_keys()? {
             holders.entry(key).or_default().push(slot);
         }
     }
@@ -1275,25 +1421,20 @@ fn plan_and_copy<S: SweepStore + Send + 'static>(
 
     // Copy phase.
     for (slot, keys) in pre_forgets {
-        call_control(&nodes[slot], deadline, move |db| {
-            for key in &keys {
-                db.forget_key(key);
-            }
-        })?;
+        call_control(&nodes[slot], deadline, Request::ForgetKeys { keys })?.expect_unit()?;
     }
     let mut imported: Vec<(usize, Vec<String>)> = Vec::new();
     let copied = (|| -> DbResult<()> {
         for ((src, dst), keys) in &moves {
-            let export_keys = keys.clone();
-            let bundle = call_control(&nodes[*src], deadline, move |db| {
-                let mut buf = Vec::new();
-                export_bundle_keys(db, &export_keys, &mut buf)?;
-                Ok::<_, DbError>(buf)
-            })??;
+            let bundle = call_control(
+                &nodes[*src],
+                deadline,
+                Request::ExportBundle { keys: keys.clone() },
+            )?
+            .expect_blob()?;
             imported.push((*dst, keys.clone()));
-            call_control(&nodes[*dst], deadline, move |db| {
-                import_bundle(db, &mut bundle.as_slice()).map(|_| ())
-            })??;
+            call_control(&nodes[*dst], deadline, Request::ImportBundle { bundle })?
+                .expect_unit()?;
         }
         Ok(())
     })();
@@ -1302,11 +1443,7 @@ fn plan_and_copy<S: SweepStore + Send + 'static>(
         // (they held nothing unique) — the authoritative copies are all
         // still in place, so placement is unchanged.
         for (dst, keys) in imported {
-            let _ = call_control(&nodes[dst], deadline, move |db| {
-                for key in &keys {
-                    db.forget_key(key);
-                }
-            });
+            let _ = call_control(&nodes[dst], deadline, Request::ForgetKeys { keys });
         }
         return Err(e);
     }
@@ -1327,11 +1464,7 @@ fn cutover<S: SweepStore + Send + 'static>(
     deadline: std::time::Duration,
 ) -> DbResult<()> {
     for (src, keys) in plan.forgets {
-        call_control(&nodes[src], deadline, move |db| {
-            for key in &keys {
-                db.forget_key(key);
-            }
-        })?;
+        call_control(&nodes[src], deadline, Request::ForgetKeys { keys })?.expect_unit()?;
     }
     Ok(())
 }

@@ -1,0 +1,291 @@
+//! The TCP leg of the cluster: a standalone servelet server and the
+//! client used by the TCP transport in `super::rpc`.
+//!
+//! One request/reply exchange per frame, any number of frames per
+//! connection; the router opens one connection per attempt. The server
+//! executes every request through [`wire::dispatch`] — the same function
+//! the in-process transport uses — so a verb behaves identically no
+//! matter how it arrived.
+//!
+//! # Durability contract
+//!
+//! A servelet acks a mutating request only **after** its persist hook
+//! ran (chunk-store sync + durable refs write). If the process dies
+//! between applying a write and acking it, the client observes an
+//! ambiguous outcome and never blind-retries — but an *acked* write is
+//! on disk and survives the kill. This is what the CI `net` job proves
+//! end to end.
+
+use std::io::Write;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use forkbase_store::SweepStore;
+use parking_lot::Mutex;
+
+use crate::db::ForkBase;
+use crate::error::{DbError, DbResult};
+
+use super::rpc::AttemptError;
+use super::wire::{self, FrameError, Reply, Request, WireError};
+
+/// Runs after every mutating request, before the ack: make the applied
+/// state durable (sync the store, persist the branch heads).
+pub type PersistFn<S> = Arc<dyn Fn(&ForkBase<S>) -> DbResult<()> + Send + Sync>;
+
+/// A standalone servelet: a TCP listener executing wire requests against
+/// one `ForkBase`.
+pub struct ServeletServer {
+    local_addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    handle: Mutex<Option<std::thread::JoinHandle<()>>>,
+}
+
+impl ServeletServer {
+    /// Bind `addr` and serve `db` until [`Self::stop`]. `persist`, when
+    /// given, runs after every mutating request before the reply is
+    /// written — the ack-implies-durable contract.
+    pub fn spawn<S: SweepStore + Send + Sync + 'static>(
+        addr: &str,
+        db: Arc<ForkBase<S>>,
+        persist: Option<PersistFn<S>>,
+    ) -> DbResult<ServeletServer> {
+        let listener = TcpListener::bind(addr)
+            .map_err(|e| DbError::InvalidInput(format!("bind {addr}: {e}")))?;
+        let local_addr = listener
+            .local_addr()
+            .map_err(|e| DbError::InvalidInput(format!("local_addr: {e}")))?;
+        listener
+            .set_nonblocking(true)
+            .map_err(|e| DbError::InvalidInput(format!("set_nonblocking: {e}")))?;
+        let stop = Arc::new(AtomicBool::new(false));
+        let stop_flag = stop.clone();
+        let handle = std::thread::spawn(move || {
+            accept_loop(listener, db, persist, stop_flag);
+        });
+        Ok(ServeletServer {
+            local_addr,
+            stop,
+            handle: Mutex::new(Some(handle)),
+        })
+    }
+
+    /// The bound address (resolves port 0 to the actual port).
+    pub fn addr(&self) -> SocketAddr {
+        self.local_addr
+    }
+
+    /// Stop accepting and drop the listener; in-flight requests on
+    /// already-accepted connections finish. New connects are refused —
+    /// to a router this servelet is now unavailable.
+    pub fn stop(&self) {
+        self.stop.store(true, Ordering::SeqCst);
+        if let Some(h) = self.handle.lock().take() {
+            let _ = h.join();
+        }
+    }
+}
+
+impl Drop for ServeletServer {
+    fn drop(&mut self) {
+        self.stop();
+    }
+}
+
+fn accept_loop<S: SweepStore + Send + Sync + 'static>(
+    listener: TcpListener,
+    db: Arc<ForkBase<S>>,
+    persist: Option<PersistFn<S>>,
+    stop: Arc<AtomicBool>,
+) {
+    while !stop.load(Ordering::SeqCst) {
+        match listener.accept() {
+            Ok((conn, _peer)) => {
+                let db = db.clone();
+                let persist = persist.clone();
+                std::thread::spawn(move || serve_conn(conn, &db, persist.as_ref()));
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                std::thread::sleep(Duration::from_millis(5));
+            }
+            Err(_) => std::thread::sleep(Duration::from_millis(5)),
+        }
+    }
+}
+
+fn serve_conn<S: SweepStore>(
+    mut conn: TcpStream,
+    db: &ForkBase<S>,
+    persist: Option<&PersistFn<S>>,
+) {
+    // The listener was nonblocking; the exchange below must block.
+    if conn.set_nonblocking(false).is_err() {
+        return;
+    }
+    let _ = conn.set_nodelay(true);
+    // A dead client must not pin this thread forever between frames.
+    let _ = conn.set_read_timeout(Some(Duration::from_secs(60)));
+    loop {
+        let req = match wire::read_frame(&mut conn) {
+            Ok(body) => match Request::decode(&body) {
+                Ok(req) => req,
+                Err(e) => {
+                    // Well-framed garbage gets a structured error back.
+                    let reply = Reply::Err(WireError::from(&e));
+                    let _ = conn.write_all(&wire::encode_frame(&reply.encode()));
+                    return;
+                }
+            },
+            // EOF, timeout, torn frame, bad CRC, version skew: drop the
+            // connection. The client maps this to an ambiguous outcome.
+            Err(_) => return,
+        };
+        let mutating = wire::mutates(&req);
+        let mut reply = wire::dispatch(db, req);
+        if mutating && !matches!(reply, Reply::Err(_)) {
+            if let Some(persist) = persist {
+                // Never ack a write that is not durable: a failed persist
+                // downgrades the reply to the persist error.
+                if let Err(e) = persist(db) {
+                    reply = Reply::Err(WireError::from(&e));
+                }
+            }
+        }
+        if conn
+            .write_all(&wire::encode_frame(&reply.encode()))
+            .and_then(|_| conn.flush())
+            .is_err()
+        {
+            return;
+        }
+    }
+}
+
+/// One client call: connect, send `req`, await the reply. The error
+/// mapping implements the transport-boundary idempotence rules:
+///
+/// * connect failure (refused, unreachable, bad address) — the request
+///   never left this process: [`AttemptError::NotDelivered`], safe to
+///   retry even for writes;
+/// * failure after the request (or part of it) was written — ambiguous:
+///   [`AttemptError::DiedAfterDelivery`];
+/// * read timeout waiting for the reply — ambiguous:
+///   [`AttemptError::TimedOut`]; the servelet may still apply it.
+pub(super) fn remote_call(
+    addr: &str,
+    req: &Request,
+    deadline: Duration,
+) -> Result<Reply, AttemptError> {
+    let sock: SocketAddr = addr.parse().map_err(|_| AttemptError::NotDelivered)?;
+    // Zero would mean "no timeout" to the socket APIs; clamp up.
+    let deadline = deadline.max(Duration::from_millis(1));
+    let mut conn =
+        TcpStream::connect_timeout(&sock, deadline).map_err(|_| AttemptError::NotDelivered)?;
+    let _ = conn.set_nodelay(true);
+    let _ = conn.set_write_timeout(Some(deadline));
+    let _ = conn.set_read_timeout(Some(deadline));
+    let frame = wire::encode_frame(&req.encode());
+    if conn.write_all(&frame).and_then(|_| conn.flush()).is_err() {
+        // Bytes may have partially left the process.
+        return Err(AttemptError::DiedAfterDelivery);
+    }
+    match wire::read_frame(&mut conn) {
+        Ok(body) => Reply::decode(&body).map_err(|_| AttemptError::DiedAfterDelivery),
+        Err(FrameError::Io(e))
+            if e.kind() == std::io::ErrorKind::WouldBlock
+                || e.kind() == std::io::ErrorKind::TimedOut =>
+        {
+            Err(AttemptError::TimedOut)
+        }
+        Err(_) => Err(AttemptError::DiedAfterDelivery),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use forkbase_store::MemStore;
+    use forkbase_types::Value;
+
+    use crate::api::PutOptions;
+
+    fn server() -> (ServeletServer, Arc<ForkBase<MemStore>>) {
+        let db = Arc::new(ForkBase::new(MemStore::new()));
+        let srv = ServeletServer::spawn("127.0.0.1:0", db.clone(), None).unwrap();
+        (srv, db)
+    }
+
+    #[test]
+    fn put_then_get_over_tcp() {
+        let (srv, _db) = server();
+        let addr = srv.addr().to_string();
+        let deadline = Duration::from_secs(5);
+        let reply = remote_call(
+            &addr,
+            &Request::Put {
+                key: "k".into(),
+                value: Value::string("v"),
+                opts: PutOptions::default(),
+            },
+            deadline,
+        )
+        .unwrap();
+        let commit = reply.expect_commit().unwrap();
+        let got = remote_call(
+            &addr,
+            &Request::Get {
+                key: "k".into(),
+                branch: "master".into(),
+            },
+            deadline,
+        )
+        .unwrap()
+        .expect_get()
+        .unwrap();
+        assert_eq!(got.value, Value::string("v"));
+        assert_eq!(got.uid, commit.uid);
+        // Data errors cross the wire as structured errors.
+        let err = remote_call(
+            &addr,
+            &Request::Get {
+                key: "missing".into(),
+                branch: "master".into(),
+            },
+            deadline,
+        )
+        .unwrap()
+        .expect_get()
+        .unwrap_err();
+        assert_eq!(err.code(), "no_such_key");
+        srv.stop();
+        // After stop the listener is gone: connection refused, never
+        // delivered.
+        assert_eq!(
+            remote_call(&addr, &Request::Probe, Duration::from_millis(500)).unwrap_err(),
+            AttemptError::NotDelivered
+        );
+    }
+
+    #[test]
+    fn server_survives_garbage_and_hostile_length_prefixes() {
+        use std::io::Read;
+        let (srv, _db) = server();
+        let addr = srv.addr();
+        // Raw garbage: server drops the connection without panicking.
+        let mut conn = TcpStream::connect(addr).unwrap();
+        conn.write_all(b"GET / HTTP/1.1\r\n\r\n").unwrap();
+        let mut sink = Vec::new();
+        let _ = conn.read_to_end(&mut sink);
+        // Hostile length prefix: rejected at the framing layer.
+        let mut conn = TcpStream::connect(addr).unwrap();
+        conn.write_all(&u32::MAX.to_le_bytes()).unwrap();
+        let mut sink = Vec::new();
+        let _ = conn.read_to_end(&mut sink);
+        // The server still serves real clients afterwards.
+        let reply =
+            remote_call(&addr.to_string(), &Request::Probe, Duration::from_secs(5)).unwrap();
+        assert_eq!(reply, Reply::Unit);
+    }
+}

@@ -20,6 +20,7 @@ use forkbase_store::SweepStore;
 use crate::error::{DbError, DbResult};
 
 use super::rpc::{call_control, shutdown_node, spawn_node};
+use super::wire::{Reply, Request};
 use super::Cluster;
 
 /// Liveness of one servelet as seen by the supervisor.
@@ -80,6 +81,15 @@ pub struct Respawned<S> {
 
 pub(super) type RespawnFn<S> = Arc<dyn Fn(u64) -> DbResult<Respawned<S>> + Send + Sync>;
 
+/// Hook that re-launches a crashed **remote** servelet process
+/// ([`Cluster::set_remote_respawn`]). Called with the servelet's stable
+/// id and address; it should get a process listening on that address
+/// again (e.g. re-exec `forkbase serve --servelet ADDR --data DIR` — the
+/// reopened `FileStore` recovers its packs and refs itself). The
+/// supervisor then polls the probe until the servelet answers or the
+/// control deadline expires.
+pub type RemoteRespawnFn = Arc<dyn Fn(u64, &str) -> DbResult<()> + Send + Sync>;
+
 /// Outcome of one supervision pass ([`Cluster::supervise_once`]).
 #[derive(Clone, Debug, Default, PartialEq, Eq)]
 pub struct SupervisionReport {
@@ -99,6 +109,19 @@ impl<S: SweepStore + Send + 'static> Cluster<S> {
     /// persists refs should install a factory that returns them.
     pub fn set_respawn(&self, f: impl Fn(u64) -> DbResult<Respawned<S>> + Send + Sync + 'static) {
         *self.respawn.write() = Some(Arc::new(f));
+    }
+
+    /// Install the hook used to restart crashed **remote** servelets
+    /// (entries routed over TCP). The hook must get a process listening
+    /// on the servelet's address again; the supervisor then waits for the
+    /// probe to answer. Without a hook, remote restarts fail with
+    /// [`DbError::InvalidInput`] — the router cannot exec processes on
+    /// other machines by itself.
+    pub fn set_remote_respawn(
+        &self,
+        f: impl Fn(u64, &str) -> DbResult<()> + Send + Sync + 'static,
+    ) {
+        *self.remote_respawn.write() = Some(Arc::new(f));
     }
 
     /// Probe every servelet (short control-plane ping, exempt from chaos)
@@ -128,7 +151,7 @@ impl<S: SweepStore + Send + 'static> Cluster<S> {
                 });
                 continue;
             }
-            match call_control(&node, probe, |_db| ()) {
+            match call_control(&node, probe, Request::Probe).and_then(Reply::expect_unit) {
                 Ok(()) => {
                     let mut recs = self.health_records.lock();
                     let rec = recs.entry(node.id).or_default();
@@ -175,11 +198,6 @@ impl<S: SweepStore + Send + 'static> Cluster<S> {
         // restart never interleaves with a migration's node traffic.
         let _restart = self.restart_lock.lock();
         let _gate = self.rebalance_gate.read();
-        let respawn = self.respawn.read().clone().ok_or_else(|| {
-            DbError::InvalidInput(format!(
-                "cannot restart servelet {id}: no respawn factory installed (Cluster::set_respawn)"
-            ))
-        })?;
         let old = {
             let state = self.state.read();
             state
@@ -193,31 +211,69 @@ impl<S: SweepStore + Send + 'static> Cluster<S> {
             let mut recs = self.health_records.lock();
             recs.entry(id).or_default().restarting = true;
         }
-        let result = (|| {
-            // Join first: drops the old worker's ForkBase and store,
-            // releasing e.g. FileStore's advisory lock before reopen.
-            shutdown_node(&old);
-            let Respawned { store, refs } = respawn(id)?;
-            let node = spawn_node(id, store, self.cfg);
-            if let Some(refs) = refs {
-                let deadline = self.rpc.read().control_deadline;
-                call_control(&node, deadline, move |db| db.load_refs(&refs))??;
-            }
-            let mut state = self.state.write();
-            match state.nodes.iter().position(|n| n.id == id) {
-                Some(slot) => {
-                    state.nodes[slot] = node;
-                    Ok(())
+        let result = if let Some(addr) = old.addr().map(str::to_string) {
+            // Remote servelet: ask the installed hook to re-launch the
+            // process, then wait until its probe answers. The node itself
+            // is kept — it addresses the same endpoint.
+            (|| {
+                let hook = self.remote_respawn.read().clone().ok_or_else(|| {
+                    DbError::InvalidInput(format!(
+                        "cannot restart remote servelet {id} ({addr}): no remote respawn \
+                         hook installed (Cluster::set_remote_respawn)"
+                    ))
+                })?;
+                hook(id, &addr)?;
+                let (probe, deadline) = {
+                    let rpc = self.rpc.read();
+                    (rpc.probe_deadline, rpc.control_deadline)
+                };
+                let give_up = std::time::Instant::now() + deadline;
+                loop {
+                    match call_control(&old, probe, Request::Probe).and_then(Reply::expect_unit) {
+                        Ok(()) => return Ok(()),
+                        Err(e) if std::time::Instant::now() >= give_up => {
+                            return Err(DbError::InvalidInput(format!(
+                                "remote servelet {id} ({addr}) did not come back within \
+                                 the control deadline: {e}"
+                            )))
+                        }
+                        Err(_) => std::thread::sleep(Duration::from_millis(50)),
+                    }
                 }
-                None => {
-                    drop(state);
-                    shutdown_node(&node);
-                    Err(DbError::InvalidInput(format!(
-                        "servelet {id} was removed during restart"
-                    )))
+            })()
+        } else {
+            (|| {
+                let respawn = self.respawn.read().clone().ok_or_else(|| {
+                    DbError::InvalidInput(format!(
+                        "cannot restart servelet {id}: no respawn factory installed \
+                         (Cluster::set_respawn)"
+                    ))
+                })?;
+                // Join first: drops the old worker's ForkBase and store,
+                // releasing e.g. FileStore's advisory lock before reopen.
+                shutdown_node(&old);
+                let Respawned { store, refs } = respawn(id)?;
+                let node = spawn_node(id, store, self.cfg);
+                if let Some(refs) = refs {
+                    let deadline = self.rpc.read().control_deadline;
+                    call_control(&node, deadline, Request::LoadRefs { refs })?.expect_unit()?;
                 }
-            }
-        })();
+                let mut state = self.state.write();
+                match state.nodes.iter().position(|n| n.id == id) {
+                    Some(slot) => {
+                        state.nodes[slot] = node;
+                        Ok(())
+                    }
+                    None => {
+                        drop(state);
+                        shutdown_node(&node);
+                        Err(DbError::InvalidInput(format!(
+                            "servelet {id} was removed during restart"
+                        )))
+                    }
+                }
+            })()
+        };
         let mut recs = self.health_records.lock();
         let rec = recs.entry(id).or_default();
         rec.restarting = false;

@@ -1,0 +1,1712 @@
+//! The serializable RPC surface and versioned wire format of the cluster.
+//!
+//! Every routed verb and every control-plane verb (probe, migration
+//! export/import, refs restore) is a [`Request`] variant with a stable
+//! one-byte tag; every answer is a [`Reply`]. The same
+//! [`dispatch`] function executes a request against a servelet's
+//! [`ForkBase`] whether the request arrived over the in-process channel
+//! transport or over TCP — the two transports differ only in how bytes
+//! move, never in what a verb does.
+//!
+//! # Frame layout (`PROTOCOL.md` is the normative spec)
+//!
+//! ```text
+//! frame := len(u32 LE) || version(u8) || body || crc32(u32 LE)
+//! ```
+//!
+//! * `len` counts everything after itself: `1 + body.len() + 4`.
+//! * `version` is [`WIRE_VERSION`]; a peer speaking another version is
+//!   rejected before the body is parsed.
+//! * `crc32` (same IEEE polynomial as the segment files) covers
+//!   `version || body`, so torn writes and bit-rot are detected at the
+//!   framing layer — the same defense-in-depth split the chunk store
+//!   uses (CRC for framing, SHA-256 for end-to-end content).
+//! * `len` is capped at [`MAX_FRAME_LEN`] and the reader allocates
+//!   proportionally to bytes actually received, so a hostile length
+//!   prefix cannot OOM a servelet.
+//!
+//! # Stability
+//!
+//! Tags, field order, and integer endianness are **frozen wire format**:
+//! changing any of them is a protocol break and must bump
+//! [`WIRE_VERSION`]. The golden-bytes tests at the bottom of this file
+//! pin the encoding; an accidental re-tag fails the build, not a
+//! production handshake.
+
+use std::io::Read;
+
+use bytes::Bytes;
+use forkbase_crypto::hash::HASH_LEN;
+use forkbase_crypto::Hash;
+use forkbase_store::crc::crc32;
+use forkbase_store::{ChunkStore, SweepStore};
+use forkbase_types::Value;
+
+use crate::api::{BatchOutcome, CommitResult, DbStat, GetResult, PutOptions, VersionSpec};
+use crate::bundle::{export_bundle_keys, import_bundle};
+use crate::db::ForkBase;
+use crate::error::{DbError, DbResult};
+use crate::fnode::Uid;
+use crate::gc::GcReport;
+
+use super::MapPage;
+
+/// The wire protocol version this build speaks.
+pub const WIRE_VERSION: u8 = 1;
+
+/// Upper bound on one frame's `len` field (version + body + CRC).
+/// Migration bundles are the largest payloads; 256 MiB comfortably holds
+/// any bundle this codebase produces while bounding what a hostile peer
+/// can make a servelet allocate.
+pub const MAX_FRAME_LEN: u32 = 256 * 1024 * 1024;
+
+// ----------------------------------------------------------------------
+// Frame codec
+// ----------------------------------------------------------------------
+
+/// Why a frame failed to decode.
+#[derive(Debug)]
+pub enum FrameError {
+    /// The underlying read failed (includes timeouts — inspect the
+    /// wrapped error's [`std::io::Error::kind`]).
+    Io(std::io::Error),
+    /// The stream ended mid-frame.
+    Torn,
+    /// The length prefix exceeds [`MAX_FRAME_LEN`].
+    TooLarge(u32),
+    /// The CRC tail does not match the received bytes.
+    BadCrc,
+    /// The peer speaks a different protocol version.
+    BadVersion(u8),
+}
+
+impl std::fmt::Display for FrameError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FrameError::Io(e) => write!(f, "frame i/o error: {e}"),
+            FrameError::Torn => write!(f, "torn frame: stream ended mid-frame"),
+            FrameError::TooLarge(n) => {
+                write!(f, "frame length {n} exceeds the {MAX_FRAME_LEN}-byte cap")
+            }
+            FrameError::BadCrc => write!(f, "frame CRC mismatch"),
+            FrameError::BadVersion(v) => {
+                write!(
+                    f,
+                    "peer speaks wire version {v}, this build speaks {WIRE_VERSION}"
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for FrameError {}
+
+/// Encode `body` as one wire frame.
+pub fn encode_frame(body: &[u8]) -> Vec<u8> {
+    let len = 1 + body.len() + 4;
+    assert!(len <= MAX_FRAME_LEN as usize, "frame body too large");
+    let mut out = Vec::with_capacity(4 + len);
+    out.extend_from_slice(&(len as u32).to_le_bytes());
+    out.push(WIRE_VERSION);
+    out.extend_from_slice(body);
+    let crc = crc32(&out[4..]);
+    out.extend_from_slice(&crc.to_le_bytes());
+    out
+}
+
+/// Read one frame from `r`, returning the body (version and CRC already
+/// validated and stripped).
+///
+/// Allocation is bounded: the length prefix is checked against
+/// [`MAX_FRAME_LEN`] before any allocation, and the buffer grows with
+/// bytes actually received (via [`Read::take`]), so a hostile peer
+/// cannot force a large allocation by sending a large prefix alone.
+pub fn read_frame(r: &mut impl Read) -> Result<Vec<u8>, FrameError> {
+    let mut len_buf = [0u8; 4];
+    read_exact_or_torn(r, &mut len_buf)?;
+    let len = u32::from_le_bytes(len_buf);
+    if len > MAX_FRAME_LEN {
+        return Err(FrameError::TooLarge(len));
+    }
+    if len < 5 {
+        // version + at least an empty body + crc
+        return Err(FrameError::Torn);
+    }
+    let mut buf = Vec::with_capacity((len as usize).min(64 * 1024));
+    let got = r
+        .take(u64::from(len))
+        .read_to_end(&mut buf)
+        .map_err(FrameError::Io)?;
+    if got != len as usize {
+        return Err(FrameError::Torn);
+    }
+    let (payload, crc_tail) = buf.split_at(buf.len() - 4);
+    let want = u32::from_le_bytes(crc_tail.try_into().expect("4 bytes"));
+    if crc32(payload) != want {
+        return Err(FrameError::BadCrc);
+    }
+    if payload[0] != WIRE_VERSION {
+        return Err(FrameError::BadVersion(payload[0]));
+    }
+    buf.truncate(buf.len() - 4);
+    buf.remove(0);
+    Ok(buf)
+}
+
+fn read_exact_or_torn(r: &mut impl Read, buf: &mut [u8]) -> Result<(), FrameError> {
+    let mut filled = 0;
+    while filled < buf.len() {
+        match r.read(&mut buf[filled..]) {
+            Ok(0) => return Err(FrameError::Torn),
+            Ok(n) => filled += n,
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+            Err(e) => return Err(FrameError::Io(e)),
+        }
+    }
+    Ok(())
+}
+
+// ----------------------------------------------------------------------
+// Body primitives
+// ----------------------------------------------------------------------
+
+fn put_u32(out: &mut Vec<u8>, v: u32) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_u64(out: &mut Vec<u8>, v: u64) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_bytes(out: &mut Vec<u8>, b: &[u8]) {
+    put_u32(out, b.len() as u32);
+    out.extend_from_slice(b);
+}
+
+fn put_str(out: &mut Vec<u8>, s: &str) {
+    put_bytes(out, s.as_bytes());
+}
+
+fn put_bool(out: &mut Vec<u8>, b: bool) {
+    out.push(u8::from(b));
+}
+
+fn put_hash(out: &mut Vec<u8>, h: &Hash) {
+    out.extend_from_slice(h.as_bytes());
+}
+
+fn put_opt_bytes(out: &mut Vec<u8>, b: &Option<Bytes>) {
+    match b {
+        None => out.push(0),
+        Some(b) => {
+            out.push(1);
+            put_bytes(out, b);
+        }
+    }
+}
+
+fn put_value(out: &mut Vec<u8>, v: &Value) {
+    put_bytes(out, &v.encode());
+}
+
+fn put_opts(out: &mut Vec<u8>, o: &PutOptions) {
+    put_str(out, &o.branch);
+    put_str(out, &o.author);
+    put_str(out, &o.message);
+}
+
+/// A bounds-checked reader over a fully received frame body. Every
+/// length is validated against the remaining buffer before use, so no
+/// decode allocates beyond the frame it was handed.
+struct Rd<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Rd<'a> {
+    fn new(buf: &'a [u8]) -> Self {
+        Rd { buf, pos: 0 }
+    }
+
+    fn err(what: &str) -> DbError {
+        DbError::InvalidInput(format!("wire decode: {what}"))
+    }
+
+    fn take(&mut self, n: usize) -> DbResult<&'a [u8]> {
+        if self.buf.len() - self.pos < n {
+            return Err(Self::err("truncated body"));
+        }
+        let s = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+
+    fn u8(&mut self) -> DbResult<u8> {
+        Ok(self.take(1)?[0])
+    }
+
+    fn u32(&mut self) -> DbResult<u32> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().expect("4")))
+    }
+
+    fn u64(&mut self) -> DbResult<u64> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().expect("8")))
+    }
+
+    fn bool(&mut self) -> DbResult<bool> {
+        match self.u8()? {
+            0 => Ok(false),
+            1 => Ok(true),
+            b => Err(Self::err(&format!("bad bool byte {b:#04x}"))),
+        }
+    }
+
+    fn bytes(&mut self) -> DbResult<&'a [u8]> {
+        let len = self.u32()? as usize;
+        self.take(len)
+    }
+
+    fn string(&mut self) -> DbResult<String> {
+        let b = self.bytes()?;
+        String::from_utf8(b.to_vec()).map_err(|_| Self::err("non-UTF-8 string"))
+    }
+
+    fn hash(&mut self) -> DbResult<Hash> {
+        let b = self.take(HASH_LEN)?;
+        Ok(Hash::from_slice(b).expect("32 bytes"))
+    }
+
+    fn opt_bytes(&mut self) -> DbResult<Option<Bytes>> {
+        match self.u8()? {
+            0 => Ok(None),
+            1 => Ok(Some(Bytes::copy_from_slice(self.bytes()?))),
+            b => Err(Self::err(&format!("bad option byte {b:#04x}"))),
+        }
+    }
+
+    fn value(&mut self) -> DbResult<Value> {
+        let b = self.bytes()?;
+        Value::decode(b).map_err(DbError::Value)
+    }
+
+    fn opts(&mut self) -> DbResult<PutOptions> {
+        Ok(PutOptions {
+            branch: self.string()?,
+            author: self.string()?,
+            message: self.string()?,
+        })
+    }
+
+    /// Element count for a vec about to be decoded. Bounded: each element
+    /// encodes to ≥ 1 byte, so a count beyond the remaining buffer is
+    /// rejected before any allocation.
+    fn count(&mut self) -> DbResult<usize> {
+        let n = self.u32()? as usize;
+        if n > self.buf.len() - self.pos {
+            return Err(Self::err("implausible element count"));
+        }
+        Ok(n)
+    }
+
+    fn done(&self) -> DbResult<()> {
+        if self.pos != self.buf.len() {
+            return Err(Self::err("trailing bytes after body"));
+        }
+        Ok(())
+    }
+}
+
+// ----------------------------------------------------------------------
+// Requests
+// ----------------------------------------------------------------------
+
+/// One operation of a routed [`Request::Batch`].
+#[derive(Clone, Debug, PartialEq)]
+pub enum WireOp {
+    /// Stage a put of `value` on `(key, opts.branch)`.
+    Put {
+        /// Target key.
+        key: String,
+        /// The value to commit.
+        value: Value,
+        /// Branch/author/message options.
+        opts: PutOptions,
+    },
+    /// Stage a branch deletion.
+    DeleteBranch {
+        /// Target key.
+        key: String,
+        /// Branch to delete.
+        branch: String,
+    },
+}
+
+/// Every verb a servelet serves, data plane and control plane alike.
+///
+/// Tag bytes (frozen): data plane `0x01..=0x0B`, control plane
+/// `0x20..=0x24`. See `PROTOCOL.md`.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Request {
+    /// Control: liveness probe (no work, short deadline).
+    Probe,
+    /// `Put` a value on the owning servelet.
+    Put {
+        /// Target key.
+        key: String,
+        /// The value to commit.
+        value: Value,
+        /// Branch/author/message options.
+        opts: PutOptions,
+    },
+    /// `Put` a blob built from raw content on the owning servelet.
+    PutBlob {
+        /// Target key.
+        key: String,
+        /// Raw blob content (chunked on the servelet).
+        content: Bytes,
+        /// Branch/author/message options.
+        opts: PutOptions,
+    },
+    /// `Get` the head of `key@branch`.
+    Get {
+        /// Target key.
+        key: String,
+        /// Branch whose head to read.
+        branch: String,
+    },
+    /// Read many branch heads in one consistent call.
+    Heads {
+        /// `(key, branch)` pairs.
+        pairs: Vec<(String, String)>,
+    },
+    /// Database statistics.
+    Stat,
+    /// One bounded page of a map range scan.
+    MapRange {
+        /// Target key.
+        key: String,
+        /// Branch whose head to scan.
+        branch: String,
+        /// Inclusive start bound, if any.
+        start: Option<Bytes>,
+        /// Exclusive end bound, if any.
+        end: Option<Bytes>,
+        /// Page size limit.
+        limit: u64,
+    },
+    /// List every key this servelet holds.
+    ListKeys,
+    /// Stored chunk-payload bytes.
+    StoredBytes,
+    /// Run a garbage-collection pass.
+    Gc,
+    /// A multi-op write batch, committed atomically on this servelet.
+    Batch {
+        /// The staged operations, in batch order.
+        ops: Vec<WireOp>,
+    },
+    /// Control: export the full history of `keys` as a bundle
+    /// (migration copy phase).
+    ExportBundle {
+        /// Keys whose branches to export.
+        keys: Vec<String>,
+    },
+    /// Control: import a bundle produced by [`Request::ExportBundle`].
+    /// Every chunk is re-hashed and every history walked before a ref
+    /// installs — the wire inherits the bundle codec's tamper evidence.
+    ImportBundle {
+        /// The bundle bytes.
+        bundle: Vec<u8>,
+    },
+    /// Control: drop the refs of `keys` (migration cutover).
+    ForgetKeys {
+        /// Keys to forget.
+        keys: Vec<String>,
+    },
+    /// Control: restore persisted branch heads (supervised restart).
+    LoadRefs {
+        /// The refs text ([`ForkBase::dump_refs`] format).
+        refs: String,
+    },
+    /// Control: dump branch heads for persistence.
+    DumpRefs,
+}
+
+const REQ_PROBE: u8 = 0x01;
+const REQ_PUT: u8 = 0x02;
+const REQ_PUT_BLOB: u8 = 0x03;
+const REQ_GET: u8 = 0x04;
+const REQ_HEADS: u8 = 0x05;
+const REQ_STAT: u8 = 0x06;
+const REQ_MAP_RANGE: u8 = 0x07;
+const REQ_LIST_KEYS: u8 = 0x08;
+const REQ_STORED_BYTES: u8 = 0x09;
+const REQ_GC: u8 = 0x0A;
+const REQ_BATCH: u8 = 0x0B;
+const REQ_EXPORT_BUNDLE: u8 = 0x20;
+const REQ_IMPORT_BUNDLE: u8 = 0x21;
+const REQ_FORGET_KEYS: u8 = 0x22;
+const REQ_LOAD_REFS: u8 = 0x23;
+const REQ_DUMP_REFS: u8 = 0x24;
+
+const OP_PUT: u8 = 0x01;
+const OP_DELETE_BRANCH: u8 = 0x02;
+
+impl Request {
+    /// Whether retrying this request cannot change state (the
+    /// ambiguous-write rule keys off this).
+    pub fn idempotent(&self) -> bool {
+        match self {
+            Request::Probe
+            | Request::Get { .. }
+            | Request::Heads { .. }
+            | Request::Stat
+            | Request::MapRange { .. }
+            | Request::ListKeys
+            | Request::StoredBytes
+            | Request::DumpRefs => true,
+            Request::Put { .. }
+            | Request::PutBlob { .. }
+            | Request::Gc
+            | Request::Batch { .. }
+            | Request::ExportBundle { .. }
+            | Request::ImportBundle { .. }
+            | Request::ForgetKeys { .. }
+            | Request::LoadRefs { .. } => false,
+        }
+    }
+
+    /// Encode as a frame body (tag + fields; no frame envelope).
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        match self {
+            Request::Probe => out.push(REQ_PROBE),
+            Request::Put { key, value, opts } => {
+                out.push(REQ_PUT);
+                put_str(&mut out, key);
+                put_value(&mut out, value);
+                put_opts(&mut out, opts);
+            }
+            Request::PutBlob { key, content, opts } => {
+                out.push(REQ_PUT_BLOB);
+                put_str(&mut out, key);
+                put_bytes(&mut out, content);
+                put_opts(&mut out, opts);
+            }
+            Request::Get { key, branch } => {
+                out.push(REQ_GET);
+                put_str(&mut out, key);
+                put_str(&mut out, branch);
+            }
+            Request::Heads { pairs } => {
+                out.push(REQ_HEADS);
+                put_u32(&mut out, pairs.len() as u32);
+                for (k, b) in pairs {
+                    put_str(&mut out, k);
+                    put_str(&mut out, b);
+                }
+            }
+            Request::Stat => out.push(REQ_STAT),
+            Request::MapRange {
+                key,
+                branch,
+                start,
+                end,
+                limit,
+            } => {
+                out.push(REQ_MAP_RANGE);
+                put_str(&mut out, key);
+                put_str(&mut out, branch);
+                put_opt_bytes(&mut out, start);
+                put_opt_bytes(&mut out, end);
+                put_u64(&mut out, *limit);
+            }
+            Request::ListKeys => out.push(REQ_LIST_KEYS),
+            Request::StoredBytes => out.push(REQ_STORED_BYTES),
+            Request::Gc => out.push(REQ_GC),
+            Request::Batch { ops } => {
+                out.push(REQ_BATCH);
+                put_u32(&mut out, ops.len() as u32);
+                for op in ops {
+                    match op {
+                        WireOp::Put { key, value, opts } => {
+                            out.push(OP_PUT);
+                            put_str(&mut out, key);
+                            put_value(&mut out, value);
+                            put_opts(&mut out, opts);
+                        }
+                        WireOp::DeleteBranch { key, branch } => {
+                            out.push(OP_DELETE_BRANCH);
+                            put_str(&mut out, key);
+                            put_str(&mut out, branch);
+                        }
+                    }
+                }
+            }
+            Request::ExportBundle { keys } => {
+                out.push(REQ_EXPORT_BUNDLE);
+                put_u32(&mut out, keys.len() as u32);
+                for k in keys {
+                    put_str(&mut out, k);
+                }
+            }
+            Request::ImportBundle { bundle } => {
+                out.push(REQ_IMPORT_BUNDLE);
+                put_bytes(&mut out, bundle);
+            }
+            Request::ForgetKeys { keys } => {
+                out.push(REQ_FORGET_KEYS);
+                put_u32(&mut out, keys.len() as u32);
+                for k in keys {
+                    put_str(&mut out, k);
+                }
+            }
+            Request::LoadRefs { refs } => {
+                out.push(REQ_LOAD_REFS);
+                put_str(&mut out, refs);
+            }
+            Request::DumpRefs => out.push(REQ_DUMP_REFS),
+        }
+        out
+    }
+
+    /// Decode a frame body produced by [`Self::encode`].
+    pub fn decode(body: &[u8]) -> DbResult<Request> {
+        let mut rd = Rd::new(body);
+        let req = match rd.u8()? {
+            REQ_PROBE => Request::Probe,
+            REQ_PUT => Request::Put {
+                key: rd.string()?,
+                value: rd.value()?,
+                opts: rd.opts()?,
+            },
+            REQ_PUT_BLOB => Request::PutBlob {
+                key: rd.string()?,
+                content: Bytes::copy_from_slice(rd.bytes()?),
+                opts: rd.opts()?,
+            },
+            REQ_GET => Request::Get {
+                key: rd.string()?,
+                branch: rd.string()?,
+            },
+            REQ_HEADS => {
+                let n = rd.count()?;
+                let mut pairs = Vec::with_capacity(n);
+                for _ in 0..n {
+                    pairs.push((rd.string()?, rd.string()?));
+                }
+                Request::Heads { pairs }
+            }
+            REQ_STAT => Request::Stat,
+            REQ_MAP_RANGE => Request::MapRange {
+                key: rd.string()?,
+                branch: rd.string()?,
+                start: rd.opt_bytes()?,
+                end: rd.opt_bytes()?,
+                limit: rd.u64()?,
+            },
+            REQ_LIST_KEYS => Request::ListKeys,
+            REQ_STORED_BYTES => Request::StoredBytes,
+            REQ_GC => Request::Gc,
+            REQ_BATCH => {
+                let n = rd.count()?;
+                let mut ops = Vec::with_capacity(n);
+                for _ in 0..n {
+                    ops.push(match rd.u8()? {
+                        OP_PUT => WireOp::Put {
+                            key: rd.string()?,
+                            value: rd.value()?,
+                            opts: rd.opts()?,
+                        },
+                        OP_DELETE_BRANCH => WireOp::DeleteBranch {
+                            key: rd.string()?,
+                            branch: rd.string()?,
+                        },
+                        t => return Err(Rd::err(&format!("unknown batch op tag {t:#04x}"))),
+                    });
+                }
+                Request::Batch { ops }
+            }
+            REQ_EXPORT_BUNDLE => {
+                let n = rd.count()?;
+                let mut keys = Vec::with_capacity(n);
+                for _ in 0..n {
+                    keys.push(rd.string()?);
+                }
+                Request::ExportBundle { keys }
+            }
+            REQ_IMPORT_BUNDLE => Request::ImportBundle {
+                bundle: rd.bytes()?.to_vec(),
+            },
+            REQ_FORGET_KEYS => {
+                let n = rd.count()?;
+                let mut keys = Vec::with_capacity(n);
+                for _ in 0..n {
+                    keys.push(rd.string()?);
+                }
+                Request::ForgetKeys { keys }
+            }
+            REQ_LOAD_REFS => Request::LoadRefs { refs: rd.string()? },
+            REQ_DUMP_REFS => Request::DumpRefs,
+            t => return Err(Rd::err(&format!("unknown request tag {t:#04x}"))),
+        };
+        rd.done()?;
+        Ok(req)
+    }
+}
+
+// ----------------------------------------------------------------------
+// Errors on the wire
+// ----------------------------------------------------------------------
+
+/// A [`DbError`] flattened for the wire. Variants whose fields survive a
+/// round trip map 1:1; the rest (store/tree/value internals, merge
+/// conflict lists) travel as [`WireError::Remote`] carrying the original
+/// stable [`DbError::code`] plus the rendered message.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum WireError {
+    /// `no_such_key`.
+    NoSuchKey {
+        /// The key queried.
+        key: String,
+    },
+    /// `no_such_branch`.
+    NoSuchBranch {
+        /// The key queried.
+        key: String,
+        /// The missing branch.
+        branch: String,
+    },
+    /// `no_such_version`.
+    NoSuchVersion {
+        /// The missing uid.
+        uid: Uid,
+    },
+    /// `branch_exists`.
+    BranchExists {
+        /// The key.
+        key: String,
+        /// The already-present branch.
+        branch: String,
+    },
+    /// `no_common_ancestor`.
+    NoCommonAncestor {
+        /// First version.
+        a: Uid,
+        /// Second version.
+        b: Uid,
+    },
+    /// `tamper_detected`.
+    TamperDetected {
+        /// What failed validation.
+        message: String,
+    },
+    /// `servelet_unavailable`.
+    ServeletUnavailable {
+        /// Stable id of the unreachable servelet.
+        servelet: u64,
+    },
+    /// `servelet_timeout`.
+    ServeletTimeout {
+        /// Stable id of the servelet that missed its deadline.
+        servelet: u64,
+    },
+    /// `permission_denied`.
+    PermissionDenied {
+        /// Why.
+        message: String,
+    },
+    /// `invalid_input`.
+    InvalidInput {
+        /// Why.
+        message: String,
+    },
+    /// Any error without a richer wire form; `code` is the original
+    /// stable [`DbError::code`].
+    Remote {
+        /// The original stable error code.
+        code: String,
+        /// The rendered error message.
+        message: String,
+    },
+}
+
+const ERR_NO_SUCH_KEY: u8 = 0x01;
+const ERR_NO_SUCH_BRANCH: u8 = 0x02;
+const ERR_NO_SUCH_VERSION: u8 = 0x03;
+const ERR_BRANCH_EXISTS: u8 = 0x04;
+const ERR_NO_COMMON_ANCESTOR: u8 = 0x05;
+const ERR_TAMPER_DETECTED: u8 = 0x06;
+const ERR_SERVELET_UNAVAILABLE: u8 = 0x07;
+const ERR_SERVELET_TIMEOUT: u8 = 0x08;
+const ERR_PERMISSION_DENIED: u8 = 0x09;
+const ERR_INVALID_INPUT: u8 = 0x0A;
+const ERR_REMOTE: u8 = 0x0B;
+
+impl From<&DbError> for WireError {
+    fn from(e: &DbError) -> WireError {
+        match e {
+            DbError::NoSuchKey(key) => WireError::NoSuchKey { key: key.clone() },
+            DbError::NoSuchBranch { key, branch } => WireError::NoSuchBranch {
+                key: key.clone(),
+                branch: branch.clone(),
+            },
+            DbError::NoSuchVersion(uid) => WireError::NoSuchVersion { uid: *uid },
+            DbError::BranchExists { key, branch } => WireError::BranchExists {
+                key: key.clone(),
+                branch: branch.clone(),
+            },
+            DbError::NoCommonAncestor(a, b) => WireError::NoCommonAncestor { a: *a, b: *b },
+            DbError::TamperDetected(m) => WireError::TamperDetected { message: m.clone() },
+            DbError::ServeletUnavailable { servelet } => WireError::ServeletUnavailable {
+                servelet: *servelet,
+            },
+            DbError::ServeletTimeout { servelet } => WireError::ServeletTimeout {
+                servelet: *servelet,
+            },
+            DbError::PermissionDenied(m) => WireError::PermissionDenied { message: m.clone() },
+            DbError::InvalidInput(m) => WireError::InvalidInput { message: m.clone() },
+            other => WireError::Remote {
+                code: other.code().to_string(),
+                message: other.to_string(),
+            },
+        }
+    }
+}
+
+impl WireError {
+    /// Reconstruct the [`DbError`] this wire error carries.
+    pub fn into_db(self) -> DbError {
+        match self {
+            WireError::NoSuchKey { key } => DbError::NoSuchKey(key),
+            WireError::NoSuchBranch { key, branch } => DbError::NoSuchBranch { key, branch },
+            WireError::NoSuchVersion { uid } => DbError::NoSuchVersion(uid),
+            WireError::BranchExists { key, branch } => DbError::BranchExists { key, branch },
+            WireError::NoCommonAncestor { a, b } => DbError::NoCommonAncestor(a, b),
+            WireError::TamperDetected { message } => DbError::TamperDetected(message),
+            WireError::ServeletUnavailable { servelet } => {
+                DbError::ServeletUnavailable { servelet }
+            }
+            WireError::ServeletTimeout { servelet } => DbError::ServeletTimeout { servelet },
+            WireError::PermissionDenied { message } => DbError::PermissionDenied(message),
+            WireError::InvalidInput { message } => DbError::InvalidInput(message),
+            WireError::Remote { code, message } => DbError::Remote { code, message },
+        }
+    }
+
+    fn encode_into(&self, out: &mut Vec<u8>) {
+        match self {
+            WireError::NoSuchKey { key } => {
+                out.push(ERR_NO_SUCH_KEY);
+                put_str(out, key);
+            }
+            WireError::NoSuchBranch { key, branch } => {
+                out.push(ERR_NO_SUCH_BRANCH);
+                put_str(out, key);
+                put_str(out, branch);
+            }
+            WireError::NoSuchVersion { uid } => {
+                out.push(ERR_NO_SUCH_VERSION);
+                put_hash(out, uid);
+            }
+            WireError::BranchExists { key, branch } => {
+                out.push(ERR_BRANCH_EXISTS);
+                put_str(out, key);
+                put_str(out, branch);
+            }
+            WireError::NoCommonAncestor { a, b } => {
+                out.push(ERR_NO_COMMON_ANCESTOR);
+                put_hash(out, a);
+                put_hash(out, b);
+            }
+            WireError::TamperDetected { message } => {
+                out.push(ERR_TAMPER_DETECTED);
+                put_str(out, message);
+            }
+            WireError::ServeletUnavailable { servelet } => {
+                out.push(ERR_SERVELET_UNAVAILABLE);
+                put_u64(out, *servelet);
+            }
+            WireError::ServeletTimeout { servelet } => {
+                out.push(ERR_SERVELET_TIMEOUT);
+                put_u64(out, *servelet);
+            }
+            WireError::PermissionDenied { message } => {
+                out.push(ERR_PERMISSION_DENIED);
+                put_str(out, message);
+            }
+            WireError::InvalidInput { message } => {
+                out.push(ERR_INVALID_INPUT);
+                put_str(out, message);
+            }
+            WireError::Remote { code, message } => {
+                out.push(ERR_REMOTE);
+                put_str(out, code);
+                put_str(out, message);
+            }
+        }
+    }
+
+    fn decode_from(rd: &mut Rd<'_>) -> DbResult<WireError> {
+        Ok(match rd.u8()? {
+            ERR_NO_SUCH_KEY => WireError::NoSuchKey { key: rd.string()? },
+            ERR_NO_SUCH_BRANCH => WireError::NoSuchBranch {
+                key: rd.string()?,
+                branch: rd.string()?,
+            },
+            ERR_NO_SUCH_VERSION => WireError::NoSuchVersion { uid: rd.hash()? },
+            ERR_BRANCH_EXISTS => WireError::BranchExists {
+                key: rd.string()?,
+                branch: rd.string()?,
+            },
+            ERR_NO_COMMON_ANCESTOR => WireError::NoCommonAncestor {
+                a: rd.hash()?,
+                b: rd.hash()?,
+            },
+            ERR_TAMPER_DETECTED => WireError::TamperDetected {
+                message: rd.string()?,
+            },
+            ERR_SERVELET_UNAVAILABLE => WireError::ServeletUnavailable {
+                servelet: rd.u64()?,
+            },
+            ERR_SERVELET_TIMEOUT => WireError::ServeletTimeout {
+                servelet: rd.u64()?,
+            },
+            ERR_PERMISSION_DENIED => WireError::PermissionDenied {
+                message: rd.string()?,
+            },
+            ERR_INVALID_INPUT => WireError::InvalidInput {
+                message: rd.string()?,
+            },
+            ERR_REMOTE => WireError::Remote {
+                code: rd.string()?,
+                message: rd.string()?,
+            },
+            t => return Err(Rd::err(&format!("unknown error tag {t:#04x}"))),
+        })
+    }
+}
+
+// ----------------------------------------------------------------------
+// Replies
+// ----------------------------------------------------------------------
+
+/// Every answer a servelet returns. Tag bytes (frozen): `0x80..=0x8B`,
+/// errors `0xEE`.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Reply {
+    /// Success with no payload.
+    Unit,
+    /// A commit landed.
+    Committed(CommitResult),
+    /// A `Get` result.
+    Got(GetResult),
+    /// Branch heads, in request order.
+    Uids(Vec<Uid>),
+    /// Database statistics.
+    Stat(DbStat),
+    /// One page of a map range scan.
+    Page(MapPage),
+    /// Key listing.
+    Keys(Vec<String>),
+    /// A single counter.
+    Count(u64),
+    /// A garbage-collection report.
+    Gc(GcReport),
+    /// Per-op outcomes of a write batch, in batch order.
+    Outcomes(Vec<BatchOutcome>),
+    /// Raw bytes (bundle export).
+    Blob(Vec<u8>),
+    /// Text (refs dump).
+    Text(String),
+    /// The request failed; the error crossed the wire.
+    Err(WireError),
+}
+
+const REP_UNIT: u8 = 0x80;
+const REP_COMMITTED: u8 = 0x81;
+const REP_GOT: u8 = 0x82;
+const REP_UIDS: u8 = 0x83;
+const REP_STAT: u8 = 0x84;
+const REP_PAGE: u8 = 0x85;
+const REP_KEYS: u8 = 0x86;
+const REP_COUNT: u8 = 0x87;
+const REP_GC: u8 = 0x88;
+const REP_OUTCOMES: u8 = 0x89;
+const REP_BLOB: u8 = 0x8A;
+const REP_TEXT: u8 = 0x8B;
+const REP_ERR: u8 = 0xEE;
+
+const OUTCOME_COMMITTED: u8 = 0x01;
+const OUTCOME_DELETED: u8 = 0x02;
+
+fn put_stat(out: &mut Vec<u8>, s: &DbStat) {
+    put_u64(out, s.keys);
+    put_u64(out, s.branches);
+    let st = &s.store;
+    for v in [
+        st.unique_chunks,
+        st.stored_bytes,
+        st.puts,
+        st.logical_bytes,
+        st.dedup_hits,
+        st.dedup_saved_bytes,
+        st.gets,
+        st.misses,
+        st.compaction_chunks_rewritten,
+        st.compaction_bytes_rewritten,
+        st.sweep_chunks_reclaimed,
+        st.sweep_bytes_reclaimed,
+    ] {
+        put_u64(out, v);
+    }
+}
+
+fn read_stat(rd: &mut Rd<'_>) -> DbResult<DbStat> {
+    Ok(DbStat {
+        keys: rd.u64()?,
+        branches: rd.u64()?,
+        store: forkbase_store::StoreStats {
+            unique_chunks: rd.u64()?,
+            stored_bytes: rd.u64()?,
+            puts: rd.u64()?,
+            logical_bytes: rd.u64()?,
+            dedup_hits: rd.u64()?,
+            dedup_saved_bytes: rd.u64()?,
+            gets: rd.u64()?,
+            misses: rd.u64()?,
+            compaction_chunks_rewritten: rd.u64()?,
+            compaction_bytes_rewritten: rd.u64()?,
+            sweep_chunks_reclaimed: rd.u64()?,
+            sweep_bytes_reclaimed: rd.u64()?,
+        },
+    })
+}
+
+impl Reply {
+    /// Encode as a frame body (tag + fields; no frame envelope).
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        match self {
+            Reply::Unit => out.push(REP_UNIT),
+            Reply::Committed(c) => {
+                out.push(REP_COMMITTED);
+                put_hash(&mut out, &c.uid);
+                put_str(&mut out, &c.branch);
+            }
+            Reply::Got(g) => {
+                out.push(REP_GOT);
+                put_value(&mut out, &g.value);
+                put_hash(&mut out, &g.uid);
+            }
+            Reply::Uids(uids) => {
+                out.push(REP_UIDS);
+                put_u32(&mut out, uids.len() as u32);
+                for u in uids {
+                    put_hash(&mut out, u);
+                }
+            }
+            Reply::Stat(s) => {
+                out.push(REP_STAT);
+                put_stat(&mut out, s);
+            }
+            Reply::Page(p) => {
+                out.push(REP_PAGE);
+                put_u32(&mut out, p.entries.len() as u32);
+                for (k, v) in &p.entries {
+                    put_bytes(&mut out, k);
+                    put_bytes(&mut out, v);
+                }
+                put_bool(&mut out, p.truncated);
+                put_hash(&mut out, &p.version);
+            }
+            Reply::Keys(keys) => {
+                out.push(REP_KEYS);
+                put_u32(&mut out, keys.len() as u32);
+                for k in keys {
+                    put_str(&mut out, k);
+                }
+            }
+            Reply::Count(n) => {
+                out.push(REP_COUNT);
+                put_u64(&mut out, *n);
+            }
+            Reply::Gc(r) => {
+                out.push(REP_GC);
+                for v in [
+                    r.live_chunks,
+                    r.sweep.chunks_reclaimed,
+                    r.sweep.bytes_reclaimed,
+                    r.sweep.chunks_rewritten,
+                    r.sweep.bytes_rewritten,
+                    r.sweep.segments_deleted,
+                    r.sweep.disk_bytes_before,
+                    r.sweep.disk_bytes_after,
+                ] {
+                    put_u64(&mut out, v);
+                }
+            }
+            Reply::Outcomes(outcomes) => {
+                out.push(REP_OUTCOMES);
+                put_u32(&mut out, outcomes.len() as u32);
+                for o in outcomes {
+                    match o {
+                        BatchOutcome::Committed(c) => {
+                            out.push(OUTCOME_COMMITTED);
+                            put_hash(&mut out, &c.uid);
+                            put_str(&mut out, &c.branch);
+                        }
+                        BatchOutcome::Deleted { key, branch } => {
+                            out.push(OUTCOME_DELETED);
+                            put_str(&mut out, key);
+                            put_str(&mut out, branch);
+                        }
+                    }
+                }
+            }
+            Reply::Blob(b) => {
+                out.push(REP_BLOB);
+                put_bytes(&mut out, b);
+            }
+            Reply::Text(t) => {
+                out.push(REP_TEXT);
+                put_str(&mut out, t);
+            }
+            Reply::Err(e) => {
+                out.push(REP_ERR);
+                e.encode_into(&mut out);
+            }
+        }
+        out
+    }
+
+    /// Decode a frame body produced by [`Self::encode`].
+    pub fn decode(body: &[u8]) -> DbResult<Reply> {
+        let mut rd = Rd::new(body);
+        let rep = match rd.u8()? {
+            REP_UNIT => Reply::Unit,
+            REP_COMMITTED => Reply::Committed(CommitResult {
+                uid: rd.hash()?,
+                branch: rd.string()?,
+            }),
+            REP_GOT => Reply::Got(GetResult {
+                value: rd.value()?,
+                uid: rd.hash()?,
+            }),
+            REP_UIDS => {
+                let n = rd.count()?;
+                let mut uids = Vec::with_capacity(n);
+                for _ in 0..n {
+                    uids.push(rd.hash()?);
+                }
+                Reply::Uids(uids)
+            }
+            REP_STAT => Reply::Stat(read_stat(&mut rd)?),
+            REP_PAGE => {
+                let n = rd.count()?;
+                let mut entries = Vec::with_capacity(n);
+                for _ in 0..n {
+                    entries.push((
+                        Bytes::copy_from_slice(rd.bytes()?),
+                        Bytes::copy_from_slice(rd.bytes()?),
+                    ));
+                }
+                Reply::Page(MapPage {
+                    entries,
+                    truncated: rd.bool()?,
+                    version: rd.hash()?,
+                })
+            }
+            REP_KEYS => {
+                let n = rd.count()?;
+                let mut keys = Vec::with_capacity(n);
+                for _ in 0..n {
+                    keys.push(rd.string()?);
+                }
+                Reply::Keys(keys)
+            }
+            REP_COUNT => Reply::Count(rd.u64()?),
+            REP_GC => Reply::Gc(GcReport {
+                live_chunks: rd.u64()?,
+                sweep: forkbase_store::SweepReport {
+                    chunks_reclaimed: rd.u64()?,
+                    bytes_reclaimed: rd.u64()?,
+                    chunks_rewritten: rd.u64()?,
+                    bytes_rewritten: rd.u64()?,
+                    segments_deleted: rd.u64()?,
+                    disk_bytes_before: rd.u64()?,
+                    disk_bytes_after: rd.u64()?,
+                },
+            }),
+            REP_OUTCOMES => {
+                let n = rd.count()?;
+                let mut outcomes = Vec::with_capacity(n);
+                for _ in 0..n {
+                    outcomes.push(match rd.u8()? {
+                        OUTCOME_COMMITTED => BatchOutcome::Committed(CommitResult {
+                            uid: rd.hash()?,
+                            branch: rd.string()?,
+                        }),
+                        OUTCOME_DELETED => BatchOutcome::Deleted {
+                            key: rd.string()?,
+                            branch: rd.string()?,
+                        },
+                        t => return Err(Rd::err(&format!("unknown outcome tag {t:#04x}"))),
+                    });
+                }
+                Reply::Outcomes(outcomes)
+            }
+            REP_BLOB => Reply::Blob(rd.bytes()?.to_vec()),
+            REP_TEXT => Reply::Text(rd.string()?),
+            REP_ERR => Reply::Err(WireError::decode_from(&mut rd)?),
+            t => return Err(Rd::err(&format!("unknown reply tag {t:#04x}"))),
+        };
+        rd.done()?;
+        Ok(rep)
+    }
+
+    fn unexpected(self, wanted: &str) -> DbError {
+        match self {
+            Reply::Err(e) => e.into_db(),
+            other => DbError::InvalidInput(format!(
+                "unexpected wire reply: wanted {wanted}, got {:?} tag",
+                std::mem::discriminant(&other)
+            )),
+        }
+    }
+
+    /// Extract a [`Reply::Unit`]; a wire error becomes its [`DbError`].
+    pub fn expect_unit(self) -> DbResult<()> {
+        match self {
+            Reply::Unit => Ok(()),
+            other => Err(other.unexpected("unit")),
+        }
+    }
+
+    /// Extract a [`Reply::Committed`].
+    pub fn expect_commit(self) -> DbResult<CommitResult> {
+        match self {
+            Reply::Committed(c) => Ok(c),
+            other => Err(other.unexpected("commit")),
+        }
+    }
+
+    /// Extract a [`Reply::Got`].
+    pub fn expect_get(self) -> DbResult<GetResult> {
+        match self {
+            Reply::Got(g) => Ok(g),
+            other => Err(other.unexpected("get result")),
+        }
+    }
+
+    /// Extract a [`Reply::Uids`].
+    pub fn expect_uids(self) -> DbResult<Vec<Uid>> {
+        match self {
+            Reply::Uids(u) => Ok(u),
+            other => Err(other.unexpected("uids")),
+        }
+    }
+
+    /// Extract a [`Reply::Stat`].
+    pub fn expect_stat(self) -> DbResult<DbStat> {
+        match self {
+            Reply::Stat(s) => Ok(s),
+            other => Err(other.unexpected("stat")),
+        }
+    }
+
+    /// Extract a [`Reply::Page`].
+    pub fn expect_page(self) -> DbResult<MapPage> {
+        match self {
+            Reply::Page(p) => Ok(p),
+            other => Err(other.unexpected("map page")),
+        }
+    }
+
+    /// Extract a [`Reply::Keys`].
+    pub fn expect_keys(self) -> DbResult<Vec<String>> {
+        match self {
+            Reply::Keys(k) => Ok(k),
+            other => Err(other.unexpected("keys")),
+        }
+    }
+
+    /// Extract a [`Reply::Count`].
+    pub fn expect_count(self) -> DbResult<u64> {
+        match self {
+            Reply::Count(n) => Ok(n),
+            other => Err(other.unexpected("count")),
+        }
+    }
+
+    /// Extract a [`Reply::Gc`].
+    pub fn expect_gc(self) -> DbResult<GcReport> {
+        match self {
+            Reply::Gc(r) => Ok(r),
+            other => Err(other.unexpected("gc report")),
+        }
+    }
+
+    /// Extract a [`Reply::Outcomes`].
+    pub fn expect_outcomes(self) -> DbResult<Vec<BatchOutcome>> {
+        match self {
+            Reply::Outcomes(o) => Ok(o),
+            other => Err(other.unexpected("batch outcomes")),
+        }
+    }
+
+    /// Extract a [`Reply::Blob`].
+    pub fn expect_blob(self) -> DbResult<Vec<u8>> {
+        match self {
+            Reply::Blob(b) => Ok(b),
+            other => Err(other.unexpected("blob")),
+        }
+    }
+
+    /// Extract a [`Reply::Text`].
+    pub fn expect_text(self) -> DbResult<String> {
+        match self {
+            Reply::Text(t) => Ok(t),
+            other => Err(other.unexpected("text")),
+        }
+    }
+}
+
+// ----------------------------------------------------------------------
+// Server-side execution
+// ----------------------------------------------------------------------
+
+/// Execute `req` against a servelet's database. **The** server-side
+/// entry point: both the in-process channel worker and the TCP servelet
+/// loop call this, so a verb behaves identically over either transport.
+pub fn dispatch<S: SweepStore>(db: &ForkBase<S>, req: Request) -> Reply {
+    match run(db, req) {
+        Ok(reply) => reply,
+        Err(e) => Reply::Err(WireError::from(&e)),
+    }
+}
+
+fn run<S: SweepStore>(db: &ForkBase<S>, req: Request) -> DbResult<Reply> {
+    use std::ops::Bound;
+    match req {
+        Request::Probe => Ok(Reply::Unit),
+        Request::Put { key, value, opts } => Ok(Reply::Committed(db.put(&key, value, &opts)?)),
+        Request::PutBlob { key, content, opts } => {
+            Ok(Reply::Committed(db.put_blob(&key, content, &opts)?))
+        }
+        Request::Get { key, branch } => Ok(Reply::Got(db.get(&key, &branch)?)),
+        Request::Heads { pairs } => {
+            let refs: Vec<(&str, &str)> = pairs
+                .iter()
+                .map(|(k, b)| (k.as_str(), b.as_str()))
+                .collect();
+            Ok(Reply::Uids(db.heads(&refs)?))
+        }
+        Request::Stat => Ok(Reply::Stat(db.stat())),
+        Request::MapRange {
+            key,
+            branch,
+            start,
+            end,
+            limit,
+        } => {
+            let snap = db.snapshot(&key, &VersionSpec::Branch(branch))?;
+            let start_bound = match &start {
+                Some(s) => Bound::Included(s.as_ref()),
+                None => Bound::Unbounded,
+            };
+            let end_bound = match &end {
+                Some(e) => Bound::Excluded(e.as_ref()),
+                None => Bound::Unbounded,
+            };
+            let limit = usize::try_from(limit).unwrap_or(usize::MAX);
+            let mut range = snap.map_range::<&[u8], _>((start_bound, end_bound))?;
+            let mut entries = Vec::new();
+            let mut truncated = false;
+            for item in &mut range {
+                let (k, v) = item?;
+                if entries.len() == limit {
+                    truncated = true;
+                    break;
+                }
+                entries.push((k, v));
+            }
+            Ok(Reply::Page(MapPage {
+                entries,
+                truncated,
+                version: snap.uid(),
+            }))
+        }
+        Request::ListKeys => Ok(Reply::Keys(db.list_keys())),
+        Request::StoredBytes => Ok(Reply::Count(ChunkStore::stored_bytes(db.store()))),
+        Request::Gc => Ok(Reply::Gc(db.gc()?)),
+        Request::Batch { ops } => {
+            let mut wb = db.write_batch();
+            for op in ops {
+                match op {
+                    WireOp::Put { key, value, opts } => {
+                        wb.put(key, value, &opts);
+                    }
+                    WireOp::DeleteBranch { key, branch } => {
+                        wb.delete_branch(key, branch);
+                    }
+                }
+            }
+            Ok(Reply::Outcomes(wb.commit()?))
+        }
+        Request::ExportBundle { keys } => {
+            let mut buf = Vec::new();
+            export_bundle_keys(db, &keys, &mut buf)?;
+            Ok(Reply::Blob(buf))
+        }
+        Request::ImportBundle { bundle } => {
+            import_bundle(db, &mut bundle.as_slice())?;
+            Ok(Reply::Unit)
+        }
+        Request::ForgetKeys { keys } => {
+            for key in &keys {
+                db.forget_key(key);
+            }
+            Ok(Reply::Unit)
+        }
+        Request::LoadRefs { refs } => {
+            db.load_refs(&refs)?;
+            Ok(Reply::Unit)
+        }
+        Request::DumpRefs => Ok(Reply::Text(db.dump_refs())),
+    }
+}
+
+/// Whether this request mutates servelet state — the TCP server persists
+/// refs after these before acking, so an acked write survives a process
+/// kill.
+pub fn mutates(req: &Request) -> bool {
+    matches!(
+        req,
+        Request::Put { .. }
+            | Request::PutBlob { .. }
+            | Request::Gc
+            | Request::Batch { .. }
+            | Request::ImportBundle { .. }
+            | Request::ForgetKeys { .. }
+            | Request::LoadRefs { .. }
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip_req(req: Request) {
+        let body = req.encode();
+        assert_eq!(Request::decode(&body).unwrap(), req);
+    }
+
+    fn roundtrip_rep(rep: Reply) {
+        let body = rep.encode();
+        assert_eq!(Reply::decode(&body).unwrap(), rep);
+    }
+
+    #[test]
+    fn request_roundtrips() {
+        roundtrip_req(Request::Probe);
+        roundtrip_req(Request::Put {
+            key: "k".into(),
+            value: Value::string("v"),
+            opts: PutOptions::default(),
+        });
+        roundtrip_req(Request::PutBlob {
+            key: "k".into(),
+            content: Bytes::from_static(b"\x00\x01\x02"),
+            opts: PutOptions::on_branch("dev"),
+        });
+        roundtrip_req(Request::Get {
+            key: "k".into(),
+            branch: "master".into(),
+        });
+        roundtrip_req(Request::Heads {
+            pairs: vec![("a".into(), "master".into()), ("b".into(), "dev".into())],
+        });
+        roundtrip_req(Request::MapRange {
+            key: "t".into(),
+            branch: "master".into(),
+            start: Some(Bytes::from_static(b"a")),
+            end: None,
+            limit: 100,
+        });
+        roundtrip_req(Request::Batch {
+            ops: vec![
+                WireOp::Put {
+                    key: "k".into(),
+                    value: Value::Int(7),
+                    opts: PutOptions::default(),
+                },
+                WireOp::DeleteBranch {
+                    key: "k".into(),
+                    branch: "dev".into(),
+                },
+            ],
+        });
+        roundtrip_req(Request::ExportBundle {
+            keys: vec!["a".into(), "b".into()],
+        });
+        roundtrip_req(Request::ImportBundle {
+            bundle: vec![1, 2, 3],
+        });
+        roundtrip_req(Request::ForgetKeys { keys: vec![] });
+        roundtrip_req(Request::LoadRefs {
+            refs: "refs text".into(),
+        });
+        roundtrip_req(Request::DumpRefs);
+        roundtrip_req(Request::Stat);
+        roundtrip_req(Request::ListKeys);
+        roundtrip_req(Request::StoredBytes);
+        roundtrip_req(Request::Gc);
+    }
+
+    #[test]
+    fn reply_roundtrips() {
+        let uid = forkbase_crypto::sha256(b"x");
+        roundtrip_rep(Reply::Unit);
+        roundtrip_rep(Reply::Committed(CommitResult {
+            uid,
+            branch: "master".into(),
+        }));
+        roundtrip_rep(Reply::Got(GetResult {
+            value: Value::Float(1.5),
+            uid,
+        }));
+        roundtrip_rep(Reply::Uids(vec![uid, forkbase_crypto::sha256(b"y")]));
+        roundtrip_rep(Reply::Page(MapPage {
+            entries: vec![(Bytes::from_static(b"k"), Bytes::from_static(b"v"))],
+            truncated: true,
+            version: uid,
+        }));
+        roundtrip_rep(Reply::Keys(vec!["a".into(), "b".into()]));
+        roundtrip_rep(Reply::Count(42));
+        roundtrip_rep(Reply::Blob(vec![9, 9, 9]));
+        roundtrip_rep(Reply::Text("refs".into()));
+        roundtrip_rep(Reply::Outcomes(vec![
+            BatchOutcome::Committed(CommitResult {
+                uid,
+                branch: "master".into(),
+            }),
+            BatchOutcome::Deleted {
+                key: "k".into(),
+                branch: "dev".into(),
+            },
+        ]));
+        roundtrip_rep(Reply::Err(WireError::NoSuchKey { key: "k".into() }));
+        roundtrip_rep(Reply::Err(WireError::ServeletTimeout { servelet: 7 }));
+        roundtrip_rep(Reply::Err(WireError::Remote {
+            code: "merge_conflicts".into(),
+            message: "merge found 2 conflict(s)".into(),
+        }));
+    }
+
+    #[test]
+    fn stat_and_gc_roundtrip_field_for_field() {
+        let stat = DbStat {
+            keys: 1,
+            branches: 2,
+            store: forkbase_store::StoreStats {
+                unique_chunks: 3,
+                stored_bytes: 4,
+                puts: 5,
+                logical_bytes: 6,
+                dedup_hits: 7,
+                dedup_saved_bytes: 8,
+                gets: 9,
+                misses: 10,
+                compaction_chunks_rewritten: 11,
+                compaction_bytes_rewritten: 12,
+                sweep_chunks_reclaimed: 13,
+                sweep_bytes_reclaimed: 14,
+            },
+        };
+        let body = Reply::Stat(stat.clone()).encode();
+        match Reply::decode(&body).unwrap() {
+            Reply::Stat(got) => {
+                assert_eq!(got.keys, stat.keys);
+                assert_eq!(got.branches, stat.branches);
+                assert_eq!(got.store, stat.store);
+            }
+            other => panic!("wrong reply: {other:?}"),
+        }
+        let gc = GcReport {
+            live_chunks: 1,
+            sweep: forkbase_store::SweepReport {
+                chunks_reclaimed: 2,
+                bytes_reclaimed: 3,
+                chunks_rewritten: 4,
+                bytes_rewritten: 5,
+                segments_deleted: 6,
+                disk_bytes_before: 7,
+                disk_bytes_after: 8,
+            },
+        };
+        roundtrip_rep(Reply::Gc(gc));
+    }
+
+    #[test]
+    fn frame_roundtrip_and_rejection() {
+        let body = Request::Get {
+            key: "k".into(),
+            branch: "master".into(),
+        }
+        .encode();
+        let frame = encode_frame(&body);
+        let got = read_frame(&mut frame.as_slice()).unwrap();
+        assert_eq!(got, body);
+
+        // Torn: cut the frame anywhere and the reader reports Torn.
+        for cut in 1..frame.len() {
+            let r = read_frame(&mut frame[..cut].as_ref());
+            assert!(
+                matches!(r, Err(FrameError::Torn)),
+                "cut at {cut} gave {r:?}"
+            );
+        }
+
+        // Bad CRC: flip one payload bit.
+        let mut bad = frame.clone();
+        bad[6] ^= 0x40;
+        assert!(matches!(
+            read_frame(&mut bad.as_slice()),
+            Err(FrameError::BadCrc)
+        ));
+
+        // Bad version byte (CRC recomputed so the version check is what
+        // fires).
+        let mut vbad = frame.clone();
+        vbad[4] = 99;
+        let len = vbad.len();
+        let crc = crc32(&vbad[4..len - 4]);
+        vbad[len - 4..].copy_from_slice(&crc.to_le_bytes());
+        assert!(matches!(
+            read_frame(&mut vbad.as_slice()),
+            Err(FrameError::BadVersion(99))
+        ));
+
+        // Hostile length prefix: rejected before allocation.
+        let mut huge = (MAX_FRAME_LEN + 1).to_le_bytes().to_vec();
+        huge.extend_from_slice(&[0; 16]);
+        assert!(matches!(
+            read_frame(&mut huge.as_slice()),
+            Err(FrameError::TooLarge(_))
+        ));
+    }
+
+    #[test]
+    fn decoder_rejects_implausible_interior_counts() {
+        // A Heads request claiming 4 billion pairs in a tiny body must be
+        // rejected without allocating for 4 billion entries.
+        let mut body = vec![REQ_HEADS];
+        put_u32(&mut body, u32::MAX);
+        let err = Request::decode(&body).unwrap_err();
+        assert!(matches!(err, DbError::InvalidInput(_)), "{err:?}");
+    }
+
+    // ------------------------------------------------------------------
+    // GOLDEN BYTES — frozen wire format.
+    //
+    // These pin the exact encoding of representative requests, replies,
+    // and a full frame. If one of these fails, the wire format changed:
+    // either revert the change or bump WIRE_VERSION and document the new
+    // format in PROTOCOL.md. Re-tagging silently is a format break for
+    // every deployed servelet.
+    // ------------------------------------------------------------------
+
+    #[test]
+    fn golden_request_bytes() {
+        let req = Request::Get {
+            key: "k".into(),
+            branch: "b".into(),
+        };
+        assert_eq!(req.encode(), vec![0x04, 1, 0, 0, 0, b'k', 1, 0, 0, 0, b'b']);
+
+        let put = Request::Put {
+            key: "k".into(),
+            value: Value::Int(1),
+            opts: PutOptions {
+                branch: "m".into(),
+                author: "a".into(),
+                message: String::new(),
+            },
+        };
+        assert_eq!(
+            put.encode(),
+            vec![
+                0x02, // tag
+                1, 0, 0, 0, b'k', // key
+                9, 0, 0, 0, 0x02, 1, 0, 0, 0, 0, 0, 0, 0, // Value::Int(1)
+                1, 0, 0, 0, b'm', // branch
+                1, 0, 0, 0, b'a', // author
+                0, 0, 0, 0, // message
+            ]
+        );
+
+        assert_eq!(Request::Probe.encode(), vec![0x01]);
+        assert_eq!(Request::Stat.encode(), vec![0x06]);
+        assert_eq!(Request::ListKeys.encode(), vec![0x08]);
+        assert_eq!(Request::StoredBytes.encode(), vec![0x09]);
+        assert_eq!(Request::Gc.encode(), vec![0x0A]);
+        assert_eq!(Request::DumpRefs.encode(), vec![0x24]);
+    }
+
+    #[test]
+    fn golden_reply_bytes() {
+        assert_eq!(Reply::Unit.encode(), vec![0x80]);
+        assert_eq!(Reply::Count(7).encode(), vec![0x87, 7, 0, 0, 0, 0, 0, 0, 0]);
+        assert_eq!(
+            Reply::Err(WireError::ServeletUnavailable { servelet: 3 }).encode(),
+            vec![0xEE, 0x07, 3, 0, 0, 0, 0, 0, 0, 0]
+        );
+        assert_eq!(
+            Reply::Err(WireError::NoSuchKey { key: "k".into() }).encode(),
+            vec![0xEE, 0x01, 1, 0, 0, 0, b'k']
+        );
+    }
+
+    #[test]
+    fn golden_frame_bytes() {
+        // A full frame around Probe: len=6 LE, version 1, tag 0x01, CRC.
+        let frame = encode_frame(&Request::Probe.encode());
+        let crc = crc32(&[WIRE_VERSION, 0x01]).to_le_bytes();
+        let mut want = vec![6, 0, 0, 0, WIRE_VERSION, 0x01];
+        want.extend_from_slice(&crc);
+        assert_eq!(frame, want);
+    }
+
+    #[test]
+    fn error_mapping_is_bijective_where_structured() {
+        let cases = vec![
+            DbError::NoSuchKey("k".into()),
+            DbError::NoSuchBranch {
+                key: "k".into(),
+                branch: "b".into(),
+            },
+            DbError::NoSuchVersion(forkbase_crypto::sha256(b"v")),
+            DbError::BranchExists {
+                key: "k".into(),
+                branch: "b".into(),
+            },
+            DbError::NoCommonAncestor(forkbase_crypto::sha256(b"a"), forkbase_crypto::sha256(b"b")),
+            DbError::TamperDetected("m".into()),
+            DbError::ServeletUnavailable { servelet: 1 },
+            DbError::ServeletTimeout { servelet: 2 },
+            DbError::PermissionDenied("m".into()),
+            DbError::InvalidInput("m".into()),
+        ];
+        for e in cases {
+            let code = e.code();
+            let w = WireError::from(&e);
+            let back = w.into_db();
+            assert_eq!(back.code(), code, "code survives the wire: {back:?}");
+        }
+        // Unstructured errors keep their stable code through Remote.
+        let merge = DbError::MergeConflicts(Vec::new());
+        let back = WireError::from(&merge).into_db();
+        assert_eq!(back.code(), "merge_conflicts");
+    }
+}

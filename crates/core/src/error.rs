@@ -70,6 +70,17 @@ pub enum DbError {
     PermissionDenied(String),
     /// Malformed input (bad key/branch names, etc.).
     InvalidInput(String),
+    /// An error that crossed the wire from a remote servelet without a
+    /// richer local form (store/tree/value internals, merge conflict
+    /// lists). `code` is the *original* stable [`DbError::code`] as
+    /// reported by the remote side, so clients branching on codes see
+    /// the same value whether the servelet is in-process or remote.
+    Remote {
+        /// The remote side's stable error code.
+        code: String,
+        /// The remote side's rendered message.
+        message: String,
+    },
 }
 
 impl DbError {
@@ -93,6 +104,18 @@ impl DbError {
             DbError::ServeletTimeout { .. } => "servelet_timeout",
             DbError::PermissionDenied(_) => "permission_denied",
             DbError::InvalidInput(_) => "invalid_input",
+            // Remote errors keep the code the remote side computed. The
+            // match interns the codes a servelet can actually produce so
+            // the return type stays `&'static str`; an unrecognized code
+            // (a newer remote) degrades to the generic bucket.
+            DbError::Remote { code, .. } => match code.as_str() {
+                "store_error" => "store_error",
+                "tree_error" => "tree_error",
+                "value_error" => "value_error",
+                "merge_conflicts" => "merge_conflicts",
+                "type_mismatch" => "type_mismatch",
+                _ => "remote_error",
+            },
         }
     }
 }
@@ -130,6 +153,9 @@ impl std::fmt::Display for DbError {
             }
             DbError::PermissionDenied(m) => write!(f, "permission denied: {m}"),
             DbError::InvalidInput(m) => write!(f, "invalid input: {m}"),
+            DbError::Remote { code, message } => {
+                write!(f, "remote servelet error ({code}): {message}")
+            }
         }
     }
 }

@@ -54,8 +54,9 @@ pub use api::{
 pub use bundle::{export_bundle, import_bundle, BundleRef};
 pub use cluster::{
     ChaosPlan, ChaosReport, Cluster, ClusterGcReport, ClusterStat, ClusterTopology,
-    ClusterWriteBatch, HealthState, MapPage, Partial, PartialHeads, Respawned, RetryPolicy,
-    RpcConfig, ServeletHealth, SupervisionReport, Supervisor,
+    ClusterWriteBatch, HealthState, MapPage, Partial, PartialHeads, PersistFn, RemoteRespawnFn,
+    Respawned, RetryPolicy, RpcConfig, ServeletHealth, ServeletServer, SupervisionReport,
+    Supervisor,
 };
 pub use error::{DbError, DbResult};
 pub use fnode::{FNode, Uid};

@@ -1,10 +1,24 @@
 //! Cluster rebalance and fault-path integration tests.
 //!
+//! The rebalance and dead-servelet suites are **transport-generic**: each
+//! runs once over the in-process channel transport (`Cluster::new`) and
+//! once over real loopback TCP (`ServeletServer` + `Cluster::connect`),
+//! so the wire protocol is held to exactly the contract the channel
+//! transport established. Chaos injection stays in-process-only (see
+//! `cluster_chaos_tests.rs`) — the TCP transport ignores fault plans by
+//! design, keeping chaos schedules deterministic.
+//!
 //! The heavy concurrent variant (`stress_…`) is `#[ignore]`d in tier-1 and
 //! runs in the CI `stress` job (`cargo test --release -- --ignored stress`).
 
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex};
+
 use bytes::Bytes;
-use forkbase::{Cluster, DbError, PutOptions, Uid, VersionSpec};
+use forkbase::{
+    Cluster, ClusterTopology, DbError, DbResult, ForkBase, PutOptions, ServeletServer, Uid,
+    VersionSpec,
+};
 use forkbase_postree::TreeConfig;
 use forkbase_store::MemStore;
 
@@ -27,6 +41,167 @@ impl Rng {
     }
 }
 
+// ---------------------------------------------------------------------
+// Transport-generic harness
+// ---------------------------------------------------------------------
+
+enum Backend {
+    /// Channel-pair transport: servelets are worker threads inside this
+    /// process, maintenance closures run on the node itself.
+    InProcess,
+    /// Wire-protocol transport: servelets are `ServeletServer`s on
+    /// loopback TCP and the cluster is a pure `connect()`-ed router.
+    /// Maintenance-closure inspection goes through a side-channel handle
+    /// to each servelet's database (same process, same `Arc`), since the
+    /// router rightly refuses to ship closures over the network.
+    Tcp,
+}
+
+struct RemoteServelet {
+    /// `None` once killed — the listener is gone, connects are refused.
+    server: Option<ServeletServer>,
+    db: Arc<ForkBase<MemStore>>,
+}
+
+/// A cluster plus enough backend bookkeeping to run the same test body
+/// over either transport.
+struct TestCluster {
+    c: Cluster<MemStore>,
+    backend: Backend,
+    cfg: TreeConfig,
+    remote: Mutex<HashMap<u64, RemoteServelet>>,
+}
+
+impl TestCluster {
+    fn in_process(n: usize) -> TestCluster {
+        TestCluster {
+            c: Cluster::new(n, TreeConfig::test_config()),
+            backend: Backend::InProcess,
+            cfg: TreeConfig::test_config(),
+            remote: Mutex::new(HashMap::new()),
+        }
+    }
+
+    fn tcp(n: usize) -> TestCluster {
+        let cfg = TreeConfig::test_config();
+        let mut remote = HashMap::new();
+        let mut servelet_ids = Vec::new();
+        let mut addrs = Vec::new();
+        for id in 0..n as u64 {
+            let db = Arc::new(ForkBase::with_config(MemStore::new(), cfg));
+            let server = ServeletServer::spawn("127.0.0.1:0", Arc::clone(&db), None).unwrap();
+            servelet_ids.push(id);
+            addrs.push(Some(server.addr().to_string()));
+            remote.insert(
+                id,
+                RemoteServelet {
+                    server: Some(server),
+                    db,
+                },
+            );
+        }
+        let topology = ClusterTopology {
+            servelet_ids,
+            addrs,
+            next_id: n as u64,
+        };
+        TestCluster {
+            c: Cluster::connect(&topology, cfg).unwrap(),
+            backend: Backend::Tcp,
+            cfg,
+            remote: Mutex::new(remote),
+        }
+    }
+
+    /// Run `f` against the database of the servelet owning `key`.
+    fn with_key<R: Send + 'static>(
+        &self,
+        key: &str,
+        f: impl FnOnce(&ForkBase<MemStore>) -> R + Send + 'static,
+    ) -> DbResult<R> {
+        match self.backend {
+            Backend::InProcess => self.c.with_key(key, f),
+            Backend::Tcp => {
+                let id = self.c.owner_id(key);
+                let remote = self.remote.lock().unwrap();
+                Ok(f(&remote[&id].db))
+            }
+        }
+    }
+
+    /// Run `f` against the database of the servelet at `slot`.
+    fn on_node<R: Send + 'static>(
+        &self,
+        slot: usize,
+        f: impl FnOnce(&ForkBase<MemStore>) -> R + Send + 'static,
+    ) -> DbResult<R> {
+        match self.backend {
+            Backend::InProcess => self.c.on_node(slot, f),
+            Backend::Tcp => {
+                let id = self.c.ids()[slot];
+                let remote = self.remote.lock().unwrap();
+                Ok(f(&remote[&id].db))
+            }
+        }
+    }
+
+    /// Grow the cluster by one servelet over the backend's transport.
+    fn add_servelet(&self) -> DbResult<u64> {
+        match self.backend {
+            Backend::InProcess => self.c.add_servelet(MemStore::new()),
+            Backend::Tcp => {
+                let db = Arc::new(ForkBase::with_config(MemStore::new(), self.cfg));
+                let server = ServeletServer::spawn("127.0.0.1:0", Arc::clone(&db), None)?;
+                let addr = server.addr().to_string();
+                let id = self.c.add_remote_servelet(addr)?;
+                self.remote.lock().unwrap().insert(
+                    id,
+                    RemoteServelet {
+                        server: Some(server),
+                        db,
+                    },
+                );
+                Ok(id)
+            }
+        }
+    }
+
+    /// Drain and remove servelet `id`; over TCP also stop its server.
+    fn remove_servelet(&self, id: u64) -> DbResult<()> {
+        self.c.remove_servelet(id)?;
+        if let Backend::Tcp = self.backend {
+            if let Some(r) = self.remote.lock().unwrap().remove(&id) {
+                if let Some(server) = r.server {
+                    server.stop();
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Kill the servelet at `slot` without removing it from the ring:
+    /// in-process that shuts down the worker thread; over TCP it stops
+    /// the listener so the router sees connection-refused.
+    fn kill(&self, slot: usize) -> DbResult<()> {
+        match self.backend {
+            Backend::InProcess => self.c.kill_servelet(slot),
+            Backend::Tcp => {
+                let id = self.c.ids()[slot];
+                if let Some(server) = self
+                    .remote
+                    .lock()
+                    .unwrap()
+                    .get_mut(&id)
+                    .and_then(|r| r.server.take())
+                {
+                    server.stop();
+                }
+                Ok(())
+            }
+        }
+    }
+}
+
 /// Everything about a key's state that migration must preserve.
 #[derive(Debug, PartialEq)]
 struct KeyFingerprint {
@@ -36,9 +211,9 @@ struct KeyFingerprint {
     history: Vec<Uid>,
 }
 
-fn fingerprint(c: &Cluster, key: &str) -> KeyFingerprint {
+fn fingerprint(h: &TestCluster, key: &str) -> KeyFingerprint {
     let owned = key.to_string();
-    c.with_key(key, move |db| {
+    h.with_key(key, move |db| {
         let heads = db
             .list_branches(&owned)
             .unwrap()
@@ -59,11 +234,11 @@ fn fingerprint(c: &Cluster, key: &str) -> KeyFingerprint {
 /// Build a randomized workload: `n` keys, 1–4 versions each, some extra
 /// branches, a couple of map-valued keys for proof checks. Returns the
 /// map-valued key names.
-fn seed_workload(c: &Cluster, rng: &mut Rng, n: usize) -> Vec<String> {
+fn seed_workload(h: &TestCluster, rng: &mut Rng, n: usize) -> Vec<String> {
     for i in 0..n {
         let key = format!("key-{i:03}");
         for rev in 0..=rng.below(3) {
-            c.put_string(
+            h.c.put_string(
                 &key,
                 format!("contents of {key} rev {rev} pad {}", rng.below(1 << 20)),
                 PutOptions::default().author("seed"),
@@ -72,7 +247,7 @@ fn seed_workload(c: &Cluster, rng: &mut Rng, n: usize) -> Vec<String> {
         }
         if rng.below(3) == 0 {
             let branch = format!("b{}", rng.below(2));
-            c.with_key(&key, {
+            h.with_key(&key, {
                 let key = key.clone();
                 move |db| db.branch(&key, "master", &branch)
             })
@@ -93,7 +268,7 @@ fn seed_workload(c: &Cluster, rng: &mut Rng, n: usize) -> Vec<String> {
                 )
             })
             .collect();
-        c.with_key(&key, {
+        h.with_key(&key, {
             let key = key.clone();
             move |db| {
                 let map = db.new_map(pairs)?;
@@ -112,24 +287,22 @@ fn seed_workload(c: &Cluster, rng: &mut Rng, n: usize) -> Vec<String> {
 /// uids and full history, verification and entry proofs still pass on
 /// migrated keys, only keys whose ring owner changed moved, and the total
 /// stored bytes don't balloon past what migration can legitimately add.
-#[test]
-fn rebalance_preserves_history_proofs_and_dedup() {
-    let c = Cluster::new(3, TreeConfig::test_config());
+fn rebalance_case(h: &TestCluster) {
     let mut rng = Rng(0x5EED_F08B_A5E5_0001);
-    let map_keys = seed_workload(&c, &mut rng, 80);
+    let map_keys = seed_workload(h, &mut rng, 80);
 
-    let all_keys = c.list_keys().unwrap();
+    let all_keys = h.c.list_keys().unwrap();
     let owners_before: Vec<(String, u64)> = all_keys
         .iter()
-        .map(|k| (k.clone(), c.owner_id(k)))
+        .map(|k| (k.clone(), h.c.owner_id(k)))
         .collect();
-    let prints_before: Vec<KeyFingerprint> = all_keys.iter().map(|k| fingerprint(&c, k)).collect();
+    let prints_before: Vec<KeyFingerprint> = all_keys.iter().map(|k| fingerprint(h, k)).collect();
     // Entry proofs against the pre-migration head uid.
     let proofs_before: Vec<(String, Uid, forkbase_postree::MerkleProof)> = map_keys
         .iter()
         .map(|key| {
             let owned = key.clone();
-            let (proof, uid) = c
+            let (proof, uid) = h
                 .with_key(key, move |db| {
                     db.prove_entry(&owned, &VersionSpec::branch("master"), b"row0042")
                 })
@@ -138,19 +311,19 @@ fn rebalance_preserves_history_proofs_and_dedup() {
             (key.clone(), uid, proof)
         })
         .collect();
-    let bytes_before = c.total_stored_bytes().unwrap();
+    let bytes_before = h.c.total_stored_bytes().unwrap();
 
     // Grow, then shrink: two full migrations.
-    let new_id = c.add_servelet(MemStore::new()).unwrap();
-    let removed = c.ids()[0];
-    c.remove_servelet(removed).unwrap();
+    let new_id = h.add_servelet().unwrap();
+    let removed = h.c.ids()[0];
+    h.remove_servelet(removed).unwrap();
 
     // Membership changed, key set did not.
-    assert_eq!(c.list_keys().unwrap(), all_keys);
+    assert_eq!(h.c.list_keys().unwrap(), all_keys);
 
     let mut migrated = 0usize;
     for ((key, owner_before), print_before) in owners_before.iter().zip(&prints_before) {
-        let owner_now = c.owner_id(key);
+        let owner_now = h.c.owner_id(key);
         let moved = owner_now != *owner_before;
         if moved {
             migrated += 1;
@@ -164,14 +337,14 @@ fn rebalance_preserves_history_proofs_and_dedup() {
         }
         // Heads, history, and uids are byte-identical wherever it lives.
         assert_eq!(
-            &fingerprint(&c, key),
+            &fingerprint(h, key),
             print_before,
             "{key} fingerprint drifted"
         );
         // Tamper evidence survives the move: full-history verification on
         // the (possibly new) owner.
         let owned = key.clone();
-        let verified = c
+        let verified = h
             .with_key(key, move |db| db.verify_branch(&owned, "master"))
             .unwrap()
             .unwrap();
@@ -187,7 +360,7 @@ fn rebalance_preserves_history_proofs_and_dedup() {
     // addresses survived byte-identically.
     for (key, uid, proof) in proofs_before {
         let owned = key.clone();
-        let value = c
+        let value = h
             .with_key(&key, move |db| {
                 let head = db.head(&owned, "master")?;
                 assert_eq!(head, uid, "{owned} head uid changed across migration");
@@ -202,12 +375,12 @@ fn rebalance_preserves_history_proofs_and_dedup() {
     // source copies, so after a cluster-wide GC the footprint must come
     // back to the pre-rebalance ballpark (placement changed, content did
     // not; only cross-key dedup lost to re-partitioning may add a little).
-    let gc = c.gc().unwrap();
+    let gc = h.c.gc().unwrap();
     assert!(gc.degraded.is_empty(), "every servelet is alive");
     for (_, report) in gc.reports {
         assert_eq!(report.sweep.chunks_rewritten, 0, "MemStore never rewrites");
     }
-    let bytes_after = c.total_stored_bytes().unwrap();
+    let bytes_after = h.c.total_stored_bytes().unwrap();
     assert!(
         bytes_after as f64 <= bytes_before as f64 * 1.10,
         "stored bytes regressed past the dedup ratio: {bytes_before} -> {bytes_after}"
@@ -218,24 +391,33 @@ fn rebalance_preserves_history_proofs_and_dedup() {
     );
 }
 
+#[test]
+fn rebalance_preserves_history_proofs_and_dedup() {
+    rebalance_case(&TestCluster::in_process(3));
+}
+
+#[test]
+fn rebalance_preserves_history_proofs_and_dedup_over_tcp() {
+    rebalance_case(&TestCluster::tcp(3));
+}
+
 /// Dead-servelet error path: a downed worker yields a structured,
 /// machine-readable error on every routed verb, and the rest of the
 /// cluster keeps serving.
-#[test]
-fn dead_servelet_error_paths_are_structured() {
-    let c = Cluster::new(3, TreeConfig::test_config());
+fn dead_servelet_case(h: &TestCluster) {
     for i in 0..30 {
-        c.put_string(&format!("k{i}"), format!("v{i}"), PutOptions::default())
+        h.c.put_string(&format!("k{i}"), format!("v{i}"), PutOptions::default())
             .unwrap();
     }
-    let victim_slot = c.route("k0");
-    c.kill_servelet(victim_slot).unwrap();
+    let victim_slot = h.c.route("k0");
+    h.kill(victim_slot).unwrap();
 
     // Routed single-key verbs.
-    let err = c.get("k0", "master").unwrap_err();
+    let err = h.c.get("k0", "master").unwrap_err();
     assert_eq!(err.code(), "servelet_unavailable");
     assert!(matches!(err, DbError::ServeletUnavailable { .. }));
-    assert!(c
+    assert!(h
+        .c
         .put(
             "k0",
             forkbase_types::Value::string("x"),
@@ -245,16 +427,16 @@ fn dead_servelet_error_paths_are_structured() {
 
     // Scatter-gather verbs surface the same structured error instead of
     // hanging or panicking.
-    assert_eq!(c.list_keys().unwrap_err().code(), "servelet_unavailable");
-    assert_eq!(c.stats().unwrap_err().code(), "servelet_unavailable");
+    assert_eq!(h.c.list_keys().unwrap_err().code(), "servelet_unavailable");
+    assert_eq!(h.c.stats().unwrap_err().code(), "servelet_unavailable");
 
     // A batch whose groups include the dead servelet fails with the same
     // code; groups routed entirely to live servelets still commit.
     let live_key = (0..)
         .map(|i| format!("probe-{i}"))
-        .find(|k| c.route(k) != victim_slot)
+        .find(|k| h.c.route(k) != victim_slot)
         .unwrap();
-    let mut wb = c.write_batch();
+    let mut wb = h.c.write_batch();
     wb.put(
         &live_key,
         forkbase_types::Value::string("ok"),
@@ -268,12 +450,22 @@ fn dead_servelet_error_paths_are_structured() {
     assert_eq!(wb.commit().unwrap_err().code(), "servelet_unavailable");
 
     // Live servelets keep serving routed traffic.
-    c.put_string(&live_key, "still here".into(), PutOptions::default())
+    h.c.put_string(&live_key, "still here".into(), PutOptions::default())
         .unwrap();
     assert_eq!(
-        c.get(&live_key, "master").unwrap().value.as_str(),
+        h.c.get(&live_key, "master").unwrap().value.as_str(),
         Some("still here")
     );
+}
+
+#[test]
+fn dead_servelet_error_paths_are_structured() {
+    dead_servelet_case(&TestCluster::in_process(3));
+}
+
+#[test]
+fn dead_servelet_error_paths_are_structured_over_tcp() {
+    dead_servelet_case(&TestCluster::tcp(3));
 }
 
 /// Heavy variant for the CI stress job: clients hammer routed puts/gets
@@ -284,7 +476,6 @@ fn dead_servelet_error_paths_are_structured() {
 #[ignore = "heavy; run by the CI stress job in release mode"]
 fn stress_cluster_rebalance_with_concurrent_clients() {
     use std::sync::atomic::{AtomicBool, Ordering};
-    use std::sync::Arc;
 
     let c = Arc::new(Cluster::new(3, TreeConfig::test_config()));
     let stop = Arc::new(AtomicBool::new(false));
@@ -360,18 +551,16 @@ fn stress_cluster_rebalance_with_concurrent_clients() {
 /// servelets, diverged by later writes to the real owner — must be healed
 /// by the next rebalance (stale copy dropped, authoritative copy kept),
 /// not wedge it with an import conflict.
-#[test]
-fn interrupted_rebalance_residue_heals_on_next_rebalance() {
-    let c = Cluster::new(3, TreeConfig::test_config());
+fn residue_case(h: &TestCluster) {
     for i in 0..30 {
-        c.put_string(&format!("key-{i}"), format!("v{i}"), PutOptions::default())
+        h.c.put_string(&format!("key-{i}"), format!("v{i}"), PutOptions::default())
             .unwrap();
     }
     // Fabricate the crash-window residue: copy key-0's bundle onto a
     // non-owner servelet, then diverge the authoritative copy.
-    let owner = c.route("key-0");
+    let owner = h.c.route("key-0");
     let stale_slot = (owner + 1) % 3;
-    let bundle = c
+    let bundle = h
         .on_node(owner, |db| {
             let mut buf = Vec::new();
             forkbase::export_bundle(db, "key-0", &[], &mut buf)?;
@@ -379,35 +568,45 @@ fn interrupted_rebalance_residue_heals_on_next_rebalance() {
         })
         .unwrap()
         .unwrap();
-    c.on_node(stale_slot, move |db| {
+    h.on_node(stale_slot, move |db| {
         forkbase::import_bundle(db, &mut bundle.as_slice()).map(|_| ())
     })
     .unwrap()
     .unwrap();
-    c.put_string("key-0", "diverged".into(), PutOptions::default())
+    h.c.put_string("key-0", "diverged".into(), PutOptions::default())
         .unwrap();
 
     // list_keys dedups the transient double listing.
-    assert_eq!(c.list_keys().unwrap().len(), 30);
+    assert_eq!(h.c.list_keys().unwrap().len(), 30);
 
     // Grow then shrink: both rebalances must converge and keep serving
     // the diverged (authoritative) value.
-    let id = c.add_servelet(MemStore::new()).unwrap();
+    let id = h.add_servelet().unwrap();
     assert_eq!(
-        c.get("key-0", "master").unwrap().value.as_str(),
+        h.c.get("key-0", "master").unwrap().value.as_str(),
         Some("diverged")
     );
-    let copies = (0..c.len())
+    let copies = (0..h.c.len())
         .filter(|&slot| {
-            c.on_node(slot, |db| db.list_keys().contains(&"key-0".to_string()))
+            h.on_node(slot, |db| db.list_keys().contains(&"key-0".to_string()))
                 .unwrap()
         })
         .count();
     assert_eq!(copies, 1, "stale copy must be gone after the rebalance");
-    c.remove_servelet(id).unwrap();
+    h.remove_servelet(id).unwrap();
     assert_eq!(
-        c.get("key-0", "master").unwrap().value.as_str(),
+        h.c.get("key-0", "master").unwrap().value.as_str(),
         Some("diverged")
     );
-    assert_eq!(c.list_keys().unwrap().len(), 30);
+    assert_eq!(h.c.list_keys().unwrap().len(), 30);
+}
+
+#[test]
+fn interrupted_rebalance_residue_heals_on_next_rebalance() {
+    residue_case(&TestCluster::in_process(3));
+}
+
+#[test]
+fn interrupted_rebalance_residue_heals_on_next_rebalance_over_tcp() {
+    residue_case(&TestCluster::tcp(3));
 }
