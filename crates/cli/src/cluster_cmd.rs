@@ -4,17 +4,31 @@
 //! Layout under `<root>/cluster/`:
 //!
 //! ```text
-//! <root>/cluster/TOPOLOGY               — servelet ids + next id (stable routing)
+//! <root>/cluster/TOPOLOGY               — servelet ids, roles + next id (stable routing)
+//! <root>/cluster/REPLICAS_SYNCED        — replicas proven caught-up at last clean save
 //! <root>/cluster/servelet-<id>/chunks/  — that servelet's pack files
 //! <root>/cluster/servelet-<id>/refs     — that servelet's branch heads
 //! ```
 //!
 //! Every servelet runs its own worker thread with a private
 //! `ForkBase<FileStore>`; the topology record makes routing a pure
-//! function of the persisted servelet ids, so reopening the directory
+//! function of the persisted ring anchors, so reopening the directory
 //! routes every key exactly as before. `add`/`remove` rebalance live:
 //! only the keys whose ring owner changed migrate, each with its full
-//! branch/version history and byte-identical chunk addresses.
+//! branch/version history and byte-identical chunk addresses. Replicas
+//! (`add-replica`, `promote`, `replication-status`) use the same
+//! `servelet-<id>/` layout and are re-attached on reopen.
+//!
+//! `REPLICAS_SYNCED` is the cross-process half of the zero-acked-write-
+//! loss story: a (re)attached replica is conservatively marked for full
+//! resync, which needs a live primary — so promoting a dead primary's
+//! replica from a *fresh* process would be refused. The marker, written
+//! durably at every clean [`ClusterSession::save`] for exactly the
+//! replicas the ship left at lag 0 (refs already persisted), and
+//! **consumed (deleted) on open**, lets those replicas re-attach
+//! caught-up: `cluster promote` then works with the primary dead,
+//! draining an empty log. Any unclean exit leaves no marker and the next
+//! open falls back to the conservative resync.
 
 use std::path::{Path, PathBuf};
 use std::sync::Arc;
@@ -26,6 +40,10 @@ use forkbase_types::Value;
 fn io_err(e: std::io::Error) -> DbError {
     DbError::Store(forkbase_store::StoreError::Io(e))
 }
+
+/// First line of the `REPLICAS_SYNCED` marker; an unrecognized magic is
+/// ignored (conservative: the replicas just resync in full).
+const SYNCED_MARKER_MAGIC: &str = "forkbase-cluster-replicas-synced-v1";
 
 /// Durably replace `path` with `contents`: write a tmp file, fsync it,
 /// atomically rename it into place, then fsync the parent directory —
@@ -90,6 +108,10 @@ impl ClusterSession {
         Self::cluster_dir(root).join(format!("servelet-{id}"))
     }
 
+    fn synced_marker_path(root: &Path) -> PathBuf {
+        Self::cluster_dir(root).join("REPLICAS_SYNCED")
+    }
+
     /// Initialize a fresh cluster of `n` servelets under `root`. Refuses
     /// to clobber an existing topology.
     pub fn init(root: impl AsRef<Path>, n: usize) -> DbResult<ClusterSession> {
@@ -147,6 +169,44 @@ impl ClusterSession {
                 cluster.on_node(slot, move |db| db.load_refs(&text))??;
             }
         }
+        // Local replicas restore their mirrored heads the same way — the
+        // catch-up marker below can only vouch for a replica whose
+        // persisted refs are actually loaded.
+        for (rid, _) in cluster.replica_ids() {
+            if cluster.servelet_addr(rid).is_some() {
+                continue;
+            }
+            let refs_path = Self::servelet_dir(&root, rid).join("refs");
+            if refs_path.exists() {
+                let text = std::fs::read_to_string(&refs_path).map_err(io_err)?;
+                cluster.on_replica(rid, move |db| db.load_refs(&text))??;
+            }
+        }
+        // Consume the catch-up marker: replicas the last clean save
+        // proved at lag 0 (with refs persisted) re-attach caught-up, so
+        // `promote` works even when their primary never comes back. The
+        // marker is deleted BEFORE any command runs — a crash from here
+        // on leaves no marker, and the next open resyncs conservatively.
+        let marker_path = Self::synced_marker_path(&root);
+        match std::fs::read_to_string(&marker_path) {
+            Ok(text) => {
+                let mut lines = text.lines();
+                if lines.next() == Some(SYNCED_MARKER_MAGIC) {
+                    let attached: Vec<u64> =
+                        cluster.replica_ids().iter().map(|&(rid, _)| rid).collect();
+                    for line in lines {
+                        if let Ok(rid) = line.trim().parse::<u64>() {
+                            if attached.contains(&rid) {
+                                cluster.mark_replica_synced(rid)?;
+                            }
+                        }
+                    }
+                }
+                std::fs::remove_file(&marker_path).map_err(io_err)?;
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => {}
+            Err(e) => return Err(io_err(e)),
+        }
         // Supervised restarts reopen the packs AND restore the persisted
         // branch heads — richer than the bare `open` factory above.
         let respawn_root = root.clone();
@@ -178,24 +238,68 @@ impl ClusterSession {
     }
 
     /// Persist the topology record plus every servelet's branch heads,
-    /// syncing each chunk store first.
+    /// syncing each chunk store first. Ships the replication log first
+    /// (best-effort), so replicas are as fresh as possible at the
+    /// durability point.
     pub fn save(&self) -> DbResult<()> {
+        let _ = self.cluster.ship_replication();
         let topology = self.cluster.topology();
-        for (slot, id) in topology.servelet_ids.iter().enumerate() {
+        // Primaries, by slot (the topology record lists primaries in slot
+        // order, replicas after them).
+        for (slot, id) in self.cluster.ids().into_iter().enumerate() {
             // Remote servelets persist on their own side (ack-implies-
             // durable); only the topology entry is ours to record.
-            if topology.addr_of(*id).is_some() {
+            if topology.addr_of(id).is_some() {
                 continue;
             }
             let refs = self.cluster.on_node(slot, |db| {
                 forkbase_store::ChunkStore::sync(db.store())?;
                 Ok::<_, DbError>(db.dump_refs())
             })??;
-            let dir = Self::servelet_dir(&self.root, *id);
+            let dir = Self::servelet_dir(&self.root, id);
+            std::fs::create_dir_all(&dir).map_err(io_err)?;
+            write_durable(&dir.join("refs"), &refs)?;
+        }
+        // Local replicas persist their mirrors the same way.
+        for (rid, _) in self.cluster.replica_ids() {
+            if topology.addr_of(rid).is_some() {
+                continue;
+            }
+            let refs = self.cluster.on_replica(rid, |db| {
+                forkbase_store::ChunkStore::sync(db.store())?;
+                Ok::<_, DbError>(db.dump_refs())
+            })??;
+            let dir = Self::servelet_dir(&self.root, rid);
             std::fs::create_dir_all(&dir).map_err(io_err)?;
             write_durable(&dir.join("refs"), &refs)?;
         }
         write_durable(&Self::topology_path(&self.root), &topology.encode())?;
+        // Record which replicas this save proved caught-up (shipped to
+        // lag 0 above, refs now durable): they may re-attach without a
+        // full resync on the next open — see the module doc. Written
+        // last: the marker must never assert more than what is on disk.
+        let caught_up: Vec<String> = self
+            .cluster
+            .replication_status()
+            .primaries
+            .iter()
+            .flat_map(|p| &p.replicas)
+            .filter(|r| r.lag == 0 && r.pending == 0 && !r.needs_full_sync)
+            .map(|r| r.id.to_string())
+            .collect();
+        let marker_path = Self::synced_marker_path(&self.root);
+        if caught_up.is_empty() {
+            match std::fs::remove_file(&marker_path) {
+                Ok(()) => {}
+                Err(e) if e.kind() == std::io::ErrorKind::NotFound => {}
+                Err(e) => return Err(io_err(e)),
+            }
+        } else {
+            write_durable(
+                &marker_path,
+                &format!("{SYNCED_MARKER_MAGIC}\n{}\n", caught_up.join("\n")),
+            )?;
+        }
         Ok(())
     }
 
@@ -253,6 +357,57 @@ impl ClusterSession {
         Ok(id)
     }
 
+    /// Attach a new local replica (provisioning its data directory) to
+    /// primary `primary_id`, fully synced before this returns. Persists
+    /// the topology so a reopen re-attaches it.
+    pub fn add_replica(&self, primary_id: u64) -> DbResult<u64> {
+        let id = self.cluster.next_servelet_id();
+        let dir = Self::servelet_dir(&self.root, id);
+        let store = FileStore::open(dir.join("chunks"))?;
+        let assigned = match self.cluster.add_replica(primary_id, store) {
+            Ok(assigned) => assigned,
+            Err(e) => {
+                // The id is burned; drop the freshly provisioned directory.
+                let _ = std::fs::remove_dir_all(&dir);
+                return Err(e);
+            }
+        };
+        debug_assert_eq!(assigned, id);
+        let refs = self.cluster.on_replica(assigned, |db| {
+            forkbase_store::ChunkStore::sync(db.store())?;
+            Ok::<_, DbError>(db.dump_refs())
+        })??;
+        write_durable(&dir.join("refs"), &refs)?;
+        write_durable(
+            &Self::topology_path(&self.root),
+            &self.cluster.topology().encode(),
+        )?;
+        Ok(assigned)
+    }
+
+    /// Attach a **remote** replica process (already listening via
+    /// `forkbase serve --servelet ADDR`) to primary `primary_id` and
+    /// persist the topology.
+    pub fn add_remote_replica(&self, primary_id: u64, addr: &str) -> DbResult<u64> {
+        let id = self.cluster.add_remote_replica(primary_id, addr)?;
+        write_durable(
+            &Self::topology_path(&self.root),
+            &self.cluster.topology().encode(),
+        )?;
+        Ok(id)
+    }
+
+    /// Promote replica `id` to primary of its slot (see
+    /// [`Cluster::promote_replica`]) and persist the swung topology.
+    /// The retired primary's data directory is left on disk — its id is
+    /// burned, so nothing will ever route to it; delete it by hand once
+    /// you no longer want the forensic copy. Returns the retired id.
+    pub fn promote_replica(&self, id: u64) -> DbResult<u64> {
+        let old = self.cluster.promote_replica(id)?;
+        self.save()?;
+        Ok(old)
+    }
+
     /// Remove servelet `id` after migrating its keys away, then delete its
     /// drained data directory.
     pub fn remove_servelet(&self, id: u64) -> DbResult<()> {
@@ -276,7 +431,8 @@ pub fn run_cluster_command(session: &ClusterSession, args: &[&str]) -> DbResult<
         DbError::InvalidInput(
             "usage: cluster init N | put KEY VALUE | get KEY | batch put:K=V|del:K … | \
              range KEY [START [END]] [--limit N] | add | add-remote ADDR | remove ID | \
-             keys | stats | gc | topology | \
+             add-replica PRIMARY_ID | add-remote-replica PRIMARY_ID ADDR | \
+             promote REPLICA_ID | replication-status | keys | stats | gc | topology | \
              health | restart ID | serve [PORT] \
              [--branch B --author A --message M] (see README \"Sharding & elasticity\")"
                 .into(),
@@ -411,12 +567,84 @@ pub fn run_cluster_command(session: &ClusterSession, args: &[&str]) -> DbResult<
             ))
         }
         "topology" => {
+            // Columns 1–2 (and the remote address) are unchanged from the
+            // pre-replication output; the role is appended as a NEW last
+            // column so existing consumers keep parsing by prefix.
             let topo = cluster.topology();
             let mut out = String::new();
             for id in &topo.servelet_ids {
                 match topo.addr_of(*id) {
-                    Some(addr) => out.push_str(&format!("servelet {id}\tremote\t{addr}\n")),
-                    None => out.push_str(&format!("servelet {id}\tin-process\n")),
+                    Some(addr) => out.push_str(&format!("servelet {id}\tremote\t{addr}")),
+                    None => out.push_str(&format!("servelet {id}\tin-process")),
+                }
+                match topo.role_of(*id) {
+                    Some(forkbase::TopoRole::Primary { anchor }) if anchor == id => {
+                        out.push_str("\tprimary")
+                    }
+                    Some(forkbase::TopoRole::Primary { anchor }) => {
+                        out.push_str(&format!("\tprimary (anchor {anchor})"))
+                    }
+                    Some(forkbase::TopoRole::Replica { primary }) => {
+                        out.push_str(&format!("\treplica of {primary}"))
+                    }
+                    None => {}
+                }
+                out.push('\n');
+            }
+            Ok(out)
+        }
+        "add-replica" => {
+            let primary: u64 = pos(0)?
+                .parse()
+                .map_err(|_| DbError::InvalidInput("add-replica needs a primary id".into()))?;
+            let id = session.add_replica(primary)?;
+            Ok(format!(
+                "replica {id} attached to primary {primary} (synced)"
+            ))
+        }
+        "add-remote-replica" => {
+            let primary: u64 = pos(0)?.parse().map_err(|_| {
+                DbError::InvalidInput("add-remote-replica needs a primary id".into())
+            })?;
+            let addr = pos(1)?;
+            let id = session.add_remote_replica(primary, addr)?;
+            Ok(format!(
+                "remote replica {id} ({addr}) attached to primary {primary} (synced)"
+            ))
+        }
+        "promote" => {
+            let id: u64 = pos(0)?
+                .parse()
+                .map_err(|_| DbError::InvalidInput("promote needs a replica id".into()))?;
+            let old = session.promote_replica(id)?;
+            Ok(format!(
+                "replica {id} promoted; primary {old} retired (its id is burned; \
+                 its directory remains on disk until you delete it)"
+            ))
+        }
+        "replication-status" => {
+            let status = cluster.replication_status();
+            let mut out = String::new();
+            for p in &status.primaries {
+                out.push_str(&format!(
+                    "primary {}\tanchor {}\tseq {}\n",
+                    p.primary, p.anchor, p.seq
+                ));
+                for r in &p.replicas {
+                    out.push_str(&format!(
+                        "  replica {}\tlag {}\tpending {}{}{}\n",
+                        r.id,
+                        r.lag,
+                        r.pending,
+                        if r.needs_full_sync { "\tresyncing" } else { "" },
+                        match &r.addr {
+                            Some(a) => format!("\t{a}"),
+                            None => String::new(),
+                        },
+                    ));
+                }
+                if p.replicas.is_empty() {
+                    out.push_str("  (no replicas)\n");
                 }
             }
             Ok(out)
@@ -555,6 +783,81 @@ mod tests {
             run_cluster_command(&s, &["keys"]).unwrap().lines().count(),
             40
         );
+        std::fs::remove_dir_all(&root).unwrap();
+    }
+
+    #[test]
+    fn replication_via_commands_survives_reopen_and_promotes() {
+        let root = temp_root("replication");
+        let s = ClusterSession::init(&root, 2).unwrap();
+        for i in 0..20 {
+            run_cluster_command(&s, &["put", &format!("k{i}"), &format!("v{i}")]).unwrap();
+        }
+        let pid = s.cluster().ids()[0];
+        let out = run_cluster_command(&s, &["add-replica", &pid.to_string()]).unwrap();
+        assert!(out.contains(&format!("attached to primary {pid}")), "{out}");
+        let rid = s.cluster().replica_ids()[0].0;
+        assert!(ClusterSession::servelet_dir(&root, rid).exists());
+
+        // The topology output renders the new role column after the
+        // unchanged legacy columns.
+        let topo = run_cluster_command(&s, &["topology"]).unwrap();
+        assert!(
+            topo.contains(&format!("servelet {pid}\tin-process\tprimary\n")),
+            "{topo}"
+        );
+        assert!(
+            topo.contains(&format!("servelet {rid}\tin-process\treplica of {pid}\n")),
+            "{topo}"
+        );
+        let status = run_cluster_command(&s, &["replication-status"]).unwrap();
+        assert!(
+            status.contains(&format!("replica {rid}\tlag 0")),
+            "{status}"
+        );
+        s.save().unwrap();
+        // The clean save proved the replica caught-up and recorded it.
+        let marker = std::fs::read_to_string(ClusterSession::synced_marker_path(&root)).unwrap();
+        assert!(marker.contains(&rid.to_string()), "{marker}");
+        drop(s);
+
+        // Reopen re-attaches the replica. The catch-up marker is consumed
+        // (deleted) and the replica re-attaches already caught-up — no
+        // full resync, so the dead-primary promote below can work.
+        let s = ClusterSession::open(&root).unwrap();
+        assert!(!ClusterSession::synced_marker_path(&root).exists());
+        assert_eq!(s.cluster().replica_ids(), vec![(rid, pid)]);
+        let status = s.cluster().replication_status();
+        assert!(
+            !status.primaries[0].replicas[0].needs_full_sync,
+            "{status:?}"
+        );
+
+        // Kill the primary FIRST, then promote via the CLI — the runbook
+        // scenario: the primary never comes back, and the fresh process
+        // can still fail over because the marker vouched for the replica.
+        let slot = s.cluster().ids().iter().position(|&i| i == pid).unwrap();
+        s.cluster().kill_servelet(slot).unwrap();
+        let out = run_cluster_command(&s, &["promote", &rid.to_string()]).unwrap();
+        assert!(out.contains(&format!("replica {rid} promoted")), "{out}");
+        for i in 0..20 {
+            let got = run_cluster_command(&s, &["get", &format!("k{i}")]).unwrap();
+            assert!(got.contains(&format!("\"v{i}\"")), "{got}");
+        }
+        drop(s);
+
+        // The swung topology persisted: a fresh open routes through the
+        // promoted servelet, with the retired id gone for good.
+        let s = ClusterSession::open(&root).unwrap();
+        assert!(s.cluster().ids().contains(&rid));
+        assert!(!s.cluster().ids().contains(&pid));
+        for i in 0..20 {
+            let got = run_cluster_command(&s, &["get", &format!("k{i}")]).unwrap();
+            assert!(got.contains(&format!("\"v{i}\"")), "{got}");
+        }
+        // Bad inputs stay structured errors.
+        assert!(run_cluster_command(&s, &["add-replica", "nope"]).is_err());
+        assert!(run_cluster_command(&s, &["promote", "999"]).is_err());
         std::fs::remove_dir_all(&root).unwrap();
     }
 

@@ -8,6 +8,8 @@
 //! forkbase --data DIR cluster <sub> [args]  drive the elastic sharded cluster
 //!                                           (init N | put | get | batch | range |
 //!                                            add | add-remote ADDR | remove ID |
+//!                                            add-replica PID | add-remote-replica PID ADDR |
+//!                                            promote ID | replication-status |
 //!                                            keys | stats | gc | topology |
 //!                                            health | restart ID | serve [PORT])
 //! ```
@@ -154,6 +156,9 @@ fn cluster_main(data_dir: &str, args: &[&str]) -> ExitCode {
         };
         // Self-heal while serving: probe every 2 s and restart dead
         // servelets from their durable backends (packs + refs files).
+        // After 5 consecutive failed probes (~10 s down) a primary with a
+        // caught-up replica is failed over instead of restarted in place.
+        session.cluster_arc().set_failover_threshold(Some(5));
         let _supervisor =
             forkbase::Supervisor::spawn(session.cluster_arc(), std::time::Duration::from_secs(2));
         println!(

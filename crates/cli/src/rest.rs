@@ -33,7 +33,8 @@
 //! ```text
 //! GET  /v1/cluster/health             → per-servelet liveness JSON
 //! GET  /v1/cluster/topology           → per-servelet placement JSON
-//!                                       (id + transport + address)
+//!                                       (id + transport + address + role)
+//! GET  /v1/cluster/replication        → per-primary replication lag JSON
 //! POST /v1/cluster/restart/<id>       → supervised restart of servelet <id>
 //! GET  /get/<key>?branch=B            → routed get
 //! PUT  /put/<key>?branch=B            → routed put
@@ -264,6 +265,7 @@ fn handle_cluster_connection<S: SweepStore + Send + 'static>(
     let result: Result<String, DbError> = match (req.method.as_str(), segments.as_slice()) {
         ("GET", ["v1", "cluster", "health"]) => Ok(health_json(cluster)),
         ("GET", ["v1", "cluster", "topology"]) => Ok(topology_json(cluster)),
+        ("GET", ["v1", "cluster", "replication"]) => Ok(replication_json(cluster)),
         ("POST", ["v1", "cluster", "restart", id]) => id
             .parse::<u64>()
             .map_err(|_| DbError::InvalidInput(format!("servelet id is not a number: {id:?}")))
@@ -314,19 +316,34 @@ fn handle_cluster_connection<S: SweepStore + Send + 'static>(
 }
 
 /// `GET /v1/cluster/topology`: the persisted placement record as JSON —
-/// one entry per servelet with its stable id, transport, and (for remote
-/// servelets) the address its process listens on.
+/// one entry per servelet with its stable id, transport, (for remote
+/// servelets) the address its process listens on, and its replication
+/// role. The `role` fields are additive — `id`/`transport`/`address`
+/// keep their exact pre-replication shape, so existing consumers keep
+/// parsing (pinned by `topology_endpoint_reports_placement`).
 fn topology_json<S: SweepStore + Send + 'static>(cluster: &Cluster<S>) -> String {
     let topo = cluster.topology();
     let servelets: Vec<String> = topo
         .servelet_ids
         .iter()
-        .map(|id| match topo.addr_of(*id) {
-            Some(addr) => format!(
-                "{{\"id\":{id},\"transport\":\"tcp\",\"address\":\"{}\"}}",
-                json_escape(addr)
-            ),
-            None => format!("{{\"id\":{id},\"transport\":\"in-process\",\"address\":null}}"),
+        .map(|id| {
+            let head = match topo.addr_of(*id) {
+                Some(addr) => format!(
+                    "{{\"id\":{id},\"transport\":\"tcp\",\"address\":\"{}\"",
+                    json_escape(addr)
+                ),
+                None => format!("{{\"id\":{id},\"transport\":\"in-process\",\"address\":null"),
+            };
+            let role = match topo.role_of(*id) {
+                Some(forkbase::TopoRole::Primary { anchor }) => {
+                    format!(",\"role\":\"primary\",\"anchor\":{anchor}")
+                }
+                Some(forkbase::TopoRole::Replica { primary }) => {
+                    format!(",\"role\":\"replica\",\"primary\":{primary}")
+                }
+                None => String::new(),
+            };
+            format!("{head}{role}}}")
         })
         .collect();
     format!(
@@ -334,6 +351,42 @@ fn topology_json<S: SweepStore + Send + 'static>(cluster: &Cluster<S>) -> String
         servelets.join(","),
         topo.next_id
     )
+}
+
+/// `GET /v1/cluster/replication`: per-primary replication status — the
+/// capture sequence and, per replica, the applied sequence, staleness
+/// bound (`lag`), unshipped entries, and whether a full resync is due.
+fn replication_json<S: SweepStore + Send + 'static>(cluster: &Cluster<S>) -> String {
+    let status = cluster.replication_status();
+    let primaries: Vec<String> = status
+        .primaries
+        .iter()
+        .map(|p| {
+            let replicas: Vec<String> = p
+                .replicas
+                .iter()
+                .map(|r| {
+                    let addr = match &r.addr {
+                        Some(a) => format!("\"{}\"", json_escape(a)),
+                        None => "null".to_string(),
+                    };
+                    format!(
+                        "{{\"id\":{},\"address\":{addr},\"acked_seq\":{},\"lag\":{},\
+                         \"pending\":{},\"needs_full_sync\":{}}}",
+                        r.id, r.acked_seq, r.lag, r.pending, r.needs_full_sync
+                    )
+                })
+                .collect();
+            format!(
+                "{{\"primary\":{},\"anchor\":{},\"seq\":{},\"replicas\":[{}]}}",
+                p.primary,
+                p.anchor,
+                p.seq,
+                replicas.join(",")
+            )
+        })
+        .collect();
+    format!("{{\"primaries\":[{}]}}", primaries.join(","))
 }
 
 /// `GET /v1/cluster/health`: one record per servelet plus an overall
@@ -1091,14 +1144,81 @@ mod tests {
         let (status, body) = request(server.addr(), "GET", "/v1/cluster/topology", "");
         assert_eq!(status, 200);
         for id in cluster.ids() {
+            // The pre-replication fields are pinned byte-for-byte (in this
+            // exact order) so existing consumers keep parsing; the role
+            // column is strictly additive after them.
             assert!(
                 body.contains(&format!(
-                    "{{\"id\":{id},\"transport\":\"in-process\",\"address\":null}}"
+                    "{{\"id\":{id},\"transport\":\"in-process\",\"address\":null,\
+                     \"role\":\"primary\",\"anchor\":{id}}}"
                 )),
                 "{body}"
             );
         }
         assert!(body.contains("\"next_id\":3"), "{body}");
+        server.stop();
+    }
+
+    /// The replication endpoint surfaces per-primary lag, and the topology
+    /// endpoint renders the replica's role, without disturbing the
+    /// pre-replication fields existing consumers parse.
+    #[test]
+    fn replication_endpoint_reports_lag_and_roles() {
+        let (server, cluster, _refs) = start_cluster();
+        let pid = cluster.ids()[0];
+        let rid = cluster
+            .add_replica(pid, forkbase_store::MemStore::new().into())
+            .unwrap();
+
+        // No unshipped writes yet: the replica sits at lag 0.
+        let (status, body) = request(server.addr(), "GET", "/v1/cluster/replication", "");
+        assert_eq!(status, 200);
+        assert!(
+            body.contains(&format!("\"primary\":{pid},\"anchor\":{pid}")),
+            "{body}"
+        );
+        assert!(
+            body.contains(&format!(
+                "{{\"id\":{rid},\"address\":null,\"acked_seq\":0,\"lag\":0,\
+                 \"pending\":0,\"needs_full_sync\":false}}"
+            )),
+            "{body}"
+        );
+        // A primary with no replicas reports an empty replica list.
+        assert!(body.contains("\"replicas\":[]"), "{body}");
+
+        // An acked write on the replicated slot raises the staleness bound
+        // until the next ship pumps it across.
+        let key = (0..)
+            .map(|i| format!("replicated-{i}"))
+            .find(|k| cluster.owner_id(k) == pid)
+            .unwrap();
+        request(server.addr(), "PUT", &format!("/put/{key}"), "v");
+        let (_, body) = request(server.addr(), "GET", "/v1/cluster/replication", "");
+        assert!(
+            body.contains(&format!(
+                "\"id\":{rid},\"address\":null,\"acked_seq\":0,\"lag\":1"
+            )),
+            "{body}"
+        );
+        cluster.ship_replication();
+        let (_, body) = request(server.addr(), "GET", "/v1/cluster/replication", "");
+        assert!(
+            body.contains(&format!(
+                "\"id\":{rid},\"address\":null,\"acked_seq\":1,\"lag\":0"
+            )),
+            "{body}"
+        );
+
+        // The topology endpoint renders the replica's role additively.
+        let (_, body) = request(server.addr(), "GET", "/v1/cluster/topology", "");
+        assert!(
+            body.contains(&format!(
+                "{{\"id\":{rid},\"transport\":\"in-process\",\"address\":null,\
+                 \"role\":\"replica\",\"primary\":{pid}}}"
+            )),
+            "{body}"
+        );
         server.stop();
     }
 

@@ -13,7 +13,7 @@ use std::process::{Child, Command, Stdio};
 use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
-use forkbase::{Cluster, ClusterTopology, PutOptions, RpcConfig, Supervisor};
+use forkbase::{Cluster, ClusterTopology, PutOptions, RpcConfig, Supervisor, TopoRole};
 use forkbase_postree::TreeConfig;
 use forkbase_store::MemStore;
 
@@ -102,6 +102,10 @@ fn networked_cluster_survives_kill_and_restart_without_losing_acked_writes() {
     let topology = ClusterTopology {
         servelet_ids: vec![0, 1],
         addrs: addrs.iter().cloned().map(Some).collect(),
+        roles: vec![
+            TopoRole::Primary { anchor: 0 },
+            TopoRole::Primary { anchor: 1 },
+        ],
         next_id: 2,
     };
     let cluster: Arc<Cluster<MemStore>> =

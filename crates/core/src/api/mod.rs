@@ -407,6 +407,21 @@ impl<S: ChunkStore> ForkBase<S> {
         Ok(())
     }
 
+    /// Replace **every** branch ref of `key` with exactly `refs` in one
+    /// atomic step (replication import: a replica's branch set must mirror
+    /// its primary's, including branches the primary deleted). Same caller
+    /// contract as [`Self::install_ref`]: every uid verified, GC gate held.
+    pub(crate) fn replace_key_refs(&self, key: &str, refs: Vec<(String, Uid)>) -> DbResult<()> {
+        Self::validate_name("key", key)?;
+        let mut set = BTreeMap::new();
+        for (branch, uid) in refs {
+            Self::validate_name("branch", &branch)?;
+            set.insert(branch, uid);
+        }
+        self.branches.write().insert(key.to_string(), set);
+        Ok(())
+    }
+
     // ------------------------------------------------------------------
     // Ref persistence (CLI / restart support)
     // ------------------------------------------------------------------

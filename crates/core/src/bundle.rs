@@ -149,10 +149,83 @@ fn export_refs<S: ChunkStore>(
 /// Import a bundle into `db`, creating/updating the contained branches.
 /// Every chunk is hash-verified; every imported branch is fully verified
 /// before its ref is installed. Returns the installed refs.
+///
+/// An existing branch whose head **differs** from the bundle's is refused
+/// ([`DbError::BranchExists`]) — importing must never discard local work.
+/// Replication wants the opposite contract; see
+/// [`import_bundle_replace`].
 pub fn import_bundle<S: ChunkStore>(
     db: &ForkBase<S>,
     input: &mut dyn Read,
 ) -> DbResult<Vec<BundleRef>> {
+    // Hold the GC gate across the whole write-verify-install sequence: the
+    // imported chunks are unreachable from any branch head until the refs
+    // are installed, so a concurrent gc::collect in between would sweep
+    // them and publish a branch with unreadable history. (install_ref
+    // deliberately does not take the gate itself — we hold it here.)
+    let _gc = db.gc_shared();
+    let (refs, max_time) = verify_bundle(db, input)?;
+    for r in &refs {
+        // Create the key/branch (overwriting an existing branch head would
+        // discard local work; require it to be absent or identical).
+        match db.head(&r.key, &r.branch) {
+            Ok(existing) if existing == r.uid => {}
+            Ok(_) => {
+                return Err(DbError::BranchExists {
+                    key: r.key.clone(),
+                    branch: r.branch.clone(),
+                })
+            }
+            Err(_) => {
+                db.install_ref(&r.key, &r.branch, r.uid)?;
+            }
+        }
+    }
+    db.bump_clock_past(max_time);
+    Ok(refs)
+}
+
+/// Import a bundle with **replace** semantics: after the same chunk-hash
+/// and history verification as [`import_bundle`], each key appearing in
+/// the bundle has its branch set replaced to exactly match the bundle —
+/// existing heads are overwritten and local branches of those keys that
+/// the bundle lacks are dropped. Keys absent from the bundle are
+/// untouched.
+///
+/// This is the replication apply path: a replica must mirror its
+/// primary, so "local work" on a replica is by definition stale. Never
+/// use this on a database whose branches are authoritative.
+pub fn import_bundle_replace<S: ChunkStore>(
+    db: &ForkBase<S>,
+    input: &mut dyn Read,
+) -> DbResult<Vec<BundleRef>> {
+    // Same GC-gate discipline as `import_bundle` (see comment there).
+    let _gc = db.gc_shared();
+    let (refs, max_time) = verify_bundle(db, input)?;
+    let mut by_key: std::collections::BTreeMap<String, Vec<(String, Hash)>> =
+        std::collections::BTreeMap::new();
+    for r in &refs {
+        by_key
+            .entry(r.key.clone())
+            .or_default()
+            .push((r.branch.clone(), r.uid));
+    }
+    for (key, branches) in by_key {
+        db.replace_key_refs(&key, branches)?;
+    }
+    db.bump_clock_past(max_time);
+    Ok(refs)
+}
+
+/// Shared import front half: parse the stream, hash-verify and stage
+/// every chunk, and walk every ref's full history before anything is
+/// published. Returns the verified refs plus the highest logical time
+/// seen (callers advance the clock past it). The caller must hold the GC
+/// gate.
+fn verify_bundle<S: ChunkStore>(
+    db: &ForkBase<S>,
+    input: &mut dyn Read,
+) -> DbResult<(Vec<BundleRef>, u64)> {
     let mut magic = [0u8; 8];
     input.read_exact(&mut magic).map_err(io_err)?;
     if &magic != MAGIC {
@@ -189,13 +262,6 @@ pub fn import_bundle<S: ChunkStore>(
         let uid = read_hash(input)?;
         refs.push(BundleRef { key, branch, uid });
     }
-
-    // Hold the GC gate across the whole write-verify-install sequence: the
-    // imported chunks are unreachable from any branch head until the refs
-    // are installed, so a concurrent gc::collect in between would sweep
-    // them and publish a branch with unreadable history. (install_ref
-    // deliberately does not take the gate itself — we hold it here.)
-    let _gc = db.gc_shared();
 
     // Chunks are staged and installed via `put_batch` so the store's group
     // commit amortizes locking and fsync (one fsync per batch on
@@ -253,23 +319,8 @@ pub fn import_bundle<S: ChunkStore>(
             max_time = max_time.max(f.logical_time);
             frontier.extend(f.bases);
         }
-        // Create the key/branch (overwriting an existing branch head would
-        // discard local work; require it to be absent or identical).
-        match db.head(&r.key, &r.branch) {
-            Ok(existing) if existing == r.uid => {}
-            Ok(_) => {
-                return Err(DbError::BranchExists {
-                    key: r.key.clone(),
-                    branch: r.branch.clone(),
-                })
-            }
-            Err(_) => {
-                db.install_ref(&r.key, &r.branch, r.uid)?;
-            }
-        }
     }
-    db.bump_clock_past(max_time);
-    Ok(refs)
+    Ok((refs, max_time))
 }
 
 #[cfg(test)]
@@ -459,6 +510,61 @@ mod tests {
         // Second import: all dedup hits, same refs, no error.
         import_bundle(&dst, &mut bundle.as_slice()).unwrap();
         assert_eq!(forkbase_store::ChunkStore::chunk_count(dst.store()), chunks);
+    }
+
+    #[test]
+    fn replace_import_overwrites_and_prunes_stale_branches() {
+        let src = seeded();
+        let mut bundle = Vec::new();
+        export_bundle(&src, "data", &["master"], &mut bundle).unwrap();
+
+        // The destination (a replica) has diverged local state on the
+        // bundled key, plus an unrelated key.
+        let dst = db();
+        dst.put("data", Value::string("stale"), &PutOptions::default())
+            .unwrap();
+        dst.branch("data", "master", "old").unwrap();
+        dst.put("other", Value::Int(1), &PutOptions::default())
+            .unwrap();
+
+        let refs = import_bundle_replace(&dst, &mut bundle.as_slice()).unwrap();
+        assert_eq!(refs.len(), 1);
+        assert_eq!(
+            dst.head("data", "master").unwrap(),
+            src.head("data", "master").unwrap(),
+            "replace semantics: the primary's head wins"
+        );
+        assert!(
+            dst.head("data", "old").is_err(),
+            "branches absent from the bundle are pruned"
+        );
+        assert!(
+            dst.head("other", "master").is_ok(),
+            "keys absent from the bundle are untouched"
+        );
+        dst.verify_branch("data", "master").unwrap();
+    }
+
+    #[test]
+    fn replace_import_is_idempotent_and_still_tamper_evident() {
+        let src = seeded();
+        let mut bundle = Vec::new();
+        export_bundle(&src, "data", &[], &mut bundle).unwrap();
+        let dst = db();
+        import_bundle_replace(&dst, &mut bundle.as_slice()).unwrap();
+        import_bundle_replace(&dst, &mut bundle.as_slice()).unwrap();
+        assert_eq!(
+            dst.head("data", "master").unwrap(),
+            src.head("data", "master").unwrap()
+        );
+        // Replace semantics do not weaken tamper evidence: a flipped byte
+        // still kills the import before any ref lands.
+        let mut bad = bundle.clone();
+        let mid = bad.len() / 2;
+        bad[mid] ^= 0x01;
+        let fresh = db();
+        assert!(import_bundle_replace(&fresh, &mut bad.as_slice()).is_err());
+        assert!(fresh.list_keys().is_empty());
     }
 
     #[test]

@@ -69,12 +69,16 @@
 
 mod chaos;
 pub mod net;
+mod replication;
 mod rpc;
 mod supervisor;
 pub mod wire;
 
 pub use chaos::{ChaosPlan, ChaosReport};
 pub use net::{PersistFn, ServeletServer};
+pub use replication::{
+    PrimaryReplication, ReplicaRead, ReplicaStatus, ReplicationStatus, ShipReport,
+};
 pub use rpc::{RetryPolicy, RpcConfig};
 pub use supervisor::{
     HealthState, RemoteRespawnFn, Respawned, ServeletHealth, SupervisionReport, Supervisor,
@@ -98,6 +102,7 @@ use crate::gc::GcReport;
 use forkbase_types::Value;
 
 use chaos::ChaosState;
+use replication::ReplicationState;
 use rpc::{call_control, maint_call, remote_node, shutdown_node, spawn_node, Node};
 use supervisor::{HealthRecord, RespawnFn};
 use wire::{Reply, Request, WireOp};
@@ -107,18 +112,41 @@ struct State<S> {
     /// `(point, slot)` sorted by point — the consistent-hash ring.
     ring: Vec<(u64, usize)>,
     nodes: Vec<Arc<Node<S>>>,
+    /// Ring anchor per slot, aligned with `nodes`: the id whose hash
+    /// points the slot occupies on the ring. Initially the servelet's own
+    /// id; after a promotion the promoted replica inherits the dead
+    /// primary's anchor, so the slot keeps its ring position and **no key
+    /// moves** when a replica takes over.
+    anchors: Vec<u64>,
 }
 
 /// Virtual nodes per servelet on the hash ring; more points = smoother
 /// key balance.
 const VNODES: u32 = 32;
 
+/// The role a topology entry plays in the cluster.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum TopoRole {
+    /// Owns a ring slot and serves writes. `anchor` is the id whose hash
+    /// points the slot occupies — the servelet's own id unless a
+    /// promotion put this servelet in a dead predecessor's slot.
+    Primary {
+        /// The id anchoring this slot's ring points.
+        anchor: u64,
+    },
+    /// Mirrors a primary's data and serves staleness-bounded reads.
+    Replica {
+        /// The id of the primary this replica follows.
+        primary: u64,
+    },
+}
+
 /// A persistable description of a cluster's membership: the stable
 /// servelet ids in slot order plus the next id to allocate. Reopening a
 /// cluster from the same topology routes every key identically.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub struct ClusterTopology {
-    /// Stable servelet ids, in slot order.
+    /// Stable servelet ids: primaries in slot order, then replicas.
     pub servelet_ids: Vec<u64>,
     /// Per-servelet network address, aligned with
     /// [`Self::servelet_ids`]: `Some(addr)` for a standalone servelet
@@ -126,6 +154,10 @@ pub struct ClusterTopology {
     /// its own store. Empty means all-local (the pre-network record
     /// form, still parsed).
     pub addrs: Vec<Option<String>>,
+    /// Per-servelet role, aligned with [`Self::servelet_ids`]. Records
+    /// written before replication carry no role column; they parse as
+    /// all-primary with each servelet anchoring its own slot.
+    pub roles: Vec<TopoRole>,
     /// The id the next [`Cluster::add_servelet`] will assign. Monotone:
     /// removed ids are never reused, so a stale data directory can never
     /// be mistaken for a live servelet's.
@@ -135,12 +167,18 @@ pub struct ClusterTopology {
 const TOPOLOGY_MAGIC: &str = "forkbase-cluster-topology-v1";
 
 impl ClusterTopology {
-    /// An all-local topology (no servelet has a network address).
+    /// An all-local topology of self-anchored primaries (no servelet has
+    /// a network address, none is a replica).
     pub fn local(servelet_ids: Vec<u64>, next_id: u64) -> ClusterTopology {
         let addrs = vec![None; servelet_ids.len()];
+        let roles = servelet_ids
+            .iter()
+            .map(|&id| TopoRole::Primary { anchor: id })
+            .collect();
         ClusterTopology {
             servelet_ids,
             addrs,
+            roles,
             next_id,
         }
     }
@@ -154,22 +192,63 @@ impl ClusterTopology {
             .and_then(|a| a.as_deref())
     }
 
-    /// Serialize as stable text (one record per line). Local servelets
-    /// emit `servelet\t<id>`, remote ones `servelet\t<id>\t<addr>` — the
-    /// pre-network form stays parseable by this build and vice versa for
-    /// all-local clusters.
+    /// The role of servelet `id`, if present.
+    pub fn role_of(&self, id: u64) -> Option<&TopoRole> {
+        self.servelet_ids
+            .iter()
+            .position(|&s| s == id)
+            .and_then(|i| self.roles.get(i))
+    }
+
+    /// The ids of the primary servelets, in slot order.
+    pub fn primary_ids(&self) -> Vec<u64> {
+        self.servelet_ids
+            .iter()
+            .zip(&self.roles)
+            .filter(|(_, r)| matches!(r, TopoRole::Primary { .. }))
+            .map(|(&id, _)| id)
+            .collect()
+    }
+
+    /// Serialize as stable text (one record per line). Self-anchored
+    /// primaries emit the historical layouts — `servelet\t<id>` (local)
+    /// or `servelet\t<id>\t<addr>` (remote) — byte-identical to the
+    /// pre-replication record, so old builds still parse a replica-free
+    /// cluster. Replicas and promoted primaries need the role column:
+    /// `servelet\t<id>\t<addr|->\t<role>` with role `primary:<anchor>` or
+    /// `replica:<primary>` and `-` standing for "no address".
     pub fn encode(&self) -> String {
         let mut out = format!("{TOPOLOGY_MAGIC}\nnext-id\t{}\n", self.next_id);
         for (i, id) in self.servelet_ids.iter().enumerate() {
-            match self.addrs.get(i).and_then(|a| a.as_deref()) {
-                Some(addr) => out.push_str(&format!("servelet\t{id}\t{addr}\n")),
-                None => out.push_str(&format!("servelet\t{id}\n")),
+            let addr = self.addrs.get(i).and_then(|a| a.as_deref());
+            let role = self.roles.get(i);
+            // Legacy two/three-column layout for self-anchored primaries,
+            // four-column otherwise.
+            let self_anchored = match role {
+                Some(TopoRole::Primary { anchor }) => *anchor == *id,
+                None => true,
+                Some(TopoRole::Replica { .. }) => false,
+            };
+            if self_anchored {
+                match addr {
+                    Some(addr) => out.push_str(&format!("servelet\t{id}\t{addr}\n")),
+                    None => out.push_str(&format!("servelet\t{id}\n")),
+                }
+            } else {
+                let addr = addr.unwrap_or("-");
+                let role = match role.expect("non-self-anchored entries have a role") {
+                    TopoRole::Primary { anchor } => format!("primary:{anchor}"),
+                    TopoRole::Replica { primary } => format!("replica:{primary}"),
+                };
+                out.push_str(&format!("servelet\t{id}\t{addr}\t{role}\n"));
             }
         }
         out
     }
 
-    /// Parse [`Self::encode`] output.
+    /// Parse [`Self::encode`] output — any historical layout: two-column
+    /// (pre-network), three-column (pre-replication), or four-column
+    /// (with roles).
     pub fn parse(text: &str) -> DbResult<ClusterTopology> {
         let err = |m: &str| DbError::InvalidInput(format!("topology record: {m}"));
         let mut lines = text.lines();
@@ -179,6 +258,7 @@ impl ClusterTopology {
         let mut next_id = None;
         let mut servelet_ids = Vec::new();
         let mut addrs = Vec::new();
+        let mut roles = Vec::new();
         for line in lines {
             if line.is_empty() {
                 continue;
@@ -188,17 +268,41 @@ impl ClusterTopology {
                     next_id = Some(v.parse::<u64>().map_err(|_| err("bad next-id"))?);
                 }
                 Some(("servelet", v)) => {
-                    let (id, addr) = match v.split_once('\t') {
-                        Some((id, addr)) => {
+                    let parts: Vec<&str> = v.split('\t').collect();
+                    let (id_text, addr, role_text) = match parts.as_slice() {
+                        [id] => (*id, None, None),
+                        [id, addr] => {
                             if addr.is_empty() {
                                 return Err(err("empty servelet address"));
                             }
-                            (id, Some(addr.to_string()))
+                            (*id, Some(addr.to_string()), None)
                         }
-                        None => (v, None),
+                        [id, addr, role] => {
+                            let addr = match *addr {
+                                "-" => None,
+                                "" => return Err(err("empty servelet address")),
+                                a => Some(a.to_string()),
+                            };
+                            (*id, addr, Some(*role))
+                        }
+                        _ => return Err(err("too many columns on servelet line")),
                     };
-                    servelet_ids.push(id.parse::<u64>().map_err(|_| err("bad servelet id"))?);
+                    let id = id_text.parse::<u64>().map_err(|_| err("bad servelet id"))?;
+                    let role = match role_text {
+                        None | Some("primary") => TopoRole::Primary { anchor: id },
+                        Some(r) => match r.split_once(':') {
+                            Some(("primary", a)) => TopoRole::Primary {
+                                anchor: a.parse().map_err(|_| err("bad primary anchor"))?,
+                            },
+                            Some(("replica", p)) => TopoRole::Replica {
+                                primary: p.parse().map_err(|_| err("bad replica primary"))?,
+                            },
+                            _ => return Err(err("unknown servelet role")),
+                        },
+                    };
+                    servelet_ids.push(id);
                     addrs.push(addr);
+                    roles.push(role);
                 }
                 _ => return Err(err("unknown line")),
             }
@@ -210,6 +314,30 @@ impl ClusterTopology {
         if !servelet_ids.iter().all(|id| seen.insert(*id)) {
             return Err(err("duplicate servelet id"));
         }
+        let primaries: std::collections::HashSet<u64> = servelet_ids
+            .iter()
+            .zip(&roles)
+            .filter(|(_, r)| matches!(r, TopoRole::Primary { .. }))
+            .map(|(&id, _)| id)
+            .collect();
+        if primaries.is_empty() {
+            return Err(err("no primary servelets"));
+        }
+        let mut anchors = std::collections::HashSet::new();
+        for role in &roles {
+            match role {
+                TopoRole::Primary { anchor } => {
+                    if !anchors.insert(*anchor) {
+                        return Err(err("duplicate ring anchor"));
+                    }
+                }
+                TopoRole::Replica { primary } => {
+                    if !primaries.contains(primary) {
+                        return Err(err("replica of unknown primary"));
+                    }
+                }
+            }
+        }
         let max = *servelet_ids.iter().max().expect("non-empty");
         let next_id = next_id.unwrap_or(max + 1);
         if next_id <= max {
@@ -218,6 +346,7 @@ impl ClusterTopology {
         Ok(ClusterTopology {
             servelet_ids,
             addrs,
+            roles,
             next_id,
         })
     }
@@ -248,6 +377,9 @@ pub struct Cluster<S = MemStore> {
     remote_respawn: RwLock<Option<RemoteRespawnFn>>,
     /// Per-servelet supervision book-keeping.
     health_records: Mutex<BTreeMap<u64, HealthRecord>>,
+    /// Per-primary replica sets and the ship log ([`replication`]).
+    /// Lock order: never acquire `state` while holding this.
+    replication: Mutex<ReplicationState<S>>,
 }
 
 /// Scatter-gathered per-servelet statistics ([`Cluster::stats`]).
@@ -385,18 +517,35 @@ impl<S: SweepStore + Send + 'static> Cluster<S> {
     }
 
     /// Build a cluster over already-constructed nodes (any mix of
-    /// in-process and remote).
+    /// in-process and remote), each anchoring its own ring slot.
     fn from_nodes(nodes: Vec<Arc<Node<S>>>, cfg: TreeConfig) -> Self {
+        let anchors: Vec<u64> = nodes.iter().map(|n| n.id).collect();
+        Self::from_nodes_anchored(nodes, anchors, cfg)
+    }
+
+    /// [`Self::from_nodes`] with explicit ring anchors per slot (a
+    /// promoted replica occupies its dead predecessor's ring position).
+    fn from_nodes_anchored(nodes: Vec<Arc<Node<S>>>, anchors: Vec<u64>, cfg: TreeConfig) -> Self {
         assert!(!nodes.is_empty(), "a cluster needs at least one servelet");
+        assert_eq!(nodes.len(), anchors.len(), "one anchor per slot");
         let mut seen = std::collections::HashSet::new();
         let mut max_id = 0u64;
         for node in &nodes {
             assert!(seen.insert(node.id), "duplicate servelet id {}", node.id);
             max_id = max_id.max(node.id);
         }
-        let ring = build_ring(&nodes.iter().map(|n| n.id).collect::<Vec<_>>());
+        let mut seen_anchors = std::collections::HashSet::new();
+        for &a in &anchors {
+            assert!(seen_anchors.insert(a), "duplicate ring anchor {a}");
+            max_id = max_id.max(a);
+        }
+        let ring = build_ring(&anchors);
         Cluster {
-            state: RwLock::new(State { ring, nodes }),
+            state: RwLock::new(State {
+                ring,
+                nodes,
+                anchors,
+            }),
             rebalance_gate: RwLock::new(()),
             restart_lock: Mutex::new(()),
             next_id: AtomicU64::new(max_id + 1),
@@ -406,6 +555,7 @@ impl<S: SweepStore + Send + 'static> Cluster<S> {
             respawn: RwLock::new(None),
             remote_respawn: RwLock::new(None),
             health_records: Mutex::new(BTreeMap::new()),
+            replication: Mutex::new(ReplicationState::default()),
         }
     }
 
@@ -434,15 +584,46 @@ impl<S: SweepStore + Send + 'static> Cluster<S> {
                 )));
             }
         }
-        let mut nodes = Vec::with_capacity(topology.servelet_ids.len());
+        // Partition by role: primaries own ring slots, replicas attach to
+        // their primary's set afterwards. A record with no role column is
+        // all-primary (the historical layouts).
+        let mut nodes = Vec::new();
+        let mut anchors = Vec::new();
+        let mut replicas: Vec<(u64, u64, Option<String>)> = Vec::new();
         for (i, &id) in topology.servelet_ids.iter().enumerate() {
-            match topology.addrs.get(i).and_then(|a| a.clone()) {
-                Some(addr) => nodes.push(remote_node(id, addr)),
-                None => nodes.push(spawn_node(id, open(id)?, cfg)),
+            let addr = topology.addrs.get(i).and_then(|a| a.clone());
+            let role = topology
+                .roles
+                .get(i)
+                .cloned()
+                .unwrap_or(TopoRole::Primary { anchor: id });
+            match role {
+                TopoRole::Primary { anchor } => {
+                    match addr {
+                        Some(addr) => nodes.push(remote_node(id, addr)),
+                        None => nodes.push(spawn_node(id, open(id)?, cfg)),
+                    }
+                    anchors.push(anchor);
+                }
+                TopoRole::Replica { primary } => replicas.push((id, primary, addr)),
             }
         }
-        let cluster = Self::from_nodes(nodes, cfg);
+        if nodes.is_empty() {
+            return Err(DbError::InvalidInput(
+                "topology record: no primary servelets".into(),
+            ));
+        }
+        let cluster = Self::from_nodes_anchored(nodes, anchors, cfg);
         cluster.next_id.store(topology.next_id, Ordering::Relaxed);
+        for (id, primary, addr) in replicas {
+            let node = match addr {
+                Some(addr) => remote_node(id, addr),
+                None => spawn_node(id, open(id)?, cfg),
+            };
+            // A reopened replica's lag relative to its primary is
+            // unknown: it resyncs in full on the first ship.
+            cluster.attach_replica_handle(primary, node)?;
+        }
         cluster.set_respawn(move |id| {
             Ok(Respawned {
                 store: open(id)?,
@@ -485,21 +666,42 @@ impl<S: SweepStore + Send + 'static> Cluster<S> {
         self.state.read().nodes.is_empty()
     }
 
-    /// Stable servelet ids, in slot order.
+    /// Stable **primary** servelet ids, in slot order (replicas are
+    /// listed by [`replication::Cluster::replica_ids`](Self::replica_ids)).
     pub fn ids(&self) -> Vec<u64> {
         self.state.read().nodes.iter().map(|n| n.id).collect()
     }
 
-    /// The persistable membership record, including remote addresses.
+    /// The persistable membership record, including remote addresses,
+    /// ring anchors, and replicas (primaries in slot order first, then
+    /// each primary's replicas).
     pub fn topology(&self) -> ClusterTopology {
         let state = self.state.read();
+        let mut servelet_ids: Vec<u64> = state.nodes.iter().map(|n| n.id).collect();
+        let mut addrs: Vec<Option<String>> = state
+            .nodes
+            .iter()
+            .map(|n| n.addr().map(String::from))
+            .collect();
+        let mut roles: Vec<TopoRole> = state
+            .anchors
+            .iter()
+            .map(|&anchor| TopoRole::Primary { anchor })
+            .collect();
+        let repl = self.replication.lock();
+        for node in &state.nodes {
+            if let Some(set) = repl.sets.get(&node.id) {
+                for r in &set.replicas {
+                    servelet_ids.push(r.id);
+                    addrs.push(r.node.addr().map(String::from));
+                    roles.push(TopoRole::Replica { primary: node.id });
+                }
+            }
+        }
         ClusterTopology {
-            servelet_ids: state.nodes.iter().map(|n| n.id).collect(),
-            addrs: state
-                .nodes
-                .iter()
-                .map(|n| n.addr().map(String::from))
-                .collect(),
+            servelet_ids,
+            addrs,
+            roles,
             next_id: self.next_id.load(Ordering::Relaxed),
         }
     }
@@ -508,12 +710,22 @@ impl<S: SweepStore + Send + 'static> Cluster<S> {
     /// the REST gateway to enrich `servelet_unavailable` /
     /// `servelet_timeout` error bodies with where the failure happened.
     pub fn servelet_addr(&self, id: u64) -> Option<String> {
-        let state = self.state.read();
-        state
-            .nodes
-            .iter()
-            .find(|n| n.id == id)
-            .and_then(|n| n.addr().map(String::from))
+        let found = {
+            let state = self.state.read();
+            state
+                .nodes
+                .iter()
+                .find(|n| n.id == id)
+                .and_then(|n| n.addr().map(String::from))
+        };
+        found.or_else(|| {
+            let repl = self.replication.lock();
+            repl.sets
+                .values()
+                .flat_map(|s| s.replicas.iter())
+                .find(|r| r.id == id)
+                .and_then(|r| r.node.addr().map(String::from))
+        })
     }
 
     /// The id the next [`Self::add_servelet`] will assign (so callers can
@@ -636,6 +848,34 @@ impl<S: SweepStore + Send + 'static> Cluster<S> {
         )
     }
 
+    /// [`Self::routed`] for mutating verbs: after a successful commit the
+    /// written key is captured into the replication ship log **under the
+    /// same gate hold**, so a promotion (which requires the gate
+    /// exclusively) can never slip between a write's ack and its capture
+    /// — the zero-acked-write-loss invariant. A capture failure surfaces
+    /// as this call's error: the caller then never observed the write as
+    /// acked, so the invariant holds vacuously.
+    fn routed_write(&self, key: &str, req: Request) -> DbResult<Reply> {
+        let _gate = self.rebalance_gate.read();
+        let rpc_cfg = self.rpc.read().clone();
+        let chaos = self.chaos.read().clone();
+        let owned_key = key.to_string();
+        let reply = rpc::retry_loop(
+            &rpc_cfg,
+            chaos.as_deref(),
+            false,
+            || {
+                let state = self.state.read();
+                Arc::clone(&state.nodes[route_on(&state.ring, &owned_key)])
+            },
+            req,
+        )?;
+        if !matches!(reply, Reply::Err(_)) {
+            self.capture_locked(&[key])?;
+        }
+        Ok(reply)
+    }
+
     /// Ship `req` to **every** servelet concurrently and gather
     /// per-servelet outcomes in slot order.
     fn scatter_results(&self, req: &Request) -> Vec<(u64, rpc::Outcome)> {
@@ -719,9 +959,8 @@ impl<S: SweepStore + Send + 'static> Cluster<S> {
     /// [`DbError::ServeletUnavailable`] from a write means the commit
     /// *may or may not* have applied — re-read before re-issuing.
     pub fn put(&self, key: &str, value: Value, opts: PutOptions) -> DbResult<CommitResult> {
-        self.routed(
+        self.routed_write(
             key,
-            false,
             Request::Put {
                 key: key.to_string(),
                 value,
@@ -749,9 +988,8 @@ impl<S: SweepStore + Send + 'static> Cluster<S> {
         content: Vec<u8>,
         opts: PutOptions,
     ) -> DbResult<CommitResult> {
-        self.routed(
+        self.routed_write(
             key,
-            false,
             Request::PutBlob {
                 key: key.to_string(),
                 content: Bytes::from(content),
@@ -1024,7 +1262,7 @@ impl<S: SweepStore + Send + 'static> Cluster<S> {
         let node = spawn_node(id, store, self.cfg);
         let (old_nodes, old_ring, new_ring) = {
             let state = self.state.read();
-            let mut ids: Vec<u64> = state.nodes.iter().map(|n| n.id).collect();
+            let mut ids: Vec<u64> = state.anchors.clone();
             ids.push(id);
             (state.nodes.clone(), state.ring.clone(), build_ring(&ids))
         };
@@ -1034,8 +1272,12 @@ impl<S: SweepStore + Send + 'static> Cluster<S> {
         {
             let mut state = self.state.write();
             state.nodes.push(node);
+            state.anchors.push(id);
             state.ring = new_ring;
         }
+        // Keys just moved between primaries: every replica's mirror is
+        // now of the wrong key set, so all resync in full on next ship.
+        self.mark_replicas_stale();
         cutover(&all_nodes, plan, deadline)?;
         Ok(id)
     }
@@ -1055,7 +1297,7 @@ impl<S: SweepStore + Send + 'static> Cluster<S> {
         call_control(&node, self.rpc.read().probe_deadline, Request::Probe)?.expect_unit()?;
         let (old_nodes, old_ring, new_ring) = {
             let state = self.state.read();
-            let mut ids: Vec<u64> = state.nodes.iter().map(|n| n.id).collect();
+            let mut ids: Vec<u64> = state.anchors.clone();
             ids.push(id);
             (state.nodes.clone(), state.ring.clone(), build_ring(&ids))
         };
@@ -1065,8 +1307,10 @@ impl<S: SweepStore + Send + 'static> Cluster<S> {
         {
             let mut state = self.state.write();
             state.nodes.push(node);
+            state.anchors.push(id);
             state.ring = new_ring;
         }
+        self.mark_replicas_stale();
         cutover(&all_nodes, plan, deadline)?;
         Ok(id)
     }
@@ -1084,6 +1328,18 @@ impl<S: SweepStore + Send + 'static> Cluster<S> {
     /// topology and remove the servelet then.
     pub fn remove_servelet(&self, id: u64) -> DbResult<()> {
         let _gate = self.rebalance_gate.write();
+        {
+            let repl = self.replication.lock();
+            if let Some(set) = repl.sets.get(&id) {
+                if !set.replicas.is_empty() {
+                    return Err(DbError::InvalidInput(format!(
+                        "servelet {id} has {} replica(s): remove or promote them before \
+                         removing the primary",
+                        set.replicas.len()
+                    )));
+                }
+            }
+        }
         let deadline = self.rpc.read().control_deadline;
         let (nodes, old_ring, slot, interim_ring) = {
             let state = self.state.read();
@@ -1097,14 +1353,15 @@ impl<S: SweepStore + Send + 'static> Cluster<S> {
                 .iter()
                 .position(|n| n.id == id)
                 .ok_or_else(|| DbError::InvalidInput(format!("no servelet with id {id}")))?;
-            // Ring without the departing id, but still over the OLD slot
-            // numbering, so migration routes into the current node vector.
+            // Ring without the departing slot's anchor, but still over the
+            // OLD slot numbering, so migration routes into the current
+            // node vector.
             let ids: Vec<(u64, usize)> = state
-                .nodes
+                .anchors
                 .iter()
                 .enumerate()
                 .filter(|(s, _)| *s != slot)
-                .map(|(s, n)| (n.id, s))
+                .map(|(s, &a)| (a, s))
                 .collect();
             (
                 state.nodes.clone(),
@@ -1117,12 +1374,14 @@ impl<S: SweepStore + Send + 'static> Cluster<S> {
         let node = {
             let mut state = self.state.write();
             let node = state.nodes.remove(slot);
-            let ids: Vec<u64> = state.nodes.iter().map(|n| n.id).collect();
-            // Same owners as `interim_ring` (points depend only on ids);
-            // only the slot numbering is compacted.
-            state.ring = build_ring(&ids);
+            state.anchors.remove(slot);
+            // Same owners as `interim_ring` (points depend only on the
+            // anchors); only the slot numbering is compacted.
+            state.ring = build_ring(&state.anchors);
             node
         };
+        self.mark_replicas_stale();
+        self.replication.lock().sets.remove(&id);
         // Roll forward like `add_servelet`: copies are verified and the
         // ring no longer routes to the victim, so cutover/shutdown errors
         // must not resurrect it.
@@ -1246,6 +1505,9 @@ impl<S: SweepStore + Send + 'static> ClusterWriteBatch<'_, S> {
         // a prefix of slots committed (documented above).
         for (slot, group) in groups {
             let indices: Vec<usize> = group.iter().map(|(i, _)| *i).collect();
+            let mut keys: Vec<String> = group.iter().map(|(_, op)| op.key().to_string()).collect();
+            keys.sort();
+            keys.dedup();
             let ops: Vec<WireOp> = group
                 .into_iter()
                 .map(|(_, op)| match op {
@@ -1268,6 +1530,10 @@ impl<S: SweepStore + Send + 'static> ClusterWriteBatch<'_, S> {
                 Request::Batch { ops },
             )?
             .expect_outcomes()?;
+            // Capture under the gate held since before the commit: a
+            // promotion cannot slip between the group's ack and this.
+            let key_refs: Vec<&str> = keys.iter().map(String::as_str).collect();
+            cluster.capture_locked(&key_refs)?;
             for (i, outcome) in indices.into_iter().zip(outcomes) {
                 out[i] = Some(outcome);
             }
@@ -1282,10 +1548,15 @@ impl<S: SweepStore + Send + 'static> ClusterWriteBatch<'_, S> {
 impl<S> Drop for Cluster<S> {
     fn drop(&mut self) {
         let nodes = std::mem::take(&mut self.state.get_mut().nodes);
-        for node in &nodes {
+        let sets = std::mem::take(&mut self.replication.get_mut().sets);
+        let replicas: Vec<_> = sets
+            .values()
+            .flat_map(|s| s.replicas.iter().map(|r| Arc::clone(&r.node)))
+            .collect();
+        for node in nodes.iter().chain(&replicas) {
             node.transport.signal_shutdown();
         }
-        for node in &nodes {
+        for node in nodes.iter().chain(&replicas) {
             node.transport.join();
         }
     }
@@ -1710,6 +1981,86 @@ mod tests {
             .is_err(),
             "duplicate servelet ids must be a structured error, not a panic"
         );
+        // Role-column validation.
+        for bad in [
+            "servelet\t0\t-\tprimary:0\nservelet\t1\t-\tprimary:0", // duplicate anchor
+            "servelet\t0\t-\treplica:7",                            // no primaries at all
+            "servelet\t0\nservelet\t1\t-\treplica:7",               // unknown primary
+            "servelet\t0\t-\tking",                                 // unknown role
+            "servelet\t0\t-\tprimary:x",                            // bad anchor
+            "servelet\t0\t-\tprimary:0\textra",                     // too many columns
+        ] {
+            let text = format!("{TOPOLOGY_MAGIC}\nnext-id\t9\n{bad}\n");
+            assert!(ClusterTopology::parse(&text).is_err(), "must reject: {bad}");
+        }
+    }
+
+    /// Compat pin: every historical TOPOLOGY column layout — one-column
+    /// (pre-network), two-column (pre-replication), and the role-bearing
+    /// three-column layout — parses, normalizes, and round-trips. A
+    /// replica-free record re-encodes byte-identically to the legacy
+    /// layout, so old builds keep parsing what new builds write.
+    #[test]
+    fn topology_roundtrips_across_all_historical_layouts() {
+        // PR-5 era: local servelets only, `servelet\t<id>`.
+        let v1 = format!("{TOPOLOGY_MAGIC}\nnext-id\t4\nservelet\t0\nservelet\t2\n");
+        let t1 = ClusterTopology::parse(&v1).unwrap();
+        assert_eq!(t1.servelet_ids, vec![0, 2]);
+        assert_eq!(t1.addrs, vec![None, None]);
+        assert_eq!(
+            t1.roles,
+            vec![
+                TopoRole::Primary { anchor: 0 },
+                TopoRole::Primary { anchor: 2 }
+            ]
+        );
+        assert_eq!(t1.encode(), v1, "legacy local layout is preserved");
+
+        // PR-6 era: remote servelets carry an address column.
+        let v2 =
+            format!("{TOPOLOGY_MAGIC}\nnext-id\t2\nservelet\t0\t127.0.0.1:4400\nservelet\t1\n");
+        let t2 = ClusterTopology::parse(&v2).unwrap();
+        assert_eq!(t2.addr_of(0), Some("127.0.0.1:4400"));
+        assert_eq!(t2.addr_of(1), None);
+        assert_eq!(t2.role_of(1), Some(&TopoRole::Primary { anchor: 1 }));
+        assert_eq!(t2.encode(), v2, "legacy remote layout is preserved");
+
+        // This PR: the role column, with `-` for "no address". Bare
+        // `primary` (no anchor) also parses, anchoring at the id.
+        let v3 = format!(
+            "{TOPOLOGY_MAGIC}\nnext-id\t5\nservelet\t3\t-\tprimary:0\n\
+             servelet\t1\t127.0.0.1:4401\tprimary\nservelet\t4\t-\treplica:3\n"
+        );
+        let t3 = ClusterTopology::parse(&v3).unwrap();
+        assert_eq!(t3.role_of(3), Some(&TopoRole::Primary { anchor: 0 }));
+        assert_eq!(t3.role_of(1), Some(&TopoRole::Primary { anchor: 1 }));
+        assert_eq!(t3.role_of(4), Some(&TopoRole::Replica { primary: 3 }));
+        assert_eq!(t3.primary_ids(), vec![3, 1]);
+        let reparsed = ClusterTopology::parse(&t3.encode()).unwrap();
+        assert_eq!(reparsed, t3, "role layout round-trips");
+        // The bare-`primary` shorthand normalizes to the legacy layout on
+        // re-encode (it is self-anchored).
+        assert!(t3.encode().contains("servelet\t1\t127.0.0.1:4401\n"));
+
+        // Every layout reopens to a routable cluster whose ring matches
+        // the anchors, not the ids.
+        let c1 = Cluster::from_topology(&t1, TreeConfig::test_config(), |_| Ok(MemStore::new()))
+            .unwrap();
+        assert_eq!(c1.ids(), vec![0, 2]);
+        let c3 = Cluster::from_topology(&t3, TreeConfig::test_config(), |_| Ok(MemStore::new()))
+            .unwrap();
+        assert_eq!(c3.replica_ids(), vec![(4, 3)]);
+        // Servelet 3 anchors at 0: keys route exactly as if a servelet
+        // with id 0 still held the slot.
+        let anchored = Cluster::from_stores(
+            vec![(0, MemStore::new()), (1, MemStore::new())],
+            TreeConfig::test_config(),
+        );
+        for i in 0..100 {
+            let key = format!("key-{i}");
+            let expect = if anchored.owner_id(&key) == 0 { 3 } else { 1 };
+            assert_eq!(c3.owner_id(&key), expect, "{key} anchored wrong");
+        }
     }
 
     #[test]

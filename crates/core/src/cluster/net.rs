@@ -128,13 +128,17 @@ fn serve_conn<S: SweepStore>(
     // A dead client must not pin this thread forever between frames.
     let _ = conn.set_read_timeout(Some(Duration::from_secs(60)));
     loop {
-        let req = match wire::read_frame(&mut conn) {
-            Ok(body) => match Request::decode(&body) {
-                Ok(req) => req,
+        // Replies are framed in the version the request carried, so a
+        // down-level router rolling through an upgrade can still parse
+        // the answer (servelets upgrade before routers).
+        let (version, req) = match wire::read_frame_versioned(&mut conn) {
+            Ok((version, body)) => match Request::decode(&body) {
+                Ok(req) => (version, req),
                 Err(e) => {
                     // Well-framed garbage gets a structured error back.
                     let reply = Reply::Err(WireError::from(&e));
-                    let _ = conn.write_all(&wire::encode_frame(&reply.encode()));
+                    let _ =
+                        conn.write_all(&wire::encode_frame_with_version(version, &reply.encode()));
                     return;
                 }
             },
@@ -154,7 +158,7 @@ fn serve_conn<S: SweepStore>(
             }
         }
         if conn
-            .write_all(&wire::encode_frame(&reply.encode()))
+            .write_all(&wire::encode_frame_with_version(version, &reply.encode()))
             .and_then(|_| conn.flush())
             .is_err()
         {

@@ -99,6 +99,10 @@ pub struct SupervisionReport {
     pub restarted: Vec<u64>,
     /// Dead servelets whose restart failed, with the error.
     pub failed: Vec<(u64, String)>,
+    /// Dead primaries this pass failed over to a replica, as
+    /// `(retired primary id, promoted replica id)`. Only populated when a
+    /// failover threshold is set ([`Cluster::set_failover_threshold`]).
+    pub promoted: Vec<(u64, u64)>,
 }
 
 impl<S: SweepStore + Send + 'static> Cluster<S> {
@@ -287,19 +291,36 @@ impl<S: SweepStore + Send + 'static> Cluster<S> {
         result
     }
 
-    /// One supervision pass: probe everything, restart what's dead.
+    /// One supervision pass: pump the replication ship log, probe
+    /// everything, then deal with the dead — promote a replica when the
+    /// failover threshold is crossed, otherwise restart in place.
     /// This is the loop body [`Supervisor`] runs on its interval; tests
     /// call it directly for deterministic scheduling.
     pub fn supervise_once(&self) -> SupervisionReport {
+        // The supervisor is the async ship pump: replicas catch up every
+        // tick without any write blocking on them.
+        let _ = self.ship_replication();
+        let failover_after = self.failover_threshold();
         let mut report = SupervisionReport::default();
         for h in self.health() {
             match h.state {
                 HealthState::Alive => report.alive.push(h.servelet),
                 HealthState::Restarting => {}
-                HealthState::Dead => match self.restart_servelet(h.servelet) {
-                    Ok(()) => report.restarted.push(h.servelet),
-                    Err(e) => report.failed.push((h.servelet, e.to_string())),
-                },
+                HealthState::Dead => {
+                    // Past the threshold a primary with a promotable
+                    // replica fails over instead of restarting: the slot
+                    // swings to the replica and the dead id retires.
+                    if failover_after.is_some_and(|t| h.consecutive_failures >= t) {
+                        if let Some(rid) = self.try_failover(h.servelet) {
+                            report.promoted.push((h.servelet, rid));
+                            continue;
+                        }
+                    }
+                    match self.restart_servelet(h.servelet) {
+                        Ok(()) => report.restarted.push(h.servelet),
+                        Err(e) => report.failed.push((h.servelet, e.to_string())),
+                    }
+                }
             }
         }
         report

@@ -15,8 +15,12 @@
 //! ```
 //!
 //! * `len` counts everything after itself: `1 + body.len() + 4`.
-//! * `version` is [`WIRE_VERSION`]; a peer speaking another version is
-//!   rejected before the body is parsed.
+//! * `version` is [`WIRE_VERSION`] on anything this build sends; on
+//!   receive, any version in `MIN_WIRE_VERSION..=WIRE_VERSION` is
+//!   accepted and replies are framed with the version the request
+//!   carried, so an old router keeps working against upgraded servelets
+//!   (upgrade servelets first — see the rollout rules in `PROTOCOL.md`).
+//!   Anything outside the range is rejected before the body is parsed.
 //! * `crc32` (same IEEE polynomial as the segment files) covers
 //!   `version || body`, so torn writes and bit-rot are detected at the
 //!   framing layer — the same defense-in-depth split the chunk store
@@ -43,7 +47,7 @@ use forkbase_store::{ChunkStore, SweepStore};
 use forkbase_types::Value;
 
 use crate::api::{BatchOutcome, CommitResult, DbStat, GetResult, PutOptions, VersionSpec};
-use crate::bundle::{export_bundle_keys, import_bundle};
+use crate::bundle::{export_bundle_keys, import_bundle, import_bundle_replace};
 use crate::db::ForkBase;
 use crate::error::{DbError, DbResult};
 use crate::fnode::Uid;
@@ -51,8 +55,18 @@ use crate::gc::GcReport;
 
 use super::MapPage;
 
-/// The wire protocol version this build speaks.
-pub const WIRE_VERSION: u8 = 1;
+/// The wire protocol version this build speaks (stamps on every frame it
+/// sends). Version 2 added the `Replicate` control verb (`0x25`); the
+/// version-1 wire surface is unchanged, so version-1 frames are still
+/// accepted (see [`MIN_WIRE_VERSION`]).
+pub const WIRE_VERSION: u8 = 2;
+
+/// The oldest wire protocol version this build still accepts on receive.
+/// Servelets reply in the version the request carried, so a router at any
+/// version in `MIN_WIRE_VERSION..=WIRE_VERSION` interoperates. The
+/// rollout rule this enables: upgrade servelets first, routers second
+/// (`PROTOCOL.md` § Compatibility).
+pub const MIN_WIRE_VERSION: u8 = 1;
 
 /// Upper bound on one frame's `len` field (version + body + CRC).
 /// Migration bundles are the largest payloads; 256 MiB comfortably holds
@@ -92,7 +106,8 @@ impl std::fmt::Display for FrameError {
             FrameError::BadVersion(v) => {
                 write!(
                     f,
-                    "peer speaks wire version {v}, this build speaks {WIRE_VERSION}"
+                    "peer speaks wire version {v}, this build accepts \
+                     {MIN_WIRE_VERSION}..={WIRE_VERSION}"
                 )
             }
         }
@@ -101,13 +116,24 @@ impl std::fmt::Display for FrameError {
 
 impl std::error::Error for FrameError {}
 
-/// Encode `body` as one wire frame.
+/// Encode `body` as one wire frame stamped [`WIRE_VERSION`].
 pub fn encode_frame(body: &[u8]) -> Vec<u8> {
+    encode_frame_with_version(WIRE_VERSION, body)
+}
+
+/// Encode `body` as one wire frame stamped `version`. Servers use this to
+/// reply in the version the request carried, so a down-level router can
+/// parse the answer.
+pub fn encode_frame_with_version(version: u8, body: &[u8]) -> Vec<u8> {
+    debug_assert!(
+        (MIN_WIRE_VERSION..=WIRE_VERSION).contains(&version),
+        "framing an unsupported wire version {version}"
+    );
     let len = 1 + body.len() + 4;
     assert!(len <= MAX_FRAME_LEN as usize, "frame body too large");
     let mut out = Vec::with_capacity(4 + len);
     out.extend_from_slice(&(len as u32).to_le_bytes());
-    out.push(WIRE_VERSION);
+    out.push(version);
     out.extend_from_slice(body);
     let crc = crc32(&out[4..]);
     out.extend_from_slice(&crc.to_le_bytes());
@@ -115,13 +141,21 @@ pub fn encode_frame(body: &[u8]) -> Vec<u8> {
 }
 
 /// Read one frame from `r`, returning the body (version and CRC already
-/// validated and stripped).
+/// validated and stripped). See [`read_frame_versioned`] when the caller
+/// needs the version the frame was stamped with.
+pub fn read_frame(r: &mut impl Read) -> Result<Vec<u8>, FrameError> {
+    read_frame_versioned(r).map(|(_, body)| body)
+}
+
+/// Read one frame from `r`, returning `(version, body)` with the CRC
+/// already validated and stripped. Any version in
+/// `MIN_WIRE_VERSION..=WIRE_VERSION` is accepted.
 ///
 /// Allocation is bounded: the length prefix is checked against
 /// [`MAX_FRAME_LEN`] before any allocation, and the buffer grows with
 /// bytes actually received (via [`Read::take`]), so a hostile peer
 /// cannot force a large allocation by sending a large prefix alone.
-pub fn read_frame(r: &mut impl Read) -> Result<Vec<u8>, FrameError> {
+pub fn read_frame_versioned(r: &mut impl Read) -> Result<(u8, Vec<u8>), FrameError> {
     let mut len_buf = [0u8; 4];
     read_exact_or_torn(r, &mut len_buf)?;
     let len = u32::from_le_bytes(len_buf);
@@ -145,12 +179,13 @@ pub fn read_frame(r: &mut impl Read) -> Result<Vec<u8>, FrameError> {
     if crc32(payload) != want {
         return Err(FrameError::BadCrc);
     }
-    if payload[0] != WIRE_VERSION {
-        return Err(FrameError::BadVersion(payload[0]));
+    let version = payload[0];
+    if !(MIN_WIRE_VERSION..=WIRE_VERSION).contains(&version) {
+        return Err(FrameError::BadVersion(version));
     }
     buf.truncate(buf.len() - 4);
     buf.remove(0);
-    Ok(buf)
+    Ok((version, buf))
 }
 
 fn read_exact_or_torn(r: &mut impl Read, buf: &mut [u8]) -> Result<(), FrameError> {
@@ -344,7 +379,7 @@ pub enum WireOp {
 /// Every verb a servelet serves, data plane and control plane alike.
 ///
 /// Tag bytes (frozen): data plane `0x01..=0x0B`, control plane
-/// `0x20..=0x24`. See `PROTOCOL.md`.
+/// `0x20..=0x25`. See `PROTOCOL.md`.
 #[derive(Clone, Debug, PartialEq)]
 pub enum Request {
     /// Control: liveness probe (no work, short deadline).
@@ -430,6 +465,18 @@ pub enum Request {
     },
     /// Control: dump branch heads for persistence.
     DumpRefs,
+    /// Control: apply a replication bundle with **replace** semantics —
+    /// after import the receiver's branch set for every key in the
+    /// bundle exactly mirrors the sender's, including branches the
+    /// sender deleted. Same tamper evidence as
+    /// [`Request::ImportBundle`]; unlike it, re-applying the same
+    /// bundle (or an older one out of order) converges instead of
+    /// erroring, which is what makes replication shipping retryable.
+    /// Wire version 2.
+    Replicate {
+        /// The bundle bytes.
+        bundle: Vec<u8>,
+    },
 }
 
 const REQ_PROBE: u8 = 0x01;
@@ -448,6 +495,7 @@ const REQ_IMPORT_BUNDLE: u8 = 0x21;
 const REQ_FORGET_KEYS: u8 = 0x22;
 const REQ_LOAD_REFS: u8 = 0x23;
 const REQ_DUMP_REFS: u8 = 0x24;
+const REQ_REPLICATE: u8 = 0x25;
 
 const OP_PUT: u8 = 0x01;
 const OP_DELETE_BRANCH: u8 = 0x02;
@@ -465,6 +513,10 @@ impl Request {
             | Request::ListKeys
             | Request::StoredBytes
             | Request::DumpRefs => true,
+            // Replace-import converges: applying the same bundle twice
+            // leaves the same refs, so a retry after an ambiguous
+            // outcome cannot corrupt the replica.
+            Request::Replicate { .. } => true,
             Request::Put { .. }
             | Request::PutBlob { .. }
             | Request::Gc
@@ -566,6 +618,10 @@ impl Request {
                 put_str(&mut out, refs);
             }
             Request::DumpRefs => out.push(REQ_DUMP_REFS),
+            Request::Replicate { bundle } => {
+                out.push(REQ_REPLICATE);
+                put_bytes(&mut out, bundle);
+            }
         }
         out
     }
@@ -648,6 +704,9 @@ impl Request {
             }
             REQ_LOAD_REFS => Request::LoadRefs { refs: rd.string()? },
             REQ_DUMP_REFS => Request::DumpRefs,
+            REQ_REPLICATE => Request::Replicate {
+                bundle: rd.bytes()?.to_vec(),
+            },
             t => return Err(Rd::err(&format!("unknown request tag {t:#04x}"))),
         };
         rd.done()?;
@@ -1374,6 +1433,10 @@ fn run<S: SweepStore>(db: &ForkBase<S>, req: Request) -> DbResult<Reply> {
             Ok(Reply::Unit)
         }
         Request::DumpRefs => Ok(Reply::Text(db.dump_refs())),
+        Request::Replicate { bundle } => {
+            let refs = import_bundle_replace(db, &mut bundle.as_slice())?;
+            Ok(Reply::Count(refs.len() as u64))
+        }
     }
 }
 
@@ -1390,6 +1453,7 @@ pub fn mutates(req: &Request) -> bool {
             | Request::ImportBundle { .. }
             | Request::ForgetKeys { .. }
             | Request::LoadRefs { .. }
+            | Request::Replicate { .. }
     )
 }
 
@@ -1458,6 +1522,9 @@ mod tests {
             refs: "refs text".into(),
         });
         roundtrip_req(Request::DumpRefs);
+        roundtrip_req(Request::Replicate {
+            bundle: vec![9, 8, 7],
+        });
         roundtrip_req(Request::Stat);
         roundtrip_req(Request::ListKeys);
         roundtrip_req(Request::StoredBytes);
@@ -1588,6 +1655,16 @@ mod tests {
             Err(FrameError::BadVersion(99))
         ));
 
+        // Every version in the supported range is accepted, and the
+        // versioned reader reports which one arrived — a v1 router's
+        // frames still parse on a v2 servelet.
+        for v in MIN_WIRE_VERSION..=WIRE_VERSION {
+            let old = encode_frame_with_version(v, &body);
+            let (got_v, got_body) = read_frame_versioned(&mut old.as_slice()).unwrap();
+            assert_eq!(got_v, v);
+            assert_eq!(got_body, body);
+        }
+
         // Hostile length prefix: rejected before allocation.
         let mut huge = (MAX_FRAME_LEN + 1).to_le_bytes().to_vec();
         huge.extend_from_slice(&[0; 16]);
@@ -1652,6 +1729,13 @@ mod tests {
         assert_eq!(Request::StoredBytes.encode(), vec![0x09]);
         assert_eq!(Request::Gc.encode(), vec![0x0A]);
         assert_eq!(Request::DumpRefs.encode(), vec![0x24]);
+        assert_eq!(
+            Request::Replicate {
+                bundle: vec![1, 2, 3],
+            }
+            .encode(),
+            vec![0x25, 3, 0, 0, 0, 1, 2, 3]
+        );
     }
 
     #[test]

@@ -51,12 +51,12 @@ pub use api::{
     BatchOutcome, BlobReader, BranchInfo, CommitResult, DbStat, ForkBase, GetResult, HistoryEntry,
     ListStream, MapRange, PutOptions, Snapshot, ValueDiff, VersionSpec, WriteBatch, DEFAULT_BRANCH,
 };
-pub use bundle::{export_bundle, import_bundle, BundleRef};
+pub use bundle::{export_bundle, import_bundle, import_bundle_replace, BundleRef};
 pub use cluster::{
     ChaosPlan, ChaosReport, Cluster, ClusterGcReport, ClusterStat, ClusterTopology,
-    ClusterWriteBatch, HealthState, MapPage, Partial, PartialHeads, PersistFn, RemoteRespawnFn,
-    Respawned, RetryPolicy, RpcConfig, ServeletHealth, ServeletServer, SupervisionReport,
-    Supervisor,
+    ClusterWriteBatch, HealthState, MapPage, Partial, PartialHeads, PersistFn, PrimaryReplication,
+    RemoteRespawnFn, ReplicaRead, ReplicaStatus, ReplicationStatus, Respawned, RetryPolicy,
+    RpcConfig, ServeletHealth, ServeletServer, ShipReport, SupervisionReport, Supervisor, TopoRole,
 };
 pub use error::{DbError, DbResult};
 pub use fnode::{FNode, Uid};

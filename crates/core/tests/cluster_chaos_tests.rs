@@ -465,6 +465,134 @@ fn filestore_servelet_killed_mid_batch_recovers_every_acked_write() {
 }
 
 // ----------------------------------------------------------------------
+// Replication failover schedules
+// ----------------------------------------------------------------------
+
+/// Kill-primary-during-ship: a primary dies with acked writes still
+/// sitting in its replica's ship log (captured, not yet shipped — the
+/// ship is mid-flight by construction). The supervisor, past the
+/// failover threshold, promotes the replica instead of restarting, and
+/// every acked write survives with its exact head.
+#[test]
+fn kill_primary_during_ship_failover_promotes_and_loses_nothing() {
+    let (c, _stores, refs) = supervised_mem_cluster(2);
+    fast_rpc(&c);
+    // Threshold 1: one failed probe is enough — promote, don't restart.
+    c.set_failover_threshold(Some(1));
+    let pid = c.ids()[0];
+    let rid = c.add_replica(pid, Arc::new(MemStore::new())).unwrap();
+
+    // Acked writes with the ship log deliberately left hot: the captures
+    // exist only on the primary and in the router's pending log.
+    let mut acked: Vec<(String, Uid)> = Vec::new();
+    for i in 0..30 {
+        let key = format!("k{i}");
+        let commit = c
+            .put_string(&key, format!("v{i}"), PutOptions::default())
+            .unwrap();
+        acked.push((key, commit.uid));
+    }
+    let lagging = c
+        .replication_status()
+        .primaries
+        .iter()
+        .find(|p| p.primary == pid)
+        .unwrap()
+        .replicas[0]
+        .clone();
+    assert!(lagging.lag > 0, "the schedule needs a hot ship log");
+    save_refs(&c, &refs);
+
+    c.kill_servelet(0).unwrap();
+    let report = c.supervise_once();
+    assert_eq!(
+        report.promoted,
+        vec![(pid, rid)],
+        "past the threshold the supervisor must fail over, not restart: {report:?}"
+    );
+    assert!(report.restarted.is_empty());
+    assert!(c.is_fully_healthy());
+    assert!(!c.ids().contains(&pid));
+
+    // Zero acked writes lost — including the ones that were only in the
+    // ship log when the primary died.
+    for (key, uid) in &acked {
+        let got = c.get(key, "master").unwrap();
+        assert_eq!(got.uid, *uid, "{key} lost across kill-during-ship failover");
+    }
+}
+
+/// Promote-with-lag: promotion of a replica that is *behind* drains its
+/// ship log first (the payloads are self-contained), so even a manual
+/// promote of a lagging replica under a dead primary loses nothing.
+#[test]
+fn promote_with_lag_drains_the_ship_log_first() {
+    let (c, _stores, _refs) = supervised_mem_cluster(2);
+    fast_rpc(&c);
+    let pid = c.ids()[0];
+    let rid = c.add_replica(pid, Arc::new(MemStore::new())).unwrap();
+    let mut acked: Vec<(String, Uid)> = Vec::new();
+    for i in 0..25 {
+        let key = format!("lag-{i}");
+        let commit = c
+            .put_string(&key, format!("v{i}"), PutOptions::default())
+            .unwrap();
+        acked.push((key, commit.uid));
+    }
+    // The replica is visibly behind, and stays behind: no ship pass runs.
+    let status = c.replication_status();
+    let r = &status
+        .primaries
+        .iter()
+        .find(|p| p.primary == pid)
+        .unwrap()
+        .replicas[0];
+    assert!(r.lag > 0 && r.pending > 0);
+
+    c.kill_servelet(0).unwrap();
+    c.promote_replica(rid).unwrap();
+    for (key, uid) in &acked {
+        let got = c.get(key, "master").unwrap();
+        assert_eq!(got.uid, *uid, "{key} lost in promote-with-lag");
+    }
+}
+
+/// Split-brain prevention: after a failover the retired primary's id is
+/// gone from the topology for good — it cannot be restarted, supervision
+/// never resurrects it, and no routed verb can reach it, even though the
+/// old process's store still exists.
+#[test]
+fn failover_retires_the_old_primary_for_good() {
+    let (c, _stores, _refs) = supervised_mem_cluster(2);
+    fast_rpc(&c);
+    c.set_failover_threshold(Some(1));
+    let pid = c.ids()[0];
+    let rid = c.add_replica(pid, Arc::new(MemStore::new())).unwrap();
+    c.put_string("sb", "v1".into(), PutOptions::default())
+        .unwrap();
+    c.kill_servelet(0).unwrap();
+    let report = c.supervise_once();
+    assert_eq!(report.promoted, vec![(pid, rid)]);
+
+    // The retired id is unknown everywhere: restart refuses, the topology
+    // record no longer carries it, supervision sees a healthy cluster.
+    let err = c.restart_servelet(pid).unwrap_err();
+    assert!(matches!(err, DbError::InvalidInput(_)), "got {err:?}");
+    assert!(!c.topology().servelet_ids.contains(&pid));
+    let report = c.supervise_once();
+    assert!(report.restarted.is_empty() && report.promoted.is_empty());
+    assert_eq!(report.alive, c.ids());
+
+    // Ids are never reused: future members can't collide with the ghost.
+    let new_id = c.add_servelet(Arc::new(MemStore::new())).unwrap();
+    assert!(new_id > pid && new_id > rid);
+    // And writes keep landing on the promoted slot, not the ghost.
+    c.put_string("sb", "v2".into(), PutOptions::default())
+        .unwrap();
+    assert_eq!(c.get("sb", "master").unwrap().value.as_str(), Some("v2"));
+}
+
+// ----------------------------------------------------------------------
 // Seeded chaos property suite (CI chaos job)
 // ----------------------------------------------------------------------
 
@@ -592,5 +720,112 @@ fn chaos_round(seed: u64) {
 fn chaos_seeded_fault_schedule_suite() {
     for seed in [1, 42, 7_777, 0xDEAD_BEEF] {
         chaos_round(seed);
+    }
+}
+
+/// One seeded replication-chaos round: every primary carries a replica,
+/// the message layer misbehaves per the seed, and primaries are killed
+/// mid-stream on a seeded schedule. Supervision (ship pump + threshold
+/// failover + restart) must return the cluster to full health with every
+/// acked write resolvable and every baseline head intact.
+fn replication_chaos_round(seed: u64) {
+    let _guard = SeedGuard(seed);
+    let (c, _stores, refs) = supervised_mem_cluster(3);
+    fast_rpc(&c);
+    c.set_failover_threshold(Some(2));
+    for pid in c.ids() {
+        c.add_replica(pid, Arc::new(MemStore::new())).unwrap();
+    }
+
+    // Baseline: written, shipped everywhere, refs saved. These heads must
+    // survive every failover below.
+    let mut baseline: Vec<(String, Uid)> = Vec::new();
+    for i in 0..30 {
+        let key = format!("base-{i}");
+        let commit = c
+            .put_string(&key, format!("stable {i}"), PutOptions::default())
+            .unwrap();
+        baseline.push((key, commit.uid));
+    }
+    save_refs(&c, &refs);
+    let ship = c.ship_replication();
+    assert!(ship.failed.is_empty(), "baseline ship failed: {ship:?}");
+
+    // Seeded xorshift* schedule driver (same generator the cluster tests
+    // use), deciding which primary dies after which round.
+    let mut x = seed | 1;
+    let mut next = move || {
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        x.wrapping_mul(0x2545F4914F6CDD1D)
+    };
+
+    c.arm_chaos(ChaosPlan::seeded(seed).drops(40).delays(30).duplicates(50));
+    let bound = Duration::from_secs(3);
+    let mut churn_acked: Vec<(String, Uid)> = Vec::new();
+    for round in 0..5u64 {
+        for i in 0..10u64 {
+            let key = format!("churn-{round}-{i}");
+            let t = Instant::now();
+            if let Ok(commit) = c.put_string(&key, format!("c{round}/{i}"), PutOptions::default()) {
+                churn_acked.push((key, commit.uid));
+            }
+            assert!(t.elapsed() < bound, "put exceeded bound: {:?}", t.elapsed());
+            let t = Instant::now();
+            let _ = c.get_from_replica(&format!("base-{}", (round * 7 + i) % 30), "master");
+            assert!(
+                t.elapsed() < bound,
+                "replica read exceeded bound: {:?}",
+                t.elapsed()
+            );
+        }
+        // Kill a seeded-random primary while its ship log is hot.
+        if round % 2 == 0 {
+            let slot = (next() % c.len() as u64) as usize;
+            let _ = c.kill_servelet(slot);
+        }
+        // Supervision pumps the ship log and, past the threshold, promotes
+        // the dead primary's replica (restart-in-place otherwise).
+        for _ in 0..3 {
+            c.supervise_once();
+        }
+    }
+    c.disarm_chaos().unwrap();
+
+    // Heal completely.
+    let t = Instant::now();
+    while !c.is_fully_healthy() {
+        c.supervise_once();
+        assert!(
+            t.elapsed() < Duration::from_secs(10),
+            "cluster never healed (seed {seed})"
+        );
+    }
+    // Baseline heads intact wherever the slot now points (original
+    // primary, restarted primary, or promoted replica).
+    for (key, uid) in &baseline {
+        let got = c.get(key, "master").unwrap();
+        assert_eq!(got.uid, *uid, "baseline {key} drifted (seed {seed})");
+    }
+    // Zero acked churn writes lost: each resolves by uid on its owner.
+    for (key, uid) in &churn_acked {
+        let uid = *uid;
+        let owner_key = key.clone();
+        let got = c
+            .with_key(&owner_key, move |db| db.get_version(&uid))
+            .unwrap();
+        assert!(
+            got.is_ok(),
+            "acked write {key} (uid {uid}) lost (seed {seed}): {got:?}"
+        );
+    }
+}
+
+#[test]
+#[ignore = "chaos_replication: seeded kill-primary schedules; run with --ignored chaos_replication"]
+fn chaos_replication_seeded_kill_primary_suite() {
+    for seed in [3, 99, 12_345, 0xF0CACC1A] {
+        replication_chaos_round(seed);
     }
 }

@@ -16,8 +16,8 @@ use std::sync::{Arc, Mutex};
 
 use bytes::Bytes;
 use forkbase::{
-    Cluster, ClusterTopology, DbError, DbResult, ForkBase, PutOptions, ServeletServer, Uid,
-    VersionSpec,
+    Cluster, ClusterTopology, DbError, DbResult, ForkBase, PutOptions, ServeletServer, TopoRole,
+    Uid, VersionSpec,
 };
 use forkbase_postree::TreeConfig;
 use forkbase_store::MemStore;
@@ -100,9 +100,14 @@ impl TestCluster {
                 },
             );
         }
+        let roles = servelet_ids
+            .iter()
+            .map(|&id| TopoRole::Primary { anchor: id })
+            .collect();
         let topology = ClusterTopology {
             servelet_ids,
             addrs,
+            roles,
             next_id: n as u64,
         };
         TestCluster {
@@ -177,6 +182,27 @@ impl TestCluster {
             }
         }
         Ok(())
+    }
+
+    /// Attach a replica to primary `pid` over the backend's transport.
+    fn add_replica(&self, pid: u64) -> DbResult<u64> {
+        match self.backend {
+            Backend::InProcess => self.c.add_replica(pid, MemStore::new()),
+            Backend::Tcp => {
+                let db = Arc::new(ForkBase::with_config(MemStore::new(), self.cfg));
+                let server = ServeletServer::spawn("127.0.0.1:0", Arc::clone(&db), None)?;
+                let addr = server.addr().to_string();
+                let id = self.c.add_remote_replica(pid, addr)?;
+                self.remote.lock().unwrap().insert(
+                    id,
+                    RemoteServelet {
+                        server: Some(server),
+                        db,
+                    },
+                );
+                Ok(id)
+            }
+        }
     }
 
     /// Kill the servelet at `slot` without removing it from the ring:
@@ -609,4 +635,174 @@ fn interrupted_rebalance_residue_heals_on_next_rebalance() {
 #[test]
 fn interrupted_rebalance_residue_heals_on_next_rebalance_over_tcp() {
     residue_case(&TestCluster::tcp(3));
+}
+
+// ---------------------------------------------------------------------
+// Replication (transport-generic)
+// ---------------------------------------------------------------------
+
+/// A replica serves idempotent reads with the staleness bound surfaced:
+/// caught up it answers with lag 0; behind it answers stale with the lag
+/// stated; after a ship pass it is fresh again.
+fn replica_read_case(h: &TestCluster) {
+    h.c.put_string("doc", "v1".into(), PutOptions::default())
+        .unwrap();
+    let pid = h.c.owner_id("doc");
+    let rid = h.add_replica(pid).unwrap();
+
+    // The attach-time full sync carried the pre-existing write.
+    let read = h.c.get_from_replica("doc", "master").unwrap();
+    assert!(read.from_replica);
+    assert_eq!(read.servelet, rid);
+    assert_eq!(read.lag, 0);
+    assert_eq!(read.result.value.as_str(), Some("v1"));
+
+    // An unshipped write shows up as lag; the read is stale and says so.
+    h.c.put_string("doc", "v2".into(), PutOptions::default())
+        .unwrap();
+    let read = h.c.get_from_replica("doc", "master").unwrap();
+    assert!(read.from_replica);
+    assert_eq!(read.lag, 1);
+    assert_eq!(read.result.value.as_str(), Some("v1"));
+
+    // Ship, then the replica is fresh.
+    let report = h.c.ship_replication();
+    assert!(report.failed.is_empty(), "ship failed: {:?}", report.failed);
+    let read = h.c.get_from_replica("doc", "master").unwrap();
+    assert_eq!(read.lag, 0);
+    assert_eq!(read.result.value.as_str(), Some("v2"));
+
+    // Reads of keys on un-replicated primaries degrade to the primary.
+    let unreplicated = (0..)
+        .map(|i| format!("probe-{i}"))
+        .find(|k| h.c.owner_id(k) != pid)
+        .unwrap();
+    h.c.put_string(&unreplicated, "p".into(), PutOptions::default())
+        .unwrap();
+    let read = h.c.get_from_replica(&unreplicated, "master").unwrap();
+    assert!(!read.from_replica);
+    assert_eq!(read.lag, 0);
+}
+
+#[test]
+fn replica_serves_reads_with_staleness_bound() {
+    replica_read_case(&TestCluster::in_process(3));
+}
+
+#[test]
+fn replica_serves_reads_with_staleness_bound_over_tcp() {
+    replica_read_case(&TestCluster::tcp(3));
+}
+
+/// A replica that fell far behind catches up: `catch_up_replica` leaves
+/// it at lag 0 mirroring the primary's exact branch heads and histories.
+fn replica_catch_up_case(h: &TestCluster) {
+    let pid = h.c.ids()[0];
+    let rid = h.add_replica(pid).unwrap();
+    let mut rng = Rng(0x5EED_F08B_A5E5_0002);
+    seed_workload(h, &mut rng, 40);
+
+    h.c.catch_up_replica(rid).unwrap();
+    let status = h.c.replication_status();
+    let r = status
+        .primaries
+        .iter()
+        .flat_map(|p| p.replicas.iter())
+        .find(|r| r.id == rid)
+        .unwrap();
+    assert_eq!(r.lag, 0);
+    assert_eq!(r.pending, 0);
+    assert!(!r.needs_full_sync);
+
+    // The mirror is exact: every key the primary owns reads identically
+    // (same head uid) from the replica.
+    for key in h.c.list_keys().unwrap() {
+        if h.c.owner_id(&key) != pid {
+            continue;
+        }
+        let primary_head = h.c.get(&key, "master").unwrap().uid;
+        let read = h.c.get_from_replica(&key, "master").unwrap();
+        assert!(read.from_replica, "{key} not served by the replica");
+        assert_eq!(read.result.uid, primary_head, "{key} head drifted");
+    }
+}
+
+#[test]
+fn lagging_replica_catches_up_exactly() {
+    replica_catch_up_case(&TestCluster::in_process(3));
+}
+
+#[test]
+fn lagging_replica_catches_up_exactly_over_tcp() {
+    replica_catch_up_case(&TestCluster::tcp(3));
+}
+
+/// The failover property: kill a primary with acked writes still sitting
+/// in the ship log, promote its replica, and every acked write — head
+/// uid and history — survives, with placement unchanged.
+fn promote_preserves_acked_case(h: &TestCluster) {
+    for i in 0..40 {
+        h.c.put_string(&format!("key-{i}"), format!("v{i}"), PutOptions::default())
+            .unwrap();
+    }
+    let pid = h.c.ids()[0];
+    let slot = 0;
+    let rid = h.add_replica(pid).unwrap();
+
+    // Acked writes after the attach, deliberately never shipped: the only
+    // copies outside the primary live in the router's ship log.
+    let mut acked: Vec<(String, Uid)> = Vec::new();
+    for i in 40..90 {
+        let key = format!("key-{i}");
+        let commit =
+            h.c.put_string(&key, format!("v{i}"), PutOptions::default())
+                .unwrap();
+        acked.push((key, commit.uid));
+    }
+    let owners_before: Vec<(String, usize)> =
+        h.c.list_keys()
+            .unwrap()
+            .into_iter()
+            .map(|k| {
+                let slot = h.c.route(&k);
+                (k, slot)
+            })
+            .collect();
+
+    h.kill(slot).unwrap();
+    let old = h.c.promote_replica(rid).unwrap();
+    assert_eq!(old, pid);
+    assert!(h.c.ids().contains(&rid));
+    assert!(!h.c.ids().contains(&pid), "the dead id left the topology");
+
+    // Zero key movement: every key still routes to the same slot.
+    for (key, slot_before) in owners_before {
+        assert_eq!(h.c.route(&key), slot_before, "{key} moved on promotion");
+    }
+    // Every acked write survived with its exact head uid.
+    for (key, uid) in &acked {
+        let got = h.c.get(key, "master").unwrap();
+        assert_eq!(&got.uid, uid, "{key} lost its acked head");
+    }
+    // And everything else is still served.
+    for i in 0..90 {
+        assert!(h.c.get(&format!("key-{i}"), "master").is_ok());
+    }
+    // The cluster remains writable through the promoted slot.
+    h.c.put_string("key-0", "after failover".into(), PutOptions::default())
+        .unwrap();
+    assert_eq!(
+        h.c.get("key-0", "master").unwrap().value.as_str(),
+        Some("after failover")
+    );
+}
+
+#[test]
+fn promote_after_kill_preserves_every_acked_write() {
+    promote_preserves_acked_case(&TestCluster::in_process(3));
+}
+
+#[test]
+fn promote_after_kill_preserves_every_acked_write_over_tcp() {
+    promote_preserves_acked_case(&TestCluster::tcp(3));
 }

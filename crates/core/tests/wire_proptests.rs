@@ -12,8 +12,8 @@
 
 use bytes::Bytes;
 use forkbase::cluster::wire::{
-    encode_frame, read_frame, FrameError, Reply, Request, WireError, WireOp, MAX_FRAME_LEN,
-    WIRE_VERSION,
+    encode_frame, encode_frame_with_version, read_frame, read_frame_versioned, FrameError, Reply,
+    Request, WireError, WireOp, MAX_FRAME_LEN, MIN_WIRE_VERSION, WIRE_VERSION,
 };
 use forkbase::{BatchOutcome, CommitResult, DbStat, GcReport, GetResult, MapPage, PutOptions, Uid};
 use forkbase_store::crc::crc32;
@@ -112,6 +112,7 @@ fn request() -> BoxedStrategy<Request> {
         vec(key(), 0..6).prop_map(|keys| Request::ForgetKeys { keys }),
         ".{0,48}".prop_map(|refs| Request::LoadRefs { refs }),
         Just(Request::DumpRefs),
+        raw(96).prop_map(|bundle| Request::Replicate { bundle }),
     ]
     .boxed()
 }
@@ -309,11 +310,30 @@ proptest! {
         );
     }
 
-    /// A frame with a valid CRC but a foreign version byte is refused
-    /// with `BadVersion` (version skew must not decode as garbage).
+    /// Every version in the supported range decodes, and the reader
+    /// reports the version it saw (servelets echo it in the reply frame
+    /// so a down-level peer can parse the answer).
+    #[test]
+    fn supported_versions_are_accepted_and_reported(
+        req in request(),
+        version in MIN_WIRE_VERSION..=WIRE_VERSION,
+    ) {
+        let body = req.encode();
+        let framed = encode_frame_with_version(version, &body);
+        let (seen, read) = read_frame_versioned(&mut framed.as_slice())
+            .expect("supported version");
+        prop_assert_eq!(seen, version);
+        prop_assert_eq!(&read, &body);
+        let decoded = Request::decode(&read).expect("well-formed body");
+        prop_assert_eq!(decoded, req);
+    }
+
+    /// A frame with a valid CRC but a version outside the supported
+    /// range is refused with `BadVersion` (version skew must not decode
+    /// as garbage).
     #[test]
     fn foreign_versions_are_rejected(req in request(), version in num::u8::ANY) {
-        prop_assume!(version != WIRE_VERSION);
+        prop_assume!(!(MIN_WIRE_VERSION..=WIRE_VERSION).contains(&version));
         let body = req.encode();
         let len = 1 + body.len() + 4;
         let mut data = Vec::with_capacity(4 + len);

@@ -1,0 +1,133 @@
+//! Docs gate: every relative markdown link in the top-level docs must
+//! point at a file that exists, and every `#anchor` must match a heading
+//! in the target document. Runs in the CI `docs` job so a renamed file
+//! or section breaks the build, not the reader.
+
+use std::path::{Path, PathBuf};
+
+/// The curated doc set the gate covers (repo-root relative). ISSUE.md /
+/// PAPER.md / PAPERS.md / SNIPPETS.md are generated driver inputs, not
+/// maintained docs, so they are not linted.
+const DOCS: &[&str] = &["README.md", "ARCHITECTURE.md", "PROTOCOL.md", "ROADMAP.md"];
+
+fn repo_root() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+}
+
+/// Extract `[text](target)` link targets from markdown source. A dumb
+/// scanner is enough: the docs never put `](` in code spans.
+fn link_targets(markdown: &str) -> Vec<String> {
+    let bytes = markdown.as_bytes();
+    let mut out = Vec::new();
+    let mut i = 0;
+    while let Some(pos) = markdown[i..].find("](") {
+        let start = i + pos + 2;
+        let Some(rel_end) = markdown[start..].find(')') else {
+            break;
+        };
+        out.push(markdown[start..start + rel_end].to_string());
+        i = start + rel_end + 1;
+    }
+    debug_assert!(i <= bytes.len());
+    out
+}
+
+/// GitHub-style heading slug: lowercase, alphanumerics and existing
+/// hyphens/underscores kept, spaces become hyphens, everything else
+/// (punctuation, `&`, backticks) dropped.
+fn slugify(heading: &str) -> String {
+    heading
+        .trim()
+        .chars()
+        .filter_map(|c| match c {
+            ' ' => Some('-'),
+            '-' | '_' => Some(c),
+            c if c.is_alphanumeric() => Some(c.to_ascii_lowercase()),
+            _ => None,
+        })
+        .collect()
+}
+
+fn heading_slugs(markdown: &str) -> Vec<String> {
+    let mut in_code_fence = false;
+    markdown
+        .lines()
+        .filter(|line| {
+            if line.trim_start().starts_with("```") {
+                in_code_fence = !in_code_fence;
+            }
+            !in_code_fence && line.starts_with('#')
+        })
+        .map(|line| slugify(line.trim_start_matches('#')))
+        .collect()
+}
+
+fn check_anchor(doc: &str, target_path: &Path, anchor: &str, errors: &mut Vec<String>) {
+    let target_md = match std::fs::read_to_string(target_path) {
+        Ok(s) => s,
+        Err(e) => {
+            errors.push(format!("{doc}: cannot read {target_path:?}: {e}"));
+            return;
+        }
+    };
+    if !heading_slugs(&target_md).iter().any(|s| s == anchor) {
+        errors.push(format!(
+            "{doc}: anchor #{anchor} matches no heading in {target_path:?}"
+        ));
+    }
+}
+
+#[test]
+fn doc_links_resolve() {
+    let root = repo_root();
+    let mut errors = Vec::new();
+    for doc in DOCS {
+        let path = root.join(doc);
+        let markdown =
+            std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("cannot read {path:?}: {e}"));
+        for target in link_targets(&markdown) {
+            if target.starts_with("http://")
+                || target.starts_with("https://")
+                || target.starts_with("mailto:")
+            {
+                continue; // external: not checkable offline
+            }
+            let (file_part, anchor) = match target.split_once('#') {
+                Some((f, a)) => (f, Some(a)),
+                None => (target.as_str(), None),
+            };
+            // Pure in-page anchor: resolve against the current doc.
+            let target_path = if file_part.is_empty() {
+                path.clone()
+            } else {
+                path.parent().unwrap().join(file_part)
+            };
+            if !target_path.exists() {
+                errors.push(format!("{doc}: broken link to {target}"));
+                continue;
+            }
+            if let Some(anchor) = anchor {
+                check_anchor(doc, &target_path, anchor, &mut errors);
+            }
+        }
+    }
+    assert!(
+        errors.is_empty(),
+        "broken doc links:\n{}",
+        errors.join("\n")
+    );
+}
+
+/// The docs the gate lints must actually exist and cross-link: README
+/// must point readers at the architecture map and the protocol spec.
+#[test]
+fn readme_links_the_architecture_and_protocol_docs() {
+    let readme = std::fs::read_to_string(repo_root().join("README.md")).unwrap();
+    let targets = link_targets(&readme);
+    for must in ["ARCHITECTURE.md", "PROTOCOL.md"] {
+        assert!(
+            targets.iter().any(|t| t == must),
+            "README.md does not link {must}"
+        );
+    }
+}
