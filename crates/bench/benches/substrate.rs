@@ -501,6 +501,56 @@ fn bench_cluster_put(c: &mut Criterion) {
     group.finish();
 }
 
+/// Replication ship/drain throughput: one iteration routes 64 puts
+/// against a 4-servelet cluster (the ship-log capture rides the routed
+/// write), drains the logs with `ship_replication` — the export-apply
+/// round-trips the Supervisor pays every tick — then deletes the 64 keys
+/// and drains the resulting forgets. The delete leg keeps the bench
+/// stationary: a fully-deleted key ceases to exist, so every iteration
+/// ships one-commit bundles instead of ever-growing histories.
+fn bench_ship_drain(c: &mut Criterion) {
+    use forkbase::Cluster;
+    const KEYS: usize = 64;
+    let keys: Vec<String> = (0..KEYS).map(|i| format!("ship-key-{i}")).collect();
+
+    let mut group = c.benchmark_group("replication/ship_drain");
+    group.sample_size(20);
+    for replicas_per_primary in [1usize, 2] {
+        // Each routed put captures once per replica; so does each delete.
+        group.throughput(Throughput::Elements((KEYS * replicas_per_primary) as u64));
+        let cluster = Cluster::new(4, forkbase_postree::TreeConfig::default_config());
+        for id in cluster.ids() {
+            for _ in 0..replicas_per_primary {
+                cluster.add_replica(id, MemStore::new()).unwrap();
+            }
+        }
+        group.bench_function(
+            BenchmarkId::new(
+                "put_ship_forget_64keys",
+                format!("{replicas_per_primary}replica"),
+            ),
+            |b| {
+                b.iter(|| {
+                    for key in &keys {
+                        cluster
+                            .put(key, Value::string("shipped"), PutOptions::default())
+                            .unwrap();
+                    }
+                    let report = cluster.ship_replication();
+                    assert!(report.failed.is_empty());
+                    assert_eq!(report.shipped, (KEYS * replicas_per_primary) as u64);
+                    for key in &keys {
+                        cluster.delete_branch(key, "master").unwrap();
+                    }
+                    let report = cluster.ship_replication();
+                    assert!(report.failed.is_empty());
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
 criterion_group!(
     benches,
     bench_sha256,
@@ -513,6 +563,7 @@ criterion_group!(
     bench_concurrent_blob_commits,
     bench_snapshot_scan,
     bench_write_batch,
-    bench_cluster_put
+    bench_cluster_put,
+    bench_ship_drain
 );
 criterion_main!(benches);

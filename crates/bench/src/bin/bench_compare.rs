@@ -8,8 +8,9 @@
 //! ```
 //!
 //! Only the *gated* groups fail the run — `chunk_throughput/*`,
-//! `db/concurrent_commits/*`, and `db/cluster_put/*`, the numbers the
-//! ROADMAP bench history tracks; everything else is reported
+//! `db/concurrent_commits/*`, `db/cluster_put/*`, and
+//! `replication/ship_drain/*`, the numbers the ROADMAP bench history
+//! tracks; everything else is reported
 //! informationally. A gated bench
 //! missing from the current run also fails (a silently dropped bench must
 //! not read as green). Shared CI runners are noisy, so the CI job runs
@@ -25,6 +26,7 @@ const GATED_PREFIXES: &[&str] = &[
     "chunk_throughput",
     "db/concurrent_commits",
     "db/cluster_put",
+    "replication/ship_drain",
 ];
 const DEFAULT_THRESHOLD: f64 = 0.25;
 
@@ -241,6 +243,7 @@ mod tests {
             "db/concurrent_commits/global_baseline/contended/8thr"
         ));
         assert!(is_gated("db/cluster_put/routed_4servelets_64keys"));
+        assert!(is_gated("replication/ship_drain/drain_64keys/1replica"));
         assert!(!is_gated("store/compaction/ingest_delete_compact_reread"));
         assert!(!is_gated("db/write_batch/batch_16keys"));
         assert!(!is_gated("crypto/sha256/4096"));

@@ -5,6 +5,7 @@
 //!
 //! ```text
 //! <root>/cluster/TOPOLOGY               — servelet ids, roles + next id (stable routing)
+//! <root>/cluster/FORKS                  — fork-sandbox registry (leases resume on reopen)
 //! <root>/cluster/REPLICAS_SYNCED        — replicas proven caught-up at last clean save
 //! <root>/cluster/servelet-<id>/chunks/  — that servelet's pack files
 //! <root>/cluster/servelet-<id>/refs     — that servelet's branch heads
@@ -86,12 +87,19 @@ pub fn serve_servelet(addr: &str, root: impl AsRef<Path>) -> DbResult<forkbase::
         forkbase_store::ChunkStore::sync(db.store())?;
         write_durable(&refs_path, &db.dump_refs())
     });
-    forkbase::ServeletServer::spawn(addr, db, Some(persist))
+    // Per-peer admission control: a chatty router cannot monopolize the
+    // servelet's worker threads; shed frames answer a structured
+    // `WireError::RateLimited` with a retry hint, connection kept open.
+    let limiter = Arc::new(forkbase::RateLimiter::new(forkbase::RateLimit::new(
+        2000.0, 4000.0,
+    )));
+    forkbase::ServeletServer::spawn_limited(addr, db, Some(persist), Some(limiter))
 }
 
 /// A durable cluster bound to an on-disk directory.
 pub struct ClusterSession {
     cluster: Arc<Cluster<FileStore>>,
+    forks: Arc<forkbase::ForkService>,
     root: PathBuf,
 }
 
@@ -102,6 +110,10 @@ impl ClusterSession {
 
     fn topology_path(root: &Path) -> PathBuf {
         Self::cluster_dir(root).join("TOPOLOGY")
+    }
+
+    fn forks_path(root: &Path) -> PathBuf {
+        Self::cluster_dir(root).join("FORKS")
     }
 
     fn servelet_dir(root: &Path, id: u64) -> PathBuf {
@@ -220,8 +232,18 @@ impl ClusterSession {
             };
             Ok(forkbase::Respawned { store, refs })
         });
+        // Resume fork leases from the FORKS record next to TOPOLOGY —
+        // absolute unix-second leases keep their promised expiry across
+        // a gateway restart.
+        let forks = Arc::new(forkbase::ForkService::new());
+        let forks_path = Self::forks_path(&root);
+        if forks_path.exists() {
+            let text = std::fs::read_to_string(&forks_path).map_err(io_err)?;
+            forks.load(&text)?;
+        }
         Ok(ClusterSession {
             cluster: Arc::new(cluster),
+            forks,
             root,
         })
     }
@@ -235,6 +257,17 @@ impl ClusterSession {
     /// supervisor hold while the session keeps persisting state.
     pub fn cluster_arc(&self) -> Arc<Cluster<FileStore>> {
         Arc::clone(&self.cluster)
+    }
+
+    /// The fork-sandbox registry this session persists.
+    pub fn forks(&self) -> &forkbase::ForkService {
+        &self.forks
+    }
+
+    /// Shared handle to the fork registry (held by the gateway and the
+    /// supervisor's reaper tick).
+    pub fn forks_arc(&self) -> Arc<forkbase::ForkService> {
+        Arc::clone(&self.forks)
     }
 
     /// Persist the topology record plus every servelet's branch heads,
@@ -274,6 +307,7 @@ impl ClusterSession {
             write_durable(&dir.join("refs"), &refs)?;
         }
         write_durable(&Self::topology_path(&self.root), &topology.encode())?;
+        write_durable(&Self::forks_path(&self.root), &self.forks.dump())?;
         // Record which replicas this save proved caught-up (shipped to
         // lag 0 above, refs now durable): they may re-attach without a
         // full resync on the next open — see the module doc. Written
@@ -433,7 +467,7 @@ pub fn run_cluster_command(session: &ClusterSession, args: &[&str]) -> DbResult<
              range KEY [START [END]] [--limit N] | add | add-remote ADDR | remove ID | \
              add-replica PRIMARY_ID | add-remote-replica PRIMARY_ID ADDR | \
              promote REPLICA_ID | replication-status | keys | stats | gc | topology | \
-             health | restart ID | serve [PORT] \
+             health | restart ID | serve [PORT] | fork <sub> … \
              [--branch B --author A --message M] (see README \"Sharding & elasticity\")"
                 .into(),
         )
@@ -441,6 +475,12 @@ pub fn run_cluster_command(session: &ClusterSession, args: &[&str]) -> DbResult<
     let Some((&verb, rest)) = args.split_first() else {
         return Err(usage());
     };
+    // The fork family parses its own flags (`--ttl`, `--id`, …) — hand
+    // it the raw argument tail before the generic flag pass consumes
+    // anything. Fork verbs route through the cluster like normal verbs.
+    if verb == "fork" {
+        return crate::fork_cmd::run_fork_command(session.forks(), session.cluster(), rest);
+    }
     let mut positional = Vec::new();
     let mut branch = "master".to_string();
     let mut author = "cli".to_string();

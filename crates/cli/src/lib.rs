@@ -9,10 +9,12 @@
 
 pub mod cluster_cmd;
 pub mod commands;
+pub mod fork_cmd;
 pub mod rest;
 pub mod session;
 
 pub use cluster_cmd::{run_cluster_command, serve_servelet, ClusterSession};
 pub use commands::run_command;
+pub use fork_cmd::run_fork_command;
 pub use rest::{ClusterRestServer, RestServer};
 pub use session::Session;

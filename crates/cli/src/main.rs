@@ -2,6 +2,9 @@
 //!
 //! ```text
 //! forkbase --data DIR <verb> [args…]        run one verb against a durable store
+//! forkbase --data DIR fork <sub> [args…]    manage leased fork sandboxes
+//!                                           (create | list | info | touch | drop |
+//!                                            diff | get | put)
 //! forkbase --data DIR serve [PORT]          start the REST server
 //! forkbase serve --servelet ADDR --data DIR run a standalone servelet process
 //!                                           (wire protocol on ADDR, FileStore at DIR)
@@ -11,7 +14,8 @@
 //!                                            add-replica PID | add-remote-replica PID ADDR |
 //!                                            promote ID | replication-status |
 //!                                            keys | stats | gc | topology |
-//!                                            health | restart ID | serve [PORT])
+//!                                            health | restart ID | serve [PORT] |
+//!                                            fork <sub> …)
 //! ```
 //!
 //! Run with no arguments for the verb list. The data directory defaults to
@@ -20,8 +24,19 @@
 use std::process::ExitCode;
 
 use forkbase_cli::{
-    run_cluster_command, run_command, ClusterRestServer, ClusterSession, RestServer, Session,
+    run_cluster_command, run_command, run_fork_command, ClusterRestServer, ClusterSession,
+    RestServer, Session,
 };
+
+/// Default per-peer admission policy for the REST gateways: generous
+/// enough that a human or a well-behaved script never sees it, tight
+/// enough that one runaway client cannot monopolize the thread-per-
+/// connection server. Shed requests answer `429` + `retry-after`.
+fn gateway_rate_limiter() -> std::sync::Arc<forkbase::RateLimiter> {
+    std::sync::Arc::new(forkbase::RateLimiter::new(forkbase::RateLimit::new(
+        500.0, 1000.0,
+    )))
+}
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -81,7 +96,12 @@ fn main() -> ExitCode {
 
     if rest.first().copied() == Some("serve") {
         let port: u16 = rest.get(1).and_then(|p| p.parse().ok()).unwrap_or(8642);
-        let server = match RestServer::start(session.db_arc(), port) {
+        let server = match RestServer::start_configured(
+            session.db_arc(),
+            port,
+            session.forks_arc(),
+            Some(gateway_rate_limiter()),
+        ) {
             Ok(s) => s,
             Err(e) => {
                 eprintln!("failed to bind port {port}: {e}");
@@ -92,13 +112,42 @@ fn main() -> ExitCode {
         println!("data directory: {data_dir}");
         println!("press Ctrl-C to stop");
         // Persist refs periodically so a Ctrl-C loses at most 5 s of head
-        // movement (chunks themselves are always durable).
+        // movement (chunks themselves are always durable). The same beat
+        // reaps expired fork sandboxes — their branches are deleted and
+        // the next `gc` reclaims their chunks.
         loop {
             std::thread::sleep(std::time::Duration::from_secs(5));
+            let report = session.forks().reap_expired(session.db());
+            if !report.reaped.is_empty() {
+                println!(
+                    "reaped {} expired fork(s): {}",
+                    report.reaped.len(),
+                    report.reaped.join(", ")
+                );
+            }
             if let Err(e) = session.save() {
                 eprintln!("warning: failed to persist refs: {e}");
             }
         }
+    }
+
+    if rest.first().copied() == Some("fork") {
+        return match run_fork_command(session.forks(), session.db(), &rest[1..]) {
+            Ok(output) => {
+                if !output.is_empty() {
+                    println!("{output}");
+                }
+                if let Err(e) = session.save() {
+                    eprintln!("warning: failed to persist state: {e}");
+                    return ExitCode::FAILURE;
+                }
+                ExitCode::SUCCESS
+            }
+            Err(e) => {
+                eprintln!("error: {e}");
+                ExitCode::FAILURE
+            }
+        };
     }
 
     match run_command(session.db(), &rest) {
@@ -147,7 +196,13 @@ fn cluster_main(data_dir: &str, args: &[&str]) -> ExitCode {
 
     if args.first().copied() == Some("serve") {
         let port: u16 = args.get(1).and_then(|p| p.parse().ok()).unwrap_or(8643);
-        let server = match ClusterRestServer::start(session.cluster_arc(), port) {
+        let server = match ClusterRestServer::start_configured(
+            session.cluster_arc(),
+            port,
+            forkbase_cli::rest::DEFAULT_CONNECTION_LIMIT,
+            session.forks_arc(),
+            Some(gateway_rate_limiter()),
+        ) {
             Ok(s) => s,
             Err(e) => {
                 eprintln!("failed to bind port {port}: {e}");
@@ -158,9 +213,17 @@ fn cluster_main(data_dir: &str, args: &[&str]) -> ExitCode {
         // servelets from their durable backends (packs + refs files).
         // After 5 consecutive failed probes (~10 s down) a primary with a
         // caught-up replica is failed over instead of restarted in place.
+        // The fork-sandbox reaper rides the same tick: expired leases are
+        // collected every pass, their branches dropped cluster-wide.
         session.cluster_arc().set_failover_threshold(Some(5));
-        let _supervisor =
-            forkbase::Supervisor::spawn(session.cluster_arc(), std::time::Duration::from_secs(2));
+        let reaper_forks = session.forks_arc();
+        let _supervisor = forkbase::Supervisor::spawn_with_tick(
+            session.cluster_arc(),
+            std::time::Duration::from_secs(2),
+            move |cluster| {
+                let _ = reaper_forks.reap_expired(cluster);
+            },
+        );
         println!(
             "forkbase cluster gateway listening on http://{}",
             server.addr()

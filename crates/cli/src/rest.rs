@@ -21,6 +21,17 @@
 //!                                       or range size)
 //! ```
 //!
+//! Both servers also expose the **fork sandbox** family under the
+//! reserved `/v1/fork` prefix (see [`ForkService`] and the route table
+//! on `fork_route`): `POST /v1/fork` leases a writable fork of any
+//! branch or version in O(1); `GET`/`DELETE /v1/fork/<id>` inspect and
+//! drop it; `POST /v1/fork/<id>/touch` renews the lease; and
+//! `get`/`put`/`range`/`diff` under `/v1/fork/<id>/…` read and write
+//! the fork's isolated namespace. Expired forks answer `404` with code
+//! `fork_expired`. When a per-peer rate limiter is configured
+//! ([`RestServer::start_configured`]), shed requests answer `429 Too
+//! Many Requests` with a `retry-after` header from the token bucket.
+//!
 //! Successful legacy routes answer `text/plain; charset=utf-8`; `/v1/…`
 //! routes answer `application/json`. **Every** error is structured JSON —
 //! `{"error":{"code":"<stable snake_case>","message":"<human text>"}}` —
@@ -55,11 +66,14 @@
 //! unbounded thread pile.
 
 use std::io::{BufRead, BufReader, Read, Write};
-use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::net::{IpAddr, SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::Arc;
 
-use forkbase::{Cluster, DbError, ForkBase, PutOptions, VersionSpec};
+use forkbase::{
+    Cluster, DbError, DiffSummary, ForkBackend, ForkBase, ForkDiff, ForkInfo, ForkService, MapPage,
+    PutOptions, RateLimiter, VersionSpec,
+};
 use forkbase_store::SweepStore;
 use forkbase_types::Value;
 
@@ -71,10 +85,23 @@ pub struct RestServer {
 }
 
 impl RestServer {
-    /// Start serving `db` on `127.0.0.1:port` (`port` 0 = auto-assign).
+    /// Start serving `db` on `127.0.0.1:port` (`port` 0 = auto-assign)
+    /// with a fresh [`ForkService`] and no rate limiting.
     pub fn start<S: SweepStore + 'static>(
         db: Arc<ForkBase<S>>,
         port: u16,
+    ) -> std::io::Result<RestServer> {
+        Self::start_configured(db, port, Arc::new(ForkService::new()), None)
+    }
+
+    /// [`Self::start`] with an explicit fork service (so the embedding
+    /// process can persist/reap its registry) and optional per-peer rate
+    /// limiting (shed requests answer `429` + `retry-after`).
+    pub fn start_configured<S: SweepStore + 'static>(
+        db: Arc<ForkBase<S>>,
+        port: u16,
+        forks: Arc<ForkService>,
+        limiter: Option<Arc<RateLimiter>>,
     ) -> std::io::Result<RestServer> {
         let listener = TcpListener::bind(("127.0.0.1", port))?;
         let addr = listener.local_addr()?;
@@ -84,10 +111,18 @@ impl RestServer {
         let handle = std::thread::spawn(move || {
             while !shutdown_flag.load(Ordering::Relaxed) {
                 match listener.accept() {
-                    Ok((stream, _)) => {
+                    Ok((stream, peer)) => {
                         let db = Arc::clone(&db);
+                        let forks = Arc::clone(&forks);
+                        let limiter = limiter.clone();
                         std::thread::spawn(move || {
-                            let _ = handle_connection(stream, &db);
+                            let _ = handle_connection(
+                                stream,
+                                &db,
+                                &forks,
+                                limiter.as_deref(),
+                                peer.ip(),
+                            );
                         });
                     }
                     Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
@@ -161,6 +196,26 @@ impl ClusterRestServer {
         port: u16,
         max_connections: usize,
     ) -> std::io::Result<ClusterRestServer> {
+        Self::start_configured(
+            cluster,
+            port,
+            max_connections,
+            Arc::new(ForkService::new()),
+            None,
+        )
+    }
+
+    /// [`Self::start_with_limit`] with an explicit fork service and
+    /// optional per-peer rate limiting — the full-control constructor
+    /// the `cluster serve` command uses (it persists the fork registry
+    /// and reaps expired forks from the supervisor tick).
+    pub fn start_configured<S: SweepStore + Send + 'static>(
+        cluster: Arc<Cluster<S>>,
+        port: u16,
+        max_connections: usize,
+        forks: Arc<ForkService>,
+        limiter: Option<Arc<RateLimiter>>,
+    ) -> std::io::Result<ClusterRestServer> {
         let listener = TcpListener::bind(("127.0.0.1", port))?;
         let addr = listener.local_addr()?;
         listener.set_nonblocking(true)?;
@@ -171,7 +226,7 @@ impl ClusterRestServer {
         let handle = std::thread::spawn(move || {
             while !shutdown_flag.load(Ordering::Relaxed) {
                 match listener.accept() {
-                    Ok((mut stream, _)) => {
+                    Ok((mut stream, peer)) => {
                         // Acquire a slot; shed the connection if none left.
                         if active.fetch_add(1, Ordering::SeqCst) >= max_connections {
                             active.fetch_sub(1, Ordering::SeqCst);
@@ -180,9 +235,17 @@ impl ClusterRestServer {
                         }
                         let cluster = Arc::clone(&cluster);
                         let active = Arc::clone(&active);
+                        let forks = Arc::clone(&forks);
+                        let limiter = limiter.clone();
                         std::thread::spawn(move || {
                             let _guard = SlotGuard(active);
-                            let _ = handle_cluster_connection(stream, &cluster);
+                            let _ = handle_cluster_connection(
+                                stream,
+                                &cluster,
+                                &forks,
+                                limiter.as_deref(),
+                                peer.ip(),
+                            );
                         });
                     }
                     Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
@@ -253,15 +316,29 @@ fn shed_connection(stream: &mut TcpStream) -> std::io::Result<()> {
 fn handle_cluster_connection<S: SweepStore + Send + 'static>(
     mut stream: TcpStream,
     cluster: &Cluster<S>,
+    forks: &ForkService,
+    limiter: Option<&RateLimiter>,
+    peer: IpAddr,
 ) -> std::io::Result<()> {
     let Some(req) = read_request(&mut stream)? else {
         return respond(&mut stream, 400, TEXT, "malformed request line");
     };
+    if let Some(limiter) = limiter {
+        if let Err(e) = limiter.check(peer) {
+            return respond_error(&mut stream, &e);
+        }
+    }
     let branch = req
         .query_param("branch")
         .unwrap_or_else(|| "master".to_string());
     let segments: Vec<&str> = req.path.split('/').filter(|s| !s.is_empty()).collect();
     let json_route = segments.first() == Some(&"v1");
+    if let Some(result) = fork_route(forks, cluster, &req, &segments) {
+        return match result {
+            Ok(text) => respond(&mut stream, 200, JSON, &text),
+            Err(e) => respond_error(&mut stream, &e),
+        };
+    }
     let result: Result<String, DbError> = match (req.method.as_str(), segments.as_slice()) {
         ("GET", ["v1", "cluster", "health"]) => Ok(health_json(cluster)),
         ("GET", ["v1", "cluster", "topology"]) => Ok(topology_json(cluster)),
@@ -488,10 +565,18 @@ fn read_request(stream: &mut TcpStream) -> std::io::Result<Option<Request>> {
 fn handle_connection<S: SweepStore>(
     mut stream: TcpStream,
     db: &ForkBase<S>,
+    forks: &ForkService,
+    limiter: Option<&RateLimiter>,
+    peer: IpAddr,
 ) -> std::io::Result<()> {
     let Some(req) = read_request(&mut stream)? else {
         return respond(&mut stream, 400, TEXT, "malformed request line");
     };
+    if let Some(limiter) = limiter {
+        if let Err(e) = limiter.check(peer) {
+            return respond_error(&mut stream, &e);
+        }
+    }
     let q = |name: &str| req.query_param(name);
     let branch = q("branch").unwrap_or_else(|| "master".to_string());
     let (method, path, body) = (req.method.as_str(), req.path.as_str(), &req.body);
@@ -500,6 +585,12 @@ fn handle_connection<S: SweepStore>(
     // /v1 routes are JSON end to end; legacy routes stay text/plain on
     // success (errors are JSON everywhere).
     let json_route = segments.first() == Some(&"v1");
+    if let Some(result) = fork_route(forks, db, &req, &segments) {
+        return match result {
+            Ok(text) => respond(&mut stream, 200, JSON, &text),
+            Err(e) => respond_error(&mut stream, &e),
+        };
+    }
     let result: Result<String, DbError> = match (method, segments.as_slice()) {
         ("GET", ["v1", key, "range"]) => range_route(
             db,
@@ -584,7 +675,14 @@ fn respond_error_with(
 ) -> std::io::Result<()> {
     let status = match e {
         DbError::NoSuchKey(_) | DbError::NoSuchBranch { .. } | DbError::NoSuchVersion(_) => 404,
+        // An expired (or reaped, or never-created — indistinguishable
+        // after reaping) fork: the sandbox is gone, and so is its URL
+        // namespace. Clients branch on `fork_expired` to re-create.
+        DbError::ForkExpired { .. } => 404,
         DbError::InvalidInput(_) | DbError::TypeMismatch { .. } => 400,
+        // Per-peer admission control said no: shed, don't queue. The
+        // retry-after header carries the bucket's own refill estimate.
+        DbError::RateLimited { .. } => 429,
         // A routed backend whose owning servelet is down: a supervisor
         // restart or topology change may heal it, so it maps to 503
         // rather than a client error.
@@ -603,14 +701,21 @@ fn respond_error_with(
         e.code(),
         json_escape(&e.to_string())
     );
-    // 503 is the retryable one: tell well-behaved clients when to come
-    // back instead of letting them hot-loop on a restarting servelet.
-    let extra: &[(&str, &str)] = if status == 503 {
-        &[("retry-after", "1")]
-    } else {
-        &[]
+    // 503 and 429 are the retryable ones: tell well-behaved clients when
+    // to come back instead of letting them hot-loop. 429's hint comes
+    // from the token bucket (rounded up to whole seconds, min 1).
+    let retry_after = match e {
+        DbError::RateLimited { retry_after_ms } => Some(retry_after_ms.div_ceil(1000).max(1)),
+        _ if status == 503 => Some(1),
+        _ => None,
     };
-    respond_with(stream, status, JSON, extra, &body)
+    let retry_after = retry_after.map(|s| s.to_string());
+    let extra: Vec<(&str, &str)> = retry_after
+        .as_deref()
+        .map(|v| ("retry-after", v))
+        .into_iter()
+        .collect();
+    respond_with(stream, status, JSON, &extra, &body)
 }
 
 /// Hard ceiling on one `/v1/<key>/range` page. The endpoint's constant-
@@ -679,6 +784,275 @@ fn range_route<S: SweepStore>(
     Ok(body)
 }
 
+/// The `/v1/fork` route family, shared verbatim by the single-node
+/// server and the cluster gateway (the [`ForkService`] is generic over
+/// any [`ForkBackend`]). Returns `None` when `segments` is not a fork
+/// route, so the caller falls through to its own table. The path prefix
+/// `/v1/fork` is reserved — a data key literally named `fork` must use
+/// the legacy routes.
+///
+/// ```text
+/// POST   /v1/fork?base=B|version=UID&ttl=SECS&id=ID   → create (O(1))
+/// GET    /v1/fork                                     → registry listing
+/// GET    /v1/fork/<id>                                → fork info
+/// DELETE /v1/fork/<id>                                → drop now (beats the reaper)
+/// POST   /v1/fork/<id>/touch?ttl=SECS                 → renew the lease
+/// GET    /v1/fork/<id>/get/<key>                      → fork-scoped read
+/// PUT    /v1/fork/<id>/put/<key>                      → fork-scoped write (body = value)
+/// GET    /v1/fork/<id>/range/<key>?start=&end=&limit= → fork-scoped map page
+/// GET    /v1/fork/<id>/diff                           → diff-vs-base, all touched keys
+/// ```
+fn fork_route<B: ForkBackend + ?Sized>(
+    forks: &ForkService,
+    backend: &B,
+    req: &Request,
+    segments: &[&str],
+) -> Option<Result<String, DbError>> {
+    if segments.first() != Some(&"v1") || segments.get(1) != Some(&"fork") {
+        return None;
+    }
+    let q = |name: &str| req.query_param(name);
+    let ttl = match q("ttl").map(|t| t.parse::<u64>()) {
+        None => None,
+        Some(Ok(t)) => Some(t),
+        Some(Err(_)) => {
+            return Some(Err(DbError::InvalidInput(
+                "ttl must be a number of seconds".into(),
+            )))
+        }
+    };
+    let now = forks.clock().now();
+    Some(match (req.method.as_str(), &segments[2..]) {
+        ("POST", []) => {
+            let base = match q("version") {
+                Some(v) => {
+                    match forkbase::Uid::from_base32(&v).or_else(|| forkbase::Uid::from_hex(&v)) {
+                        Some(uid) => VersionSpec::Version(uid),
+                        None => {
+                            return Some(Err(DbError::InvalidInput(format!(
+                                "not a version id: {v:?}"
+                            ))))
+                        }
+                    }
+                }
+                None => VersionSpec::Branch(q("base").unwrap_or_else(|| "master".to_string())),
+            };
+            forks.create(base, ttl, q("id")).map(|i| fork_json(&i, now))
+        }
+        ("GET", []) => {
+            let listed: Vec<String> = forks.list().iter().map(|i| fork_json(i, now)).collect();
+            Ok(format!(
+                "{{\"forks\":[{}],\"live\":{}}}",
+                listed.join(","),
+                forks.live_count()
+            ))
+        }
+        ("GET", [id]) => forks.info(id).map(|i| fork_json(&i, now)),
+        ("DELETE", [id]) => forks.drop_fork(backend, id).map(|n| {
+            format!(
+                "{{\"dropped\":\"{}\",\"branches_dropped\":{n}}}",
+                json_escape(id)
+            )
+        }),
+        ("POST", [id, "touch"]) => forks.touch(id, ttl).map(|i| fork_json(&i, now)),
+        ("GET", [id, "get", key]) => forks.get(backend, id, &url_decode(key)).map(|g| {
+            format!(
+                "{{\"value\":\"{}\",\"version\":\"{}\"}}",
+                json_escape(&g.value.summary()),
+                g.uid
+            )
+        }),
+        ("PUT", [id, "put", key]) => {
+            let text = String::from_utf8_lossy(&req.body).into_owned();
+            let opts = PutOptions::default().author("rest");
+            forks
+                .put(backend, id, &url_decode(key), Value::Str(text), &opts)
+                .map(|c| {
+                    format!(
+                        "{{\"uid\":\"{}\",\"branch\":\"{}\"}}",
+                        c.uid,
+                        json_escape(&c.branch)
+                    )
+                })
+        }
+        ("GET", [id, "range", key]) => fork_range_route(
+            forks,
+            backend,
+            id,
+            &url_decode(key),
+            &q("start"),
+            &q("end"),
+            &q("limit"),
+        ),
+        ("GET", [id, "diff"]) => forks.diff(backend, id).map(|d| fork_diff_json(&d)),
+        _ => Err(DbError::InvalidInput(format!(
+            "no fork route for {} {}",
+            req.method, req.path
+        ))),
+    })
+}
+
+/// Render one registry entry as JSON: identity, base spec, lease window
+/// (absolute unix seconds plus the remaining budget at `now`), and write
+/// accounting.
+fn fork_json(info: &ForkInfo, now: u64) -> String {
+    let base = match &info.base {
+        VersionSpec::Branch(b) => format!("{{\"branch\":\"{}\"}}", json_escape(b)),
+        VersionSpec::Version(u) => format!("{{\"version\":\"{u}\"}}"),
+    };
+    format!(
+        "{{\"id\":\"{}\",\"branch\":\"{}\",\"base\":{base},\
+         \"created_at\":{},\"expires_at\":{},\"remaining_secs\":{},\"live\":{},\
+         \"writes\":{},\"touched_keys\":{}}}",
+        json_escape(&info.id),
+        json_escape(&info.branch()),
+        info.lease.created_at,
+        info.lease.expires_at,
+        info.lease.remaining_at(now),
+        info.lease.live_at(now),
+        info.writes,
+        info.touched.len()
+    )
+}
+
+/// Fork-scoped `/range`: same page shape as `/v1/<key>/range`, served
+/// through the fork's read spec (its branch for touched keys, the base
+/// for untouched ones).
+fn fork_range_route<B: ForkBackend + ?Sized>(
+    forks: &ForkService,
+    backend: &B,
+    id: &str,
+    key: &str,
+    start: &Option<String>,
+    end: &Option<String>,
+    limit: &Option<String>,
+) -> Result<String, DbError> {
+    let limit: u64 = match limit {
+        None => 1000,
+        Some(l) => l
+            .parse::<u64>()
+            .map_err(|_| DbError::InvalidInput(format!("limit is not a number: {l:?}")))?
+            .min(RANGE_LIMIT_MAX as u64),
+    };
+    let page = forks.range(
+        backend,
+        id,
+        key,
+        start.as_ref().map(|s| bytes::Bytes::from(s.clone())),
+        end.as_ref().map(|e| bytes::Bytes::from(e.clone())),
+        limit,
+    )?;
+    Ok(page_json(key, &page))
+}
+
+/// Render a [`MapPage`] in the `/v1/<key>/range` response shape.
+fn page_json(key: &str, page: &MapPage) -> String {
+    let mut body = format!(
+        "{{\"key\":\"{}\",\"version\":\"{}\",\"entries\":[",
+        json_escape(key),
+        page.version
+    );
+    for (n, (k, v)) in page.entries.iter().enumerate() {
+        if n > 0 {
+            body.push(',');
+        }
+        body.push('{');
+        body.push_str(&json_bytes_field("key", k));
+        body.push(',');
+        body.push_str(&json_bytes_field("value", v));
+        body.push('}');
+    }
+    body.push_str(&format!(
+        "],\"count\":{},\"truncated\":{}}}",
+        page.entries.len(),
+        page.truncated
+    ));
+    body
+}
+
+/// Render a full fork diff: one entry per touched key with its pinned
+/// base version, current fork head, and value-level summary (`null` for
+/// keys the fork created — there is no base to diff against).
+fn fork_diff_json(diff: &ForkDiff) -> String {
+    let keys: Vec<String> = diff
+        .keys
+        .iter()
+        .map(|k| {
+            let base = match &k.base {
+                Some(u) => format!("\"{u}\""),
+                None => "null".to_string(),
+            };
+            let summary = match &k.summary {
+                Some(s) => diff_summary_json(s),
+                None => "null".to_string(),
+            };
+            format!(
+                "{{\"key\":\"{}\",\"base\":{base},\"head\":\"{}\",\"summary\":{summary}}}",
+                json_escape(&k.key),
+                k.head
+            )
+        })
+        .collect();
+    format!(
+        "{{\"fork\":\"{}\",\"changed_keys\":{},\"keys\":[{}]}}",
+        json_escape(&diff.fork),
+        diff.changed_keys(),
+        keys.join(",")
+    )
+}
+
+/// Render one [`DiffSummary`] as a tagged JSON object.
+fn diff_summary_json(s: &DiffSummary) -> String {
+    match s {
+        DiffSummary::Identical => "{\"type\":\"identical\"}".to_string(),
+        DiffSummary::Primitive { from, to } => format!(
+            "{{\"type\":\"primitive\",\"from\":\"{}\",\"to\":\"{}\"}}",
+            json_escape(&from.summary()),
+            json_escape(&to.summary())
+        ),
+        DiffSummary::Map {
+            added,
+            removed,
+            modified,
+            entries,
+        } => {
+            let rendered: Vec<String> = entries
+                .iter()
+                .map(|e| {
+                    let mut obj = String::from("{");
+                    obj.push_str(&json_bytes_field("key", &e.key));
+                    for (name, side) in [("from", &e.from), ("to", &e.to)] {
+                        obj.push(',');
+                        match side {
+                            Some(v) => obj.push_str(&json_bytes_field(name, v)),
+                            None => obj.push_str(&format!("\"{name}\":null")),
+                        }
+                    }
+                    obj.push('}');
+                    obj
+                })
+                .collect();
+            format!(
+                "{{\"type\":\"map\",\"added\":{added},\"removed\":{removed},\
+                 \"modified\":{modified},\"entries\":[{}]}}",
+                rendered.join(",")
+            )
+        }
+        DiffSummary::Chunked {
+            from_len,
+            to_len,
+            shared_chunks,
+            shared_bytes,
+            from_chunks,
+            to_chunks,
+        } => format!(
+            "{{\"type\":\"chunked\",\"from_len\":{from_len},\"to_len\":{to_len},\
+             \"shared_chunks\":{shared_chunks},\"shared_bytes\":{shared_bytes},\
+             \"from_chunks\":{from_chunks},\"to_chunks\":{to_chunks}}}"
+        ),
+    }
+}
+
 const TEXT: &str = "text/plain; charset=utf-8";
 const JSON: &str = "application/json";
 
@@ -704,6 +1078,7 @@ fn respond_with(
         403 => "Forbidden",
         404 => "Not Found",
         409 => "Conflict",
+        429 => "Too Many Requests",
         503 => "Service Unavailable",
         504 => "Gateway Timeout",
         _ => "Internal Server Error",
@@ -1279,6 +1654,158 @@ mod tests {
             );
             std::thread::sleep(std::time::Duration::from_millis(10));
         }
+        server.stop();
+    }
+
+    /// Pull the string value of `"name":"…"` out of a flat JSON body.
+    fn json_str(body: &str, name: &str) -> String {
+        let tag = format!("\"{name}\":\"");
+        let start = body.find(&tag).map(|i| i + tag.len()).unwrap_or_else(|| {
+            panic!("field {name:?} missing in {body}");
+        });
+        body[start..].split('"').next().unwrap().to_string()
+    }
+
+    #[test]
+    fn fork_sandbox_lifecycle_over_http() {
+        let db = Arc::new(ForkBase::with_config(
+            MemStore::new(),
+            TreeConfig::test_config(),
+        ));
+        let forks = Arc::new(ForkService::new());
+        let server =
+            RestServer::start_configured(Arc::clone(&db), 0, Arc::clone(&forks), None).unwrap();
+        let addr = server.addr();
+        request(addr, "PUT", "/put/doc", "base-value");
+
+        // Create with an explicit ttl; the response carries the lease.
+        let (status, body) = request(addr, "POST", "/v1/fork?ttl=60", "");
+        assert_eq!(status, 200, "{body}");
+        let id = json_str(&body, "id");
+        assert_eq!(json_str(&body, "branch"), format!("fork/{id}"));
+        assert!(body.contains("\"live\":true"), "{body}");
+
+        // Untouched key: the fork reads the base live.
+        let (status, body) = request(addr, "GET", &format!("/v1/fork/{id}/get/doc"), "");
+        assert_eq!(status, 200);
+        assert!(body.contains("base-value"), "{body}");
+
+        // A fork write lands on the fork's branch; master is untouched.
+        let (status, body) = request(addr, "PUT", &format!("/v1/fork/{id}/put/doc"), "forked");
+        assert_eq!(status, 200, "{body}");
+        assert_eq!(json_str(&body, "branch"), format!("fork/{id}"));
+        let (_, body) = request(addr, "GET", &format!("/v1/fork/{id}/get/doc"), "");
+        assert!(body.contains("forked"), "{body}");
+        let (_, body) = request(addr, "GET", "/get/doc", "");
+        assert!(body.contains("base-value"), "{body}");
+
+        // Diff-vs-base is exact and structured.
+        let (status, body) = request(addr, "GET", &format!("/v1/fork/{id}/diff"), "");
+        assert_eq!(status, 200);
+        assert!(body.contains("\"changed_keys\":1"), "{body}");
+        assert!(body.contains("\"type\":\"primitive\""), "{body}");
+        assert!(
+            body.contains("base-value") && body.contains("forked"),
+            "{body}"
+        );
+
+        // The registry listing counts it live; touch renews the lease.
+        let (_, body) = request(addr, "GET", "/v1/fork", "");
+        assert!(body.contains("\"live\":1"), "{body}");
+        let (status, body) = request(addr, "POST", &format!("/v1/fork/{id}/touch?ttl=600"), "");
+        assert_eq!(status, 200);
+        assert!(body.contains("\"remaining_secs\":600"), "{body}");
+
+        // Expiry: every fork verb 404s with the structured code.
+        forks.clock().advance(601);
+        let (status, body) = request(addr, "GET", &format!("/v1/fork/{id}/get/doc"), "");
+        assert_eq!(status, 404);
+        assert!(body.contains("\"code\":\"fork_expired\""), "{body}");
+        // …but DELETE still collects it (explicit drop beats the reaper).
+        let (status, body) = request(addr, "DELETE", &format!("/v1/fork/{id}"), "");
+        assert_eq!(status, 200, "{body}");
+        assert!(body.contains("\"branches_dropped\":1"), "{body}");
+        assert!(!db
+            .list_branches("doc")
+            .unwrap()
+            .iter()
+            .any(|b| b.name.starts_with("fork/")));
+        server.stop();
+    }
+
+    #[test]
+    fn cluster_gateway_serves_fork_routes() {
+        let stores: Vec<(u64, Arc<MemStore>)> =
+            (0..3).map(|id| (id, Arc::new(MemStore::new()))).collect();
+        let cluster = Arc::new(Cluster::from_stores(stores, TreeConfig::test_config()));
+        let forks = Arc::new(ForkService::new());
+        let server = ClusterRestServer::start_configured(
+            Arc::clone(&cluster),
+            0,
+            DEFAULT_CONNECTION_LIMIT,
+            Arc::clone(&forks),
+            None,
+        )
+        .unwrap();
+        let addr = server.addr();
+        for i in 0..6 {
+            request(addr, "PUT", &format!("/put/key-{i}"), &format!("v{i}"));
+        }
+        let (status, body) = request(addr, "POST", "/v1/fork", "");
+        assert_eq!(status, 200, "{body}");
+        let id = json_str(&body, "id");
+        // Fork writes route to each key's owning servelet like any verb.
+        for i in 0..6 {
+            let (status, _) = request(
+                addr,
+                "PUT",
+                &format!("/v1/fork/{id}/put/key-{i}"),
+                &format!("fork-v{i}"),
+            );
+            assert_eq!(status, 200);
+        }
+        for i in 0..6 {
+            let (_, body) = request(addr, "GET", &format!("/v1/fork/{id}/get/key-{i}"), "");
+            assert!(body.contains(&format!("fork-v{i}")), "{body}");
+            let (_, body) = request(addr, "GET", &format!("/get/key-{i}"), "");
+            assert!(
+                body.contains(&format!("v{i}")) && !body.contains("fork-"),
+                "{body}"
+            );
+        }
+        let (status, body) = request(addr, "GET", &format!("/v1/fork/{id}/diff"), "");
+        assert_eq!(status, 200);
+        assert!(body.contains("\"changed_keys\":6"), "{body}");
+        let (status, _) = request(addr, "DELETE", &format!("/v1/fork/{id}"), "");
+        assert_eq!(status, 200);
+        server.stop();
+    }
+
+    #[test]
+    fn rate_limited_gateway_sheds_with_429() {
+        let (server, db) = start();
+        drop(server);
+        let limiter = Arc::new(RateLimiter::new(forkbase::RateLimit::new(5.0, 2.0)));
+        let server =
+            RestServer::start_configured(db, 0, Arc::new(ForkService::new()), Some(limiter))
+                .unwrap();
+        let addr = server.addr();
+        // The burst admits two requests; the third is shed with the
+        // structured code and a whole-seconds retry-after hint.
+        request(addr, "PUT", "/put/k", "v");
+        let (status, _) = request(addr, "GET", "/get/k", "");
+        assert_eq!(status, 200);
+        let raw = request_raw(addr, "GET", "/get/k", "");
+        assert!(raw.starts_with("HTTP/1.1 429"), "{raw}");
+        assert!(raw.contains("\"code\":\"rate_limited\""), "{raw}");
+        assert!(
+            raw.to_ascii_lowercase().contains("retry-after: 1"),
+            "429 carries retry-after: {raw}"
+        );
+        // Waiting out the hint admits again.
+        std::thread::sleep(std::time::Duration::from_millis(250));
+        let (status, _) = request(addr, "GET", "/get/k", "");
+        assert_eq!(status, 200);
         server.stop();
     }
 

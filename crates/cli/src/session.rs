@@ -6,18 +6,21 @@
 //! <root>/chunks/MANIFEST    — chunk-store segment list (atomic swap)
 //! <root>/chunks/pack-*.fbk  — the chunk store (append-only pack files)
 //! <root>/refs               — branch heads (the only mutable file)
+//! <root>/FORKS              — fork-sandbox registry (leases resume on reopen)
 //! ```
 
 use std::path::{Path, PathBuf};
 use std::sync::Arc;
 
-use forkbase::{DbError, DbResult, ForkBase};
+use forkbase::{DbError, DbResult, ForkBase, ForkService};
 use forkbase_store::FileStore;
 
 /// A database bound to an on-disk directory.
 pub struct Session {
     db: Arc<ForkBase<FileStore>>,
+    forks: Arc<ForkService>,
     refs_path: PathBuf,
+    forks_path: PathBuf,
 }
 
 impl Session {
@@ -32,7 +35,22 @@ impl Session {
                 .map_err(|e| DbError::Store(forkbase_store::StoreError::Io(e)))?;
             db.load_refs(&text)?;
         }
-        Ok(Session { db, refs_path })
+        // Resume fork leases from the FORKS record. Leases are absolute
+        // unix seconds, so a fork created before a restart keeps exactly
+        // the expiry it was promised.
+        let forks = Arc::new(ForkService::new());
+        let forks_path = root.join("FORKS");
+        if forks_path.exists() {
+            let text = std::fs::read_to_string(&forks_path)
+                .map_err(|e| DbError::Store(forkbase_store::StoreError::Io(e)))?;
+            forks.load(&text)?;
+        }
+        Ok(Session {
+            db,
+            forks,
+            refs_path,
+            forks_path,
+        })
     }
 
     /// The database handle.
@@ -45,13 +63,29 @@ impl Session {
         Arc::clone(&self.db)
     }
 
-    /// Persist branch heads and flush the chunk store.
+    /// The fork-sandbox registry this session persists.
+    pub fn forks(&self) -> &ForkService {
+        &self.forks
+    }
+
+    /// Shared handle to the fork registry (what the REST server holds).
+    pub fn forks_arc(&self) -> Arc<ForkService> {
+        Arc::clone(&self.forks)
+    }
+
+    /// Persist branch heads and the fork registry, flushing the chunk
+    /// store first.
     pub fn save(&self) -> DbResult<()> {
         forkbase_store::ChunkStore::sync(self.db.store())?;
-        let tmp = self.refs_path.with_extension("tmp");
-        std::fs::write(&tmp, self.db.dump_refs())
-            .and_then(|()| std::fs::rename(&tmp, &self.refs_path))
-            .map_err(|e| DbError::Store(forkbase_store::StoreError::Io(e)))?;
+        for (path, contents) in [
+            (&self.refs_path, self.db.dump_refs()),
+            (&self.forks_path, self.forks.dump()),
+        ] {
+            let tmp = path.with_extension("tmp");
+            std::fs::write(&tmp, contents)
+                .and_then(|()| std::fs::rename(&tmp, path))
+                .map_err(|e| DbError::Store(forkbase_store::StoreError::Io(e)))?;
+        }
         Ok(())
     }
 }
@@ -115,6 +149,43 @@ mod tests {
             .put("k", Value::Int(2), &PutOptions::default())
             .unwrap();
         assert!(s.db().meta(&c2.uid).unwrap().logical_time > first_time);
+        std::fs::remove_dir_all(&root).unwrap();
+    }
+
+    #[test]
+    fn fork_leases_survive_reopen() {
+        let root = temp_root("forks");
+        let fork_id;
+        {
+            let s = Session::open(&root).unwrap();
+            s.db()
+                .put("doc", Value::string("base"), &PutOptions::default())
+                .unwrap();
+            let info = s
+                .forks()
+                .create(VersionSpec::branch("master"), Some(3600), None)
+                .unwrap();
+            fork_id = info.id.clone();
+            s.forks()
+                .put(
+                    s.db(),
+                    &fork_id,
+                    "doc",
+                    Value::string("forked"),
+                    &PutOptions::default(),
+                )
+                .unwrap();
+            s.save().unwrap();
+        }
+        let s = Session::open(&root).unwrap();
+        // The lease, the pinned base, and the touched-key set all resume.
+        let info = s.forks().info(&fork_id).unwrap();
+        assert_eq!(info.writes, 1);
+        assert_eq!(info.touched.len(), 1);
+        let got = s.forks().get(s.db(), &fork_id, "doc").unwrap();
+        assert_eq!(got.value.as_str(), Some("forked"));
+        let diff = s.forks().diff(s.db(), &fork_id).unwrap();
+        assert_eq!(diff.changed_keys(), 1);
         std::fs::remove_dir_all(&root).unwrap();
     }
 

@@ -471,24 +471,33 @@ impl<'db, S: ChunkStore> WriteBatch<'db, S> {
         // allocated only for keys/branches that did not exist before.
         let mut branches = db.branches.write();
         for (&(key, branch), head) in distinct.iter().zip(&heads) {
-            match (head, branches.get_mut(key)) {
+            let key_emptied = match (head, branches.get_mut(key)) {
                 (Some(uid), Some(kb)) => {
                     if let Some(slot) = kb.get_mut(branch) {
                         *slot = *uid;
                     } else {
                         kb.insert(branch.to_string(), *uid);
                     }
+                    false
                 }
                 (Some(uid), None) => {
                     branches.insert(
                         key.to_string(),
                         BTreeMap::from([(branch.to_string(), *uid)]),
                     );
+                    false
                 }
                 (None, Some(kb)) => {
                     kb.remove(branch);
+                    kb.is_empty()
                 }
-                (None, None) => {}
+                (None, None) => false,
+            };
+            // Same rule as `delete_branch`: a key with no branches left
+            // ceases to exist, so `list_keys` never reports phantom names
+            // after branch-heavy churn (e.g. the fork-sandbox reaper).
+            if key_emptied {
+                branches.remove(key);
             }
         }
         Ok(outcomes)

@@ -231,6 +231,13 @@ impl<S: ChunkStore> ForkBase<S> {
                 key: key.to_string(),
                 branch: branch.to_string(),
             })?;
+        // Deleting the last branch deletes the key: a branchless key is
+        // unreachable through every verb, and leaving the empty entry
+        // would let high-churn branch users (the fork-sandbox reaper in
+        // particular) grow `list_keys` with phantom names forever.
+        if key_branches.is_empty() {
+            branches.remove(key);
+        }
         Ok(())
     }
 

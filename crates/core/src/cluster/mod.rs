@@ -69,6 +69,7 @@
 
 mod chaos;
 pub mod net;
+mod ratelimit;
 mod replication;
 mod rpc;
 mod supervisor;
@@ -76,8 +77,10 @@ pub mod wire;
 
 pub use chaos::{ChaosPlan, ChaosReport};
 pub use net::{PersistFn, ServeletServer};
+pub use ratelimit::{RateLimit, RateLimiter};
 pub use replication::{
     PrimaryReplication, ReplicaRead, ReplicaStatus, ReplicationStatus, ShipReport,
+    PARTIAL_READ_MAX_LAG,
 };
 pub use rpc::{RetryPolicy, RpcConfig};
 pub use supervisor::{
@@ -94,10 +97,11 @@ use forkbase_postree::TreeConfig;
 use forkbase_store::{MemStore, SweepStore};
 use parking_lot::{Mutex, RwLock};
 
-use crate::api::{BatchOutcome, CommitResult, DbStat, GetResult, PutOptions};
+use crate::api::{BatchOutcome, CommitResult, DbStat, GetResult, PutOptions, VersionSpec};
 use crate::db::ForkBase;
 use crate::error::{DbError, DbResult};
 use crate::fnode::Uid;
+use crate::forks::DiffSummary;
 use crate::gc::GcReport;
 use forkbase_types::Value;
 
@@ -922,6 +926,29 @@ impl<S: SweepStore + Send + 'static> Cluster<S> {
         partial
     }
 
+    /// [`Self::scatter_partial`] with a replica second chance: each
+    /// degraded primary is re-asked via
+    /// [`Self::replica_answer`] before being reported degraded. The
+    /// recovered entry keeps the *primary's* id.
+    fn scatter_partial_with_replicas<R>(
+        &self,
+        req: &Request,
+        extract: impl Fn(Reply) -> DbResult<R>,
+    ) -> Partial<R> {
+        let mut partial = self.scatter_partial(req, &extract);
+        if partial.degraded.is_empty() {
+            return partial;
+        }
+        let degraded = std::mem::take(&mut partial.degraded);
+        for pid in degraded {
+            match self.replica_answer(pid, req).and_then(|r| extract(r).ok()) {
+                Some(v) => partial.results.push((pid, v)),
+                None => partial.degraded.push(pid),
+            }
+        }
+        partial
+    }
+
     /// Shut down servelet slot `slot`'s worker **without** removing it
     /// from the ring — fault injection for dead-servelet handling: every
     /// later RPC routed to it returns [`DbError::ServeletUnavailable`]
@@ -1011,6 +1038,94 @@ impl<S: SweepStore + Send + 'static> Cluster<S> {
             },
         )?
         .expect_get()
+    }
+
+    /// Spec-addressed `Get` routed to the owning servelet (wire v3).
+    /// Resolves on the servelet, so branch specs read the head there
+    /// atomically with the value fetch.
+    pub fn get_at(&self, key: &str, spec: &VersionSpec) -> DbResult<GetResult> {
+        self.routed(
+            key,
+            true,
+            Request::GetAt {
+                key: key.to_string(),
+                spec: spec.clone(),
+            },
+        )?
+        .expect_get()
+    }
+
+    /// Create `new_branch` of `key` pointing at an existing version,
+    /// routed to the owning servelet (non-idempotent write: not
+    /// auto-retried, persisted before ack over TCP).
+    pub fn branch_from_version(&self, key: &str, uid: &Uid, new_branch: &str) -> DbResult<()> {
+        self.routed_write(
+            key,
+            Request::BranchFromVersion {
+                key: key.to_string(),
+                uid: *uid,
+                new_branch: new_branch.to_string(),
+            },
+        )?
+        .expect_unit()
+    }
+
+    /// Delete a branch head of `key`, routed to the owning servelet.
+    /// Versions stay until that servelet's GC sweeps them.
+    pub fn delete_branch(&self, key: &str, branch: &str) -> DbResult<()> {
+        self.routed_write(
+            key,
+            Request::DeleteBranch {
+                key: key.to_string(),
+                branch: branch.to_string(),
+            },
+        )?
+        .expect_unit()
+    }
+
+    /// Summarized diff between two specs of one key, computed on the
+    /// owning servelet (only the bounded [`DiffSummary`] crosses the
+    /// wire).
+    pub fn diff_specs(
+        &self,
+        key: &str,
+        from: &VersionSpec,
+        to: &VersionSpec,
+    ) -> DbResult<DiffSummary> {
+        self.routed(
+            key,
+            true,
+            Request::DiffSpecs {
+                key: key.to_string(),
+                from: from.clone(),
+                to: to.clone(),
+            },
+        )?
+        .expect_diff()
+    }
+
+    /// Spec-addressed [`Self::map_range`]: one page of map entries in
+    /// `[start, end)` at `spec`, at most `limit` entries.
+    pub fn map_range_at(
+        &self,
+        key: &str,
+        spec: &VersionSpec,
+        start: Option<Bytes>,
+        end: Option<Bytes>,
+        limit: u64,
+    ) -> DbResult<MapPage> {
+        self.routed(
+            key,
+            true,
+            Request::MapRangeAt {
+                key: key.to_string(),
+                spec: spec.clone(),
+                start,
+                end,
+                limit,
+            },
+        )?
+        .expect_page()
     }
 
     /// Start collecting a routed multi-key write batch (see
@@ -1128,9 +1243,13 @@ impl<S: SweepStore + Send + 'static> Cluster<S> {
     }
 
     /// Degrading [`Self::stats`]: statistics from every reachable
-    /// servelet plus the set of unreachable ones.
+    /// servelet plus the set of unreachable ones. A dead primary with a
+    /// caught-up replica (lag ≤
+    /// [`replication::PARTIAL_READ_MAX_LAG`]) is
+    /// answered by that replica instead of degrading — the result keeps
+    /// the primary's id, since it reports the primary's data.
     pub fn stats_partial(&self) -> Partial<DbStat> {
-        self.scatter_partial(&Request::Stat, Reply::expect_stat)
+        self.scatter_partial_with_replicas(&Request::Stat, Reply::expect_stat)
     }
 
     /// Snapshot-backed routed range scan: one bounded page of map entries
@@ -1201,9 +1320,11 @@ impl<S: SweepStore + Send + 'static> Cluster<S> {
     }
 
     /// Degrading [`Self::list_keys`]: per-servelet key lists from every
-    /// reachable servelet plus the set of unreachable ones.
+    /// reachable servelet plus the set of unreachable ones. Like
+    /// [`Self::stats_partial`], a dead primary's caught-up replica
+    /// answers for it before the primary is declared degraded.
     pub fn list_keys_partial(&self) -> Partial<Vec<String>> {
-        self.scatter_partial(&Request::ListKeys, Reply::expect_keys)
+        self.scatter_partial_with_replicas(&Request::ListKeys, Reply::expect_keys)
     }
 
     /// Aggregate stored chunk-payload bytes across servelets.

@@ -28,6 +28,7 @@ use parking_lot::Mutex;
 use crate::db::ForkBase;
 use crate::error::{DbError, DbResult};
 
+use super::ratelimit::RateLimiter;
 use super::rpc::AttemptError;
 use super::wire::{self, FrameError, Reply, Request, WireError};
 
@@ -52,6 +53,20 @@ impl ServeletServer {
         db: Arc<ForkBase<S>>,
         persist: Option<PersistFn<S>>,
     ) -> DbResult<ServeletServer> {
+        Self::spawn_limited(addr, db, persist, None)
+    }
+
+    /// [`Self::spawn`] with per-peer rate limiting: each request frame
+    /// spends one token from its peer's bucket, and an empty bucket
+    /// sheds the request with a structured `rate_limited` error (the
+    /// connection stays open — a well-behaved client backs off by the
+    /// carried `retry_after_ms`).
+    pub fn spawn_limited<S: SweepStore + Send + Sync + 'static>(
+        addr: &str,
+        db: Arc<ForkBase<S>>,
+        persist: Option<PersistFn<S>>,
+        limiter: Option<Arc<RateLimiter>>,
+    ) -> DbResult<ServeletServer> {
         let listener = TcpListener::bind(addr)
             .map_err(|e| DbError::InvalidInput(format!("bind {addr}: {e}")))?;
         let local_addr = listener
@@ -63,7 +78,7 @@ impl ServeletServer {
         let stop = Arc::new(AtomicBool::new(false));
         let stop_flag = stop.clone();
         let handle = std::thread::spawn(move || {
-            accept_loop(listener, db, persist, stop_flag);
+            accept_loop(listener, db, persist, limiter, stop_flag);
         });
         Ok(ServeletServer {
             local_addr,
@@ -98,14 +113,18 @@ fn accept_loop<S: SweepStore + Send + Sync + 'static>(
     listener: TcpListener,
     db: Arc<ForkBase<S>>,
     persist: Option<PersistFn<S>>,
+    limiter: Option<Arc<RateLimiter>>,
     stop: Arc<AtomicBool>,
 ) {
     while !stop.load(Ordering::SeqCst) {
         match listener.accept() {
-            Ok((conn, _peer)) => {
+            Ok((conn, peer)) => {
                 let db = db.clone();
                 let persist = persist.clone();
-                std::thread::spawn(move || serve_conn(conn, &db, persist.as_ref()));
+                let limiter = limiter.clone();
+                std::thread::spawn(move || {
+                    serve_conn(conn, &db, persist.as_ref(), limiter.as_deref(), peer)
+                });
             }
             Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
                 std::thread::sleep(Duration::from_millis(5));
@@ -119,6 +138,8 @@ fn serve_conn<S: SweepStore>(
     mut conn: TcpStream,
     db: &ForkBase<S>,
     persist: Option<&PersistFn<S>>,
+    limiter: Option<&RateLimiter>,
+    peer: SocketAddr,
 ) {
     // The listener was nonblocking; the exchange below must block.
     if conn.set_nonblocking(false).is_err() {
@@ -146,6 +167,21 @@ fn serve_conn<S: SweepStore>(
             // connection. The client maps this to an ambiguous outcome.
             Err(_) => return,
         };
+        // Admission control before any work: a shed request costs the
+        // servelet one bucket lookup, nothing else.
+        if let Some(limiter) = limiter {
+            if let Err(e) = limiter.check(peer.ip()) {
+                let reply = Reply::Err(WireError::from(&e));
+                if conn
+                    .write_all(&wire::encode_frame_with_version(version, &reply.encode()))
+                    .and_then(|_| conn.flush())
+                    .is_err()
+                {
+                    return;
+                }
+                continue;
+            }
+        }
         let mutating = wire::mutates(&req);
         let mut reply = wire::dispatch(db, req);
         if mutating && !matches!(reply, Reply::Err(_)) {
@@ -269,6 +305,39 @@ mod tests {
         assert_eq!(
             remote_call(&addr, &Request::Probe, Duration::from_millis(500)).unwrap_err(),
             AttemptError::NotDelivered
+        );
+    }
+
+    #[test]
+    fn limited_server_sheds_with_retry_hint_then_recovers() {
+        use super::super::ratelimit::{RateLimit, RateLimiter};
+        let db = Arc::new(ForkBase::new(MemStore::new()));
+        let limiter = Arc::new(RateLimiter::new(RateLimit::new(5.0, 2.0)));
+        let srv = ServeletServer::spawn_limited("127.0.0.1:0", db, None, Some(limiter)).unwrap();
+        let addr = srv.addr().to_string();
+        let deadline = Duration::from_secs(5);
+        // The burst admits the first two requests.
+        for _ in 0..2 {
+            assert_eq!(
+                remote_call(&addr, &Request::Probe, deadline).unwrap(),
+                Reply::Unit
+            );
+        }
+        // The third is shed with a structured, coded error + hint.
+        let err = remote_call(&addr, &Request::Probe, deadline)
+            .unwrap()
+            .expect_unit()
+            .unwrap_err();
+        assert_eq!(err.code(), "rate_limited");
+        let DbError::RateLimited { retry_after_ms } = err else {
+            panic!("expected structured RateLimited, got {err:?}");
+        };
+        assert!(retry_after_ms > 0);
+        // Backing off by the hint gets the peer served again.
+        std::thread::sleep(Duration::from_millis(retry_after_ms + 50));
+        assert_eq!(
+            remote_call(&addr, &Request::Probe, deadline).unwrap(),
+            Reply::Unit
         );
     }
 

@@ -1,0 +1,181 @@
+//! Per-peer token-bucket rate limiting, shared by the wire server
+//! ([`ServeletServer`](super::ServeletServer)) and the REST gateways.
+//!
+//! One bucket per peer IP address: `burst` tokens capacity, refilled at
+//! `per_sec` tokens per second; each admitted request spends one token.
+//! A peer with an empty bucket is **shed**, not queued — the caller gets
+//! a structured [`DbError::RateLimited`] carrying the earliest time a
+//! whole token will be available, which the wire layer maps to
+//! `WireError::RateLimited` and the REST layer to `429` +
+//! `retry-after`. Shedding at the edge keeps one chatty peer from
+//! monopolizing servelet worker threads.
+//!
+//! Time is passed in, not read, so tests drive the bucket with a fake
+//! clock; production callers use [`RateLimiter::check`].
+
+use std::collections::HashMap;
+use std::net::IpAddr;
+use std::time::{Duration, Instant};
+
+use parking_lot::Mutex;
+
+use crate::error::{DbError, DbResult};
+
+/// Keep at most this many peer buckets; beyond it, full (idle) buckets
+/// are evicted first. Bounds memory against address-spoofing floods.
+const MAX_TRACKED_PEERS: usize = 4096;
+
+/// Admission policy: sustained rate and burst headroom per peer.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct RateLimit {
+    /// Sustained tokens (requests) per second per peer.
+    pub per_sec: f64,
+    /// Bucket capacity: how many requests a quiet peer may burst.
+    pub burst: f64,
+}
+
+impl RateLimit {
+    /// A limit of `per_sec` sustained with `burst` headroom.
+    pub fn new(per_sec: f64, burst: f64) -> RateLimit {
+        RateLimit { per_sec, burst }
+    }
+}
+
+struct Bucket {
+    tokens: f64,
+    refilled: Instant,
+}
+
+/// Token buckets keyed by peer IP. Cheap to share behind an `Arc`; one
+/// lock, touched once per request.
+pub struct RateLimiter {
+    limit: RateLimit,
+    buckets: Mutex<HashMap<IpAddr, Bucket>>,
+}
+
+impl RateLimiter {
+    /// A limiter enforcing `limit` independently per peer.
+    pub fn new(limit: RateLimit) -> RateLimiter {
+        RateLimiter {
+            limit,
+            buckets: Mutex::new(HashMap::new()),
+        }
+    }
+
+    /// The policy this limiter enforces.
+    pub fn limit(&self) -> RateLimit {
+        self.limit
+    }
+
+    /// Admit or shed one request from `peer` now.
+    pub fn check(&self, peer: IpAddr) -> DbResult<()> {
+        self.check_at(peer, Instant::now())
+    }
+
+    /// [`Self::check`] with an explicit clock reading (test hook; `now`
+    /// readings must be monotone per peer, which `Instant` guarantees).
+    pub fn check_at(&self, peer: IpAddr, now: Instant) -> DbResult<()> {
+        let mut buckets = self.buckets.lock();
+        if buckets.len() >= MAX_TRACKED_PEERS && !buckets.contains_key(&peer) {
+            // Evict idle peers (buckets that have refilled to full)
+            // rather than grow without bound; an attacker cycling
+            // addresses only ever evicts other attackers' idle buckets.
+            buckets.retain(|_, b| {
+                let elapsed = now.saturating_duration_since(b.refilled).as_secs_f64();
+                b.tokens + elapsed * self.limit.per_sec < self.limit.burst
+            });
+        }
+        let bucket = buckets.entry(peer).or_insert(Bucket {
+            tokens: self.limit.burst,
+            refilled: now,
+        });
+        let elapsed = now.saturating_duration_since(bucket.refilled).as_secs_f64();
+        bucket.tokens = (bucket.tokens + elapsed * self.limit.per_sec).min(self.limit.burst);
+        bucket.refilled = now;
+        if bucket.tokens >= 1.0 {
+            bucket.tokens -= 1.0;
+            Ok(())
+        } else {
+            let deficit = 1.0 - bucket.tokens;
+            let wait = Duration::from_secs_f64(deficit / self.limit.per_sec.max(f64::MIN_POSITIVE));
+            Err(DbError::RateLimited {
+                retry_after_ms: (wait.as_millis() as u64).max(1),
+            })
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::net::Ipv4Addr;
+
+    fn ip(last: u8) -> IpAddr {
+        IpAddr::V4(Ipv4Addr::new(10, 0, 0, last))
+    }
+
+    #[test]
+    fn burst_admits_then_sheds_with_retry_hint() {
+        let rl = RateLimiter::new(RateLimit::new(10.0, 3.0));
+        let t0 = Instant::now();
+        for _ in 0..3 {
+            rl.check_at(ip(1), t0).unwrap();
+        }
+        let err = rl.check_at(ip(1), t0).unwrap_err();
+        let DbError::RateLimited { retry_after_ms } = err else {
+            panic!("expected RateLimited, got {err:?}");
+        };
+        // One whole token at 10/s is 100ms away.
+        assert!(
+            (50..=150).contains(&retry_after_ms),
+            "retry_after_ms = {retry_after_ms}"
+        );
+        // Waiting the hinted time admits again.
+        rl.check_at(ip(1), t0 + Duration::from_millis(retry_after_ms))
+            .unwrap();
+    }
+
+    #[test]
+    fn refill_caps_at_burst() {
+        let rl = RateLimiter::new(RateLimit::new(100.0, 2.0));
+        let t0 = Instant::now();
+        // Long idle must not bank more than `burst` tokens.
+        let later = t0 + Duration::from_secs(60);
+        rl.check_at(ip(2), t0).unwrap();
+        rl.check_at(ip(2), later).unwrap();
+        rl.check_at(ip(2), later).unwrap();
+        assert!(rl.check_at(ip(2), later).is_err());
+    }
+
+    #[test]
+    fn peers_are_limited_independently() {
+        let rl = RateLimiter::new(RateLimit::new(1.0, 1.0));
+        let t0 = Instant::now();
+        rl.check_at(ip(3), t0).unwrap();
+        assert!(rl.check_at(ip(3), t0).is_err());
+        // A different peer has its own bucket.
+        rl.check_at(ip(4), t0).unwrap();
+    }
+
+    #[test]
+    fn eviction_bounds_tracked_peers() {
+        let rl = RateLimiter::new(RateLimit::new(1000.0, 5.0));
+        let t0 = Instant::now();
+        for i in 0..MAX_TRACKED_PEERS + 100 {
+            let peer = IpAddr::V4(Ipv4Addr::from((i as u32).to_be_bytes()));
+            // Advance time so earlier buckets refill to full and become
+            // evictable.
+            rl.check_at(peer, t0 + Duration::from_millis(i as u64 * 10))
+                .unwrap();
+        }
+        assert!(rl.buckets.lock().len() <= MAX_TRACKED_PEERS + 1);
+    }
+
+    #[test]
+    fn error_carries_stable_code() {
+        let rl = RateLimiter::new(RateLimit::new(1.0, 1.0));
+        let t0 = Instant::now();
+        rl.check_at(ip(5), t0).unwrap();
+        assert_eq!(rl.check_at(ip(5), t0).unwrap_err().code(), "rate_limited");
+    }
+}

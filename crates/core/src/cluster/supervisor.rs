@@ -341,11 +341,26 @@ impl Supervisor {
         cluster: Arc<Cluster<S>>,
         interval: Duration,
     ) -> Supervisor {
+        Self::spawn_with_tick(cluster, interval, |_| {})
+    }
+
+    /// [`Self::spawn`] with an extra per-tick hook, run after each
+    /// supervision pass with the cluster in hand. This is how periodic
+    /// maintenance that belongs *next to* supervision — the fork-lease
+    /// reaper ([`ForkService::reap_expired`](crate::forks::ForkService::reap_expired)),
+    /// registry persistence — rides the existing loop instead of
+    /// spawning its own thread.
+    pub fn spawn_with_tick<S: SweepStore + Send + 'static>(
+        cluster: Arc<Cluster<S>>,
+        interval: Duration,
+        tick: impl Fn(&Cluster<S>) + Send + 'static,
+    ) -> Supervisor {
         let stop = Arc::new(AtomicBool::new(false));
         let flag = Arc::clone(&stop);
         let handle = std::thread::spawn(move || {
             while !flag.load(Ordering::Relaxed) {
                 let _ = cluster.supervise_once();
+                tick(&cluster);
                 // Sleep in slices so stop() is prompt.
                 let mut left = interval;
                 while !flag.load(Ordering::Relaxed) && left > Duration::ZERO {

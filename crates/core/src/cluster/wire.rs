@@ -51,15 +51,19 @@ use crate::bundle::{export_bundle_keys, import_bundle, import_bundle_replace};
 use crate::db::ForkBase;
 use crate::error::{DbError, DbResult};
 use crate::fnode::Uid;
+use crate::forks::{DiffSummary, MapEntryDelta};
 use crate::gc::GcReport;
 
 use super::MapPage;
 
 /// The wire protocol version this build speaks (stamps on every frame it
-/// sends). Version 2 added the `Replicate` control verb (`0x25`); the
-/// version-1 wire surface is unchanged, so version-1 frames are still
+/// sends). Version 2 added the `Replicate` control verb (`0x25`);
+/// version 3 added the fork-sandbox verbs (`GetAt`/`BranchFromVersion`/
+/// `DiffSpecs`/`MapRangeAt`/`DeleteBranch`, `0x26..=0x2A`), the `Diff`
+/// reply (`0x8C`), and the structured `rate_limited` error (`0x0C`).
+/// Earlier surfaces are unchanged, so down-level frames are still
 /// accepted (see [`MIN_WIRE_VERSION`]).
-pub const WIRE_VERSION: u8 = 2;
+pub const WIRE_VERSION: u8 = 3;
 
 /// The oldest wire protocol version this build still accepts on receive.
 /// Servelets reply in the version the request carried, so a router at any
@@ -250,6 +254,22 @@ fn put_opts(out: &mut Vec<u8>, o: &PutOptions) {
     put_str(out, &o.message);
 }
 
+const SPEC_BRANCH: u8 = 0x01;
+const SPEC_VERSION: u8 = 0x02;
+
+fn put_spec(out: &mut Vec<u8>, spec: &VersionSpec) {
+    match spec {
+        VersionSpec::Branch(b) => {
+            out.push(SPEC_BRANCH);
+            put_str(out, b);
+        }
+        VersionSpec::Version(uid) => {
+            out.push(SPEC_VERSION);
+            put_hash(out, uid);
+        }
+    }
+}
+
 /// A bounds-checked reader over a fully received frame body. Every
 /// length is validated against the remaining buffer before use, so no
 /// decode allocates beyond the frame it was handed.
@@ -332,6 +352,14 @@ impl<'a> Rd<'a> {
         })
     }
 
+    fn spec(&mut self) -> DbResult<VersionSpec> {
+        match self.u8()? {
+            SPEC_BRANCH => Ok(VersionSpec::Branch(self.string()?)),
+            SPEC_VERSION => Ok(VersionSpec::Version(self.hash()?)),
+            t => Err(Self::err(&format!("bad version-spec tag {t:#04x}"))),
+        }
+    }
+
     /// Element count for a vec about to be decoded. Bounded: each element
     /// encodes to ≥ 1 byte, so a count beyond the remaining buffer is
     /// rejected before any allocation.
@@ -379,7 +407,8 @@ pub enum WireOp {
 /// Every verb a servelet serves, data plane and control plane alike.
 ///
 /// Tag bytes (frozen): data plane `0x01..=0x0B`, control plane
-/// `0x20..=0x25`. See `PROTOCOL.md`.
+/// `0x20..=0x25`, spec-addressed fork verbs `0x26..=0x2A` (wire
+/// version 3). See `PROTOCOL.md`.
 #[derive(Clone, Debug, PartialEq)]
 pub enum Request {
     /// Control: liveness probe (no work, short deadline).
@@ -477,6 +506,58 @@ pub enum Request {
         /// The bundle bytes.
         bundle: Vec<u8>,
     },
+    /// `Get` the value at an arbitrary [`VersionSpec`] (branch head *or*
+    /// pinned version uid). The fork service reads untouched keys through
+    /// the fork's base spec with this. Wire version 3.
+    GetAt {
+        /// Target key.
+        key: String,
+        /// Branch head or version uid to read.
+        spec: VersionSpec,
+    },
+    /// Create `new_branch` pointing at an existing version of `key` —
+    /// the lazy copy-on-write step of a fork's first write to a key.
+    /// Wire version 3.
+    BranchFromVersion {
+        /// Target key.
+        key: String,
+        /// The version the new branch starts from.
+        uid: Uid,
+        /// Name of the branch to create.
+        new_branch: String,
+    },
+    /// Drop a single branch of `key` (fork reaping). Wire version 3.
+    DeleteBranch {
+        /// Target key.
+        key: String,
+        /// Branch to delete.
+        branch: String,
+    },
+    /// Structural diff between two versions of `key`, summarized for the
+    /// wire (entry deltas are sampled, counts are exact). Wire version 3.
+    DiffSpecs {
+        /// Target key.
+        key: String,
+        /// The "from" side.
+        from: VersionSpec,
+        /// The "to" side.
+        to: VersionSpec,
+    },
+    /// One bounded page of a map range scan at an arbitrary
+    /// [`VersionSpec`] (the spec-generic [`Request::MapRange`]).
+    /// Wire version 3.
+    MapRangeAt {
+        /// Target key.
+        key: String,
+        /// Branch head or version uid to scan.
+        spec: VersionSpec,
+        /// Inclusive start bound, if any.
+        start: Option<Bytes>,
+        /// Exclusive end bound, if any.
+        end: Option<Bytes>,
+        /// Page size limit.
+        limit: u64,
+    },
 }
 
 const REQ_PROBE: u8 = 0x01;
@@ -496,6 +577,11 @@ const REQ_FORGET_KEYS: u8 = 0x22;
 const REQ_LOAD_REFS: u8 = 0x23;
 const REQ_DUMP_REFS: u8 = 0x24;
 const REQ_REPLICATE: u8 = 0x25;
+const REQ_GET_AT: u8 = 0x26;
+const REQ_BRANCH_FROM_VERSION: u8 = 0x27;
+const REQ_DELETE_BRANCH: u8 = 0x28;
+const REQ_DIFF_SPECS: u8 = 0x29;
+const REQ_MAP_RANGE_AT: u8 = 0x2A;
 
 const OP_PUT: u8 = 0x01;
 const OP_DELETE_BRANCH: u8 = 0x02;
@@ -512,6 +598,9 @@ impl Request {
             | Request::MapRange { .. }
             | Request::ListKeys
             | Request::StoredBytes
+            | Request::GetAt { .. }
+            | Request::DiffSpecs { .. }
+            | Request::MapRangeAt { .. }
             | Request::DumpRefs => true,
             // Replace-import converges: applying the same bundle twice
             // leaves the same refs, so a retry after an ambiguous
@@ -524,7 +613,9 @@ impl Request {
             | Request::ExportBundle { .. }
             | Request::ImportBundle { .. }
             | Request::ForgetKeys { .. }
-            | Request::LoadRefs { .. } => false,
+            | Request::LoadRefs { .. }
+            | Request::BranchFromVersion { .. }
+            | Request::DeleteBranch { .. } => false,
         }
     }
 
@@ -622,6 +713,46 @@ impl Request {
                 out.push(REQ_REPLICATE);
                 put_bytes(&mut out, bundle);
             }
+            Request::GetAt { key, spec } => {
+                out.push(REQ_GET_AT);
+                put_str(&mut out, key);
+                put_spec(&mut out, spec);
+            }
+            Request::BranchFromVersion {
+                key,
+                uid,
+                new_branch,
+            } => {
+                out.push(REQ_BRANCH_FROM_VERSION);
+                put_str(&mut out, key);
+                put_hash(&mut out, uid);
+                put_str(&mut out, new_branch);
+            }
+            Request::DeleteBranch { key, branch } => {
+                out.push(REQ_DELETE_BRANCH);
+                put_str(&mut out, key);
+                put_str(&mut out, branch);
+            }
+            Request::DiffSpecs { key, from, to } => {
+                out.push(REQ_DIFF_SPECS);
+                put_str(&mut out, key);
+                put_spec(&mut out, from);
+                put_spec(&mut out, to);
+            }
+            Request::MapRangeAt {
+                key,
+                spec,
+                start,
+                end,
+                limit,
+            } => {
+                out.push(REQ_MAP_RANGE_AT);
+                put_str(&mut out, key);
+                put_spec(&mut out, spec);
+                put_opt_bytes(&mut out, start);
+                put_opt_bytes(&mut out, end);
+                put_u64(&mut out, *limit);
+            }
         }
         out
     }
@@ -707,6 +838,31 @@ impl Request {
             REQ_REPLICATE => Request::Replicate {
                 bundle: rd.bytes()?.to_vec(),
             },
+            REQ_GET_AT => Request::GetAt {
+                key: rd.string()?,
+                spec: rd.spec()?,
+            },
+            REQ_BRANCH_FROM_VERSION => Request::BranchFromVersion {
+                key: rd.string()?,
+                uid: rd.hash()?,
+                new_branch: rd.string()?,
+            },
+            REQ_DELETE_BRANCH => Request::DeleteBranch {
+                key: rd.string()?,
+                branch: rd.string()?,
+            },
+            REQ_DIFF_SPECS => Request::DiffSpecs {
+                key: rd.string()?,
+                from: rd.spec()?,
+                to: rd.spec()?,
+            },
+            REQ_MAP_RANGE_AT => Request::MapRangeAt {
+                key: rd.string()?,
+                spec: rd.spec()?,
+                start: rd.opt_bytes()?,
+                end: rd.opt_bytes()?,
+                limit: rd.u64()?,
+            },
             t => return Err(Rd::err(&format!("unknown request tag {t:#04x}"))),
         };
         rd.done()?;
@@ -780,6 +936,11 @@ pub enum WireError {
         /// Why.
         message: String,
     },
+    /// `rate_limited` (wire version 3).
+    RateLimited {
+        /// Suggested wait before retrying, in milliseconds.
+        retry_after_ms: u64,
+    },
     /// Any error without a richer wire form; `code` is the original
     /// stable [`DbError::code`].
     Remote {
@@ -801,6 +962,7 @@ const ERR_SERVELET_TIMEOUT: u8 = 0x08;
 const ERR_PERMISSION_DENIED: u8 = 0x09;
 const ERR_INVALID_INPUT: u8 = 0x0A;
 const ERR_REMOTE: u8 = 0x0B;
+const ERR_RATE_LIMITED: u8 = 0x0C;
 
 impl From<&DbError> for WireError {
     fn from(e: &DbError) -> WireError {
@@ -825,6 +987,9 @@ impl From<&DbError> for WireError {
             },
             DbError::PermissionDenied(m) => WireError::PermissionDenied { message: m.clone() },
             DbError::InvalidInput(m) => WireError::InvalidInput { message: m.clone() },
+            DbError::RateLimited { retry_after_ms } => WireError::RateLimited {
+                retry_after_ms: *retry_after_ms,
+            },
             other => WireError::Remote {
                 code: other.code().to_string(),
                 message: other.to_string(),
@@ -849,6 +1014,7 @@ impl WireError {
             WireError::ServeletTimeout { servelet } => DbError::ServeletTimeout { servelet },
             WireError::PermissionDenied { message } => DbError::PermissionDenied(message),
             WireError::InvalidInput { message } => DbError::InvalidInput(message),
+            WireError::RateLimited { retry_after_ms } => DbError::RateLimited { retry_after_ms },
             WireError::Remote { code, message } => DbError::Remote { code, message },
         }
     }
@@ -898,6 +1064,10 @@ impl WireError {
                 out.push(ERR_INVALID_INPUT);
                 put_str(out, message);
             }
+            WireError::RateLimited { retry_after_ms } => {
+                out.push(ERR_RATE_LIMITED);
+                put_u64(out, *retry_after_ms);
+            }
             WireError::Remote { code, message } => {
                 out.push(ERR_REMOTE);
                 put_str(out, code);
@@ -937,6 +1107,9 @@ impl WireError {
             ERR_INVALID_INPUT => WireError::InvalidInput {
                 message: rd.string()?,
             },
+            ERR_RATE_LIMITED => WireError::RateLimited {
+                retry_after_ms: rd.u64()?,
+            },
             ERR_REMOTE => WireError::Remote {
                 code: rd.string()?,
                 message: rd.string()?,
@@ -950,7 +1123,7 @@ impl WireError {
 // Replies
 // ----------------------------------------------------------------------
 
-/// Every answer a servelet returns. Tag bytes (frozen): `0x80..=0x8B`,
+/// Every answer a servelet returns. Tag bytes (frozen): `0x80..=0x8C`,
 /// errors `0xEE`.
 #[derive(Clone, Debug, PartialEq)]
 pub enum Reply {
@@ -978,6 +1151,8 @@ pub enum Reply {
     Blob(Vec<u8>),
     /// Text (refs dump).
     Text(String),
+    /// A structural diff summary (wire version 3).
+    Diff(DiffSummary),
     /// The request failed; the error crossed the wire.
     Err(WireError),
 }
@@ -994,7 +1169,100 @@ const REP_GC: u8 = 0x88;
 const REP_OUTCOMES: u8 = 0x89;
 const REP_BLOB: u8 = 0x8A;
 const REP_TEXT: u8 = 0x8B;
+const REP_DIFF: u8 = 0x8C;
 const REP_ERR: u8 = 0xEE;
+
+const DIFF_IDENTICAL: u8 = 0x01;
+const DIFF_PRIMITIVE: u8 = 0x02;
+const DIFF_MAP: u8 = 0x03;
+const DIFF_CHUNKED: u8 = 0x04;
+
+fn put_diff(out: &mut Vec<u8>, d: &DiffSummary) {
+    match d {
+        DiffSummary::Identical => out.push(DIFF_IDENTICAL),
+        DiffSummary::Primitive { from, to } => {
+            out.push(DIFF_PRIMITIVE);
+            put_value(out, from);
+            put_value(out, to);
+        }
+        DiffSummary::Map {
+            added,
+            removed,
+            modified,
+            entries,
+        } => {
+            out.push(DIFF_MAP);
+            put_u64(out, *added);
+            put_u64(out, *removed);
+            put_u64(out, *modified);
+            put_u32(out, entries.len() as u32);
+            for e in entries {
+                put_bytes(out, &e.key);
+                put_opt_bytes(out, &e.from);
+                put_opt_bytes(out, &e.to);
+            }
+        }
+        DiffSummary::Chunked {
+            from_len,
+            to_len,
+            shared_chunks,
+            shared_bytes,
+            from_chunks,
+            to_chunks,
+        } => {
+            out.push(DIFF_CHUNKED);
+            for v in [
+                *from_len,
+                *to_len,
+                *shared_chunks,
+                *shared_bytes,
+                *from_chunks,
+                *to_chunks,
+            ] {
+                put_u64(out, v);
+            }
+        }
+    }
+}
+
+fn read_diff(rd: &mut Rd<'_>) -> DbResult<DiffSummary> {
+    Ok(match rd.u8()? {
+        DIFF_IDENTICAL => DiffSummary::Identical,
+        DIFF_PRIMITIVE => DiffSummary::Primitive {
+            from: rd.value()?,
+            to: rd.value()?,
+        },
+        DIFF_MAP => {
+            let added = rd.u64()?;
+            let removed = rd.u64()?;
+            let modified = rd.u64()?;
+            let n = rd.count()?;
+            let mut entries = Vec::with_capacity(n);
+            for _ in 0..n {
+                entries.push(MapEntryDelta {
+                    key: Bytes::copy_from_slice(rd.bytes()?),
+                    from: rd.opt_bytes()?,
+                    to: rd.opt_bytes()?,
+                });
+            }
+            DiffSummary::Map {
+                added,
+                removed,
+                modified,
+                entries,
+            }
+        }
+        DIFF_CHUNKED => DiffSummary::Chunked {
+            from_len: rd.u64()?,
+            to_len: rd.u64()?,
+            shared_chunks: rd.u64()?,
+            shared_bytes: rd.u64()?,
+            from_chunks: rd.u64()?,
+            to_chunks: rd.u64()?,
+        },
+        t => return Err(Rd::err(&format!("unknown diff tag {t:#04x}"))),
+    })
+}
 
 const OUTCOME_COMMITTED: u8 = 0x01;
 const OUTCOME_DELETED: u8 = 0x02;
@@ -1131,6 +1399,10 @@ impl Reply {
                 out.push(REP_TEXT);
                 put_str(&mut out, t);
             }
+            Reply::Diff(d) => {
+                out.push(REP_DIFF);
+                put_diff(&mut out, d);
+            }
             Reply::Err(e) => {
                 out.push(REP_ERR);
                 e.encode_into(&mut out);
@@ -1217,6 +1489,7 @@ impl Reply {
             }
             REP_BLOB => Reply::Blob(rd.bytes()?.to_vec()),
             REP_TEXT => Reply::Text(rd.string()?),
+            REP_DIFF => Reply::Diff(read_diff(&mut rd)?),
             REP_ERR => Reply::Err(WireError::decode_from(&mut rd)?),
             t => return Err(Rd::err(&format!("unknown reply tag {t:#04x}"))),
         };
@@ -1329,6 +1602,14 @@ impl Reply {
             other => Err(other.unexpected("text")),
         }
     }
+
+    /// Extract a [`Reply::Diff`].
+    pub fn expect_diff(self) -> DbResult<DiffSummary> {
+        match self {
+            Reply::Diff(d) => Ok(d),
+            other => Err(other.unexpected("diff summary")),
+        }
+    }
 }
 
 // ----------------------------------------------------------------------
@@ -1437,6 +1718,60 @@ fn run<S: SweepStore>(db: &ForkBase<S>, req: Request) -> DbResult<Reply> {
             let refs = import_bundle_replace(db, &mut bundle.as_slice())?;
             Ok(Reply::Count(refs.len() as u64))
         }
+        Request::GetAt { key, spec } => {
+            let uid = db.resolve(&key, &spec)?;
+            Ok(Reply::Got(db.get_version(&uid)?))
+        }
+        Request::BranchFromVersion {
+            key,
+            uid,
+            new_branch,
+        } => {
+            db.branch_from_version(&key, &uid, &new_branch)?;
+            Ok(Reply::Unit)
+        }
+        Request::DeleteBranch { key, branch } => {
+            db.delete_branch(&key, &branch)?;
+            Ok(Reply::Unit)
+        }
+        Request::DiffSpecs { key, from, to } => {
+            let diff = db.diff(&key, &from, &to)?;
+            Ok(Reply::Diff(DiffSummary::from_value_diff(&diff)))
+        }
+        Request::MapRangeAt {
+            key,
+            spec,
+            start,
+            end,
+            limit,
+        } => {
+            let snap = db.snapshot(&key, &spec)?;
+            let start_bound = match &start {
+                Some(s) => Bound::Included(s.as_ref()),
+                None => Bound::Unbounded,
+            };
+            let end_bound = match &end {
+                Some(e) => Bound::Excluded(e.as_ref()),
+                None => Bound::Unbounded,
+            };
+            let limit = usize::try_from(limit).unwrap_or(usize::MAX);
+            let mut range = snap.map_range::<&[u8], _>((start_bound, end_bound))?;
+            let mut entries = Vec::new();
+            let mut truncated = false;
+            for item in &mut range {
+                let (k, v) = item?;
+                if entries.len() == limit {
+                    truncated = true;
+                    break;
+                }
+                entries.push((k, v));
+            }
+            Ok(Reply::Page(MapPage {
+                entries,
+                truncated,
+                version: snap.uid(),
+            }))
+        }
     }
 }
 
@@ -1454,6 +1789,8 @@ pub fn mutates(req: &Request) -> bool {
             | Request::ForgetKeys { .. }
             | Request::LoadRefs { .. }
             | Request::Replicate { .. }
+            | Request::BranchFromVersion { .. }
+            | Request::DeleteBranch { .. }
     )
 }
 
@@ -1529,6 +1866,35 @@ mod tests {
         roundtrip_req(Request::ListKeys);
         roundtrip_req(Request::StoredBytes);
         roundtrip_req(Request::Gc);
+        roundtrip_req(Request::GetAt {
+            key: "k".into(),
+            spec: VersionSpec::Branch("fork/f1".into()),
+        });
+        roundtrip_req(Request::GetAt {
+            key: "k".into(),
+            spec: VersionSpec::Version(forkbase_crypto::sha256(b"base")),
+        });
+        roundtrip_req(Request::BranchFromVersion {
+            key: "k".into(),
+            uid: forkbase_crypto::sha256(b"base"),
+            new_branch: "fork/f1".into(),
+        });
+        roundtrip_req(Request::DeleteBranch {
+            key: "k".into(),
+            branch: "fork/f1".into(),
+        });
+        roundtrip_req(Request::DiffSpecs {
+            key: "k".into(),
+            from: VersionSpec::Version(forkbase_crypto::sha256(b"base")),
+            to: VersionSpec::Branch("fork/f1".into()),
+        });
+        roundtrip_req(Request::MapRangeAt {
+            key: "t".into(),
+            spec: VersionSpec::Version(forkbase_crypto::sha256(b"base")),
+            start: Some(Bytes::from_static(b"a")),
+            end: Some(Bytes::from_static(b"z")),
+            limit: 10,
+        });
     }
 
     #[test]
@@ -1563,8 +1929,41 @@ mod tests {
                 branch: "dev".into(),
             },
         ]));
+        roundtrip_rep(Reply::Diff(DiffSummary::Identical));
+        roundtrip_rep(Reply::Diff(DiffSummary::Primitive {
+            from: Value::Int(1),
+            to: Value::string("two"),
+        }));
+        roundtrip_rep(Reply::Diff(DiffSummary::Map {
+            added: 3,
+            removed: 1,
+            modified: 2,
+            entries: vec![
+                MapEntryDelta {
+                    key: Bytes::from_static(b"row1"),
+                    from: None,
+                    to: Some(Bytes::from_static(b"new")),
+                },
+                MapEntryDelta {
+                    key: Bytes::from_static(b"row2"),
+                    from: Some(Bytes::from_static(b"old")),
+                    to: None,
+                },
+            ],
+        }));
+        roundtrip_rep(Reply::Diff(DiffSummary::Chunked {
+            from_len: 1,
+            to_len: 2,
+            shared_chunks: 3,
+            shared_bytes: 4,
+            from_chunks: 5,
+            to_chunks: 6,
+        }));
         roundtrip_rep(Reply::Err(WireError::NoSuchKey { key: "k".into() }));
         roundtrip_rep(Reply::Err(WireError::ServeletTimeout { servelet: 7 }));
+        roundtrip_rep(Reply::Err(WireError::RateLimited {
+            retry_after_ms: 250,
+        }));
         roundtrip_rep(Reply::Err(WireError::Remote {
             code: "merge_conflicts".into(),
             message: "merge found 2 conflict(s)".into(),
@@ -1736,6 +2135,47 @@ mod tests {
             .encode(),
             vec![0x25, 3, 0, 0, 0, 1, 2, 3]
         );
+
+        // Wire-version-3 verbs.
+        assert_eq!(
+            Request::GetAt {
+                key: "k".into(),
+                spec: VersionSpec::Branch("b".into()),
+            }
+            .encode(),
+            vec![0x26, 1, 0, 0, 0, b'k', 0x01, 1, 0, 0, 0, b'b']
+        );
+        let uid = forkbase_crypto::sha256(b"base");
+        let mut want = vec![0x26, 1, 0, 0, 0, b'k', 0x02];
+        want.extend_from_slice(uid.as_bytes());
+        assert_eq!(
+            Request::GetAt {
+                key: "k".into(),
+                spec: VersionSpec::Version(uid),
+            }
+            .encode(),
+            want
+        );
+        let mut want = vec![0x27, 1, 0, 0, 0, b'k'];
+        want.extend_from_slice(uid.as_bytes());
+        want.extend_from_slice(&[1, 0, 0, 0, b'f']);
+        assert_eq!(
+            Request::BranchFromVersion {
+                key: "k".into(),
+                uid,
+                new_branch: "f".into(),
+            }
+            .encode(),
+            want
+        );
+        assert_eq!(
+            Request::DeleteBranch {
+                key: "k".into(),
+                branch: "f".into(),
+            }
+            .encode(),
+            vec![0x28, 1, 0, 0, 0, b'k', 1, 0, 0, 0, b'f']
+        );
     }
 
     #[test]
@@ -1749,6 +2189,14 @@ mod tests {
         assert_eq!(
             Reply::Err(WireError::NoSuchKey { key: "k".into() }).encode(),
             vec![0xEE, 0x01, 1, 0, 0, 0, b'k']
+        );
+        assert_eq!(
+            Reply::Diff(DiffSummary::Identical).encode(),
+            vec![0x8C, 0x01]
+        );
+        assert_eq!(
+            Reply::Err(WireError::RateLimited { retry_after_ms: 7 }).encode(),
+            vec![0xEE, 0x0C, 7, 0, 0, 0, 0, 0, 0, 0]
         );
     }
 
@@ -1781,6 +2229,9 @@ mod tests {
             DbError::ServeletTimeout { servelet: 2 },
             DbError::PermissionDenied("m".into()),
             DbError::InvalidInput("m".into()),
+            DbError::RateLimited {
+                retry_after_ms: 100,
+            },
         ];
         for e in cases {
             let code = e.code();
@@ -1792,5 +2243,8 @@ mod tests {
         let merge = DbError::MergeConflicts(Vec::new());
         let back = WireError::from(&merge).into_db();
         assert_eq!(back.code(), "merge_conflicts");
+        let fork = DbError::ForkExpired { fork: "f1".into() };
+        let back = WireError::from(&fork).into_db();
+        assert_eq!(back.code(), "fork_expired");
     }
 }

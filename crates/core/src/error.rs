@@ -66,6 +66,21 @@ pub enum DbError {
         /// Stable id of the servelet that missed the deadline.
         servelet: u64,
     },
+    /// A fork-sandbox operation named a fork whose lease has expired (or
+    /// that never existed — the reaper may already have erased it, so the
+    /// two cases are indistinguishable by design). Stable
+    /// [`DbError::code`]: `fork_expired`.
+    ForkExpired {
+        /// The fork id the caller presented.
+        fork: String,
+    },
+    /// The caller exceeded its per-peer request budget and the request
+    /// was shed. `retry_after_ms` is the earliest the bucket will hold a
+    /// whole token again. Stable [`DbError::code`]: `rate_limited`.
+    RateLimited {
+        /// Suggested wait before retrying, in milliseconds.
+        retry_after_ms: u64,
+    },
     /// The caller lacks permission for the operation.
     PermissionDenied(String),
     /// Malformed input (bad key/branch names, etc.).
@@ -102,6 +117,8 @@ impl DbError {
             DbError::TamperDetected(_) => "tamper_detected",
             DbError::ServeletUnavailable { .. } => "servelet_unavailable",
             DbError::ServeletTimeout { .. } => "servelet_timeout",
+            DbError::ForkExpired { .. } => "fork_expired",
+            DbError::RateLimited { .. } => "rate_limited",
             DbError::PermissionDenied(_) => "permission_denied",
             DbError::InvalidInput(_) => "invalid_input",
             // Remote errors keep the code the remote side computed. The
@@ -114,6 +131,8 @@ impl DbError {
                 "value_error" => "value_error",
                 "merge_conflicts" => "merge_conflicts",
                 "type_mismatch" => "type_mismatch",
+                "fork_expired" => "fork_expired",
+                "rate_limited" => "rate_limited",
                 _ => "remote_error",
             },
         }
@@ -150,6 +169,12 @@ impl std::fmt::Display for DbError {
                     f,
                     "servelet {servelet} missed the RPC deadline (outcome ambiguous)"
                 )
+            }
+            DbError::ForkExpired { fork } => {
+                write!(f, "fork {fork:?} has expired (or never existed)")
+            }
+            DbError::RateLimited { retry_after_ms } => {
+                write!(f, "rate limited; retry after {retry_after_ms} ms")
             }
             DbError::PermissionDenied(m) => write!(f, "permission denied: {m}"),
             DbError::InvalidInput(m) => write!(f, "invalid input: {m}"),
@@ -230,6 +255,8 @@ mod tests {
             DbError::TamperDetected("bad hash".into()),
             DbError::ServeletUnavailable { servelet: 3 },
             DbError::ServeletTimeout { servelet: 3 },
+            DbError::ForkExpired { fork: "f1".into() },
+            DbError::RateLimited { retry_after_ms: 50 },
             DbError::PermissionDenied("nope".into()),
             DbError::InvalidInput("bad".into()),
         ];

@@ -1,0 +1,246 @@
+//! Wire-portable diff summaries for fork-vs-base comparison.
+//!
+//! [`ValueDiff`](crate::api::ValueDiff) embeds a full
+//! [`MapDiff`](forkbase_postree::MapDiff) (every changed entry plus work
+//! counters), which is exactly right for a local CLI but too heavy and
+//! too internal to ship across the cluster wire. [`DiffSummary`] is the
+//! bounded, self-contained projection: exact counts always, plus at most
+//! [`MAX_DIFF_SAMPLES`] sampled entry deltas. It is what
+//! `Request::DiffSpecs` returns (wire version 3) and what the fork REST
+//! routes serialize.
+
+use bytes::Bytes;
+use forkbase_postree::DiffEntry;
+use forkbase_types::Value;
+
+use crate::api::ValueDiff;
+use crate::fnode::Uid;
+
+/// Cap on sampled map-entry deltas carried by a [`DiffSummary::Map`].
+/// Counts stay exact past the cap; only the sample list truncates.
+pub const MAX_DIFF_SAMPLES: usize = 64;
+
+/// One sampled map-entry delta. `from: None` means the entry was added
+/// in the "to" version; `to: None` means it was removed.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct MapEntryDelta {
+    /// The map key.
+    pub key: Bytes,
+    /// Value on the "from" side, absent for additions.
+    pub from: Option<Bytes>,
+    /// Value on the "to" side, absent for removals.
+    pub to: Option<Bytes>,
+}
+
+/// A bounded summary of the difference between two versions of a key.
+#[derive(Clone, Debug, PartialEq)]
+pub enum DiffSummary {
+    /// The versions hold identical values.
+    Identical,
+    /// Primitive (or type-changed) values, shown whole.
+    Primitive {
+        /// Value on the "from" side.
+        from: Value,
+        /// Value on the "to" side.
+        to: Value,
+    },
+    /// Entry-level map/set differences: exact counts plus a bounded
+    /// sample of the actual deltas.
+    Map {
+        /// Entries present only in "to".
+        added: u64,
+        /// Entries present only in "from".
+        removed: u64,
+        /// Entries present in both with different values.
+        modified: u64,
+        /// Up to [`MAX_DIFF_SAMPLES`] concrete deltas, in key order.
+        entries: Vec<MapEntryDelta>,
+    },
+    /// Chunk-level similarity summary of blob/list values.
+    Chunked {
+        /// Byte (blob) or element (list) count on the "from" side.
+        from_len: u64,
+        /// Byte or element count on the "to" side.
+        to_len: u64,
+        /// Chunks of "from" also present in "to".
+        shared_chunks: u64,
+        /// Bytes of "from" shared with "to".
+        shared_bytes: u64,
+        /// Total chunks on the "from" side.
+        from_chunks: u64,
+        /// Total chunks on the "to" side.
+        to_chunks: u64,
+    },
+}
+
+impl DiffSummary {
+    /// Whether the two versions were identical.
+    pub fn is_identical(&self) -> bool {
+        matches!(self, DiffSummary::Identical)
+    }
+
+    /// Project a full [`ValueDiff`] down to its wire-portable summary.
+    /// Map counts are exact; entry samples truncate at
+    /// [`MAX_DIFF_SAMPLES`].
+    pub fn from_value_diff(diff: &ValueDiff) -> DiffSummary {
+        match diff {
+            ValueDiff::Identical => DiffSummary::Identical,
+            ValueDiff::Primitive { from, to } => DiffSummary::Primitive {
+                from: from.clone(),
+                to: to.clone(),
+            },
+            ValueDiff::Map(m) => {
+                let (a, r, md) = m.counts();
+                let entries = m
+                    .entries
+                    .iter()
+                    .take(MAX_DIFF_SAMPLES)
+                    .map(|e| match e {
+                        DiffEntry::Added { key, value } => MapEntryDelta {
+                            key: key.clone(),
+                            from: None,
+                            to: Some(value.clone()),
+                        },
+                        DiffEntry::Removed { key, value } => MapEntryDelta {
+                            key: key.clone(),
+                            from: Some(value.clone()),
+                            to: None,
+                        },
+                        DiffEntry::Modified { key, from, to } => MapEntryDelta {
+                            key: key.clone(),
+                            from: Some(from.clone()),
+                            to: Some(to.clone()),
+                        },
+                    })
+                    .collect();
+                DiffSummary::Map {
+                    added: a as u64,
+                    removed: r as u64,
+                    modified: md as u64,
+                    entries,
+                }
+            }
+            ValueDiff::Chunked {
+                from_len,
+                to_len,
+                shared_chunks,
+                shared_bytes,
+                from_chunks,
+                to_chunks,
+            } => DiffSummary::Chunked {
+                from_len: *from_len,
+                to_len: *to_len,
+                shared_chunks: *shared_chunks,
+                shared_bytes: *shared_bytes,
+                from_chunks: *from_chunks,
+                to_chunks: *to_chunks,
+            },
+        }
+    }
+
+    /// Total changed-entry count for map diffs; `None` for other kinds.
+    pub fn map_changes(&self) -> Option<u64> {
+        match self {
+            DiffSummary::Map {
+                added,
+                removed,
+                modified,
+                ..
+            } => Some(added + removed + modified),
+            _ => None,
+        }
+    }
+}
+
+/// Diff of one fork-touched key against its recorded base version.
+#[derive(Clone, Debug)]
+pub struct KeyDiff {
+    /// The database key.
+    pub key: String,
+    /// The version the key resolved to when the fork first wrote it;
+    /// `None` if the key did not exist in the base (created by the fork).
+    pub base: Option<Uid>,
+    /// Current head of the fork's branch for this key.
+    pub head: Uid,
+    /// Value-level summary; `None` when the key was created by the fork
+    /// (there is no base version to diff against).
+    pub summary: Option<DiffSummary>,
+}
+
+/// Full diff-vs-base report for a fork: one [`KeyDiff`] per touched key,
+/// in key order.
+#[derive(Clone, Debug)]
+pub struct ForkDiff {
+    /// The fork id.
+    pub fork: String,
+    /// Per-key diffs, sorted by key.
+    pub keys: Vec<KeyDiff>,
+}
+
+impl ForkDiff {
+    /// Number of touched keys whose value actually changed (created keys
+    /// count as changed; identical round-trips do not).
+    pub fn changed_keys(&self) -> usize {
+        self.keys
+            .iter()
+            .filter(|k| !matches!(&k.summary, Some(s) if s.is_identical()))
+            .count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use forkbase_postree::{DiffStats, MapDiff};
+
+    fn map_diff(entries: Vec<DiffEntry>) -> ValueDiff {
+        ValueDiff::Map(MapDiff {
+            entries,
+            stats: DiffStats::default(),
+        })
+    }
+
+    #[test]
+    fn summary_preserves_exact_counts_past_sample_cap() {
+        let entries: Vec<DiffEntry> = (0..(MAX_DIFF_SAMPLES + 40))
+            .map(|i| DiffEntry::Added {
+                key: Bytes::from(format!("k{i:05}")),
+                value: Bytes::from_static(b"v"),
+            })
+            .collect();
+        let s = DiffSummary::from_value_diff(&map_diff(entries));
+        match s {
+            DiffSummary::Map { added, entries, .. } => {
+                assert_eq!(added as usize, MAX_DIFF_SAMPLES + 40);
+                assert_eq!(entries.len(), MAX_DIFF_SAMPLES);
+            }
+            other => panic!("expected map summary, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn delta_encodes_add_remove_modify_as_option_pairs() {
+        let s = DiffSummary::from_value_diff(&map_diff(vec![
+            DiffEntry::Added {
+                key: Bytes::from_static(b"a"),
+                value: Bytes::from_static(b"1"),
+            },
+            DiffEntry::Removed {
+                key: Bytes::from_static(b"b"),
+                value: Bytes::from_static(b"2"),
+            },
+            DiffEntry::Modified {
+                key: Bytes::from_static(b"c"),
+                from: Bytes::from_static(b"3"),
+                to: Bytes::from_static(b"4"),
+            },
+        ]));
+        let DiffSummary::Map { entries, .. } = &s else {
+            panic!("expected map summary");
+        };
+        assert_eq!(s.map_changes(), Some(3));
+        assert!(entries[0].from.is_none() && entries[0].to.is_some());
+        assert!(entries[1].from.is_some() && entries[1].to.is_none());
+        assert!(entries[2].from.is_some() && entries[2].to.is_some());
+    }
+}

@@ -44,6 +44,7 @@ pub mod cluster;
 pub mod db;
 pub mod error;
 pub mod fnode;
+pub mod forks;
 pub mod gc;
 
 pub use acl::{AccessController, Permission, Role};
@@ -55,9 +56,14 @@ pub use bundle::{export_bundle, import_bundle, import_bundle_replace, BundleRef}
 pub use cluster::{
     ChaosPlan, ChaosReport, Cluster, ClusterGcReport, ClusterStat, ClusterTopology,
     ClusterWriteBatch, HealthState, MapPage, Partial, PartialHeads, PersistFn, PrimaryReplication,
-    RemoteRespawnFn, ReplicaRead, ReplicaStatus, ReplicationStatus, Respawned, RetryPolicy,
-    RpcConfig, ServeletHealth, ServeletServer, ShipReport, SupervisionReport, Supervisor, TopoRole,
+    RateLimit, RateLimiter, RemoteRespawnFn, ReplicaRead, ReplicaStatus, ReplicationStatus,
+    Respawned, RetryPolicy, RpcConfig, ServeletHealth, ServeletServer, ShipReport,
+    SupervisionReport, Supervisor, TopoRole,
 };
 pub use error::{DbError, DbResult};
 pub use fnode::{FNode, Uid};
+pub use forks::{
+    DiffSummary, ForkBackend, ForkDiff, ForkInfo, ForkService, KeyDiff, Lease, LeaseClock,
+    MapEntryDelta, ReapReport, DEFAULT_FORK_TTL_SECS,
+};
 pub use gc::GcReport;

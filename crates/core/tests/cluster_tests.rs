@@ -16,8 +16,8 @@ use std::sync::{Arc, Mutex};
 
 use bytes::Bytes;
 use forkbase::{
-    Cluster, ClusterTopology, DbError, DbResult, ForkBase, PutOptions, ServeletServer, TopoRole,
-    Uid, VersionSpec,
+    Cluster, ClusterTopology, DbError, DbResult, ForkBase, ForkService, PutOptions, ServeletServer,
+    TopoRole, Uid, VersionSpec,
 };
 use forkbase_postree::TreeConfig;
 use forkbase_store::MemStore;
@@ -805,4 +805,173 @@ fn promote_after_kill_preserves_every_acked_write() {
 #[test]
 fn promote_after_kill_preserves_every_acked_write_over_tcp() {
     promote_preserves_acked_case(&TestCluster::tcp(3));
+}
+
+/// Replica-aware partial reads: a dead primary's caught-up replica
+/// answers `stats_partial`/`list_keys_partial` in its stead (attributed
+/// to the primary's id); a *lagging* replica does not — the lag bound
+/// keeps degraded-mode answers exact as of the last shipped write.
+fn partial_reads_fall_back_to_replica_case(h: &TestCluster) {
+    for i in 0..30 {
+        h.c.put_string(&format!("key-{i}"), format!("v{i}"), PutOptions::default())
+            .unwrap();
+    }
+    let pid = h.c.ids()[0];
+    let _rid = h.add_replica(pid).unwrap();
+    // A write to the replicated shard that is acked but never shipped:
+    // the replica now lags by one.
+    let shard_key = (0..)
+        .map(|i| format!("probe-{i}"))
+        .find(|k| h.c.owner_id(k) == pid)
+        .unwrap();
+    h.c.put_string(&shard_key, "unshipped".into(), PutOptions::default())
+        .unwrap();
+    h.kill(0).unwrap();
+
+    // Lagging replica: the primary stays degraded (lag-bounded refusal).
+    let stats = h.c.stats_partial();
+    assert_eq!(stats.degraded, vec![pid]);
+    assert!(stats.results.iter().all(|(id, _)| *id != pid));
+
+    // Ship log drains without the primary (payloads are self-contained);
+    // at lag 0 the replica answers for the dead primary.
+    let report = h.c.ship_replication();
+    assert!(report.failed.is_empty(), "ship failed: {:?}", report.failed);
+    let stats = h.c.stats_partial();
+    assert!(stats.degraded.is_empty(), "degraded: {:?}", stats.degraded);
+    assert!(stats.results.iter().any(|(id, _)| *id == pid));
+
+    let keys = h.c.list_keys_partial();
+    assert!(keys.degraded.is_empty(), "degraded: {:?}", keys.degraded);
+    let from_fallback: &Vec<String> = &keys
+        .results
+        .iter()
+        .find(|(id, _)| *id == pid)
+        .expect("replica answered for the dead primary")
+        .1;
+    assert!(
+        from_fallback.contains(&shard_key),
+        "the shipped write is visible through the fallback"
+    );
+}
+
+#[test]
+fn partial_reads_fall_back_to_caught_up_replica() {
+    partial_reads_fall_back_to_replica_case(&TestCluster::in_process(3));
+}
+
+#[test]
+fn partial_reads_fall_back_to_caught_up_replica_over_tcp() {
+    partial_reads_fall_back_to_replica_case(&TestCluster::tcp(3));
+}
+
+// ---------------------------------------------------------------------
+// Fork sandboxes over the cluster (transport-generic)
+// ---------------------------------------------------------------------
+
+/// Fork verbs route like normal verbs: lazy branch-from-version and the
+/// fork's writes land on the owning servelet, isolation holds both ways,
+/// diff-vs-base crosses the wire as a bounded summary, and expiry +
+/// reaping behave identically over both transports.
+fn fork_ops_route_like_normal_verbs_case(h: &TestCluster) {
+    let svc = ForkService::with_default_ttl(60);
+    h.c.put_string("doc", "base".into(), PutOptions::default())
+        .unwrap();
+    let fork = svc
+        .create(VersionSpec::Branch("master".into()), None, None)
+        .unwrap();
+
+    // First fork write lazily forks the key on its owning servelet.
+    svc.put(
+        &h.c,
+        &fork.id,
+        "doc",
+        forkbase_types::Value::string("forked"),
+        &PutOptions::default(),
+    )
+    .unwrap();
+    assert_eq!(
+        svc.get(&h.c, &fork.id, "doc").unwrap().value.as_str(),
+        Some("forked")
+    );
+    // Isolation: master unchanged; fork branch exists only as fork/<id>.
+    assert_eq!(
+        h.c.get("doc", "master").unwrap().value.as_str(),
+        Some("base")
+    );
+    let branch = fork.branch();
+    let on_owner = {
+        let b = branch.clone();
+        h.with_key("doc", move |db| {
+            db.list_branches("doc")
+                .map(|bs| bs.iter().any(|i| i.name == b))
+        })
+        .unwrap()
+        .unwrap()
+    };
+    assert!(on_owner, "fork branch lives on the owning servelet");
+
+    // A key created inside the fork is invisible outside it.
+    svc.put(
+        &h.c,
+        &fork.id,
+        "fresh",
+        forkbase_types::Value::string("new"),
+        &PutOptions::default(),
+    )
+    .unwrap();
+    // (The key now exists — holding only the fork's branch — so master
+    // is a missing *branch*, not a missing key.)
+    assert_eq!(
+        h.c.get("fresh", "master").unwrap_err().code(),
+        "no_such_branch"
+    );
+
+    // Diff-vs-base crosses the wire as a summary: one changed key, one
+    // created key.
+    let diff = svc.diff(&h.c, &fork.id).unwrap();
+    assert_eq!(diff.keys.len(), 2);
+    assert_eq!(diff.changed_keys(), 2);
+    let doc = diff.keys.iter().find(|k| k.key == "doc").unwrap();
+    assert!(doc.base.is_some() && doc.summary.is_some());
+    let fresh = diff.keys.iter().find(|k| k.key == "fresh").unwrap();
+    assert!(fresh.base.is_none() && fresh.summary.is_none());
+
+    // Expiry: every verb answers with the structured code.
+    svc.clock().advance(61);
+    assert_eq!(
+        svc.get(&h.c, &fork.id, "doc").unwrap_err().code(),
+        "fork_expired"
+    );
+    // Reap drops the fork's branches on their owning servelets.
+    let report = svc.reap_expired(&h.c);
+    assert_eq!(report.reaped, vec![fork.id.clone()]);
+    assert_eq!(report.branches_dropped, 2);
+    let gone = {
+        let b = branch.clone();
+        h.with_key("doc", move |db| {
+            db.list_branches("doc")
+                .map(|bs| bs.iter().all(|i| i.name != b))
+        })
+        .unwrap()
+        .unwrap()
+    };
+    assert!(
+        gone,
+        "reap removed the fork branch from the owning servelet"
+    );
+    assert_eq!(
+        h.c.get("doc", "master").unwrap().value.as_str(),
+        Some("base")
+    );
+}
+
+#[test]
+fn fork_ops_route_like_normal_verbs() {
+    fork_ops_route_like_normal_verbs_case(&TestCluster::in_process(3));
+}
+
+#[test]
+fn fork_ops_route_like_normal_verbs_over_tcp() {
+    fork_ops_route_like_normal_verbs_case(&TestCluster::tcp(3));
 }

@@ -1,0 +1,379 @@
+//! Integration tests for the fork-sandbox service: lease lifecycle
+//! edges, registry persistence, GC reclamation of reaped forks, and the
+//! high-cardinality churn test (1,000+ concurrent live forks,
+//! `#[ignore]`d — CI runs it in release mode in the `forks` job).
+
+use forkbase::{DbError, ForkBase, ForkService, PutOptions, Uid, VersionSpec};
+use forkbase_postree::TreeConfig;
+use forkbase_store::MemStore;
+use forkbase_types::Value;
+
+fn db() -> ForkBase<MemStore> {
+    ForkBase::with_config(MemStore::new(), TreeConfig::test_config())
+}
+
+fn put(db: &ForkBase<MemStore>, key: &str, value: &str) -> Uid {
+    db.put(key, Value::string(value), &PutOptions::default())
+        .unwrap()
+        .uid
+}
+
+/// Every fork verb on an expired lease fails with the structured
+/// `fork_expired` error — the same one the REST layer maps to 404 — and
+/// a touch cannot resurrect the lease.
+#[test]
+fn expired_fork_rejects_every_verb_with_structured_error() {
+    let db = db();
+    put(&db, "doc", "base");
+    let forks = ForkService::new();
+    let id = forks
+        .create(VersionSpec::branch("master"), Some(10), None)
+        .unwrap()
+        .id;
+    forks
+        .put(
+            &db,
+            &id,
+            "doc",
+            Value::string("edit"),
+            &PutOptions::default(),
+        )
+        .unwrap();
+    forks.clock().advance(11);
+
+    let expect_expired = |r: Result<(), DbError>| {
+        let e = r.unwrap_err();
+        assert_eq!(e.code(), "fork_expired", "got {e:?}");
+        assert!(e.to_string().contains(&id), "error names the fork: {e}");
+    };
+    expect_expired(forks.get(&db, &id, "doc").map(|_| ()));
+    expect_expired(
+        forks
+            .put(&db, &id, "doc", Value::string("x"), &PutOptions::default())
+            .map(|_| ()),
+    );
+    expect_expired(forks.diff(&db, &id).map(|_| ()));
+    expect_expired(forks.touch(&id, Some(1000)).map(|_| ()));
+    expect_expired(forks.info(&id).map(|_| ()));
+    expect_expired(forks.range(&db, &id, "doc", None, None, 10).map(|_| ()));
+    // Unknown ids are indistinguishable from reaped ones (same code;
+    // the message names the id that was asked for, not ours).
+    let e = forks.get(&db, "never-existed", "doc").unwrap_err();
+    assert_eq!(e.code(), "fork_expired", "got {e:?}");
+    assert!(e.to_string().contains("never-existed"));
+
+    // The write that landed before expiry is still on the fork branch —
+    // the reaper, not the lease check, owns cleanup.
+    assert!(db
+        .list_branches("doc")
+        .unwrap()
+        .iter()
+        .any(|b| b.name == format!("fork/{id}")));
+    let report = forks.reap_expired(&db);
+    assert_eq!(report.reaped, vec![id.clone()]);
+    assert!(!db
+        .list_branches("doc")
+        .unwrap()
+        .iter()
+        .any(|b| b.name.starts_with("fork/")));
+}
+
+/// The FORKS record round-trips the whole registry: lease windows,
+/// pinned base versions, touched-key sets, and the id generator. A
+/// "reopened" service resumes every fork exactly where it left off.
+#[test]
+fn reopen_resumes_leases_and_pinned_bases() {
+    let db = db();
+    let base_uid = put(&db, "doc", "base");
+    let forks = ForkService::new();
+    let id = forks
+        .create(VersionSpec::branch("master"), Some(500), None)
+        .unwrap()
+        .id;
+    forks
+        .put(
+            &db,
+            &id,
+            "doc",
+            Value::string("forked"),
+            &PutOptions::default(),
+        )
+        .unwrap();
+    forks
+        .put(
+            &db,
+            &id,
+            "fresh",
+            Value::string("created"),
+            &PutOptions::default(),
+        )
+        .unwrap();
+    // The base branch moves on after the fork pinned it.
+    put(&db, "doc", "base-moved-on");
+    let before = forks.info(&id).unwrap();
+
+    let resumed = ForkService::new();
+    assert_eq!(resumed.load(&forks.dump()).unwrap(), 1);
+    let after = resumed.info(&id).unwrap();
+    assert_eq!(after.lease, before.lease);
+    assert_eq!(after.writes, before.writes);
+    assert_eq!(after.touched.get("doc"), Some(&Some(base_uid)));
+    assert_eq!(after.touched.get("fresh"), Some(&None));
+
+    // Reads and diffs work through the resumed registry, and the diff
+    // is still against the *pinned* base, not the moved-on head.
+    assert_eq!(
+        resumed.get(&db, &id, "doc").unwrap().value.as_str(),
+        Some("forked")
+    );
+    let diff = resumed.diff(&db, &id).unwrap();
+    assert_eq!(diff.changed_keys(), 2);
+    let doc = diff.keys.iter().find(|k| k.key == "doc").unwrap();
+    assert_eq!(doc.base, Some(base_uid));
+
+    // New ids allocated by the resumed service never collide with
+    // pre-restart ones.
+    let next = resumed
+        .create(VersionSpec::branch("master"), None, None)
+        .unwrap();
+    assert_ne!(next.id, id);
+
+    // Expiry carries over: the resumed lease still times out on the
+    // resumed clock.
+    resumed.clock().advance(501);
+    assert_eq!(
+        resumed.get(&db, &id, "doc").unwrap_err().code(),
+        "fork_expired"
+    );
+}
+
+/// The full storage story: a reaped fork's branches are dropped, and a
+/// GC pass afterwards returns stored bytes to (within dedup noise of)
+/// the pre-fork baseline — fork sandboxes leak nothing once collected.
+#[test]
+fn reaped_fork_chunks_are_reclaimed_by_gc() {
+    let db = db();
+    put(&db, "doc", "base document, deliberately small");
+    db.gc().unwrap();
+    let baseline = db.stat().store.stored_bytes;
+
+    let forks = ForkService::new();
+    let id = forks
+        .create(VersionSpec::branch("master"), Some(60), None)
+        .unwrap()
+        .id;
+    // Unique (non-dedupable) bulk: one modified key + three created
+    // keys, each with distinct ~32 KiB payloads.
+    let blob = |tag: usize| {
+        Value::string(
+            (0..2048)
+                .map(|i| format!("fork-{tag}-{i:07x}-"))
+                .collect::<String>(),
+        )
+    };
+    forks
+        .put(&db, &id, "doc", blob(0), &PutOptions::default())
+        .unwrap();
+    for k in 1..=3 {
+        forks
+            .put(
+                &db,
+                &id,
+                &format!("scratch-{k}"),
+                blob(k),
+                &PutOptions::default(),
+            )
+            .unwrap();
+    }
+    let inflated = db.stat().store.stored_bytes;
+    assert!(
+        inflated > baseline + 50_000,
+        "fork writes must actually inflate the store: {baseline} -> {inflated}"
+    );
+
+    // Expire, reap, collect. The created keys lose their only branch
+    // and disappear entirely; `doc` keeps only its base history.
+    forks.clock().advance(61);
+    let report = forks.reap_expired(&db);
+    assert_eq!(report.reaped.len(), 1);
+    assert_eq!(report.branches_dropped, 4);
+    db.gc().unwrap();
+    let reclaimed = db.stat().store.stored_bytes;
+    assert_eq!(
+        db.list_keys(),
+        vec!["doc".to_string()],
+        "fork-created keys are gone after reap + GC"
+    );
+    assert!(
+        reclaimed <= baseline + baseline / 10,
+        "stored bytes must return to within 10% of the pre-fork baseline: \
+         baseline {baseline}, after reap+gc {reclaimed}"
+    );
+    assert_eq!(
+        db.get("doc", "master").unwrap().value.as_str(),
+        Some("base document, deliberately small")
+    );
+}
+
+/// A put racing the reaper never leaks a branch: the loser's branch is
+/// un-created and the caller sees `fork_expired`.
+#[test]
+fn drop_beats_put_without_orphan_branches() {
+    let db = db();
+    put(&db, "doc", "base");
+    let forks = ForkService::new();
+    let id = forks
+        .create(VersionSpec::branch("master"), Some(60), None)
+        .unwrap()
+        .id;
+    forks.drop_fork(&db, &id).unwrap();
+    let err = forks
+        .put(
+            &db,
+            &id,
+            "doc",
+            Value::string("late"),
+            &PutOptions::default(),
+        )
+        .unwrap_err();
+    assert_eq!(err.code(), "fork_expired");
+    assert_eq!(
+        db.list_branches("doc").unwrap().len(),
+        1,
+        "no orphan branch"
+    );
+}
+
+/// The acceptance churn test: 1,000+ concurrent live forks with
+/// interleaved create/write/diff/expire churn from many threads.
+/// Ignored by default (CI's `forks` job runs it in release mode:
+/// `cargo test --release -- --ignored fork_churn`).
+#[test]
+#[ignore]
+fn fork_churn_1000() {
+    const THREADS: usize = 8;
+    const FORKS_PER_THREAD: usize = 150; // 1,200 total
+    const BASE_KEYS: usize = 32;
+
+    let db = db();
+    for k in 0..BASE_KEYS {
+        put(&db, &format!("base-{k}"), &format!("base-value-{k}"));
+    }
+    db.gc().unwrap();
+    let baseline = db.stat().store.stored_bytes;
+    let forks = ForkService::with_default_ttl(1_000_000);
+
+    // Phase 1: concurrent churn. Every thread creates forks, writes
+    // through them, diffs them, and sprinkles in short-TTL forks (which
+    // a mid-run clock advance expires) plus explicit drops.
+    std::thread::scope(|s| {
+        for t in 0..THREADS {
+            let db = &db;
+            let forks = &forks;
+            s.spawn(move || {
+                for i in 0..FORKS_PER_THREAD {
+                    // Every 10th fork is ephemeral: a 1-second lease the
+                    // mid-run advance below expires.
+                    let ephemeral = i % 10 == 9;
+                    let ttl = if ephemeral { Some(1) } else { None };
+                    let id = forks
+                        .create(
+                            VersionSpec::branch("master"),
+                            ttl,
+                            Some(format!("t{t}-f{i}")),
+                        )
+                        .unwrap()
+                        .id;
+                    let key = format!("base-{}", (t * FORKS_PER_THREAD + i) % BASE_KEYS);
+                    let value = format!("fork-{id}-own-write");
+                    match forks.put(db, &id, &key, Value::string(&value), &PutOptions::default()) {
+                        Ok(_) => {}
+                        // An ephemeral fork may expire mid-write once the
+                        // advance below lands — that's the race the
+                        // service guarantees is leak-free, not an error.
+                        Err(e) if ephemeral && e.code() == "fork_expired" => continue,
+                        Err(e) => panic!("fork put failed: {e}"),
+                    }
+                    // Read-your-writes immediately, under full churn.
+                    if !ephemeral {
+                        assert_eq!(
+                            forks.get(db, &id, &key).unwrap().value.as_str(),
+                            Some(value.as_str())
+                        );
+                        let diff = forks.diff(db, &id).unwrap();
+                        assert_eq!(diff.changed_keys(), 1);
+                    }
+                    // Every 25th long-lived fork is dropped right away —
+                    // interleaved create/drop churn on the registry.
+                    if i % 25 == 24 {
+                        forks.drop_fork(db, &id).unwrap();
+                    }
+                    // One thread advances the clock mid-run to expire the
+                    // ephemeral cohort while everyone else keeps going.
+                    if t == 0 && i == FORKS_PER_THREAD / 2 {
+                        forks.clock().advance(2);
+                        forks.reap_expired(db);
+                    }
+                }
+            });
+        }
+    });
+
+    // Phase 2: the live population is still >= 1,000 and every live
+    // fork reads its own write with an exact diff-vs-base.
+    forks.reap_expired(&db);
+    let live: Vec<_> = forks.list();
+    assert!(
+        forks.live_count() >= 1_000,
+        "need 1,000+ concurrent live forks, have {}",
+        forks.live_count()
+    );
+    for info in &live {
+        if !info.lease.live_at(forks.clock().now()) || info.writes == 0 {
+            continue;
+        }
+        let key = info.touched.keys().next().unwrap().clone();
+        let got = forks.get(&db, &info.id, &key).unwrap();
+        assert_eq!(
+            got.value.as_str(),
+            Some(format!("fork-{}-own-write", info.id).as_str()),
+            "fork {} must read its own write",
+            info.id
+        );
+        let diff = forks.diff(&db, &info.id).unwrap();
+        assert_eq!(diff.changed_keys(), 1, "diff-vs-base exact for {}", info.id);
+        let kd = &diff.keys[0];
+        assert_eq!(kd.key, key);
+        assert_eq!(kd.head, got.uid);
+        assert!(kd.base.is_some(), "base pinned for a modified key");
+    }
+
+    // Phase 3: registry persistence round-trips the full population.
+    let resumed = ForkService::new();
+    assert_eq!(resumed.load(&forks.dump()).unwrap(), forks.len());
+    assert_eq!(resumed.live_count(), forks.live_count());
+
+    // Phase 4: expire everything, reap, GC — stored bytes return to the
+    // pre-fork baseline (fork writes were pure additions; dropping every
+    // fork branch makes them all garbage).
+    forks.clock().advance(2_000_000);
+    let report = forks.reap_expired(&db);
+    assert!(
+        report.failed == 0 && forks.is_empty(),
+        "reap must drain: {report:?}"
+    );
+    for k in 0..BASE_KEYS {
+        assert_eq!(
+            db.list_branches(&format!("base-{k}")).unwrap().len(),
+            1,
+            "only master survives on base-{k}"
+        );
+    }
+    db.gc().unwrap();
+    let after = db.stat().store.stored_bytes;
+    assert!(
+        after <= baseline + baseline / 10,
+        "post-reap GC must return stored bytes to within 10% of baseline: \
+         baseline {baseline}, after {after}"
+    );
+}
