@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! Baseline versioning systems from the paper's Table I.
 //!
 //! The paper positions ForkBase against contemporaries by *deduplication

@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! Bench-regression gate: diff a fresh `BENCH_*.json` (JSON-lines, one
 //! object per benchmark, written by the criterion shim when
 //! `BENCH_JSON_PATH` is set) against a committed baseline and fail on

@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! Regenerate every figure and table of the paper.
 //!
 //! ```text

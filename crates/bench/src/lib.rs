@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! Benchmark and experiment harness for the ForkBase reproduction.
 //!
 //! Every figure and table of the paper's demonstration maps to a module

@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! Content-defined chunking for ForkBase.
 //!
 //! The POS-Tree (paper §II-A) defines node boundaries by *patterns* detected

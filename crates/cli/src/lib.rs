@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! Command-line and RESTful interfaces for ForkBase (paper Fig. 1,
 //! "Semantic Views": *Command Line scripting* and *RESTful* access).
 //!

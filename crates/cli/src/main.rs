@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! The `forkbase` command-line tool.
 //!
 //! ```text

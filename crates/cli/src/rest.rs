@@ -694,7 +694,15 @@ fn respond_error_with(
         DbError::ServeletTimeout { .. } => 504,
         DbError::PermissionDenied(_) => 403,
         DbError::BranchExists { .. } | DbError::MergeConflicts(_) => 409,
-        _ => 500,
+        // Server-side faults. The match is deliberately wildcard-free
+        // (forkbase-lint P5): a new DbError variant must pick its status
+        // here rather than silently inheriting 500.
+        DbError::Store(_)
+        | DbError::Node(_)
+        | DbError::Value(_)
+        | DbError::NoCommonAncestor(_, _)
+        | DbError::TamperDetected(_)
+        | DbError::Remote { .. } => 500,
     };
     let body = format!(
         "{{\"error\":{{\"code\":\"{}\",\"message\":\"{}\"{extra_fields}}}}}",

@@ -386,13 +386,12 @@ impl<S: SweepStore + Send + 'static> Cluster<S> {
             }
             let node = {
                 let state = self.state.read();
-                state
-                    .nodes
-                    .iter()
-                    .find(|n| n.id == pid)
-                    .cloned()
-                    .expect("primary resolved from the same state")
+                state.nodes.iter().find(|n| n.id == pid).cloned()
             };
+            // The primary can leave the table between building
+            // `by_primary` and re-reading the state; its keys will be
+            // re-captured against the new owner.
+            let Some(node) = node else { continue };
             for key in keys {
                 let export = call_control(
                     &node,
@@ -569,12 +568,14 @@ impl<S: SweepStore + Send + 'static> Cluster<S> {
             .ok_or_else(|| DbError::InvalidInput(format!("no replica with id {rid}")))?;
         let (node, mut entries) = {
             let repl = self.replication.lock();
-            let set = repl.sets.get(&pid).expect("primary_of found it");
-            let r = set
-                .replicas
-                .iter()
-                .find(|r| r.id == rid)
-                .expect("primary_of found it");
+            // The set can dissolve between `primary_of` and re-locking
+            // (concurrent promote/detach): nothing left to drain.
+            let Some(set) = repl.sets.get(&pid) else {
+                return Ok(0);
+            };
+            let Some(r) = set.replicas.iter().find(|r| r.id == rid) else {
+                return Ok(0);
+            };
             let entries: Vec<(String, u64, Arc<ShipPayload>)> = r
                 .pending
                 .iter()
@@ -688,7 +689,9 @@ impl<S: SweepStore + Send + 'static> Cluster<S> {
                 .nodes
                 .iter()
                 .position(|n| n.id == pid)
-                .expect("a replica set's primary is always in the node vector")
+                .ok_or_else(|| {
+                    DbError::InvalidInput(format!("primary {pid} is not in the node table"))
+                })?
         };
         let deadline = self.rpc.read().control_deadline;
         let needs_sync = {
@@ -717,19 +720,30 @@ impl<S: SweepStore + Send + 'static> Cluster<S> {
         // anchors are untouched so placement is unchanged.
         let replica_node = {
             let mut repl = self.replication.lock();
-            let mut set = repl.sets.remove(&pid).expect("checked above");
-            let idx = set
-                .replicas
-                .iter()
-                .position(|r| r.id == replica_id)
-                .expect("checked above");
-            let promoted = set.replicas.remove(idx);
-            let node = Arc::clone(&promoted.node);
-            // Remaining replicas re-home under the new primary; their
-            // ship logs and sequence numbers carry over unchanged (the
-            // pending payloads are self-contained).
-            repl.sets.insert(replica_id, set);
-            node
+            let Some(mut set) = repl.sets.remove(&pid) else {
+                return Err(DbError::InvalidInput(format!(
+                    "replica set of primary {pid} dissolved during promotion"
+                )));
+            };
+            match set.replicas.iter().position(|r| r.id == replica_id) {
+                Some(idx) => {
+                    let promoted = set.replicas.remove(idx);
+                    let node = Arc::clone(&promoted.node);
+                    // Remaining replicas re-home under the new primary;
+                    // their ship logs and sequence numbers carry over
+                    // unchanged (the pending payloads are
+                    // self-contained).
+                    repl.sets.insert(replica_id, set);
+                    node
+                }
+                None => {
+                    // Restore the untouched set before reporting.
+                    repl.sets.insert(pid, set);
+                    return Err(DbError::InvalidInput(format!(
+                        "replica {replica_id} left the set during promotion"
+                    )));
+                }
+            }
         };
         let old_node = {
             let mut state = self.state.write();

@@ -179,7 +179,10 @@ pub fn read_frame_versioned(r: &mut impl Read) -> Result<(u8, Vec<u8>), FrameErr
         return Err(FrameError::Torn);
     }
     let (payload, crc_tail) = buf.split_at(buf.len() - 4);
-    let want = u32::from_le_bytes(crc_tail.try_into().expect("4 bytes"));
+    let want = match crc_tail.try_into() {
+        Ok(tail) => u32::from_le_bytes(tail),
+        Err(_) => return Err(FrameError::Torn),
+    };
     if crc32(payload) != want {
         return Err(FrameError::BadCrc);
     }
@@ -301,11 +304,17 @@ impl<'a> Rd<'a> {
     }
 
     fn u32(&mut self) -> DbResult<u32> {
-        Ok(u32::from_le_bytes(self.take(4)?.try_into().expect("4")))
+        match self.take(4)?.try_into() {
+            Ok(b) => Ok(u32::from_le_bytes(b)),
+            Err(_) => Err(Self::err("truncated body")),
+        }
     }
 
     fn u64(&mut self) -> DbResult<u64> {
-        Ok(u64::from_le_bytes(self.take(8)?.try_into().expect("8")))
+        match self.take(8)?.try_into() {
+            Ok(b) => Ok(u64::from_le_bytes(b)),
+            Err(_) => Err(Self::err("truncated body")),
+        }
     }
 
     fn bool(&mut self) -> DbResult<bool> {
@@ -328,7 +337,7 @@ impl<'a> Rd<'a> {
 
     fn hash(&mut self) -> DbResult<Hash> {
         let b = self.take(HASH_LEN)?;
-        Ok(Hash::from_slice(b).expect("32 bytes"))
+        Hash::from_slice(b).ok_or_else(|| Self::err("bad hash length"))
     }
 
     fn opt_bytes(&mut self) -> DbResult<Option<Bytes>> {

@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! ForkBase: an immutable, tamper-evident storage substrate for branchable
 //! applications (ICDE 2020; engine described in PVLDB 2018).
 //!

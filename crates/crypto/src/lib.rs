@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! Cryptographic primitives for ForkBase.
 //!
 //! ForkBase identifies every immutable chunk by its SHA-256 digest and

@@ -1,0 +1,476 @@
+//! A lightweight lexical view of a Rust source file.
+//!
+//! The passes never need a real parse tree — they need to search *code*
+//! without tripping over the same tokens inside comments, string
+//! literals, or `#[cfg(test)]` regions. [`Masked`] provides that: a
+//! byte-for-byte copy of the source where comment bodies and
+//! string/char-literal contents are replaced by spaces, so offsets and
+//! line numbers in the masked copy map 1:1 onto the original.
+
+/// A source file plus its comment/string-masked shadow copy.
+pub struct Masked {
+    /// The original source, untouched (used to read literal values and
+    /// waiver comments).
+    pub raw: String,
+    /// Same length as `raw`; comment bodies and string/char contents are
+    /// spaces, everything else is identical.
+    pub code: String,
+    /// Byte offset of the start of each line (0-based lines).
+    line_starts: Vec<usize>,
+}
+
+impl Masked {
+    /// Lex `raw`, blanking comments and literal contents.
+    pub fn new(raw: String) -> Masked {
+        let code = mask_source(&raw);
+        let mut line_starts = vec![0];
+        for (i, b) in raw.bytes().enumerate() {
+            if b == b'\n' {
+                line_starts.push(i + 1);
+            }
+        }
+        Masked {
+            raw,
+            code,
+            line_starts,
+        }
+    }
+
+    /// 1-based line number of a byte offset.
+    pub fn line_of(&self, offset: usize) -> usize {
+        self.line_starts.partition_point(|&s| s <= offset)
+    }
+
+    /// The raw text of 1-based line `line` (empty if out of range).
+    pub fn raw_line(&self, line: usize) -> &str {
+        if line == 0 || line > self.line_starts.len() {
+            return "";
+        }
+        let start = self.line_starts[line - 1];
+        let end = self
+            .line_starts
+            .get(line)
+            .copied()
+            .unwrap_or(self.raw.len());
+        self.raw[start..end].trim_end_matches('\n')
+    }
+
+    /// A copy of `code` with every `#[cfg(test)]` item (and everything it
+    /// encloses) additionally blanked, for passes that lint only shipped
+    /// code paths.
+    pub fn code_without_tests(&self) -> String {
+        let mut out = self.code.clone().into_bytes();
+        let needle = b"#[cfg(test)]";
+        let bytes = self.code.as_bytes();
+        let mut i = 0;
+        while let Some(pos) = find_from(bytes, needle, i) {
+            let region_end = cfg_test_region_end(bytes, pos + needle.len());
+            for b in &mut out[pos..region_end] {
+                if *b != b'\n' {
+                    *b = b' ';
+                }
+            }
+            i = region_end;
+        }
+        String::from_utf8(out).expect("masking only writes ASCII spaces")
+    }
+
+    /// True when 1-based `line` or the line above it carries a
+    /// `forkbase-lint: allow(<rule>)` waiver comment.
+    pub fn has_waiver(&self, line: usize, rule: &str) -> bool {
+        let tag = format!("forkbase-lint: allow({rule})");
+        self.raw_line(line).contains(&tag) || line > 1 && self.raw_line(line - 1).contains(&tag)
+    }
+}
+
+fn find_from(haystack: &[u8], needle: &[u8], from: usize) -> Option<usize> {
+    if from >= haystack.len() {
+        return None;
+    }
+    haystack[from..]
+        .windows(needle.len())
+        .position(|w| w == needle)
+        .map(|p| p + from)
+}
+
+/// End offset of the item a `#[cfg(test)]` attribute (ending at `after`)
+/// covers: skip further attributes and whitespace, then either the first
+/// `;` (extern/use items) or the matching close of the first `{`.
+fn cfg_test_region_end(code: &[u8], after: usize) -> usize {
+    let mut i = after;
+    // Skip whitespace and any further `#[...]` attributes.
+    loop {
+        while i < code.len() && code[i].is_ascii_whitespace() {
+            i += 1;
+        }
+        if i + 1 < code.len() && code[i] == b'#' && code[i + 1] == b'[' {
+            let mut depth = 0usize;
+            while i < code.len() {
+                match code[i] {
+                    b'[' => depth += 1,
+                    b']' => {
+                        depth -= 1;
+                        if depth == 0 {
+                            i += 1;
+                            break;
+                        }
+                    }
+                    _ => {}
+                }
+                i += 1;
+            }
+        } else {
+            break;
+        }
+    }
+    // Scan to the item body: first `{` at paren depth 0, or a bare `;`.
+    let mut paren = 0usize;
+    while i < code.len() {
+        match code[i] {
+            b'(' | b'[' => paren += 1,
+            b')' | b']' => paren = paren.saturating_sub(1),
+            b';' if paren == 0 => return i + 1,
+            b'{' if paren == 0 => {
+                let mut depth = 0usize;
+                while i < code.len() {
+                    match code[i] {
+                        b'{' => depth += 1,
+                        b'}' => {
+                            depth -= 1;
+                            if depth == 0 {
+                                return i + 1;
+                            }
+                        }
+                        _ => {}
+                    }
+                    i += 1;
+                }
+                return code.len();
+            }
+            _ => {}
+        }
+        i += 1;
+    }
+    code.len()
+}
+
+/// Blank comment bodies and string/char-literal contents, preserving
+/// length and newlines. Handles line and nested block comments, plain /
+/// raw / byte strings, and char literals vs lifetimes.
+fn mask_source(src: &str) -> String {
+    let b = src.as_bytes();
+    let mut out = b.to_vec();
+    let mut i = 0;
+    let blank = |out: &mut [u8], from: usize, to: usize| {
+        for x in &mut out[from..to] {
+            if *x != b'\n' {
+                *x = b' ';
+            }
+        }
+    };
+    while i < b.len() {
+        match b[i] {
+            b'/' if i + 1 < b.len() && b[i + 1] == b'/' => {
+                let start = i;
+                while i < b.len() && b[i] != b'\n' {
+                    i += 1;
+                }
+                blank(&mut out, start, i);
+            }
+            b'/' if i + 1 < b.len() && b[i + 1] == b'*' => {
+                let start = i;
+                let mut depth = 0usize;
+                while i < b.len() {
+                    if i + 1 < b.len() && b[i] == b'/' && b[i + 1] == b'*' {
+                        depth += 1;
+                        i += 2;
+                    } else if i + 1 < b.len() && b[i] == b'*' && b[i + 1] == b'/' {
+                        depth -= 1;
+                        i += 2;
+                        if depth == 0 {
+                            break;
+                        }
+                    } else {
+                        i += 1;
+                    }
+                }
+                blank(&mut out, start, i);
+            }
+            b'r' | b'b' if is_raw_string_start(b, i) => {
+                // r"..", r#".."#, br".." etc. Skip prefix to the hashes.
+                let mut j = i + 1;
+                if b[i] == b'b' && j < b.len() && b[j] == b'r' {
+                    j += 1;
+                }
+                let mut hashes = 0usize;
+                while j < b.len() && b[j] == b'#' {
+                    hashes += 1;
+                    j += 1;
+                }
+                // j is at the opening quote.
+                let content = j + 1;
+                let closer: Vec<u8> = std::iter::once(b'"')
+                    .chain(std::iter::repeat_n(b'#', hashes))
+                    .collect();
+                let end = find_from(b, &closer, content).unwrap_or(b.len());
+                blank(&mut out, content, end);
+                i = (end + closer.len()).min(b.len());
+            }
+            b'b' if i + 1 < b.len() && b[i + 1] == b'"' => {
+                let end = skip_string(b, i + 1);
+                blank(&mut out, i + 2, end.saturating_sub(1));
+                i = end;
+            }
+            b'"' => {
+                let end = skip_string(b, i);
+                blank(&mut out, i + 1, end.saturating_sub(1));
+                i = end;
+            }
+            b'b' if i + 1 < b.len() && b[i + 1] == b'\'' => {
+                let end = skip_char_or_lifetime(b, i + 1);
+                blank(&mut out, i + 2, end.saturating_sub(1));
+                i = end;
+            }
+            b'\'' => {
+                let end = skip_char_or_lifetime(b, i);
+                if end > i + 1 {
+                    blank(&mut out, i + 1, end.saturating_sub(1));
+                }
+                i = end.max(i + 1);
+            }
+            _ => i += 1,
+        }
+    }
+    String::from_utf8(out).unwrap_or_else(|e| {
+        // Masking never splits UTF-8 sequences outside literals; blanked
+        // regions may have held multi-byte chars, so rebuild lossily.
+        String::from_utf8_lossy(e.as_bytes()).into_owned()
+    })
+}
+
+/// Is `i` the start of a raw-string literal (`r"`, `r#`, `br"`, `br#`)?
+fn is_raw_string_start(b: &[u8], i: usize) -> bool {
+    // Not a raw string if the r/b is the tail of an identifier.
+    if i > 0 && (b[i - 1].is_ascii_alphanumeric() || b[i - 1] == b'_') {
+        return false;
+    }
+    let mut j = i;
+    if b[j] == b'b' {
+        j += 1;
+        if j >= b.len() || b[j] != b'r' {
+            return false;
+        }
+    }
+    if b[j] != b'r' {
+        return false;
+    }
+    j += 1;
+    let mut saw_hash = false;
+    while j < b.len() && b[j] == b'#' {
+        saw_hash = true;
+        j += 1;
+    }
+    // `r#ident` is a raw identifier, not a string.
+    j < b.len() && b[j] == b'"' && (!saw_hash || !b[j].is_ascii_alphabetic())
+}
+
+/// Skip a `"..."` string starting at the opening quote; returns the
+/// offset just past the closing quote.
+fn skip_string(b: &[u8], open: usize) -> usize {
+    let mut i = open + 1;
+    while i < b.len() {
+        match b[i] {
+            b'\\' => i += 2,
+            b'"' => return i + 1,
+            _ => i += 1,
+        }
+    }
+    b.len()
+}
+
+/// Distinguish `'c'` / `'\n'` char literals from `'lifetime`. Returns the
+/// offset past the literal, or `open + 1` when it is a lifetime.
+fn skip_char_or_lifetime(b: &[u8], open: usize) -> usize {
+    let i = open + 1;
+    if i >= b.len() {
+        return open + 1;
+    }
+    if b[i] == b'\\' {
+        let mut j = i + 2;
+        // Escapes like \x7f or \u{...} run until the closing quote.
+        while j < b.len() && b[j] != b'\'' && b[j] != b'\n' {
+            j += 1;
+        }
+        return if j < b.len() && b[j] == b'\'' {
+            j + 1
+        } else {
+            open + 1
+        };
+    }
+    // `'x'` (single char, possibly multi-byte UTF-8) then a quote.
+    let mut j = i + 1;
+    while j < b.len() && j < i + 5 && (b[j] & 0xC0) == 0x80 {
+        j += 1; // UTF-8 continuation bytes
+    }
+    if j < b.len() && b[j] == b'\'' {
+        j + 1
+    } else {
+        open + 1 // a lifetime: leave the identifier visible
+    }
+}
+
+/// Find `pattern` in `code` ignoring whitespace inside the pattern match
+/// (so a call chain broken across lines still matches). Returns match
+/// start offsets.
+pub fn find_pattern_ws(code: &str, pattern: &str) -> Vec<usize> {
+    let code_b = code.as_bytes();
+    let pat: Vec<u8> = pattern
+        .bytes()
+        .filter(|b| !b.is_ascii_whitespace())
+        .collect();
+    let mut hits = Vec::new();
+    if pat.is_empty() {
+        return hits;
+    }
+    let mut i = 0;
+    while i < code_b.len() {
+        if code_b[i] == pat[0] {
+            let mut ci = i;
+            let mut pi = 0;
+            while ci < code_b.len() && pi < pat.len() {
+                if code_b[ci].is_ascii_whitespace() {
+                    if pi == 0 {
+                        break;
+                    }
+                    ci += 1;
+                    continue;
+                }
+                if code_b[ci] != pat[pi] {
+                    break;
+                }
+                ci += 1;
+                pi += 1;
+            }
+            if pi == pat.len() {
+                hits.push(i);
+                i = ci;
+                continue;
+            }
+        }
+        i += 1;
+    }
+    hits
+}
+
+/// Function bodies found in a (test-masked) code view: `(name, header
+/// offset, body byte range)`.
+pub fn function_bodies(code: &str) -> Vec<(String, usize, std::ops::Range<usize>)> {
+    let b = code.as_bytes();
+    let mut out = Vec::new();
+    let mut i = 0;
+    while let Some(pos) = find_from(b, b"fn ", i) {
+        // Word boundary on the left (`fn` not the tail of an ident).
+        if pos > 0 && (b[pos - 1].is_ascii_alphanumeric() || b[pos - 1] == b'_') {
+            i = pos + 3;
+            continue;
+        }
+        let mut j = pos + 3;
+        while j < b.len() && b[j].is_ascii_whitespace() {
+            j += 1;
+        }
+        let name_start = j;
+        while j < b.len() && (b[j].is_ascii_alphanumeric() || b[j] == b'_') {
+            j += 1;
+        }
+        let name = code[name_start..j].to_string();
+        // Find the body `{` at bracket depth 0, or a `;` (trait decl).
+        let mut paren = 0usize;
+        let mut body = None;
+        while j < b.len() {
+            match b[j] {
+                b'(' | b'[' | b'<' => paren += 1,
+                b')' | b']' | b'>' => paren = paren.saturating_sub(1),
+                b';' if paren == 0 => break,
+                b'{' if paren == 0 => {
+                    let mut depth = 0usize;
+                    let open = j;
+                    while j < b.len() {
+                        match b[j] {
+                            b'{' => depth += 1,
+                            b'}' => {
+                                depth -= 1;
+                                if depth == 0 {
+                                    body = Some(open..j + 1);
+                                    break;
+                                }
+                            }
+                            _ => {}
+                        }
+                        j += 1;
+                    }
+                    break;
+                }
+                _ => {}
+            }
+            j += 1;
+        }
+        if let Some(range) = body {
+            let end = range.end;
+            out.push((name, pos, range));
+            i = end;
+        } else {
+            i = j.max(pos + 3);
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn masks_comments_and_strings() {
+        let m = Masked::new(
+            "let a = \"unwrap()\"; // unwrap()\n/* panic! */ let b = 'x'; let c: &'a str = r#\"expect(\"#;\n"
+                .to_string(),
+        );
+        assert!(!m.code.contains("unwrap"));
+        assert!(!m.code.contains("panic"));
+        assert!(!m.code.contains("expect"));
+        assert!(m.code.contains("let b ="));
+        assert!(m.code.contains("&'a str"), "lifetimes survive: {}", m.code);
+        assert_eq!(m.raw.len(), m.code.len());
+    }
+
+    #[test]
+    fn masks_cfg_test_regions() {
+        let src = "fn live() { x.unwrap(); }\n#[cfg(test)]\nmod tests {\n fn t() { y.unwrap(); }\n}\nfn more() {}\n";
+        let m = Masked::new(src.to_string());
+        let shipped = m.code_without_tests();
+        assert_eq!(shipped.matches("unwrap").count(), 1);
+        assert!(shipped.contains("fn more"));
+    }
+
+    #[test]
+    fn line_numbers_map() {
+        let m = Masked::new("a\nb\nc\n".to_string());
+        assert_eq!(m.line_of(0), 1);
+        assert_eq!(m.line_of(2), 2);
+        assert_eq!(m.line_of(4), 3);
+        assert_eq!(m.raw_line(2), "b");
+    }
+
+    #[test]
+    fn pattern_search_ignores_whitespace() {
+        let hits = find_pattern_ws("self . topology()\n  .encode()", "topology().encode()");
+        assert_eq!(hits.len(), 1);
+    }
+
+    #[test]
+    fn finds_function_bodies() {
+        let fns = function_bodies("impl X { fn a(&self) -> u8 { 1 } }\nfn b() { { } }\n");
+        let names: Vec<_> = fns.iter().map(|(n, _, _)| n.as_str()).collect();
+        assert_eq!(names, ["a", "b"]);
+    }
+}

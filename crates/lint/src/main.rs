@@ -1,0 +1,101 @@
+#![forbid(unsafe_code)]
+//! `forkbase-lint` CLI. See the library docs (`forkbase_lint`) and
+//! README § Static analysis for the pass catalogue and the `--bless`
+//! unlock procedure.
+
+use std::io::Write;
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+const USAGE: &str = "\
+forkbase-lint — workspace invariant checker
+
+USAGE:
+    cargo run --release -p forkbase-lint [-- OPTIONS]
+
+OPTIONS:
+    --bless        Regenerate lint/wire.lock and lint/format.lock from the
+                   current sources instead of diffing against them. Run it
+                   in its own commit; P1 additionally requires a
+                   WIRE_VERSION bump + PROTOCOL.md history row, and P2 a
+                   documented format-break migration story.
+    --root PATH    Workspace root (default: walk up from the current
+                   directory to the first [workspace] Cargo.toml).
+    --out PATH     Also write the findings to PATH (CI uploads this as an
+                   artifact on failure).
+    -h, --help     This text.
+
+Findings are machine-readable, one per line:
+    <file>:<line>: [<pass>/<rule>] <message>
+
+Exit status: 0 clean, 1 findings, 2 usage or I/O error.";
+
+fn main() -> ExitCode {
+    let mut bless = false;
+    let mut root: Option<PathBuf> = None;
+    let mut out: Option<PathBuf> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--bless" => bless = true,
+            "--root" => match args.next() {
+                Some(p) => root = Some(PathBuf::from(p)),
+                None => return usage_error("--root needs a path"),
+            },
+            "--out" => match args.next() {
+                Some(p) => out = Some(PathBuf::from(p)),
+                None => return usage_error("--out needs a path"),
+            },
+            "-h" | "--help" => {
+                println!("{USAGE}");
+                return ExitCode::SUCCESS;
+            }
+            other => return usage_error(&format!("unknown argument {other:?}")),
+        }
+    }
+    let root = match root {
+        Some(r) => r,
+        None => {
+            let cwd = std::env::current_dir().unwrap_or_else(|_| PathBuf::from("."));
+            match forkbase_lint::find_workspace_root(&cwd) {
+                Some(r) => r,
+                None => {
+                    return usage_error("no [workspace] Cargo.toml above the current directory")
+                }
+            }
+        }
+    };
+
+    let findings = forkbase_lint::run_all(&root, bless);
+    let mut report = String::new();
+    for f in &findings {
+        report.push_str(&f.to_string());
+        report.push('\n');
+    }
+    print!("{report}");
+    if let Some(path) = &out {
+        if let Err(e) = std::fs::File::create(path).and_then(|mut f| f.write_all(report.as_bytes()))
+        {
+            eprintln!("forkbase-lint: cannot write {}: {e}", path.display());
+            return ExitCode::from(2);
+        }
+    }
+    if findings.is_empty() {
+        if bless {
+            println!(
+                "forkbase-lint: lockfiles blessed; commit lint/*.lock in this change's own commit"
+            );
+        } else {
+            println!("forkbase-lint: all invariants hold");
+        }
+        ExitCode::SUCCESS
+    } else {
+        eprintln!("forkbase-lint: {} finding(s)", findings.len());
+        ExitCode::FAILURE
+    }
+}
+
+fn usage_error(msg: &str) -> ExitCode {
+    eprintln!("forkbase-lint: {msg}\n\n{USAGE}");
+    ExitCode::from(2)
+}

@@ -1,0 +1,350 @@
+//! P5 — error-taxonomy consistency.
+//!
+//! `DbError` is the one error type clients see, across four surfaces
+//! that must agree: the `code()` string a client branches on, the wire
+//! form (`cluster/wire.rs`), the HTTP status both REST gateways emit
+//! (`cli/src/rest.rs` — one shared mapping), and the documented tables
+//! (PROTOCOL.md wire errors, README error taxonomy). The pass checks:
+//!
+//! * every enum variant has an arm in `code()`, and every dedicated
+//!   code is unique;
+//! * every variant is explicitly handled in the REST status map (the
+//!   match is wildcard-free, so a new variant cannot silently inherit
+//!   a default status);
+//! * every variant either has a dedicated wire form in `wire.rs` or its
+//!   code is documented in PROTOCOL.md as carried through the `Remote`
+//!   wire error;
+//! * every code appears in PROTOCOL.md, and the README "Error taxonomy"
+//!   table lists exactly the live code set (stale rows are findings
+//!   too).
+
+use std::collections::BTreeSet;
+use std::path::Path;
+
+use crate::lexer::Masked;
+use crate::{read_masked, Finding};
+
+const PASS: &str = "P5/error-taxonomy";
+const ERROR_RS: &str = "crates/core/src/error.rs";
+const WIRE_RS: &str = "crates/core/src/cluster/wire.rs";
+const REST_RS: &str = "crates/cli/src/rest.rs";
+const README: &str = "README.md";
+const PROTOCOL: &str = "PROTOCOL.md";
+
+/// Run the pass.
+pub fn run(root: &Path) -> Vec<Finding> {
+    let mut findings = Vec::new();
+    let Some(err_src) = read_masked(root, ERROR_RS, PASS, &mut findings) else {
+        return findings;
+    };
+    let Some(wire_src) = read_masked(root, WIRE_RS, PASS, &mut findings) else {
+        return findings;
+    };
+    let Some(rest_src) = read_masked(root, REST_RS, PASS, &mut findings) else {
+        return findings;
+    };
+    let readme = std::fs::read_to_string(root.join(README)).unwrap_or_default();
+    let proto = std::fs::read_to_string(root.join(PROTOCOL)).unwrap_or_default();
+
+    let variants = enum_variants(&err_src, "DbError");
+    if variants.is_empty() {
+        findings.push(Finding::new(ERROR_RS, 0, PASS, "enum DbError not found"));
+        return findings;
+    }
+    let Some(code_body) = fn_body(&err_src, "code") else {
+        findings.push(Finding::new(ERROR_RS, 0, PASS, "fn code() not found"));
+        return findings;
+    };
+    let arms = match_arms(&err_src, code_body.clone());
+
+    // (a) every variant has a code() arm; no stale arms.
+    for (v, line) in &variants {
+        if !arms.iter().any(|(av, _, _)| av == v) {
+            findings.push(Finding::new(
+                ERROR_RS,
+                *line,
+                PASS,
+                format!("variant `{v}` has no arm in DbError::code()"),
+            ));
+        }
+    }
+    for (av, _, line) in &arms {
+        if !variants.iter().any(|(v, _)| v == av) {
+            findings.push(Finding::new(
+                ERROR_RS,
+                *line,
+                PASS,
+                format!("code() matches `DbError::{av}` which is not a variant"),
+            ));
+        }
+    }
+
+    // (b) dedicated codes are unique.
+    let mut seen: Vec<(&str, &str)> = Vec::new();
+    for (av, code, line) in &arms {
+        if let Some(code) = code {
+            if let Some((other, _)) = seen.iter().find(|(_, c)| c == code) {
+                findings.push(Finding::new(
+                    ERROR_RS,
+                    *line,
+                    PASS,
+                    format!("code \"{code}\" of `{av}` collides with `{other}`"),
+                ));
+            }
+            seen.push((av, code));
+        }
+    }
+
+    // (c) the REST status map names every variant explicitly.
+    for (v, line) in &variants {
+        if !rest_src.code.contains(&format!("DbError::{v}")) {
+            findings.push(Finding::new(
+                REST_RS,
+                0,
+                PASS,
+                format!(
+                    "`DbError::{v}` (declared {ERROR_RS}:{line}) has no explicit HTTP mapping in \
+                     the REST gateways' status match"
+                ),
+            ));
+        }
+    }
+
+    // (d) wire mapping: a dedicated wire form, or a documented carried code.
+    for (v, line) in &variants {
+        let has_wire_form = wire_src.code.contains(&format!("DbError::{v}"));
+        let code = arms
+            .iter()
+            .find(|(av, _, _)| av == v)
+            .and_then(|(_, c, _)| c.clone());
+        let carried_documented = code
+            .as_deref()
+            .is_some_and(|c| proto.contains(&format!("`{c}`")));
+        if !has_wire_form && !carried_documented {
+            findings.push(Finding::new(
+                ERROR_RS,
+                *line,
+                PASS,
+                format!(
+                    "variant `{v}` has neither a dedicated wire form in {WIRE_RS} nor a \
+                     PROTOCOL.md entry documenting its code as carried via the Remote wire error"
+                ),
+            ));
+        }
+    }
+
+    // (e)+(f): the full code set (dedicated + carried/interned literals
+    // inside code()) against the doc tables.
+    let codes: BTreeSet<String> = string_literals(&err_src, code_body)
+        .into_iter()
+        .filter(|s| !s.is_empty() && s.chars().all(|c| c == '_' || c.is_ascii_lowercase()))
+        .collect();
+    for code in &codes {
+        if !proto.contains(&format!("`{code}`")) {
+            findings.push(Finding::new(
+                PROTOCOL,
+                0,
+                PASS,
+                format!("error code `{code}` is not documented in PROTOCOL.md"),
+            ));
+        }
+    }
+    match readme_error_rows(&readme) {
+        None => findings.push(Finding::new(
+            README,
+            0,
+            PASS,
+            "README has no \"Error taxonomy\" section with a code table",
+        )),
+        Some(rows) => {
+            for code in &codes {
+                if !rows.iter().any(|(c, _)| c == code) {
+                    findings.push(Finding::new(
+                        README,
+                        0,
+                        PASS,
+                        format!(
+                            "error code `{code}` has no row in the README error-taxonomy table"
+                        ),
+                    ));
+                }
+            }
+            for (code, line) in &rows {
+                if !codes.contains(code) {
+                    findings.push(Finding::new(
+                        README,
+                        *line,
+                        PASS,
+                        format!("README error-taxonomy row `{code}` matches no live DbError code (stale?)"),
+                    ));
+                }
+            }
+        }
+    }
+    findings
+}
+
+/// `(variant, line)` pairs of `enum <name>`'s top-level variants.
+fn enum_variants(m: &Masked, name: &str) -> Vec<(String, usize)> {
+    let Some(pos) = m.code.find(&format!("enum {name}")) else {
+        return Vec::new();
+    };
+    let Some(open) = m.code[pos..].find('{').map(|p| p + pos) else {
+        return Vec::new();
+    };
+    let bytes = m.code.as_bytes();
+    let mut out = Vec::new();
+    let mut depth = 0i32;
+    let mut i = open;
+    let mut expecting = true; // at `{` or after a top-level `,`
+    while i < bytes.len() {
+        match bytes[i] {
+            b'{' | b'(' | b'[' => depth += 1,
+            b'}' | b')' | b']' => {
+                depth -= 1;
+                if depth == 0 {
+                    break;
+                }
+            }
+            b',' if depth == 1 => expecting = true,
+            c if depth == 1 && expecting && c.is_ascii_uppercase() => {
+                let start = i;
+                while i < bytes.len() && (bytes[i].is_ascii_alphanumeric() || bytes[i] == b'_') {
+                    i += 1;
+                }
+                out.push((m.code[start..i].to_string(), m.line_of(start)));
+                expecting = false;
+                continue;
+            }
+            _ => {}
+        }
+        i += 1;
+    }
+    out
+}
+
+/// Body byte range of `fn <name>` in the masked view.
+fn fn_body(m: &Masked, name: &str) -> Option<std::ops::Range<usize>> {
+    crate::lexer::function_bodies(&m.code)
+        .into_iter()
+        .find(|(n, _, _)| n == name)
+        .map(|(_, _, body)| body)
+}
+
+/// Top-level `DbError::Variant => …` arms of the outer `match` inside
+/// `body`: `(variant, dedicated code if the arm maps straight to a
+/// string literal, line)`.
+fn match_arms(m: &Masked, body: std::ops::Range<usize>) -> Vec<(String, Option<String>, usize)> {
+    let text = &m.code[body.clone()];
+    let Some(mstart) = text.find("match") else {
+        return Vec::new();
+    };
+    let Some(open) = text[mstart..].find('{').map(|p| p + mstart) else {
+        return Vec::new();
+    };
+    let bytes = text.as_bytes();
+    let mut out = Vec::new();
+    let mut depth = 0i32;
+    let mut i = open;
+    while i < bytes.len() {
+        match bytes[i] {
+            b'{' | b'(' | b'[' => depth += 1,
+            b'}' | b')' | b']' => {
+                depth -= 1;
+                if depth == 0 {
+                    break;
+                }
+            }
+            b'D' if depth == 1 && text[i..].starts_with("DbError::") => {
+                let start = i + "DbError::".len();
+                let mut j = start;
+                while j < bytes.len() && (bytes[j].is_ascii_alphanumeric() || bytes[j] == b'_') {
+                    j += 1;
+                }
+                let variant = text[start..j].to_string();
+                let abs = body.start + i;
+                // What does the arm map to? Scan past the pattern and
+                // `=>`: a `"` means a dedicated code literal; `match`
+                // means a carried/interned nested mapping.
+                let code = arm_code(m, body.start, text, j);
+                out.push((variant, code, m.line_of(abs)));
+                i = j;
+                continue;
+            }
+            _ => {}
+        }
+        i += 1;
+    }
+    out
+}
+
+/// For an arm whose pattern ends near `from`, find what follows `=>`:
+/// `Some(code)` for a string literal, `None` for anything else.
+fn arm_code(m: &Masked, base: usize, text: &str, from: usize) -> Option<String> {
+    let bytes = text.as_bytes();
+    let arrow = text[from..].find("=>").map(|p| p + from)?;
+    let mut i = arrow + 2;
+    while i < bytes.len() && bytes[i].is_ascii_whitespace() {
+        i += 1;
+    }
+    if i < bytes.len() && bytes[i] == b'"' {
+        // Read the literal's contents from the raw source.
+        let end = m.raw[base + i + 1..].find('"')? + base + i + 1;
+        return Some(m.raw[base + i + 1..end].to_string());
+    }
+    None
+}
+
+/// All string-literal contents within `body` (read from raw; the masked
+/// view keeps the quote characters in place).
+fn string_literals(m: &Masked, body: std::ops::Range<usize>) -> Vec<String> {
+    let bytes = m.code.as_bytes();
+    let mut out = Vec::new();
+    let mut i = body.start;
+    while i < body.end {
+        if bytes[i] == b'"' {
+            if let Some(close) = m.code[i + 1..body.end].find('"') {
+                let end = i + 1 + close;
+                out.push(m.raw[i + 1..end].to_string());
+                i = end + 1;
+                continue;
+            }
+        }
+        i += 1;
+    }
+    out
+}
+
+/// Rows of the README "Error taxonomy" table: `(code, line)`. `None`
+/// when the section is missing entirely.
+fn readme_error_rows(readme: &str) -> Option<Vec<(String, usize)>> {
+    let mut rows = Vec::new();
+    let mut in_section = false;
+    let mut found = false;
+    for (idx, line) in readme.lines().enumerate() {
+        if line.starts_with("##") {
+            in_section = line.to_ascii_lowercase().contains("error taxonomy");
+            found |= in_section;
+            continue;
+        }
+        if !in_section {
+            continue;
+        }
+        let trimmed = line.trim();
+        if !trimmed.starts_with('|') {
+            continue;
+        }
+        let first = trimmed
+            .trim_matches('|')
+            .split('|')
+            .next()
+            .unwrap_or("")
+            .trim();
+        if let Some(code) = first.strip_prefix('`').and_then(|s| s.strip_suffix('`')) {
+            if !code.is_empty() && code.chars().all(|c| c == '_' || c.is_ascii_lowercase()) {
+                rows.push((code.to_string(), idx + 1));
+            }
+        }
+    }
+    found.then_some(rows)
+}

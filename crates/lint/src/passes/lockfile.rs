@@ -1,0 +1,110 @@
+//! Frozen-surface lockfiles: a sorted `key = value` text snapshot of an
+//! invariant surface, committed under `lint/`. A pass extracts the live
+//! surface from the sources, and any difference from the committed
+//! snapshot is a finding unless the run is `--bless`ing (which rewrites
+//! the file instead).
+
+use std::collections::BTreeMap;
+use std::path::Path;
+
+use crate::Finding;
+
+/// Parse a lockfile body: `key = value` lines, `#` comments ignored.
+pub fn parse(text: &str) -> BTreeMap<String, String> {
+    let mut out = BTreeMap::new();
+    for line in text.lines() {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        if let Some((k, v)) = line.split_once(" = ") {
+            out.insert(k.trim().to_string(), v.trim().to_string());
+        }
+    }
+    out
+}
+
+/// Serialize `entries` under a fixed header comment.
+pub fn render(header: &str, entries: &BTreeMap<String, String>) -> String {
+    let mut out = String::new();
+    for line in header.lines() {
+        out.push_str("# ");
+        out.push_str(line);
+        out.push('\n');
+    }
+    for (k, v) in entries {
+        out.push_str(&format!("{k} = {v}\n"));
+    }
+    out
+}
+
+/// Diff the live surface against the committed lockfile at
+/// `root/<rel>`, or rewrite it when `bless` is set. `unlock_hint` tells
+/// the developer what a legitimate change requires (it is appended to
+/// every drift finding).
+#[allow(clippy::too_many_arguments)] // two call sites, both named-constant heavy
+pub fn check(
+    root: &Path,
+    rel: &str,
+    pass: &str,
+    header: &str,
+    live: &BTreeMap<String, String>,
+    bless: bool,
+    unlock_hint: &str,
+    findings: &mut Vec<Finding>,
+) {
+    let path = root.join(rel);
+    if bless {
+        if let Some(parent) = path.parent() {
+            let _ = std::fs::create_dir_all(parent);
+        }
+        if let Err(e) = std::fs::write(&path, render(header, live)) {
+            findings.push(Finding::new(
+                rel,
+                0,
+                pass,
+                format!("cannot write lockfile: {e}"),
+            ));
+        }
+        return;
+    }
+    let committed = match std::fs::read_to_string(&path) {
+        Ok(text) => parse(&text),
+        Err(_) => {
+            findings.push(Finding::new(
+                rel,
+                0,
+                pass,
+                format!("lockfile missing; generate it with `cargo run -p forkbase-lint -- --bless` ({unlock_hint})"),
+            ));
+            return;
+        }
+    };
+    for (k, v) in live {
+        match committed.get(k) {
+            None => findings.push(Finding::new(
+                rel,
+                0,
+                pass,
+                format!("`{k}` ({v}) is new and not in the lockfile; {unlock_hint}"),
+            )),
+            Some(old) if old != v => findings.push(Finding::new(
+                rel,
+                0,
+                pass,
+                format!("`{k}` changed: lockfile has {old}, sources have {v}; {unlock_hint}"),
+            )),
+            Some(_) => {}
+        }
+    }
+    for (k, v) in &committed {
+        if !live.contains_key(k) {
+            findings.push(Finding::new(
+                rel,
+                0,
+                pass,
+                format!("`{k}` ({v}) is in the lockfile but gone from the sources; {unlock_hint}"),
+            ));
+        }
+    }
+}

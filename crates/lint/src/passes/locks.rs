@@ -1,0 +1,101 @@
+//! P4 — lock-order pass.
+//!
+//! The concurrency model (README "Concurrency model") rests on two
+//! orderings that nothing but convention enforces:
+//!
+//! * A function that acquires **two or more head stripes** must take
+//!   them in stripe-index order — the shared total order that makes
+//!   crossing multi-stripe writers (merge, `WriteBatch`) deadlock-free.
+//!   The two sanctioned idioms are sorting the stripe set
+//!   (`sort_unstable`) or the two-stripe `min`/`max` pair; a function
+//!   with multiple acquisitions and neither idiom is flagged.
+//! * The **GC/rebalance gate comes first**: a function that takes a head
+//!   stripe and then the gate inverts the order GC relies on
+//!   (gate-exclusive ⇒ no stripe holder can be mid-commit) and can
+//!   deadlock against `gc::collect`.
+//!
+//! Scope is all of `crates/core/src` (shipped code; `#[cfg(test)]`
+//! regions are ignored). A deliberate exception can carry a
+//! `// forkbase-lint: allow(lock-order): <why>` waiver on the `fn` line.
+
+use std::path::Path;
+
+use crate::lexer::{function_bodies, Masked};
+use crate::{rust_files_under, Finding};
+
+const PASS: &str = "P4/lock-order";
+
+const STRIPE_TOKEN: &str = "head_locks[";
+const GATE_TOKENS: &[&str] = &[
+    "gc_gate.read()",
+    "gc_gate.write()",
+    "gc_shared()",
+    "gc_exclusive()",
+    "rebalance_gate.read()",
+    "rebalance_gate.write()",
+];
+const ORDER_TOKENS: &[&str] = &["sort_unstable", ".min(", ".max("];
+
+/// Run the pass over `crates/core/src`.
+pub fn run(root: &Path) -> Vec<Finding> {
+    let mut findings = Vec::new();
+    for rel in rust_files_under(root, "crates/core/src") {
+        let Ok(text) = std::fs::read_to_string(root.join(&rel)) else {
+            continue;
+        };
+        let m = Masked::new(text);
+        let shipped = m.code_without_tests();
+        for (name, header_off, body) in function_bodies(&shipped) {
+            let body_text = &shipped[body.clone()];
+            let header_line = m.line_of(header_off);
+            if m.has_waiver(header_line, "lock-order") {
+                continue;
+            }
+            let stripe_hits: Vec<usize> = find_all(body_text, STRIPE_TOKEN);
+            if stripe_hits.is_empty() {
+                continue;
+            }
+            if stripe_hits.len() >= 2 {
+                let first = stripe_hits[0];
+                let ordered = ORDER_TOKENS.iter().any(|t| body_text[..first].contains(t));
+                if !ordered {
+                    findings.push(Finding::new(
+                        rel.clone(),
+                        m.line_of(body.start + stripe_hits[1]),
+                        PASS,
+                        format!(
+                            "`{name}` acquires {} head stripes without the index-ordering idiom \
+                             (sort the stripe set, or min/max a pair) — crossing writers can deadlock",
+                            stripe_hits.len()
+                        ),
+                    ));
+                }
+            }
+            let first_stripe = stripe_hits[0];
+            if let Some(first_gate) = GATE_TOKENS.iter().filter_map(|t| body_text.find(t)).min() {
+                if first_stripe < first_gate {
+                    findings.push(Finding::new(
+                        rel.clone(),
+                        m.line_of(body.start + first_stripe),
+                        PASS,
+                        format!(
+                            "`{name}` takes a head stripe before the GC/rebalance gate — the gate \
+                             must always be acquired first (GC relies on gate ⇒ quiescent stripes)"
+                        ),
+                    ));
+                }
+            }
+        }
+    }
+    findings
+}
+
+fn find_all(text: &str, token: &str) -> Vec<usize> {
+    let mut out = Vec::new();
+    let mut i = 0;
+    while let Some(p) = text[i..].find(token) {
+        out.push(i + p);
+        i += p + token.len();
+    }
+    out
+}

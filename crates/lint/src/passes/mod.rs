@@ -1,0 +1,12 @@
+//! The five lint passes. Each is independently callable with a
+//! workspace root, which is how the fixture tests drive them against
+//! synthetic trees.
+
+pub mod caps;
+pub mod errors;
+pub mod format;
+pub mod locks;
+pub mod wire;
+
+pub(crate) mod lockfile;
+pub(crate) mod rust_src;

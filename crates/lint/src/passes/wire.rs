@@ -1,0 +1,277 @@
+//! P1 — wire-protocol drift.
+//!
+//! Extracts every `Request`/`Reply`/`WireError` (and batch-op, outcome,
+//! diff, spec) tag constant plus `WIRE_VERSION`/`MIN_WIRE_VERSION`/
+//! `MAX_FRAME_LEN` from `crates/core/src/cluster/wire.rs`, then checks:
+//!
+//! * tag uniqueness within each family;
+//! * presence and value agreement against `PROTOCOL.md`'s tag tables,
+//!   in both directions (a stale doc row is as much a finding as a
+//!   missing one);
+//! * the PROTOCOL.md version lines agree with the constants, and the
+//!   version-history table has a row for the current `WIRE_VERSION`;
+//! * byte-for-byte agreement with the committed `lint/wire.lock`
+//!   snapshot, so a tag/encoding change without a `--bless` (and the
+//!   version bump the bless procedure demands) is a hard failure.
+
+use std::collections::BTreeMap;
+use std::path::Path;
+
+use super::lockfile;
+use super::rust_src::{self, pascal_case};
+use crate::{read_masked, Finding};
+
+const PASS: &str = "P1/wire-drift";
+pub(crate) const WIRE_RS: &str = "crates/core/src/cluster/wire.rs";
+const PROTOCOL_MD: &str = "PROTOCOL.md";
+pub(crate) const LOCK: &str = "lint/wire.lock";
+
+/// Tag families: lockfile prefix, constant prefix, whether PROTOCOL.md
+/// documents the family as `| 0xNN | Name |` table rows.
+const FAMILIES: &[(&str, &str, bool)] = &[
+    ("req", "REQ_", true),
+    ("err", "ERR_", true),
+    ("rep", "REP_", true),
+    ("op", "OP_", true),
+    ("outcome", "OUTCOME_", true),
+    ("diff", "DIFF_", true),
+    // Spec discriminants are documented prose-style in the type table,
+    // not as a tag table, so they are locked but not row-checked.
+    ("spec", "SPEC_", false),
+];
+
+const LOCK_HEADER: &str = "forkbase-lint P1: frozen wire surface (tags, versions, frame cap).\n\
+Regenerate ONLY with `cargo run -p forkbase-lint -- --bless`, in its own\n\
+commit, together with a WIRE_VERSION bump and a PROTOCOL.md version-history\n\
+row (see PROTOCOL.md \u{a7} Compatibility and README \u{a7} Static analysis).";
+
+const UNLOCK_HINT: &str = "a wire-surface change requires a WIRE_VERSION bump, a PROTOCOL.md \
+history row, and a `--bless`ed lint/wire.lock in its own commit";
+
+/// Run the pass. `bless` rewrites the lockfile instead of diffing it.
+pub fn run(root: &Path, bless: bool) -> Vec<Finding> {
+    let mut findings = Vec::new();
+    let Some(wire) = read_masked(root, WIRE_RS, PASS, &mut findings) else {
+        return findings;
+    };
+    let Some(proto) = std::fs::read_to_string(root.join(PROTOCOL_MD)).ok() else {
+        findings.push(Finding::new(
+            PROTOCOL_MD,
+            0,
+            PASS,
+            "cannot read PROTOCOL.md",
+        ));
+        return findings;
+    };
+
+    let consts = rust_src::consts(&wire);
+    let mut lock: BTreeMap<String, String> = BTreeMap::new();
+
+    // Versions and the frame cap.
+    let mut wire_version: Option<u8> = None;
+    let mut min_version: Option<u8> = None;
+    for want in ["WIRE_VERSION", "MIN_WIRE_VERSION", "MAX_FRAME_LEN"] {
+        match consts.iter().find(|c| c.name == want) {
+            Some(c) => {
+                lock.insert(format!("version {want}"), c.value.clone());
+                if want != "MAX_FRAME_LEN" {
+                    match rust_src::parse_u8(&c.value) {
+                        Some(v) if want == "WIRE_VERSION" => wire_version = Some(v),
+                        Some(v) => min_version = Some(v),
+                        None => findings.push(Finding::new(
+                            WIRE_RS,
+                            c.line,
+                            PASS,
+                            format!("`{want}` must be a literal u8, found `{}`", c.value),
+                        )),
+                    }
+                }
+            }
+            None => findings.push(Finding::new(
+                WIRE_RS,
+                0,
+                PASS,
+                format!("`{want}` constant not found (renamed? update crates/lint)"),
+            )),
+        }
+    }
+
+    // Tag families: collect, check uniqueness, build the lock image and
+    // the set of (tag, name) pairs the docs must agree with.
+    let mut documented_pairs: Vec<(u8, String, usize)> = Vec::new();
+    for (lock_prefix, const_prefix, in_docs) in FAMILIES {
+        let mut seen: BTreeMap<u8, (&str, usize)> = BTreeMap::new();
+        for c in consts.iter().filter(|c| c.name.starts_with(const_prefix)) {
+            if c.ty != "u8" {
+                continue;
+            }
+            let Some(tag) = rust_src::parse_u8(&c.value) else {
+                findings.push(Finding::new(
+                    WIRE_RS,
+                    c.line,
+                    PASS,
+                    format!(
+                        "tag constant `{}` is not a u8 literal: `{}`",
+                        c.name, c.value
+                    ),
+                ));
+                continue;
+            };
+            if let Some((other, _)) = seen.get(&tag) {
+                findings.push(Finding::new(
+                    WIRE_RS,
+                    c.line,
+                    PASS,
+                    format!(
+                        "duplicate tag {tag:#04x} in family `{const_prefix}*`: `{}` collides with `{other}`",
+                        c.name
+                    ),
+                ));
+            } else {
+                seen.insert(tag, (&c.name, c.line));
+            }
+            lock.insert(format!("{lock_prefix} {}", c.name), format!("{tag:#04x}"));
+            if *in_docs {
+                let suffix = &c.name[const_prefix.len()..];
+                documented_pairs.push((tag, pascal_case(suffix), c.line));
+            }
+        }
+        if seen.is_empty() {
+            findings.push(Finding::new(
+                WIRE_RS,
+                0,
+                PASS,
+                format!("no `{const_prefix}*` tag constants found (renamed? update crates/lint)"),
+            ));
+        }
+    }
+
+    // PROTOCOL.md tag-table rows: `| 0xNN | Name | ... |`.
+    let doc_rows = protocol_tag_rows(&proto);
+    for (tag, name, line) in &documented_pairs {
+        if !doc_rows.iter().any(|(t, n, _)| t == tag && n == name) {
+            findings.push(Finding::new(
+                WIRE_RS,
+                *line,
+                PASS,
+                format!("tag {tag:#04x} `{name}` has no matching `| {tag:#04x} | {name} |` row in PROTOCOL.md"),
+            ));
+        }
+    }
+    for (tag, name, doc_line) in &doc_rows {
+        if !documented_pairs
+            .iter()
+            .any(|(t, n, _)| t == tag && n == name)
+        {
+            findings.push(Finding::new(
+                PROTOCOL_MD,
+                *doc_line,
+                PASS,
+                format!("documented tag {tag:#04x} `{name}` has no matching constant in {WIRE_RS} (stale row?)"),
+            ));
+        }
+    }
+
+    // Version lines: the frame-layout spec must name the current version
+    // and accept range, and the history table must have a row for it.
+    if let (Some(v), Some(min)) = (wire_version, min_version) {
+        let accept = format!("0x{min:02x}..=0x{v:02x}");
+        if !proto
+            .lines()
+            .any(|l| l.contains("WIRE_VERSION") && l.contains(&format!("0x{v:02x}")))
+        {
+            findings.push(Finding::new(
+                PROTOCOL_MD,
+                0,
+                PASS,
+                format!("no frame-spec line states version 0x{v:02x} (WIRE_VERSION)"),
+            ));
+        }
+        if !proto.contains(&accept) {
+            findings.push(Finding::new(
+                PROTOCOL_MD,
+                0,
+                PASS,
+                format!("accepted-version range `{accept}` not documented"),
+            ));
+        }
+        let has_history_row = proto.lines().any(|l| {
+            let mut cells = l.split('|').map(str::trim);
+            cells.next() == Some("") && cells.next() == Some(&v.to_string())
+        });
+        if !has_history_row {
+            findings.push(Finding::new(
+                PROTOCOL_MD,
+                0,
+                PASS,
+                format!("version-history table has no row for wire version {v}"),
+            ));
+        }
+    }
+
+    lockfile::check(
+        root,
+        LOCK,
+        PASS,
+        LOCK_HEADER,
+        &lock,
+        bless,
+        UNLOCK_HINT,
+        &mut findings,
+    );
+    // The sharper message when the surface moved but the version did not:
+    // compare the blessed/committed WIRE_VERSION against the live one.
+    if !bless {
+        if let (Some(live), Ok(text)) = (wire_version, std::fs::read_to_string(root.join(LOCK))) {
+            let committed = lockfile::parse(&text);
+            let lock_version = committed
+                .get("version WIRE_VERSION")
+                .and_then(|v| rust_src::parse_u8(v));
+            let surface_drifted = findings.iter().any(|f| f.file == LOCK);
+            if surface_drifted && lock_version == Some(live) {
+                findings.push(Finding::new(
+                    WIRE_RS,
+                    0,
+                    PASS,
+                    "wire surface changed WITHOUT a WIRE_VERSION bump — re-tagging silently is a \
+                     format break (PROTOCOL.md \u{a7} Compatibility)",
+                ));
+            }
+        }
+    }
+    findings
+}
+
+/// Extract `(tag, name, line)` from every markdown table row whose first
+/// cell is a `0xNN` byte and second cell a bare identifier.
+fn protocol_tag_rows(proto: &str) -> Vec<(u8, String, usize)> {
+    let mut out = Vec::new();
+    for (idx, line) in proto.lines().enumerate() {
+        let trimmed = line.trim();
+        if !trimmed.starts_with('|') {
+            continue;
+        }
+        let cells: Vec<&str> = trimmed
+            .trim_matches('|')
+            .split('|')
+            .map(str::trim)
+            .collect();
+        if cells.len() < 2 {
+            continue;
+        }
+        let Some(hex) = cells[0].strip_prefix("0x") else {
+            continue;
+        };
+        let Ok(tag) = u8::from_str_radix(hex, 16) else {
+            continue;
+        };
+        let name = cells[1];
+        if !name.is_empty()
+            && name.chars().next().is_some_and(|c| c.is_ascii_uppercase())
+            && name.chars().all(|c| c.is_ascii_alphanumeric())
+        {
+            out.push((tag, name.to_string(), idx + 1));
+        }
+    }
+    out
+}

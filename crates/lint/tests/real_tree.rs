@@ -1,0 +1,20 @@
+//! The shipped tree itself must be lint-clean: this pins the acceptance
+//! criterion that `cargo run -p forkbase-lint` exits zero on the repo,
+//! and makes a seeded violation fail `cargo test` too.
+
+use std::path::Path;
+
+#[test]
+fn shipped_workspace_is_lint_clean() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
+    let findings = forkbase_lint::run_all(&root, false);
+    assert!(
+        findings.is_empty(),
+        "forkbase-lint findings on the shipped tree:\n{}",
+        findings
+            .iter()
+            .map(|f| f.to_string())
+            .collect::<Vec<_>>()
+            .join("\n")
+    );
+}

@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! POS-Tree: the Pattern-Oriented-Split Tree (paper §II-A).
 //!
 //! The POS-Tree is ForkBase's core contribution — a single structure that is

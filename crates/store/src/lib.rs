@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! Chunk storage layer (paper Fig. 1, bottom layer).
 //!
 //! All ForkBase data — POS-Tree pages, blob chunks, FNodes — is materialized

@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! Relational dataset layer over ForkBase.
 //!
 //! The demonstration (paper §III) revolves around CSV datasets: loading

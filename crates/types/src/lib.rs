@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! ForkBase typed values (paper §II, "Data Access APIs").
 //!
 //! "Supported data types include primitives (string, number, boolean),

@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! Umbrella crate for the ForkBase reproduction workspace.
 //!
 //! This crate exists to host workspace-level integration tests (`tests/`)
